@@ -1,0 +1,48 @@
+// Ablation: the two documented deviations from the paper's exact topology —
+// the learned global PL->output skip and the one-hot PL input planes — are
+// ablated on the cVAE (the cheapest reconstruction-driven model). Shows why
+// the CPU-scale configuration enables them (see DESIGN.md).
+#include "bench_common.h"
+
+int main() {
+  using namespace flashgen;
+  bench::print_header("Ablation — global skip and one-hot PL input");
+
+  core::ExperimentConfig base = core::small_experiment_config();
+  base.dataset.num_arrays = 512;
+  base.eval_arrays = 96;
+  base.epochs = 8;
+  base.network.base_channels = 8;
+  base.cache_dir.clear();  // variants are cheap; keep the cache clean
+
+  struct Variant {
+    const char* name;
+    bool global_skip;
+    bool onehot;
+  };
+  const Variant variants[] = {
+      {"paper-topology (scalar PL, no skip)", false, false},
+      {"+ global skip", true, false},
+      {"+ one-hot PL", false, true},
+      {"+ both (flashgen default)", true, true},
+  };
+
+  std::printf("%-40s %10s %10s\n", "variant", "TV(all)", "TV(L0)");
+  for (const Variant& variant : variants) {
+    core::ExperimentConfig config = base;
+    config.network.global_skip = variant.global_skip;
+    config.network.onehot_pl = variant.onehot;
+    core::Experiment experiment(config);
+    auto model = experiment.train_or_load(core::ModelKind::Cvae);
+    const core::ModelEvaluation eval = experiment.evaluate(*model);
+    std::printf("%-40s %10.4f %10.4f\n", variant.name, eval.tv_overall,
+                eval.tv_per_level[0]);
+  }
+  std::printf("\nReading the result: the one-hot PL input consistently lowers TV (it\n");
+  std::printf("removes per-cell level aliasing in the stride-2 stem). The global skip\n");
+  std::printf("accelerates conditional-mean learning — which on the GAN models fixes\n");
+  std::printf("the level-mean biases, but on the discriminator-free cVAE (used here\n");
+  std::printf("because it is cheapest) can sharpen sigma collapse and leave TV flat\n");
+  std::printf("or worse. See model_probe for the mean-bias view where the skip helps.\n");
+  return 0;
+}

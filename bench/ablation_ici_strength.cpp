@@ -1,0 +1,48 @@
+// Ablation (simulator-only): how the pattern-dependent error statistics
+// respond to the ICI coupling ratios. Sweeps the overall coupling strength
+// and the BL/WL asymmetry, reporting the 707 Type II rates and the BL/WL
+// ratio — the quantities the paper's Table II pivots on.
+#include "bench_common.h"
+
+int main() {
+  using namespace flashgen;
+  bench::print_header("Ablation — ICI coupling strength sweep (no training)");
+
+  const int blocks = 16;
+  std::printf("%-28s %10s %10s %10s %12s\n", "gamma (WL / BL)", "707 WL", "707 BL",
+              "BL/WL", "L0 err rate");
+  for (const double scale : {0.0, 0.5, 1.0, 1.5}) {
+    for (const double asym : {1.0, 1.76}) {  // 1.76 = default gamma_bl / gamma_wl
+      flash::FlashChannelConfig config;
+      const flash::IciConfig defaults;
+      config.ici.gamma_wl = defaults.gamma_wl * scale;
+      config.ici.gamma_bl = defaults.gamma_wl * scale * asym;
+      flash::FlashChannel channel(config);
+      flashgen::Rng rng(7);
+
+      eval::ConditionalHistograms hists;
+      std::vector<flash::Grid<std::uint8_t>> pls;
+      std::vector<flash::Grid<float>> vls;
+      for (int b = 0; b < blocks; ++b) {
+        auto obs = channel.run_experiment(4000.0, rng);
+        hists.add_grids(obs.program_levels, obs.voltages);
+        pls.push_back(std::move(obs.program_levels));
+        vls.push_back(std::move(obs.voltages));
+      }
+      const auto thresholds = eval::thresholds_from_histograms(hists);
+      const auto analysis = eval::analyze_ici(pls, vls, thresholds[0]);
+      const int p707 = eval::pattern_index(7, 7);
+      const double wl = analysis.wordline.type2(p707);
+      const double bl = analysis.bitline.type2(p707);
+      const double overall = static_cast<double>(analysis.wordline.total_errors()) /
+                             std::max(1L, analysis.wordline.total_occurrences());
+      std::printf("%.4f / %.4f              %9.2f%% %9.2f%% %10.2f %11.2f%%\n",
+                  config.ici.gamma_wl, config.ici.gamma_bl, 100.0 * wl, 100.0 * bl,
+                  wl > 0 ? bl / wl : 0.0, 100.0 * overall);
+    }
+  }
+  std::printf("\nExpectation: 707 rates grow with coupling strength; the BL/WL ratio\n");
+  std::printf("tracks the gamma asymmetry; with zero coupling the pattern dependence\n");
+  std::printf("vanishes (rates equal the pattern-independent baseline).\n");
+  return 0;
+}

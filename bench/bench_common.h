@@ -1,0 +1,62 @@
+// Shared setup for the table/figure reproduction benches.
+//
+// Every bench builds the same Experiment (same seed, same channel, same
+// training recipe) so trained checkpoints are shared through the on-disk
+// cache — the first bench to run trains the models, later benches load them.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/flashgen.h"
+
+namespace flashgen::bench {
+
+/// The experiment configuration every paper-reproduction bench uses.
+/// Environment overrides:
+///   FLASHGEN_BENCH_EPOCHS     - training epochs (default from small config)
+///   FLASHGEN_BENCH_EVAL       - number of evaluation arrays
+///   FLASHGEN_CACHE_DIR        - checkpoint cache directory
+inline core::ExperimentConfig bench_config() {
+  core::ExperimentConfig config = core::small_experiment_config();
+  if (const char* env = std::getenv("FLASHGEN_BENCH_EPOCHS")) config.epochs = std::atoi(env);
+  if (const char* env = std::getenv("FLASHGEN_BENCH_EVAL"))
+    config.eval_arrays = std::atoi(env);
+  return config;
+}
+
+inline void print_header(const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("flashgen reproduction bench: %s\n", what);
+  std::printf("(reduced geometry: 16x16 arrays, nf=16, ~1.5k crops; the paper\n");
+  std::printf(" uses 64x64, nf=64, 100k crops on GPU — shapes, not absolutes)\n");
+  std::printf("==============================================================\n");
+}
+
+struct EvaluatedModel {
+  std::unique_ptr<models::GenerativeModel> model;
+  core::ModelEvaluation evaluation;
+};
+
+/// Trains/loads and evaluates the given kinds, in order.
+inline std::vector<EvaluatedModel> evaluate_models(core::Experiment& experiment,
+                                                   const std::vector<core::ModelKind>& kinds) {
+  std::vector<EvaluatedModel> out;
+  for (core::ModelKind kind : kinds) {
+    auto model = experiment.train_or_load(kind);
+    core::ModelEvaluation evaluation = experiment.evaluate(*model);
+    out.push_back(EvaluatedModel{std::move(model), std::move(evaluation)});
+  }
+  return out;
+}
+
+inline std::vector<const core::ModelEvaluation*> evaluation_pointers(
+    const std::vector<EvaluatedModel>& models) {
+  std::vector<const core::ModelEvaluation*> out;
+  out.reserve(models.size());
+  for (const auto& m : models) out.push_back(&m.evaluation);
+  return out;
+}
+
+}  // namespace flashgen::bench

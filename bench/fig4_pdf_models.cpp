@@ -1,0 +1,54 @@
+// Reproduces Fig. 4: per-level conditional PDFs (linear and log views) for
+// measured, cVAE-GAN, Bicycle-GAN and cGAN voltages, plus the default
+// threshold lines. Prints per-level summary statistics and log-domain tail
+// masses, and writes the full series to CSV.
+#include <cmath>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace flashgen;
+  bench::print_header("Fig. 4 — conditional PDFs per model (linear + log)");
+
+  core::Experiment experiment(bench::bench_config());
+  const std::vector<core::ModelKind> kinds = {
+      core::ModelKind::CvaeGan, core::ModelKind::BicycleGan, core::ModelKind::Cgan};
+  const auto models = bench::evaluate_models(experiment, kinds);
+  const auto pointers = bench::evaluation_pointers(models);
+
+  core::write_pdf_csv(experiment, pointers, "bench_fig4_pdf.csv");
+
+  // Log-scale view: the figure's key feature is how the tails behave between
+  // thresholds. Report per-level mass that leaks past the adjacent threshold
+  // (the "log-scale crossing" region).
+  const auto& thresholds = experiment.thresholds();
+  auto leak = [&thresholds](const eval::ConditionalHistograms& hists, int level) {
+    const auto& h = hists.level(level);
+    const auto pmf = h.pmf();
+    double mass = 0.0;
+    for (int b = 0; b < h.bins(); ++b) {
+      const double v = h.bin_center(b);
+      const bool outside = (level < flash::kTlcLevels - 1 && v > thresholds[level]) ||
+                           (level > 0 && v < thresholds[level - 1]);
+      if (outside) mass += pmf[b];
+    }
+    return mass;
+  };
+
+  std::printf("\nPer-level tail mass beyond the hard-read thresholds (raw error rate)\n");
+  std::printf("%-12s", "Source");
+  for (int level = 0; level < flash::kTlcLevels; ++level) std::printf("      L%d", level);
+  std::printf("\n%-12s", "Measured");
+  for (int level = 0; level < flash::kTlcLevels; ++level)
+    std::printf(" %6.2f%%", 100.0 * leak(experiment.measured_histograms(), level));
+  std::printf("\n");
+  for (const auto* m : pointers) {
+    std::printf("%-12s", m->name.c_str());
+    for (int level = 0; level < flash::kTlcLevels; ++level)
+      std::printf(" %6.2f%%", 100.0 * leak(m->histograms, level));
+    std::printf("\n");
+  }
+  std::printf("\nReproduction target: generated tail masses within a small factor of\n");
+  std::printf("measured for the cVAE-GAN family, larger distortions for cGAN.\n");
+  return 0;
+}

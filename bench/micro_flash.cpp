@@ -1,0 +1,111 @@
+// Micro-benchmarks of the flash-channel substrate: block characterization
+// throughput, ICI shift computation, hard-read detection, and the evaluation
+// primitives (histograms, TV distance, ICI pattern analysis).
+#include <benchmark/benchmark.h>
+
+#include "eval/histogram.h"
+#include "eval/ici_analysis.h"
+#include "eval/thresholds.h"
+#include "flash/channel.h"
+#include "flash/read.h"
+
+namespace {
+
+using namespace flashgen;
+
+void BM_ChannelExperiment(benchmark::State& state) {
+  flash::FlashChannelConfig config;
+  config.rows = static_cast<int>(state.range(0));
+  config.cols = static_cast<int>(state.range(0));
+  flash::FlashChannel channel(config);
+  flashgen::Rng rng(1);
+  for (auto _ : state) {
+    auto obs = channel.run_experiment(4000.0, rng);
+    benchmark::DoNotOptimize(obs.voltages.raw().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0));
+}
+BENCHMARK(BM_ChannelExperiment)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_IciShifts(benchmark::State& state) {
+  flash::FlashChannelConfig config;
+  flash::VoltageModel vm(config.voltage);
+  flash::IciModel ici(config.ici, vm);
+  flashgen::Rng rng(2);
+  flash::Grid<std::uint8_t> levels(128, 128);
+  for (auto& v : levels.raw()) v = static_cast<std::uint8_t>(rng.uniform_int(8));
+  for (auto _ : state) {
+    auto shifts = ici.compute_shifts(levels, 4000.0, rng);
+    benchmark::DoNotOptimize(shifts.raw().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128);
+}
+BENCHMARK(BM_IciShifts);
+
+void BM_HardRead(benchmark::State& state) {
+  flash::FlashChannelConfig config;
+  flash::FlashChannel channel(config);
+  flashgen::Rng rng(3);
+  const auto obs = channel.run_experiment(4000.0, rng);
+  const auto thresholds = flash::midpoint_thresholds(channel.voltage_model(), 4000.0);
+  for (auto _ : state) {
+    auto detected = flash::detect_block(obs.voltages, thresholds);
+    auto counts = flash::count_errors(obs.program_levels, detected);
+    benchmark::DoNotOptimize(counts.level_errors);
+  }
+  state.SetItemsProcessed(state.iterations() * obs.voltages.rows() * obs.voltages.cols());
+}
+BENCHMARK(BM_HardRead);
+
+void BM_HistogramAccumulation(benchmark::State& state) {
+  flash::FlashChannelConfig config;
+  flash::FlashChannel channel(config);
+  flashgen::Rng rng(4);
+  const auto obs = channel.run_experiment(4000.0, rng);
+  for (auto _ : state) {
+    eval::ConditionalHistograms hists;
+    hists.add_grids(obs.program_levels, obs.voltages);
+    benchmark::DoNotOptimize(hists.overall().total());
+  }
+  state.SetItemsProcessed(state.iterations() * obs.voltages.rows() * obs.voltages.cols());
+}
+BENCHMARK(BM_HistogramAccumulation);
+
+void BM_ThresholdDerivation(benchmark::State& state) {
+  flash::FlashChannelConfig config;
+  flash::FlashChannel channel(config);
+  flashgen::Rng rng(5);
+  eval::ConditionalHistograms hists;
+  for (int b = 0; b < 4; ++b) {
+    const auto obs = channel.run_experiment(4000.0, rng);
+    hists.add_grids(obs.program_levels, obs.voltages);
+  }
+  for (auto _ : state) {
+    auto thresholds = eval::thresholds_from_histograms(hists);
+    benchmark::DoNotOptimize(thresholds[0]);
+  }
+}
+BENCHMARK(BM_ThresholdDerivation);
+
+void BM_IciPatternAnalysis(benchmark::State& state) {
+  flash::FlashChannelConfig config;
+  flash::FlashChannel channel(config);
+  flashgen::Rng rng(6);
+  std::vector<flash::Grid<std::uint8_t>> pls;
+  std::vector<flash::Grid<float>> vls;
+  for (int b = 0; b < 4; ++b) {
+    auto obs = channel.run_experiment(4000.0, rng);
+    pls.push_back(std::move(obs.program_levels));
+    vls.push_back(std::move(obs.voltages));
+  }
+  for (auto _ : state) {
+    auto analysis = eval::analyze_ici(pls, vls, 120.0);
+    benchmark::DoNotOptimize(analysis.wordline.total_errors());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * 128 * 128);
+}
+BENCHMARK(BM_IciPatternAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

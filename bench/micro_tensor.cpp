@@ -1,0 +1,101 @@
+// Micro-benchmarks of the tensor substrate: SGEMM, conv2d forward/backward,
+// batch norm, and the elementwise kernels that dominate training time.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "tensor/conv.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace flashgen;
+using tensor::Shape;
+using tensor::Tensor;
+
+void BM_Sgemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  flashgen::Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    tensor::sgemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const tensor::Index size = state.range(0);
+  flashgen::Rng rng(2);
+  tensor::NoGradGuard no_grad;
+  Tensor x = Tensor::randn(Shape{8, 16, size, size}, rng);
+  Tensor w = Tensor::randn(Shape{32, 16, 4, 4}, rng, 0.02f);
+  Tensor b = Tensor::zeros(Shape{32});
+  for (auto _ : state) {
+    Tensor y = tensor::conv2d(x, w, b, 2, 1);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(32);
+
+void BM_Conv2dTrainStep(benchmark::State& state) {
+  const tensor::Index size = state.range(0);
+  flashgen::Rng rng(3);
+  Tensor w = Tensor::randn(Shape{32, 16, 4, 4}, rng, 0.02f, /*requires_grad=*/true);
+  Tensor b = Tensor::zeros(Shape{32}, true);
+  for (auto _ : state) {
+    Tensor x = Tensor::randn(Shape{4, 16, size, size}, rng);
+    Tensor loss = tensor::mean(tensor::square(tensor::conv2d(x, w, b, 2, 1)));
+    w.zero_grad();
+    b.zero_grad();
+    loss.backward();
+    benchmark::DoNotOptimize(w.grad().data());
+  }
+}
+BENCHMARK(BM_Conv2dTrainStep)->Arg(16)->Arg(32);
+
+void BM_ConvTranspose2dForward(benchmark::State& state) {
+  flashgen::Rng rng(4);
+  tensor::NoGradGuard no_grad;
+  Tensor x = Tensor::randn(Shape{8, 32, 8, 8}, rng);
+  Tensor w = Tensor::randn(Shape{32, 16, 4, 4}, rng, 0.02f);
+  for (auto _ : state) {
+    Tensor y = tensor::conv_transpose2d(x, w, Tensor(), 2, 1);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_ConvTranspose2dForward);
+
+void BM_BatchNormTraining(benchmark::State& state) {
+  flashgen::Rng rng(5);
+  tensor::NoGradGuard no_grad;
+  Tensor x = Tensor::randn(Shape{8, 32, 16, 16}, rng);
+  Tensor gamma = Tensor::full(Shape{32}, 1.0f);
+  Tensor beta = Tensor::zeros(Shape{32});
+  Tensor rm = Tensor::zeros(Shape{32});
+  Tensor rv = Tensor::full(Shape{32}, 1.0f);
+  for (auto _ : state) {
+    Tensor y = tensor::batch_norm2d(x, gamma, beta, rm, rv, true);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_BatchNormTraining);
+
+void BM_ElementwiseChain(benchmark::State& state) {
+  flashgen::Rng rng(6);
+  tensor::NoGradGuard no_grad;
+  Tensor x = Tensor::randn(Shape{1 << 16}, rng);
+  for (auto _ : state) {
+    Tensor y = tensor::tanh(tensor::add_scalar(tensor::mul_scalar(x, 1.01f), 0.001f));
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_ElementwiseChain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Reproduces Table II: Type II pattern-dependent error rates — the
+// probability a level-0 victim reads above Vth0 given each of the ten most
+// severe wordline/bitline neighbor patterns (707, 706, 607, ...), for the
+// measured channel and the three GAN models.
+//
+// Paper reference (Table II, measured): 707 reads 11.60 % (WL) / 16.17 % (BL)
+// with the BL rate ~40 % above WL; rates decay monotonically down the list.
+#include "bench_common.h"
+
+int main() {
+  using namespace flashgen;
+  bench::print_header("Table II — Type II pattern-dependent error rates");
+
+  core::Experiment experiment(bench::bench_config());
+  const std::vector<core::ModelKind> kinds = {
+      core::ModelKind::CvaeGan, core::ModelKind::BicycleGan, core::ModelKind::Cgan};
+  const auto models = bench::evaluate_models(experiment, kinds);
+  core::print_type2_table(experiment, bench::evaluation_pointers(models),
+                          core::paper_table2_patterns());
+
+  std::printf("\nPaper (measured row): WL 11.60/7.58/7.73/5.68/5.78/5.79/4.53/4.70/4.32/4.33,\n");
+  std::printf("BL 16.17/11.43/9.24/9.44/6.58/5.42/8.48/5.27/4.19/3.44 (percent).\n");
+  std::printf("Reproduction target: 707 dominant in both directions, BL > WL.\n");
+
+  CsvWriter csv("bench_table2_type2.csv");
+  std::vector<std::string> header = {"source", "direction"};
+  for (const auto& label : core::paper_table2_patterns()) header.push_back(label);
+  csv.row(header);
+  auto dump = [&csv](const std::string& name, const eval::IciAnalysis& ici) {
+    for (const bool wl : {true, false}) {
+      std::vector<std::string> row = {name, wl ? "WL" : "BL"};
+      for (const auto& label : core::paper_table2_patterns()) {
+        const int p = core::pattern_from_label(label);
+        row.push_back(format("%.4f", wl ? ici.wordline.type2(p) : ici.bitline.type2(p)));
+      }
+      csv.row(row);
+    }
+  };
+  dump("Measured", experiment.measured_ici());
+  for (const auto& m : models) dump(m.evaluation.name, m.evaluation.ici);
+  std::printf("wrote bench_table2_type2.csv\n");
+  return 0;
+}

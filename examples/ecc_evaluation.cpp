@@ -1,0 +1,143 @@
+// Model-based ECC evaluation — why channel models must capture spatial
+// structure (the paper's introduction, citing Taranalli et al. 2016).
+//
+// BCH frame error rates depend on the *distribution* of errors per frame,
+// not just the average BER: spatially-correlated ICI errors overdisperse the
+// per-frame error counts, so an i.i.d. model (the Gaussian baseline)
+// underestimates the tail that kills frames. This example estimates BCH FER
+// on fresh measured blocks three ways:
+//   1) ground truth:    errors from measured voltages,
+//   2) generated (GAN): errors from cVAE-GAN voltages,
+//   3) generated (iid): errors from Gaussian-model voltages,
+// running the real BCH decoder on every frame's error pattern.
+//
+// Run:  ./ecc_evaluation [epochs]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/flashgen.h"
+#include "ecc/bch.h"
+
+using namespace flashgen;
+
+namespace {
+
+// Lower-page error indicators for every cell (row-major across grids),
+// detecting with the given thresholds.
+std::vector<std::uint8_t> page_error_stream(
+    const std::vector<flash::Grid<std::uint8_t>>& pls,
+    const std::vector<flash::Grid<float>>& vls, const flash::Thresholds& thresholds,
+    flash::Page page) {
+  std::vector<std::uint8_t> errors;
+  for (std::size_t g = 0; g < pls.size(); ++g) {
+    const auto detected = flash::detect_block(vls[g], thresholds);
+    for (int r = 0; r < pls[g].rows(); ++r)
+      for (int c = 0; c < pls[g].cols(); ++c) {
+        const auto stored = flash::level_to_bits(pls[g](r, c))[page];
+        const auto read = flash::level_to_bits(detected(r, c))[page];
+        errors.push_back(stored != read ? 1 : 0);
+      }
+  }
+  return errors;
+}
+
+struct FerReport {
+  double ber;
+  double fer;
+  double mean_errors;
+  double var_errors;  // overdispersion shows as var >> mean*(1-p)
+  long frames;
+};
+
+FerReport evaluate_fer(const ecc::BchCode& code, const std::vector<std::uint8_t>& errors) {
+  FerReport report{};
+  const int n = code.n();
+  long failed = 0, frames = 0;
+  double sum_e = 0.0, sumsq_e = 0.0;
+  long total_errors = 0;
+  for (std::size_t start = 0; start + static_cast<std::size_t>(n) <= errors.size();
+       start += static_cast<std::size_t>(n)) {
+    // BCH is linear: decoding the error pattern itself (zero codeword plus
+    // errors) exercises the decoder identically to any data payload.
+    ecc::Bits received(errors.begin() + static_cast<long>(start),
+                       errors.begin() + static_cast<long>(start) + n);
+    int frame_errors = 0;
+    for (auto bit : received) frame_errors += bit;
+    const ecc::DecodeResult result = code.decode(received);
+    const bool recovered = result.success && result.corrected == frame_errors;
+    failed += recovered ? 0 : 1;
+    ++frames;
+    total_errors += frame_errors;
+    sum_e += frame_errors;
+    sumsq_e += static_cast<double>(frame_errors) * frame_errors;
+  }
+  report.frames = frames;
+  report.ber = frames ? static_cast<double>(total_errors) / (frames * n) : 0.0;
+  report.fer = frames ? static_cast<double>(failed) / frames : 0.0;
+  report.mean_errors = frames ? sum_e / frames : 0.0;
+  report.var_errors =
+      frames ? sumsq_e / frames - report.mean_errors * report.mean_errors : 0.0;
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ExperimentConfig config = core::small_experiment_config();
+  config.dataset.num_arrays = 1024;
+  config.eval_arrays = 128;
+  if (argc > 1) config.epochs = std::atoi(argv[1]);
+
+  core::Experiment experiment(config);
+  auto gan = experiment.train_or_load(core::ModelKind::CvaeGan);
+  auto gaussian = experiment.train_or_load(core::ModelKind::Gaussian);
+
+  // Fresh measured blocks = ground truth; generated sets from identical PLs.
+  data::DatasetConfig fresh_config = config.dataset;
+  fresh_config.num_arrays = 512;
+  Rng fresh_rng(24601);
+  const data::PairedDataset fresh = data::PairedDataset::generate(fresh_config, fresh_rng);
+
+  std::vector<flash::Grid<float>> gan_vls, gauss_vls;
+  Rng gen_rng(8);
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const tensor::Tensor pl = fresh.levels_to_tensor(fresh.program_levels()[i]);
+    gan_vls.push_back(fresh.tensor_to_voltages(gan->generate(pl, gen_rng)));
+    gauss_vls.push_back(fresh.tensor_to_voltages(gaussian->generate(pl, gen_rng)));
+  }
+
+  const auto& thresholds = experiment.thresholds();
+  const auto measured_errors = page_error_stream(fresh.program_levels(), fresh.voltages(),
+                                                 thresholds, flash::Page::Lower);
+  const auto gan_errors =
+      page_error_stream(fresh.program_levels(), gan_vls, thresholds, flash::Page::Lower);
+  const auto gauss_errors =
+      page_error_stream(fresh.program_levels(), gauss_vls, thresholds, flash::Page::Lower);
+
+  std::printf("\nlower-page BCH frame error rates (n = 255 bit frames, %ld frames)\n",
+              static_cast<long>(measured_errors.size()) / 255);
+  std::printf("%-6s %-22s %10s %10s %12s %12s\n", "t", "source", "BER", "FER",
+              "E[err/frm]", "Var[err/frm]");
+  for (const int t : {4, 6, 8, 12}) {
+    const ecc::BchCode code(8, t);
+    struct Row {
+      const char* name;
+      const std::vector<std::uint8_t>* errors;
+    } rows[] = {{"measured (truth)", &measured_errors},
+                {"cVAE-GAN generated", &gan_errors},
+                {"Gaussian generated", &gauss_errors}};
+    for (const Row& row : rows) {
+      const FerReport report = evaluate_fer(code, *row.errors);
+      std::printf("%-6d %-22s %9.3f%% %9.2f%% %12.2f %12.2f\n", t, row.name,
+                  100.0 * report.ber, 100.0 * report.fer, report.mean_errors,
+                  report.var_errors);
+    }
+  }
+  std::printf("\nReading the result: ICI correlates errors within a frame, so measured\n");
+  std::printf("Var[errors/frame] exceeds the binomial variance and FER has a heavy\n");
+  std::printf("tail. The cVAE-GAN, which learns the spatial structure, should track\n");
+  std::printf("the measured FER more closely than the i.i.d. Gaussian baseline.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// ICI pattern analysis on the simulated channel: which neighbor patterns
+// cause level-0 victims to fail, and how badly — the statistics behind the
+// paper's Fig. 5 and Table II, computed directly from "measured" data.
+//
+// Run:  ./ici_patterns [num_blocks] [pe_cycles]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/flashgen.h"
+
+int main(int argc, char** argv) {
+  using namespace flashgen;
+
+  const int num_blocks = argc > 1 ? std::atoi(argv[1]) : 24;
+  const double pe_cycles = argc > 2 ? std::atof(argv[2]) : 4000.0;
+
+  flash::FlashChannelConfig channel_config;
+  flash::FlashChannel channel(channel_config);
+  Rng rng(7);
+
+  // Characterize: program random data, read back, across several blocks.
+  std::vector<flash::Grid<std::uint8_t>> pls;
+  std::vector<flash::Grid<float>> vls;
+  eval::ConditionalHistograms hists;
+  for (int b = 0; b < num_blocks; ++b) {
+    flash::BlockObservation obs = channel.run_experiment(pe_cycles, rng);
+    hists.add_grids(obs.program_levels, obs.voltages);
+    pls.push_back(std::move(obs.program_levels));
+    vls.push_back(std::move(obs.voltages));
+  }
+
+  const flash::Thresholds thresholds = eval::thresholds_from_histograms(hists);
+  std::printf("PE %.0f, %d blocks of %dx%d; thresholds:", pe_cycles, num_blocks,
+              channel_config.rows, channel_config.cols);
+  for (double t : thresholds) std::printf(" %.0f", t);
+  std::printf("\n");
+
+  const eval::IciAnalysis analysis = eval::analyze_ici(pls, vls, thresholds[0]);
+
+  std::printf("\nlevel-0 victims: %ld (WL) / %ld (BL) interior cells, overall error rate "
+              "%.2f%% / %.2f%%\n",
+              analysis.wordline.total_occurrences(), analysis.bitline.total_occurrences(),
+              100.0 * analysis.wordline.total_errors() /
+                  std::max(1L, analysis.wordline.total_occurrences()),
+              100.0 * analysis.bitline.total_errors() /
+                  std::max(1L, analysis.bitline.total_occurrences()));
+
+  for (const bool wordline : {true, false}) {
+    const eval::IciPatternStats& stats = wordline ? analysis.wordline : analysis.bitline;
+    auto top2 = eval::rank_patterns_by_type2(stats, /*min_occurrences=*/50);
+    std::printf("\n%s direction, top-10 Type II error rates:\n", wordline ? "WL" : "BL");
+    std::printf("  %-8s %-12s %-12s %s\n", "pattern", "occurrences", "errors", "P(err|pat)");
+    for (int i = 0; i < 10 && i < static_cast<int>(top2.size()); ++i) {
+      const int p = top2[i];
+      std::printf("  %-8s %-12ld %-12ld %.2f%%\n", eval::pattern_label(p).c_str(),
+                  stats.occurrences[p], stats.errors[p], 100.0 * stats.type2(p));
+    }
+    auto top1 = eval::rank_patterns_by_type1(stats);
+    double covered = 0.0;
+    for (int i = 0; i < 23; ++i) covered += stats.type1(top1[i]);
+    std::printf("  top-23 patterns cover %.1f%% of all %s errors (paper: ~%d%%)\n",
+                100.0 * covered, wordline ? "WL" : "BL", wordline ? 60 : 75);
+  }
+  return 0;
+}

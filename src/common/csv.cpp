@@ -1,0 +1,43 @@
+#include "common/csv.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace flashgen {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  FG_CHECK(out_.good(), "cannot open CSV file for writing: " << path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::numeric_row(const std::vector<double>& cells) {
+  std::ostringstream os;
+  os.precision(10);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os << ',';
+    if (std::isfinite(cells[i])) os << cells[i];
+  }
+  out_ << os.str() << '\n';
+}
+
+}  // namespace flashgen

@@ -1,0 +1,32 @@
+// Tiny CSV writer used by the bench harness to dump figure/table series for
+// external plotting. Values are written with full float precision; strings
+// containing separators are quoted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace flashgen {
+
+/// Streams rows to a CSV file. Throws flashgen::Error if the file can't be
+/// opened. The file is flushed and closed on destruction.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; each cell is escaped if needed.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: header then typed numeric rows.
+  void numeric_row(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace flashgen

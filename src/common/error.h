@@ -1,0 +1,40 @@
+// Error handling for flashgen.
+//
+// The library throws flashgen::Error (a std::runtime_error) for recoverable
+// misuse (bad shapes, bad configs, I/O failures). FG_CHECK is the one-line
+// precondition guard used at every public API boundary.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace flashgen {
+
+/// Exception type thrown by all flashgen components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace flashgen
+
+/// Precondition check: throws flashgen::Error with file:line context when
+/// `cond` is false. `msg` is a streamable expression, e.g.
+///   FG_CHECK(a.shape() == b.shape(), "shape mismatch " << a << " vs " << b);
+#define FG_CHECK(cond, msg)                                            \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream fg_check_os_;                                 \
+      fg_check_os_ << "check failed: " #cond " — " << msg;             \
+      ::flashgen::detail::raise(__FILE__, __LINE__, fg_check_os_.str()); \
+    }                                                                  \
+  } while (0)

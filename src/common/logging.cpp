@@ -1,0 +1,41 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace flashgen {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level)
+    : level_(level), enabled_(static_cast<int>(level) >= static_cast<int>(log_level())) {}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  const double secs =
+      std::chrono::duration<double>(clock::now() - start).count();
+  std::fprintf(stderr, "[%8.2fs %s] %s\n", secs, tag(level_), os_.str().c_str());
+}
+
+}  // namespace detail
+}  // namespace flashgen

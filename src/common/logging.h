@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: FG_LOG(Info) << "trained " << n << " steps";
+// The global level defaults to Info and can be raised to silence progress
+// output in tests (set_log_level(LogLevel::Warn)).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace flashgen {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+
+/// Current global minimum level.
+LogLevel log_level();
+
+namespace detail {
+
+/// Accumulates one log line and flushes it (with level tag and timestamp)
+/// on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace flashgen
+
+#define FG_LOG(level) ::flashgen::detail::LogLine(::flashgen::LogLevel::level)

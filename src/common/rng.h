@@ -1,0 +1,57 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components of flashgen (channel simulator, data shuffling,
+// weight init, latent sampling) take an explicit Rng so that every experiment
+// is reproducible from a single seed. The generator is xoshiro256++ seeded
+// via SplitMix64; it is not a std:: engine so results are identical across
+// standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace flashgen {
+
+/// Counter-free xoshiro256++ generator with convenience samplers.
+/// Copyable: copying forks the stream state (use `split()` to derive an
+/// independently-seeded child instead when streams must not overlap).
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (caches the second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+
+  /// Derives an independently-seeded child generator. The child stream is a
+  /// deterministic function of (parent state, salt) but statistically
+  /// uncorrelated with the parent's continued output.
+  Rng split(std::uint64_t salt);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace flashgen

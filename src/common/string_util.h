@@ -1,0 +1,21 @@
+// Small string helpers shared across modules (no locale dependence).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flashgen {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(const std::string& text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& text);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `text` starts with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+}  // namespace flashgen

@@ -1,0 +1,227 @@
+#include "core/experiment.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "common/logging.h"
+#include "models/bicycle_gan.h"
+#include "models/cgan.h"
+#include "models/cvae.h"
+#include "models/cvae_gan.h"
+#include "models/gaussian_model.h"
+
+namespace flashgen::core {
+
+std::string to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::CvaeGan: return "cVAE-GAN";
+    case ModelKind::BicycleGan: return "Bicycle-GAN";
+    case ModelKind::Cgan: return "cGAN";
+    case ModelKind::Cvae: return "cVAE";
+    case ModelKind::Gaussian: return "Gaussian";
+  }
+  FG_CHECK(false, "unknown ModelKind");
+  return {};
+}
+
+std::unique_ptr<models::GenerativeModel> make_model(ModelKind kind,
+                                                    const models::NetworkConfig& config,
+                                                    std::uint64_t seed) {
+  switch (kind) {
+    case ModelKind::CvaeGan: return std::make_unique<models::CvaeGanModel>(config, seed);
+    case ModelKind::BicycleGan: return std::make_unique<models::BicycleGanModel>(config, seed);
+    case ModelKind::Cgan: return std::make_unique<models::CganModel>(config, seed);
+    case ModelKind::Cvae: return std::make_unique<models::CvaeModel>(config, seed);
+    case ModelKind::Gaussian: return std::make_unique<models::GaussianModel>();
+  }
+  FG_CHECK(false, "unknown ModelKind");
+  return nullptr;
+}
+
+ExperimentConfig small_experiment_config() {
+  ExperimentConfig config;
+  config.dataset.array_size = 16;
+  config.dataset.num_arrays = 1536;
+  config.dataset.channel.rows = 128;
+  config.dataset.channel.cols = 128;
+  config.eval_arrays = 160;
+  config.network.array_size = 16;
+  config.network.base_channels = 16;
+  config.network.z_dim = 8;
+  // Scaled-training substitution (see DESIGN.md): the paper runs 250k steps
+  // of Adam(2e-4) at batch 2; on one CPU core we run ~1k steps, so we use a
+  // larger batch and learning rate to land at the same loss level.
+  config.epochs = 20;
+  config.batch_size = 8;
+  config.cgan_batch_size = 32;
+  config.lr = 1e-3f;
+  // Stronger KL than the paper's 0.01: with ~1k training steps the posterior
+  // must stay close to the prior for prior-sampled generation to be in
+  // distribution (the paper's 250k steps achieve this with a weaker pull).
+  config.beta = 1.0f;
+  config.histogram.bins = 325;  // 4-step bins keep small-sample PDFs smooth
+  return config;
+}
+
+namespace {
+
+// FNV-1a over a canonical description of everything that affects a trained
+// checkpoint; used as the cache key.
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string config_fingerprint(const ExperimentConfig& config, ModelKind kind,
+                               const models::TrainConfig& train) {
+  std::ostringstream os;
+  const auto& d = config.dataset;
+  const auto& ch = d.channel;
+  const auto& n = config.network;
+  os << to_string(kind) << '|' << d.array_size << ',' << d.num_arrays << ',' << d.pe_cycles
+     << ',' << d.retention_hours << ',' << ch.rows << ',' << ch.cols << ','
+     << ch.read_noise_stddev << ',' << ch.program_error_rate << ',' << ch.ici.gamma_wl << ','
+     << ch.ici.gamma_bl << ',' << ch.ici.noise << ',' << ch.voltage.cell_variability;
+  for (const auto& lp : ch.voltage.levels) {
+    os << ',' << lp.mean << '/' << lp.stddev << '/' << lp.tail_weight << '/' << lp.tail_scale
+       << '/' << lp.deep_weight << '/' << lp.deep_mean << '/' << lp.deep_stddev;
+  }
+  os << '|' << n.array_size << ','
+     << n.base_channels << ',' << n.z_dim << ',' << n.dropout << '|' << train.epochs << ','
+     << train.batch_size << ',' << train.lr << ',' << train.alpha << ',' << train.beta << ','
+     << train.latent_weight << ',' << train.lsgan << '|' << config.seed;
+  return os.str();
+}
+
+}  // namespace
+
+Experiment::Experiment(const ExperimentConfig& config)
+    : config_(config), measured_hists_(config.histogram) {
+  FG_CHECK(config_.eval_arrays > 0, "eval_arrays must be positive");
+  FG_CHECK(config_.z_samples > 0, "z_samples must be positive");
+  FG_CHECK(config_.generation_batch > 0, "generation_batch must be positive");
+  FG_CHECK(config_.dataset.array_size == config_.network.array_size,
+           "dataset crop size " << config_.dataset.array_size
+                                << " must match network array size "
+                                << config_.network.array_size);
+
+  flashgen::Rng rng(config_.seed);
+  flashgen::Rng train_rng = rng.split(1);
+  flashgen::Rng eval_rng = rng.split(2);
+  FG_LOG(Info) << "characterizing channel: " << config_.dataset.num_arrays << " train + "
+               << config_.eval_arrays << " eval arrays of " << config_.dataset.array_size
+               << "x" << config_.dataset.array_size << " at PE " << config_.dataset.pe_cycles;
+  train_ = data::PairedDataset::generate(config_.dataset, train_rng);
+  data::DatasetConfig eval_config = config_.dataset;
+  eval_config.num_arrays = config_.eval_arrays;
+  eval_ = data::PairedDataset::generate(eval_config, eval_rng);
+
+  for (std::size_t i = 0; i < eval_->size(); ++i) {
+    measured_hists_.add_grids(eval_->program_levels()[i], eval_->voltages()[i]);
+  }
+  thresholds_ = eval::thresholds_from_histograms(measured_hists_);
+  measured_ici_ =
+      eval::analyze_ici(eval_->program_levels(), eval_->voltages(), thresholds_[0]);
+}
+
+models::TrainConfig Experiment::train_config(ModelKind kind) const {
+  models::TrainConfig train;
+  train.epochs = config_.epochs;
+  train.batch_size = (kind == ModelKind::Cgan) ? config_.cgan_batch_size : config_.batch_size;
+  train.lr = config_.lr;
+  train.alpha = config_.alpha;
+  train.beta = config_.beta;
+  train.lsgan = config_.lsgan;
+  return train;
+}
+
+std::string Experiment::cache_path(ModelKind kind) const {
+  std::string dir = config_.cache_dir;
+  if (const char* env = std::getenv("FLASHGEN_CACHE_DIR"); env != nullptr) dir = env;
+  if (dir.empty()) return {};
+  std::ostringstream os;
+  os << dir << "/" << to_string(kind) << "-" << std::hex
+     << fnv1a(config_fingerprint(config_, kind, train_config(kind))) << ".ckpt";
+  return os.str();
+}
+
+std::unique_ptr<models::GenerativeModel> Experiment::train_or_load(ModelKind kind) {
+  auto model = make_model(kind, config_.network, config_.seed ^ 0xF1A5Bu);
+  flashgen::Rng rng(config_.seed + static_cast<std::uint64_t>(kind) * 7919 + 13);
+
+  if (kind == ModelKind::Gaussian) {
+    // Closed-form fit: never worth caching.
+    model->fit(*train_, train_config(kind), rng);
+    return model;
+  }
+  const std::string path = cache_path(kind);
+  if (!path.empty() && std::filesystem::exists(path)) {
+    FG_LOG(Info) << to_string(kind) << ": loading cached checkpoint " << path;
+    model->load(path);
+    return model;
+  }
+  FG_LOG(Info) << to_string(kind) << ": training (" << config_.epochs << " epochs, batch "
+               << train_config(kind).batch_size << ")";
+  model->fit(*train_, train_config(kind), rng);
+  if (!path.empty()) {
+    std::filesystem::create_directories(std::filesystem::path(path).parent_path());
+    model->save(path);
+    FG_LOG(Info) << to_string(kind) << ": cached checkpoint at " << path;
+  }
+  return model;
+}
+
+ModelEvaluation Experiment::evaluate(models::GenerativeModel& model) {
+  ModelEvaluation result(config_.histogram);
+  result.name = model.name();
+
+  flashgen::Rng rng(config_.seed ^ 0xE7A1u);
+  const auto& pls = eval_->program_levels();
+  std::vector<flash::Grid<std::uint8_t>> gen_pl;
+  std::vector<flash::Grid<float>> gen_vl;
+  gen_pl.reserve(pls.size() * config_.z_samples);
+  gen_vl.reserve(pls.size() * config_.z_samples);
+
+  const int s = config_.dataset.array_size;
+  const std::size_t batch = static_cast<std::size_t>(config_.generation_batch);
+  for (int draw = 0; draw < config_.z_samples; ++draw) {
+    for (std::size_t start = 0; start < pls.size(); start += batch) {
+      const std::size_t end = std::min(pls.size(), start + batch);
+      std::vector<std::size_t> indices(end - start);
+      for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = start + i;
+      auto [pl_batch, vl_unused] = eval_->batch(indices);
+      (void)vl_unused;
+      tensor::Tensor generated = model.generate(pl_batch, rng);
+      FG_CHECK(generated.shape() == pl_batch.shape(),
+               "model returned shape " << generated.shape() << " for input "
+                                       << pl_batch.shape());
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        flash::Grid<float> vl_grid(s, s);
+        const float* src = generated.data().data() + i * s * s;
+        for (int r = 0; r < s; ++r)
+          for (int c = 0; c < s; ++c)
+            vl_grid(r, c) = static_cast<float>(
+                eval_->normalizer().denormalize_voltage(src[r * s + c]));
+        result.histograms.add_grids(pls[indices[i]], vl_grid);
+        gen_pl.push_back(pls[indices[i]]);
+        gen_vl.push_back(std::move(vl_grid));
+      }
+    }
+  }
+
+  for (int level = 0; level < flash::kTlcLevels; ++level) {
+    result.tv_per_level[static_cast<std::size_t>(level)] =
+        eval::tv_distance(measured_hists_.level(level), result.histograms.level(level));
+  }
+  result.tv_overall =
+      eval::tv_distance(measured_hists_.overall(), result.histograms.overall());
+  result.ici = eval::analyze_ici(gen_pl, gen_vl, thresholds_[0]);
+  return result;
+}
+
+}  // namespace flashgen::core

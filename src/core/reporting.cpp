@@ -1,0 +1,164 @@
+#include "core/reporting.h"
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace flashgen::core {
+
+const std::vector<std::string>& paper_table2_patterns() {
+  static const std::vector<std::string> patterns = {"707", "706", "607", "705", "507",
+                                                    "606", "704", "407", "605", "506"};
+  return patterns;
+}
+
+int pattern_from_label(const std::string& label) {
+  FG_CHECK(label.size() == 3 && label[1] == '0' && label[0] >= '0' && label[0] <= '7' &&
+               label[2] >= '0' && label[2] <= '7',
+           "bad ICI pattern label: " << label);
+  return eval::pattern_index(label[0] - '0', label[2] - '0');
+}
+
+void print_tv_table(const Experiment& experiment,
+                    const std::vector<const ModelEvaluation*>& models) {
+  (void)experiment;
+  std::printf("\nTABLE I: TOTAL VARIATION DISTANCE OF CONDITIONAL AND COMBINED\n");
+  std::printf("DISTRIBUTIONS BETWEEN MEASURED AND GENERATED VOLTAGES\n");
+  std::printf("%-4s", "PL");
+  for (const auto* m : models) std::printf(" %12s", m->name.c_str());
+  std::printf("\n");
+  for (int level = 0; level < flash::kTlcLevels; ++level) {
+    std::printf("%-4d", level);
+    for (const auto* m : models)
+      std::printf(" %12.4f", m->tv_per_level[static_cast<std::size_t>(level)]);
+    std::printf("\n");
+  }
+  std::printf("%-4s", "All");
+  for (const auto* m : models) std::printf(" %12.4f", m->tv_overall);
+  std::printf("\n");
+}
+
+namespace {
+
+void print_type2_rows(const char* source, const eval::IciAnalysis& ici,
+                      const std::vector<int>& patterns) {
+  std::printf("%-12s %-9s", source, "Wordline");
+  for (int p : patterns) std::printf(" %7.2f%%", 100.0 * ici.wordline.type2(p));
+  std::printf("\n%-12s %-9s", "", "Bitline");
+  for (int p : patterns) std::printf(" %7.2f%%", 100.0 * ici.bitline.type2(p));
+  std::printf("\n");
+}
+
+void print_type1_rows(const char* source, const eval::IciAnalysis& ici,
+                      const std::vector<int>& top, bool wordline) {
+  const eval::IciPatternStats& stats = wordline ? ici.wordline : ici.bitline;
+  double covered = 0.0;
+  std::printf("%-12s", source);
+  for (int p : top) {
+    const double share = stats.type1(p);
+    covered += share;
+    std::printf(" %6.2f%%", 100.0 * share);
+  }
+  std::printf(" | others %6.2f%%\n", 100.0 * (1.0 - covered));
+}
+
+}  // namespace
+
+void print_type2_table(const Experiment& experiment,
+                       const std::vector<const ModelEvaluation*>& models,
+                       const std::vector<std::string>& pattern_labels) {
+  std::vector<int> patterns;
+  patterns.reserve(pattern_labels.size());
+  for (const auto& label : pattern_labels) patterns.push_back(pattern_from_label(label));
+
+  std::printf("\nTABLE II: TYPE II PATTERN-DEPENDENT ERROR RATES (Vth0 = %.1f)\n",
+              experiment.vth0());
+  std::printf("%-12s %-9s", "Source", "Dir");
+  for (const auto& label : pattern_labels) std::printf(" %8s", label.c_str());
+  std::printf("\n");
+  print_type2_rows("Measured", experiment.measured_ici(), patterns);
+  for (const auto* m : models) print_type2_rows(m->name.c_str(), m->ici, patterns);
+}
+
+void print_type1_shares(const Experiment& experiment,
+                        const std::vector<const ModelEvaluation*>& models, int top_k) {
+  FG_CHECK(top_k > 0 && top_k <= eval::kIciPatterns, "top_k out of range: " << top_k);
+  for (const bool wordline : {true, false}) {
+    const eval::IciPatternStats& measured_stats =
+        wordline ? experiment.measured_ici().wordline : experiment.measured_ici().bitline;
+    std::vector<int> top = eval::rank_patterns_by_type1(measured_stats);
+    top.resize(static_cast<std::size_t>(top_k));
+
+    std::printf("\nFIG. 5 (%s direction): TYPE I ERROR SHARES, TOP %d MEASURED PATTERNS\n",
+                wordline ? "WL" : "BL", top_k);
+    std::printf("%-12s", "Pattern");
+    for (int p : top) std::printf(" %7s", eval::pattern_label(p).c_str());
+    std::printf(" | %s\n", "others");
+    print_type1_rows("Measured", experiment.measured_ici(), top, wordline);
+    for (const auto* m : models) print_type1_rows(m->name.c_str(), m->ici, top, wordline);
+  }
+}
+
+void write_pdf_csv(const Experiment& experiment,
+                   const std::vector<const ModelEvaluation*>& models,
+                   const std::string& csv_path) {
+  const auto& measured = experiment.measured_histograms();
+  const int bins = measured.overall().bins();
+
+  if (!csv_path.empty()) {
+    CsvWriter csv(csv_path);
+    std::vector<std::string> header = {"voltage"};
+    for (int level = 0; level < flash::kTlcLevels; ++level)
+      header.push_back(format("measured_L%d", level));
+    header.push_back("measured_all");
+    for (const auto* m : models) {
+      for (int level = 0; level < flash::kTlcLevels; ++level)
+        header.push_back(format("%s_L%d", m->name.c_str(), level));
+      header.push_back(format("%s_all", m->name.c_str()));
+    }
+    csv.row(header);
+    std::vector<std::vector<double>> columns;
+    columns.push_back({});  // voltage column placeholder
+    auto push_source = [&columns](const eval::ConditionalHistograms& h) {
+      for (int level = 0; level < flash::kTlcLevels; ++level)
+        columns.push_back(h.level(level).pmf());
+      columns.push_back(h.overall().pmf());
+    };
+    push_source(measured);
+    for (const auto* m : models) push_source(m->histograms);
+    for (int b = 0; b < bins; ++b) {
+      std::vector<double> row;
+      row.push_back(measured.overall().bin_center(b));
+      for (std::size_t c = 1; c < columns.size(); ++c)
+        row.push_back(columns[c][static_cast<std::size_t>(b)]);
+      csv.numeric_row(row);
+    }
+    std::printf("wrote PDF series to %s\n", csv_path.c_str());
+  }
+
+  // Textual summary: per-level mode voltage and total mass per source.
+  auto summarize = [bins](const char* name, const eval::ConditionalHistograms& h) {
+    std::printf("%-12s", name);
+    for (int level = 0; level < flash::kTlcLevels; ++level) {
+      const auto pmf = h.level(level).pmf();
+      int mode = 0;
+      for (int b = 1; b < bins; ++b)
+        if (pmf[static_cast<std::size_t>(b)] > pmf[static_cast<std::size_t>(mode)]) mode = b;
+      std::printf(" %8.0f", h.level(level).bin_center(mode));
+    }
+    std::printf("\n");
+  };
+  std::printf("\nPER-LEVEL PDF MODES (voltage at conditional-PDF peak)\n%-12s", "Source");
+  for (int level = 0; level < flash::kTlcLevels; ++level) std::printf("       L%d", level);
+  std::printf("\n");
+  summarize("Measured", measured);
+  for (const auto* m : models) summarize(m->name.c_str(), m->histograms);
+
+  std::printf("\nThresholds (log-PDF intersections):");
+  for (double t : experiment.thresholds()) std::printf(" %.1f", t);
+  std::printf("\n");
+}
+
+}  // namespace flashgen::core

@@ -1,0 +1,43 @@
+// Table / figure rendering for the paper-reproduction benches.
+//
+// Each function prints the same rows/series the paper reports and can
+// optionally dump a CSV for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace flashgen::core {
+
+/// The ten most severe ICI patterns of the paper's Table II, in paper order.
+const std::vector<std::string>& paper_table2_patterns();
+
+/// Table I: per-level and combined TV distance, one column per model.
+void print_tv_table(const Experiment& experiment,
+                    const std::vector<const ModelEvaluation*>& models);
+
+/// Table II: Type II error rates (WL and BL rows per source) for the given
+/// pattern labels; the "Measured" rows come from the experiment itself.
+void print_type2_table(const Experiment& experiment,
+                       const std::vector<const ModelEvaluation*>& models,
+                       const std::vector<std::string>& pattern_labels);
+
+/// Fig. 5: Type I error shares of the top `top_k` measured patterns (plus
+/// "others"), per direction, one column per source.
+void print_type1_shares(const Experiment& experiment,
+                        const std::vector<const ModelEvaluation*>& models, int top_k = 23);
+
+/// Fig. 1 / Fig. 4: writes per-level conditional PDFs of the measured data
+/// and every model to a CSV (columns: voltage, then one column per
+/// (source, level) pair), and prints a coarse textual summary (per-level
+/// modes and masses).
+void write_pdf_csv(const Experiment& experiment,
+                   const std::vector<const ModelEvaluation*>& models,
+                   const std::string& csv_path);
+
+/// Parses a pattern label like "707" into its pattern index.
+int pattern_from_label(const std::string& label);
+
+}  // namespace flashgen::core

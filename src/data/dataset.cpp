@@ -1,0 +1,161 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace flashgen::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+PairedDataset PairedDataset::generate_multi(const DatasetConfig& config,
+                                            const std::vector<double>& pe_conditions,
+                                            flashgen::Rng& rng) {
+  FG_CHECK(!pe_conditions.empty(), "generate_multi needs at least one PE condition");
+  PairedDataset combined(config, VoltageNormalizer(config.norm));
+  for (double pe : pe_conditions) {
+    DatasetConfig condition_config = config;
+    condition_config.pe_cycles = pe;
+    PairedDataset part = generate(condition_config, rng);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      combined.program_levels_.push_back(std::move(part.program_levels_[i]));
+      combined.voltages_.push_back(std::move(part.voltages_[i]));
+      combined.pe_of_array_.push_back(pe);
+    }
+  }
+  return combined;
+}
+
+PairedDataset PairedDataset::generate(const DatasetConfig& config, flashgen::Rng& rng) {
+  FG_CHECK(config.array_size > 0, "array_size must be positive");
+  FG_CHECK(config.num_arrays > 0, "num_arrays must be positive");
+  FG_CHECK(config.channel.rows >= config.array_size && config.channel.cols >= config.array_size,
+           "block (" << config.channel.rows << "x" << config.channel.cols
+                     << ") smaller than crop size " << config.array_size);
+
+  PairedDataset ds(config, VoltageNormalizer(config.norm));
+  ds.program_levels_.reserve(config.num_arrays);
+  ds.voltages_.reserve(config.num_arrays);
+
+  const flash::FlashChannel channel(config.channel);
+  const int crops_per_row = config.channel.rows / config.array_size;
+  const int crops_per_col = config.channel.cols / config.array_size;
+  const int crops_per_block = crops_per_row * crops_per_col;
+  FG_CHECK(crops_per_block > 0, "block yields no crops");
+
+  int produced = 0;
+  const float window_lo = static_cast<float>(config.norm.voltage_lo);
+  const float window_hi = static_cast<float>(config.norm.voltage_hi);
+  while (produced < config.num_arrays) {
+    flash::BlockObservation obs =
+        channel.run_experiment(config.pe_cycles, rng, config.retention_hours);
+    // The characterization recorder senses within a finite voltage window:
+    // deep-erased cells below it are clipped at the edge (the "normalization
+    // problem" the paper notes for program level 0).
+    for (float& v : obs.voltages.raw()) v = std::clamp(v, window_lo, window_hi);
+    for (int br = 0; br < crops_per_row && produced < config.num_arrays; ++br) {
+      for (int bc = 0; bc < crops_per_col && produced < config.num_arrays; ++bc) {
+        ds.program_levels_.push_back(obs.program_levels.crop(
+            br * config.array_size, bc * config.array_size, config.array_size,
+            config.array_size));
+        ds.voltages_.push_back(obs.voltages.crop(br * config.array_size,
+                                                 bc * config.array_size, config.array_size,
+                                                 config.array_size));
+        ds.pe_of_array_.push_back(config.pe_cycles);
+        ++produced;
+      }
+    }
+  }
+  FG_LOG(Debug) << "generated dataset: " << ds.size() << " arrays of "
+                << config.array_size << "x" << config.array_size << " at PE "
+                << config.pe_cycles;
+  return ds;
+}
+
+std::pair<Tensor, Tensor> PairedDataset::batch(std::span<const std::size_t> indices) const {
+  FG_CHECK(!indices.empty(), "empty batch");
+  const tensor::Index n = static_cast<tensor::Index>(indices.size());
+  const tensor::Index s = config_.array_size;
+  Tensor pl = Tensor::zeros(Shape{n, 1, s, s});
+  Tensor vl = Tensor::zeros(Shape{n, 1, s, s});
+  auto pl_data = pl.data();
+  auto vl_data = vl.data();
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    FG_CHECK(indices[b] < size(), "batch index " << indices[b] << " out of range");
+    const auto& levels = program_levels_[indices[b]];
+    const auto& volts = voltages_[indices[b]];
+    float* pdst = pl_data.data() + b * s * s;
+    float* vdst = vl_data.data() + b * s * s;
+    for (int r = 0; r < s; ++r)
+      for (int c = 0; c < s; ++c) {
+        pdst[r * s + c] = normalizer_.normalize_level(levels(r, c));
+        vdst[r * s + c] = normalizer_.normalize_voltage(volts(r, c));
+      }
+  }
+  return {pl, vl};
+}
+
+Tensor PairedDataset::batch_pe(std::span<const std::size_t> indices, double pe_scale) const {
+  FG_CHECK(!indices.empty(), "empty batch");
+  FG_CHECK(pe_scale > 0.0, "pe_scale must be positive");
+  Tensor pe = Tensor::zeros(Shape{static_cast<tensor::Index>(indices.size()), 1});
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    FG_CHECK(indices[b] < size(), "batch index " << indices[b] << " out of range");
+    pe.data()[b] =
+        static_cast<float>(std::min(1.0, pe_of_array_[indices[b]] / pe_scale));
+  }
+  return pe;
+}
+
+Tensor PairedDataset::levels_to_tensor(const flash::Grid<std::uint8_t>& levels) const {
+  const tensor::Index s = config_.array_size;
+  FG_CHECK(levels.rows() == s && levels.cols() == s,
+           "grid " << levels.rows() << "x" << levels.cols() << " does not match array size "
+                   << s);
+  Tensor pl = Tensor::zeros(Shape{1, 1, s, s});
+  auto data = pl.data();
+  for (int r = 0; r < s; ++r)
+    for (int c = 0; c < s; ++c) data[r * s + c] = normalizer_.normalize_level(levels(r, c));
+  return pl;
+}
+
+flash::Grid<float> PairedDataset::tensor_to_voltages(const Tensor& t) const {
+  const tensor::Index s = config_.array_size;
+  FG_CHECK(t.numel() == s * s,
+           "tensor with " << t.numel() << " elements is not a " << s << "x" << s << " array");
+  flash::Grid<float> grid(static_cast<int>(s), static_cast<int>(s));
+  auto data = t.data();
+  for (int r = 0; r < s; ++r)
+    for (int c = 0; c < s; ++c)
+      grid(r, c) = static_cast<float>(normalizer_.denormalize_voltage(data[r * s + c]));
+  return grid;
+}
+
+BatchSampler::BatchSampler(std::size_t dataset_size, std::size_t batch_size,
+                           flashgen::Rng& rng, bool drop_last)
+    : dataset_size_(dataset_size), batch_size_(batch_size), rng_(&rng), drop_last_(drop_last) {
+  FG_CHECK(batch_size_ > 0, "batch size must be positive");
+  FG_CHECK(dataset_size_ > 0, "dataset is empty");
+}
+
+std::vector<std::vector<std::size_t>> BatchSampler::epoch() {
+  std::vector<std::size_t> order(dataset_size_);
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher–Yates with our deterministic Rng.
+  for (std::size_t i = dataset_size_; i > 1; --i) {
+    const std::size_t j = rng_->uniform_int(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  std::vector<std::vector<std::size_t>> batches;
+  for (std::size_t start = 0; start < dataset_size_; start += batch_size_) {
+    const std::size_t end = std::min(dataset_size_, start + batch_size_);
+    if (drop_last_ && end - start < batch_size_) break;
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace flashgen::data

@@ -1,0 +1,100 @@
+// Paired (program level, voltage) datasets of 2-D crops, and mini-batching.
+//
+// Mirrors Section III-B of the paper: blocks are characterized at a fixed PE
+// cycle count, then cropped into non-overlapping size x size arrays that form
+// the training / evaluation sets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/normalization.h"
+#include "flash/channel.h"
+#include "tensor/tensor.h"
+
+namespace flashgen::data {
+
+struct DatasetConfig {
+  int array_size = 16;        // crop side length (paper uses 64)
+  int num_arrays = 1024;      // number of crops to generate
+  double pe_cycles = 4000.0;  // paper's characterization condition
+  double retention_hours = 0.0;
+  flash::FlashChannelConfig channel;
+  NormalizerConfig norm;
+};
+
+/// In-memory dataset of paired crops. Raw grids are kept (for evaluation in
+/// physical units) alongside the normalizer used for batching. Each array
+/// carries the PE condition it was characterized at: single-condition
+/// datasets (the paper's Section III setup) use `generate`, spatio-temporal
+/// datasets spanning several P/E conditions use `generate_multi`.
+class PairedDataset {
+ public:
+  /// Runs as many simulated block experiments as needed and crops them into
+  /// `config.num_arrays` non-overlapping arrays.
+  static PairedDataset generate(const DatasetConfig& config, flashgen::Rng& rng);
+
+  /// Generates `config.num_arrays` crops *per condition*, characterized at
+  /// each of the given PE cycle counts (config.pe_cycles is ignored).
+  static PairedDataset generate_multi(const DatasetConfig& config,
+                                      const std::vector<double>& pe_conditions,
+                                      flashgen::Rng& rng);
+
+  std::size_t size() const { return program_levels_.size(); }
+  int array_size() const { return config_.array_size; }
+  const DatasetConfig& config() const { return config_; }
+  const VoltageNormalizer& normalizer() const { return normalizer_; }
+
+  const std::vector<flash::Grid<std::uint8_t>>& program_levels() const {
+    return program_levels_;
+  }
+  const std::vector<flash::Grid<float>>& voltages() const { return voltages_; }
+
+  /// PE condition of each array (cycles).
+  const std::vector<double>& pe_of_array() const { return pe_of_array_; }
+
+  /// Builds a normalized NCHW batch (PL, VL), each (|indices|, 1, S, S).
+  std::pair<tensor::Tensor, tensor::Tensor> batch(std::span<const std::size_t> indices) const;
+
+  /// PE conditions of a batch, normalized to [0, 1] by `pe_scale` (cycles at
+  /// which the conditioning input saturates); shape (|indices|, 1).
+  tensor::Tensor batch_pe(std::span<const std::size_t> indices, double pe_scale) const;
+
+  /// Normalizes a single PL grid into a (1, 1, S, S) tensor.
+  tensor::Tensor levels_to_tensor(const flash::Grid<std::uint8_t>& levels) const;
+
+  /// Converts a generated (1, 1, S, S) or (S, S)-shaped tensor back to a
+  /// voltage grid in physical units.
+  flash::Grid<float> tensor_to_voltages(const tensor::Tensor& t) const;
+
+ private:
+  PairedDataset(DatasetConfig config, VoltageNormalizer normalizer)
+      : config_(std::move(config)), normalizer_(normalizer) {}
+
+  DatasetConfig config_;
+  VoltageNormalizer normalizer_;
+  std::vector<flash::Grid<std::uint8_t>> program_levels_;
+  std::vector<flash::Grid<float>> voltages_;
+  std::vector<double> pe_of_array_;
+};
+
+/// Epoch iteration over shuffled mini-batch index sets.
+class BatchSampler {
+ public:
+  BatchSampler(std::size_t dataset_size, std::size_t batch_size, flashgen::Rng& rng,
+               bool drop_last = true);
+
+  /// Index sets for one fresh epoch (reshuffled every call).
+  std::vector<std::vector<std::size_t>> epoch();
+
+ private:
+  std::size_t dataset_size_;
+  std::size_t batch_size_;
+  flashgen::Rng* rng_;
+  bool drop_last_;
+};
+
+}  // namespace flashgen::data

@@ -1,0 +1,38 @@
+#include "data/normalization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flashgen::data {
+
+VoltageNormalizer::VoltageNormalizer(const NormalizerConfig& config) : config_(config) {
+  FG_CHECK(config_.voltage_hi > config_.voltage_lo,
+           "voltage range is empty: [" << config_.voltage_lo << ", " << config_.voltage_hi
+                                       << "]");
+}
+
+float VoltageNormalizer::normalize_voltage(double voltage) const {
+  const double clamped = std::clamp(voltage, config_.voltage_lo, config_.voltage_hi);
+  const double unit = (clamped - config_.voltage_lo) / (config_.voltage_hi - config_.voltage_lo);
+  return static_cast<float>(2.0 * unit - 1.0);
+}
+
+double VoltageNormalizer::denormalize_voltage(float normalized) const {
+  const double unit = (static_cast<double>(normalized) + 1.0) / 2.0;
+  return config_.voltage_lo + unit * (config_.voltage_hi - config_.voltage_lo);
+}
+
+float VoltageNormalizer::normalize_level(int level) const {
+  FG_CHECK(level >= 0 && level < flash::kTlcLevels, "level out of range: " << level);
+  return static_cast<float>(level) / ((flash::kTlcLevels - 1) / 2.0f) - 1.0f;
+}
+
+int VoltageNormalizer::denormalize_level(float normalized) const {
+  const float raw = (normalized + 1.0f) * ((flash::kTlcLevels - 1) / 2.0f);
+  const int level = static_cast<int>(std::lround(raw));
+  return std::clamp(level, 0, flash::kTlcLevels - 1);
+}
+
+}  // namespace flashgen::data

@@ -1,0 +1,38 @@
+// Normalization between physical channel units and the [-1, 1] range the
+// generative nets operate in (paper Remark 1: single-channel 64x64 arrays,
+// tanh output head).
+#pragma once
+
+#include "flash/gray_code.h"
+
+namespace flashgen::data {
+
+struct NormalizerConfig {
+  // Fixed voltage range covering the TLC window with headroom; values
+  // outside are clamped during normalization (the paper likewise
+  // "pre-processes" erased-state voltages for normalization problems).
+  double voltage_lo = -350.0;
+  double voltage_hi = 950.0;
+};
+
+class VoltageNormalizer {
+ public:
+  explicit VoltageNormalizer(const NormalizerConfig& config = {});
+
+  /// Voltage -> [-1, 1], clamped at the configured range.
+  float normalize_voltage(double voltage) const;
+  /// [-1, 1] -> voltage.
+  double denormalize_voltage(float normalized) const;
+
+  /// Program level (0..7) -> [-1, 1].
+  float normalize_level(int level) const;
+  /// Nearest program level for a normalized input (used in round-trips).
+  int denormalize_level(float normalized) const;
+
+  const NormalizerConfig& config() const { return config_; }
+
+ private:
+  NormalizerConfig config_;
+};
+
+}  // namespace flashgen::data

@@ -1,0 +1,169 @@
+#include "ecc/bch.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace flashgen::ecc {
+
+BchCode::BchCode(int m, int t) : field_(m), t_(t) {
+  FG_CHECK(t >= 1, "BCH t must be >= 1, got " << t);
+  FG_CHECK(2 * t < field_.n(), "BCH t too large for n = " << field_.n());
+
+  // Generator polynomial: product of the distinct minimal polynomials of
+  // alpha^1 .. alpha^(2t). Work with coefficients in GF(2^m); the product of
+  // each full conjugacy coset has binary coefficients.
+  std::set<int> covered;
+  std::vector<std::uint32_t> gen = {1};  // polynomial over GF(2^m), LSB-first
+  for (int j = 1; j <= 2 * t; ++j) {
+    if (covered.count(j)) continue;
+    // Conjugacy coset of j: { j * 2^i mod n }.
+    std::vector<int> coset;
+    int e = j;
+    do {
+      coset.push_back(e);
+      covered.insert(e);
+      e = (2 * e) % field_.n();
+    } while (e != j);
+    // Minimal polynomial: prod (x + alpha^e) over the coset.
+    for (int exponent : coset) {
+      const std::uint32_t root = field_.alpha_pow(exponent);
+      std::vector<std::uint32_t> next(gen.size() + 1, 0);
+      for (std::size_t i = 0; i < gen.size(); ++i) {
+        next[i + 1] = Gf2m::add(next[i + 1], gen[i]);          // x * gen
+        next[i] = Gf2m::add(next[i], field_.mul(root, gen[i])); // root * gen
+      }
+      gen = std::move(next);
+    }
+  }
+  generator_.resize(gen.size());
+  for (std::size_t i = 0; i < gen.size(); ++i) {
+    FG_CHECK(gen[i] <= 1, "generator polynomial coefficient not binary");
+    generator_[i] = static_cast<std::uint8_t>(gen[i]);
+  }
+  k_ = n() - static_cast<int>(generator_.size()) + 1;
+  FG_CHECK(k_ > 0, "BCH(m=" << m << ", t=" << t << ") has no data bits");
+}
+
+Bits BchCode::encode(const Bits& data) const {
+  FG_CHECK(static_cast<int>(data.size()) == k_,
+           "encode expects " << k_ << " data bits, got " << data.size());
+  const int parity = parity_bits();
+  // Systematic: remainder of x^parity * d(x) divided by g(x).
+  Bits remainder(static_cast<std::size_t>(parity), 0);
+  for (int i = k_ - 1; i >= 0; --i) {
+    const std::uint8_t feedback =
+        data[static_cast<std::size_t>(i)] ^ remainder[static_cast<std::size_t>(parity - 1)];
+    for (int j = parity - 1; j > 0; --j) {
+      remainder[static_cast<std::size_t>(j)] =
+          remainder[static_cast<std::size_t>(j - 1)] ^
+          (feedback & generator_[static_cast<std::size_t>(j)]);
+    }
+    remainder[0] = feedback & generator_[0];
+  }
+  Bits codeword(static_cast<std::size_t>(n()), 0);
+  for (int i = 0; i < parity; ++i) codeword[static_cast<std::size_t>(i)] = remainder[i];
+  for (int i = 0; i < k_; ++i)
+    codeword[static_cast<std::size_t>(parity + i)] = data[static_cast<std::size_t>(i)];
+  return codeword;
+}
+
+Bits BchCode::extract_data(const Bits& codeword) const {
+  FG_CHECK(static_cast<int>(codeword.size()) == n(), "codeword must have n bits");
+  return Bits(codeword.begin() + parity_bits(), codeword.end());
+}
+
+std::vector<std::uint32_t> BchCode::syndromes(const Bits& received) const {
+  std::vector<std::uint32_t> s(static_cast<std::size_t>(2 * t_), 0);
+  for (int j = 1; j <= 2 * t_; ++j) {
+    std::uint32_t acc = 0;
+    for (int i = 0; i < n(); ++i) {
+      if (received[static_cast<std::size_t>(i)])
+        acc = Gf2m::add(acc, field_.alpha_pow(static_cast<long>(j) * i));
+    }
+    s[static_cast<std::size_t>(j - 1)] = acc;
+  }
+  return s;
+}
+
+DecodeResult BchCode::decode(const Bits& received) const {
+  FG_CHECK(static_cast<int>(received.size()) == n(),
+           "decode expects " << n() << " bits, got " << received.size());
+  DecodeResult result;
+  result.codeword = received;
+
+  const auto s = syndromes(received);
+  if (std::all_of(s.begin(), s.end(), [](std::uint32_t v) { return v == 0; })) {
+    result.success = true;
+    return result;
+  }
+
+  // Berlekamp–Massey: error-locator polynomial Lambda.
+  std::vector<std::uint32_t> lambda = {1};
+  std::vector<std::uint32_t> prev = {1};
+  int l = 0;
+  int shift = 1;
+  std::uint32_t prev_discrepancy = 1;
+  for (int r = 0; r < 2 * t_; ++r) {
+    std::uint32_t delta = s[static_cast<std::size_t>(r)];
+    for (int i = 1; i <= l && i < static_cast<int>(lambda.size()); ++i) {
+      if (r - i >= 0) {
+        delta = Gf2m::add(delta, field_.mul(lambda[static_cast<std::size_t>(i)],
+                                            s[static_cast<std::size_t>(r - i)]));
+      }
+    }
+    if (delta == 0) {
+      ++shift;
+      continue;
+    }
+    const std::uint32_t scale = field_.div(delta, prev_discrepancy);
+    std::vector<std::uint32_t> updated = lambda;
+    if (updated.size() < prev.size() + static_cast<std::size_t>(shift)) {
+      updated.resize(prev.size() + static_cast<std::size_t>(shift), 0);
+    }
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      updated[i + static_cast<std::size_t>(shift)] = Gf2m::add(
+          updated[i + static_cast<std::size_t>(shift)], field_.mul(scale, prev[i]));
+    }
+    if (2 * l <= r) {
+      prev = lambda;
+      prev_discrepancy = delta;
+      l = r + 1 - l;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+    lambda = std::move(updated);
+  }
+  while (!lambda.empty() && lambda.back() == 0) lambda.pop_back();
+  const int degree = static_cast<int>(lambda.size()) - 1;
+  if (degree <= 0 || degree > t_) return result;  // uncorrectable
+
+  // Chien search: error at position i iff Lambda(alpha^{-i}) == 0.
+  std::vector<int> error_positions;
+  for (int i = 0; i < n(); ++i) {
+    std::uint32_t acc = 0;
+    for (int d = 0; d < static_cast<int>(lambda.size()); ++d) {
+      if (lambda[static_cast<std::size_t>(d)] == 0) continue;
+      acc = Gf2m::add(acc, field_.mul(lambda[static_cast<std::size_t>(d)],
+                                      field_.alpha_pow(-static_cast<long>(d) * i)));
+    }
+    if (acc == 0) error_positions.push_back(i);
+  }
+  if (static_cast<int>(error_positions.size()) != degree) return result;  // failure
+
+  for (int pos : error_positions) result.codeword[static_cast<std::size_t>(pos)] ^= 1;
+  result.corrected = static_cast<int>(error_positions.size());
+
+  const auto check = syndromes(result.codeword);
+  result.success =
+      std::all_of(check.begin(), check.end(), [](std::uint32_t v) { return v == 0; });
+  if (!result.success) {
+    result.codeword = received;  // roll back a failed correction attempt
+    result.corrected = 0;
+  }
+  return result;
+}
+
+}  // namespace flashgen::ecc

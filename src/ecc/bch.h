@@ -1,0 +1,65 @@
+// Binary primitive BCH code over GF(2^m): systematic encoding and
+// Berlekamp-Massey + Chien-search decoding, correcting up to t bit errors in
+// a codeword of length n = 2^m - 1.
+//
+// This is the ECC substrate for model-based error-rate evaluation: the
+// paper's introduction motivates channel models precisely because they let
+// ECC frame-error rates be estimated without exhaustive silicon testing
+// (cf. Taranalli et al. 2016).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/gf2m.h"
+
+namespace flashgen::ecc {
+
+/// Bit vectors are LSB-first: bits[i] is the coefficient of x^i.
+using Bits = std::vector<std::uint8_t>;
+
+struct DecodeResult {
+  bool success = false;     // syndromes cleared after correction
+  int corrected = 0;        // number of bit positions flipped
+  Bits codeword;            // corrected codeword (n bits)
+};
+
+class BchCode {
+ public:
+  /// Primitive BCH code of length n = 2^m - 1 correcting up to t errors.
+  BchCode(int m, int t);
+
+  int n() const { return field_.n(); }
+  int k() const { return k_; }
+  int t() const { return t_; }
+  /// Parity bits per codeword.
+  int parity_bits() const { return n() - k(); }
+  /// Design code rate k/n.
+  double rate() const { return static_cast<double>(k_) / n(); }
+
+  /// Systematic encode: `data` must have exactly k bits. The returned
+  /// codeword stores parity in positions [0, n-k) and data in [n-k, n).
+  Bits encode(const Bits& data) const;
+
+  /// Extracts the data bits from a (corrected) codeword.
+  Bits extract_data(const Bits& codeword) const;
+
+  /// Decodes a received word of n bits. If more than t errors occurred the
+  /// decoder either reports failure or (rarely) miscorrects, as with any
+  /// bounded-distance decoder.
+  DecodeResult decode(const Bits& received) const;
+
+  const Gf2m& field() const { return field_; }
+  /// Generator polynomial coefficients, LSB-first (degree n - k).
+  const Bits& generator() const { return generator_; }
+
+ private:
+  std::vector<std::uint32_t> syndromes(const Bits& received) const;
+
+  Gf2m field_;
+  int t_;
+  int k_;
+  Bits generator_;
+};
+
+}  // namespace flashgen::ecc

@@ -1,0 +1,67 @@
+#include "ecc/gf2m.h"
+
+#include "common/error.h"
+
+namespace flashgen::ecc {
+
+namespace {
+// Standard primitive polynomials over GF(2), indexed by m (bit i = coeff x^i).
+constexpr std::uint32_t kPrimitive[] = {
+    0,      0,      0,
+    0b1011,           // m=3:  x^3 + x + 1
+    0b10011,          // m=4:  x^4 + x + 1
+    0b100101,         // m=5:  x^5 + x^2 + 1
+    0b1000011,        // m=6:  x^6 + x + 1
+    0b10001001,       // m=7:  x^7 + x^3 + 1
+    0b100011101,      // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b1000010001,     // m=9:  x^9 + x^4 + 1
+    0b10000001001,    // m=10: x^10 + x^3 + 1
+    0b100000000101,   // m=11: x^11 + x^2 + 1
+    0b1000001010011,  // m=12: x^12 + x^6 + x^4 + x + 1
+    0b10000000011011, // m=13: x^13 + x^4 + x^3 + x + 1
+};
+}  // namespace
+
+Gf2m::Gf2m(int m) : m_(m), n_((1 << m) - 1) {
+  FG_CHECK(m >= 3 && m <= 13, "GF(2^m) supported for 3 <= m <= 13, got " << m);
+  antilog_.resize(static_cast<std::size_t>(n_));
+  log_.assign(static_cast<std::size_t>(n_) + 1, -1);
+  const std::uint32_t poly = kPrimitive[m];
+  std::uint32_t value = 1;
+  for (int i = 0; i < n_; ++i) {
+    antilog_[static_cast<std::size_t>(i)] = value;
+    log_[value] = i;
+    value <<= 1;
+    if (value & (1u << m)) value ^= poly;
+  }
+  FG_CHECK(value == 1, "primitive polynomial failed to generate the field");
+}
+
+std::uint32_t Gf2m::mul(std::uint32_t a, std::uint32_t b) const {
+  if (a == 0 || b == 0) return 0;
+  return alpha_pow(log(a) + log(b));
+}
+
+std::uint32_t Gf2m::inv(std::uint32_t a) const {
+  FG_CHECK(a != 0, "inverse of zero in GF(2^m)");
+  return alpha_pow(n_ - log(a));
+}
+
+std::uint32_t Gf2m::div(std::uint32_t a, std::uint32_t b) const {
+  FG_CHECK(b != 0, "division by zero in GF(2^m)");
+  if (a == 0) return 0;
+  return alpha_pow(log(a) - log(b));
+}
+
+std::uint32_t Gf2m::alpha_pow(long e) const {
+  long reduced = e % n_;
+  if (reduced < 0) reduced += n_;
+  return antilog_[static_cast<std::size_t>(reduced)];
+}
+
+int Gf2m::log(std::uint32_t a) const {
+  FG_CHECK(a != 0 && a <= static_cast<std::uint32_t>(n_), "log of invalid element " << a);
+  return log_[a];
+}
+
+}  // namespace flashgen::ecc

@@ -1,0 +1,39 @@
+// Galois field GF(2^m) arithmetic via log/antilog tables, 3 <= m <= 13.
+// The workhorse under the BCH codec used for ECC evaluation on the flash
+// channel (hard errors from the simulator or from generated voltages).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flashgen::ecc {
+
+class Gf2m {
+ public:
+  /// Constructs the field with a standard primitive polynomial for `m`.
+  explicit Gf2m(int m);
+
+  int m() const { return m_; }
+  /// Number of nonzero elements (field order minus one): 2^m - 1.
+  int n() const { return n_; }
+
+  /// Addition/subtraction in characteristic 2.
+  static std::uint32_t add(std::uint32_t a, std::uint32_t b) { return a ^ b; }
+
+  std::uint32_t mul(std::uint32_t a, std::uint32_t b) const;
+  /// Multiplicative inverse; b must be nonzero.
+  std::uint32_t inv(std::uint32_t a) const;
+  std::uint32_t div(std::uint32_t a, std::uint32_t b) const;
+  /// alpha^e for any integer exponent (reduced mod 2^m - 1).
+  std::uint32_t alpha_pow(long e) const;
+  /// Discrete log base alpha; a must be nonzero.
+  int log(std::uint32_t a) const;
+
+ private:
+  int m_;
+  int n_;
+  std::vector<std::uint32_t> antilog_;  // alpha^i for i in [0, n)
+  std::vector<int> log_;                // inverse map; log_[0] unused
+};
+
+}  // namespace flashgen::ecc

@@ -1,0 +1,65 @@
+#include "eval/divergences.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flashgen::eval {
+
+namespace {
+void check_binning(const Histogram& p, const Histogram& q, const char* what) {
+  FG_CHECK(p.bins() == q.bins() && p.config().lo == q.config().lo &&
+               p.config().hi == q.config().hi,
+           what << " requires identical histogram binning");
+}
+
+std::vector<double> smoothed_pmf(const Histogram& h, double eps) {
+  auto pmf = h.pmf();
+  double total = 0.0;
+  for (double& v : pmf) {
+    v += eps;
+    total += v;
+  }
+  for (double& v : pmf) v /= total;
+  return pmf;
+}
+}  // namespace
+
+double kl_divergence(const Histogram& p, const Histogram& q, double eps) {
+  check_binning(p, q, "kl_divergence");
+  FG_CHECK(eps > 0.0, "kl_divergence smoothing must be positive");
+  const auto pp = smoothed_pmf(p, eps);
+  const auto qq = smoothed_pmf(q, eps);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pp.size(); ++i) acc += pp[i] * std::log(pp[i] / qq[i]);
+  return std::max(0.0, acc);
+}
+
+double js_divergence(const Histogram& p, const Histogram& q, double eps) {
+  check_binning(p, q, "js_divergence");
+  FG_CHECK(eps > 0.0, "js_divergence smoothing must be positive");
+  const auto pp = smoothed_pmf(p, eps);
+  const auto qq = smoothed_pmf(q, eps);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pp.size(); ++i) {
+    const double m = 0.5 * (pp[i] + qq[i]);
+    acc += 0.5 * pp[i] * std::log(pp[i] / m) + 0.5 * qq[i] * std::log(qq[i] / m);
+  }
+  return std::max(0.0, acc);
+}
+
+double wasserstein1(const Histogram& p, const Histogram& q) {
+  check_binning(p, q, "wasserstein1");
+  const auto pp = p.pmf();
+  const auto qq = q.pmf();
+  const double bin_width = (p.config().hi - p.config().lo) / p.bins();
+  double cdf_gap = 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pp.size(); ++i) {
+    cdf_gap += pp[i] - qq[i];
+    acc += std::fabs(cdf_gap) * bin_width;
+  }
+  return acc;
+}
+
+}  // namespace flashgen::eval

@@ -1,0 +1,21 @@
+// Additional distribution distances between voltage histograms, complementing
+// the paper's total-variation metric: KL divergence, Jensen-Shannon
+// divergence, and 1-D Wasserstein-1 (earth mover's) distance.
+#pragma once
+
+#include "eval/histogram.h"
+
+namespace flashgen::eval {
+
+/// KL(P || Q) over matching binnings, with additive smoothing `eps` applied
+/// to both PMFs so empty bins don't produce infinities. Nats.
+double kl_divergence(const Histogram& p, const Histogram& q, double eps = 1e-9);
+
+/// Jensen-Shannon divergence (symmetric, bounded by ln 2). Nats.
+double js_divergence(const Histogram& p, const Histogram& q, double eps = 1e-9);
+
+/// Wasserstein-1 distance between the two distributions, in voltage units:
+/// the integral of |CDF_P - CDF_Q| over the histogram range.
+double wasserstein1(const Histogram& p, const Histogram& q);
+
+}  // namespace flashgen::eval

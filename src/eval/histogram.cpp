@@ -1,0 +1,81 @@
+#include "eval/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flashgen::eval {
+
+Histogram::Histogram(const HistogramConfig& config) : config_(config) {
+  FG_CHECK(config_.bins > 0, "histogram needs at least one bin");
+  FG_CHECK(config_.hi > config_.lo, "histogram range is empty");
+  counts_.assign(static_cast<std::size_t>(config_.bins), 0);
+}
+
+int Histogram::bin_of(double value) const {
+  const double unit = (value - config_.lo) / (config_.hi - config_.lo);
+  const int bin = static_cast<int>(std::floor(unit * config_.bins));
+  return std::clamp(bin, 0, config_.bins - 1);
+}
+
+void Histogram::add(double value) {
+  ++counts_[static_cast<std::size_t>(bin_of(value))];
+  ++total_;
+}
+
+long Histogram::count(int bin) const {
+  FG_CHECK(bin >= 0 && bin < bins(), "bin " << bin << " out of range");
+  return counts_[static_cast<std::size_t>(bin)];
+}
+
+double Histogram::bin_center(int bin) const {
+  FG_CHECK(bin >= 0 && bin < bins(), "bin " << bin << " out of range");
+  const double width = (config_.hi - config_.lo) / config_.bins;
+  return config_.lo + (bin + 0.5) * width;
+}
+
+std::vector<double> Histogram::pmf() const {
+  std::vector<double> p(counts_.size(), 0.0);
+  if (total_ == 0) return p;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    p[i] = static_cast<double>(counts_[i]) / total_;
+  return p;
+}
+
+ConditionalHistograms::ConditionalHistograms(const HistogramConfig& config)
+    : per_level_{Histogram(config), Histogram(config), Histogram(config), Histogram(config),
+                 Histogram(config), Histogram(config), Histogram(config), Histogram(config)},
+      overall_(config) {}
+
+void ConditionalHistograms::add(int level, double voltage) {
+  FG_CHECK(level >= 0 && level < flash::kTlcLevels, "level out of range: " << level);
+  per_level_[static_cast<std::size_t>(level)].add(voltage);
+  overall_.add(voltage);
+}
+
+void ConditionalHistograms::add_grids(const flash::Grid<std::uint8_t>& levels,
+                                      const flash::Grid<float>& voltages) {
+  FG_CHECK(levels.rows() == voltages.rows() && levels.cols() == voltages.cols(),
+           "paired grids must have identical shapes");
+  for (int r = 0; r < levels.rows(); ++r)
+    for (int c = 0; c < levels.cols(); ++c) add(levels(r, c), voltages(r, c));
+}
+
+const Histogram& ConditionalHistograms::level(int level) const {
+  FG_CHECK(level >= 0 && level < flash::kTlcLevels, "level out of range: " << level);
+  return per_level_[static_cast<std::size_t>(level)];
+}
+
+double tv_distance(const Histogram& p, const Histogram& q) {
+  FG_CHECK(p.bins() == q.bins() && p.config().lo == q.config().lo &&
+               p.config().hi == q.config().hi,
+           "tv_distance requires identical histogram binning");
+  const auto pp = p.pmf();
+  const auto qq = q.pmf();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pp.size(); ++i) acc += std::fabs(pp[i] - qq[i]);
+  return 0.5 * acc;
+}
+
+}  // namespace flashgen::eval

@@ -1,0 +1,68 @@
+// Voltage histograms and conditional (per-program-level) PDF estimation —
+// the paper's first evaluation metric (Section IV, "PDF").
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "flash/grid.h"
+#include "flash/gray_code.h"
+
+namespace flashgen::eval {
+
+struct HistogramConfig {
+  double lo = -350.0;
+  double hi = 950.0;
+  int bins = 650;  // 2 DAC-step resolution over the default range
+};
+
+/// Fixed-range histogram; out-of-range samples are clamped into the edge bins
+/// (mirroring the paper's pre-processing of extreme erased-state voltages).
+class Histogram {
+ public:
+  explicit Histogram(const HistogramConfig& config = {});
+
+  void add(double value);
+  long total() const { return total_; }
+  int bins() const { return static_cast<int>(counts_.size()); }
+  long count(int bin) const;
+  /// Center voltage of a bin.
+  double bin_center(int bin) const;
+  /// Bin index for a voltage (clamped).
+  int bin_of(double value) const;
+  /// Probability mass function: counts normalized to sum 1 (all zeros if
+  /// the histogram is empty).
+  std::vector<double> pmf() const;
+
+  const HistogramConfig& config() const { return config_; }
+
+ private:
+  HistogramConfig config_;
+  std::vector<long> counts_;
+  long total_ = 0;
+};
+
+/// Per-level conditional histograms plus the overall (combined) histogram.
+class ConditionalHistograms {
+ public:
+  explicit ConditionalHistograms(const HistogramConfig& config = {});
+
+  void add(int level, double voltage);
+
+  /// Accumulates every cell of the paired grids.
+  void add_grids(const flash::Grid<std::uint8_t>& levels, const flash::Grid<float>& voltages);
+
+  const Histogram& level(int level) const;
+  const Histogram& overall() const { return overall_; }
+
+ private:
+  std::array<Histogram, flash::kTlcLevels> per_level_;
+  Histogram overall_;
+};
+
+/// Total variation distance between two histograms over the same binning:
+/// d_TV = 1/2 * sum_bins |p - q|. Requires matching configs.
+double tv_distance(const Histogram& p, const Histogram& q);
+
+}  // namespace flashgen::eval

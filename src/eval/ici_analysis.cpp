@@ -1,0 +1,95 @@
+#include "eval/ici_analysis.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace flashgen::eval {
+
+int pattern_index(int first, int second) {
+  FG_CHECK(first >= 0 && first < flash::kTlcLevels && second >= 0 &&
+               second < flash::kTlcLevels,
+           "neighbor levels out of range: " << first << ", " << second);
+  return flash::kTlcLevels * first + second;
+}
+
+std::string pattern_label(int pattern) {
+  FG_CHECK(pattern >= 0 && pattern < kIciPatterns, "pattern index out of range: " << pattern);
+  const int first = pattern / flash::kTlcLevels;
+  const int second = pattern % flash::kTlcLevels;
+  return std::to_string(first) + "0" + std::to_string(second);
+}
+
+long IciPatternStats::total_occurrences() const {
+  return std::accumulate(occurrences.begin(), occurrences.end(), 0L);
+}
+
+long IciPatternStats::total_errors() const {
+  return std::accumulate(errors.begin(), errors.end(), 0L);
+}
+
+double IciPatternStats::type1(int pattern) const {
+  FG_CHECK(pattern >= 0 && pattern < kIciPatterns, "pattern index out of range");
+  const long total = total_errors();
+  return total > 0 ? static_cast<double>(errors[static_cast<std::size_t>(pattern)]) / total
+                   : 0.0;
+}
+
+double IciPatternStats::type2(int pattern) const {
+  FG_CHECK(pattern >= 0 && pattern < kIciPatterns, "pattern index out of range");
+  const long occ = occurrences[static_cast<std::size_t>(pattern)];
+  return occ > 0 ? static_cast<double>(errors[static_cast<std::size_t>(pattern)]) / occ : 0.0;
+}
+
+IciAnalysis analyze_ici(std::span<const flash::Grid<std::uint8_t>> program_levels,
+                        std::span<const flash::Grid<float>> voltages, double vth0) {
+  FG_CHECK(program_levels.size() == voltages.size(),
+           "paired grid lists differ in length: " << program_levels.size() << " vs "
+                                                  << voltages.size());
+  IciAnalysis analysis;
+  analysis.vth0 = vth0;
+  for (std::size_t g = 0; g < program_levels.size(); ++g) {
+    const auto& pl = program_levels[g];
+    const auto& vl = voltages[g];
+    FG_CHECK(pl.rows() == vl.rows() && pl.cols() == vl.cols(),
+             "paired grids must have identical shapes");
+    // Interior cells only: both neighbors must exist in the scanned direction.
+    for (int r = 1; r + 1 < pl.rows(); ++r) {
+      for (int c = 1; c + 1 < pl.cols(); ++c) {
+        if (pl(r, c) != 0) continue;  // victims are level-0 cells
+        const bool error = vl(r, c) > vth0;
+        const int wl = pattern_index(pl(r, c - 1), pl(r, c + 1));
+        const int bl = pattern_index(pl(r - 1, c), pl(r + 1, c));
+        ++analysis.wordline.occurrences[static_cast<std::size_t>(wl)];
+        ++analysis.bitline.occurrences[static_cast<std::size_t>(bl)];
+        if (error) {
+          ++analysis.wordline.errors[static_cast<std::size_t>(wl)];
+          ++analysis.bitline.errors[static_cast<std::size_t>(bl)];
+        }
+      }
+    }
+  }
+  return analysis;
+}
+
+std::vector<int> rank_patterns_by_type1(const IciPatternStats& stats) {
+  std::vector<int> order(kIciPatterns);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&stats](int a, int b) {
+    return stats.errors[static_cast<std::size_t>(a)] > stats.errors[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+std::vector<int> rank_patterns_by_type2(const IciPatternStats& stats, long min_occurrences) {
+  std::vector<int> order;
+  for (int p = 0; p < kIciPatterns; ++p) {
+    if (stats.occurrences[static_cast<std::size_t>(p)] >= min_occurrences) order.push_back(p);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&stats](int a, int b) { return stats.type2(a) > stats.type2(b); });
+  return order;
+}
+
+}  // namespace flashgen::eval

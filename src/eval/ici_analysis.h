@@ -1,0 +1,64 @@
+// Pattern-dependent ICI error statistics — the paper's second evaluation
+// metric (Section IV-B, Fig. 5 and Table II).
+//
+// For interior victim cells programmed to level 0, the surrounding pattern is
+// the pair of neighbor program levels in the wordline direction
+// (PL_{i,j-1}, PL_{i,j+1}) or the bitline direction (PL_{i-1,j}, PL_{i+1,j});
+// an error occurs when the victim's read voltage exceeds the level-0/1
+// threshold Vth0. 64 patterns exist per direction.
+//
+//   Type I  = P(pattern | error)   — how errors distribute across patterns
+//   Type II = P(error | pattern)   — how dangerous each pattern is
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flash/grid.h"
+#include "flash/gray_code.h"
+
+namespace flashgen::eval {
+
+inline constexpr int kIciPatterns = flash::kTlcLevels * flash::kTlcLevels;  // 64
+
+/// Encodes a neighbor pair as 8 * first + second, where first = left (WL) or
+/// up (BL) and second = right (WL) or down (BL).
+int pattern_index(int first, int second);
+
+/// "first 0 second" label, e.g. pattern (7, 7) -> "707".
+std::string pattern_label(int pattern);
+
+/// Per-direction counters.
+struct IciPatternStats {
+  std::array<long, kIciPatterns> occurrences{};
+  std::array<long, kIciPatterns> errors{};
+
+  long total_occurrences() const;
+  long total_errors() const;
+  /// P(pattern | error); 0 when no errors were observed.
+  double type1(int pattern) const;
+  /// P(error | pattern); 0 when the pattern never occurred.
+  double type2(int pattern) const;
+};
+
+struct IciAnalysis {
+  IciPatternStats wordline;
+  IciPatternStats bitline;
+  double vth0 = 0.0;  // threshold used for the error decision
+};
+
+/// Scans paired (PL, VL) grids and accumulates both directions' statistics.
+IciAnalysis analyze_ici(std::span<const flash::Grid<std::uint8_t>> program_levels,
+                        std::span<const flash::Grid<float>> voltages, double vth0);
+
+/// Pattern indices sorted by descending Type I probability (error share).
+std::vector<int> rank_patterns_by_type1(const IciPatternStats& stats);
+
+/// Pattern indices sorted by descending Type II probability (error rate),
+/// considering only patterns with at least `min_occurrences` observations.
+std::vector<int> rank_patterns_by_type2(const IciPatternStats& stats,
+                                        long min_occurrences = 1);
+
+}  // namespace flashgen::eval

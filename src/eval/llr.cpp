@@ -1,0 +1,71 @@
+#include "eval/llr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flashgen::eval {
+
+LlrTable::LlrTable(const ConditionalHistograms& hists, flash::Page page, double clamp,
+                   double eps)
+    : page_(page), binning_(hists.overall().config()) {
+  FG_CHECK(clamp > 0.0, "LLR clamp must be positive");
+  FG_CHECK(eps > 0.0, "LLR smoothing must be positive");
+  const int bins = hists.overall().bins();
+  std::vector<double> density_one(bins, eps);
+  std::vector<double> density_zero(bins, eps);
+  // Uniform level priors: pseudo-random data makes every level equally
+  // likely, so the bit-conditional density is the mean of the member levels'
+  // conditional PMFs.
+  int levels_one = 0, levels_zero = 0;
+  for (int level = 0; level < flash::kTlcLevels; ++level) {
+    const bool is_one = flash::level_to_bits(level)[page] == 1;
+    (is_one ? levels_one : levels_zero) += 1;
+  }
+  FG_CHECK(levels_one > 0 && levels_zero > 0, "page maps all levels to one bit value");
+  for (int level = 0; level < flash::kTlcLevels; ++level) {
+    const auto pmf = hists.level(level).pmf();
+    const bool is_one = flash::level_to_bits(level)[page] == 1;
+    auto& density = is_one ? density_one : density_zero;
+    const double weight = 1.0 / (is_one ? levels_one : levels_zero);
+    for (int b = 0; b < bins; ++b) density[static_cast<std::size_t>(b)] += weight * pmf[b];
+  }
+  llr_.resize(static_cast<std::size_t>(bins));
+  for (int b = 0; b < bins; ++b) {
+    const double raw = std::log(density_one[b]) - std::log(density_zero[b]);
+    llr_[static_cast<std::size_t>(b)] = std::clamp(raw, -clamp, clamp);
+  }
+}
+
+double LlrTable::at(double voltage) const {
+  const double unit = (voltage - binning_.lo) / (binning_.hi - binning_.lo);
+  const int bin =
+      std::clamp(static_cast<int>(std::floor(unit * binning_.bins)), 0, binning_.bins - 1);
+  return llr_[static_cast<std::size_t>(bin)];
+}
+
+double llr_page_error_rate(const LlrTable& table,
+                           std::span<const flash::Grid<std::uint8_t>> program_levels,
+                           std::span<const flash::Grid<float>> voltages) {
+  FG_CHECK(program_levels.size() == voltages.size(),
+           "paired grid lists differ in length");
+  long cells = 0;
+  long errors = 0;
+  for (std::size_t g = 0; g < program_levels.size(); ++g) {
+    const auto& pl = program_levels[g];
+    const auto& vl = voltages[g];
+    FG_CHECK(pl.rows() == vl.rows() && pl.cols() == vl.cols(),
+             "paired grids must have identical shapes");
+    for (int r = 0; r < pl.rows(); ++r)
+      for (int c = 0; c < pl.cols(); ++c) {
+        const int stored = flash::level_to_bits(pl(r, c))[table.page()];
+        const int detected = table.hard_bit(vl(r, c));
+        ++cells;
+        errors += (stored != detected);
+      }
+  }
+  return cells > 0 ? static_cast<double>(errors) / cells : 0.0;
+}
+
+}  // namespace flashgen::eval

@@ -1,0 +1,53 @@
+// Soft-read log-likelihood ratios (LLRs) from estimated conditional PDFs.
+//
+// A soft-decision ECC decoder (e.g. LDPC) consumes, for each page bit, the
+// log-ratio of the bit being 1 vs 0 given the cell's soft read voltage:
+//
+//   LLR_page(v) = log  P(v | bit(page) = 1) / P(v | bit(page) = 0)
+//
+// with the bit-conditional densities obtained by mixing the per-level
+// conditional PDFs through the Gray page mapping (uniform level priors, as
+// with pseudo-random data). This is a primary downstream consumer of the
+// generative channel model: LLR tables can be computed from *generated*
+// voltages without densely soft-reading real silicon.
+#pragma once
+
+#include <vector>
+
+#include "eval/histogram.h"
+#include "flash/gray_code.h"
+
+namespace flashgen::eval {
+
+/// Per-voltage-bin LLRs for one page.
+class LlrTable {
+ public:
+  /// Builds the table from per-level conditional histograms. `clamp` bounds
+  /// |LLR| (decoder saturation); `eps` smooths empty bins.
+  LlrTable(const ConditionalHistograms& hists, flash::Page page, double clamp = 20.0,
+           double eps = 1e-9);
+
+  /// LLR for a voltage (nearest-bin lookup, clamped to the table range).
+  double at(double voltage) const;
+
+  flash::Page page() const { return page_; }
+  int bins() const { return static_cast<int>(llr_.size()); }
+  const std::vector<double>& values() const { return llr_; }
+
+  /// Hard decision implied by the soft value: bit = 1 iff LLR > 0.
+  int hard_bit(double voltage) const { return at(voltage) > 0.0 ? 1 : 0; }
+
+ private:
+  flash::Page page_;
+  HistogramConfig binning_;
+  std::vector<double> llr_;
+};
+
+/// Fraction of cells whose sign(LLR) disagrees with the stored page bit —
+/// the soft-detection page BER implied by a (possibly generated) channel
+/// characterization, evaluated against paired (PL, VL) grids.
+double llr_page_error_rate(const LlrTable& table,
+                           std::span<const flash::Grid<std::uint8_t>> program_levels,
+                           std::span<const flash::Grid<float>> voltages);
+
+}  // namespace flashgen::eval

@@ -1,0 +1,79 @@
+#include "eval/thresholds.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace flashgen::eval {
+
+namespace {
+
+// Moving-average smoothing keeps the log-PDF crossing search robust against
+// empty bins in the tails.
+std::vector<double> smooth(const std::vector<double>& pmf, int window) {
+  if (window <= 1) return pmf;
+  std::vector<double> out(pmf.size(), 0.0);
+  const int half = window / 2;
+  for (int i = 0; i < static_cast<int>(pmf.size()); ++i) {
+    double acc = 0.0;
+    int n = 0;
+    for (int j = std::max(0, i - half); j <= std::min<int>(pmf.size() - 1, i + half); ++j) {
+      acc += pmf[static_cast<std::size_t>(j)];
+      ++n;
+    }
+    out[static_cast<std::size_t>(i)] = acc / n;
+  }
+  return out;
+}
+
+int argmax(const std::vector<double>& v) {
+  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
+
+flash::Thresholds thresholds_from_histograms(const ConditionalHistograms& hists,
+                                             int smoothing_window) {
+  FG_CHECK(smoothing_window >= 1, "smoothing window must be >= 1");
+  flash::Thresholds thresholds{};
+  std::array<std::vector<double>, flash::kTlcLevels> pdfs;
+  for (int level = 0; level < flash::kTlcLevels; ++level) {
+    pdfs[level] = smooth(hists.level(level).pmf(), smoothing_window);
+  }
+  const Histogram& ref = hists.level(0);
+  double previous = ref.config().lo;
+  for (int k = 0; k + 1 < flash::kTlcLevels; ++k) {
+    const auto& lower = pdfs[k];
+    const auto& upper = pdfs[k + 1];
+    const int peak_lo = argmax(lower);
+    const int peak_hi = argmax(upper);
+    double threshold;
+    if (peak_lo < peak_hi) {
+      // First bin between the modes where the upper-level PDF overtakes the
+      // lower-level PDF — the log-scale intersection of the paper's figures.
+      int crossing = -1;
+      for (int b = peak_lo; b <= peak_hi; ++b) {
+        if (upper[static_cast<std::size_t>(b)] >= lower[static_cast<std::size_t>(b)]) {
+          crossing = b;
+          break;
+        }
+      }
+      threshold = ref.bin_center(crossing >= 0 ? crossing : (peak_lo + peak_hi) / 2);
+    } else {
+      // Degenerate (e.g. one distribution empty): midpoint of the modes.
+      threshold = 0.5 * (ref.bin_center(peak_lo) + ref.bin_center(peak_hi));
+    }
+    // Enforce strict monotonicity so downstream detection stays valid.
+    if (threshold <= previous) {
+      const double bin_width = (ref.config().hi - ref.config().lo) / ref.bins();
+      threshold = previous + bin_width;
+    }
+    thresholds[static_cast<std::size_t>(k)] = threshold;
+    previous = threshold;
+  }
+  flash::validate_thresholds(thresholds);
+  return thresholds;
+}
+
+}  // namespace flashgen::eval

@@ -1,0 +1,21 @@
+// Hard-read threshold derivation from estimated conditional PDFs.
+//
+// As in the paper (Section IV-A), the threshold separating adjacent program
+// levels is placed at the intersection of their conditional PDFs in the
+// logarithmic scale — i.e. the voltage between the two modes where the two
+// (smoothed) PDFs cross.
+#pragma once
+
+#include "eval/histogram.h"
+#include "flash/read.h"
+
+namespace flashgen::eval {
+
+/// Derives the 7 thresholds from conditional histograms. Each threshold is
+/// the crossing of smoothed adjacent-level PDFs between their modes, falling
+/// back to the midpoint of the modes when the crossing is degenerate (e.g.
+/// empty histograms).
+flash::Thresholds thresholds_from_histograms(const ConditionalHistograms& hists,
+                                             int smoothing_window = 5);
+
+}  // namespace flashgen::eval

@@ -1,0 +1,71 @@
+#include "flash/channel.h"
+
+namespace flashgen::flash {
+
+FlashChannel::FlashChannel(const FlashChannelConfig& config)
+    : config_(config),
+      voltage_model_(config.voltage),
+      ici_model_(config.ici, voltage_model_) {
+  FG_CHECK(config_.rows > 0 && config_.cols > 0,
+           "block dimensions must be positive: " << config_.rows << "x" << config_.cols);
+  FG_CHECK(config_.read_noise_stddev >= 0.0, "read noise stddev must be non-negative");
+  FG_CHECK(config_.program_error_rate >= 0.0 && config_.program_error_rate < 1.0,
+           "program error rate must be in [0, 1)");
+}
+
+BlockObservation FlashChannel::run_experiment(double pe_cycles, flashgen::Rng& rng,
+                                              double retention_hours) const {
+  Grid<std::uint8_t> levels(config_.rows, config_.cols);
+  for (int r = 0; r < config_.rows; ++r)
+    for (int c = 0; c < config_.cols; ++c)
+      levels(r, c) = static_cast<std::uint8_t>(rng.uniform_int(kTlcLevels));
+  return read_programmed(levels, pe_cycles, rng, retention_hours);
+}
+
+BlockObservation FlashChannel::read_programmed(const Grid<std::uint8_t>& program_levels,
+                                               double pe_cycles, flashgen::Rng& rng,
+                                               double retention_hours) const {
+  FG_CHECK(!program_levels.empty(), "cannot read an empty block");
+  const int rows = program_levels.rows();
+  const int cols = program_levels.cols();
+
+  BlockObservation obs;
+  obs.program_levels = program_levels;
+  obs.voltages = Grid<float>(rows, cols);
+  obs.pe_cycles = pe_cycles;
+  obs.retention_hours = retention_hours;
+
+  // ICI acts on the *actually programmed* levels, which occasionally differ
+  // from the intended ones (programming errors).
+  Grid<std::uint8_t> actual = program_levels;
+  if (config_.program_error_rate > 0.0) {
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < cols; ++c) {
+        if (!rng.bernoulli(config_.program_error_rate)) continue;
+        const int level = actual(r, c);
+        int neighbor_level;
+        if (level == 0) {
+          neighbor_level = 1;
+        } else if (level == kTlcLevels - 1) {
+          neighbor_level = kTlcLevels - 2;
+        } else {
+          neighbor_level = rng.bernoulli(0.5) ? level - 1 : level + 1;
+        }
+        actual(r, c) = static_cast<std::uint8_t>(neighbor_level);
+      }
+  }
+
+  const Grid<float> ici = ici_model_.compute_shifts(actual, pe_cycles, rng);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double cell_wear = voltage_model_.sample_cell_wear(rng);
+      double v = voltage_model_.sample(actual(r, c), pe_cycles, retention_hours, cell_wear, rng);
+      v += ici(r, c);
+      if (config_.read_noise_stddev > 0.0) v += rng.normal(0.0, config_.read_noise_stddev);
+      obs.voltages(r, c) = static_cast<float>(v);
+    }
+  }
+  return obs;
+}
+
+}  // namespace flashgen::flash

@@ -1,0 +1,68 @@
+// FlashChannel: end-to-end TLC NAND block simulator.
+//
+// Reproduces the paper's characterization procedure (Section II-A):
+//   1) erase the block, 2) program all pages with pseudo-random data,
+//   3) cycle to the requested PE count, 4) read back soft voltages,
+//   5) record (program level, read voltage) for every cell.
+//
+// The voltage of a cell is composed as
+//   VL = base(PL, PE, retention, cell_wear)   [voltage_model.h]
+//      + ICI shift from the four neighbors    [ici.h]
+//      + read noise
+// with rare programming errors (cell lands on an adjacent level) included.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "flash/grid.h"
+#include "flash/ici.h"
+#include "flash/voltage_model.h"
+
+namespace flashgen::flash {
+
+/// One characterized block: paired channel input (program levels) and output
+/// (soft read voltages) at a PE condition.
+struct BlockObservation {
+  Grid<std::uint8_t> program_levels;
+  Grid<float> voltages;
+  double pe_cycles = 0.0;
+  double retention_hours = 0.0;
+};
+
+struct FlashChannelConfig {
+  int rows = 128;                    // wordlines per simulated block
+  int cols = 128;                    // bitlines per simulated block
+  VoltageModelConfig voltage = default_tlc_voltage_config();
+  IciConfig ici;
+  double read_noise_stddev = 4.0;    // sense-amp quantization / comparator noise
+  double program_error_rate = 3e-4;  // probability a cell lands on an adjacent level
+};
+
+class FlashChannel {
+ public:
+  explicit FlashChannel(const FlashChannelConfig& config);
+
+  /// Programs the block with uniform pseudo-random levels (random page data
+  /// through the Gray map is level-uniform) and reads it back after
+  /// `pe_cycles` P/E cycles and `retention_hours` of data retention.
+  BlockObservation run_experiment(double pe_cycles, flashgen::Rng& rng,
+                                  double retention_hours = 0.0) const;
+
+  /// Reads back voltages for a caller-supplied array of program levels
+  /// (used to stress specific ICI patterns).
+  BlockObservation read_programmed(const Grid<std::uint8_t>& program_levels,
+                                   double pe_cycles, flashgen::Rng& rng,
+                                   double retention_hours = 0.0) const;
+
+  const FlashChannelConfig& config() const { return config_; }
+  const VoltageModel& voltage_model() const { return voltage_model_; }
+  const IciModel& ici_model() const { return ici_model_; }
+
+ private:
+  FlashChannelConfig config_;
+  VoltageModel voltage_model_;
+  IciModel ici_model_;
+};
+
+}  // namespace flashgen::flash

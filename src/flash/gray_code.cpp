@@ -1,0 +1,59 @@
+#include "flash/gray_code.h"
+
+#include "common/error.h"
+
+namespace flashgen::flash {
+
+namespace {
+// (lower, middle, upper) bits per level; standard 2-3-2 TLC Gray map.
+constexpr std::uint8_t kMap[kTlcLevels][kTlcBitsPerCell] = {
+    {1, 1, 1},  // L0 (erased)
+    {1, 1, 0},  // L1
+    {1, 0, 0},  // L2
+    {0, 0, 0},  // L3
+    {0, 1, 0},  // L4
+    {0, 1, 1},  // L5
+    {0, 0, 1},  // L6
+    {1, 0, 1},  // L7
+};
+}  // namespace
+
+CellBits level_to_bits(int level) {
+  FG_CHECK(level >= 0 && level < kTlcLevels, "TLC level out of range: " << level);
+  return CellBits{{kMap[level][0], kMap[level][1], kMap[level][2]}};
+}
+
+int bits_to_level(const CellBits& bits) {
+  for (int level = 0; level < kTlcLevels; ++level) {
+    if (level_to_bits(level) == bits) return level;
+  }
+  FG_CHECK(false, "bit pattern (" << int(bits.bits[0]) << "," << int(bits.bits[1]) << ","
+                                  << int(bits.bits[2]) << ") is not in the TLC Gray code");
+  return -1;  // unreachable
+}
+
+std::array<int, 3> page_threshold_boundaries(Page page, int* count) {
+  std::array<int, 3> boundaries{};
+  int n = 0;
+  const int p = static_cast<int>(page);
+  for (int b = 0; b + 1 < kTlcLevels; ++b) {
+    if (kMap[b][p] != kMap[b + 1][p]) {
+      FG_CHECK(n < 3, "page has more than 3 threshold boundaries");
+      boundaries[n++] = b;
+    }
+  }
+  if (count != nullptr) *count = n;
+  return boundaries;
+}
+
+int gray_adjacency_violations() {
+  int violations = 0;
+  for (int b = 0; b + 1 < kTlcLevels; ++b) {
+    int diff = 0;
+    for (int p = 0; p < kTlcBitsPerCell; ++p) diff += (kMap[b][p] != kMap[b + 1][p]);
+    if (diff != 1) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace flashgen::flash

@@ -1,0 +1,39 @@
+// Gray-code mapping between TLC program levels and (lower, middle, upper)
+// page bits, following the standard 2-3-2 TLC mapping (2 read thresholds on
+// the lower page, 3 on the middle, 2 on the upper).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace flashgen::flash {
+
+/// Page roles within a TLC wordline.
+enum class Page : int { Lower = 0, Middle = 1, Upper = 2 };
+
+inline constexpr int kTlcLevels = 8;
+inline constexpr int kTlcBitsPerCell = 3;
+
+/// Bit pattern stored by one cell, indexed by Page.
+struct CellBits {
+  std::array<std::uint8_t, kTlcBitsPerCell> bits;
+  std::uint8_t operator[](Page p) const { return bits[static_cast<int>(p)]; }
+  bool operator==(const CellBits&) const = default;
+};
+
+/// Maps a TLC program level (0..7) to its Gray-coded page bits.
+CellBits level_to_bits(int level);
+
+/// Inverse mapping; throws for bit patterns outside the code.
+int bits_to_level(const CellBits& bits);
+
+/// The bit stored on `page` across levels changes value at a subset of the 7
+/// level boundaries; those are the page's read thresholds. Returns the sorted
+/// boundary indices b where the bit differs between level b and b+1.
+std::array<int, 3> page_threshold_boundaries(Page page, int* count);
+
+/// Number of adjacent-level transitions whose bits differ in exactly one
+/// position (Gray property): must be 7 for a valid TLC Gray code.
+int gray_adjacency_violations();
+
+}  // namespace flashgen::flash

@@ -1,0 +1,65 @@
+// Grid<T>: dense row-major 2-D array used for blocks of cells.
+// Row index = wordline (WL), column index = bitline (BL), matching the block
+// schematic in the paper (WLs horizontal, BLs vertical).
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace flashgen::flash {
+
+template <typename T>
+class Grid {
+ public:
+  Grid() = default;
+  Grid(int rows, int cols, T fill = T{}) : rows_(rows), cols_(cols) {
+    FG_CHECK(rows >= 0 && cols >= 0, "Grid dimensions must be non-negative");
+    cells_.assign(static_cast<std::size_t>(rows) * cols, fill);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return cells_.empty(); }
+
+  T& at(int r, int c) {
+    check_bounds(r, c);
+    return cells_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  const T& at(int r, int c) const {
+    check_bounds(r, c);
+    return cells_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  /// Unchecked fast path for hot loops.
+  T& operator()(int r, int c) { return cells_[static_cast<std::size_t>(r) * cols_ + c]; }
+  const T& operator()(int r, int c) const {
+    return cells_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  const std::vector<T>& raw() const { return cells_; }
+  std::vector<T>& raw() { return cells_; }
+
+  /// Copies the [r0, r0+h) x [c0, c0+w) window into a new grid.
+  Grid<T> crop(int r0, int c0, int h, int w) const {
+    FG_CHECK(r0 >= 0 && c0 >= 0 && h >= 0 && w >= 0 && r0 + h <= rows_ && c0 + w <= cols_,
+             "crop window (" << r0 << "," << c0 << "," << h << "," << w
+                             << ") out of bounds for " << rows_ << "x" << cols_ << " grid");
+    Grid<T> out(h, w);
+    for (int r = 0; r < h; ++r)
+      for (int c = 0; c < w; ++c) out(r, c) = (*this)(r0 + r, c0 + c);
+    return out;
+  }
+
+ private:
+  void check_bounds(int r, int c) const {
+    FG_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+             "grid index (" << r << "," << c << ") out of bounds for " << rows_ << "x"
+                            << cols_);
+  }
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> cells_;
+};
+
+}  // namespace flashgen::flash

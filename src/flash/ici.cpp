@@ -1,0 +1,61 @@
+#include "flash/ici.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flashgen::flash {
+
+IciModel::IciModel(const IciConfig& config, const VoltageModel& voltage_model)
+    : config_(config), voltage_model_(&voltage_model) {
+  FG_CHECK(config_.gamma_wl >= 0.0 && config_.gamma_bl >= 0.0,
+           "ICI coupling ratios must be non-negative");
+  FG_CHECK(config_.noise >= 0.0, "ICI noise must be non-negative");
+  FG_CHECK(config_.swing_exponent > 0.0, "ICI swing exponent must be positive");
+}
+
+double IciModel::aggressor_swing(int level, double pe_cycles) const {
+  if (level <= 0) return 0.0;  // erased neighbors do not disturb
+  const double erased = voltage_model_->level_mean(0, pe_cycles);
+  const double swing = voltage_model_->level_mean(level, pe_cycles) - erased;
+  return swing > 0.0 ? std::pow(swing, config_.swing_exponent) : 0.0;
+}
+
+double IciModel::one_neighbor(double gamma, int level, double pe_cycles) const {
+  if (level < 0) return 0.0;  // block edge
+  return gamma * aggressor_swing(level, pe_cycles);
+}
+
+double IciModel::expected_shift(int left, int right, int up, int down,
+                                double pe_cycles) const {
+  return one_neighbor(config_.gamma_wl, left, pe_cycles) +
+         one_neighbor(config_.gamma_wl, right, pe_cycles) +
+         one_neighbor(config_.gamma_bl, up, pe_cycles) +
+         one_neighbor(config_.gamma_bl, down, pe_cycles);
+}
+
+Grid<float> IciModel::compute_shifts(const Grid<std::uint8_t>& program_levels,
+                                     double pe_cycles, flashgen::Rng& rng) const {
+  const int rows = program_levels.rows();
+  const int cols = program_levels.cols();
+  Grid<float> shifts(rows, cols, 0.0f);
+  auto jitter = [&rng, this]() {
+    return config_.noise > 0.0 ? 1.0 + rng.normal(0.0, config_.noise) : 1.0;
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int left = c > 0 ? program_levels(r, c - 1) : -1;
+      const int right = c + 1 < cols ? program_levels(r, c + 1) : -1;
+      const int up = r > 0 ? program_levels(r - 1, c) : -1;
+      const int down = r + 1 < rows ? program_levels(r + 1, c) : -1;
+      double shift = one_neighbor(config_.gamma_wl, left, pe_cycles) * jitter() +
+                     one_neighbor(config_.gamma_wl, right, pe_cycles) * jitter() +
+                     one_neighbor(config_.gamma_bl, up, pe_cycles) * jitter() +
+                     one_neighbor(config_.gamma_bl, down, pe_cycles) * jitter();
+      shifts(r, c) = static_cast<float>(std::max(0.0, shift));
+    }
+  }
+  return shifts;
+}
+
+}  // namespace flashgen::flash

@@ -1,0 +1,57 @@
+// Inter-cell interference (ICI) model.
+//
+// Programming a cell to a high level capacitively couples charge onto its
+// neighbors, raising their apparent threshold voltage. The shift on a victim
+// is modeled as a weighted sum over the four direct neighbors:
+//
+//   dV(i,j) = sum_dir gamma_dir * swing(PL_neighbor) * (1 + eta)
+//
+// where swing(l) is the neighbor's programmed voltage swing relative to the
+// erased state (aggressors programmed higher disturb more), gamma_WL couples
+// along the wordline (left/right) and gamma_BL along the bitline (up/down),
+// and eta is a small multiplicative noise. Consistent with planar-NAND
+// characterization (and with the paper's Table II), the bitline coupling is
+// stronger than the wordline coupling, so e.g. the 707 pattern is most
+// error-prone and BL errors exceed WL errors by roughly 40 %.
+#pragma once
+
+#include "common/rng.h"
+#include "flash/grid.h"
+#include "flash/voltage_model.h"
+
+namespace flashgen::flash {
+
+struct IciConfig {
+  double gamma_wl = 0.058;   // coupling ratio to same-wordline neighbors
+  double gamma_bl = 0.080;   // coupling ratio to same-bitline neighbors
+  double noise = 0.10;       // multiplicative lognormal-ish jitter per aggressor
+  /// Sub-linearity of the aggressor swing: shift ~ swing^exponent (program
+  /// pulses couple slightly sub-linearly at high levels).
+  double swing_exponent = 1.0;
+};
+
+class IciModel {
+ public:
+  IciModel(const IciConfig& config, const VoltageModel& voltage_model);
+
+  /// Voltage swing of an aggressor at `level` (>= 0; 0 for erased cells).
+  double aggressor_swing(int level, double pe_cycles) const;
+
+  /// Deterministic expected shift for a victim given its four neighbor
+  /// levels (< 0 entries mean "no neighbor", i.e. block edge).
+  double expected_shift(int left, int right, int up, int down, double pe_cycles) const;
+
+  /// Computes the stochastic ICI voltage shift for every cell of a block of
+  /// program levels.
+  Grid<float> compute_shifts(const Grid<std::uint8_t>& program_levels, double pe_cycles,
+                             flashgen::Rng& rng) const;
+
+  const IciConfig& config() const { return config_; }
+
+ private:
+  double one_neighbor(double gamma, int level, double pe_cycles) const;
+  IciConfig config_;
+  const VoltageModel* voltage_model_;
+};
+
+}  // namespace flashgen::flash

@@ -1,0 +1,62 @@
+#include "flash/read.h"
+
+#include "common/error.h"
+
+namespace flashgen::flash {
+
+Thresholds midpoint_thresholds(const VoltageModel& model, double pe_cycles) {
+  Thresholds t{};
+  for (int k = 0; k + 1 < kTlcLevels; ++k) {
+    t[k] = 0.5 * (model.level_mean(k, pe_cycles) + model.level_mean(k + 1, pe_cycles));
+  }
+  validate_thresholds(t);
+  return t;
+}
+
+void validate_thresholds(const Thresholds& thresholds) {
+  for (std::size_t k = 0; k + 1 < thresholds.size(); ++k) {
+    FG_CHECK(thresholds[k] < thresholds[k + 1],
+             "thresholds must be strictly increasing; t[" << k << "]=" << thresholds[k]
+                                                          << " >= t[" << k + 1
+                                                          << "]=" << thresholds[k + 1]);
+  }
+}
+
+int detect_level(double voltage, const Thresholds& thresholds) {
+  int level = 0;
+  while (level < kTlcLevels - 1 && voltage > thresholds[level]) ++level;
+  return level;
+}
+
+Grid<std::uint8_t> detect_block(const Grid<float>& voltages, const Thresholds& thresholds) {
+  validate_thresholds(thresholds);
+  Grid<std::uint8_t> detected(voltages.rows(), voltages.cols());
+  for (int r = 0; r < voltages.rows(); ++r)
+    for (int c = 0; c < voltages.cols(); ++c)
+      detected(r, c) = static_cast<std::uint8_t>(detect_level(voltages(r, c), thresholds));
+  return detected;
+}
+
+ErrorCounts count_errors(const Grid<std::uint8_t>& programmed,
+                         const Grid<std::uint8_t>& detected) {
+  FG_CHECK(programmed.rows() == detected.rows() && programmed.cols() == detected.cols(),
+           "block shape mismatch in count_errors");
+  ErrorCounts counts;
+  for (int r = 0; r < programmed.rows(); ++r) {
+    for (int c = 0; c < programmed.cols(); ++c) {
+      ++counts.cells;
+      const int want = programmed(r, c);
+      const int got = detected(r, c);
+      if (want == got) continue;
+      ++counts.level_errors;
+      const CellBits want_bits = level_to_bits(want);
+      const CellBits got_bits = level_to_bits(got);
+      for (int p = 0; p < kTlcBitsPerCell; ++p) {
+        if (want_bits.bits[p] != got_bits.bits[p]) ++counts.page_bit_errors[p];
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace flashgen::flash

@@ -1,0 +1,47 @@
+// Hard-read detection: thresholds, level decisions, and page bit errors.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "flash/channel.h"
+#include "flash/gray_code.h"
+
+namespace flashgen::flash {
+
+/// The 7 read thresholds separating the 8 TLC levels; thresholds[k] separates
+/// level k from level k+1 and must be strictly increasing.
+using Thresholds = std::array<double, kTlcLevels - 1>;
+
+/// Midpoint thresholds between adjacent level means at the given condition.
+/// (The evaluation module derives finer thresholds from log-PDF
+/// intersections; these are the "default" vertical lines of the paper's
+/// figures.)
+Thresholds midpoint_thresholds(const VoltageModel& model, double pe_cycles);
+
+/// Validates monotonicity; throws flashgen::Error otherwise.
+void validate_thresholds(const Thresholds& thresholds);
+
+/// Maps one voltage to a detected level (0..7) by comparing to thresholds.
+int detect_level(double voltage, const Thresholds& thresholds);
+
+/// Hard-reads an entire block of voltages.
+Grid<std::uint8_t> detect_block(const Grid<float>& voltages, const Thresholds& thresholds);
+
+/// Error counts of one read-back.
+struct ErrorCounts {
+  long cells = 0;           // cells inspected
+  long level_errors = 0;    // cells whose detected level != programmed level
+  std::array<long, kTlcBitsPerCell> page_bit_errors{};  // per page role
+  double level_error_rate() const { return cells ? double(level_errors) / cells : 0.0; }
+  double page_bit_error_rate(Page p) const {
+    return cells ? double(page_bit_errors[static_cast<int>(p)]) / cells : 0.0;
+  }
+};
+
+/// Compares a detected block against the programmed levels, counting level
+/// errors and per-page bit errors through the Gray map.
+ErrorCounts count_errors(const Grid<std::uint8_t>& programmed,
+                         const Grid<std::uint8_t>& detected);
+
+}  // namespace flashgen::flash

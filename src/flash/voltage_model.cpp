@@ -1,0 +1,108 @@
+#include "flash/voltage_model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flashgen::flash {
+
+VoltageModelConfig default_tlc_voltage_config() {
+  VoltageModelConfig config;
+  // Erased state: bimodal. A deep-erased population sits below the sensing
+  // window (clipped by the recorder), and a shallower disturbed population
+  // with a right-skewed tail reaches toward level 1.
+  config.levels[0] = {.mean = -110.0,
+                      .stddev = 30.0,
+                      .tail_weight = 0.03,
+                      .tail_scale = 45.0,
+                      .deep_weight = 0.45,
+                      .deep_mean = -430.0,
+                      .deep_stddev = 60.0};
+  // Programmed states: ISPP-narrow Gaussian cores with a program-disturb
+  // upper tail (Normal-Laplace-like skew, as fitted by Parnell et al.),
+  // sigma slowly increasing with level.
+  for (int level = 1; level < kTlcLevels; ++level) {
+    config.levels[level] = {.mean = 100.0 * level,
+                            .stddev = 14.0 + 0.8 * level,
+                            .tail_weight = 0.10,
+                            .tail_scale = 26.0};
+  }
+  return config;
+}
+
+VoltageModel::VoltageModel(const VoltageModelConfig& config) : config_(config) {
+  for (int level = 0; level < kTlcLevels; ++level) {
+    const LevelParams& lp = config_.levels[level];
+    FG_CHECK(lp.stddev > 0.0, "level " << level << " stddev must be positive");
+    FG_CHECK(lp.tail_weight >= 0.0 && lp.tail_weight < 1.0,
+             "level " << level << " tail weight must be in [0, 1)");
+    FG_CHECK(lp.tail_scale > 0.0, "level " << level << " tail scale must be positive");
+    FG_CHECK(lp.deep_weight >= 0.0 && lp.deep_weight < 1.0,
+             "level " << level << " deep-erased weight must be in [0, 1)");
+    FG_CHECK(lp.deep_weight == 0.0 || lp.deep_stddev > 0.0,
+             "level " << level << " deep-erased stddev must be positive");
+  }
+  FG_CHECK(config_.pe_ref > 0.0 && config_.retention_ref_hours > 0.0,
+           "reference PE count and retention time must be positive");
+  FG_CHECK(config_.cell_variability >= 0.0, "cell variability must be non-negative");
+}
+
+double VoltageModel::wear_scale(double pe_cycles) const {
+  FG_CHECK(pe_cycles >= 0.0, "PE cycle count must be non-negative, got " << pe_cycles);
+  return std::pow(pe_cycles / config_.pe_ref, config_.wear_exponent);
+}
+
+double VoltageModel::level_mean(int level, double pe_cycles) const {
+  FG_CHECK(level >= 0 && level < kTlcLevels, "level out of range: " << level);
+  const double wear = wear_scale(pe_cycles);
+  const double shift =
+      (level == 0) ? config_.erased_mean_shift * wear : config_.programmed_mean_shift * wear;
+  return config_.levels[level].mean + shift;
+}
+
+double VoltageModel::level_stddev(int level, double pe_cycles) const {
+  FG_CHECK(level >= 0 && level < kTlcLevels, "level out of range: " << level);
+  return config_.levels[level].stddev * (1.0 + config_.sigma_growth * wear_scale(pe_cycles));
+}
+
+double VoltageModel::sample_cell_wear(flashgen::Rng& rng) const {
+  if (config_.cell_variability == 0.0) return 1.0;
+  // Mean-one lognormal: E[exp(N(-s^2/2, s))] == 1.
+  const double s = config_.cell_variability;
+  return std::exp(rng.normal(-0.5 * s * s, s));
+}
+
+double VoltageModel::sample(int level, double pe_cycles, double retention_hours,
+                            double cell_wear, flashgen::Rng& rng) const {
+  FG_CHECK(retention_hours >= 0.0, "retention time must be non-negative");
+  FG_CHECK(cell_wear > 0.0, "cell wear factor must be positive");
+  const LevelParams& lp = config_.levels[level];
+  double v;
+  if (lp.deep_weight > 0.0 && rng.bernoulli(lp.deep_weight)) {
+    // Deep sub-population: shares the level's wear-induced mean drift and
+    // sigma growth, but is centered far below the sensing window.
+    const double drift = level_mean(level, pe_cycles) - lp.mean;
+    const double sigma_scale = level_stddev(level, pe_cycles) / lp.stddev;
+    v = rng.normal(lp.deep_mean + drift, lp.deep_stddev * sigma_scale * cell_wear);
+  } else {
+    const double mu = level_mean(level, pe_cycles);
+    const double sigma = level_stddev(level, pe_cycles) * cell_wear;
+    v = rng.normal(mu, sigma);
+    if (lp.tail_weight > 0.0 && rng.bernoulli(lp.tail_weight)) {
+      v += rng.exponential(1.0 / lp.tail_scale);  // upper tail (program disturb)
+    }
+  }
+  // Retention: charge loss pulls programmed levels down, scaled by how much
+  // charge the level stores and by accumulated wear.
+  if (level > 0 && retention_hours > 0.0) {
+    const double time_factor =
+        std::pow(retention_hours / config_.retention_ref_hours, config_.retention_exponent);
+    const double level_fraction = static_cast<double>(level) / (kTlcLevels - 1);
+    const double wear_boost = 1.0 + config_.retention_wear_boost * wear_scale(pe_cycles);
+    const double mean_loss = config_.retention_loss * level_fraction * time_factor * wear_boost;
+    if (mean_loss > 0.0) v -= rng.exponential(1.0 / mean_loss);
+  }
+  return v;
+}
+
+}  // namespace flashgen::flash

@@ -1,0 +1,95 @@
+// Per-level threshold-voltage model with program/erase wear and retention.
+//
+// The model is physics-informed rather than fitted: it combines the standard
+// ingredients reported in flash characterization studies —
+//   * per-level Gaussian threshold distributions from ISPP programming
+//     (Parnell et al. 2014 fit Normal-Laplace; we keep a Normal core with an
+//     optional exponential upper tail for the erased state),
+//   * an erased (L0) state that is wide and right-skewed (program disturb),
+//   * P/E-cycling wear following the power law of Luo et al. 2016: level
+//     means drift and sigmas grow like (PE / PE_ref)^gamma,
+//   * data-retention charge loss that pulls high levels down proportionally
+//     to both retention time and accumulated wear,
+//   * per-cell wear variability (lognormal) producing the overdispersion
+//     Taranalli et al. 2016 measured across pages.
+//
+// Voltage units are arbitrary "DAC steps" spanning roughly [-300, 900] for
+// the default TLC configuration; only relative geometry matters downstream.
+#pragma once
+
+#include <array>
+
+#include "common/rng.h"
+#include "flash/gray_code.h"
+
+namespace flashgen::flash {
+
+/// Static distribution parameters of one program level at PE = 0.
+struct LevelParams {
+  double mean = 0.0;        // nominal threshold voltage
+  double stddev = 1.0;      // Gaussian core width
+  double tail_weight = 0.0; // probability mass of the exponential upper tail
+  double tail_scale = 1.0;  // mean excess of the upper tail
+  // Deep-erased sub-population (erased state only, by default): cells whose
+  // threshold sits far below the sensing window. The characterization ADC
+  // clips them at the window edge, which is what makes the level-0 PDF so
+  // hard to fit for every model in the paper (its Table I level-0 row).
+  double deep_weight = 0.0;
+  double deep_mean = 0.0;
+  double deep_stddev = 1.0;
+};
+
+struct VoltageModelConfig {
+  std::array<LevelParams, kTlcLevels> levels;
+
+  // Wear (Luo et al. power law): effect(pe) = coeff * (pe / pe_ref)^exponent.
+  double pe_ref = 10000.0;
+  double wear_exponent = 0.62;
+  double erased_mean_shift = 60.0;    // erased state drifts up with cycling
+  double programmed_mean_shift = -12.0;  // programmed states drift slightly down
+  double sigma_growth = 0.55;         // fractional sigma growth at pe_ref
+
+  // Retention: programmed levels lose charge over time; loss grows with wear.
+  double retention_ref_hours = 1000.0;
+  double retention_exponent = 0.5;
+  double retention_loss = 40.0;  // mean loss of the top level at ref time, fresh cell
+  double retention_wear_boost = 1.0;  // extra loss per unit wear factor
+
+  // Cell-to-cell variability: per-cell lognormal factor applied to sigma.
+  double cell_variability = 0.20;  // sigma of log wear factor
+};
+
+/// Returns the default TLC (8-level) configuration used throughout the repo.
+/// Geometry: erased state centered at -110 with a wide right-skewed spread;
+/// programmed levels at 100·k for k = 1..7 with ISPP-narrow sigmas.
+VoltageModelConfig default_tlc_voltage_config();
+
+/// Samples threshold voltages for cells given their program level and the
+/// block's operating condition (PE cycles, retention time).
+class VoltageModel {
+ public:
+  explicit VoltageModel(const VoltageModelConfig& config);
+
+  /// Mean threshold voltage of `level` at the given condition (no retention).
+  double level_mean(int level, double pe_cycles) const;
+
+  /// Standard deviation of `level` at the given condition for a nominal cell.
+  double level_stddev(int level, double pe_cycles) const;
+
+  /// Draws one per-cell wear factor (>= 0, mean ~1) from the lognormal
+  /// variability distribution.
+  double sample_cell_wear(flashgen::Rng& rng) const;
+
+  /// Samples a threshold voltage for one cell, before inter-cell
+  /// interference and read noise are applied.
+  double sample(int level, double pe_cycles, double retention_hours, double cell_wear,
+                flashgen::Rng& rng) const;
+
+  const VoltageModelConfig& config() const { return config_; }
+
+ private:
+  double wear_scale(double pe_cycles) const;
+  VoltageModelConfig config_;
+};
+
+}  // namespace flashgen::flash

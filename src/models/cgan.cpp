@@ -1,0 +1,73 @@
+#include "models/cgan.h"
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace flashgen::models {
+
+CganModel::CganModel(const NetworkConfig& config, std::uint64_t seed)
+    : config_(strip_latent(config)), root_(config_, seed) {}
+
+TrainStats CganModel::fit(const data::PairedDataset& dataset, const TrainConfig& config,
+                          flashgen::Rng& rng) {
+  root_.set_training(true);
+  nn::Adam opt_g(root_.generator.parameters(), {.lr = config.lr});
+  nn::Adam opt_d(root_.discriminator.parameters(), {.lr = config.lr});
+
+  TrainStats stats;
+  double g_acc = 0.0, d_acc = 0.0;
+  int acc_n = 0;
+  const int total_steps_planned = detail::total_steps(dataset, config);
+  stats.steps = detail::run_training_loop(
+      dataset, config, rng, [&](const Tensor& pl, const Tensor& vl, int step) {
+        const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned);
+        opt_g.set_lr(lr);
+        opt_d.set_lr(lr);
+        const Tensor fake = root_.generator.forward(pl, Tensor(), rng);
+
+        const Tensor d_real = root_.discriminator.forward(pl, vl);
+        const Tensor d_fake = root_.discriminator.forward(pl, fake.detach());
+        Tensor loss_d = tensor::mul_scalar(
+            tensor::add(gan_loss(d_real, true, config.lsgan),
+                        gan_loss(d_fake, false, config.lsgan)),
+            0.5f);
+        opt_d.zero_grad();
+        loss_d.backward();
+        opt_d.step();
+
+        const Tensor d_fake2 = root_.discriminator.forward(pl, fake);
+        Tensor loss_g = tensor::add(
+            gan_loss(d_fake2, true, config.lsgan),
+            tensor::mul_scalar(tensor::l1_loss(fake, vl), config.alpha));
+        opt_g.zero_grad();
+        loss_g.backward();
+        opt_g.step();
+
+        g_acc += loss_g.item();
+        d_acc += loss_d.item();
+        ++acc_n;
+        if (config.log_every > 0 && (step + 1) % config.log_every == 0) {
+          stats.g_loss_history.push_back(static_cast<float>(g_acc / acc_n));
+          stats.d_loss_history.push_back(static_cast<float>(d_acc / acc_n));
+          FG_LOG(Info) << name() << " step " << step + 1 << " G " << g_acc / acc_n << " D "
+                       << d_acc / acc_n;
+          g_acc = d_acc = 0.0;
+          acc_n = 0;
+        }
+      });
+  if (acc_n > 0) {
+    stats.g_loss_history.push_back(static_cast<float>(g_acc / acc_n));
+    stats.d_loss_history.push_back(static_cast<float>(d_acc / acc_n));
+  }
+  return stats;
+}
+
+Tensor CganModel::generate(const Tensor& pl, flashgen::Rng& rng) {
+  // pix2pix keeps dropout active at test time as the only noise source.
+  root_.set_training(true);
+  tensor::NoGradGuard no_grad;
+  return root_.generator.forward(pl, Tensor(), rng);
+}
+
+}  // namespace flashgen::models

@@ -1,0 +1,57 @@
+#include "models/cvae.h"
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace flashgen::models {
+
+CvaeModel::CvaeModel(const NetworkConfig& config, std::uint64_t seed)
+    : config_(config), root_(config, seed) {}
+
+TrainStats CvaeModel::fit(const data::PairedDataset& dataset, const TrainConfig& config,
+                          flashgen::Rng& rng) {
+  root_.set_training(true);
+  std::vector<Tensor> params = root_.generator.parameters();
+  for (const Tensor& p : root_.encoder.parameters()) params.push_back(p);
+  nn::Adam opt(params, {.lr = config.lr});
+
+  TrainStats stats;
+  double acc = 0.0;
+  int acc_n = 0;
+  const int total_steps_planned = detail::total_steps(dataset, config);
+  stats.steps = detail::run_training_loop(
+      dataset, config, rng, [&](const Tensor& pl, const Tensor& vl, int step) {
+        const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned);
+        opt.set_lr(lr);
+        const ResNetEncoder::Output dist = root_.encoder.forward(vl);
+        const Tensor z = ResNetEncoder::sample_latent(dist, rng);
+        const Tensor fake = root_.generator.forward(pl, z, rng);
+        Tensor loss = tensor::add(
+            tensor::mul_scalar(tensor::l1_loss(fake, vl), config.alpha),
+            tensor::mul_scalar(tensor::kl_standard_normal(dist.mu, dist.logvar), config.beta));
+        opt.zero_grad();
+        loss.backward();
+        opt.step();
+
+        acc += loss.item();
+        ++acc_n;
+        if (config.log_every > 0 && (step + 1) % config.log_every == 0) {
+          stats.g_loss_history.push_back(static_cast<float>(acc / acc_n));
+          FG_LOG(Info) << name() << " step " << step + 1 << " loss " << acc / acc_n;
+          acc = 0.0;
+          acc_n = 0;
+        }
+      });
+  if (acc_n > 0) stats.g_loss_history.push_back(static_cast<float>(acc / acc_n));
+  return stats;
+}
+
+Tensor CvaeModel::generate(const Tensor& pl, flashgen::Rng& rng) {
+  root_.set_training(false);
+  tensor::NoGradGuard no_grad;
+  const Tensor z = Tensor::randn(tensor::Shape{pl.shape()[0], config_.z_dim}, rng);
+  return root_.generator.forward(pl, z, rng);
+}
+
+}  // namespace flashgen::models

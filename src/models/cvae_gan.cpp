@@ -1,0 +1,87 @@
+#include "models/cvae_gan.h"
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace flashgen::models {
+
+CvaeGanModel::CvaeGanModel(const NetworkConfig& config, std::uint64_t seed)
+    : config_(config), root_(config, seed) {}
+
+TrainStats CvaeGanModel::fit(const data::PairedDataset& dataset, const TrainConfig& config,
+                             flashgen::Rng& rng) {
+  root_.set_training(true);
+  std::vector<Tensor> ge_params = root_.generator.parameters();
+  for (const Tensor& p : root_.encoder.parameters()) ge_params.push_back(p);
+  nn::Adam opt_ge(ge_params, {.lr = config.lr});
+  nn::Adam opt_d(root_.discriminator.parameters(), {.lr = config.lr});
+
+  TrainStats stats;
+  double g_acc = 0.0, d_acc = 0.0;
+  int acc_n = 0;
+  const int total_steps_planned = detail::total_steps(dataset, config);
+  stats.steps = detail::run_training_loop(
+      dataset, config, rng, [&](const Tensor& pl, const Tensor& vl, int step) {
+        const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned);
+        opt_ge.set_lr(lr);
+        opt_d.set_lr(lr);
+        // Posterior latent from the real voltages (VAE branch).
+        const ResNetEncoder::Output dist = root_.encoder.forward(vl);
+        const Tensor z = ResNetEncoder::sample_latent(dist, rng);
+        const Tensor fake = root_.generator.forward(pl, z, rng);
+
+        // --- discriminator step -------------------------------------------
+        const Tensor d_real = root_.discriminator.forward(pl, vl);
+        const Tensor d_fake = root_.discriminator.forward(pl, fake.detach());
+        Tensor loss_d = tensor::mul_scalar(
+            tensor::add(gan_loss(d_real, true, config.lsgan),
+                        gan_loss(d_fake, false, config.lsgan)),
+            0.5f);
+        opt_d.zero_grad();
+        loss_d.backward();
+        opt_d.step();
+
+        // --- generator + encoder step --------------------------------------
+        const Tensor d_fake2 = root_.discriminator.forward(pl, fake);
+        Tensor loss_g = gan_loss(d_fake2, true, config.lsgan);
+        loss_g = tensor::add(loss_g,
+                             tensor::mul_scalar(tensor::l1_loss(fake, vl), config.alpha));
+        loss_g = tensor::add(loss_g, tensor::mul_scalar(
+                                         tensor::kl_standard_normal(dist.mu, dist.logvar),
+                                         config.beta));
+        opt_ge.zero_grad();
+        loss_g.backward();
+        opt_ge.step();
+
+        g_acc += loss_g.item();
+        d_acc += loss_d.item();
+        ++acc_n;
+        if (config.log_every > 0 && (step + 1) % config.log_every == 0) {
+          stats.g_loss_history.push_back(static_cast<float>(g_acc / acc_n));
+          stats.d_loss_history.push_back(static_cast<float>(d_acc / acc_n));
+          FG_LOG(Info) << name() << " step " << step + 1 << " G " << g_acc / acc_n << " D "
+                       << d_acc / acc_n;
+          g_acc = d_acc = 0.0;
+          acc_n = 0;
+        }
+      });
+  if (acc_n > 0) {
+    stats.g_loss_history.push_back(static_cast<float>(g_acc / acc_n));
+    stats.d_loss_history.push_back(static_cast<float>(d_acc / acc_n));
+  }
+  return stats;
+}
+
+Tensor CvaeGanModel::generate(const Tensor& pl, flashgen::Rng& rng) {
+  // Batch-statistics normalization at generation time (as in pix2pix /
+  // BicycleGAN test mode): with the paper's batch size of 2, running stats
+  // are too noisy to reproduce the training-time activation distributions.
+  root_.set_training(true);
+  tensor::NoGradGuard no_grad;
+  const Tensor z =
+      Tensor::randn(tensor::Shape{pl.shape()[0], config_.z_dim}, rng);
+  return root_.generator.forward(pl, z, rng);
+}
+
+}  // namespace flashgen::models

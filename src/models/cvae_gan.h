@@ -1,0 +1,50 @@
+// cVAE-GAN (Larsen et al. 2016, conditional form of BicycleGAN's cVAE-GAN
+// branch): the paper's primary model.
+//
+// Training objective (paper Eq. 1):
+//   min_{Gen,En} max_{Dis}  L_GAN + alpha * L_recon + beta * L_KL
+// with the encoder posterior replacing the GAN prior during training and the
+// standard-normal prior used at generation time.
+#pragma once
+
+#include "models/generative_model.h"
+#include "models/networks.h"
+
+namespace flashgen::models {
+
+class CvaeGanModel : public GenerativeModel {
+ public:
+  /// `seed` initializes network weights (training randomness comes from the
+  /// Rng passed to fit/generate).
+  CvaeGanModel(const NetworkConfig& config, std::uint64_t seed);
+
+  std::string name() const override { return "cVAE-GAN"; }
+  TrainStats fit(const data::PairedDataset& dataset, const TrainConfig& config,
+                 flashgen::Rng& rng) override;
+  Tensor generate(const Tensor& pl, flashgen::Rng& rng) override;
+  nn::Module& root_module() override { return root_; }
+
+  const NetworkConfig& network_config() const { return config_; }
+
+ private:
+  struct Root : nn::Module {
+    flashgen::Rng init_rng;  // declared first: initializes the networks below
+    ResNetEncoder encoder;
+    UNetGenerator generator;
+    PatchDiscriminator discriminator;
+    Root(const NetworkConfig& config, std::uint64_t seed)
+        : init_rng(seed),
+          encoder(config, init_rng),
+          generator(config, init_rng),
+          discriminator(config, init_rng) {
+      register_module("encoder", encoder);
+      register_module("generator", generator);
+      register_module("discriminator", discriminator);
+    }
+  };
+
+  NetworkConfig config_;
+  Root root_;
+};
+
+}  // namespace flashgen::models

@@ -1,0 +1,62 @@
+#include "models/generative_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace flashgen::models {
+
+void GenerativeModel::save(const std::string& path) {
+  nn::save_checkpoint(root_module(), path);
+}
+
+void GenerativeModel::load(const std::string& path) {
+  nn::load_checkpoint(root_module(), path);
+}
+
+Tensor gan_loss(const Tensor& logits, bool target_real, bool lsgan) {
+  Tensor target = Tensor::full(logits.shape(), target_real ? 1.0f : 0.0f);
+  if (lsgan) return tensor::mse_loss(logits, target);
+  return tensor::bce_with_logits(logits, target);
+}
+
+namespace detail {
+
+int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& config,
+                      flashgen::Rng& rng,
+                      const std::function<void(const Tensor&, const Tensor&, int)>& step) {
+  FG_CHECK(config.epochs > 0, "epochs must be positive");
+  FG_CHECK(config.batch_size > 0, "batch size must be positive");
+  FG_CHECK(dataset.size() >= static_cast<std::size_t>(config.batch_size),
+           "dataset smaller than one batch");
+  data::BatchSampler sampler(dataset.size(), static_cast<std::size_t>(config.batch_size), rng);
+  int step_index = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (const auto& indices : sampler.epoch()) {
+      auto [pl, vl] = dataset.batch(indices);
+      step(pl, vl, step_index);
+      ++step_index;
+    }
+  }
+  return step_index;
+}
+
+int total_steps(const data::PairedDataset& dataset, const TrainConfig& config) {
+  FG_CHECK(config.batch_size > 0 && config.epochs > 0, "bad train config");
+  return config.epochs *
+         static_cast<int>(dataset.size() / static_cast<std::size_t>(config.batch_size));
+}
+
+float scheduled_lr(float base_lr, int step, int total_steps) {
+  FG_CHECK(total_steps > 0, "total_steps must be positive");
+  const float progress = static_cast<float>(step) / static_cast<float>(total_steps);
+  if (progress <= 0.5f) return base_lr;
+  const float decay = 1.0f - 1.8f * (progress - 0.5f);  // 1 -> 0.1 over the second half
+  return base_lr * std::max(0.1f, decay);
+}
+
+}  // namespace detail
+}  // namespace flashgen::models

@@ -1,0 +1,81 @@
+// GenerativeModel: the common interface of all channel models compared in the
+// paper (cVAE-GAN, Bicycle-GAN, cGAN, cVAE, Gaussian).
+//
+// A model is fit on a PairedDataset of normalized (PL, VL) crops and can then
+// generate voltage arrays for new program-level arrays. All tensors at this
+// boundary are normalized NCHW arrays (N, 1, S, S) in [-1, 1].
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace flashgen::models {
+
+using nn::Tensor;
+
+/// Training hyper-parameters (paper Remark 2 defaults).
+struct TrainConfig {
+  int epochs = 5;
+  int batch_size = 2;        // cVAE-GAN / Bicycle-GAN / cVAE (cGAN uses 64)
+  float lr = 2e-4f;          // Adam
+  float alpha = 10.0f;       // L1 reconstruction weight
+  float beta = 0.01f;        // KL weight
+  float latent_weight = 0.5f;  // Bicycle-GAN latent-recovery L1 weight
+  bool lsgan = false;        // least-squares GAN objective instead of BCE
+  int log_every = 200;       // steps between progress log lines; 0 disables
+};
+
+struct TrainStats {
+  int steps = 0;
+  std::vector<float> g_loss_history;  // per logging interval
+  std::vector<float> d_loss_history;  // empty for discriminator-free models
+};
+
+class GenerativeModel {
+ public:
+  virtual ~GenerativeModel() = default;
+
+  /// Human-readable name matching the paper's tables ("cVAE-GAN", ...).
+  virtual std::string name() const = 0;
+
+  /// Trains the model in place.
+  virtual TrainStats fit(const data::PairedDataset& dataset, const TrainConfig& config,
+                         flashgen::Rng& rng) = 0;
+
+  /// Generates voltages for a batch of program-level arrays (N, 1, S, S).
+  /// Stochastic: repeated calls with fresh rng states sample the channel.
+  virtual Tensor generate(const Tensor& pl, flashgen::Rng& rng) = 0;
+
+  /// Serializable root module holding all trainable/buffer state.
+  virtual nn::Module& root_module() = 0;
+
+  void save(const std::string& path);
+  void load(const std::string& path);
+};
+
+/// GAN objective on PatchGAN logits: BCE-with-logits against an all-real /
+/// all-fake target, or least-squares when `lsgan`.
+Tensor gan_loss(const Tensor& logits, bool target_real, bool lsgan);
+
+namespace detail {
+/// Shared epoch/batch loop: calls `step(pl, vl, step_index)` for every
+/// shuffled mini-batch over `config.epochs` epochs.
+int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& config,
+                      flashgen::Rng& rng,
+                      const std::function<void(const Tensor&, const Tensor&, int)>& step);
+
+/// Number of optimizer steps run_training_loop will execute.
+int total_steps(const data::PairedDataset& dataset, const TrainConfig& config);
+
+/// pix2pix-style schedule: constant for the first half of training, then
+/// linear decay to 10 % of the base rate.
+float scheduled_lr(float base_lr, int step, int total_steps);
+}  // namespace detail
+
+}  // namespace flashgen::models

@@ -1,0 +1,227 @@
+#include "models/networks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace flashgen::models {
+
+using tensor::Shape;
+
+Index unet_depth(const NetworkConfig& config) {
+  FG_CHECK(config.array_size >= 8, "array_size must be >= 8, got " << config.array_size);
+  FG_CHECK((config.array_size & (config.array_size - 1)) == 0,
+           "array_size must be a power of two, got " << config.array_size);
+  FG_CHECK(config.base_channels > 0, "base_channels must be positive");
+  FG_CHECK(config.z_dim >= 0, "z_dim must be non-negative");
+  FG_CHECK(config.dropout >= 0.0f && config.dropout < 1.0f, "dropout must be in [0, 1)");
+  FG_CHECK(config.condition_dims >= 0, "condition_dims must be non-negative");
+  Index depth = 0;
+  for (Index s = config.array_size; s > 1; s /= 2) ++depth;
+  return depth;
+}
+
+Tensor onehot_levels(const Tensor& pl) {
+  FG_CHECK(pl.shape().rank() == 4 && pl.shape()[1] == 1,
+           "onehot_levels expects (N, 1, H, W), got " << pl.shape());
+  const Index n = pl.shape()[0], h = pl.shape()[2], w = pl.shape()[3];
+  Tensor out = Tensor::zeros(Shape{n, 8, h, w});
+  auto src = pl.data();
+  auto dst = out.data();
+  const Index hw = h * w;
+  for (Index s = 0; s < n; ++s) {
+    for (Index j = 0; j < hw; ++j) {
+      const float p = src[s * hw + j];
+      int level = static_cast<int>(std::lround((p + 1.0f) * 3.5f));
+      level = std::clamp(level, 0, 7);
+      dst[(s * 8 + level) * hw + j] = 1.0f;
+    }
+  }
+  return out;
+}
+
+// ---- ResNetEncoder ----------------------------------------------------------
+
+ResNetEncoder::ResBlock::ResBlock(Index channels, flashgen::Rng& rng)
+    : conv1(channels, channels, 3, 1, 1, rng),
+      conv2(channels, channels, 3, 1, 1, rng),
+      bn1(channels, rng),
+      bn2(channels, rng) {
+  register_module("conv1", conv1);
+  register_module("conv2", conv2);
+  register_module("bn1", bn1);
+  register_module("bn2", bn2);
+}
+
+Tensor ResNetEncoder::ResBlock::forward(const Tensor& x) const {
+  Tensor h = tensor::relu(bn1.forward(conv1.forward(x)));
+  h = bn2.forward(conv2.forward(h));
+  return tensor::relu(tensor::add(x, h));
+}
+
+ResNetEncoder::ResNetEncoder(const NetworkConfig& config, flashgen::Rng& rng)
+    : config_(config),
+      stem_(1, config.base_channels, 4, 2, 1, rng),
+      block1_(config.base_channels, rng),
+      down_(config.base_channels, 2 * config.base_channels, 4, 2, 1, rng),
+      block2_(2 * config.base_channels, rng),
+      fc_mu_(2 * config.base_channels, config.z_dim, rng),
+      fc_logvar_(2 * config.base_channels, config.z_dim, rng) {
+  FG_CHECK(config.z_dim > 0, "encoder requires z_dim > 0");
+  (void)unet_depth(config);  // validates the rest of the config
+  register_module("stem", stem_);
+  register_module("block1", block1_);
+  register_module("down", down_);
+  register_module("block2", block2_);
+  register_module("fc_mu", fc_mu_);
+  register_module("fc_logvar", fc_logvar_);
+}
+
+ResNetEncoder::Output ResNetEncoder::forward(const Tensor& vl) const {
+  Tensor h = tensor::leaky_relu(stem_.forward(vl), 0.2f);
+  h = block1_.forward(h);
+  h = tensor::leaky_relu(down_.forward(h), 0.2f);
+  h = block2_.forward(h);
+  Tensor features = tensor::global_avg_pool(h);
+  return {fc_mu_.forward(features), fc_logvar_.forward(features)};
+}
+
+Tensor ResNetEncoder::sample_latent(const Output& dist, flashgen::Rng& rng) {
+  Tensor eps = Tensor::randn(dist.mu.shape(), rng);
+  Tensor std = tensor::exp(tensor::mul_scalar(dist.logvar, 0.5f));
+  return tensor::add(dist.mu, tensor::mul(std, eps));
+}
+
+// ---- UNetGenerator ----------------------------------------------------------
+
+UNetGenerator::UNetGenerator(const NetworkConfig& config, flashgen::Rng& rng)
+    : config_(config), depth_(unet_depth(config)) {
+  const Index nf = config.base_channels;
+  down_channels_.resize(depth_);
+  for (Index i = 0; i < depth_; ++i) {
+    down_channels_[i] = nf * std::min<Index>(Index{1} << i, 8);
+  }
+  const Index pl_planes = config.onehot_pl ? 8 : 1;
+  for (Index i = 0; i < depth_; ++i) {
+    const Index in_ch =
+        (i == 0 ? pl_planes : down_channels_[i - 1]) + config.z_dim + config.condition_dims;
+    down_convs_.push_back(
+        std::make_unique<nn::Conv2d>(in_ch, down_channels_[i], 4, 2, 1, rng));
+    register_module("down" + std::to_string(i), *down_convs_.back());
+    // No norm on the outermost layer (pix2pix convention) nor at the 1x1
+    // bottleneck (nothing to normalize over).
+    if (i > 0 && i < depth_ - 1) {
+      down_norms_.push_back(std::make_unique<nn::BatchNorm2d>(down_channels_[i], rng));
+      register_module("down_bn" + std::to_string(i), *down_norms_.back());
+    } else {
+      down_norms_.push_back(nullptr);
+    }
+  }
+  for (Index i = 0; i < depth_; ++i) {
+    const Index in_ch = (i == 0) ? down_channels_[depth_ - 1] : 2 * down_channels_[depth_ - 1 - i];
+    const Index out_ch = (i == depth_ - 1) ? 1 : down_channels_[depth_ - 2 - i];
+    up_convs_.push_back(std::make_unique<nn::ConvTranspose2d>(in_ch, out_ch, 4, 2, 1, rng));
+    register_module("up" + std::to_string(i), *up_convs_.back());
+    if (i < depth_ - 1) {
+      up_norms_.push_back(std::make_unique<nn::BatchNorm2d>(out_ch, rng));
+      register_module("up_bn" + std::to_string(i), *up_norms_.back());
+    } else {
+      up_norms_.push_back(nullptr);
+    }
+  }
+  if (config_.global_skip) {
+    skip_gain_ = register_parameter("skip_gain", Tensor::full(Shape{1}, 0.5f, true));
+    skip_bias_ = register_parameter("skip_bias", Tensor::zeros(Shape{1}, true));
+  }
+}
+
+Tensor UNetGenerator::forward(const Tensor& pl, const Tensor& z, flashgen::Rng& rng,
+                              const Tensor& cond) const {
+  FG_CHECK(pl.shape().rank() == 4 && pl.shape()[1] == 1 &&
+               pl.shape()[2] == config_.array_size && pl.shape()[3] == config_.array_size,
+           "generator expects (N, 1, " << config_.array_size << ", " << config_.array_size
+                                       << "), got " << pl.shape());
+  if (config_.z_dim > 0) {
+    FG_CHECK(z.defined() && z.shape() == (Shape{pl.shape()[0], config_.z_dim}),
+             "latent must be (N, " << config_.z_dim << ")");
+  } else {
+    FG_CHECK(!z.defined(), "z_dim == 0 generator must not receive a latent");
+  }
+  if (config_.condition_dims > 0) {
+    FG_CHECK(cond.defined() && cond.shape() == (Shape{pl.shape()[0], config_.condition_dims}),
+             "condition must be (N, " << config_.condition_dims << ")");
+  } else {
+    FG_CHECK(!cond.defined(), "condition_dims == 0 generator must not receive a condition");
+  }
+
+  std::vector<Tensor> skips;
+  Tensor h = config_.onehot_pl ? onehot_levels(pl) : pl;
+  Index spatial = config_.array_size;
+  for (Index i = 0; i < depth_; ++i) {
+    Tensor in = h;
+    if (config_.z_dim > 0) {
+      in = tensor::cat_channels(in, tensor::broadcast_spatial(z, spatial, spatial));
+    }
+    if (config_.condition_dims > 0) {
+      in = tensor::cat_channels(in, tensor::broadcast_spatial(cond, spatial, spatial));
+    }
+    h = down_convs_[i]->forward(in);
+    if (down_norms_[i]) h = down_norms_[i]->forward(h);
+    h = tensor::leaky_relu(h, 0.2f);
+    skips.push_back(h);
+    spatial /= 2;
+  }
+  for (Index i = 0; i < depth_; ++i) {
+    Tensor in = (i == 0) ? h : tensor::cat_channels(h, skips[depth_ - 1 - i]);
+    h = up_convs_[i]->forward(in);
+    if (i < depth_ - 1) {
+      h = up_norms_[i]->forward(h);
+      h = tensor::relu(h);
+      if (config_.dropout > 0.0f && i < 3) {
+        h = tensor::dropout(h, config_.dropout, training(), rng);
+      }
+    }
+  }
+  if (config_.global_skip) {
+    h = tensor::add(h, tensor::affine_scalar(pl, skip_gain_, skip_bias_));
+  }
+  return tensor::tanh(h);
+}
+
+// ---- PatchDiscriminator ----------------------------------------------------
+
+PatchDiscriminator::PatchDiscriminator(const NetworkConfig& config, flashgen::Rng& rng)
+    : config_(config),
+      onehot_pl_(config.onehot_pl),
+      c1_((config.onehot_pl ? 8 : 1) + 1 + config.condition_dims, config.base_channels, 4, 2,
+          1, rng),
+      c2_(config.base_channels, 2 * config.base_channels, 4, 2, 1, rng),
+      c3_(2 * config.base_channels, 1, 4, 1, 1, rng),
+      bn2_(2 * config.base_channels, rng) {
+  (void)unet_depth(config);  // validates array size
+  register_module("c1", c1_);
+  register_module("c2", c2_);
+  register_module("c3", c3_);
+  register_module("bn2", bn2_);
+}
+
+Tensor PatchDiscriminator::forward(const Tensor& pl, const Tensor& vl,
+                                   const Tensor& cond) const {
+  FG_CHECK(pl.shape() == vl.shape(), "discriminator inputs must have identical shapes, got "
+                                         << pl.shape() << " vs " << vl.shape());
+  Tensor h = tensor::cat_channels(onehot_pl_ ? onehot_levels(pl) : pl, vl);
+  if (config_.condition_dims > 0) {
+    FG_CHECK(cond.defined() && cond.shape() == (Shape{pl.shape()[0], config_.condition_dims}),
+             "condition must be (N, " << config_.condition_dims << ")");
+    h = tensor::cat_channels(h, tensor::broadcast_spatial(cond, pl.shape()[2], pl.shape()[3]));
+  } else {
+    FG_CHECK(!cond.defined(), "condition_dims == 0 discriminator must not receive a condition");
+  }
+  h = tensor::leaky_relu(c1_.forward(h), 0.2f);
+  h = tensor::leaky_relu(bn2_.forward(c2_.forward(h)), 0.2f);
+  return c3_.forward(h);
+}
+
+}  // namespace flashgen::models

@@ -1,0 +1,127 @@
+// Network architectures from the paper (Remark 1), parameterized by array
+// size so the same code runs the paper's 64x64 geometry and the smaller
+// geometries used by the CPU benchmarks:
+//   * Encoder: ResNet with two residual blocks (two 3x3 s1 p1 convs each)
+//     followed by two linear heads for the latent mean and log-variance.
+//   * Generator: U-Net of 4x4 s2 p1 convolutions down to a 1x1 bottleneck
+//     and back, with the latent vector z injected by replication +
+//     concatenation into every "Down" layer and skip connections into every
+//     "Up" layer. Channel plan nf, 2nf, 4nf, 8nf, 8nf, ... capped at 8nf
+//     (paper: C64-C128-C256-C512-C512-C512 for 64x64 input).
+//   * Discriminator: PatchGAN C64-C128-C1 on the concatenation of the
+//     program-level array and the (real or fake) voltage array.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace flashgen::models {
+
+using nn::Tensor;
+using tensor::Index;
+
+struct NetworkConfig {
+  Index array_size = 16;    // input side length; must be a power of two >= 4
+  Index base_channels = 16; // nf (paper: 64)
+  Index z_dim = 8;          // latent dimension (paper: 8); 0 disables z
+  float dropout = 0.0f;     // dropout in Up blocks (pix2pix-style, for cGAN)
+  /// Learned global affine skip from PL to the pre-tanh output. Program
+  /// levels map almost linearly to voltage-level means, so this skip lets the
+  /// U-Net spend its capacity on the residual structure (ICI, per-level
+  /// shapes) and removes the slow "amplitude learning" phase. Disable to run
+  /// the paper's exact topology.
+  bool global_skip = true;
+  /// Present the categorical program levels to the conv stacks as 8 one-hot
+  /// planes instead of one scalar plane. The stride-2 stem otherwise aliases
+  /// the per-cell level identity into too few channels at reduced widths.
+  /// Disable to run the paper's exact topology.
+  bool onehot_pl = true;
+  /// Number of scalar condition inputs (e.g. normalized PE cycle count for
+  /// the spatio-temporal extension, Section V of the paper). Conditions are
+  /// injected like the latent code: replicated spatially and concatenated
+  /// into every Down layer of the generator and into the discriminator input.
+  Index condition_dims = 0;
+};
+
+/// Validates the config and returns the U-Net depth log2(array_size).
+Index unet_depth(const NetworkConfig& config);
+
+/// Expands a normalized scalar PL plane (N, 1, H, W) into 8 one-hot planes
+/// (N, 8, H, W). Constant w.r.t. the graph (program levels are inputs).
+Tensor onehot_levels(const Tensor& pl);
+
+/// ResNet encoder mapping a (N, 1, S, S) voltage array to latent mean and
+/// log-variance, each (N, z_dim).
+class ResNetEncoder : public nn::Module {
+ public:
+  ResNetEncoder(const NetworkConfig& config, flashgen::Rng& rng);
+
+  struct Output {
+    Tensor mu;
+    Tensor logvar;
+  };
+  Output forward(const Tensor& vl) const;
+
+  /// Reparameterization: z = mu + eps * exp(logvar / 2), eps ~ N(0, I).
+  static Tensor sample_latent(const Output& dist, flashgen::Rng& rng);
+
+ private:
+  struct ResBlock : nn::Module {
+    nn::Conv2d conv1, conv2;
+    nn::BatchNorm2d bn1, bn2;
+    ResBlock(Index channels, flashgen::Rng& rng);
+    Tensor forward(const Tensor& x) const;
+  };
+
+  NetworkConfig config_;
+  nn::Conv2d stem_;           // 1 -> nf, stride 2
+  ResBlock block1_;
+  nn::Conv2d down_;           // nf -> 2nf, stride 2
+  ResBlock block2_;
+  nn::Linear fc_mu_, fc_logvar_;
+};
+
+/// U-Net generator mapping (PL, z) to a voltage array in [-1, 1].
+class UNetGenerator : public nn::Module {
+ public:
+  UNetGenerator(const NetworkConfig& config, flashgen::Rng& rng);
+
+  /// pl: (N, 1, S, S); z: (N, z_dim) or undefined when z_dim == 0;
+  /// cond: (N, condition_dims) or undefined when condition_dims == 0.
+  /// `rng` drives dropout in training mode (pass any Rng in eval mode).
+  Tensor forward(const Tensor& pl, const Tensor& z, flashgen::Rng& rng,
+                 const Tensor& cond = Tensor()) const;
+
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  NetworkConfig config_;
+  Index depth_;
+  std::vector<Index> down_channels_;  // output channels of each down block
+  std::vector<std::unique_ptr<nn::Conv2d>> down_convs_;
+  std::vector<std::unique_ptr<nn::BatchNorm2d>> down_norms_;   // null where skipped
+  std::vector<std::unique_ptr<nn::ConvTranspose2d>> up_convs_;
+  std::vector<std::unique_ptr<nn::BatchNorm2d>> up_norms_;     // null on last layer
+  Tensor skip_gain_;  // [1], used when config.global_skip
+  Tensor skip_bias_;  // [1]
+};
+
+/// PatchGAN discriminator on cat(PL, VL): C64-C128-C1, all 4x4 kernels.
+class PatchDiscriminator : public nn::Module {
+ public:
+  PatchDiscriminator(const NetworkConfig& config, flashgen::Rng& rng);
+
+  /// Returns per-patch logits (N, 1, P, P).
+  Tensor forward(const Tensor& pl, const Tensor& vl, const Tensor& cond = Tensor()) const;
+
+ private:
+  NetworkConfig config_;
+  bool onehot_pl_;
+  nn::Conv2d c1_, c2_, c3_;
+  nn::BatchNorm2d bn2_;
+};
+
+}  // namespace flashgen::models

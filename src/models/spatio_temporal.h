@@ -1,0 +1,74 @@
+// Spatio-temporal extension: the paper's stated "ultimate goal" (Section
+// III-A) of learning P(VL | PL, PE) — voltage arrays conditioned on both the
+// program levels and the P/E cycling condition.
+//
+// The model is a cVAE-GAN whose generator and discriminator receive the
+// normalized PE cycle count as an extra conditioning input, injected like the
+// latent code (replicated spatially, concatenated into every Down layer).
+// Trained on a multi-condition dataset (PairedDataset::generate_multi), one
+// network covers the channel across its wear range and interpolates between
+// characterized conditions.
+#pragma once
+
+#include "models/generative_model.h"
+#include "models/networks.h"
+
+namespace flashgen::models {
+
+class TemporalCvaeGanModel : public GenerativeModel {
+ public:
+  /// `pe_scale` is the cycle count at which the conditioning input saturates
+  /// at 1.0 (pick >= the largest condition you train on).
+  TemporalCvaeGanModel(const NetworkConfig& config, double pe_scale, std::uint64_t seed);
+
+  std::string name() const override { return "cVAE-GAN(PE)"; }
+
+  /// Trains across all PE conditions present in the dataset.
+  TrainStats fit(const data::PairedDataset& dataset, const TrainConfig& config,
+                 flashgen::Rng& rng) override;
+
+  /// Generates at the PE condition previously set via set_generation_pe
+  /// (defaults to pe_scale / 2). Prefer generate_at for explicit control.
+  Tensor generate(const Tensor& pl, flashgen::Rng& rng) override;
+
+  /// Generates voltage arrays for `pl` as if the block had endured
+  /// `pe_cycles` program/erase cycles.
+  Tensor generate_at(const Tensor& pl, double pe_cycles, flashgen::Rng& rng);
+
+  /// Sets the condition used by the GenerativeModel::generate interface.
+  void set_generation_pe(double pe_cycles) { generation_pe_ = pe_cycles; }
+
+  nn::Module& root_module() override { return root_; }
+  double pe_scale() const { return pe_scale_; }
+
+ private:
+  Tensor condition_tensor(tensor::Index batch, double pe_cycles) const;
+
+  static NetworkConfig with_condition(NetworkConfig config) {
+    config.condition_dims = 1;
+    return config;
+  }
+
+  struct Root : nn::Module {
+    flashgen::Rng init_rng;
+    ResNetEncoder encoder;
+    UNetGenerator generator;
+    PatchDiscriminator discriminator;
+    Root(const NetworkConfig& config, std::uint64_t seed)
+        : init_rng(seed),
+          encoder(config, init_rng),
+          generator(config, init_rng),
+          discriminator(config, init_rng) {
+      register_module("encoder", encoder);
+      register_module("generator", generator);
+      register_module("discriminator", discriminator);
+    }
+  };
+
+  NetworkConfig config_;
+  double pe_scale_;
+  double generation_pe_;
+  Root root_;
+};
+
+}  // namespace flashgen::models

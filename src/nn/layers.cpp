@@ -1,0 +1,72 @@
+#include "nn/layers.h"
+
+#include "common/error.h"
+
+namespace flashgen::nn {
+
+namespace {
+constexpr float kInitStd = 0.02f;
+}
+
+Linear::Linear(Index in_features, Index out_features, flashgen::Rng& rng, bool with_bias)
+    : in_(in_features), out_(out_features) {
+  FG_CHECK(in_ > 0 && out_ > 0, "Linear: non-positive dimensions");
+  weight_ = register_parameter(
+      "weight", Tensor::randn(tensor::Shape{out_, in_}, rng, kInitStd, /*requires_grad=*/true));
+  if (with_bias) {
+    bias_ = register_parameter("bias", Tensor::zeros(tensor::Shape{out_}, true));
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) const { return tensor::linear(x, weight_, bias_); }
+
+Conv2d::Conv2d(Index in_channels, Index out_channels, Index kernel, Index stride,
+               Index padding, flashgen::Rng& rng, bool with_bias)
+    : in_(in_channels), out_(out_channels), kernel_(kernel), stride_(stride), padding_(padding) {
+  FG_CHECK(in_ > 0 && out_ > 0 && kernel_ > 0, "Conv2d: non-positive dimensions");
+  weight_ = register_parameter(
+      "weight",
+      Tensor::randn(tensor::Shape{out_, in_, kernel_, kernel_}, rng, kInitStd, true));
+  if (with_bias) {
+    bias_ = register_parameter("bias", Tensor::zeros(tensor::Shape{out_}, true));
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x) const {
+  return tensor::conv2d(x, weight_, bias_, stride_, padding_);
+}
+
+ConvTranspose2d::ConvTranspose2d(Index in_channels, Index out_channels, Index kernel,
+                                 Index stride, Index padding, flashgen::Rng& rng,
+                                 bool with_bias)
+    : in_(in_channels), out_(out_channels), kernel_(kernel), stride_(stride), padding_(padding) {
+  FG_CHECK(in_ > 0 && out_ > 0 && kernel_ > 0, "ConvTranspose2d: non-positive dimensions");
+  weight_ = register_parameter(
+      "weight",
+      Tensor::randn(tensor::Shape{in_, out_, kernel_, kernel_}, rng, kInitStd, true));
+  if (with_bias) {
+    bias_ = register_parameter("bias", Tensor::zeros(tensor::Shape{out_}, true));
+  }
+}
+
+Tensor ConvTranspose2d::forward(const Tensor& x) const {
+  return tensor::conv_transpose2d(x, weight_, bias_, stride_, padding_);
+}
+
+BatchNorm2d::BatchNorm2d(Index channels, flashgen::Rng& rng, float momentum, float eps)
+    : channels_(channels), momentum_(momentum), eps_(eps) {
+  FG_CHECK(channels_ > 0, "BatchNorm2d: non-positive channel count");
+  Tensor gamma = Tensor::zeros(tensor::Shape{channels_}, true);
+  for (float& v : gamma.data()) v = 1.0f + static_cast<float>(rng.normal(0.0, kInitStd));
+  gamma_ = register_parameter("gamma", gamma);
+  beta_ = register_parameter("beta", Tensor::zeros(tensor::Shape{channels_}, true));
+  running_mean_ = register_buffer("running_mean", Tensor::zeros(tensor::Shape{channels_}));
+  running_var_ = register_buffer("running_var", Tensor::full(tensor::Shape{channels_}, 1.0f));
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) const {
+  return tensor::batch_norm2d(x, gamma_, beta_, running_mean_, running_var_, training(),
+                              momentum_, eps_);
+}
+
+}  // namespace flashgen::nn

@@ -1,0 +1,75 @@
+// Core layers: Linear, Conv2d, ConvTranspose2d, BatchNorm2d.
+//
+// Weight initialization follows the DCGAN/pix2pix convention used by the
+// paper's reference implementation (BicycleGAN): conv and linear weights are
+// N(0, 0.02), batch-norm gains are N(1, 0.02), all biases zero.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/conv.h"
+#include "tensor/ops.h"
+
+namespace flashgen::nn {
+
+using tensor::Index;
+
+/// Fully connected layer: y = x W^T + b.
+class Linear : public Module {
+ public:
+  Linear(Index in_features, Index out_features, flashgen::Rng& rng, bool with_bias = true);
+  Tensor forward(const Tensor& x) const;
+
+  Index in_features() const { return in_; }
+  Index out_features() const { return out_; }
+
+ private:
+  Index in_, out_;
+  Tensor weight_;  // (out, in)
+  Tensor bias_;    // (out) or undefined
+};
+
+/// 2-D convolution layer.
+class Conv2d : public Module {
+ public:
+  Conv2d(Index in_channels, Index out_channels, Index kernel, Index stride, Index padding,
+         flashgen::Rng& rng, bool with_bias = true);
+  Tensor forward(const Tensor& x) const;
+
+  Index in_channels() const { return in_; }
+  Index out_channels() const { return out_; }
+
+ private:
+  Index in_, out_, kernel_, stride_, padding_;
+  Tensor weight_;  // (out, in, k, k)
+  Tensor bias_;
+};
+
+/// 2-D transposed convolution layer (PyTorch weight layout: in, out, k, k).
+class ConvTranspose2d : public Module {
+ public:
+  ConvTranspose2d(Index in_channels, Index out_channels, Index kernel, Index stride,
+                  Index padding, flashgen::Rng& rng, bool with_bias = true);
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  Index in_, out_, kernel_, stride_, padding_;
+  Tensor weight_;  // (in, out, k, k)
+  Tensor bias_;
+};
+
+/// Batch normalization over channels of an NCHW tensor.
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(Index channels, flashgen::Rng& rng, float momentum = 0.1f,
+                       float eps = 1e-5f);
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  Index channels_;
+  float momentum_, eps_;
+  Tensor gamma_, beta_;
+  mutable Tensor running_mean_, running_var_;  // buffers, updated in training fwd
+};
+
+}  // namespace flashgen::nn

@@ -1,0 +1,68 @@
+#include "nn/module.h"
+
+#include "common/error.h"
+
+namespace flashgen::nn {
+
+std::vector<Tensor> Module::parameters() const {
+  std::vector<Tensor> out;
+  for (const NamedTensor& nt : named_parameters()) out.push_back(nt.tensor);
+  return out;
+}
+
+std::vector<NamedTensor> Module::named_parameters() const {
+  std::vector<NamedTensor> out;
+  collect("", /*include_buffers=*/false, out);
+  return out;
+}
+
+std::vector<NamedTensor> Module::named_state() const {
+  std::vector<NamedTensor> out;
+  collect("", /*include_buffers=*/true, out);
+  return out;
+}
+
+void Module::zero_grad() {
+  for (Tensor& t : parameters()) t.zero_grad();
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+tensor::Index Module::parameter_count() const {
+  tensor::Index n = 0;
+  for (const Tensor& t : parameters()) n += t.numel();
+  return n;
+}
+
+Tensor Module::register_parameter(const std::string& name, Tensor t) {
+  FG_CHECK(t.defined(), "register_parameter(" << name << "): undefined tensor");
+  FG_CHECK(t.requires_grad(), "parameter " << name << " must require grad");
+  params_.push_back({name, t});
+  return t;
+}
+
+Tensor Module::register_buffer(const std::string& name, Tensor t) {
+  FG_CHECK(t.defined(), "register_buffer(" << name << "): undefined tensor");
+  buffers_.push_back({name, t});
+  return t;
+}
+
+void Module::register_module(const std::string& name, Module& child) {
+  children_.emplace_back(name, &child);
+}
+
+void Module::collect(const std::string& prefix, bool include_buffers,
+                     std::vector<NamedTensor>& out) const {
+  for (const NamedTensor& nt : params_) out.push_back({prefix + nt.name, nt.tensor});
+  if (include_buffers) {
+    for (const NamedTensor& nt : buffers_) out.push_back({prefix + nt.name, nt.tensor});
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect(prefix + name + ".", include_buffers, out);
+  }
+}
+
+}  // namespace flashgen::nn

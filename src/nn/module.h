@@ -1,0 +1,67 @@
+// Module: base class for neural-net building blocks.
+//
+// A Module owns named parameters (trainable tensors) and named buffers
+// (non-trainable state such as batch-norm running statistics) and may have
+// child modules registered in its constructor. parameters()/named_state()
+// traverse the tree, which is what the optimizer and the serializer consume.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace flashgen::nn {
+
+using tensor::Tensor;
+
+struct NamedTensor {
+  std::string name;
+  Tensor tensor;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its children.
+  std::vector<Tensor> parameters() const;
+
+  /// Parameters with hierarchical dotted names ("enc.conv1.weight").
+  std::vector<NamedTensor> named_parameters() const;
+
+  /// Parameters and buffers together — the full serializable state.
+  std::vector<NamedTensor> named_state() const;
+
+  /// Clears gradients of every parameter.
+  void zero_grad();
+
+  /// Train/eval mode switch (affects batch norm and dropout).
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+  /// Total number of scalar parameters.
+  tensor::Index parameter_count() const;
+
+ protected:
+  Tensor register_parameter(const std::string& name, Tensor t);
+  Tensor register_buffer(const std::string& name, Tensor t);
+  /// Registers a child (non-owning; the child must be a data member that
+  /// outlives the parent registration).
+  void register_module(const std::string& name, Module& child);
+
+ private:
+  void collect(const std::string& prefix, bool include_buffers,
+               std::vector<NamedTensor>& out) const;
+
+  std::vector<NamedTensor> params_;
+  std::vector<NamedTensor> buffers_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace flashgen::nn

@@ -1,0 +1,48 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flashgen::nn {
+
+Adam::Adam(std::vector<tensor::Tensor> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config) {
+  FG_CHECK(config_.lr > 0.0f, "Adam: learning rate must be positive");
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    FG_CHECK(params_[i].requires_grad(), "Adam: parameter " << i << " does not require grad");
+    m_[i].assign(static_cast<std::size_t>(params_[i].numel()), 0.0f);
+    v_[i].assign(static_cast<std::size_t>(params_[i].numel()), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto grad = params_[i].grad();
+    if (grad.empty()) continue;  // parameter untouched this step
+    auto data = params_[i].data();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      const float g = grad[j];
+      m[j] = config_.beta1 * m[j] + (1.0f - config_.beta1) * g;
+      v[j] = config_.beta2 * v[j] + (1.0f - config_.beta2) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      float update = config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+      if (config_.weight_decay > 0.0f) update += config_.lr * config_.weight_decay * data[j];
+      data[j] -= update;
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (tensor::Tensor& p : params_) p.zero_grad();
+}
+
+}  // namespace flashgen::nn

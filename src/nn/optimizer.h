@@ -1,0 +1,43 @@
+// Adam optimizer (Kingma & Ba, 2015) with the GAN-standard beta1 = 0.5
+// default, matching the paper's training recipe (Adam, lr = 2e-4).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace flashgen::nn {
+
+struct AdamConfig {
+  float lr = 2e-4f;
+  float beta1 = 0.5f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;  // decoupled (AdamW-style) when non-zero
+};
+
+/// First-order optimizer over an explicit parameter list. Parameters whose
+/// grad buffer is empty at step() time are skipped (treated as zero grad).
+class Adam {
+ public:
+  Adam(std::vector<tensor::Tensor> params, const AdamConfig& config = {});
+
+  /// Applies one update from the currently-accumulated gradients.
+  void step();
+
+  /// Clears all parameter gradients.
+  void zero_grad();
+
+  const AdamConfig& config() const { return config_; }
+  void set_lr(float lr) { config_.lr = lr; }
+  std::int64_t step_count() const { return t_; }
+
+ private:
+  std::vector<tensor::Tensor> params_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  AdamConfig config_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace flashgen::nn

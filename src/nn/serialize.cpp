@@ -1,0 +1,87 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "common/error.h"
+
+namespace flashgen::nn {
+
+namespace {
+constexpr char kMagic[8] = {'F', 'G', 'C', 'K', 'P', 'T', '0', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  FG_CHECK(in.good(), "checkpoint truncated");
+  return value;
+}
+}  // namespace
+
+void save_checkpoint(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  FG_CHECK(out.good(), "cannot open checkpoint for writing: " << path);
+  out.write(kMagic, sizeof(kMagic));
+  const auto state = module.named_state();
+  write_pod<std::uint64_t>(out, state.size());
+  for (const NamedTensor& nt : state) {
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(nt.name.size()));
+    out.write(nt.name.data(), static_cast<std::streamsize>(nt.name.size()));
+    const auto& dims = nt.tensor.shape().dims();
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(dims.size()));
+    for (auto d : dims) write_pod<std::uint64_t>(out, static_cast<std::uint64_t>(d));
+    auto data = nt.tensor.data();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  FG_CHECK(out.good(), "checkpoint write failed: " << path);
+}
+
+void load_checkpoint(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FG_CHECK(in.good(), "cannot open checkpoint for reading: " << path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  FG_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+           "not a flashgen checkpoint: " << path);
+  const auto count = read_pod<std::uint64_t>(in);
+
+  std::map<std::string, std::pair<tensor::Shape, std::vector<float>>> entries;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const auto rank = read_pod<std::uint32_t>(in);
+    std::vector<tensor::Index> dims(rank);
+    for (auto& d : dims) d = static_cast<tensor::Index>(read_pod<std::uint64_t>(in));
+    tensor::Shape shape(dims);
+    std::vector<float> data(static_cast<std::size_t>(shape.numel()));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    FG_CHECK(in.good(), "checkpoint truncated while reading " << name);
+    entries.emplace(std::move(name), std::make_pair(std::move(shape), std::move(data)));
+  }
+
+  auto state = module.named_state();
+  FG_CHECK(state.size() == entries.size(),
+           "checkpoint " << path << " has " << entries.size() << " tensors but module has "
+                         << state.size());
+  for (NamedTensor& nt : state) {
+    auto it = entries.find(nt.name);
+    FG_CHECK(it != entries.end(), "checkpoint missing tensor " << nt.name);
+    FG_CHECK(it->second.first == nt.tensor.shape(),
+             "checkpoint shape mismatch for " << nt.name << ": file " << it->second.first
+                                              << " vs module " << nt.tensor.shape());
+    std::copy(it->second.second.begin(), it->second.second.end(), nt.tensor.data().begin());
+  }
+}
+
+}  // namespace flashgen::nn

@@ -1,0 +1,25 @@
+// Binary checkpointing of module state (parameters + buffers).
+//
+// Format (little-endian):
+//   magic "FGCKPT01" | u64 entry_count |
+//   per entry: u32 name_len | name bytes | u32 rank | u64 dims[rank] |
+//              float32 data[numel]
+// Loading matches entries by name and requires exact shape agreement, so a
+// checkpoint can only be restored into an identically-configured module.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace flashgen::nn {
+
+/// Writes the module's named state to `path`. Throws on I/O failure.
+void save_checkpoint(const Module& module, const std::string& path);
+
+/// Restores the module's named state from `path`. Every tensor in the module
+/// must be present in the file with a matching shape; extra file entries are
+/// an error. Throws flashgen::Error on any mismatch.
+void load_checkpoint(Module& module, const std::string& path);
+
+}  // namespace flashgen::nn

@@ -1,0 +1,292 @@
+#include "tensor/conv.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/error.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace flashgen::tensor {
+
+namespace detail {
+
+void im2col(const float* x, Index c, Index h, Index w, Index kh, Index kw, Index stride,
+            Index padding, Index oh, Index ow, float* cols) {
+  for (Index ch = 0; ch < c; ++ch) {
+    for (Index ky = 0; ky < kh; ++ky) {
+      for (Index kx = 0; kx < kw; ++kx) {
+        float* row = cols + ((ch * kh + ky) * kw + kx) * (oh * ow);
+        for (Index oy = 0; oy < oh; ++oy) {
+          const Index iy = oy * stride + ky - padding;
+          if (iy < 0 || iy >= h) {
+            std::memset(row + oy * ow, 0, sizeof(float) * ow);
+            continue;
+          }
+          const float* src = x + (ch * h + iy) * w;
+          for (Index ox = 0; ox < ow; ++ox) {
+            const Index ix = ox * stride + kx - padding;
+            row[oy * ow + ox] = (ix >= 0 && ix < w) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, Index c, Index h, Index w, Index kh, Index kw, Index stride,
+            Index padding, Index oh, Index ow, float* x) {
+  for (Index ch = 0; ch < c; ++ch) {
+    for (Index ky = 0; ky < kh; ++ky) {
+      for (Index kx = 0; kx < kw; ++kx) {
+        const float* row = cols + ((ch * kh + ky) * kw + kx) * (oh * ow);
+        for (Index oy = 0; oy < oh; ++oy) {
+          const Index iy = oy * stride + ky - padding;
+          if (iy < 0 || iy >= h) continue;
+          float* dst = x + (ch * h + iy) * w;
+          for (Index ox = 0; ox < ow; ++ox) {
+            const Index ix = ox * stride + kx - padding;
+            if (ix >= 0 && ix < w) dst[ix] += row[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+struct ConvGeom {
+  Index n, c, h, w;       // input
+  Index oc, kh, kw;       // kernel
+  Index stride, padding;
+  Index oh, ow;           // output
+};
+
+ConvGeom conv_geometry(const Tensor& x, const Tensor& w, Index stride, Index padding) {
+  FG_CHECK(x.shape().rank() == 4, "conv: input must be NCHW, got " << x.shape());
+  FG_CHECK(w.shape().rank() == 4, "conv: weight must be rank 4, got " << w.shape());
+  FG_CHECK(stride >= 1 && padding >= 0, "conv: bad stride/padding " << stride << "/" << padding);
+  ConvGeom g;
+  g.n = x.shape()[0];
+  g.c = x.shape()[1];
+  g.h = x.shape()[2];
+  g.w = x.shape()[3];
+  g.oc = w.shape()[0];
+  g.kh = w.shape()[2];
+  g.kw = w.shape()[3];
+  g.stride = stride;
+  g.padding = padding;
+  FG_CHECK(w.shape()[1] == g.c,
+           "conv: weight " << w.shape() << " incompatible with input " << x.shape());
+  g.oh = (g.h + 2 * padding - g.kh) / stride + 1;
+  g.ow = (g.w + 2 * padding - g.kw) / stride + 1;
+  FG_CHECK(g.oh >= 1 && g.ow >= 1, "conv: kernel larger than padded input");
+  return g;
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
+              Index padding) {
+  const ConvGeom g = conv_geometry(x, w, stride, padding);
+  const Index ckk = g.c * g.kh * g.kw;
+  const Index osp = g.oh * g.ow;
+  auto xi = x.impl();
+  auto wi = w.impl();
+  const ConvGeom geom = g;
+  Tensor y = make_op_result(
+      "conv2d", Shape{g.n, g.oc, g.oh, g.ow}, {x, w}, [xi, wi, geom](const TensorImpl& o) {
+        const Index ckk2 = geom.c * geom.kh * geom.kw;
+        const Index osp2 = geom.oh * geom.ow;
+        std::vector<float> cols(static_cast<std::size_t>(ckk2) * osp2);
+        std::vector<float> dcols(static_cast<std::size_t>(ckk2) * osp2);
+        for (Index s = 0; s < geom.n; ++s) {
+          const float* dy = o.grad.data() + s * geom.oc * osp2;
+          if (wi->requires_grad) {
+            // dW (OC, CKK) += dY (OC, osp) * cols^T (osp, CKK)
+            detail::im2col(xi->data.data() + s * geom.c * geom.h * geom.w, geom.c, geom.h,
+                           geom.w, geom.kh, geom.kw, geom.stride, geom.padding, geom.oh,
+                           geom.ow, cols.data());
+            sgemm(false, true, geom.oc, ckk2, osp2, 1.0f, dy, osp2, cols.data(), osp2, 1.0f,
+                  wi->grad_buffer().data(), ckk2);
+          }
+          if (xi->requires_grad) {
+            // dcols (CKK, osp) = W^T (CKK, OC) * dY (OC, osp); dX += col2im(dcols)
+            sgemm(true, false, ckk2, osp2, geom.oc, 1.0f, wi->data.data(), ckk2, dy, osp2,
+                  0.0f, dcols.data(), osp2);
+            detail::col2im(dcols.data(), geom.c, geom.h, geom.w, geom.kh, geom.kw,
+                           geom.stride, geom.padding, geom.oh, geom.ow,
+                           xi->grad_buffer().data() + s * geom.c * geom.h * geom.w);
+          }
+        }
+      });
+  std::vector<float> cols(static_cast<std::size_t>(ckk) * osp);
+  for (Index s = 0; s < g.n; ++s) {
+    detail::im2col(x.data().data() + s * g.c * g.h * g.w, g.c, g.h, g.w, g.kh, g.kw, stride,
+                   padding, g.oh, g.ow, cols.data());
+    sgemm(false, false, g.oc, osp, ckk, 1.0f, w.data().data(), ckk, cols.data(), osp, 0.0f,
+          y.data().data() + s * g.oc * osp, osp);
+  }
+  if (b.defined()) y = add_bias(y, b);
+  return y;
+}
+
+Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
+                        Index padding) {
+  FG_CHECK(x.shape().rank() == 4, "conv_transpose2d: input must be NCHW, got " << x.shape());
+  FG_CHECK(w.shape().rank() == 4,
+           "conv_transpose2d: weight must be (C, OC, KH, KW), got " << w.shape());
+  FG_CHECK(stride >= 1 && padding >= 0, "conv_transpose2d: bad stride/padding");
+  const Index n = x.shape()[0], c = x.shape()[1], h = x.shape()[2], wdt = x.shape()[3];
+  FG_CHECK(w.shape()[0] == c,
+           "conv_transpose2d: weight " << w.shape() << " incompatible with input " << x.shape());
+  const Index oc = w.shape()[1], kh = w.shape()[2], kw = w.shape()[3];
+  const Index oh = (h - 1) * stride - 2 * padding + kh;
+  const Index ow = (wdt - 1) * stride - 2 * padding + kw;
+  FG_CHECK(oh >= 1 && ow >= 1, "conv_transpose2d: degenerate output size");
+  const Index ockk = oc * kh * kw;
+  const Index isp = h * wdt;
+  auto xi = x.impl();
+  auto wi = w.impl();
+  Tensor y = make_op_result(
+      "conv_transpose2d", Shape{n, oc, oh, ow}, {x, w},
+      [xi, wi, n, c, h, wdt, oc, kh, kw, stride, padding, oh, ow](const TensorImpl& o) {
+        const Index ockk2 = oc * kh * kw;
+        const Index isp2 = h * wdt;
+        std::vector<float> dy_cols(static_cast<std::size_t>(ockk2) * isp2);
+        for (Index s = 0; s < n; ++s) {
+          // The adjoint geometry treats the *output* grad as the conv input:
+          // dy_cols (OCKK, isp) = im2col(dY over (OC, OH, OW)).
+          detail::im2col(o.grad.data() + s * oc * oh * ow, oc, oh, ow, kh, kw, stride,
+                         padding, h, wdt, dy_cols.data());
+          if (xi->requires_grad) {
+            // dX (C, isp) = W_mat (C, OCKK) * dy_cols
+            sgemm(false, false, c, isp2, ockk2, 1.0f, wi->data.data(), ockk2, dy_cols.data(),
+                  isp2, 1.0f, xi->grad_buffer().data() + s * c * isp2, isp2);
+          }
+          if (wi->requires_grad) {
+            // dW (C, OCKK) += X (C, isp) * dy_cols^T
+            sgemm(false, true, c, ockk2, isp2, 1.0f, xi->data.data() + s * c * isp2, isp2,
+                  dy_cols.data(), isp2, 1.0f, wi->grad_buffer().data(), ockk2);
+          }
+        }
+      });
+  // Forward: cols (OCKK, isp) = W_mat^T (OCKK, C) * X (C, isp); Y = col2im(cols)
+  std::vector<float> cols(static_cast<std::size_t>(ockk) * isp);
+  for (Index s = 0; s < n; ++s) {
+    sgemm(true, false, ockk, isp, c, 1.0f, w.data().data(), ockk,
+          x.data().data() + s * c * isp, isp, 0.0f, cols.data(), isp);
+    detail::col2im(cols.data(), oc, oh, ow, kh, kw, stride, padding, h, wdt,
+                   y.data().data() + s * oc * oh * ow);
+  }
+  if (b.defined()) y = add_bias(y, b);
+  return y;
+}
+
+Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                    Tensor& running_mean, Tensor& running_var, bool training, float momentum,
+                    float eps) {
+  FG_CHECK(x.shape().rank() == 4, "batch_norm2d expects NCHW, got " << x.shape());
+  const Index n = x.shape()[0], c = x.shape()[1], hw = x.shape()[2] * x.shape()[3];
+  FG_CHECK(gamma.shape() == Shape{c} && beta.shape() == Shape{c},
+           "batch_norm2d: gamma/beta must be [" << c << "]");
+  FG_CHECK(running_mean.shape() == Shape{c} && running_var.shape() == Shape{c},
+           "batch_norm2d: running stats must be [" << c << "]");
+  const Index m = n * hw;  // statistics population per channel
+
+  auto mean_c = std::make_shared<std::vector<float>>(c);
+  auto invstd_c = std::make_shared<std::vector<float>>(c);
+  if (training) {
+    FG_CHECK(m > 1, "batch_norm2d training mode needs more than one value per channel");
+    for (Index ch = 0; ch < c; ++ch) {
+      double sum = 0.0, sumsq = 0.0;
+      for (Index s = 0; s < n; ++s) {
+        const float* src = x.data().data() + (s * c + ch) * hw;
+        for (Index j = 0; j < hw; ++j) {
+          sum += src[j];
+          sumsq += static_cast<double>(src[j]) * src[j];
+        }
+      }
+      const double mu = sum / m;
+      const double var = std::max(0.0, sumsq / m - mu * mu);
+      (*mean_c)[ch] = static_cast<float>(mu);
+      (*invstd_c)[ch] = static_cast<float>(1.0 / std::sqrt(var + eps));
+      // Running stats use the unbiased variance, as in PyTorch.
+      const double unbiased = var * m / (m - 1);
+      running_mean.data()[ch] =
+          (1.0f - momentum) * running_mean.data()[ch] + momentum * static_cast<float>(mu);
+      running_var.data()[ch] =
+          (1.0f - momentum) * running_var.data()[ch] + momentum * static_cast<float>(unbiased);
+    }
+  } else {
+    for (Index ch = 0; ch < c; ++ch) {
+      (*mean_c)[ch] = running_mean.data()[ch];
+      (*invstd_c)[ch] = 1.0f / std::sqrt(running_var.data()[ch] + eps);
+    }
+  }
+
+  auto xi = x.impl();
+  auto gi = gamma.impl();
+  auto bi = beta.impl();
+  Tensor y = make_op_result(
+      "batch_norm2d", x.shape(), {x, gamma, beta},
+      [xi, gi, bi, mean_c, invstd_c, n, c, hw, m, training](const TensorImpl& o) {
+        for (Index ch = 0; ch < c; ++ch) {
+          const float mu = (*mean_c)[ch];
+          const float invstd = (*invstd_c)[ch];
+          const float g = gi->data[ch];
+          // Per-channel reductions over dy and dy*xhat.
+          double sum_dy = 0.0, sum_dy_xhat = 0.0;
+          for (Index s = 0; s < n; ++s) {
+            const float* dy = o.grad.data() + (s * c + ch) * hw;
+            const float* xv = xi->data.data() + (s * c + ch) * hw;
+            for (Index j = 0; j < hw; ++j) {
+              sum_dy += dy[j];
+              sum_dy_xhat += static_cast<double>(dy[j]) * (xv[j] - mu) * invstd;
+            }
+          }
+          if (gi->requires_grad) gi->grad_buffer()[ch] += static_cast<float>(sum_dy_xhat);
+          if (bi->requires_grad) bi->grad_buffer()[ch] += static_cast<float>(sum_dy);
+          if (!xi->requires_grad) continue;
+          if (training) {
+            // Full backward through the batch statistics.
+            const float k1 = static_cast<float>(sum_dy / m);
+            const float k2 = static_cast<float>(sum_dy_xhat / m);
+            for (Index s = 0; s < n; ++s) {
+              const float* dy = o.grad.data() + (s * c + ch) * hw;
+              const float* xv = xi->data.data() + (s * c + ch) * hw;
+              float* dx = xi->grad_buffer().data() + (s * c + ch) * hw;
+              for (Index j = 0; j < hw; ++j) {
+                const float xhat = (xv[j] - mu) * invstd;
+                dx[j] += g * invstd * (dy[j] - k1 - xhat * k2);
+              }
+            }
+          } else {
+            const float scale = g * invstd;
+            for (Index s = 0; s < n; ++s) {
+              const float* dy = o.grad.data() + (s * c + ch) * hw;
+              float* dx = xi->grad_buffer().data() + (s * c + ch) * hw;
+              for (Index j = 0; j < hw; ++j) dx[j] += scale * dy[j];
+            }
+          }
+        }
+      });
+  for (Index s = 0; s < n; ++s) {
+    for (Index ch = 0; ch < c; ++ch) {
+      const float mu = (*mean_c)[ch];
+      const float invstd = (*invstd_c)[ch];
+      const float g = gamma.data()[ch];
+      const float bshift = beta.data()[ch];
+      const float* src = x.data().data() + (s * c + ch) * hw;
+      float* dst = y.data().data() + (s * c + ch) * hw;
+      for (Index j = 0; j < hw; ++j) dst[j] = g * (src[j] - mu) * invstd + bshift;
+    }
+  }
+  return y;
+}
+
+}  // namespace flashgen::tensor

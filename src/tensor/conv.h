@@ -1,0 +1,42 @@
+// Differentiable 2-D convolution, transposed convolution, and batch norm.
+//
+// Convolutions use the im2col + SGEMM formulation; the transposed convolution
+// is implemented as the adjoint (conv backward-data), matching PyTorch's
+// ConvTranspose2d semantics and weight layout (Cin, Cout, KH, KW).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace flashgen::tensor {
+
+/// 2-D convolution. x (N, C, H, W), w (OC, C, KH, KW), optional bias b (OC).
+/// Output spatial size: (H + 2*padding - KH) / stride + 1 (must divide evenly
+/// in the sense of the floor formula; validated).
+Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
+              Index padding);
+
+/// 2-D transposed convolution. x (N, C, H, W), w (C, OC, KH, KW), optional
+/// bias b (OC). Output spatial size: (H - 1) * stride - 2*padding + KH.
+Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
+                        Index padding);
+
+/// Batch normalization over an NCHW tensor (statistics per channel across
+/// N*H*W). In training mode computes batch statistics, differentiates through
+/// them, and updates `running_mean` / `running_var` in place (data only, no
+/// graph). In eval mode normalizes with the running statistics.
+Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                    Tensor& running_mean, Tensor& running_var, bool training,
+                    float momentum = 0.1f, float eps = 1e-5f);
+
+// Exposed for testing and for the micro-benchmarks.
+namespace detail {
+/// Unfolds x_sample (C, H, W) into columns (C*KH*KW, OH*OW).
+void im2col(const float* x, Index c, Index h, Index w, Index kh, Index kw, Index stride,
+            Index padding, Index oh, Index ow, float* cols);
+/// Adjoint of im2col: scatter-adds columns back into (C, H, W). `x` must be
+/// zero-initialized by the caller when a pure scatter is wanted.
+void col2im(const float* cols, Index c, Index h, Index w, Index kh, Index kw, Index stride,
+            Index padding, Index oh, Index ow, float* x);
+}  // namespace detail
+
+}  // namespace flashgen::tensor

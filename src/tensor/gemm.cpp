@@ -1,0 +1,81 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace flashgen::tensor {
+
+namespace {
+
+// Core kernel for the row-major, no-transpose case:
+// C[i,:] += alpha * sum_k A[i,k] * B[k,:]. The j-loop over contiguous C and B
+// rows auto-vectorizes. Cache-blocked over k to keep B panels resident.
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
+             std::int64_t lda, const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
+  constexpr std::int64_t kc = 256;
+  for (std::int64_t k0 = 0; k0 < k; k0 += kc) {
+    const std::int64_t k1 = std::min(k, k0 + kc);
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      for (std::int64_t p = k0; p < k1; ++p) {
+        const float aip = alpha * a[i * lda + p];
+        if (aip == 0.0f) continue;
+        const float* brow = b + p * ldb;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+           float alpha, const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+           float beta, float* c, std::int64_t ldc) {
+  FG_CHECK(m >= 0 && n >= 0 && k >= 0, "negative GEMM dimension");
+  // Scale C by beta first so the kernels can be pure accumulators.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  if (!trans_a && !trans_b) {
+    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  // Transposed cases: materialize the transposed operand once. The matrices in
+  // this codebase are small enough (< a few MB) that an explicit transpose is
+  // both simple and fast relative to strided inner loops.
+  std::vector<float> at;
+  std::vector<float> bt;
+  const float* aa = a;
+  const float* bb = b;
+  std::int64_t alda = lda;
+  std::int64_t bldb = ldb;
+  if (trans_a) {
+    at.resize(static_cast<std::size_t>(m) * k);
+    // stored A is k x m with row stride lda; we want m x k.
+    for (std::int64_t p = 0; p < k; ++p)
+      for (std::int64_t i = 0; i < m; ++i) at[i * k + p] = a[p * lda + i];
+    aa = at.data();
+    alda = k;
+  }
+  if (trans_b) {
+    bt.resize(static_cast<std::size_t>(k) * n);
+    // stored B is n x k with row stride ldb; we want k x n.
+    for (std::int64_t j = 0; j < n; ++j)
+      for (std::int64_t p = 0; p < k; ++p) bt[p * n + j] = b[j * ldb + p];
+    bb = bt.data();
+    bldb = n;
+  }
+  gemm_nn(m, n, k, alpha, aa, alda, bb, bldb, c, ldc);
+}
+
+}  // namespace flashgen::tensor

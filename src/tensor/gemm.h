@@ -1,0 +1,19 @@
+// Single-threaded SGEMM used by the linear and convolution kernels.
+//
+// C (MxN) = alpha * op(A) * op(B) + beta * C, row-major, BLAS-like but with
+// explicit row-major semantics. Tuned for the small/medium matrices that the
+// im2col convolution path produces; the inner loop is written so the compiler
+// auto-vectorizes it.
+#pragma once
+
+#include <cstdint>
+
+namespace flashgen::tensor {
+
+/// Row-major SGEMM. `lda`/`ldb`/`ldc` are the row strides of the *stored*
+/// (untransposed) matrices. op(A) is MxK, op(B) is KxN, C is MxN.
+void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+           float alpha, const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+           float beta, float* c, std::int64_t ldc);
+
+}  // namespace flashgen::tensor

@@ -1,0 +1,447 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+#include "tensor/gemm.h"
+
+namespace flashgen::tensor {
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  FG_CHECK(a.shape() == b.shape(),
+           op << ": shape mismatch " << a.shape() << " vs " << b.shape());
+}
+
+// Elementwise binary helper: out = f(a, b); backward multiplies grad_out by
+// the local partials computed from the saved inputs.
+template <typename Fwd, typename BwdA, typename BwdB>
+Tensor binary_op(const char* name, const Tensor& a, const Tensor& b, Fwd fwd, BwdA dfda,
+                 BwdB dfdb) {
+  check_same_shape(a, b, name);
+  auto ai = a.impl();
+  auto bi = b.impl();
+  Tensor out = make_op_result(name, a.shape(), {a, b}, [ai, bi, dfda, dfdb](const TensorImpl& o) {
+    const std::size_t n = o.data.size();
+    if (ai->requires_grad) {
+      auto& ga = ai->grad_buffer();
+      for (std::size_t i = 0; i < n; ++i) ga[i] += o.grad[i] * dfda(ai->data[i], bi->data[i]);
+    }
+    if (bi->requires_grad) {
+      auto& gb = bi->grad_buffer();
+      for (std::size_t i = 0; i < n; ++i) gb[i] += o.grad[i] * dfdb(ai->data[i], bi->data[i]);
+    }
+  });
+  auto dst = out.data();
+  auto pa = a.data();
+  auto pb = b.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = fwd(pa[i], pb[i]);
+  return out;
+}
+
+// Elementwise unary helper; backward uses the *output* value via dfdy(x, y).
+template <typename Fwd, typename Bwd>
+Tensor unary_op(const char* name, const Tensor& a, Fwd fwd, Bwd dfdx) {
+  auto ai = a.impl();
+  auto out_holder = std::make_shared<std::vector<float>>();
+  Tensor out = make_op_result(name, a.shape(), {a}, [ai, out_holder, dfdx](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    auto& ga = ai->grad_buffer();
+    for (std::size_t i = 0; i < o.data.size(); ++i)
+      ga[i] += o.grad[i] * dfdx(ai->data[i], o.data[i]);
+  });
+  auto dst = out.data();
+  auto pa = a.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = fwd(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      "add", a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      "sub", a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      "mul", a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary_op(
+      "add_scalar", a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary_op(
+      "mul_scalar", a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+}
+
+Tensor neg(const Tensor& a) { return mul_scalar(a, -1.0f); }
+
+Tensor abs(const Tensor& a) {
+  return unary_op(
+      "abs", a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; });
+}
+
+Tensor square(const Tensor& a) {
+  return unary_op(
+      "square", a, [](float x) { return x * x; }, [](float x, float) { return 2.0f * x; });
+}
+
+Tensor exp(const Tensor& a) {
+  return unary_op(
+      "exp", a, [](float x) { return std::exp(x); }, [](float, float y) { return y; });
+}
+
+Tensor log(const Tensor& a, float eps) {
+  return unary_op(
+      "log", a, [eps](float x) { return std::log(x < eps ? eps : x); },
+      [eps](float x, float) { return 1.0f / (x < eps ? eps : x); });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary_op(
+      "relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor leaky_relu(const Tensor& a, float negative_slope) {
+  return unary_op(
+      "leaky_relu", a,
+      [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
+      [negative_slope](float x, float) { return x > 0.0f ? 1.0f : negative_slope; });
+}
+
+Tensor tanh(const Tensor& a) {
+  return unary_op(
+      "tanh", a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(
+      "sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor sum(const Tensor& a) {
+  auto ai = a.impl();
+  Tensor out = make_op_result("sum", Shape{1}, {a}, [ai](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    auto& ga = ai->grad_buffer();
+    const float g = o.grad[0];
+    for (float& v : ga) v += g;
+  });
+  double acc = 0.0;
+  for (float v : a.data()) acc += v;
+  out.data()[0] = static_cast<float>(acc);
+  return out;
+}
+
+Tensor mean(const Tensor& a) {
+  FG_CHECK(a.numel() > 0, "mean of empty tensor");
+  return mul_scalar(sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor view(const Tensor& a, const Shape& shape) {
+  FG_CHECK(shape.numel() == a.numel(),
+           "view: numel mismatch " << a.shape() << " -> " << shape);
+  auto ai = a.impl();
+  Tensor out = make_op_result("view", shape, {a}, [ai](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    accumulate_grad(*ai, o.grad);
+  });
+  std::copy(a.data().begin(), a.data().end(), out.data().begin());
+  return out;
+}
+
+Tensor cat_channels(const Tensor& a, const Tensor& b) {
+  FG_CHECK(a.shape().rank() == 4 && b.shape().rank() == 4,
+           "cat_channels expects NCHW tensors, got " << a.shape() << " and " << b.shape());
+  const Index n = a.shape()[0], ca = a.shape()[1], h = a.shape()[2], w = a.shape()[3];
+  const Index cb = b.shape()[1];
+  FG_CHECK(b.shape()[0] == n && b.shape()[2] == h && b.shape()[3] == w,
+           "cat_channels: incompatible shapes " << a.shape() << " and " << b.shape());
+  const Index hw = h * w;
+  auto ai = a.impl();
+  auto bi = b.impl();
+  Tensor out = make_op_result(
+      "cat_channels", Shape{n, ca + cb, h, w}, {a, b}, [ai, bi, n, ca, cb, hw](const TensorImpl& o) {
+        for (Index s = 0; s < n; ++s) {
+          const float* go = o.grad.data() + s * (ca + cb) * hw;
+          if (ai->requires_grad) {
+            float* ga = ai->grad_buffer().data() + s * ca * hw;
+            for (Index i = 0; i < ca * hw; ++i) ga[i] += go[i];
+          }
+          if (bi->requires_grad) {
+            float* gb = bi->grad_buffer().data() + s * cb * hw;
+            for (Index i = 0; i < cb * hw; ++i) gb[i] += go[ca * hw + i];
+          }
+        }
+      });
+  for (Index s = 0; s < n; ++s) {
+    float* dst = out.data().data() + s * (ca + cb) * hw;
+    std::memcpy(dst, a.data().data() + s * ca * hw, sizeof(float) * ca * hw);
+    std::memcpy(dst + ca * hw, b.data().data() + s * cb * hw, sizeof(float) * cb * hw);
+  }
+  return out;
+}
+
+Tensor broadcast_spatial(const Tensor& z, Index h, Index w) {
+  FG_CHECK(z.shape().rank() == 2, "broadcast_spatial expects (N, C), got " << z.shape());
+  FG_CHECK(h > 0 && w > 0, "broadcast_spatial: bad grid " << h << "x" << w);
+  const Index n = z.shape()[0], c = z.shape()[1], hw = h * w;
+  auto zi = z.impl();
+  Tensor out = make_op_result(
+      "broadcast_spatial", Shape{n, c, h, w}, {z}, [zi, n, c, hw](const TensorImpl& o) {
+        if (!zi->requires_grad) return;
+        auto& gz = zi->grad_buffer();
+        for (Index i = 0; i < n * c; ++i) {
+          const float* go = o.grad.data() + i * hw;
+          double acc = 0.0;
+          for (Index j = 0; j < hw; ++j) acc += go[j];
+          gz[i] += static_cast<float>(acc);
+        }
+      });
+  for (Index i = 0; i < n * c; ++i) {
+    float* dst = out.data().data() + i * hw;
+    const float v = z.data()[i];
+    for (Index j = 0; j < hw; ++j) dst[j] = v;
+  }
+  return out;
+}
+
+Tensor global_avg_pool(const Tensor& a) {
+  FG_CHECK(a.shape().rank() == 4, "global_avg_pool expects NCHW, got " << a.shape());
+  const Index n = a.shape()[0], c = a.shape()[1], hw = a.shape()[2] * a.shape()[3];
+  FG_CHECK(hw > 0, "global_avg_pool: empty spatial grid");
+  auto ai = a.impl();
+  Tensor out =
+      make_op_result("global_avg_pool", Shape{n, c}, {a}, [ai, n, c, hw](const TensorImpl& o) {
+        if (!ai->requires_grad) return;
+        auto& ga = ai->grad_buffer();
+        const float inv = 1.0f / static_cast<float>(hw);
+        for (Index i = 0; i < n * c; ++i) {
+          const float g = o.grad[i] * inv;
+          float* dst = ga.data() + i * hw;
+          for (Index j = 0; j < hw; ++j) dst[j] += g;
+        }
+      });
+  for (Index i = 0; i < n * c; ++i) {
+    const float* src = a.data().data() + i * hw;
+    double acc = 0.0;
+    for (Index j = 0; j < hw; ++j) acc += src[j];
+    out.data()[i] = static_cast<float>(acc / hw);
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  FG_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+           "matmul expects rank-2 tensors, got " << a.shape() << " and " << b.shape());
+  const Index m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  FG_CHECK(b.shape()[0] == k, "matmul: inner dims differ " << a.shape() << " x " << b.shape());
+  auto ai = a.impl();
+  auto bi = b.impl();
+  Tensor out = make_op_result("matmul", Shape{m, n}, {a, b}, [ai, bi, m, k, n](const TensorImpl& o) {
+    // dA = dC * B^T ; dB = A^T * dC
+    if (ai->requires_grad) {
+      sgemm(false, true, m, k, n, 1.0f, o.grad.data(), n, bi->data.data(), n, 1.0f,
+            ai->grad_buffer().data(), k);
+    }
+    if (bi->requires_grad) {
+      sgemm(true, false, k, n, m, 1.0f, ai->data.data(), k, o.grad.data(), n, 1.0f,
+            bi->grad_buffer().data(), n);
+    }
+  });
+  sgemm(false, false, m, n, k, 1.0f, a.data().data(), k, b.data().data(), n, 0.0f,
+        out.data().data(), n);
+  return out;
+}
+
+Tensor add_bias(const Tensor& x, const Tensor& b) {
+  FG_CHECK(x.shape().rank() == 2 || x.shape().rank() == 4,
+           "add_bias expects (N,C) or (N,C,H,W), got " << x.shape());
+  const Index n = x.shape()[0], c = x.shape()[1];
+  const Index hw = x.shape().rank() == 4 ? x.shape()[2] * x.shape()[3] : 1;
+  FG_CHECK(b.shape().rank() == 1 && b.shape()[0] == c,
+           "add_bias: bias " << b.shape() << " does not match channels of " << x.shape());
+  auto xi = x.impl();
+  auto bi = b.impl();
+  Tensor out = make_op_result("add_bias", x.shape(), {x, b}, [xi, bi, n, c, hw](const TensorImpl& o) {
+    if (xi->requires_grad) accumulate_grad(*xi, o.grad);
+    if (bi->requires_grad) {
+      auto& gb = bi->grad_buffer();
+      for (Index s = 0; s < n; ++s)
+        for (Index ch = 0; ch < c; ++ch) {
+          const float* go = o.grad.data() + (s * c + ch) * hw;
+          double acc = 0.0;
+          for (Index j = 0; j < hw; ++j) acc += go[j];
+          gb[ch] += static_cast<float>(acc);
+        }
+    }
+  });
+  for (Index s = 0; s < n; ++s)
+    for (Index ch = 0; ch < c; ++ch) {
+      float* dst = out.data().data() + (s * c + ch) * hw;
+      const float* src = x.data().data() + (s * c + ch) * hw;
+      const float bias = b.data()[ch];
+      for (Index j = 0; j < hw; ++j) dst[j] = src[j] + bias;
+    }
+  return out;
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
+  FG_CHECK(x.shape().rank() == 2 && w.shape().rank() == 2,
+           "linear expects x (N,In) and w (Out,In), got " << x.shape() << " and " << w.shape());
+  const Index n = x.shape()[0], in = x.shape()[1], out_dim = w.shape()[0];
+  FG_CHECK(w.shape()[1] == in, "linear: weight " << w.shape() << " incompatible with input "
+                                                 << x.shape());
+  auto xi = x.impl();
+  auto wi = w.impl();
+  Tensor y = make_op_result("linear", Shape{n, out_dim}, {x, w},
+                            [xi, wi, n, in, out_dim](const TensorImpl& o) {
+                              // y = x * w^T ; dx = dy * w ; dw = dy^T * x
+                              if (xi->requires_grad) {
+                                sgemm(false, false, n, in, out_dim, 1.0f, o.grad.data(), out_dim,
+                                      wi->data.data(), in, 1.0f, xi->grad_buffer().data(), in);
+                              }
+                              if (wi->requires_grad) {
+                                sgemm(true, false, out_dim, in, n, 1.0f, o.grad.data(), out_dim,
+                                      xi->data.data(), in, 1.0f, wi->grad_buffer().data(), in);
+                              }
+                            });
+  sgemm(false, true, n, out_dim, in, 1.0f, x.data().data(), in, w.data().data(), in, 0.0f,
+        y.data().data(), out_dim);
+  if (b.defined()) y = add_bias(y, b);
+  return y;
+}
+
+Tensor affine_scalar(const Tensor& x, const Tensor& gain, const Tensor& bias) {
+  FG_CHECK(gain.shape() == Shape{1} && bias.shape() == Shape{1},
+           "affine_scalar: gain and bias must be scalars (shape [1])");
+  auto xi = x.impl();
+  auto gi = gain.impl();
+  auto bi = bias.impl();
+  Tensor out = make_op_result("affine_scalar", x.shape(), {x, gain, bias},
+                              [xi, gi, bi](const TensorImpl& o) {
+                                const float g = gi->data[0];
+                                if (xi->requires_grad) {
+                                  auto& gx = xi->grad_buffer();
+                                  for (std::size_t i = 0; i < o.grad.size(); ++i)
+                                    gx[i] += o.grad[i] * g;
+                                }
+                                if (gi->requires_grad) {
+                                  double acc = 0.0;
+                                  for (std::size_t i = 0; i < o.grad.size(); ++i)
+                                    acc += static_cast<double>(o.grad[i]) * xi->data[i];
+                                  gi->grad_buffer()[0] += static_cast<float>(acc);
+                                }
+                                if (bi->requires_grad) {
+                                  double acc = 0.0;
+                                  for (float gval : o.grad) acc += gval;
+                                  bi->grad_buffer()[0] += static_cast<float>(acc);
+                                }
+                              });
+  const float g = gain.data()[0];
+  const float b = bias.data()[0];
+  auto dst = out.data();
+  auto src = x.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = g * src[i] + b;
+  return out;
+}
+
+Tensor dropout(const Tensor& a, float p, bool training, flashgen::Rng& rng) {
+  FG_CHECK(p >= 0.0f && p < 1.0f, "dropout probability must be in [0,1), got " << p);
+  if (!training || p == 0.0f) return view(a, a.shape());  // identity, keeps graph
+  const float scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(a.data().size());
+  for (float& m : *mask) m = rng.bernoulli(p) ? 0.0f : scale;
+  auto ai = a.impl();
+  Tensor out = make_op_result("dropout", a.shape(), {a}, [ai, mask](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    auto& ga = ai->grad_buffer();
+    for (std::size_t i = 0; i < o.grad.size(); ++i) ga[i] += o.grad[i] * (*mask)[i];
+  });
+  auto dst = out.data();
+  auto src = a.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i] * (*mask)[i];
+  return out;
+}
+
+Tensor l1_loss(const Tensor& a, const Tensor& b) { return mean(abs(sub(a, b))); }
+
+Tensor mse_loss(const Tensor& a, const Tensor& b) { return mean(square(sub(a, b))); }
+
+Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
+  check_same_shape(logits, targets, "bce_with_logits");
+  auto li = logits.impl();
+  auto ti = targets.impl();
+  const Index n = logits.numel();
+  FG_CHECK(n > 0, "bce_with_logits on empty tensor");
+  Tensor out = make_op_result("bce_with_logits", Shape{1}, {logits, targets},
+                              [li, ti, n](const TensorImpl& o) {
+                                if (!li->requires_grad) return;
+                                auto& gl = li->grad_buffer();
+                                const float g = o.grad[0] / static_cast<float>(n);
+                                for (Index i = 0; i < n; ++i) {
+                                  const float x = li->data[i];
+                                  const float s = 1.0f / (1.0f + std::exp(-x));
+                                  gl[i] += g * (s - ti->data[i]);
+                                }
+                              });
+  double acc = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const double x = logits.data()[i];
+    const double t = targets.data()[i];
+    // max(x,0) - x*t + log(1 + exp(-|x|))
+    acc += std::max(x, 0.0) - x * t + std::log1p(std::exp(-std::fabs(x)));
+  }
+  out.data()[0] = static_cast<float>(acc / n);
+  return out;
+}
+
+Tensor kl_standard_normal(const Tensor& mu, const Tensor& logvar) {
+  check_same_shape(mu, logvar, "kl_standard_normal");
+  FG_CHECK(mu.shape().rank() == 2, "kl_standard_normal expects (N, Z), got " << mu.shape());
+  const Index n = mu.shape()[0];
+  auto mi = mu.impl();
+  auto li = logvar.impl();
+  Tensor out = make_op_result("kl_standard_normal", Shape{1}, {mu, logvar},
+                              [mi, li, n](const TensorImpl& o) {
+                                const float g = o.grad[0] / static_cast<float>(n);
+                                if (mi->requires_grad) {
+                                  auto& gm = mi->grad_buffer();
+                                  for (std::size_t i = 0; i < gm.size(); ++i)
+                                    gm[i] += g * mi->data[i];
+                                }
+                                if (li->requires_grad) {
+                                  auto& gl = li->grad_buffer();
+                                  for (std::size_t i = 0; i < gl.size(); ++i)
+                                    gl[i] += g * 0.5f * (std::exp(li->data[i]) - 1.0f);
+                                }
+                              });
+  double acc = 0.0;
+  for (std::size_t i = 0; i < mu.data().size(); ++i) {
+    const double m = mu.data()[i];
+    const double lv = logvar.data()[i];
+    acc += -0.5 * (1.0 + lv - m * m - std::exp(lv));
+  }
+  out.data()[0] = static_cast<float>(acc / n);
+  return out;
+}
+
+}  // namespace flashgen::tensor

@@ -1,0 +1,78 @@
+// Differentiable tensor operations.
+//
+// Every op is a pure function building one node in the autograd graph (when
+// gradient recording is on and an input requires grad). Shapes are validated
+// at the call boundary with FG_CHECK; all ops allocate fresh outputs.
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace flashgen::tensor {
+
+// ---- elementwise binary (shapes must match exactly) -------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+// ---- scalar ------------------------------------------------------------------
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+Tensor neg(const Tensor& a);
+
+// ---- elementwise unary --------------------------------------------------------
+Tensor abs(const Tensor& a);
+Tensor square(const Tensor& a);
+Tensor exp(const Tensor& a);
+/// Natural log with inputs clamped to >= eps for numerical safety.
+Tensor log(const Tensor& a, float eps = 1e-12f);
+Tensor relu(const Tensor& a);
+Tensor leaky_relu(const Tensor& a, float negative_slope = 0.2f);
+Tensor tanh(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+
+// ---- reductions ----------------------------------------------------------------
+/// Sum of all elements -> shape [1].
+Tensor sum(const Tensor& a);
+/// Mean of all elements -> shape [1].
+Tensor mean(const Tensor& a);
+
+// ---- shape -----------------------------------------------------------------------
+/// Copies into a new shape with identical numel (differentiable reshape).
+Tensor view(const Tensor& a, const Shape& shape);
+/// Concatenates two NCHW tensors along the channel dimension.
+Tensor cat_channels(const Tensor& a, const Tensor& b);
+/// Replicates an (N, C) tensor across an H x W spatial grid -> (N, C, H, W).
+/// Backward sums the spatial grid. Used to inject latent codes into conv maps.
+Tensor broadcast_spatial(const Tensor& z, Index h, Index w);
+/// (N, C, H, W) -> (N, C), mean over the spatial grid.
+Tensor global_avg_pool(const Tensor& a);
+
+// ---- linear algebra ----------------------------------------------------------------
+/// (M, K) x (K, N) -> (M, N).
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// Affine map: x (N, In), w (Out, In), optional bias b (Out) -> (N, Out).
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b);
+/// Adds a per-channel bias over dim 1 of an (N, C) or (N, C, H, W) tensor.
+Tensor add_bias(const Tensor& x, const Tensor& b);
+/// y = gain * x + bias with learnable scalar (shape [1]) gain and bias.
+Tensor affine_scalar(const Tensor& x, const Tensor& gain, const Tensor& bias);
+
+// ---- regularization -------------------------------------------------------------------
+/// Inverted dropout: scales kept activations by 1/(1-p) in training mode,
+/// identity in eval mode.
+Tensor dropout(const Tensor& a, float p, bool training, flashgen::Rng& rng);
+
+// ---- losses --------------------------------------------------------------------------
+/// Mean absolute error over all elements.
+Tensor l1_loss(const Tensor& a, const Tensor& b);
+/// Mean squared error over all elements.
+Tensor mse_loss(const Tensor& a, const Tensor& b);
+/// Numerically-stable binary cross entropy on logits; `targets` in [0,1] are
+/// treated as constants. Mean over all elements.
+Tensor bce_with_logits(const Tensor& logits, const Tensor& targets);
+/// KL( N(mu, e^logvar) || N(0, I) ), summed over latent dims, mean over the
+/// batch (dim 0). mu/logvar are (N, Z).
+Tensor kl_standard_normal(const Tensor& mu, const Tensor& logvar);
+
+}  // namespace flashgen::tensor

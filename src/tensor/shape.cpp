@@ -1,0 +1,43 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace flashgen::tensor {
+
+Shape::Shape(std::initializer_list<Index> dims) : dims_(dims) {
+  for (Index d : dims_) FG_CHECK(d >= 0, "negative dimension in shape " << to_string());
+}
+
+Shape::Shape(std::vector<Index> dims) : dims_(std::move(dims)) {
+  for (Index d : dims_) FG_CHECK(d >= 0, "negative dimension in shape " << to_string());
+}
+
+Index Shape::numel() const {
+  Index n = 1;
+  for (Index d : dims_) n *= d;
+  return n;
+}
+
+Index Shape::operator[](Index i) const {
+  FG_CHECK(i >= 0 && i < rank(), "shape index " << i << " out of range for " << to_string());
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Shape& shape) {
+  return os << shape.to_string();
+}
+
+}  // namespace flashgen::tensor

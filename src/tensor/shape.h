@@ -1,0 +1,37 @@
+// Shape: dimension vector for dense NCHW float tensors.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flashgen::tensor {
+
+using Index = std::int64_t;
+
+/// Immutable-ish dimension list. Rank 0 is a scalar (numel == 1).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<Index> dims);
+  explicit Shape(std::vector<Index> dims);
+
+  Index rank() const { return static_cast<Index>(dims_.size()); }
+  Index numel() const;
+  Index operator[](Index i) const;
+  const std::vector<Index>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Index> dims_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Shape& shape);
+
+}  // namespace flashgen::tensor

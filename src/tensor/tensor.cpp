@@ -1,0 +1,167 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace flashgen::tensor {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}
+
+std::vector<float>& TensorImpl::grad_buffer() {
+  if (grad.empty()) grad.assign(data.size(), 0.0f);
+  return grad;
+}
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+bool grad_enabled() { return g_grad_enabled; }
+
+Tensor Tensor::zeros(const Shape& shape, bool requires_grad) {
+  return full(shape, 0.0f, requires_grad);
+}
+
+Tensor Tensor::full(const Shape& shape, float value, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<std::size_t>(shape.numel()), value);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::from_data(const Shape& shape, std::vector<float> data, bool requires_grad) {
+  FG_CHECK(static_cast<Index>(data.size()) == shape.numel(),
+           "data size " << data.size() << " does not match shape " << shape);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(data);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::randn(const Shape& shape, flashgen::Rng& rng, float stddev,
+                     bool requires_grad) {
+  Tensor t = zeros(shape, requires_grad);
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(const Shape& shape, flashgen::Rng& rng, float lo, float hi,
+                            bool requires_grad) {
+  Tensor t = zeros(shape, requires_grad);
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+const Shape& Tensor::shape() const {
+  FG_CHECK(defined(), "shape() on undefined tensor");
+  return impl_->shape;
+}
+
+std::span<float> Tensor::data() {
+  FG_CHECK(defined(), "data() on undefined tensor");
+  return impl_->data;
+}
+
+std::span<const float> Tensor::data() const {
+  FG_CHECK(defined(), "data() on undefined tensor");
+  return impl_->data;
+}
+
+bool Tensor::requires_grad() const { return defined() && impl_->requires_grad; }
+
+std::span<const float> Tensor::grad() const {
+  FG_CHECK(defined(), "grad() on undefined tensor");
+  return impl_->grad;
+}
+
+std::span<float> Tensor::grad_mutable() {
+  FG_CHECK(defined(), "grad_mutable() on undefined tensor");
+  return impl_->grad_buffer();
+}
+
+float Tensor::item() const {
+  FG_CHECK(defined() && numel() == 1, "item() requires a single-element tensor");
+  return impl_->data[0];
+}
+
+void Tensor::zero_grad() {
+  FG_CHECK(defined(), "zero_grad() on undefined tensor");
+  impl_->grad.clear();
+}
+
+Tensor Tensor::detach() const {
+  FG_CHECK(defined(), "detach() on undefined tensor");
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;  // copy: detached views must not alias training buffers
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+void Tensor::backward() {
+  FG_CHECK(defined() && numel() == 1, "backward() requires a scalar loss tensor");
+  // Seed d(loss)/d(loss) = 1.
+  impl_->grad_buffer()[0] = 1.0f;
+
+  // Reverse topological order via iterative post-order DFS over the graph.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, std::size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [impl, child_index] = stack.back();
+    if (!impl->node || child_index >= impl->node->parents.size()) {
+      order.push_back(impl);
+      stack.pop_back();
+      continue;
+    }
+    TensorImpl* parent = impl->node->parents[child_index].get();
+    ++child_index;
+    if (parent->node && !visited.count(parent)) {
+      visited.insert(parent);
+      stack.emplace_back(parent, 0);
+    }
+  }
+  // `order` is post-order: parents before children; walk it backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* impl = *it;
+    if (!impl->node || !impl->node->backward) continue;
+    if (impl->grad.empty()) continue;  // unreachable from the loss seed
+    impl->node->backward(*impl);
+  }
+}
+
+Tensor make_op_result(const char* op_name, const Shape& shape, std::vector<Tensor> parents,
+                      std::function<void(const TensorImpl& out)> backward) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<std::size_t>(shape.numel()), 0.0f);
+  bool needs_grad = false;
+  if (grad_enabled()) {
+    for (const Tensor& p : parents) needs_grad = needs_grad || p.requires_grad();
+  }
+  if (needs_grad) {
+    impl->requires_grad = true;
+    auto node = std::make_shared<Node>();
+    node->op_name = op_name;
+    node->parents.reserve(parents.size());
+    for (const Tensor& p : parents) node->parents.push_back(p.impl());
+    node->backward = std::move(backward);
+    impl->node = std::move(node);
+  }
+  return Tensor(std::move(impl));
+}
+
+void accumulate_grad(TensorImpl& impl, std::span<const float> src) {
+  auto& g = impl.grad_buffer();
+  FG_CHECK(g.size() == src.size(), "gradient size mismatch in accumulate_grad");
+  for (std::size_t i = 0; i < src.size(); ++i) g[i] += src[i];
+}
+
+}  // namespace flashgen::tensor

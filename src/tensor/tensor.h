@@ -1,0 +1,115 @@
+// Tensor: dense float32 NCHW tensor with reverse-mode (tape) autograd.
+//
+// A Tensor is a cheap value-semantic handle onto a shared TensorImpl. Ops
+// (see ops.h / conv.h) build a dynamic graph of Nodes; calling backward() on
+// a scalar tensor runs reverse topological order and accumulates gradients
+// into every reachable leaf with requires_grad().
+//
+// Gradient recording can be suspended with NoGradGuard (used during
+// evaluation / generation so no graph is built).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/shape.h"
+
+namespace flashgen::tensor {
+
+struct Node;
+
+/// Shared storage + autograd metadata behind a Tensor handle.
+struct TensorImpl {
+  std::vector<float> data;
+  std::vector<float> grad;  // lazily allocated, same numel as data
+  Shape shape;
+  bool requires_grad = false;
+  std::shared_ptr<Node> node;  // non-null only for op results that need grad
+
+  /// Ensures `grad` is allocated (zero-filled) and returns it.
+  std::vector<float>& grad_buffer();
+};
+
+/// One recorded op in the autograd graph. `backward` reads `out.grad` and
+/// accumulates into the parents' grad buffers.
+struct Node {
+  const char* op_name = "?";
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void(const TensorImpl& out)> backward;
+};
+
+/// RAII guard that disables gradient recording on this thread.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// True if ops on this thread currently record gradients.
+bool grad_enabled();
+
+class Tensor {
+ public:
+  /// Empty (null) tensor; defined() is false.
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  // ---- factories -----------------------------------------------------------
+  static Tensor zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor full(const Shape& shape, float value, bool requires_grad = false);
+  static Tensor from_data(const Shape& shape, std::vector<float> data,
+                          bool requires_grad = false);
+  /// I.i.d. normal(0, stddev) entries.
+  static Tensor randn(const Shape& shape, flashgen::Rng& rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+  /// I.i.d. uniform [lo, hi) entries.
+  static Tensor rand_uniform(const Shape& shape, flashgen::Rng& rng, float lo, float hi,
+                             bool requires_grad = false);
+
+  // ---- basic accessors -----------------------------------------------------
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  Index numel() const { return shape().numel(); }
+  std::span<float> data();
+  std::span<const float> data() const;
+  bool requires_grad() const;
+  /// Gradient of this tensor after backward(); empty span if never touched.
+  std::span<const float> grad() const;
+  std::span<float> grad_mutable();
+
+  /// Value of a single-element tensor.
+  float item() const;
+
+  // ---- autograd ------------------------------------------------------------
+  /// Clears (deallocates) the grad buffer.
+  void zero_grad();
+  /// Runs reverse-mode autodiff from this scalar (numel()==1) tensor.
+  void backward();
+  /// New handle sharing this tensor's data but detached from the graph.
+  Tensor detach() const;
+
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// Creates the result tensor of an op: allocates data, wires the graph node
+/// if gradients are enabled and any parent requires them. `backward` may be
+/// empty for ops that are constant w.r.t. all parents.
+Tensor make_op_result(const char* op_name, const Shape& shape,
+                      std::vector<Tensor> parents,
+                      std::function<void(const TensorImpl& out)> backward);
+
+/// Adds `src` into `impl`'s grad buffer (allocating it if necessary).
+void accumulate_grad(TensorImpl& impl, std::span<const float> src);
+
+}  // namespace flashgen::tensor

@@ -1,0 +1,51 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace flashgen {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto fields = split(",x,,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "x");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Split, EmptyStringIsOneEmptyField) {
+  const auto fields = split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Format, PrintfSemantics) {
+  EXPECT_EQ(format("%d-%s-%.2f", 3, "ab", 1.5), "3-ab-1.50");
+  EXPECT_EQ(format("plain"), "plain");
+}
+
+TEST(StartsWith, Cases) {
+  EXPECT_TRUE(starts_with("flashgen", "flash"));
+  EXPECT_TRUE(starts_with("flash", "flash"));
+  EXPECT_FALSE(starts_with("fla", "flash"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+}  // namespace
+}  // namespace flashgen

@@ -1,0 +1,148 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.h"
+#include "core/reporting.h"
+
+namespace flashgen::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.dataset.array_size = 8;
+  config.dataset.num_arrays = 96;
+  config.dataset.channel.rows = 64;
+  config.dataset.channel.cols = 64;
+  config.eval_arrays = 48;
+  config.z_samples = 2;
+  config.network.array_size = 8;
+  config.network.base_channels = 4;
+  config.network.z_dim = 4;
+  config.epochs = 1;
+  config.batch_size = 8;
+  config.cgan_batch_size = 16;
+  config.histogram.bins = 80;  // coarse bins: keeps sampling noise in TV low
+  config.cache_dir.clear();
+  return config;
+}
+
+TEST(ModelKindTest, NamesAndFactory) {
+  for (ModelKind kind : {ModelKind::CvaeGan, ModelKind::BicycleGan, ModelKind::Cgan,
+                         ModelKind::Cvae, ModelKind::Gaussian}) {
+    auto model = make_model(kind, tiny_config().network, 1);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->name(), to_string(kind));
+  }
+}
+
+TEST(ExperimentTest, ConstructionBuildsDataAndThresholds) {
+  Experiment experiment(tiny_config());
+  EXPECT_EQ(experiment.train_data().size(), 96u);
+  EXPECT_EQ(experiment.eval_data().size(), 48u);
+  const auto& t = experiment.thresholds();
+  for (std::size_t k = 0; k + 1 < t.size(); ++k) EXPECT_LT(t[k], t[k + 1]);
+  EXPECT_EQ(experiment.vth0(), t[0]);
+  EXPECT_GT(experiment.measured_histograms().overall().total(), 0);
+  EXPECT_GT(experiment.measured_ici().wordline.total_occurrences(), 0);
+}
+
+TEST(ExperimentTest, TrainConfigSelectsCganBatch) {
+  Experiment experiment(tiny_config());
+  EXPECT_EQ(experiment.train_config(ModelKind::CvaeGan).batch_size, 8);
+  EXPECT_EQ(experiment.train_config(ModelKind::Cgan).batch_size, 16);
+}
+
+TEST(ExperimentTest, EvaluateGaussianScoresWell) {
+  Experiment experiment(tiny_config());
+  auto model = experiment.train_or_load(ModelKind::Gaussian);
+  const ModelEvaluation eval = experiment.evaluate(*model);
+  EXPECT_EQ(eval.name, "Gaussian");
+  // The Gaussian fit reproduces mid-level conditionals closely on this
+  // near-Gaussian channel...
+  EXPECT_LT(eval.tv_per_level[4], 0.2);
+  // ...but cannot represent the clipped bimodal erased state.
+  EXPECT_GT(eval.tv_per_level[0], 0.2);
+  EXPECT_GT(eval.tv_overall, 0.0);
+  EXPECT_LT(eval.tv_overall, 1.0);
+  EXPECT_GT(eval.ici.wordline.total_occurrences(), 0);
+}
+
+TEST(ExperimentTest, EvaluateCountsScaleWithZSamples) {
+  Experiment experiment(tiny_config());
+  auto model = experiment.train_or_load(ModelKind::Gaussian);
+  const ModelEvaluation eval = experiment.evaluate(*model);
+  const long expected =
+      static_cast<long>(experiment.eval_data().size()) * 2 /* z samples */ * 8 * 8;
+  EXPECT_EQ(eval.histograms.overall().total(), expected);
+}
+
+TEST(ExperimentTest, CheckpointCacheRoundTrip) {
+  ExperimentConfig config = tiny_config();
+  config.cache_dir = ::testing::TempDir() + "/flashgen_cache_test";
+  std::filesystem::remove_all(config.cache_dir);
+  Experiment experiment(config);
+
+  auto trained = experiment.train_or_load(ModelKind::Cvae);
+  // A checkpoint file must now exist...
+  bool found = false;
+  for (const auto& entry : std::filesystem::directory_iterator(config.cache_dir)) {
+    found = found || entry.path().extension() == ".ckpt";
+  }
+  EXPECT_TRUE(found);
+  // ...and the second call must load identical weights.
+  auto loaded = experiment.train_or_load(ModelKind::Cvae);
+  std::vector<std::size_t> indices = {0};
+  auto [pl, vl] = experiment.eval_data().batch(indices);
+  flashgen::Rng g1(5), g2(5);
+  tensor::Tensor a = trained->generate(pl, g1);
+  tensor::Tensor b = loaded->generate(pl, g2);
+  for (tensor::Index i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  std::filesystem::remove_all(config.cache_dir);
+}
+
+TEST(ExperimentTest, MismatchedArraySizesThrow) {
+  ExperimentConfig config = tiny_config();
+  config.network.array_size = 16;  // dataset is 8
+  EXPECT_THROW(Experiment{config}, Error);
+}
+
+TEST(ExperimentTest, DeterministicAcrossInstances) {
+  Experiment a(tiny_config()), b(tiny_config());
+  EXPECT_EQ(a.eval_data().program_levels()[0].raw(), b.eval_data().program_levels()[0].raw());
+  EXPECT_EQ(a.thresholds(), b.thresholds());
+}
+
+TEST(ReportingTest, PatternLabelParsing) {
+  EXPECT_EQ(pattern_from_label("707"), eval::pattern_index(7, 7));
+  EXPECT_EQ(pattern_from_label("506"), eval::pattern_index(5, 6));
+  EXPECT_THROW(pattern_from_label("77"), Error);
+  EXPECT_THROW(pattern_from_label("717"), Error);
+  EXPECT_THROW(pattern_from_label("80x"), Error);
+}
+
+TEST(ReportingTest, PaperPatternsListed) {
+  const auto& patterns = paper_table2_patterns();
+  ASSERT_EQ(patterns.size(), 10u);
+  EXPECT_EQ(patterns.front(), "707");
+  for (const auto& label : patterns) EXPECT_NO_THROW(pattern_from_label(label));
+}
+
+TEST(ReportingTest, TablesRenderWithoutCrashing) {
+  Experiment experiment(tiny_config());
+  auto model = experiment.train_or_load(ModelKind::Gaussian);
+  const ModelEvaluation eval = experiment.evaluate(*model);
+  std::vector<const ModelEvaluation*> models = {&eval};
+  print_tv_table(experiment, models);
+  print_type2_table(experiment, models, paper_table2_patterns());
+  print_type1_shares(experiment, models, 10);
+  const std::string csv = ::testing::TempDir() + "/pdf_test.csv";
+  write_pdf_csv(experiment, models, csv);
+  EXPECT_TRUE(std::filesystem::exists(csv));
+  std::filesystem::remove(csv);
+}
+
+}  // namespace
+}  // namespace flashgen::core

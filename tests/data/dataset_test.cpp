@@ -1,0 +1,170 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+
+namespace flashgen::data {
+namespace {
+
+DatasetConfig small_config() {
+  DatasetConfig config;
+  config.array_size = 8;
+  config.num_arrays = 40;
+  config.channel.rows = 32;
+  config.channel.cols = 32;
+  return config;
+}
+
+TEST(Dataset, GeneratesRequestedCount) {
+  flashgen::Rng rng(1);
+  const PairedDataset ds = PairedDataset::generate(small_config(), rng);
+  EXPECT_EQ(ds.size(), 40u);
+  EXPECT_EQ(ds.program_levels().size(), 40u);
+  EXPECT_EQ(ds.voltages().size(), 40u);
+  EXPECT_EQ(ds.array_size(), 8);
+}
+
+TEST(Dataset, CropsHaveConfiguredShape) {
+  flashgen::Rng rng(1);
+  const PairedDataset ds = PairedDataset::generate(small_config(), rng);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.program_levels()[i].rows(), 8);
+    EXPECT_EQ(ds.voltages()[i].cols(), 8);
+  }
+}
+
+TEST(Dataset, DeterministicGivenSeed) {
+  flashgen::Rng a(5), b(5);
+  const PairedDataset x = PairedDataset::generate(small_config(), a);
+  const PairedDataset y = PairedDataset::generate(small_config(), b);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x.program_levels()[i].raw(), y.program_levels()[i].raw());
+    EXPECT_EQ(x.voltages()[i].raw(), y.voltages()[i].raw());
+  }
+}
+
+TEST(Dataset, RecordedVoltagesAreClippedToSensingWindow) {
+  flashgen::Rng rng(2);
+  const PairedDataset ds = PairedDataset::generate(small_config(), rng);
+  const auto& norm = ds.normalizer().config();
+  bool saw_clip = false;
+  for (const auto& grid : ds.voltages()) {
+    for (float v : grid.raw()) {
+      EXPECT_GE(v, norm.voltage_lo);
+      EXPECT_LE(v, norm.voltage_hi);
+      if (v == static_cast<float>(norm.voltage_lo)) saw_clip = true;
+    }
+  }
+  // Deep-erased population guarantees clipping at the default PE condition.
+  EXPECT_TRUE(saw_clip);
+}
+
+TEST(Dataset, BatchShapesAndNormalizedRanges) {
+  flashgen::Rng rng(1);
+  const PairedDataset ds = PairedDataset::generate(small_config(), rng);
+  std::vector<std::size_t> indices = {0, 3, 7};
+  auto [pl, vl] = ds.batch(indices);
+  EXPECT_EQ(pl.shape(), (tensor::Shape{3, 1, 8, 8}));
+  EXPECT_EQ(vl.shape(), (tensor::Shape{3, 1, 8, 8}));
+  for (float v : pl.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  for (float v : vl.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Dataset, BatchMatchesGridContent) {
+  flashgen::Rng rng(1);
+  const PairedDataset ds = PairedDataset::generate(small_config(), rng);
+  std::vector<std::size_t> indices = {2};
+  auto [pl, vl] = ds.batch(indices);
+  const auto& grid = ds.program_levels()[2];
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_FLOAT_EQ(pl.data()[r * 8 + c], ds.normalizer().normalize_level(grid(r, c)));
+    }
+}
+
+TEST(Dataset, LevelsToTensorAndBackRoundTrip) {
+  flashgen::Rng rng(1);
+  const PairedDataset ds = PairedDataset::generate(small_config(), rng);
+  const auto& grid = ds.program_levels()[0];
+  const tensor::Tensor t = ds.levels_to_tensor(grid);
+  EXPECT_EQ(t.shape(), (tensor::Shape{1, 1, 8, 8}));
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c)
+      EXPECT_EQ(ds.normalizer().denormalize_level(t.data()[r * 8 + c]), grid(r, c));
+}
+
+TEST(Dataset, TensorToVoltagesRoundTrip) {
+  flashgen::Rng rng(1);
+  const PairedDataset ds = PairedDataset::generate(small_config(), rng);
+  std::vector<std::size_t> indices = {4};
+  auto [pl, vl] = ds.batch(indices);
+  const flash::Grid<float> grid = ds.tensor_to_voltages(vl);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) EXPECT_NEAR(grid(r, c), ds.voltages()[4](r, c), 1e-2f);
+}
+
+TEST(Dataset, InvalidConfigsThrow) {
+  flashgen::Rng rng(1);
+  DatasetConfig bad = small_config();
+  bad.array_size = 64;  // larger than the 32x32 block
+  EXPECT_THROW(PairedDataset::generate(bad, rng), Error);
+  bad = small_config();
+  bad.num_arrays = 0;
+  EXPECT_THROW(PairedDataset::generate(bad, rng), Error);
+}
+
+TEST(Dataset, BatchIndexOutOfRangeThrows) {
+  flashgen::Rng rng(1);
+  const PairedDataset ds = PairedDataset::generate(small_config(), rng);
+  std::vector<std::size_t> indices = {1000};
+  EXPECT_THROW(ds.batch(indices), Error);
+}
+
+TEST(BatchSamplerTest, CoversAllIndicesOncePerEpoch) {
+  flashgen::Rng rng(3);
+  BatchSampler sampler(20, 4, rng);
+  const auto batches = sampler.epoch();
+  EXPECT_EQ(batches.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& b : batches) {
+    EXPECT_EQ(b.size(), 4u);
+    seen.insert(b.begin(), b.end());
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(BatchSamplerTest, DropLastDiscardsPartialBatch) {
+  flashgen::Rng rng(3);
+  BatchSampler with_drop(10, 4, rng, /*drop_last=*/true);
+  EXPECT_EQ(with_drop.epoch().size(), 2u);
+  BatchSampler no_drop(10, 4, rng, /*drop_last=*/false);
+  const auto batches = no_drop.epoch();
+  EXPECT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches.back().size(), 2u);
+}
+
+TEST(BatchSamplerTest, ReshufflesBetweenEpochs) {
+  flashgen::Rng rng(3);
+  BatchSampler sampler(64, 8, rng);
+  const auto a = sampler.epoch();
+  const auto b = sampler.epoch();
+  EXPECT_NE(a, b);
+}
+
+TEST(BatchSamplerTest, InvalidArgsThrow) {
+  flashgen::Rng rng(3);
+  EXPECT_THROW(BatchSampler(0, 4, rng), Error);
+  EXPECT_THROW(BatchSampler(10, 0, rng), Error);
+}
+
+}  // namespace
+}  // namespace flashgen::data

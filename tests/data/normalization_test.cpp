@@ -1,0 +1,66 @@
+#include "data/normalization.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace flashgen::data {
+namespace {
+
+TEST(Normalizer, VoltageRangeMapsToUnitInterval) {
+  VoltageNormalizer norm;
+  EXPECT_FLOAT_EQ(norm.normalize_voltage(norm.config().voltage_lo), -1.0f);
+  EXPECT_FLOAT_EQ(norm.normalize_voltage(norm.config().voltage_hi), 1.0f);
+  const double mid = 0.5 * (norm.config().voltage_lo + norm.config().voltage_hi);
+  EXPECT_NEAR(norm.normalize_voltage(mid), 0.0f, 1e-6f);
+}
+
+TEST(Normalizer, VoltageRoundTripInsideRange) {
+  VoltageNormalizer norm;
+  for (double v : {-300.0, -12.5, 0.0, 440.0, 900.0}) {
+    EXPECT_NEAR(norm.denormalize_voltage(norm.normalize_voltage(v)), v, 1e-3);
+  }
+}
+
+TEST(Normalizer, OutOfRangeVoltagesClamp) {
+  VoltageNormalizer norm;
+  EXPECT_FLOAT_EQ(norm.normalize_voltage(-10000.0), -1.0f);
+  EXPECT_FLOAT_EQ(norm.normalize_voltage(10000.0), 1.0f);
+}
+
+TEST(Normalizer, LevelsMapToSymmetricGrid) {
+  VoltageNormalizer norm;
+  EXPECT_FLOAT_EQ(norm.normalize_level(0), -1.0f);
+  EXPECT_FLOAT_EQ(norm.normalize_level(7), 1.0f);
+  EXPECT_NEAR(norm.normalize_level(3), -1.0f + 6.0f / 7.0f, 1e-6f);
+}
+
+TEST(Normalizer, LevelRoundTripAllLevels) {
+  VoltageNormalizer norm;
+  for (int level = 0; level < flash::kTlcLevels; ++level) {
+    EXPECT_EQ(norm.denormalize_level(norm.normalize_level(level)), level);
+  }
+}
+
+TEST(Normalizer, DenormalizeLevelSnapsToNearest) {
+  VoltageNormalizer norm;
+  EXPECT_EQ(norm.denormalize_level(-0.99f), 0);
+  EXPECT_EQ(norm.denormalize_level(0.99f), 7);
+  EXPECT_EQ(norm.denormalize_level(norm.normalize_level(4) + 0.05f), 4);
+  // Far outside the grid still clamps into range.
+  EXPECT_EQ(norm.denormalize_level(-5.0f), 0);
+  EXPECT_EQ(norm.denormalize_level(5.0f), 7);
+}
+
+TEST(Normalizer, RejectsBadRangeAndLevels) {
+  NormalizerConfig config;
+  config.voltage_lo = 10.0;
+  config.voltage_hi = 10.0;
+  EXPECT_THROW(VoltageNormalizer{config}, Error);
+  VoltageNormalizer norm;
+  EXPECT_THROW(norm.normalize_level(-1), Error);
+  EXPECT_THROW(norm.normalize_level(8), Error);
+}
+
+}  // namespace
+}  // namespace flashgen::data

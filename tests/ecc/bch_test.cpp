@@ -1,0 +1,133 @@
+#include "ecc/bch.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace flashgen::ecc {
+namespace {
+
+Bits random_data(int k, flashgen::Rng& rng) {
+  Bits data(static_cast<std::size_t>(k));
+  for (auto& bit : data) bit = rng.bernoulli(0.5) ? 1 : 0;
+  return data;
+}
+
+void flip_random_bits(Bits& word, int count, flashgen::Rng& rng) {
+  std::set<std::size_t> positions;
+  while (static_cast<int>(positions.size()) < count) {
+    positions.insert(static_cast<std::size_t>(rng.uniform_int(word.size())));
+  }
+  for (std::size_t pos : positions) word[pos] ^= 1;
+}
+
+TEST(BchCode, KnownParametersBch15) {
+  // Classic codes over GF(2^4): (15, 11, t=1) and (15, 7, t=2).
+  const BchCode single(4, 1);
+  EXPECT_EQ(single.n(), 15);
+  EXPECT_EQ(single.k(), 11);
+  const BchCode dual(4, 2);
+  EXPECT_EQ(dual.n(), 15);
+  EXPECT_EQ(dual.k(), 7);
+}
+
+TEST(BchCode, EncodeIsSystematic) {
+  const BchCode code(5, 2);
+  flashgen::Rng rng(1);
+  const Bits data = random_data(code.k(), rng);
+  const Bits codeword = code.encode(data);
+  EXPECT_EQ(static_cast<int>(codeword.size()), code.n());
+  EXPECT_EQ(code.extract_data(codeword), data);
+}
+
+TEST(BchCode, CleanCodewordDecodesUntouched) {
+  const BchCode code(5, 2);
+  flashgen::Rng rng(2);
+  const Bits codeword = code.encode(random_data(code.k(), rng));
+  const DecodeResult result = code.decode(codeword);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.corrected, 0);
+  EXPECT_EQ(result.codeword, codeword);
+}
+
+struct BchCase {
+  int m, t;
+};
+
+class BchCorrectionTest : public ::testing::TestWithParam<BchCase> {};
+
+TEST_P(BchCorrectionTest, CorrectsUpToTErrors) {
+  const auto [m, t] = GetParam();
+  const BchCode code(m, t);
+  flashgen::Rng rng(100 + m * 10 + t);
+  for (int errors = 0; errors <= t; ++errors) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const Bits data = random_data(code.k(), rng);
+      const Bits sent = code.encode(data);
+      Bits received = sent;
+      flip_random_bits(received, errors, rng);
+      const DecodeResult result = code.decode(received);
+      EXPECT_TRUE(result.success) << "m=" << m << " t=" << t << " errors=" << errors;
+      EXPECT_EQ(result.corrected, errors);
+      EXPECT_EQ(result.codeword, sent);
+      EXPECT_EQ(code.extract_data(result.codeword), data);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, BchCorrectionTest,
+                         ::testing::Values(BchCase{4, 1}, BchCase{4, 2}, BchCase{5, 3},
+                                           BchCase{6, 4}, BchCase{7, 5}, BchCase{8, 8}));
+
+TEST(BchCode, BeyondTEitherFailsOrMiscorrectsToValidCodeword) {
+  const BchCode code(5, 2);
+  flashgen::Rng rng(7);
+  int failures = 0;
+  const int trials = 40;
+  for (int trial = 0; trial < trials; ++trial) {
+    const Bits sent = code.encode(random_data(code.k(), rng));
+    Bits received = sent;
+    flip_random_bits(received, code.t() + 2, rng);
+    const DecodeResult result = code.decode(received);
+    if (!result.success) {
+      ++failures;
+      EXPECT_EQ(result.codeword, received);  // rolled back, no partial flips
+    } else {
+      // Miscorrection lands on *some* valid codeword; verify via re-decode.
+      EXPECT_TRUE(code.decode(result.codeword).success);
+      EXPECT_EQ(code.decode(result.codeword).corrected, 0);
+    }
+  }
+  EXPECT_GT(failures, trials / 4);  // most > t patterns must be detected
+}
+
+TEST(BchCode, GeneratorDividesEveryCodeword) {
+  // Every encoded word must have zero syndromes, i.e. decode cleanly.
+  const BchCode code(6, 3);
+  flashgen::Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Bits codeword = code.encode(random_data(code.k(), rng));
+    EXPECT_TRUE(code.decode(codeword).success);
+  }
+}
+
+TEST(BchCode, RateSanity) {
+  const BchCode code(10, 8);
+  EXPECT_EQ(code.n(), 1023);
+  EXPECT_EQ(code.parity_bits(), code.n() - code.k());
+  EXPECT_GT(code.rate(), 0.9);  // t=8 over n=1023 is a high-rate flash code
+}
+
+TEST(BchCode, InvalidArgumentsThrow) {
+  EXPECT_THROW(BchCode(4, 0), Error);
+  EXPECT_THROW(BchCode(4, 8), Error);  // 2t >= n
+  const BchCode code(4, 1);
+  EXPECT_THROW(code.encode(Bits(5, 0)), Error);
+  EXPECT_THROW(code.decode(Bits(7, 0)), Error);
+}
+
+}  // namespace
+}  // namespace flashgen::ecc

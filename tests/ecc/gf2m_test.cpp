@@ -1,0 +1,75 @@
+#include "ecc/gf2m.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace flashgen::ecc {
+namespace {
+
+class GfParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GfParamTest, FieldAxiomsHoldOnRandomElements) {
+  const Gf2m gf(GetParam());
+  flashgen::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.uniform_int(gf.n())) + 1;
+    const std::uint32_t b = static_cast<std::uint32_t>(rng.uniform_int(gf.n())) + 1;
+    const std::uint32_t c = static_cast<std::uint32_t>(rng.uniform_int(gf.n())) + 1;
+    // Commutativity and associativity of multiplication.
+    EXPECT_EQ(gf.mul(a, b), gf.mul(b, a));
+    EXPECT_EQ(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+    // Distributivity over addition (XOR).
+    EXPECT_EQ(gf.mul(a, Gf2m::add(b, c)), Gf2m::add(gf.mul(a, b), gf.mul(a, c)));
+    // Inverse.
+    EXPECT_EQ(gf.mul(a, gf.inv(a)), 1u);
+    EXPECT_EQ(gf.div(gf.mul(a, b), b), a);
+  }
+}
+
+TEST_P(GfParamTest, AlphaGeneratesWholeField) {
+  const Gf2m gf(GetParam());
+  std::vector<bool> seen(static_cast<std::size_t>(gf.n()) + 1, false);
+  for (int e = 0; e < gf.n(); ++e) {
+    const std::uint32_t v = gf.alpha_pow(e);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, static_cast<std::uint32_t>(gf.n()));
+    EXPECT_FALSE(seen[v]) << "alpha^" << e << " repeats";
+    seen[v] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FieldSizes, GfParamTest, ::testing::Values(3, 4, 6, 8, 10, 13));
+
+TEST(Gf2m, ZeroAbsorbsMultiplication) {
+  const Gf2m gf(5);
+  EXPECT_EQ(gf.mul(0, 17), 0u);
+  EXPECT_EQ(gf.mul(17, 0), 0u);
+  EXPECT_EQ(gf.div(0, 17), 0u);
+}
+
+TEST(Gf2m, LogAntilogRoundTrip) {
+  const Gf2m gf(6);
+  for (std::uint32_t a = 1; a <= static_cast<std::uint32_t>(gf.n()); ++a) {
+    EXPECT_EQ(gf.alpha_pow(gf.log(a)), a);
+  }
+}
+
+TEST(Gf2m, NegativeExponentsWrap) {
+  const Gf2m gf(4);
+  EXPECT_EQ(gf.alpha_pow(-1), gf.alpha_pow(gf.n() - 1));
+  EXPECT_EQ(gf.alpha_pow(-static_cast<long>(gf.n())), 1u);
+}
+
+TEST(Gf2m, InvalidArgumentsThrow) {
+  EXPECT_THROW(Gf2m(2), Error);
+  EXPECT_THROW(Gf2m(14), Error);
+  const Gf2m gf(4);
+  EXPECT_THROW(gf.inv(0), Error);
+  EXPECT_THROW(gf.div(3, 0), Error);
+  EXPECT_THROW(gf.log(0), Error);
+}
+
+}  // namespace
+}  // namespace flashgen::ecc

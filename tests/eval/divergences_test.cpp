@@ -1,0 +1,96 @@
+#include "eval/divergences.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace flashgen::eval {
+namespace {
+
+Histogram normal_hist(double mean, double sigma, int n, std::uint64_t seed) {
+  Histogram h;
+  flashgen::Rng rng(seed);
+  for (int i = 0; i < n; ++i) h.add(rng.normal(mean, sigma));
+  return h;
+}
+
+TEST(KlDivergence, ZeroForIdenticalSamples) {
+  Histogram p, q;
+  flashgen::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.normal(0.0, 50.0);
+    p.add(v);
+    q.add(v);
+  }
+  EXPECT_NEAR(kl_divergence(p, q), 0.0, 1e-9);
+}
+
+TEST(KlDivergence, PositiveAndAsymmetric) {
+  const Histogram p = normal_hist(0.0, 40.0, 40000, 2);
+  const Histogram q = normal_hist(120.0, 40.0, 40000, 3);
+  const double pq = kl_divergence(p, q);
+  const double qp = kl_divergence(q, p);
+  EXPECT_GT(pq, 0.1);
+  // Same sigma: analytic KL is symmetric; make q wider for asymmetry.
+  const Histogram wide = normal_hist(0.0, 120.0, 40000, 4);
+  EXPECT_GT(kl_divergence(wide, p), kl_divergence(p, wide) * 0.0);  // both finite
+  EXPECT_NE(pq, qp);  // finite-sample asymmetry
+}
+
+TEST(KlDivergence, GrowsWithSeparation) {
+  const Histogram p = normal_hist(0.0, 40.0, 40000, 5);
+  const Histogram near = normal_hist(40.0, 40.0, 40000, 6);
+  const Histogram far = normal_hist(160.0, 40.0, 40000, 7);
+  EXPECT_GT(kl_divergence(p, far), kl_divergence(p, near));
+}
+
+TEST(JsDivergence, SymmetricAndBounded) {
+  const Histogram p = normal_hist(-100.0, 30.0, 30000, 8);
+  const Histogram q = normal_hist(500.0, 30.0, 30000, 9);
+  const double pq = js_divergence(p, q);
+  const double qp = js_divergence(q, p);
+  EXPECT_NEAR(pq, qp, 1e-12);
+  EXPECT_GT(pq, 0.5);           // nearly disjoint -> close to ln 2
+  EXPECT_LE(pq, std::log(2.0) + 1e-9);
+}
+
+TEST(Wasserstein1, MatchesMeanShiftForTranslatedDistributions) {
+  // W1 between a distribution and its translate equals the shift.
+  Histogram p, q;
+  flashgen::Rng rng(10);
+  for (int i = 0; i < 60000; ++i) {
+    const double v = rng.normal(100.0, 30.0);
+    p.add(v);
+    q.add(v + 70.0);
+  }
+  EXPECT_NEAR(wasserstein1(p, q), 70.0, 3.0);
+}
+
+TEST(Wasserstein1, ZeroForIdenticalAndSymmetric) {
+  const Histogram p = normal_hist(0.0, 40.0, 30000, 11);
+  EXPECT_EQ(wasserstein1(p, p), 0.0);
+  const Histogram q = normal_hist(90.0, 40.0, 30000, 12);
+  EXPECT_NEAR(wasserstein1(p, q), wasserstein1(q, p), 1e-9);
+}
+
+TEST(Divergences, RejectMismatchedBinning) {
+  Histogram p({.lo = 0.0, .hi = 1.0, .bins = 8});
+  Histogram q({.lo = 0.0, .hi = 1.0, .bins = 16});
+  EXPECT_THROW(kl_divergence(p, q), Error);
+  EXPECT_THROW(js_divergence(p, q), Error);
+  EXPECT_THROW(wasserstein1(p, q), Error);
+}
+
+TEST(Divergences, TvIsBetweenJsBoundsSanity) {
+  // Pinsker-style sanity: TV^2 <= KL / 2 (with shared binning + smoothing).
+  const Histogram p = normal_hist(0.0, 50.0, 40000, 13);
+  const Histogram q = normal_hist(60.0, 50.0, 40000, 14);
+  const double tv = tv_distance(p, q);
+  EXPECT_LE(tv * tv, kl_divergence(p, q) / 2.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace flashgen::eval

@@ -1,0 +1,135 @@
+#include "eval/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace flashgen::eval {
+namespace {
+
+TEST(HistogramTest, BinningAndCenters) {
+  HistogramConfig config{.lo = 0.0, .hi = 10.0, .bins = 10};
+  Histogram h(config);
+  EXPECT_EQ(h.bin_of(0.0), 0);
+  EXPECT_EQ(h.bin_of(0.99), 0);
+  EXPECT_EQ(h.bin_of(5.5), 5);
+  EXPECT_EQ(h.bin_of(9.99), 9);
+  EXPECT_FLOAT_EQ(h.bin_center(0), 0.5);
+  EXPECT_FLOAT_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBins) {
+  HistogramConfig config{.lo = 0.0, .hi = 10.0, .bins = 10};
+  Histogram h(config);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(9), 1);
+  EXPECT_EQ(h.total(), 2);
+}
+
+TEST(HistogramTest, PmfSumsToOne) {
+  Histogram h({.lo = -1.0, .hi = 1.0, .bins = 7});
+  flashgen::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform(-1.0, 1.0));
+  const auto pmf = h.pmf();
+  double sum = 0.0;
+  for (double p : pmf) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, EmptyPmfIsAllZero) {
+  Histogram h;
+  for (double p : h.pmf()) EXPECT_EQ(p, 0.0);
+}
+
+TEST(HistogramTest, InvalidConfigThrows) {
+  EXPECT_THROW(Histogram({.lo = 0.0, .hi = 0.0, .bins = 10}), Error);
+  EXPECT_THROW(Histogram({.lo = 0.0, .hi = 1.0, .bins = 0}), Error);
+}
+
+TEST(TvDistance, IdenticalDistributionsScoreZero) {
+  Histogram p, q;
+  flashgen::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal(100.0, 30.0);
+    p.add(v);
+    q.add(v);
+  }
+  EXPECT_EQ(tv_distance(p, q), 0.0);
+}
+
+TEST(TvDistance, DisjointDistributionsScoreOne) {
+  Histogram p, q;
+  for (int i = 0; i < 100; ++i) {
+    p.add(-300.0 + i);
+    q.add(700.0 + i * 0.1);
+  }
+  EXPECT_NEAR(tv_distance(p, q), 1.0, 1e-9);
+}
+
+TEST(TvDistance, SymmetryAndRange) {
+  Histogram p, q;
+  flashgen::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    p.add(rng.normal(0.0, 50.0));
+    q.add(rng.normal(80.0, 50.0));
+  }
+  const double d1 = tv_distance(p, q);
+  const double d2 = tv_distance(q, p);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_GT(d1, 0.0);
+  EXPECT_LT(d1, 1.0);
+}
+
+TEST(TvDistance, TriangleInequality) {
+  Histogram p, q, r;
+  flashgen::Rng rng(4);
+  for (int i = 0; i < 3000; ++i) {
+    p.add(rng.normal(0.0, 40.0));
+    q.add(rng.normal(50.0, 40.0));
+    r.add(rng.normal(100.0, 40.0));
+  }
+  EXPECT_LE(tv_distance(p, r), tv_distance(p, q) + tv_distance(q, r) + 1e-12);
+}
+
+TEST(TvDistance, MismatchedBinningThrows) {
+  Histogram p({.lo = 0.0, .hi = 1.0, .bins = 10});
+  Histogram q({.lo = 0.0, .hi = 1.0, .bins = 20});
+  EXPECT_THROW(tv_distance(p, q), Error);
+}
+
+TEST(ConditionalHistogramsTest, RoutesSamplesByLevel) {
+  ConditionalHistograms hists;
+  hists.add(0, -100.0);
+  hists.add(0, -120.0);
+  hists.add(7, 700.0);
+  EXPECT_EQ(hists.level(0).total(), 2);
+  EXPECT_EQ(hists.level(7).total(), 1);
+  EXPECT_EQ(hists.level(3).total(), 0);
+  EXPECT_EQ(hists.overall().total(), 3);
+}
+
+TEST(ConditionalHistogramsTest, AddGridsAccumulatesEveryCell) {
+  ConditionalHistograms hists;
+  flash::Grid<std::uint8_t> levels(4, 4, 2);
+  flash::Grid<float> volts(4, 4, 200.0f);
+  hists.add_grids(levels, volts);
+  EXPECT_EQ(hists.level(2).total(), 16);
+  EXPECT_EQ(hists.overall().total(), 16);
+}
+
+TEST(ConditionalHistogramsTest, InvalidLevelOrShapeThrows) {
+  ConditionalHistograms hists;
+  EXPECT_THROW(hists.add(8, 0.0), Error);
+  EXPECT_THROW(hists.add(-1, 0.0), Error);
+  flash::Grid<std::uint8_t> levels(2, 2);
+  flash::Grid<float> volts(2, 3);
+  EXPECT_THROW(hists.add_grids(levels, volts), Error);
+}
+
+}  // namespace
+}  // namespace flashgen::eval

@@ -1,0 +1,132 @@
+#include "eval/ici_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "eval/thresholds.h"
+#include "flash/channel.h"
+
+namespace flashgen::eval {
+namespace {
+
+TEST(IciPatterns, IndexAndLabelRoundTrip) {
+  EXPECT_EQ(pattern_index(7, 7), 63);
+  EXPECT_EQ(pattern_index(0, 0), 0);
+  EXPECT_EQ(pattern_label(pattern_index(7, 7)), "707");
+  EXPECT_EQ(pattern_label(pattern_index(6, 7)), "607");
+  EXPECT_EQ(pattern_label(pattern_index(7, 6)), "706");
+  EXPECT_EQ(pattern_label(pattern_index(0, 0)), "000");
+}
+
+TEST(IciPatterns, InvalidArgsThrow) {
+  EXPECT_THROW(pattern_index(8, 0), Error);
+  EXPECT_THROW(pattern_index(0, -1), Error);
+  EXPECT_THROW(pattern_label(64), Error);
+  EXPECT_THROW(pattern_label(-1), Error);
+}
+
+TEST(IciAnalysisTest, CountsHandCraftedBlock) {
+  // 3x3 block, center cell is the only interior cell, programmed to 0 with
+  // WL neighbors (7, 6) and BL neighbors (5, 4).
+  flash::Grid<std::uint8_t> pl(3, 3, 0);
+  pl(1, 0) = 7;
+  pl(1, 2) = 6;
+  pl(0, 1) = 5;
+  pl(2, 1) = 4;
+  flash::Grid<float> vl(3, 3, -100.0f);
+  vl(1, 1) = 150.0f;  // above threshold -> error
+  std::vector<flash::Grid<std::uint8_t>> pls = {pl};
+  std::vector<flash::Grid<float>> vls = {vl};
+  const IciAnalysis a = analyze_ici(pls, vls, 100.0);
+  EXPECT_EQ(a.wordline.total_occurrences(), 1);
+  EXPECT_EQ(a.wordline.errors[pattern_index(7, 6)], 1);
+  EXPECT_EQ(a.bitline.errors[pattern_index(5, 4)], 1);
+  EXPECT_DOUBLE_EQ(a.wordline.type1(pattern_index(7, 6)), 1.0);
+  EXPECT_DOUBLE_EQ(a.wordline.type2(pattern_index(7, 6)), 1.0);
+  EXPECT_DOUBLE_EQ(a.bitline.type2(pattern_index(4, 5)), 0.0);  // order matters
+}
+
+TEST(IciAnalysisTest, NonVictimCellsIgnored) {
+  flash::Grid<std::uint8_t> pl(3, 3, 1);  // center not level 0
+  flash::Grid<float> vl(3, 3, 500.0f);
+  std::vector<flash::Grid<std::uint8_t>> pls = {pl};
+  std::vector<flash::Grid<float>> vls = {vl};
+  const IciAnalysis a = analyze_ici(pls, vls, 100.0);
+  EXPECT_EQ(a.wordline.total_occurrences(), 0);
+  EXPECT_EQ(a.wordline.total_errors(), 0);
+}
+
+TEST(IciAnalysisTest, NoErrorWhenBelowThreshold) {
+  flash::Grid<std::uint8_t> pl(3, 3, 0);
+  flash::Grid<float> vl(3, 3, 50.0f);
+  std::vector<flash::Grid<std::uint8_t>> pls = {pl};
+  std::vector<flash::Grid<float>> vls = {vl};
+  const IciAnalysis a = analyze_ici(pls, vls, 100.0);
+  EXPECT_EQ(a.wordline.total_occurrences(), 1);
+  EXPECT_EQ(a.wordline.total_errors(), 0);
+  EXPECT_DOUBLE_EQ(a.wordline.type1(0), 0.0);  // no errors -> zero share
+}
+
+TEST(IciAnalysisTest, Type1SumsToOneWhenErrorsExist) {
+  flash::FlashChannelConfig config;
+  config.rows = 64;
+  config.cols = 64;
+  flash::FlashChannel channel(config);
+  flashgen::Rng rng(3);
+  std::vector<flash::Grid<std::uint8_t>> pls;
+  std::vector<flash::Grid<float>> vls;
+  for (int b = 0; b < 8; ++b) {
+    auto obs = channel.run_experiment(4000.0, rng);
+    pls.push_back(std::move(obs.program_levels));
+    vls.push_back(std::move(obs.voltages));
+  }
+  const IciAnalysis a = analyze_ici(pls, vls, 120.0);
+  ASSERT_GT(a.wordline.total_errors(), 0);
+  double sum = 0.0;
+  for (int p = 0; p < kIciPatterns; ++p) sum += a.wordline.type1(p);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(IciAnalysisTest, SimulatedChannel707IsDominant) {
+  flash::FlashChannelConfig config;
+  flash::FlashChannel channel(config);
+  flashgen::Rng rng(4);
+  std::vector<flash::Grid<std::uint8_t>> pls;
+  std::vector<flash::Grid<float>> vls;
+  ConditionalHistograms hists;
+  for (int b = 0; b < 10; ++b) {
+    auto obs = channel.run_experiment(4000.0, rng);
+    hists.add_grids(obs.program_levels, obs.voltages);
+    pls.push_back(std::move(obs.program_levels));
+    vls.push_back(std::move(obs.voltages));
+  }
+  const auto thresholds = thresholds_from_histograms(hists);
+  const IciAnalysis a = analyze_ici(pls, vls, thresholds[0]);
+  const int p707 = pattern_index(7, 7);
+  // 707 must be the worst Type II pattern in both directions, and BL worse
+  // than WL (the paper's headline ICI findings).
+  EXPECT_EQ(rank_patterns_by_type2(a.wordline, 100).front(), p707);
+  EXPECT_EQ(rank_patterns_by_type2(a.bitline, 100).front(), p707);
+  EXPECT_GT(a.bitline.type2(p707), a.wordline.type2(p707));
+}
+
+TEST(IciAnalysisTest, RankingsRespectFilters) {
+  IciPatternStats stats;
+  stats.occurrences[pattern_index(7, 7)] = 100;
+  stats.errors[pattern_index(7, 7)] = 30;
+  stats.occurrences[pattern_index(1, 1)] = 2;
+  stats.errors[pattern_index(1, 1)] = 2;  // 100 % rate but only 2 samples
+  const auto ranked = rank_patterns_by_type2(stats, /*min_occurrences=*/10);
+  EXPECT_EQ(ranked.front(), pattern_index(7, 7));
+  for (int p : ranked) EXPECT_NE(p, pattern_index(1, 1));
+}
+
+TEST(IciAnalysisTest, MismatchedListsThrow) {
+  std::vector<flash::Grid<std::uint8_t>> pls(2, flash::Grid<std::uint8_t>(3, 3));
+  std::vector<flash::Grid<float>> vls(1, flash::Grid<float>(3, 3));
+  EXPECT_THROW(analyze_ici(pls, vls, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace flashgen::eval

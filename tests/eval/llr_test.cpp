@@ -1,0 +1,112 @@
+#include "eval/llr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "flash/channel.h"
+#include "flash/read.h"
+
+namespace flashgen::eval {
+namespace {
+
+// Conditional histograms from well-separated synthetic levels.
+ConditionalHistograms synthetic_levels(double sigma, std::uint64_t seed) {
+  ConditionalHistograms hists;
+  flashgen::Rng rng(seed);
+  for (int level = 0; level < flash::kTlcLevels; ++level) {
+    for (int i = 0; i < 20000; ++i) hists.add(level, rng.normal(level * 100.0, sigma));
+  }
+  return hists;
+}
+
+TEST(LlrTable, SignMatchesStoredBitAtLevelCenters) {
+  const auto hists = synthetic_levels(15.0, 1);
+  for (flash::Page page : {flash::Page::Lower, flash::Page::Middle, flash::Page::Upper}) {
+    LlrTable table(hists, page);
+    for (int level = 0; level < flash::kTlcLevels; ++level) {
+      const int stored = flash::level_to_bits(level)[page];
+      EXPECT_EQ(table.hard_bit(level * 100.0), stored)
+          << "page " << static_cast<int>(page) << " level " << level;
+    }
+  }
+}
+
+TEST(LlrTable, MagnitudeShrinksNearThresholds) {
+  const auto hists = synthetic_levels(20.0, 2);
+  // Upper page has a threshold at the 0|1 boundary (~50): confidence there
+  // must be far lower than at the level centers.
+  LlrTable table(hists, flash::Page::Upper);
+  EXPECT_LT(std::fabs(table.at(50.0)), 0.5 * std::fabs(table.at(0.0)));
+  EXPECT_LT(std::fabs(table.at(50.0)), 0.5 * std::fabs(table.at(100.0)));
+}
+
+TEST(LlrTable, ClampBoundsExtremeValues) {
+  const auto hists = synthetic_levels(10.0, 3);
+  LlrTable table(hists, flash::Page::Lower, /*clamp=*/8.0);
+  for (double v : table.values()) {
+    EXPECT_GE(v, -8.0);
+    EXPECT_LE(v, 8.0);
+  }
+}
+
+TEST(LlrTable, RejectsBadParameters) {
+  const auto hists = synthetic_levels(10.0, 4);
+  EXPECT_THROW(LlrTable(hists, flash::Page::Lower, 0.0), Error);
+  EXPECT_THROW(LlrTable(hists, flash::Page::Lower, 10.0, 0.0), Error);
+}
+
+TEST(LlrPageErrorRate, PerfectOnSeparatedLevels) {
+  const auto hists = synthetic_levels(12.0, 5);
+  LlrTable table(hists, flash::Page::Middle);
+  // Noise-free evaluation grids: every cell exactly at its level center.
+  flash::Grid<std::uint8_t> pl(8, 8);
+  flash::Grid<float> vl(8, 8);
+  flashgen::Rng rng(6);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) {
+      pl(r, c) = static_cast<std::uint8_t>(rng.uniform_int(8));
+      vl(r, c) = 100.0f * pl(r, c);
+    }
+  std::vector<flash::Grid<std::uint8_t>> pls = {pl};
+  std::vector<flash::Grid<float>> vls = {vl};
+  EXPECT_EQ(llr_page_error_rate(table, pls, vls), 0.0);
+}
+
+TEST(LlrPageErrorRate, MatchesHardReadOnRealChannel) {
+  // On simulated data, sign-of-LLR detection should be in the same ballpark
+  // as threshold-based hard reads (both derive from the same histograms).
+  flash::FlashChannelConfig config;
+  config.rows = 64;
+  config.cols = 64;
+  flash::FlashChannel channel(config);
+  flashgen::Rng rng(7);
+  ConditionalHistograms hists;
+  std::vector<flash::Grid<std::uint8_t>> pls;
+  std::vector<flash::Grid<float>> vls;
+  for (int b = 0; b < 8; ++b) {
+    auto obs = channel.run_experiment(4000.0, rng);
+    hists.add_grids(obs.program_levels, obs.voltages);
+    pls.push_back(std::move(obs.program_levels));
+    vls.push_back(std::move(obs.voltages));
+  }
+  for (flash::Page page : {flash::Page::Lower, flash::Page::Middle, flash::Page::Upper}) {
+    LlrTable table(hists, page);
+    const double ber = llr_page_error_rate(table, pls, vls);
+    EXPECT_GT(ber, 0.0);
+    EXPECT_LT(ber, 0.25);
+  }
+}
+
+TEST(LlrPageErrorRate, MismatchedGridsThrow) {
+  const auto hists = synthetic_levels(10.0, 8);
+  LlrTable table(hists, flash::Page::Lower);
+  std::vector<flash::Grid<std::uint8_t>> pls(2, flash::Grid<std::uint8_t>(2, 2));
+  std::vector<flash::Grid<float>> vls(1, flash::Grid<float>(2, 2));
+  EXPECT_THROW(llr_page_error_rate(table, pls, vls), Error);
+}
+
+}  // namespace
+}  // namespace flashgen::eval

@@ -1,0 +1,103 @@
+#include "eval/thresholds.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "flash/channel.h"
+
+namespace flashgen::eval {
+namespace {
+
+ConditionalHistograms gaussian_levels(double spacing, double sigma, int samples_per_level) {
+  ConditionalHistograms hists;
+  flashgen::Rng rng(5);
+  for (int level = 0; level < flash::kTlcLevels; ++level) {
+    for (int i = 0; i < samples_per_level; ++i) {
+      hists.add(level, rng.normal(level * spacing, sigma));
+    }
+  }
+  return hists;
+}
+
+TEST(Thresholds, LandsNearMidpointsForSymmetricGaussians) {
+  const auto hists = gaussian_levels(100.0, 20.0, 20000);
+  const flash::Thresholds t = thresholds_from_histograms(hists);
+  for (int k = 0; k + 1 < flash::kTlcLevels; ++k) {
+    EXPECT_NEAR(t[k], 100.0 * k + 50.0, 10.0) << "threshold " << k;
+  }
+}
+
+TEST(Thresholds, AlwaysStrictlyIncreasing) {
+  const auto hists = gaussian_levels(100.0, 45.0, 3000);  // heavy overlap
+  const flash::Thresholds t = thresholds_from_histograms(hists);
+  for (int k = 0; k + 1 < static_cast<int>(t.size()); ++k) EXPECT_LT(t[k], t[k + 1]);
+}
+
+TEST(Thresholds, SkewAwareCrossingBeatsMidpoint) {
+  // Lower level has a fat upper tail: the PDF crossing must sit closer to the
+  // upper level than the naive midpoint of the modes.
+  ConditionalHistograms hists;
+  flashgen::Rng rng(6);
+  for (int i = 0; i < 60000; ++i) {
+    double v = rng.normal(0.0, 20.0);
+    if (rng.bernoulli(0.3)) v += rng.exponential(1.0 / 60.0);
+    hists.add(0, v);
+    hists.add(1, rng.normal(200.0, 15.0));
+    // Park the remaining levels far away so only threshold 0 matters.
+    for (int level = 2; level < flash::kTlcLevels; ++level)
+      hists.add(level, rng.normal(level * 200.0, 10.0));
+  }
+  const flash::Thresholds t = thresholds_from_histograms(hists);
+  EXPECT_GT(t[0], 110.0);  // midpoint of the modes would be ~100
+}
+
+TEST(Thresholds, EmptyLevelsFallBackGracefully) {
+  // Only levels 0 and 7 populated: everything must still be monotone.
+  ConditionalHistograms hists;
+  flashgen::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    hists.add(0, rng.normal(-100.0, 30.0));
+    hists.add(7, rng.normal(700.0, 30.0));
+  }
+  const flash::Thresholds t = thresholds_from_histograms(hists);
+  for (int k = 0; k + 1 < static_cast<int>(t.size()); ++k) EXPECT_LT(t[k], t[k + 1]);
+}
+
+TEST(Thresholds, RejectsBadSmoothingWindow) {
+  ConditionalHistograms hists;
+  EXPECT_THROW(thresholds_from_histograms(hists, 0), flashgen::Error);
+}
+
+TEST(Thresholds, MatchesChannelGeometryEndToEnd) {
+  // Thresholds derived from simulated data should classify the bulk of each
+  // level correctly.
+  flash::FlashChannelConfig config;
+  config.rows = 64;
+  config.cols = 64;
+  flash::FlashChannel channel(config);
+  flashgen::Rng rng(8);
+  ConditionalHistograms hists;
+  std::vector<flash::Grid<std::uint8_t>> pls;
+  std::vector<flash::Grid<float>> vls;
+  for (int b = 0; b < 6; ++b) {
+    auto obs = channel.run_experiment(4000.0, rng);
+    hists.add_grids(obs.program_levels, obs.voltages);
+    pls.push_back(std::move(obs.program_levels));
+    vls.push_back(std::move(obs.voltages));
+  }
+  const flash::Thresholds t = thresholds_from_histograms(hists);
+  const auto detected = flash::detect_block(vls[0], t);
+  const auto counts = flash::count_errors(pls[0], detected);
+  // The default channel is deliberately end-of-life noisy (heavy level
+  // overlap at 4000 PE); calibrated thresholds must still beat chance by a
+  // wide margin. Midpoint thresholds on the same data are ~4x worse.
+  EXPECT_LT(counts.level_error_rate(), 0.25);
+  const auto nominal = flash::midpoint_thresholds(channel.voltage_model(), 4000.0);
+  const auto nominal_counts =
+      flash::count_errors(pls[0], flash::detect_block(vls[0], nominal));
+  EXPECT_LT(counts.level_error_rate(), nominal_counts.level_error_rate());
+}
+
+}  // namespace
+}  // namespace flashgen::eval

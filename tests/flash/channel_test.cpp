@@ -1,0 +1,146 @@
+#include "flash/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flashgen::flash {
+namespace {
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  FlashChannelConfig config_ = [] {
+    FlashChannelConfig c;
+    c.rows = 64;
+    c.cols = 64;
+    return c;
+  }();
+  FlashChannel channel_{config_};
+  flashgen::Rng rng_{5};
+};
+
+TEST_F(ChannelTest, ExperimentShapesAndMetadata) {
+  const BlockObservation obs = channel_.run_experiment(4000.0, rng_, 12.0);
+  EXPECT_EQ(obs.program_levels.rows(), 64);
+  EXPECT_EQ(obs.voltages.cols(), 64);
+  EXPECT_EQ(obs.pe_cycles, 4000.0);
+  EXPECT_EQ(obs.retention_hours, 12.0);
+}
+
+TEST_F(ChannelTest, RandomProgrammingIsLevelUniform) {
+  const BlockObservation obs = channel_.run_experiment(0.0, rng_);
+  long counts[kTlcLevels] = {};
+  for (auto level : obs.program_levels.raw()) ++counts[level];
+  const double expected = 64.0 * 64.0 / kTlcLevels;
+  for (long c : counts) EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));
+}
+
+TEST_F(ChannelTest, VoltagesSeparateByLevelOnAverage) {
+  const BlockObservation obs = channel_.run_experiment(4000.0, rng_);
+  double sum[kTlcLevels] = {};
+  long count[kTlcLevels] = {};
+  for (int r = 0; r < 64; ++r)
+    for (int c = 0; c < 64; ++c) {
+      sum[obs.program_levels(r, c)] += obs.voltages(r, c);
+      ++count[obs.program_levels(r, c)];
+    }
+  for (int level = 0; level + 1 < kTlcLevels; ++level) {
+    EXPECT_LT(sum[level] / count[level], sum[level + 1] / count[level + 1]);
+  }
+}
+
+TEST_F(ChannelTest, IciRaisesVictimVoltages) {
+  // Same programmed pattern with and without ICI: all-0 block except a frame
+  // of 7s around one victim.
+  Grid<std::uint8_t> levels(16, 16, 0);
+  levels(7, 6) = 7;
+  levels(7, 8) = 7;
+  levels(6, 7) = 7;
+  levels(8, 7) = 7;
+
+  FlashChannelConfig no_ici = config_;
+  no_ici.ici.gamma_wl = 0.0;
+  no_ici.ici.gamma_bl = 0.0;
+  FlashChannel quiet(no_ici);
+
+  double with_ici = 0.0, without_ici = 0.0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    flashgen::Rng a(1000 + i), b(1000 + i);
+    with_ici += channel_.read_programmed(levels, 4000.0, a).voltages(7, 7);
+    without_ici += quiet.read_programmed(levels, 4000.0, b).voltages(7, 7);
+  }
+  EXPECT_GT(with_ici / trials, without_ici / trials + 50.0);
+}
+
+TEST_F(ChannelTest, ProgramErrorsLandOnAdjacentLevels) {
+  FlashChannelConfig noisy = config_;
+  noisy.program_error_rate = 0.2;  // exaggerated for the test
+  noisy.ici.gamma_wl = 0.0;
+  noisy.ici.gamma_bl = 0.0;
+  noisy.read_noise_stddev = 0.0;
+  FlashChannel channel(noisy);
+  Grid<std::uint8_t> levels(32, 32, 4);
+  const BlockObservation obs = channel.read_programmed(levels, 0.0, rng_);
+  // Voltage clusters should appear near levels 3, 4, and 5 only.
+  int near3 = 0, near4 = 0, near5 = 0, elsewhere = 0;
+  for (float v : obs.voltages.raw()) {
+    if (std::fabs(v - 300.0) < 80.0) ++near3;
+    else if (std::fabs(v - 400.0) < 80.0) ++near4;
+    else if (std::fabs(v - 500.0) < 80.0) ++near5;
+    else ++elsewhere;
+  }
+  EXPECT_GT(near4, 600);
+  EXPECT_GT(near3 + near5, 100);
+  EXPECT_LT(elsewhere, 32 * 32 / 100);
+}
+
+TEST_F(ChannelTest, DeterministicGivenSeed) {
+  flashgen::Rng a(77), b(77);
+  const BlockObservation x = channel_.run_experiment(4000.0, a);
+  const BlockObservation y = channel_.run_experiment(4000.0, b);
+  EXPECT_EQ(x.program_levels.raw(), y.program_levels.raw());
+  EXPECT_EQ(x.voltages.raw(), y.voltages.raw());
+}
+
+TEST_F(ChannelTest, WearWidensDistributions) {
+  double sq_fresh = 0.0, sq_worn = 0.0, s_fresh = 0.0, s_worn = 0.0;
+  long n = 0;
+  Grid<std::uint8_t> levels(32, 32, 4);
+  const BlockObservation fresh = channel_.read_programmed(levels, 0.0, rng_);
+  const BlockObservation worn = channel_.read_programmed(levels, 10000.0, rng_);
+  for (float v : fresh.voltages.raw()) {
+    s_fresh += v;
+    sq_fresh += static_cast<double>(v) * v;
+    ++n;
+  }
+  for (float v : worn.voltages.raw()) {
+    s_worn += v;
+    sq_worn += static_cast<double>(v) * v;
+  }
+  const double var_fresh = sq_fresh / n - (s_fresh / n) * (s_fresh / n);
+  const double var_worn = sq_worn / n - (s_worn / n) * (s_worn / n);
+  EXPECT_GT(var_worn, var_fresh * 1.3);
+}
+
+TEST_F(ChannelTest, ConfigValidation) {
+  FlashChannelConfig bad = config_;
+  bad.rows = 0;
+  EXPECT_THROW(FlashChannel{bad}, Error);
+  bad = config_;
+  bad.read_noise_stddev = -1.0;
+  EXPECT_THROW(FlashChannel{bad}, Error);
+  bad = config_;
+  bad.program_error_rate = 1.5;
+  EXPECT_THROW(FlashChannel{bad}, Error);
+}
+
+TEST_F(ChannelTest, EmptyProgrammedBlockThrows) {
+  Grid<std::uint8_t> empty;
+  EXPECT_THROW(channel_.read_programmed(empty, 0.0, rng_), Error);
+}
+
+}  // namespace
+}  // namespace flashgen::flash

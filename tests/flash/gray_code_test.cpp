@@ -1,0 +1,72 @@
+#include "flash/gray_code.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+
+namespace flashgen::flash {
+namespace {
+
+TEST(GrayCode, RoundTripAllLevels) {
+  for (int level = 0; level < kTlcLevels; ++level) {
+    EXPECT_EQ(bits_to_level(level_to_bits(level)), level);
+  }
+}
+
+TEST(GrayCode, AllCodewordsDistinct) {
+  std::set<std::array<std::uint8_t, 3>> seen;
+  for (int level = 0; level < kTlcLevels; ++level) {
+    seen.insert(level_to_bits(level).bits);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kTlcLevels));
+}
+
+TEST(GrayCode, AdjacentLevelsDifferInOneBit) {
+  EXPECT_EQ(gray_adjacency_violations(), 0);
+}
+
+TEST(GrayCode, ErasedStateIsAllOnes) {
+  const CellBits bits = level_to_bits(0);
+  EXPECT_EQ(bits[Page::Lower], 1);
+  EXPECT_EQ(bits[Page::Middle], 1);
+  EXPECT_EQ(bits[Page::Upper], 1);
+}
+
+TEST(GrayCode, LevelOutOfRangeThrows) {
+  EXPECT_THROW(level_to_bits(-1), Error);
+  EXPECT_THROW(level_to_bits(8), Error);
+}
+
+TEST(GrayCode, InvalidBitPatternThrows) {
+  // With 8 levels every 3-bit pattern is used, so craft an invalid value.
+  CellBits bad{{2, 0, 0}};
+  EXPECT_THROW(bits_to_level(bad), Error);
+}
+
+TEST(GrayCode, PageThresholdCountsAre232) {
+  int lower = 0, middle = 0, upper = 0;
+  page_threshold_boundaries(Page::Lower, &lower);
+  page_threshold_boundaries(Page::Middle, &middle);
+  page_threshold_boundaries(Page::Upper, &upper);
+  EXPECT_EQ(lower, 2);
+  EXPECT_EQ(middle, 3);
+  EXPECT_EQ(upper, 2);
+}
+
+TEST(GrayCode, PageThresholdsPartitionAllBoundaries) {
+  // Each of the 7 level boundaries belongs to exactly one page (Gray code).
+  std::set<int> all;
+  for (Page page : {Page::Lower, Page::Middle, Page::Upper}) {
+    int count = 0;
+    const auto bounds = page_threshold_boundaries(page, &count);
+    for (int i = 0; i < count; ++i) {
+      EXPECT_TRUE(all.insert(bounds[i]).second) << "boundary counted twice";
+    }
+  }
+  EXPECT_EQ(all.size(), 7u);
+}
+
+}  // namespace
+}  // namespace flashgen::flash

@@ -1,0 +1,64 @@
+#include "flash/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace flashgen::flash {
+namespace {
+
+TEST(Grid, ConstructionAndFill) {
+  Grid<int> g(3, 4, 7);
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_EQ(g.cols(), 4);
+  EXPECT_FALSE(g.empty());
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(g(r, c), 7);
+}
+
+TEST(Grid, DefaultIsEmpty) {
+  Grid<float> g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.rows(), 0);
+}
+
+TEST(Grid, RowMajorLayout) {
+  Grid<int> g(2, 3);
+  int v = 0;
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 3; ++c) g(r, c) = v++;
+  EXPECT_EQ(g.raw()[0], 0);
+  EXPECT_EQ(g.raw()[3], 3);  // start of row 1
+  EXPECT_EQ(g.raw()[5], 5);
+}
+
+TEST(Grid, AtChecksBounds) {
+  Grid<int> g(2, 2);
+  EXPECT_NO_THROW(g.at(1, 1));
+  EXPECT_THROW(g.at(2, 0), Error);
+  EXPECT_THROW(g.at(0, 2), Error);
+  EXPECT_THROW(g.at(-1, 0), Error);
+}
+
+TEST(Grid, CropCopiesWindow) {
+  Grid<int> g(4, 4);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) g(r, c) = 10 * r + c;
+  Grid<int> w = g.crop(1, 2, 2, 2);
+  EXPECT_EQ(w.rows(), 2);
+  EXPECT_EQ(w.cols(), 2);
+  EXPECT_EQ(w(0, 0), 12);
+  EXPECT_EQ(w(1, 1), 23);
+}
+
+TEST(Grid, CropRejectsOutOfBounds) {
+  Grid<int> g(4, 4);
+  EXPECT_THROW(g.crop(2, 2, 3, 1), Error);
+  EXPECT_THROW(g.crop(0, 0, 5, 5), Error);
+  EXPECT_THROW(g.crop(-1, 0, 2, 2), Error);
+}
+
+TEST(Grid, NegativeDimensionsThrow) {
+  EXPECT_THROW(Grid<int>(-1, 3), Error);
+}
+
+}  // namespace
+}  // namespace flashgen::flash

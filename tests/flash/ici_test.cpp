@@ -1,0 +1,98 @@
+#include "flash/ici.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace flashgen::flash {
+namespace {
+
+class IciTest : public ::testing::Test {
+ protected:
+  VoltageModel voltage_{default_tlc_voltage_config()};
+  IciConfig config_;
+  IciModel model_{config_, voltage_};
+  flashgen::Rng rng_{11};
+};
+
+TEST_F(IciTest, ErasedAggressorsDoNotDisturb) {
+  EXPECT_EQ(model_.aggressor_swing(0, 4000.0), 0.0);
+  EXPECT_EQ(model_.expected_shift(0, 0, 0, 0, 4000.0), 0.0);
+}
+
+TEST_F(IciTest, SwingIncreasesWithAggressorLevel) {
+  for (int level = 1; level + 1 < kTlcLevels; ++level) {
+    EXPECT_LT(model_.aggressor_swing(level, 4000.0), model_.aggressor_swing(level + 1, 4000.0));
+  }
+}
+
+TEST_F(IciTest, BitlineCouplingStrongerThanWordline) {
+  // Matches measured flash behaviour (paper Table II: BL error rates ~40 %
+  // above WL for the same pattern).
+  const double wl_only = model_.expected_shift(7, 7, 0, 0, 4000.0);
+  const double bl_only = model_.expected_shift(0, 0, 7, 7, 4000.0);
+  EXPECT_GT(bl_only, wl_only * 1.2);
+}
+
+TEST_F(IciTest, EdgeNeighborsContributeNothing) {
+  const double interior = model_.expected_shift(7, 7, 7, 7, 4000.0);
+  const double edge = model_.expected_shift(-1, 7, 7, 7, 4000.0);
+  EXPECT_LT(edge, interior);
+  EXPECT_NEAR(edge, interior - model_.config().gamma_wl * model_.aggressor_swing(7, 4000.0),
+              1e-9);
+}
+
+TEST_F(IciTest, ComputeShiftsMatchesExpectationOnAverage) {
+  // All-7 block: every interior cell has the same expected shift.
+  Grid<std::uint8_t> levels(24, 24, 7);
+  const double expected = model_.expected_shift(7, 7, 7, 7, 4000.0);
+  Grid<float> shifts = model_.compute_shifts(levels, 4000.0, rng_);
+  double sum = 0.0;
+  int count = 0;
+  for (int r = 1; r < 23; ++r)
+    for (int c = 1; c < 23; ++c) {
+      sum += shifts(r, c);
+      ++count;
+    }
+  EXPECT_NEAR(sum / count, expected, expected * 0.05);
+}
+
+TEST_F(IciTest, ShiftsAreNonNegative) {
+  Grid<std::uint8_t> levels(16, 16);
+  flashgen::Rng fill(3);
+  for (auto& v : levels.raw()) v = static_cast<std::uint8_t>(fill.uniform_int(kTlcLevels));
+  Grid<float> shifts = model_.compute_shifts(levels, 4000.0, rng_);
+  for (float s : shifts.raw()) EXPECT_GE(s, 0.0f);
+}
+
+TEST_F(IciTest, AllErasedBlockHasZeroShifts) {
+  Grid<std::uint8_t> levels(8, 8, 0);
+  Grid<float> shifts = model_.compute_shifts(levels, 4000.0, rng_);
+  for (float s : shifts.raw()) EXPECT_EQ(s, 0.0f);
+}
+
+TEST_F(IciTest, SublinearSwingExponentReducesHighLevelImpact) {
+  IciConfig sub = config_;
+  sub.swing_exponent = 0.8;
+  IciModel sub_model(sub, voltage_);
+  const double linear_ratio =
+      model_.aggressor_swing(7, 0.0) / model_.aggressor_swing(1, 0.0);
+  const double sub_ratio =
+      sub_model.aggressor_swing(7, 0.0) / sub_model.aggressor_swing(1, 0.0);
+  EXPECT_LT(sub_ratio, linear_ratio);
+}
+
+TEST_F(IciTest, ConfigValidation) {
+  IciConfig bad = config_;
+  bad.gamma_wl = -0.1;
+  EXPECT_THROW(IciModel(bad, voltage_), Error);
+  bad = config_;
+  bad.noise = -1.0;
+  EXPECT_THROW(IciModel(bad, voltage_), Error);
+  bad = config_;
+  bad.swing_exponent = 0.0;
+  EXPECT_THROW(IciModel(bad, voltage_), Error);
+}
+
+}  // namespace
+}  // namespace flashgen::flash

@@ -1,0 +1,121 @@
+#include "flash/read.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace flashgen::flash {
+namespace {
+
+Thresholds simple_thresholds() {
+  return {50.0, 150.0, 250.0, 350.0, 450.0, 550.0, 650.0};
+}
+
+TEST(Read, DetectLevelBoundaries) {
+  const Thresholds t = simple_thresholds();
+  EXPECT_EQ(detect_level(-500.0, t), 0);
+  EXPECT_EQ(detect_level(49.9, t), 0);
+  EXPECT_EQ(detect_level(50.1, t), 1);
+  EXPECT_EQ(detect_level(355.0, t), 4);
+  EXPECT_EQ(detect_level(651.0, t), 7);
+  EXPECT_EQ(detect_level(10000.0, t), 7);
+}
+
+TEST(Read, MidpointThresholdsAreBetweenMeans) {
+  VoltageModel model(default_tlc_voltage_config());
+  const Thresholds t = midpoint_thresholds(model, 4000.0);
+  for (int k = 0; k + 1 < kTlcLevels; ++k) {
+    EXPECT_GT(t[k], model.level_mean(k, 4000.0));
+    EXPECT_LT(t[k], model.level_mean(k + 1, 4000.0));
+  }
+}
+
+TEST(Read, ValidateRejectsNonMonotonic) {
+  Thresholds t = simple_thresholds();
+  t[3] = t[2];
+  EXPECT_THROW(validate_thresholds(t), Error);
+}
+
+TEST(Read, DetectBlockMatchesCellwise) {
+  const Thresholds t = simple_thresholds();
+  Grid<float> voltages(2, 2);
+  voltages(0, 0) = -100.0f;
+  voltages(0, 1) = 100.0f;
+  voltages(1, 0) = 400.0f;
+  voltages(1, 1) = 700.0f;
+  const Grid<std::uint8_t> detected = detect_block(voltages, t);
+  EXPECT_EQ(detected(0, 0), 0);
+  EXPECT_EQ(detected(0, 1), 1);
+  EXPECT_EQ(detected(1, 0), 4);
+  EXPECT_EQ(detected(1, 1), 7);
+}
+
+TEST(Read, CountErrorsLevelAndPageAccounting) {
+  Grid<std::uint8_t> programmed(1, 3);
+  Grid<std::uint8_t> detected(1, 3);
+  programmed(0, 0) = 0;
+  detected(0, 0) = 0;  // correct
+  programmed(0, 1) = 0;
+  detected(0, 1) = 1;  // 0 -> 1: upper page flips (111 -> 110)
+  programmed(0, 2) = 3;
+  detected(0, 2) = 5;  // 3 -> 5: 000 -> 011, middle+upper flip
+  const ErrorCounts counts = count_errors(programmed, detected);
+  EXPECT_EQ(counts.cells, 3);
+  EXPECT_EQ(counts.level_errors, 2);
+  EXPECT_EQ(counts.page_bit_errors[static_cast<int>(Page::Lower)], 0);
+  EXPECT_EQ(counts.page_bit_errors[static_cast<int>(Page::Middle)], 1);
+  EXPECT_EQ(counts.page_bit_errors[static_cast<int>(Page::Upper)], 2);
+  EXPECT_NEAR(counts.level_error_rate(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(counts.page_bit_error_rate(Page::Upper), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Read, CountErrorsShapeMismatchThrows) {
+  Grid<std::uint8_t> a(2, 2), b(2, 3);
+  EXPECT_THROW(count_errors(a, b), Error);
+}
+
+TEST(Read, AdjacentLevelErrorFlipsExactlyOnePageBit) {
+  // Gray-code property as seen by the error counter.
+  for (int level = 0; level + 1 < kTlcLevels; ++level) {
+    Grid<std::uint8_t> programmed(1, 1, static_cast<std::uint8_t>(level));
+    Grid<std::uint8_t> detected(1, 1, static_cast<std::uint8_t>(level + 1));
+    const ErrorCounts counts = count_errors(programmed, detected);
+    int total_bits = 0;
+    for (long e : counts.page_bit_errors) total_bits += static_cast<int>(e);
+    EXPECT_EQ(total_bits, 1) << "levels " << level << " -> " << level + 1;
+  }
+}
+
+TEST(Read, MidpointThresholdsIgnoreIciShift) {
+  // Nominal midpoint thresholds do not account for the mean ICI shift, so on
+  // an interference-heavy channel they misclassify wholesale. Shifting every
+  // threshold by the average ICI shift recovers most of the loss — the
+  // motivation for data-calibrated thresholds (see eval/thresholds.h and the
+  // read_threshold_calibration example).
+  FlashChannelConfig config;
+  config.rows = 64;
+  config.cols = 64;
+  FlashChannel channel(config);
+  flashgen::Rng rng(9);
+  const BlockObservation obs = channel.run_experiment(1000.0, rng);
+  Thresholds nominal = midpoint_thresholds(channel.voltage_model(), 1000.0);
+  const ErrorCounts raw =
+      count_errors(obs.program_levels, detect_block(obs.voltages, nominal));
+  EXPECT_GT(raw.level_errors, 0);
+
+  // Average ICI shift: 2 WL + 2 BL neighbors at the mean aggressor swing.
+  double mean_swing = 0.0;
+  for (int level = 0; level < kTlcLevels; ++level)
+    mean_swing += channel.ici_model().aggressor_swing(level, 1000.0) / kTlcLevels;
+  const double avg_shift =
+      2.0 * (config.ici.gamma_wl + config.ici.gamma_bl) * mean_swing;
+  Thresholds shifted = nominal;
+  for (double& t : shifted) t += avg_shift;
+  const ErrorCounts calibrated =
+      count_errors(obs.program_levels, detect_block(obs.voltages, shifted));
+  EXPECT_LT(calibrated.level_error_rate(), 0.5 * raw.level_error_rate());
+  EXPECT_LT(calibrated.level_error_rate(), 0.25);
+}
+
+}  // namespace
+}  // namespace flashgen::flash

@@ -1,0 +1,176 @@
+#include "flash/voltage_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flashgen::flash {
+namespace {
+
+class VoltageModelTest : public ::testing::Test {
+ protected:
+  VoltageModelConfig config_ = default_tlc_voltage_config();
+  VoltageModel model_{config_};
+  flashgen::Rng rng_{42};
+};
+
+TEST_F(VoltageModelTest, LevelMeansStrictlyIncreasingAtAnyWear) {
+  for (double pe : {0.0, 1000.0, 4000.0, 10000.0}) {
+    for (int level = 0; level + 1 < kTlcLevels; ++level) {
+      EXPECT_LT(model_.level_mean(level, pe), model_.level_mean(level + 1, pe))
+          << "at PE " << pe << " level " << level;
+    }
+  }
+}
+
+TEST_F(VoltageModelTest, ErasedMeanDriftsUpWithCycling) {
+  EXPECT_GT(model_.level_mean(0, 4000.0), model_.level_mean(0, 0.0));
+  EXPECT_GT(model_.level_mean(0, 10000.0), model_.level_mean(0, 4000.0));
+}
+
+TEST_F(VoltageModelTest, ProgrammedMeansDriftDownWithCycling) {
+  EXPECT_LT(model_.level_mean(7, 4000.0), model_.level_mean(7, 0.0));
+}
+
+TEST_F(VoltageModelTest, SigmaGrowsWithCycling) {
+  for (int level = 0; level < kTlcLevels; ++level) {
+    EXPECT_GT(model_.level_stddev(level, 4000.0), model_.level_stddev(level, 0.0));
+    EXPECT_GT(model_.level_stddev(level, 10000.0), model_.level_stddev(level, 4000.0));
+  }
+}
+
+TEST_F(VoltageModelTest, SampleMomentsMatchConfiguredLevel) {
+  // Level 4 has no deep component: sample moments should match the
+  // configured (mean, sigma) plus the analytic program-disturb tail
+  // contribution (mean += w * tau; var += w * (2 - w) * tau^2 approx).
+  const int n = 20000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = model_.sample(4, 0.0, 0.0, 1.0, rng_);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sumsq / n - mean * mean);
+  const auto& lp = config_.levels[4];
+  const double tail_mean = lp.tail_weight * lp.tail_scale;
+  const double tail_var = lp.tail_weight * (2.0 - lp.tail_weight) * lp.tail_scale *
+                          lp.tail_scale;
+  EXPECT_NEAR(mean, model_.level_mean(4, 0.0) + tail_mean, 2.0);
+  const double expected_sd = std::sqrt(model_.level_stddev(4, 0.0) *
+                                           model_.level_stddev(4, 0.0) +
+                                       tail_var);
+  EXPECT_NEAR(sd, expected_sd, 2.5);
+}
+
+TEST_F(VoltageModelTest, ErasedStateIsBimodal) {
+  // Roughly deep_weight of erased samples should fall far below the shallow
+  // component.
+  const int n = 20000;
+  int deep = 0;
+  for (int i = 0; i < n; ++i) {
+    if (model_.sample(0, 0.0, 0.0, 1.0, rng_) < -250.0) ++deep;
+  }
+  EXPECT_NEAR(deep / static_cast<double>(n), config_.levels[0].deep_weight, 0.02);
+}
+
+TEST_F(VoltageModelTest, RetentionPullsProgrammedLevelsDown) {
+  const int n = 8000;
+  double fresh = 0.0, retained = 0.0;
+  for (int i = 0; i < n; ++i) fresh += model_.sample(7, 4000.0, 0.0, 1.0, rng_);
+  for (int i = 0; i < n; ++i) retained += model_.sample(7, 4000.0, 500.0, 1.0, rng_);
+  EXPECT_LT(retained / n, fresh / n - 5.0);
+}
+
+TEST_F(VoltageModelTest, RetentionLossScalesWithLevel) {
+  const int n = 8000;
+  double low = 0.0, high = 0.0;
+  for (int i = 0; i < n; ++i)
+    low += model_.sample(1, 4000.0, 500.0, 1.0, rng_) - model_.level_mean(1, 4000.0);
+  for (int i = 0; i < n; ++i)
+    high += model_.sample(7, 4000.0, 500.0, 1.0, rng_) - model_.level_mean(7, 4000.0);
+  EXPECT_LT(high / n, low / n);  // higher levels lose more charge
+}
+
+TEST_F(VoltageModelTest, RetentionDoesNotAffectErasedState) {
+  const int n = 8000;
+  double fresh = 0.0, retained = 0.0;
+  for (int i = 0; i < n; ++i) fresh += model_.sample(0, 0.0, 0.0, 1.0, rng_);
+  for (int i = 0; i < n; ++i) retained += model_.sample(0, 0.0, 500.0, 1.0, rng_);
+  EXPECT_NEAR(fresh / n, retained / n, 6.0);
+}
+
+TEST_F(VoltageModelTest, CellWearScalesSpread) {
+  // Tail-free config so the Gaussian core (which cell wear scales) is the
+  // only variance source.
+  VoltageModelConfig config = default_tlc_voltage_config();
+  for (auto& lp : config.levels) lp.tail_weight = 0.0;
+  VoltageModel model(config);
+  const int n = 8000;
+  double sq_small = 0.0, sq_large = 0.0, s_small = 0.0, s_large = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double a = model.sample(4, 0.0, 0.0, 0.8, rng_);
+    const double b = model.sample(4, 0.0, 0.0, 1.6, rng_);
+    s_small += a;
+    s_large += b;
+    sq_small += a * a;
+    sq_large += b * b;
+  }
+  const double var_small = sq_small / n - (s_small / n) * (s_small / n);
+  const double var_large = sq_large / n - (s_large / n) * (s_large / n);
+  EXPECT_NEAR(std::sqrt(var_large) / std::sqrt(var_small), 2.0, 0.2);
+}
+
+TEST_F(VoltageModelTest, SampleCellWearIsCenteredAtOne) {
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += model_.sample_cell_wear(rng_);
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST_F(VoltageModelTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(model_.level_mean(8, 0.0), Error);
+  EXPECT_THROW(model_.level_mean(-1, 0.0), Error);
+  EXPECT_THROW(model_.level_mean(0, -1.0), Error);
+  EXPECT_THROW(model_.sample(0, 0.0, -1.0, 1.0, rng_), Error);
+  EXPECT_THROW(model_.sample(0, 0.0, 0.0, 0.0, rng_), Error);
+}
+
+TEST(VoltageModelConfigValidation, RejectsBadLevelParams) {
+  VoltageModelConfig config = default_tlc_voltage_config();
+  config.levels[3].stddev = 0.0;
+  EXPECT_THROW(VoltageModel{config}, Error);
+
+  config = default_tlc_voltage_config();
+  config.levels[0].tail_weight = 1.0;
+  EXPECT_THROW(VoltageModel{config}, Error);
+
+  config = default_tlc_voltage_config();
+  config.levels[0].deep_weight = -0.1;
+  EXPECT_THROW(VoltageModel{config}, Error);
+}
+
+class LevelSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LevelSweepTest, SampleStaysFiniteAcrossConditions) {
+  const int level = GetParam();
+  VoltageModel model(default_tlc_voltage_config());
+  flashgen::Rng rng(level + 1);
+  for (double pe : {0.0, 4000.0, 20000.0}) {
+    for (double retention : {0.0, 100.0, 5000.0}) {
+      for (int i = 0; i < 100; ++i) {
+        const double v = model.sample(level, pe, retention, 1.0, rng);
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GT(v, -2000.0);
+        EXPECT_LT(v, 2000.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, LevelSweepTest, ::testing::Range(0, kTlcLevels));
+
+}  // namespace
+}  // namespace flashgen::flash

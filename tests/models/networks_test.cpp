@@ -1,0 +1,224 @@
+#include "models/networks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace flashgen::models {
+namespace {
+
+using tensor::Shape;
+
+NetworkConfig tiny_config(Index size = 16) {
+  NetworkConfig config;
+  config.array_size = size;
+  config.base_channels = 4;
+  config.z_dim = 4;
+  return config;
+}
+
+TEST(UnetDepth, PowersOfTwo) {
+  EXPECT_EQ(unet_depth(tiny_config(8)), 3);
+  EXPECT_EQ(unet_depth(tiny_config(16)), 4);
+  EXPECT_EQ(unet_depth(tiny_config(64)), 6);
+}
+
+TEST(UnetDepth, RejectsBadConfigs) {
+  NetworkConfig config = tiny_config();
+  config.array_size = 12;
+  EXPECT_THROW(unet_depth(config), Error);
+  config = tiny_config();
+  config.array_size = 4;
+  EXPECT_THROW(unet_depth(config), Error);
+  config = tiny_config();
+  config.base_channels = 0;
+  EXPECT_THROW(unet_depth(config), Error);
+  config = tiny_config();
+  config.dropout = 1.0f;
+  EXPECT_THROW(unet_depth(config), Error);
+}
+
+class GeneratorSizeTest : public ::testing::TestWithParam<Index> {};
+
+TEST_P(GeneratorSizeTest, OutputMatchesInputGeometry) {
+  const Index size = GetParam();
+  flashgen::Rng rng(1);
+  UNetGenerator gen(tiny_config(size), rng);
+  Tensor pl = Tensor::zeros(Shape{2, 1, size, size});
+  Tensor z = Tensor::randn(Shape{2, 4}, rng);
+  Tensor out = gen.forward(pl, z, rng);
+  EXPECT_EQ(out.shape(), (Shape{2, 1, size, size}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorSizeTest, ::testing::Values<Index>(8, 16, 32));
+
+TEST(Generator, OutputBoundedByTanh) {
+  flashgen::Rng rng(2);
+  UNetGenerator gen(tiny_config(), rng);
+  Tensor pl = Tensor::rand_uniform(Shape{1, 1, 16, 16}, rng, -1.0f, 1.0f);
+  Tensor z = Tensor::randn(Shape{1, 4}, rng);
+  Tensor out = gen.forward(pl, z, rng);
+  for (float v : out.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Generator, LatentChangesOutput) {
+  flashgen::Rng rng(3);
+  UNetGenerator gen(tiny_config(), rng);
+  gen.set_training(false);
+  Tensor pl = Tensor::rand_uniform(Shape{1, 1, 16, 16}, rng, -1.0f, 1.0f);
+  Tensor z1 = Tensor::randn(Shape{1, 4}, rng);
+  Tensor z2 = Tensor::randn(Shape{1, 4}, rng);
+  Tensor a = gen.forward(pl, z1, rng);
+  Tensor b = gen.forward(pl, z2, rng);
+  double diff = 0.0;
+  for (tensor::Index i = 0; i < a.numel(); ++i)
+    diff += std::fabs(a.data()[i] - b.data()[i]);
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Generator, ZeroLatentDimUsesNoLatent) {
+  NetworkConfig config = tiny_config();
+  config.z_dim = 0;
+  flashgen::Rng rng(4);
+  UNetGenerator gen(config, rng);
+  Tensor pl = Tensor::zeros(Shape{1, 1, 16, 16});
+  EXPECT_NO_THROW(gen.forward(pl, Tensor(), rng));
+  Tensor z = Tensor::randn(Shape{1, 4}, rng);
+  EXPECT_THROW(gen.forward(pl, z, rng), Error);
+}
+
+TEST(Generator, MissingLatentThrowsWhenRequired) {
+  flashgen::Rng rng(5);
+  UNetGenerator gen(tiny_config(), rng);
+  Tensor pl = Tensor::zeros(Shape{1, 1, 16, 16});
+  EXPECT_THROW(gen.forward(pl, Tensor(), rng), Error);
+  Tensor wrong = Tensor::randn(Shape{1, 3}, rng);
+  EXPECT_THROW(gen.forward(pl, wrong, rng), Error);
+}
+
+TEST(Generator, WrongSpatialSizeThrows) {
+  flashgen::Rng rng(6);
+  UNetGenerator gen(tiny_config(16), rng);
+  Tensor pl = Tensor::zeros(Shape{1, 1, 8, 8});
+  Tensor z = Tensor::randn(Shape{1, 4}, rng);
+  EXPECT_THROW(gen.forward(pl, z, rng), Error);
+}
+
+TEST(Generator, GlobalSkipAddsTwoParameters) {
+  flashgen::Rng rng(7);
+  NetworkConfig with = tiny_config();
+  NetworkConfig without = tiny_config();
+  without.global_skip = false;
+  UNetGenerator g1(with, rng), g2(without, rng);
+  EXPECT_EQ(g1.parameter_count(), g2.parameter_count() + 2);
+}
+
+TEST(Generator, DropoutActiveOnlyInTraining) {
+  NetworkConfig config = tiny_config();
+  config.z_dim = 0;
+  config.dropout = 0.5f;
+  flashgen::Rng rng(8);
+  UNetGenerator gen(config, rng);
+  Tensor pl = Tensor::rand_uniform(Shape{1, 1, 16, 16}, rng, -1.0f, 1.0f);
+  gen.set_training(false);
+  flashgen::Rng r1(9), r2(10);
+  Tensor a = gen.forward(pl, Tensor(), r1);
+  Tensor b = gen.forward(pl, Tensor(), r2);
+  for (tensor::Index i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  gen.set_training(true);
+  Tensor c = gen.forward(pl, Tensor(), r1);
+  Tensor d = gen.forward(pl, Tensor(), r2);
+  double diff = 0.0;
+  for (tensor::Index i = 0; i < c.numel(); ++i) diff += std::fabs(c.data()[i] - d.data()[i]);
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Encoder, OutputsLatentMoments) {
+  flashgen::Rng rng(11);
+  ResNetEncoder enc(tiny_config(), rng);
+  Tensor vl = Tensor::rand_uniform(Shape{3, 1, 16, 16}, rng, -1.0f, 1.0f);
+  const auto out = enc.forward(vl);
+  EXPECT_EQ(out.mu.shape(), (Shape{3, 4}));
+  EXPECT_EQ(out.logvar.shape(), (Shape{3, 4}));
+}
+
+TEST(Encoder, SampleLatentUsesReparameterization) {
+  flashgen::Rng rng(12);
+  ResNetEncoder::Output dist;
+  dist.mu = Tensor::full(Shape{1, 4}, 10.0f);
+  dist.logvar = Tensor::full(Shape{1, 4}, -20.0f);  // ~zero variance
+  Tensor z = ResNetEncoder::sample_latent(dist, rng);
+  for (float v : z.data()) EXPECT_NEAR(v, 10.0f, 1e-3f);
+}
+
+TEST(Encoder, RequiresPositiveZDim) {
+  NetworkConfig config = tiny_config();
+  config.z_dim = 0;
+  flashgen::Rng rng(13);
+  EXPECT_THROW(ResNetEncoder(config, rng), Error);
+}
+
+TEST(Discriminator, PatchOutputShape) {
+  flashgen::Rng rng(14);
+  PatchDiscriminator dis(tiny_config(), rng);
+  Tensor pl = Tensor::zeros(Shape{2, 1, 16, 16});
+  Tensor vl = Tensor::zeros(Shape{2, 1, 16, 16});
+  Tensor out = dis.forward(pl, vl);
+  // 16 -> 8 -> 4 -> (4x4 s1 p1) -> 3x3 patches.
+  EXPECT_EQ(out.shape(), (Shape{2, 1, 3, 3}));
+}
+
+TEST(Discriminator, ShapeMismatchThrows) {
+  flashgen::Rng rng(15);
+  PatchDiscriminator dis(tiny_config(), rng);
+  Tensor pl = Tensor::zeros(Shape{1, 1, 16, 16});
+  Tensor vl = Tensor::zeros(Shape{1, 1, 8, 8});
+  EXPECT_THROW(dis.forward(pl, vl), Error);
+}
+
+TEST(OnehotLevels, EncodesEveryLevelPlane) {
+  // One normalized PL per level value; exactly the matching plane is hot.
+  Tensor pl = Tensor::zeros(Shape{1, 1, 2, 4});
+  for (int level = 0; level < 8; ++level)
+    pl.data()[level] = static_cast<float>(level) / 3.5f - 1.0f;
+  Tensor hot = onehot_levels(pl);
+  EXPECT_EQ(hot.shape(), (Shape{1, 8, 2, 4}));
+  for (int level = 0; level < 8; ++level) {
+    for (int plane = 0; plane < 8; ++plane) {
+      EXPECT_FLOAT_EQ(hot.data()[plane * 8 + level], plane == level ? 1.0f : 0.0f)
+          << "cell " << level << " plane " << plane;
+    }
+  }
+}
+
+TEST(OnehotLevels, ClampsOutOfRangeInputs) {
+  Tensor pl = Tensor::zeros(Shape{1, 1, 1, 2});
+  pl.data()[0] = -2.0f;  // below level 0
+  pl.data()[1] = 2.0f;   // above level 7
+  Tensor hot = onehot_levels(pl);
+  EXPECT_FLOAT_EQ(hot.data()[0 * 2 + 0], 1.0f);  // plane 0, cell 0
+  EXPECT_FLOAT_EQ(hot.data()[7 * 2 + 1], 1.0f);  // plane 7, cell 1
+}
+
+TEST(OnehotLevels, RejectsMultiChannelInput) {
+  Tensor bad = Tensor::zeros(Shape{1, 2, 4, 4});
+  EXPECT_THROW(onehot_levels(bad), Error);
+}
+
+TEST(Networks, ParameterCountsScaleWithWidth) {
+  flashgen::Rng rng(16);
+  NetworkConfig narrow = tiny_config();
+  NetworkConfig wide = tiny_config();
+  wide.base_channels = 8;
+  UNetGenerator g_narrow(narrow, rng), g_wide(wide, rng);
+  EXPECT_GT(g_wide.parameter_count(), 3 * g_narrow.parameter_count());
+}
+
+}  // namespace
+}  // namespace flashgen::models

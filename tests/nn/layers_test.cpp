@@ -1,0 +1,136 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace flashgen::nn {
+namespace {
+
+using tensor::Shape;
+
+TEST(LinearLayer, ShapesAndParamRegistration) {
+  flashgen::Rng rng(1);
+  Linear fc(8, 4, rng);
+  EXPECT_EQ(fc.parameters().size(), 2u);
+  EXPECT_EQ(fc.parameter_count(), 8 * 4 + 4);
+  Tensor x = Tensor::zeros(Shape{3, 8});
+  Tensor y = fc.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{3, 4}));
+}
+
+TEST(LinearLayer, NoBiasVariant) {
+  flashgen::Rng rng(1);
+  Linear fc(8, 4, rng, /*with_bias=*/false);
+  EXPECT_EQ(fc.parameters().size(), 1u);
+  Tensor x = Tensor::zeros(Shape{2, 8});
+  Tensor y = fc.forward(x);
+  for (float v : y.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Conv2dLayer, ShapeFollowsPaperGeometry) {
+  flashgen::Rng rng(2);
+  // Paper: all convs 4x4 kernels, stride 2, padding 1 -> halves spatial size.
+  Conv2d conv(1, 64, 4, 2, 1, rng);
+  Tensor x = Tensor::zeros(Shape{2, 1, 64, 64});
+  EXPECT_EQ(conv.forward(x).shape(), (Shape{2, 64, 32, 32}));
+}
+
+TEST(ConvTranspose2dLayer, DoublesSpatialSize) {
+  flashgen::Rng rng(3);
+  ConvTranspose2d up(8, 4, 4, 2, 1, rng);
+  Tensor x = Tensor::zeros(Shape{1, 8, 16, 16});
+  EXPECT_EQ(up.forward(x).shape(), (Shape{1, 4, 32, 32}));
+}
+
+TEST(Layers, DcganInitStatistics) {
+  flashgen::Rng rng(4);
+  Conv2d conv(16, 32, 4, 2, 1, rng);
+  const Tensor w = conv.parameters()[0];
+  double sum = 0.0, sumsq = 0.0;
+  for (float v : w.data()) {
+    sum += v;
+    sumsq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(w.numel());
+  EXPECT_NEAR(sum / n, 0.0, 0.001);
+  EXPECT_NEAR(std::sqrt(sumsq / n), 0.02, 0.002);
+}
+
+TEST(BatchNorm2dLayer, TrainEvalModeSwitch) {
+  flashgen::Rng rng(5);
+  BatchNorm2d bn(3, rng);
+  EXPECT_TRUE(bn.training());
+  bn.set_training(false);
+  EXPECT_FALSE(bn.training());
+  // In eval mode right after construction, running stats are (0, 1): the op
+  // reduces to y = gamma*x + beta elementwise, which keeps shape.
+  Tensor x = Tensor::zeros(Shape{2, 3, 4, 4});
+  EXPECT_EQ(bn.forward(x).shape(), x.shape());
+}
+
+TEST(BatchNorm2dLayer, TrainingUpdatesRunningStats) {
+  flashgen::Rng rng(6);
+  BatchNorm2d bn(1, rng);
+  auto state = bn.named_state();
+  // gamma, beta, running_mean, running_var
+  ASSERT_EQ(state.size(), 4u);
+  Tensor x = Tensor::full(Shape{2, 1, 4, 4}, 10.0f);
+  for (std::size_t i = 0; i < x.data().size(); ++i) x.data()[i] += (i % 2) ? 0.5f : -0.5f;
+  (void)bn.forward(x);
+  float rm = 0.0f;
+  for (const auto& nt : state) {
+    if (nt.name == "running_mean") rm = nt.tensor.data()[0];
+  }
+  EXPECT_NEAR(rm, 1.0f, 1e-5f);  // 0.9*0 + 0.1*10
+}
+
+TEST(Module, HierarchicalNames) {
+  struct Net : Module {
+    flashgen::Rng rng{7};
+    Linear a{4, 4, rng};
+    Linear b{4, 2, rng, false};
+    Net() {
+      register_module("a", a);
+      register_module("b", b);
+    }
+  } net;
+  const auto named = net.named_parameters();
+  ASSERT_EQ(named.size(), 3u);
+  EXPECT_EQ(named[0].name, "a.weight");
+  EXPECT_EQ(named[1].name, "a.bias");
+  EXPECT_EQ(named[2].name, "b.weight");
+}
+
+TEST(Module, ZeroGradClearsAllParameters) {
+  flashgen::Rng rng(8);
+  Linear fc(3, 2, rng);
+  Tensor x = Tensor::full(Shape{1, 3}, 1.0f);
+  tensor::sum(fc.forward(x)).backward();
+  EXPECT_FALSE(fc.parameters()[0].grad().empty());
+  fc.zero_grad();
+  for (const Tensor& p : fc.parameters()) EXPECT_TRUE(p.grad().empty());
+}
+
+TEST(Module, SetTrainingPropagatesToChildren) {
+  struct Net : Module {
+    flashgen::Rng rng{9};
+    BatchNorm2d bn{2, rng};
+    Net() { register_module("bn", bn); }
+  } net;
+  net.set_training(false);
+  EXPECT_FALSE(net.bn.training());
+}
+
+TEST(Layers, RejectNonPositiveDims) {
+  flashgen::Rng rng(10);
+  EXPECT_THROW(Linear(0, 4, rng), Error);
+  EXPECT_THROW(Conv2d(1, 0, 3, 1, 1, rng), Error);
+  EXPECT_THROW(BatchNorm2d(0, rng), Error);
+}
+
+}  // namespace
+}  // namespace flashgen::nn

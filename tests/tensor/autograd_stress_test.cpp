@@ -1,0 +1,164 @@
+// Stress and property tests of the autograd engine on larger / deeper graphs
+// than the per-op checks, including the exact composition patterns the
+// generative models use (z broadcast + concat, shared subgraphs, two-phase
+// GAN-style backward).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/conv.h"
+#include "tensor/ops.h"
+#include "testutil/gradcheck.h"
+
+namespace flashgen::tensor {
+namespace {
+
+using flashgen::testutil::gradcheck;
+
+TEST(AutogradStress, DeepChainMatchesClosedForm) {
+  // y = x * 1.01^K summed; dy/dx = 1.01^K.
+  const int k = 200;
+  Tensor x = Tensor::from_data(Shape{4}, {1.0f, -2.0f, 0.5f, 3.0f}, true);
+  Tensor h = x;
+  for (int i = 0; i < k; ++i) h = mul_scalar(h, 1.01f);
+  sum(h).backward();
+  const float expected = std::pow(1.01f, k);
+  for (float g : x.grad()) EXPECT_NEAR(g, expected, 1e-2f * expected);
+}
+
+TEST(AutogradStress, WideFanOutAccumulates) {
+  // y = sum of 50 copies of x^2 -> dy/dx = 100x.
+  Tensor x = Tensor::from_data(Shape{2}, {1.5f, -0.5f}, true);
+  Tensor acc = Tensor::zeros(Shape{1});
+  for (int i = 0; i < 50; ++i) acc = add(acc, sum(square(x)));
+  acc.backward();
+  EXPECT_NEAR(x.grad()[0], 100.0f * 1.5f, 1e-2f);
+  EXPECT_NEAR(x.grad()[1], 100.0f * -0.5f, 1e-2f);
+}
+
+TEST(AutogradStress, UnetStyleZInjectionGradcheck) {
+  // cat(conv(x), broadcast(z)) -> conv -> loss: the generator's core motif.
+  flashgen::Rng rng(1);
+  Tensor x = Tensor::randn(Shape{2, 1, 8, 8}, rng, 0.5f, true);
+  Tensor z = Tensor::randn(Shape{2, 3}, rng, 0.5f, true);
+  Tensor w1 = Tensor::randn(Shape{2, 1, 4, 4}, rng, 0.3f, true);
+  Tensor w2 = Tensor::randn(Shape{1, 5, 3, 3}, rng, 0.3f, true);
+  EXPECT_TRUE(gradcheck(
+      [](const auto& in) {
+        Tensor features = conv2d(in[0], in[2], Tensor(), 2, 1);        // (2,2,4,4)
+        Tensor with_z = cat_channels(features, broadcast_spatial(in[1], 4, 4));
+        Tensor out = conv2d(with_z, in[3], Tensor(), 1, 1);            // (2,1,4,4)
+        return mean(square(tanh(out)));
+      },
+      {x, z, w1, w2}));
+}
+
+TEST(AutogradStress, GanStyleTwoPhaseBackward) {
+  // Phase 1 (D step): loss through fake.detach() must not touch G's params.
+  // Phase 2 (G step): loss through fake must reach them.
+  flashgen::Rng rng(2);
+  Tensor g_weight = Tensor::randn(Shape{4, 4}, rng, 0.5f, true);
+  Tensor d_weight = Tensor::randn(Shape{4, 4}, rng, 0.5f, true);
+  Tensor input = Tensor::randn(Shape{2, 4}, rng);
+
+  Tensor fake = tanh(matmul(input, g_weight));
+  Tensor d_loss = mean(square(matmul(fake.detach(), d_weight)));
+  d_loss.backward();
+  EXPECT_TRUE(g_weight.grad().empty());
+  EXPECT_FALSE(d_weight.grad().empty());
+
+  Tensor g_loss = mean(square(matmul(fake, d_weight)));
+  g_loss.backward();
+  EXPECT_FALSE(g_weight.grad().empty());
+}
+
+TEST(AutogradStress, SharedEncoderTwoHeads) {
+  // mu/logvar heads sharing a trunk (the encoder motif): gradients from both
+  // heads accumulate in the trunk.
+  flashgen::Rng rng(3);
+  Tensor trunk_w = Tensor::randn(Shape{4, 4}, rng, 0.5f, true);
+  Tensor mu_w = Tensor::randn(Shape{2, 4}, rng, 0.5f, true);
+  Tensor lv_w = Tensor::randn(Shape{2, 4}, rng, 0.5f, true);
+  Tensor x = Tensor::randn(Shape{3, 4}, rng);
+  EXPECT_TRUE(gradcheck(
+      [&x](const auto& in) {
+        Tensor features = relu(matmul(x, in[0]));
+        Tensor mu = linear(features, in[1], Tensor());
+        Tensor logvar = linear(features, in[2], Tensor());
+        return kl_standard_normal(mu, logvar);
+      },
+      {trunk_w, mu_w, lv_w}));
+}
+
+TEST(AutogradStress, ReparameterizationGradientFlows) {
+  // z = mu + eps*exp(logvar/2): gradient must flow to both mu and logvar.
+  flashgen::Rng rng(4);
+  Tensor mu = Tensor::randn(Shape{2, 3}, rng, 0.5f, true);
+  Tensor logvar = Tensor::randn(Shape{2, 3}, rng, 0.3f, true);
+  Tensor eps = Tensor::randn(Shape{2, 3}, rng);
+  EXPECT_TRUE(gradcheck(
+      [&eps](const auto& in) {
+        Tensor std_dev = exp(mul_scalar(in[1], 0.5f));
+        Tensor z = add(in[0], mul(std_dev, eps));
+        return mean(square(z));
+      },
+      {mu, logvar}));
+}
+
+TEST(AutogradStress, BatchNormScaleShiftInvarianceInTraining) {
+  // Training-mode batch norm output is invariant to any affine transform of
+  // its input (per channel): a key property the backward must preserve too.
+  flashgen::Rng rng(5);
+  Tensor x = Tensor::randn(Shape{4, 2, 4, 4}, rng);
+  Tensor x_shifted = Tensor::zeros(x.shape());
+  for (std::size_t i = 0; i < x.data().size(); ++i)
+    x_shifted.data()[i] = 3.0f * x.data()[i] + 7.0f;
+  Tensor gamma = Tensor::full(Shape{2}, 1.0f, true);
+  Tensor beta = Tensor::zeros(Shape{2}, true);
+  Tensor rm1 = Tensor::zeros(Shape{2}), rv1 = Tensor::full(Shape{2}, 1.0f);
+  Tensor rm2 = Tensor::zeros(Shape{2}), rv2 = Tensor::full(Shape{2}, 1.0f);
+  Tensor y1 = batch_norm2d(x, gamma, beta, rm1, rv1, true);
+  Tensor y2 = batch_norm2d(x_shifted, gamma, beta, rm2, rv2, true);
+  for (Index i = 0; i < y1.numel(); ++i) EXPECT_NEAR(y1.data()[i], y2.data()[i], 2e-4f);
+}
+
+TEST(AutogradStress, GradFreeEvalAllocatesNoGraph) {
+  flashgen::Rng rng(6);
+  Tensor w = Tensor::randn(Shape{8, 8}, rng, 0.5f, true);
+  NoGradGuard guard;
+  Tensor x = Tensor::randn(Shape{4, 8}, rng);
+  Tensor y = relu(matmul(x, w));
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_EQ(y.impl()->node, nullptr);
+}
+
+TEST(AutogradStress, LongConvChainGradcheck) {
+  // Three convs + norm-free activations, checking end-to-end composition.
+  flashgen::Rng rng(7);
+  Tensor x = Tensor::randn(Shape{1, 2, 8, 8}, rng, 0.5f, true);
+  Tensor w1 = Tensor::randn(Shape{3, 2, 4, 4}, rng, 0.3f, true);
+  Tensor w2 = Tensor::randn(Shape{4, 3, 4, 4}, rng, 0.3f, true);
+  Tensor w3 = Tensor::randn(Shape{4, 1, 4, 4}, rng, 0.3f, true);  // convT weight
+  EXPECT_TRUE(gradcheck(
+      [](const auto& in) {
+        Tensor h = leaky_relu(conv2d(in[0], in[1], Tensor(), 2, 1), 0.2f);   // (1,3,4,4)
+        h = leaky_relu(conv2d(h, in[2], Tensor(), 2, 1), 0.2f);              // (1,4,2,2)
+        h = conv_transpose2d(h, in[3], Tensor(), 2, 1);                      // (1,1,4,4)
+        return mean(square(tanh(h)));
+      },
+      {x, w1, w2, w3}));
+}
+
+TEST(AutogradStress, AffineScalarGradcheck) {
+  flashgen::Rng rng(8);
+  Tensor x = Tensor::randn(Shape{3, 3}, rng, 1.0f, true);
+  Tensor gain = Tensor::from_data(Shape{1}, {0.7f}, true);
+  Tensor bias = Tensor::from_data(Shape{1}, {-0.2f}, true);
+  EXPECT_TRUE(gradcheck(
+      [](const auto& in) { return sum(square(affine_scalar(in[0], in[1], in[2]))); },
+      {x, gain, bias}));
+}
+
+}  // namespace
+}  // namespace flashgen::tensor

@@ -1,0 +1,79 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace flashgen::tensor {
+namespace {
+
+// Naive reference for row-major op(A) (MxK) * op(B) (KxN).
+std::vector<float> reference(bool ta, bool tb, int m, int n, int k, float alpha,
+                             const std::vector<float>& a, int lda, const std::vector<float>& b,
+                             int ldb, float beta, std::vector<float> c, int ldc) {
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const float av = ta ? a[p * lda + i] : a[i * lda + p];
+        const float bv = tb ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * ldc + j] = static_cast<float>(alpha * acc + beta * c[i * ldc + j]);
+    }
+  return c;
+}
+
+struct GemmCase {
+  bool ta, tb;
+  int m, n, k;
+  float alpha, beta;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParamTest, MatchesNaiveReference) {
+  const GemmCase gc = GetParam();
+  flashgen::Rng rng(99);
+  const int lda = gc.ta ? gc.m : gc.k;
+  const int ldb = gc.tb ? gc.k : gc.n;
+  std::vector<float> a(static_cast<std::size_t>(gc.ta ? gc.k * gc.m : gc.m * gc.k));
+  std::vector<float> b(static_cast<std::size_t>(gc.tb ? gc.n * gc.k : gc.k * gc.n));
+  std::vector<float> c(static_cast<std::size_t>(gc.m * gc.n));
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto& v : c) v = static_cast<float>(rng.normal());
+
+  const auto expected =
+      reference(gc.ta, gc.tb, gc.m, gc.n, gc.k, gc.alpha, a, lda, b, ldb, gc.beta, c, gc.n);
+  sgemm(gc.ta, gc.tb, gc.m, gc.n, gc.k, gc.alpha, a.data(), lda, b.data(), ldb, gc.beta,
+        c.data(), gc.n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-3f * (1.0f + std::fabs(expected[i]))) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayouts, GemmParamTest,
+    ::testing::Values(GemmCase{false, false, 7, 9, 11, 1.0f, 0.0f},
+                      GemmCase{false, false, 16, 16, 16, 2.0f, 1.0f},
+                      GemmCase{true, false, 5, 8, 13, 1.0f, 0.5f},
+                      GemmCase{false, true, 6, 10, 4, -1.0f, 0.0f},
+                      GemmCase{true, true, 9, 3, 17, 0.5f, 2.0f},
+                      GemmCase{false, false, 1, 1, 1, 1.0f, 0.0f},
+                      GemmCase{false, false, 64, 300, 257, 1.0f, 0.0f}));
+
+TEST(Gemm, ZeroSizedDimensionsAreNoOps) {
+  std::vector<float> a(4, 1.0f), b(4, 1.0f), c(4, 7.0f);
+  sgemm(false, false, 0, 2, 2, 1.0f, a.data(), 2, b.data(), 2, 1.0f, c.data(), 2);
+  EXPECT_EQ(c[0], 7.0f);
+  // k == 0 means C = beta*C.
+  sgemm(false, false, 2, 2, 0, 1.0f, a.data(), 0, b.data(), 2, 0.5f, c.data(), 2);
+  EXPECT_EQ(c[0], 3.5f);
+}
+
+}  // namespace
+}  // namespace flashgen::tensor

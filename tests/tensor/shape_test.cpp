@@ -1,0 +1,46 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace flashgen::tensor {
+namespace {
+
+TEST(Shape, ScalarRankZero) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, NumelIsProduct) {
+  EXPECT_EQ((Shape{2, 3, 4}).numel(), 24);
+  EXPECT_EQ((Shape{5}).numel(), 5);
+  EXPECT_EQ((Shape{2, 0, 3}).numel(), 0);
+}
+
+TEST(Shape, IndexingAndBounds) {
+  Shape s{2, 3};
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_THROW(s[2], Error);
+  EXPECT_THROW(s[-1], Error);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+  EXPECT_NE((Shape{1, 2}), (Shape{1, 2, 1}));
+}
+
+TEST(Shape, RejectsNegativeDims) {
+  EXPECT_THROW((Shape{2, -1}), Error);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ((Shape{4, 1, 8, 8}).to_string(), "[4, 1, 8, 8]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+}  // namespace
+}  // namespace flashgen::tensor

@@ -1,0 +1,132 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace flashgen::tensor {
+namespace {
+
+TEST(Tensor, FactoriesAndAccessors) {
+  Tensor z = Tensor::zeros(Shape{2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+
+  Tensor f = Tensor::full(Shape{4}, 2.5f);
+  for (float v : f.data()) EXPECT_EQ(v, 2.5f);
+
+  Tensor d = Tensor::from_data(Shape{2}, {1.0f, -1.0f});
+  EXPECT_EQ(d.data()[0], 1.0f);
+  EXPECT_EQ(d.data()[1], -1.0f);
+
+  EXPECT_THROW(Tensor::from_data(Shape{3}, {1.0f}), Error);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  EXPECT_EQ(Tensor::full(Shape{1}, 3.0f).item(), 3.0f);
+  EXPECT_THROW(Tensor::zeros(Shape{2}).item(), Error);
+}
+
+TEST(Tensor, UndefinedTensorThrows) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_THROW(t.shape(), Error);
+  EXPECT_THROW(t.data(), Error);
+}
+
+TEST(Tensor, RandnStatistics) {
+  flashgen::Rng rng(3);
+  Tensor t = Tensor::randn(Shape{10000}, rng, 2.0f);
+  double sum = 0.0, sumsq = 0.0;
+  for (float v : t.data()) {
+    sum += v;
+    sumsq += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum / t.numel(), 0.0, 0.1);
+  EXPECT_NEAR(sumsq / t.numel(), 4.0, 0.2);
+}
+
+TEST(Autograd, SimpleChainRule) {
+  // loss = sum((2x + 1)^2), dloss/dx = 4(2x+1)
+  Tensor x = Tensor::from_data(Shape{3}, {0.0f, 1.0f, -2.0f}, /*requires_grad=*/true);
+  Tensor loss = sum(square(add_scalar(mul_scalar(x, 2.0f), 1.0f)));
+  loss.backward();
+  ASSERT_EQ(x.grad().size(), 3u);
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f * 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 4.0f * 3.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 4.0f * -3.0f);
+}
+
+TEST(Autograd, GradAccumulatesWhenTensorReused) {
+  // loss = sum(x * x') where x used twice: d/dx sum(x^2) = 2x.
+  Tensor x = Tensor::from_data(Shape{2}, {3.0f, -1.0f}, true);
+  Tensor loss = sum(mul(x, x));
+  loss.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], -2.0f);
+}
+
+TEST(Autograd, DiamondGraphAccumulates) {
+  // y = x + x; loss = sum(y) -> dx = 2.
+  Tensor x = Tensor::from_data(Shape{2}, {1.0f, 1.0f}, true);
+  Tensor y = add(x, x);
+  Tensor loss = sum(y);
+  loss.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(Autograd, DetachBlocksGradient) {
+  Tensor x = Tensor::from_data(Shape{2}, {2.0f, 3.0f}, true);
+  Tensor d = mul(x, x).detach();
+  EXPECT_FALSE(d.requires_grad());
+  Tensor loss = sum(mul(d, d));
+  EXPECT_FALSE(loss.requires_grad());
+}
+
+TEST(Autograd, NoGradGuardSuppressesGraph) {
+  Tensor x = Tensor::from_data(Shape{2}, {1.0f, 2.0f}, true);
+  NoGradGuard guard;
+  Tensor y = square(x);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(Autograd, NoGradGuardRestoresState) {
+  EXPECT_TRUE(grad_enabled());
+  {
+    NoGradGuard g1;
+    EXPECT_FALSE(grad_enabled());
+    {
+      NoGradGuard g2;
+      EXPECT_FALSE(grad_enabled());
+    }
+    EXPECT_FALSE(grad_enabled());
+  }
+  EXPECT_TRUE(grad_enabled());
+}
+
+TEST(Autograd, BackwardRequiresScalar) {
+  Tensor x = Tensor::zeros(Shape{2}, true);
+  Tensor y = square(x);
+  EXPECT_THROW(y.backward(), Error);
+}
+
+TEST(Autograd, ZeroGradClearsAccumulation) {
+  Tensor x = Tensor::from_data(Shape{1}, {2.0f}, true);
+  sum(square(x)).backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);
+  x.zero_grad();
+  EXPECT_TRUE(x.grad().empty());
+  sum(square(x)).backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);  // not 8: accumulation was reset
+}
+
+TEST(Autograd, SecondBackwardAccumulatesIntoLeaves) {
+  Tensor x = Tensor::from_data(Shape{1}, {2.0f}, true);
+  sum(square(x)).backward();
+  sum(square(x)).backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0f);
+}
+
+}  // namespace
+}  // namespace flashgen::tensor

@@ -1,0 +1,61 @@
+// Numerical gradient checking for autograd ops (float32 central differences).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace flashgen::testutil {
+
+/// Checks analytic gradients of `f` (a scalar-valued function of the inputs)
+/// against central differences. `f` must be deterministic: it is re-evaluated
+/// many times with perturbed inputs. Inputs must have requires_grad == true.
+inline ::testing::AssertionResult gradcheck(
+    const std::function<tensor::Tensor(const std::vector<tensor::Tensor>&)>& f,
+    std::vector<tensor::Tensor> inputs, float eps = 1e-2f, float atol = 2e-2f,
+    float rtol = 2e-2f) {
+  using tensor::Tensor;
+  // Analytic pass.
+  for (Tensor& t : inputs) t.zero_grad();
+  Tensor loss = f(inputs);
+  if (loss.numel() != 1) {
+    return ::testing::AssertionFailure() << "gradcheck requires a scalar-valued function";
+  }
+  loss.backward();
+  std::vector<std::vector<float>> analytic;
+  for (Tensor& t : inputs) {
+    auto g = t.grad();
+    analytic.emplace_back(g.begin(), g.end());
+    if (analytic.back().empty()) {
+      analytic.back().assign(static_cast<std::size_t>(t.numel()), 0.0f);
+    }
+  }
+  // Numeric pass.
+  tensor::NoGradGuard no_grad;
+  for (std::size_t which = 0; which < inputs.size(); ++which) {
+    auto data = inputs[which].data();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const float saved = data[i];
+      data[i] = saved + eps;
+      const float up = f(inputs).item();
+      data[i] = saved - eps;
+      const float down = f(inputs).item();
+      data[i] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float got = analytic[which][i];
+      const float tol = atol + rtol * std::fabs(numeric);
+      if (std::fabs(numeric - got) > tol) {
+        return ::testing::AssertionFailure()
+               << "grad mismatch at input " << which << " element " << i << ": analytic "
+               << got << " vs numeric " << numeric << " (tol " << tol << ")";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace flashgen::testutil
