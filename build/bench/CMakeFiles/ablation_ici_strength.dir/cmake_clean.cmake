@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ici_strength.dir/ablation_ici_strength.cpp.o"
+  "CMakeFiles/ablation_ici_strength.dir/ablation_ici_strength.cpp.o.d"
+  "ablation_ici_strength"
+  "ablation_ici_strength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ici_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pe_conditioning.dir/ablation_pe_conditioning.cpp.o"
+  "CMakeFiles/ablation_pe_conditioning.dir/ablation_pe_conditioning.cpp.o.d"
+  "ablation_pe_conditioning"
+  "ablation_pe_conditioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pe_conditioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_temporal_model.dir/ext_temporal_model.cpp.o"
+  "CMakeFiles/ext_temporal_model.dir/ext_temporal_model.cpp.o.d"
+  "ext_temporal_model"
+  "ext_temporal_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_temporal_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pdf_models.dir/fig4_pdf_models.cpp.o"
+  "CMakeFiles/fig4_pdf_models.dir/fig4_pdf_models.cpp.o.d"
+  "fig4_pdf_models"
+  "fig4_pdf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pdf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_type1_patterns.dir/fig5_type1_patterns.cpp.o"
+  "CMakeFiles/fig5_type1_patterns.dir/fig5_type1_patterns.cpp.o.d"
+  "fig5_type1_patterns"
+  "fig5_type1_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_type1_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

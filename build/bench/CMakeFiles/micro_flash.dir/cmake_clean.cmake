@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_flash.dir/micro_flash.cpp.o"
+  "CMakeFiles/micro_flash.dir/micro_flash.cpp.o.d"
+  "micro_flash"
+  "micro_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tv_distance.dir/table1_tv_distance.cpp.o"
+  "CMakeFiles/table1_tv_distance.dir/table1_tv_distance.cpp.o.d"
+  "table1_tv_distance"
+  "table1_tv_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tv_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_explorer.dir/channel_explorer.cpp.o"
+  "CMakeFiles/channel_explorer.dir/channel_explorer.cpp.o.d"
+  "channel_explorer"
+  "channel_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

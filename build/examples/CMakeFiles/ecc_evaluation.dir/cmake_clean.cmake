@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_evaluation.dir/ecc_evaluation.cpp.o"
+  "CMakeFiles/ecc_evaluation.dir/ecc_evaluation.cpp.o.d"
+  "ecc_evaluation"
+  "ecc_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

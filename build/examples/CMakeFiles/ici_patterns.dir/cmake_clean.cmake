@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ici_patterns.dir/ici_patterns.cpp.o"
+  "CMakeFiles/ici_patterns.dir/ici_patterns.cpp.o.d"
+  "ici_patterns"
+  "ici_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ici_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_threshold_calibration.dir/read_threshold_calibration.cpp.o"
+  "CMakeFiles/read_threshold_calibration.dir/read_threshold_calibration.cpp.o.d"
+  "read_threshold_calibration"
+  "read_threshold_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_threshold_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_llr_tables.dir/soft_llr_tables.cpp.o"
+  "CMakeFiles/soft_llr_tables.dir/soft_llr_tables.cpp.o.d"
+  "soft_llr_tables"
+  "soft_llr_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_llr_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

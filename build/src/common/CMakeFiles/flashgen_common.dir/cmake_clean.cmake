@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashgen_common.dir/csv.cpp.o"
+  "CMakeFiles/flashgen_common.dir/csv.cpp.o.d"
+  "CMakeFiles/flashgen_common.dir/logging.cpp.o"
+  "CMakeFiles/flashgen_common.dir/logging.cpp.o.d"
+  "CMakeFiles/flashgen_common.dir/rng.cpp.o"
+  "CMakeFiles/flashgen_common.dir/rng.cpp.o.d"
+  "CMakeFiles/flashgen_common.dir/string_util.cpp.o"
+  "CMakeFiles/flashgen_common.dir/string_util.cpp.o.d"
+  "libflashgen_common.a"
+  "libflashgen_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashgen_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

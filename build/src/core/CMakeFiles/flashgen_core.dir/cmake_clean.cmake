@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashgen_core.dir/experiment.cpp.o"
+  "CMakeFiles/flashgen_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/flashgen_core.dir/reporting.cpp.o"
+  "CMakeFiles/flashgen_core.dir/reporting.cpp.o.d"
+  "libflashgen_core.a"
+  "libflashgen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashgen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

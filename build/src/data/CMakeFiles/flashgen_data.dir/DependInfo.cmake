@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/flashgen_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/flashgen_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/normalization.cpp" "src/data/CMakeFiles/flashgen_data.dir/normalization.cpp.o" "gcc" "src/data/CMakeFiles/flashgen_data.dir/normalization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flash/CMakeFiles/flashgen_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flashgen_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flashgen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashgen_data.dir/dataset.cpp.o"
+  "CMakeFiles/flashgen_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/flashgen_data.dir/normalization.cpp.o"
+  "CMakeFiles/flashgen_data.dir/normalization.cpp.o.d"
+  "libflashgen_data.a"
+  "libflashgen_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashgen_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashgen_ecc.dir/bch.cpp.o"
+  "CMakeFiles/flashgen_ecc.dir/bch.cpp.o.d"
+  "CMakeFiles/flashgen_ecc.dir/gf2m.cpp.o"
+  "CMakeFiles/flashgen_ecc.dir/gf2m.cpp.o.d"
+  "libflashgen_ecc.a"
+  "libflashgen_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashgen_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

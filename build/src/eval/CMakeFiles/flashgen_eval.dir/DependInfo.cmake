@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/divergences.cpp" "src/eval/CMakeFiles/flashgen_eval.dir/divergences.cpp.o" "gcc" "src/eval/CMakeFiles/flashgen_eval.dir/divergences.cpp.o.d"
+  "/root/repo/src/eval/histogram.cpp" "src/eval/CMakeFiles/flashgen_eval.dir/histogram.cpp.o" "gcc" "src/eval/CMakeFiles/flashgen_eval.dir/histogram.cpp.o.d"
+  "/root/repo/src/eval/ici_analysis.cpp" "src/eval/CMakeFiles/flashgen_eval.dir/ici_analysis.cpp.o" "gcc" "src/eval/CMakeFiles/flashgen_eval.dir/ici_analysis.cpp.o.d"
+  "/root/repo/src/eval/llr.cpp" "src/eval/CMakeFiles/flashgen_eval.dir/llr.cpp.o" "gcc" "src/eval/CMakeFiles/flashgen_eval.dir/llr.cpp.o.d"
+  "/root/repo/src/eval/thresholds.cpp" "src/eval/CMakeFiles/flashgen_eval.dir/thresholds.cpp.o" "gcc" "src/eval/CMakeFiles/flashgen_eval.dir/thresholds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flash/CMakeFiles/flashgen_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flashgen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

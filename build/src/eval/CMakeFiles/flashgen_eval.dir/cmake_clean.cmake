@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashgen_eval.dir/divergences.cpp.o"
+  "CMakeFiles/flashgen_eval.dir/divergences.cpp.o.d"
+  "CMakeFiles/flashgen_eval.dir/histogram.cpp.o"
+  "CMakeFiles/flashgen_eval.dir/histogram.cpp.o.d"
+  "CMakeFiles/flashgen_eval.dir/ici_analysis.cpp.o"
+  "CMakeFiles/flashgen_eval.dir/ici_analysis.cpp.o.d"
+  "CMakeFiles/flashgen_eval.dir/llr.cpp.o"
+  "CMakeFiles/flashgen_eval.dir/llr.cpp.o.d"
+  "CMakeFiles/flashgen_eval.dir/thresholds.cpp.o"
+  "CMakeFiles/flashgen_eval.dir/thresholds.cpp.o.d"
+  "libflashgen_eval.a"
+  "libflashgen_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashgen_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

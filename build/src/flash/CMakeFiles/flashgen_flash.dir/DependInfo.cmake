@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/channel.cpp" "src/flash/CMakeFiles/flashgen_flash.dir/channel.cpp.o" "gcc" "src/flash/CMakeFiles/flashgen_flash.dir/channel.cpp.o.d"
+  "/root/repo/src/flash/gray_code.cpp" "src/flash/CMakeFiles/flashgen_flash.dir/gray_code.cpp.o" "gcc" "src/flash/CMakeFiles/flashgen_flash.dir/gray_code.cpp.o.d"
+  "/root/repo/src/flash/ici.cpp" "src/flash/CMakeFiles/flashgen_flash.dir/ici.cpp.o" "gcc" "src/flash/CMakeFiles/flashgen_flash.dir/ici.cpp.o.d"
+  "/root/repo/src/flash/read.cpp" "src/flash/CMakeFiles/flashgen_flash.dir/read.cpp.o" "gcc" "src/flash/CMakeFiles/flashgen_flash.dir/read.cpp.o.d"
+  "/root/repo/src/flash/voltage_model.cpp" "src/flash/CMakeFiles/flashgen_flash.dir/voltage_model.cpp.o" "gcc" "src/flash/CMakeFiles/flashgen_flash.dir/voltage_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flashgen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

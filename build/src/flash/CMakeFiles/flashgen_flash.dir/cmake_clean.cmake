@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashgen_flash.dir/channel.cpp.o"
+  "CMakeFiles/flashgen_flash.dir/channel.cpp.o.d"
+  "CMakeFiles/flashgen_flash.dir/gray_code.cpp.o"
+  "CMakeFiles/flashgen_flash.dir/gray_code.cpp.o.d"
+  "CMakeFiles/flashgen_flash.dir/ici.cpp.o"
+  "CMakeFiles/flashgen_flash.dir/ici.cpp.o.d"
+  "CMakeFiles/flashgen_flash.dir/read.cpp.o"
+  "CMakeFiles/flashgen_flash.dir/read.cpp.o.d"
+  "CMakeFiles/flashgen_flash.dir/voltage_model.cpp.o"
+  "CMakeFiles/flashgen_flash.dir/voltage_model.cpp.o.d"
+  "libflashgen_flash.a"
+  "libflashgen_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashgen_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

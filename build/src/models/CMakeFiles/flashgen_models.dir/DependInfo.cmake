@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bicycle_gan.cpp" "src/models/CMakeFiles/flashgen_models.dir/bicycle_gan.cpp.o" "gcc" "src/models/CMakeFiles/flashgen_models.dir/bicycle_gan.cpp.o.d"
+  "/root/repo/src/models/cgan.cpp" "src/models/CMakeFiles/flashgen_models.dir/cgan.cpp.o" "gcc" "src/models/CMakeFiles/flashgen_models.dir/cgan.cpp.o.d"
+  "/root/repo/src/models/cvae.cpp" "src/models/CMakeFiles/flashgen_models.dir/cvae.cpp.o" "gcc" "src/models/CMakeFiles/flashgen_models.dir/cvae.cpp.o.d"
+  "/root/repo/src/models/cvae_gan.cpp" "src/models/CMakeFiles/flashgen_models.dir/cvae_gan.cpp.o" "gcc" "src/models/CMakeFiles/flashgen_models.dir/cvae_gan.cpp.o.d"
+  "/root/repo/src/models/gaussian_model.cpp" "src/models/CMakeFiles/flashgen_models.dir/gaussian_model.cpp.o" "gcc" "src/models/CMakeFiles/flashgen_models.dir/gaussian_model.cpp.o.d"
+  "/root/repo/src/models/generative_model.cpp" "src/models/CMakeFiles/flashgen_models.dir/generative_model.cpp.o" "gcc" "src/models/CMakeFiles/flashgen_models.dir/generative_model.cpp.o.d"
+  "/root/repo/src/models/networks.cpp" "src/models/CMakeFiles/flashgen_models.dir/networks.cpp.o" "gcc" "src/models/CMakeFiles/flashgen_models.dir/networks.cpp.o.d"
+  "/root/repo/src/models/spatio_temporal.cpp" "src/models/CMakeFiles/flashgen_models.dir/spatio_temporal.cpp.o" "gcc" "src/models/CMakeFiles/flashgen_models.dir/spatio_temporal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/flashgen_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/flashgen_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flashgen_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/flashgen_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flashgen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashgen_models.dir/bicycle_gan.cpp.o"
+  "CMakeFiles/flashgen_models.dir/bicycle_gan.cpp.o.d"
+  "CMakeFiles/flashgen_models.dir/cgan.cpp.o"
+  "CMakeFiles/flashgen_models.dir/cgan.cpp.o.d"
+  "CMakeFiles/flashgen_models.dir/cvae.cpp.o"
+  "CMakeFiles/flashgen_models.dir/cvae.cpp.o.d"
+  "CMakeFiles/flashgen_models.dir/cvae_gan.cpp.o"
+  "CMakeFiles/flashgen_models.dir/cvae_gan.cpp.o.d"
+  "CMakeFiles/flashgen_models.dir/gaussian_model.cpp.o"
+  "CMakeFiles/flashgen_models.dir/gaussian_model.cpp.o.d"
+  "CMakeFiles/flashgen_models.dir/generative_model.cpp.o"
+  "CMakeFiles/flashgen_models.dir/generative_model.cpp.o.d"
+  "CMakeFiles/flashgen_models.dir/networks.cpp.o"
+  "CMakeFiles/flashgen_models.dir/networks.cpp.o.d"
+  "CMakeFiles/flashgen_models.dir/spatio_temporal.cpp.o"
+  "CMakeFiles/flashgen_models.dir/spatio_temporal.cpp.o.d"
+  "libflashgen_models.a"
+  "libflashgen_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashgen_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

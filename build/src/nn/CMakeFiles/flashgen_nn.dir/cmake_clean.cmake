@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashgen_nn.dir/layers.cpp.o"
+  "CMakeFiles/flashgen_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/flashgen_nn.dir/module.cpp.o"
+  "CMakeFiles/flashgen_nn.dir/module.cpp.o.d"
+  "CMakeFiles/flashgen_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/flashgen_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/flashgen_nn.dir/serialize.cpp.o"
+  "CMakeFiles/flashgen_nn.dir/serialize.cpp.o.d"
+  "libflashgen_nn.a"
+  "libflashgen_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashgen_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashgen_tensor.dir/conv.cpp.o"
+  "CMakeFiles/flashgen_tensor.dir/conv.cpp.o.d"
+  "CMakeFiles/flashgen_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/flashgen_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/flashgen_tensor.dir/ops.cpp.o"
+  "CMakeFiles/flashgen_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/flashgen_tensor.dir/shape.cpp.o"
+  "CMakeFiles/flashgen_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/flashgen_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/flashgen_tensor.dir/tensor.cpp.o.d"
+  "libflashgen_tensor.a"
+  "libflashgen_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashgen_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

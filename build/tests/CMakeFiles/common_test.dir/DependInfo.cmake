@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/csv_test.cpp" "tests/CMakeFiles/common_test.dir/common/csv_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/csv_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/string_util_test.cpp" "tests/CMakeFiles/common_test.dir/common/string_util_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/string_util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flashgen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/flashgen_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/flashgen_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/flashgen_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/flashgen_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/flashgen_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flashgen_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flashgen_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flashgen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

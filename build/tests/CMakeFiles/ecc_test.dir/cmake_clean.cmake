@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_test.dir/ecc/bch_test.cpp.o"
+  "CMakeFiles/ecc_test.dir/ecc/bch_test.cpp.o.d"
+  "CMakeFiles/ecc_test.dir/ecc/gf2m_test.cpp.o"
+  "CMakeFiles/ecc_test.dir/ecc/gf2m_test.cpp.o.d"
+  "ecc_test"
+  "ecc_test.pdb"
+  "ecc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_test.dir/flash/channel_test.cpp.o"
+  "CMakeFiles/flash_test.dir/flash/channel_test.cpp.o.d"
+  "CMakeFiles/flash_test.dir/flash/gray_code_test.cpp.o"
+  "CMakeFiles/flash_test.dir/flash/gray_code_test.cpp.o.d"
+  "CMakeFiles/flash_test.dir/flash/grid_test.cpp.o"
+  "CMakeFiles/flash_test.dir/flash/grid_test.cpp.o.d"
+  "CMakeFiles/flash_test.dir/flash/ici_test.cpp.o"
+  "CMakeFiles/flash_test.dir/flash/ici_test.cpp.o.d"
+  "CMakeFiles/flash_test.dir/flash/read_test.cpp.o"
+  "CMakeFiles/flash_test.dir/flash/read_test.cpp.o.d"
+  "CMakeFiles/flash_test.dir/flash/voltage_model_test.cpp.o"
+  "CMakeFiles/flash_test.dir/flash/voltage_model_test.cpp.o.d"
+  "flash_test"
+  "flash_test.pdb"
+  "flash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
