@@ -3,6 +3,7 @@
 // primitives (histograms, TV distance, ICI pattern analysis).
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "eval/histogram.h"
 #include "eval/ici_analysis.h"
 #include "eval/thresholds.h"
@@ -17,6 +18,8 @@ void BM_ChannelExperiment(benchmark::State& state) {
   flash::FlashChannelConfig config;
   config.rows = static_cast<int>(state.range(0));
   config.cols = static_cast<int>(state.range(0));
+  common::set_num_threads(static_cast<int>(state.range(1)));
+  state.counters["threads"] = static_cast<double>(common::num_threads());
   flash::FlashChannel channel(config);
   flashgen::Rng rng(1);
   for (auto _ : state) {
@@ -24,8 +27,10 @@ void BM_ChannelExperiment(benchmark::State& state) {
     benchmark::DoNotOptimize(obs.voltages.raw().data());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0));
+  common::set_num_threads(0);
 }
-BENCHMARK(BM_ChannelExperiment)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_ChannelExperiment)->ArgsProduct({{64, 128, 256}, {1, 2, 4}})
+    ->ArgNames({"dim", "threads"});
 
 void BM_IciShifts(benchmark::State& state) {
   flash::FlashChannelConfig config;

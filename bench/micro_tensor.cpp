@@ -2,6 +2,7 @@
 // batch norm, and the elementwise kernels that dominate training time.
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "tensor/conv.h"
 #include "tensor/gemm.h"
@@ -13,8 +14,20 @@ using namespace flashgen;
 using tensor::Shape;
 using tensor::Tensor;
 
+// Pins the worker-pool size to the benchmark's threads argument for the
+// duration of one benchmark run and restores the default afterwards.
+class ThreadsGuard {
+ public:
+  explicit ThreadsGuard(benchmark::State& state, int threads) {
+    common::set_num_threads(threads);
+    state.counters["threads"] = static_cast<double>(common::num_threads());
+  }
+  ~ThreadsGuard() { common::set_num_threads(0); }
+};
+
 void BM_Sgemm(benchmark::State& state) {
   const std::int64_t n = state.range(0);
+  ThreadsGuard threads(state, static_cast<int>(state.range(1)));
   flashgen::Rng rng(1);
   std::vector<float> a(n * n), b(n * n), c(n * n);
   for (auto& v : a) v = static_cast<float>(rng.normal());
@@ -25,10 +38,12 @@ void BM_Sgemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Sgemm)->ArgsProduct({{64, 128, 256}, {1, 2, 4}})
+    ->ArgNames({"n", "threads"});
 
 void BM_Conv2dForward(benchmark::State& state) {
   const tensor::Index size = state.range(0);
+  ThreadsGuard threads(state, static_cast<int>(state.range(1)));
   flashgen::Rng rng(2);
   tensor::NoGradGuard no_grad;
   Tensor x = Tensor::randn(Shape{8, 16, size, size}, rng);
@@ -39,10 +54,12 @@ void BM_Conv2dForward(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data().data());
   }
 }
-BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(32);
+BENCHMARK(BM_Conv2dForward)->ArgsProduct({{16, 32}, {1, 2, 4}})
+    ->ArgNames({"size", "threads"});
 
 void BM_Conv2dTrainStep(benchmark::State& state) {
   const tensor::Index size = state.range(0);
+  ThreadsGuard threads(state, static_cast<int>(state.range(1)));
   flashgen::Rng rng(3);
   Tensor w = Tensor::randn(Shape{32, 16, 4, 4}, rng, 0.02f, /*requires_grad=*/true);
   Tensor b = Tensor::zeros(Shape{32}, true);
@@ -55,7 +72,8 @@ void BM_Conv2dTrainStep(benchmark::State& state) {
     benchmark::DoNotOptimize(w.grad().data());
   }
 }
-BENCHMARK(BM_Conv2dTrainStep)->Arg(16)->Arg(32);
+BENCHMARK(BM_Conv2dTrainStep)->ArgsProduct({{16, 32}, {1, 2, 4}})
+    ->ArgNames({"size", "threads"});
 
 void BM_ConvTranspose2dForward(benchmark::State& state) {
   flashgen::Rng rng(4);

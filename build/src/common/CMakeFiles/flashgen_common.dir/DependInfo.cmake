@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/csv.cpp" "src/common/CMakeFiles/flashgen_common.dir/csv.cpp.o" "gcc" "src/common/CMakeFiles/flashgen_common.dir/csv.cpp.o.d"
   "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/flashgen_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/flashgen_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "src/common/CMakeFiles/flashgen_common.dir/parallel.cpp.o" "gcc" "src/common/CMakeFiles/flashgen_common.dir/parallel.cpp.o.d"
   "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/flashgen_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/flashgen_common.dir/rng.cpp.o.d"
   "/root/repo/src/common/string_util.cpp" "src/common/CMakeFiles/flashgen_common.dir/string_util.cpp.o" "gcc" "src/common/CMakeFiles/flashgen_common.dir/string_util.cpp.o.d"
   )

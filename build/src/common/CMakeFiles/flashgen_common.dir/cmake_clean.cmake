@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/flashgen_common.dir/csv.cpp.o.d"
   "CMakeFiles/flashgen_common.dir/logging.cpp.o"
   "CMakeFiles/flashgen_common.dir/logging.cpp.o.d"
+  "CMakeFiles/flashgen_common.dir/parallel.cpp.o"
+  "CMakeFiles/flashgen_common.dir/parallel.cpp.o.d"
   "CMakeFiles/flashgen_common.dir/rng.cpp.o"
   "CMakeFiles/flashgen_common.dir/rng.cpp.o.d"
   "CMakeFiles/flashgen_common.dir/string_util.cpp.o"

@@ -210,7 +210,10 @@ src/tensor/CMakeFiles/flashgen_tensor.dir/conv.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/common/rng.h \
- /root/repo/src/tensor/shape.h /usr/include/c++/12/cmath \
+ /root/repo/src/tensor/shape.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -236,5 +239,5 @@ src/tensor/CMakeFiles/flashgen_tensor.dir/conv.cpp.o: \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/common/error.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/tensor/gemm.h \
- /root/repo/src/tensor/ops.h
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/parallel.h \
+ /root/repo/src/tensor/gemm.h /root/repo/src/tensor/ops.h

@@ -236,4 +236,5 @@ src/tensor/CMakeFiles/flashgen_tensor.dir/ops.cpp.o: \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/common/error.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/tensor/gemm.h
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/parallel.h \
+ /root/repo/src/tensor/gemm.h

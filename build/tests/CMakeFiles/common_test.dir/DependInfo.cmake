@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/csv_test.cpp" "tests/CMakeFiles/common_test.dir/common/csv_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/csv_test.cpp.o.d"
+  "/root/repo/tests/common/parallel_test.cpp" "tests/CMakeFiles/common_test.dir/common/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/parallel_test.cpp.o.d"
   "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o.d"
   "/root/repo/tests/common/string_util_test.cpp" "tests/CMakeFiles/common_test.dir/common/string_util_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/string_util_test.cpp.o.d"
   )

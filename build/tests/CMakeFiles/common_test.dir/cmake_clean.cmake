@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/common_test.dir/common/csv_test.cpp.o"
   "CMakeFiles/common_test.dir/common/csv_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/parallel_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/parallel_test.cpp.o.d"
   "CMakeFiles/common_test.dir/common/rng_test.cpp.o"
   "CMakeFiles/common_test.dir/common/rng_test.cpp.o.d"
   "CMakeFiles/common_test.dir/common/string_util_test.cpp.o"

@@ -318,4 +318,5 @@ tests/CMakeFiles/models_test.dir/models/networks_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/error.h
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/error.h \
+ /root/repo/src/common/parallel.h

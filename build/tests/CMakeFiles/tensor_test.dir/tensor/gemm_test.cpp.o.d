@@ -315,4 +315,5 @@ tests/CMakeFiles/tensor_test.dir/tensor/gemm_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/rng.h
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/common/parallel.h /root/repo/src/common/rng.h

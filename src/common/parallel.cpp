@@ -1,0 +1,219 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace flashgen::common {
+
+namespace {
+
+int env_default_threads() {
+  if (const char* env = std::getenv("FLASHGEN_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+// One parallel region in flight. Workers pull chunk indices from `next` until
+// the partition is exhausted; the submitting thread participates too, then
+// blocks until `done` reaches `chunks`.
+struct Job {
+  const std::function<void(std::int64_t, std::int64_t, std::int64_t)>* fn = nullptr;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  std::int64_t chunks = 0;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> done{0};
+  std::exception_ptr error;  // first captured exception, guarded by error_mutex
+  std::mutex error_mutex;
+};
+
+thread_local bool tls_in_parallel = false;
+
+class Pool {
+ public:
+  static Pool& instance() {
+    // Intentionally leaked: a function-local static would be destroyed at
+    // exit, and destroying a condition variable that detached workers are
+    // blocked on hangs the process (glibc's pthread_cond_destroy waits for
+    // waiters). The pool must outlive every worker.
+    static Pool* pool = new Pool();
+    return *pool;
+  }
+
+  int configured_threads() {
+    const int n = override_threads_.load(std::memory_order_relaxed);
+    return n >= 1 ? n : env_threads_;
+  }
+
+  void set_threads(int n) { override_threads_.store(n, std::memory_order_relaxed); }
+
+  void run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+           const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn) {
+    const std::int64_t chunks = partition_chunks(begin, end, grain);
+    if (chunks == 0) return;
+    const int threads = configured_threads();
+    if (chunks == 1 || threads == 1 || tls_in_parallel) {
+      run_serial(begin, end, grain, chunks, fn);
+      return;
+    }
+    // One top-level region at a time: the pool has a single job slot. Nested
+    // regions never get here (they degrade to serial above), so this cannot
+    // self-deadlock.
+    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+    ensure_workers(threads - 1);
+
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->begin = begin;
+    job->end = end;
+    job->grain = grain;
+    job->chunks = chunks;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = job;
+      ++job_epoch_;
+    }
+    wake_.notify_all();
+
+    work_on(*job);
+
+    {
+      // Wait for chunks claimed by workers to drain.
+      std::unique_lock<std::mutex> lock(mutex_);
+      finished_.wait(lock, [&] { return job->done.load() == job->chunks; });
+      if (job_ == job) job_ = nullptr;
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  Pool() : env_threads_(env_default_threads()) {}
+  // Workers are detached and never torn down: the pool lives until process
+  // exit, matching the lazily-initialized singleton contract and avoiding
+  // static-destruction-order races with user code running in workers.
+
+  // Serial fallback. Deliberately does not set tls_in_parallel: a
+  // single-chunk outer loop (e.g. a batch-of-one conv) must not suppress
+  // parallelism in the kernels it calls.
+  static void run_serial(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                         std::int64_t chunks,
+                         const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn) {
+    for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
+      const std::int64_t b = begin + chunk * grain;
+      const std::int64_t e = std::min(end, b + grain);
+      fn(chunk, b, e);
+    }
+  }
+
+  void ensure_workers(int wanted) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (static_cast<int>(started_workers_) < wanted) {
+      std::thread([this] { worker_loop(); }).detach();
+      ++started_workers_;
+    }
+  }
+
+  void work_on(Job& job) {
+    const bool saved = tls_in_parallel;
+    tls_in_parallel = true;
+    for (;;) {
+      const std::int64_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= job.chunks) break;
+      const std::int64_t b = job.begin + chunk * job.grain;
+      const std::int64_t e = std::min(job.end, b + job.grain);
+      try {
+        (*job.fn)(chunk, b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.error) job.error = std::current_exception();
+      }
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.chunks) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        finished_.notify_all();
+      }
+    }
+    tls_in_parallel = saved;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return job_ != nullptr && job_epoch_ != seen_epoch; });
+        job = job_;
+        seen_epoch = job_epoch_;
+      }
+      if (job->next.load(std::memory_order_relaxed) < job->chunks) work_on(*job);
+    }
+  }
+
+  const int env_threads_;
+  std::atomic<int> override_threads_{0};
+
+  std::mutex submit_mutex_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable finished_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t job_epoch_ = 0;
+  unsigned started_workers_ = 0;
+};
+
+}  // namespace
+
+int num_threads() { return Pool::instance().configured_threads(); }
+
+void set_num_threads(int n) { Pool::instance().set_threads(n); }
+
+bool in_parallel_region() { return tls_in_parallel; }
+
+std::int64_t partition_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain) {
+  FG_CHECK(grain > 0, "parallel: grain must be positive, got " << grain);
+  if (end <= begin) return 0;
+  return (end - begin + grain - 1) / grain;
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  Pool::instance().run(begin, end, grain,
+                       [&fn](std::int64_t, std::int64_t b, std::int64_t e) { fn(b, e); });
+}
+
+void parallel_for_chunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn) {
+  Pool::instance().run(begin, end, grain, fn);
+}
+
+double parallel_reduce(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                       double init,
+                       const std::function<double(std::int64_t, std::int64_t)>& partial,
+                       const std::function<double(double, double)>& combine) {
+  const std::int64_t chunks = partition_chunks(begin, end, grain);
+  if (chunks == 0) return init;
+  std::vector<double> partials(static_cast<std::size_t>(chunks));
+  Pool::instance().run(begin, end, grain,
+                       [&](std::int64_t chunk, std::int64_t b, std::int64_t e) {
+                         partials[static_cast<std::size_t>(chunk)] = partial(b, e);
+                       });
+  double acc = init;
+  for (double p : partials) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace flashgen::common

@@ -1,0 +1,72 @@
+// Deterministic shared thread-pool parallelism.
+//
+// Every hot path in flashgen (SGEMM, im2col convolution, elementwise and
+// reduction kernels, the flash-channel simulator) parallelizes through this
+// header. The central contract is *thread-count invariance*: the partitioning
+// of an index range into chunks depends only on (begin, end, grain) — never on
+// how many workers happen to execute them — and every chunk writes disjoint
+// output (or produces a partial that is later combined in chunk-index order).
+// Consequently results are bit-identical whether the pool runs 1, 4, or 64
+// threads, which keeps seeded experiments reproducible on any machine.
+//
+// Thread count is chosen, in priority order, by set_num_threads(), the
+// FLASHGEN_THREADS environment variable (read once, at first use), and
+// std::thread::hardware_concurrency(). Worker threads are started lazily on
+// the first parallel region that needs them and are reused for the lifetime
+// of the process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace flashgen::common {
+
+/// Number of threads parallel regions may use (>= 1). Resolved from
+/// set_num_threads() / FLASHGEN_THREADS / hardware concurrency, in that order.
+int num_threads();
+
+/// Overrides the pool size for subsequent parallel regions. `n <= 0` resets to
+/// the environment/hardware default. Existing workers beyond the new count are
+/// simply left idle; the partitioning contract makes the change invisible to
+/// results.
+void set_num_threads(int n);
+
+/// True while the calling thread is inside a parallel_for body. Nested
+/// parallel regions degrade to serial execution instead of deadlocking.
+bool in_parallel_region();
+
+/// Number of chunks `[begin, end)` is split into at the given grain. This is
+/// the thread-count-independent partition used by parallel_for and
+/// parallel_reduce: chunk i covers [begin + i*grain, min(end, begin+(i+1)*grain)).
+std::int64_t partition_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain);
+
+/// Runs `fn(chunk_begin, chunk_end)` over the static partition of [begin, end)
+/// with chunks of size `grain` (the last chunk may be short). Chunks may
+/// execute on any worker in any order, so `fn` must write only to locations
+/// derived from its sub-range. Exceptions thrown by `fn` are captured and the
+/// first one is rethrown on the calling thread after the region completes.
+/// Degrades to a plain serial loop when the range fits in one chunk, the pool
+/// has one thread, or the caller is already inside a parallel region.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// Like parallel_for, but also hands `fn` the chunk index
+/// (`fn(chunk, chunk_begin, chunk_end)`), so callers can stage per-chunk
+/// partial results into pre-sized scratch indexed by chunk and combine them
+/// serially afterwards — the deterministic-reduction scheme used instead of
+/// floating-point atomics.
+void parallel_for_chunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn);
+
+/// Deterministic blocked reduction: evaluates `partial(chunk_begin, chunk_end)`
+/// for every chunk of the static partition (in parallel), then folds the
+/// partials left-to-right in chunk-index order with `combine(acc, partial)`.
+/// The fold order — and therefore the floating-point rounding — is a function
+/// of (begin, end, grain) only, never of the thread count.
+double parallel_reduce(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                       double init,
+                       const std::function<double(std::int64_t, std::int64_t)>& partial,
+                       const std::function<double(double, double)>& combine);
+
+}  // namespace flashgen::common

@@ -85,4 +85,12 @@ Rng Rng::split(std::uint64_t salt) {
   return Rng(child_seed);
 }
 
+Rng Rng::from_stream(std::uint64_t base, std::uint64_t stream) {
+  // Feed the stream index through one SplitMix64 round before mixing so that
+  // consecutive indices land far apart in seed space; the Rng constructor
+  // then runs its own SplitMix64 expansion on top.
+  std::uint64_t s = stream;
+  return Rng(base ^ splitmix64(s));
+}
+
 }  // namespace flashgen

@@ -48,6 +48,12 @@ class Rng {
   /// uncorrelated with the parent's continued output.
   Rng split(std::uint64_t salt);
 
+  /// Counter-derived stream: a generator that is a pure function of
+  /// (base, stream) with no parent state consumed. Distinct stream indices
+  /// yield statistically independent sequences, so parallel loops can hand
+  /// stream `i` to iteration `i` and stay bit-identical for any thread count.
+  static Rng from_stream(std::uint64_t base, std::uint64_t stream);
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -1,6 +1,21 @@
 #include "flash/channel.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "common/parallel.h"
+
 namespace flashgen::flash {
+
+namespace {
+
+// Rows per chunk for the wordline-parallel loops: enough cells per chunk to
+// amortize scheduling, while staying a pure function of the block geometry.
+std::int64_t wordline_grain(int cols) {
+  return std::max<std::int64_t>(1, 1024 / std::max(1, cols));
+}
+
+}  // namespace
 
 FlashChannel::FlashChannel(const FlashChannelConfig& config)
     : config_(config),
@@ -35,36 +50,62 @@ BlockObservation FlashChannel::read_programmed(const Grid<std::uint8_t>& program
   obs.pe_cycles = pe_cycles;
   obs.retention_hours = retention_hours;
 
-  // ICI acts on the *actually programmed* levels, which occasionally differ
-  // from the intended ones (programming errors).
+  // The caller's generator contributes exactly one draw: a base seed from
+  // which every wordline derives its own counter-derived streams
+  // (stream 2r for program errors, 2r+1 for the read). Rows are therefore
+  // statistically independent and can be simulated in parallel with output
+  // bits that do not depend on the thread count.
+  const std::uint64_t base = rng.next_u64();
+  const std::int64_t grain = wordline_grain(cols);
+
+  // Phase 1 — programming. ICI acts on the *actually programmed* levels,
+  // which occasionally differ from the intended ones (programming errors).
+  // This must complete for all rows before any row's ICI is evaluated, since
+  // ICI reads the up/down neighbors.
   Grid<std::uint8_t> actual = program_levels;
   if (config_.program_error_rate > 0.0) {
-    for (int r = 0; r < rows; ++r)
-      for (int c = 0; c < cols; ++c) {
-        if (!rng.bernoulli(config_.program_error_rate)) continue;
-        const int level = actual(r, c);
-        int neighbor_level;
-        if (level == 0) {
-          neighbor_level = 1;
-        } else if (level == kTlcLevels - 1) {
-          neighbor_level = kTlcLevels - 2;
-        } else {
-          neighbor_level = rng.bernoulli(0.5) ? level - 1 : level + 1;
+    common::parallel_for(0, rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t r = r0; r < r1; ++r) {
+        flashgen::Rng row_rng =
+            flashgen::Rng::from_stream(base, 2 * static_cast<std::uint64_t>(r));
+        for (int c = 0; c < cols; ++c) {
+          if (!row_rng.bernoulli(config_.program_error_rate)) continue;
+          const int level = actual(static_cast<int>(r), c);
+          int neighbor_level;
+          if (level == 0) {
+            neighbor_level = 1;
+          } else if (level == kTlcLevels - 1) {
+            neighbor_level = kTlcLevels - 2;
+          } else {
+            neighbor_level = row_rng.bernoulli(0.5) ? level - 1 : level + 1;
+          }
+          actual(static_cast<int>(r), c) = static_cast<std::uint8_t>(neighbor_level);
         }
-        actual(r, c) = static_cast<std::uint8_t>(neighbor_level);
       }
+    });
   }
 
-  const Grid<float> ici = ici_model_.compute_shifts(actual, pe_cycles, rng);
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      const double cell_wear = voltage_model_.sample_cell_wear(rng);
-      double v = voltage_model_.sample(actual(r, c), pe_cycles, retention_hours, cell_wear, rng);
-      v += ici(r, c);
-      if (config_.read_noise_stddev > 0.0) v += rng.normal(0.0, config_.read_noise_stddev);
-      obs.voltages(r, c) = static_cast<float>(v);
+  // Phase 2 — read-back. Each wordline evaluates its ICI shifts (reading
+  // neighbor rows of `actual`, which is now immutable) and samples its cell
+  // voltages from the row's dedicated stream, writing a disjoint output row.
+  common::parallel_for(0, rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+    std::vector<float> ici_row(static_cast<std::size_t>(cols));
+    for (std::int64_t r = r0; r < r1; ++r) {
+      flashgen::Rng row_rng =
+          flashgen::Rng::from_stream(base, 2 * static_cast<std::uint64_t>(r) + 1);
+      ici_model_.compute_shifts_row(actual, static_cast<int>(r), pe_cycles, row_rng,
+                                    ici_row.data());
+      for (int c = 0; c < cols; ++c) {
+        const double cell_wear = voltage_model_.sample_cell_wear(row_rng);
+        double v = voltage_model_.sample(actual(static_cast<int>(r), c), pe_cycles,
+                                         retention_hours, cell_wear, row_rng);
+        v += ici_row[c];
+        if (config_.read_noise_stddev > 0.0)
+          v += row_rng.normal(0.0, config_.read_noise_stddev);
+        obs.voltages(static_cast<int>(r), c) = static_cast<float>(v);
+      }
     }
-  }
+  });
   return obs;
 }
 

@@ -10,6 +10,12 @@
 //      + ICI shift from the four neighbors    [ici.h]
 //      + read noise
 // with rare programming errors (cell lands on an adjacent level) included.
+//
+// Simulation is parallel over wordlines: the caller's Rng contributes one
+// base seed per block read, and each row r draws from counter-derived
+// streams Rng::from_stream(base, 2r) (programming) and 2r+1 (read-back), so
+// the observation is a pure function of (seed, config) regardless of the
+// FLASHGEN_THREADS setting.
 #pragma once
 
 #include <cstdint>

@@ -39,23 +39,29 @@ Grid<float> IciModel::compute_shifts(const Grid<std::uint8_t>& program_levels,
   const int rows = program_levels.rows();
   const int cols = program_levels.cols();
   Grid<float> shifts(rows, cols, 0.0f);
+  for (int r = 0; r < rows; ++r)
+    compute_shifts_row(program_levels, r, pe_cycles, rng, &shifts.raw()[static_cast<std::size_t>(r) * cols]);
+  return shifts;
+}
+
+void IciModel::compute_shifts_row(const Grid<std::uint8_t>& program_levels, int r,
+                                  double pe_cycles, flashgen::Rng& rng, float* out) const {
+  const int rows = program_levels.rows();
+  const int cols = program_levels.cols();
   auto jitter = [&rng, this]() {
     return config_.noise > 0.0 ? 1.0 + rng.normal(0.0, config_.noise) : 1.0;
   };
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      const int left = c > 0 ? program_levels(r, c - 1) : -1;
-      const int right = c + 1 < cols ? program_levels(r, c + 1) : -1;
-      const int up = r > 0 ? program_levels(r - 1, c) : -1;
-      const int down = r + 1 < rows ? program_levels(r + 1, c) : -1;
-      double shift = one_neighbor(config_.gamma_wl, left, pe_cycles) * jitter() +
-                     one_neighbor(config_.gamma_wl, right, pe_cycles) * jitter() +
-                     one_neighbor(config_.gamma_bl, up, pe_cycles) * jitter() +
-                     one_neighbor(config_.gamma_bl, down, pe_cycles) * jitter();
-      shifts(r, c) = static_cast<float>(std::max(0.0, shift));
-    }
+  for (int c = 0; c < cols; ++c) {
+    const int left = c > 0 ? program_levels(r, c - 1) : -1;
+    const int right = c + 1 < cols ? program_levels(r, c + 1) : -1;
+    const int up = r > 0 ? program_levels(r - 1, c) : -1;
+    const int down = r + 1 < rows ? program_levels(r + 1, c) : -1;
+    double shift = one_neighbor(config_.gamma_wl, left, pe_cycles) * jitter() +
+                   one_neighbor(config_.gamma_wl, right, pe_cycles) * jitter() +
+                   one_neighbor(config_.gamma_bl, up, pe_cycles) * jitter() +
+                   one_neighbor(config_.gamma_bl, down, pe_cycles) * jitter();
+    out[c] = static_cast<float>(std::max(0.0, shift));
   }
-  return shifts;
 }
 
 }  // namespace flashgen::flash

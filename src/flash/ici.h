@@ -46,6 +46,13 @@ class IciModel {
   Grid<float> compute_shifts(const Grid<std::uint8_t>& program_levels, double pe_cycles,
                              flashgen::Rng& rng) const;
 
+  /// Computes the shifts of one wordline (row `r`) into `out[0..cols)`. The
+  /// jitter draws for the row come from `rng` in left-to-right cell order, so
+  /// callers can hand each row its own counter-derived stream and simulate
+  /// rows in parallel with thread-count-invariant results.
+  void compute_shifts_row(const Grid<std::uint8_t>& program_levels, int r, double pe_cycles,
+                          flashgen::Rng& rng, float* out) const;
+
   const IciConfig& config() const { return config_; }
 
  private:

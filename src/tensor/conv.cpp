@@ -1,10 +1,12 @@
 #include "tensor/conv.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <vector>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 
@@ -12,47 +14,65 @@ namespace flashgen::tensor {
 
 namespace detail {
 
+namespace {
+
+// Channel-loop grain sized so each chunk touches >= ~16k cells; depends only
+// on the geometry, keeping the partition thread-count-invariant.
+Index channel_grain(Index work_per_channel) {
+  return std::max<Index>(1, (Index{1} << 14) / std::max<Index>(1, work_per_channel));
+}
+
+}  // namespace
+
 void im2col(const float* x, Index c, Index h, Index w, Index kh, Index kw, Index stride,
             Index padding, Index oh, Index ow, float* cols) {
-  for (Index ch = 0; ch < c; ++ch) {
-    for (Index ky = 0; ky < kh; ++ky) {
-      for (Index kx = 0; kx < kw; ++kx) {
-        float* row = cols + ((ch * kh + ky) * kw + kx) * (oh * ow);
-        for (Index oy = 0; oy < oh; ++oy) {
-          const Index iy = oy * stride + ky - padding;
-          if (iy < 0 || iy >= h) {
-            std::memset(row + oy * ow, 0, sizeof(float) * ow);
-            continue;
-          }
-          const float* src = x + (ch * h + iy) * w;
-          for (Index ox = 0; ox < ow; ++ox) {
-            const Index ix = ox * stride + kx - padding;
-            row[oy * ow + ox] = (ix >= 0 && ix < w) ? src[ix] : 0.0f;
+  // Each channel writes a disjoint band of `cols` rows, so the channel loop
+  // parallelizes without any coordination.
+  common::parallel_for(0, c, channel_grain(kh * kw * oh * ow), [&](Index c0, Index c1) {
+    for (Index ch = c0; ch < c1; ++ch) {
+      for (Index ky = 0; ky < kh; ++ky) {
+        for (Index kx = 0; kx < kw; ++kx) {
+          float* row = cols + ((ch * kh + ky) * kw + kx) * (oh * ow);
+          for (Index oy = 0; oy < oh; ++oy) {
+            const Index iy = oy * stride + ky - padding;
+            if (iy < 0 || iy >= h) {
+              std::memset(row + oy * ow, 0, sizeof(float) * ow);
+              continue;
+            }
+            const float* src = x + (ch * h + iy) * w;
+            for (Index ox = 0; ox < ow; ++ox) {
+              const Index ix = ox * stride + kx - padding;
+              row[oy * ow + ox] = (ix >= 0 && ix < w) ? src[ix] : 0.0f;
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 void col2im(const float* cols, Index c, Index h, Index w, Index kh, Index kw, Index stride,
             Index padding, Index oh, Index ow, float* x) {
-  for (Index ch = 0; ch < c; ++ch) {
-    for (Index ky = 0; ky < kh; ++ky) {
-      for (Index kx = 0; kx < kw; ++kx) {
-        const float* row = cols + ((ch * kh + ky) * kw + kx) * (oh * ow);
-        for (Index oy = 0; oy < oh; ++oy) {
-          const Index iy = oy * stride + ky - padding;
-          if (iy < 0 || iy >= h) continue;
-          float* dst = x + (ch * h + iy) * w;
-          for (Index ox = 0; ox < ow; ++ox) {
-            const Index ix = ox * stride + kx - padding;
-            if (ix >= 0 && ix < w) dst[ix] += row[oy * ow + ox];
+  // Each channel accumulates into a disjoint plane of `x`; parallel over
+  // channels, sequential (and therefore order-deterministic) within one.
+  common::parallel_for(0, c, channel_grain(kh * kw * oh * ow), [&](Index c0, Index c1) {
+    for (Index ch = c0; ch < c1; ++ch) {
+      for (Index ky = 0; ky < kh; ++ky) {
+        for (Index kx = 0; kx < kw; ++kx) {
+          const float* row = cols + ((ch * kh + ky) * kw + kx) * (oh * ow);
+          for (Index oy = 0; oy < oh; ++oy) {
+            const Index iy = oy * stride + ky - padding;
+            if (iy < 0 || iy >= h) continue;
+            float* dst = x + (ch * h + iy) * w;
+            for (Index ox = 0; ox < ow; ++ox) {
+              const Index ix = ox * stride + kx - padding;
+              if (ix >= 0 && ix < w) dst[ix] += row[oy * ow + ox];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace detail
@@ -88,6 +108,31 @@ ConvGeom conv_geometry(const Tensor& x, const Tensor& w, Index stride, Index pad
   return g;
 }
 
+// Deterministic shared-gradient accumulation for the batch dimension: every
+// chunk of samples produces its own zero-initialized partial of the weight
+// gradient, and the partials are folded into the real buffer serially in
+// chunk-index order. The chunk layout depends only on (n, grain), so the fold
+// order — and the float rounding — is identical for any thread count.
+template <typename ChunkFn>
+void batched_backward_with_weight_partials(Index n, std::size_t dw_size, float* dw_out,
+                                           bool want_dw, const ChunkFn& chunk_fn) {
+  const Index grain = 1;
+  const Index chunks = common::partition_chunks(0, n, grain);
+  std::vector<std::vector<float>> partials(static_cast<std::size_t>(want_dw ? chunks : 0));
+  common::parallel_for_chunks(0, n, grain, [&](Index chunk, Index s0, Index s1) {
+    float* dw = nullptr;
+    if (want_dw) {
+      auto& p = partials[static_cast<std::size_t>(chunk)];
+      p.assign(dw_size, 0.0f);
+      dw = p.data();
+    }
+    chunk_fn(s0, s1, dw);
+  });
+  if (!want_dw) return;
+  for (const auto& p : partials)
+    for (std::size_t i = 0; i < dw_size; ++i) dw_out[i] += p[i];
+}
+
 }  // namespace
 
 Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
@@ -102,35 +147,46 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
       "conv2d", Shape{g.n, g.oc, g.oh, g.ow}, {x, w}, [xi, wi, geom](const TensorImpl& o) {
         const Index ckk2 = geom.c * geom.kh * geom.kw;
         const Index osp2 = geom.oh * geom.ow;
-        std::vector<float> cols(static_cast<std::size_t>(ckk2) * osp2);
-        std::vector<float> dcols(static_cast<std::size_t>(ckk2) * osp2);
-        for (Index s = 0; s < geom.n; ++s) {
-          const float* dy = o.grad.data() + s * geom.oc * osp2;
-          if (wi->requires_grad) {
-            // dW (OC, CKK) += dY (OC, osp) * cols^T (osp, CKK)
-            detail::im2col(xi->data.data() + s * geom.c * geom.h * geom.w, geom.c, geom.h,
-                           geom.w, geom.kh, geom.kw, geom.stride, geom.padding, geom.oh,
-                           geom.ow, cols.data());
-            sgemm(false, true, geom.oc, ckk2, osp2, 1.0f, dy, osp2, cols.data(), osp2, 1.0f,
-                  wi->grad_buffer().data(), ckk2);
-          }
-          if (xi->requires_grad) {
-            // dcols (CKK, osp) = W^T (CKK, OC) * dY (OC, osp); dX += col2im(dcols)
-            sgemm(true, false, ckk2, osp2, geom.oc, 1.0f, wi->data.data(), ckk2, dy, osp2,
-                  0.0f, dcols.data(), osp2);
-            detail::col2im(dcols.data(), geom.c, geom.h, geom.w, geom.kh, geom.kw,
-                           geom.stride, geom.padding, geom.oh, geom.ow,
-                           xi->grad_buffer().data() + s * geom.c * geom.h * geom.w);
-          }
-        }
+        // Force lazy grad allocation before the parallel region.
+        float* dx_base = xi->requires_grad ? xi->grad_buffer().data() : nullptr;
+        batched_backward_with_weight_partials(
+            geom.n, static_cast<std::size_t>(geom.oc) * ckk2,
+            wi->requires_grad ? wi->grad_buffer().data() : nullptr, wi->requires_grad,
+            [&](Index s0, Index s1, float* dw) {
+              std::vector<float> cols(static_cast<std::size_t>(ckk2) * osp2);
+              std::vector<float> dcols(static_cast<std::size_t>(ckk2) * osp2);
+              for (Index s = s0; s < s1; ++s) {
+                const float* dy = o.grad.data() + s * geom.oc * osp2;
+                if (dw != nullptr) {
+                  // dW (OC, CKK) += dY (OC, osp) * cols^T (osp, CKK)
+                  detail::im2col(xi->data.data() + s * geom.c * geom.h * geom.w, geom.c,
+                                 geom.h, geom.w, geom.kh, geom.kw, geom.stride, geom.padding,
+                                 geom.oh, geom.ow, cols.data());
+                  sgemm(false, true, geom.oc, ckk2, osp2, 1.0f, dy, osp2, cols.data(), osp2,
+                        1.0f, dw, ckk2);
+                }
+                if (dx_base != nullptr) {
+                  // dcols (CKK, osp) = W^T (CKK, OC) * dY (OC, osp); dX += col2im(dcols)
+                  sgemm(true, false, ckk2, osp2, geom.oc, 1.0f, wi->data.data(), ckk2, dy,
+                        osp2, 0.0f, dcols.data(), osp2);
+                  detail::col2im(dcols.data(), geom.c, geom.h, geom.w, geom.kh, geom.kw,
+                                 geom.stride, geom.padding, geom.oh, geom.ow,
+                                 dx_base + s * geom.c * geom.h * geom.w);
+                }
+              }
+            });
       });
-  std::vector<float> cols(static_cast<std::size_t>(ckk) * osp);
-  for (Index s = 0; s < g.n; ++s) {
-    detail::im2col(x.data().data() + s * g.c * g.h * g.w, g.c, g.h, g.w, g.kh, g.kw, stride,
-                   padding, g.oh, g.ow, cols.data());
-    sgemm(false, false, g.oc, osp, ckk, 1.0f, w.data().data(), ckk, cols.data(), osp, 0.0f,
-          y.data().data() + s * g.oc * osp, osp);
-  }
+  // Forward: every sample owns a disjoint band of y, so the batch loop is
+  // embarrassingly parallel; each chunk keeps a private im2col scratch.
+  common::parallel_for(0, g.n, 1, [&](Index s0, Index s1) {
+    std::vector<float> cols(static_cast<std::size_t>(ckk) * osp);
+    for (Index s = s0; s < s1; ++s) {
+      detail::im2col(x.data().data() + s * g.c * g.h * g.w, g.c, g.h, g.w, g.kh, g.kw, stride,
+                     padding, g.oh, g.ow, cols.data());
+      sgemm(false, false, g.oc, osp, ckk, 1.0f, w.data().data(), ckk, cols.data(), osp, 0.0f,
+            y.data().data() + s * g.oc * osp, osp);
+    }
+  });
   if (b.defined()) y = add_bias(y, b);
   return y;
 }
@@ -157,32 +213,41 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b, Index
       [xi, wi, n, c, h, wdt, oc, kh, kw, stride, padding, oh, ow](const TensorImpl& o) {
         const Index ockk2 = oc * kh * kw;
         const Index isp2 = h * wdt;
-        std::vector<float> dy_cols(static_cast<std::size_t>(ockk2) * isp2);
-        for (Index s = 0; s < n; ++s) {
-          // The adjoint geometry treats the *output* grad as the conv input:
-          // dy_cols (OCKK, isp) = im2col(dY over (OC, OH, OW)).
-          detail::im2col(o.grad.data() + s * oc * oh * ow, oc, oh, ow, kh, kw, stride,
-                         padding, h, wdt, dy_cols.data());
-          if (xi->requires_grad) {
-            // dX (C, isp) = W_mat (C, OCKK) * dy_cols
-            sgemm(false, false, c, isp2, ockk2, 1.0f, wi->data.data(), ockk2, dy_cols.data(),
-                  isp2, 1.0f, xi->grad_buffer().data() + s * c * isp2, isp2);
-          }
-          if (wi->requires_grad) {
-            // dW (C, OCKK) += X (C, isp) * dy_cols^T
-            sgemm(false, true, c, ockk2, isp2, 1.0f, xi->data.data() + s * c * isp2, isp2,
-                  dy_cols.data(), isp2, 1.0f, wi->grad_buffer().data(), ockk2);
-          }
-        }
+        // Force lazy grad allocation before the parallel region.
+        float* dx_base = xi->requires_grad ? xi->grad_buffer().data() : nullptr;
+        batched_backward_with_weight_partials(
+            n, static_cast<std::size_t>(c) * ockk2,
+            wi->requires_grad ? wi->grad_buffer().data() : nullptr, wi->requires_grad,
+            [&](Index s0, Index s1, float* dw) {
+              std::vector<float> dy_cols(static_cast<std::size_t>(ockk2) * isp2);
+              for (Index s = s0; s < s1; ++s) {
+                // The adjoint geometry treats the *output* grad as the conv input:
+                // dy_cols (OCKK, isp) = im2col(dY over (OC, OH, OW)).
+                detail::im2col(o.grad.data() + s * oc * oh * ow, oc, oh, ow, kh, kw, stride,
+                               padding, h, wdt, dy_cols.data());
+                if (dx_base != nullptr) {
+                  // dX (C, isp) = W_mat (C, OCKK) * dy_cols
+                  sgemm(false, false, c, isp2, ockk2, 1.0f, wi->data.data(), ockk2,
+                        dy_cols.data(), isp2, 1.0f, dx_base + s * c * isp2, isp2);
+                }
+                if (dw != nullptr) {
+                  // dW (C, OCKK) += X (C, isp) * dy_cols^T
+                  sgemm(false, true, c, ockk2, isp2, 1.0f, xi->data.data() + s * c * isp2,
+                        isp2, dy_cols.data(), isp2, 1.0f, dw, ockk2);
+                }
+              }
+            });
       });
   // Forward: cols (OCKK, isp) = W_mat^T (OCKK, C) * X (C, isp); Y = col2im(cols)
-  std::vector<float> cols(static_cast<std::size_t>(ockk) * isp);
-  for (Index s = 0; s < n; ++s) {
-    sgemm(true, false, ockk, isp, c, 1.0f, w.data().data(), ockk,
-          x.data().data() + s * c * isp, isp, 0.0f, cols.data(), isp);
-    detail::col2im(cols.data(), oc, oh, ow, kh, kw, stride, padding, h, wdt,
-                   y.data().data() + s * oc * oh * ow);
-  }
+  common::parallel_for(0, n, 1, [&](Index s0, Index s1) {
+    std::vector<float> cols(static_cast<std::size_t>(ockk) * isp);
+    for (Index s = s0; s < s1; ++s) {
+      sgemm(true, false, ockk, isp, c, 1.0f, w.data().data(), ockk,
+            x.data().data() + s * c * isp, isp, 0.0f, cols.data(), isp);
+      detail::col2im(cols.data(), oc, oh, ow, kh, kw, stride, padding, h, wdt,
+                     y.data().data() + s * oc * oh * ow);
+    }
+  });
   if (b.defined()) y = add_bias(y, b);
   return y;
 }
@@ -197,31 +262,38 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   FG_CHECK(running_mean.shape() == Shape{c} && running_var.shape() == Shape{c},
            "batch_norm2d: running stats must be [" << c << "]");
   const Index m = n * hw;  // statistics population per channel
+  const Index ch_grain = std::max<Index>(1, (Index{1} << 14) / std::max<Index>(1, m));
 
   auto mean_c = std::make_shared<std::vector<float>>(c);
   auto invstd_c = std::make_shared<std::vector<float>>(c);
   if (training) {
     FG_CHECK(m > 1, "batch_norm2d training mode needs more than one value per channel");
-    for (Index ch = 0; ch < c; ++ch) {
-      double sum = 0.0, sumsq = 0.0;
-      for (Index s = 0; s < n; ++s) {
-        const float* src = x.data().data() + (s * c + ch) * hw;
-        for (Index j = 0; j < hw; ++j) {
-          sum += src[j];
-          sumsq += static_cast<double>(src[j]) * src[j];
+    // Channels are independent: each chunk owns a disjoint slice of the
+    // per-channel statistics and running buffers. Within a channel the
+    // accumulation order over (s, j) is the same serial order regardless of
+    // thread count, so the statistics are bit-identical to the serial path.
+    common::parallel_for(0, c, ch_grain, [&](Index c0, Index c1) {
+      for (Index ch = c0; ch < c1; ++ch) {
+        double sum = 0.0, sumsq = 0.0;
+        for (Index s = 0; s < n; ++s) {
+          const float* src = x.data().data() + (s * c + ch) * hw;
+          for (Index j = 0; j < hw; ++j) {
+            sum += src[j];
+            sumsq += static_cast<double>(src[j]) * src[j];
+          }
         }
+        const double mu = sum / m;
+        const double var = std::max(0.0, sumsq / m - mu * mu);
+        (*mean_c)[ch] = static_cast<float>(mu);
+        (*invstd_c)[ch] = static_cast<float>(1.0 / std::sqrt(var + eps));
+        // Running stats use the unbiased variance, as in PyTorch.
+        const double unbiased = var * m / (m - 1);
+        running_mean.data()[ch] =
+            (1.0f - momentum) * running_mean.data()[ch] + momentum * static_cast<float>(mu);
+        running_var.data()[ch] =
+            (1.0f - momentum) * running_var.data()[ch] + momentum * static_cast<float>(unbiased);
       }
-      const double mu = sum / m;
-      const double var = std::max(0.0, sumsq / m - mu * mu);
-      (*mean_c)[ch] = static_cast<float>(mu);
-      (*invstd_c)[ch] = static_cast<float>(1.0 / std::sqrt(var + eps));
-      // Running stats use the unbiased variance, as in PyTorch.
-      const double unbiased = var * m / (m - 1);
-      running_mean.data()[ch] =
-          (1.0f - momentum) * running_mean.data()[ch] + momentum * static_cast<float>(mu);
-      running_var.data()[ch] =
-          (1.0f - momentum) * running_var.data()[ch] + momentum * static_cast<float>(unbiased);
-    }
+    });
   } else {
     for (Index ch = 0; ch < c; ++ch) {
       (*mean_c)[ch] = running_mean.data()[ch];
@@ -234,58 +306,68 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   auto bi = beta.impl();
   Tensor y = make_op_result(
       "batch_norm2d", x.shape(), {x, gamma, beta},
-      [xi, gi, bi, mean_c, invstd_c, n, c, hw, m, training](const TensorImpl& o) {
-        for (Index ch = 0; ch < c; ++ch) {
-          const float mu = (*mean_c)[ch];
-          const float invstd = (*invstd_c)[ch];
-          const float g = gi->data[ch];
-          // Per-channel reductions over dy and dy*xhat.
-          double sum_dy = 0.0, sum_dy_xhat = 0.0;
-          for (Index s = 0; s < n; ++s) {
-            const float* dy = o.grad.data() + (s * c + ch) * hw;
-            const float* xv = xi->data.data() + (s * c + ch) * hw;
-            for (Index j = 0; j < hw; ++j) {
-              sum_dy += dy[j];
-              sum_dy_xhat += static_cast<double>(dy[j]) * (xv[j] - mu) * invstd;
-            }
-          }
-          if (gi->requires_grad) gi->grad_buffer()[ch] += static_cast<float>(sum_dy_xhat);
-          if (bi->requires_grad) bi->grad_buffer()[ch] += static_cast<float>(sum_dy);
-          if (!xi->requires_grad) continue;
-          if (training) {
-            // Full backward through the batch statistics.
-            const float k1 = static_cast<float>(sum_dy / m);
-            const float k2 = static_cast<float>(sum_dy_xhat / m);
+      [xi, gi, bi, mean_c, invstd_c, n, c, hw, m, ch_grain, training](const TensorImpl& o) {
+        // Force lazy grad allocations before the parallel region.
+        float* dg = gi->requires_grad ? gi->grad_buffer().data() : nullptr;
+        float* db = bi->requires_grad ? bi->grad_buffer().data() : nullptr;
+        float* dx_base = xi->requires_grad ? xi->grad_buffer().data() : nullptr;
+        common::parallel_for(0, c, ch_grain, [&](Index c0, Index c1) {
+          for (Index ch = c0; ch < c1; ++ch) {
+            const float mu = (*mean_c)[ch];
+            const float invstd = (*invstd_c)[ch];
+            const float g = gi->data[ch];
+            // Per-channel reductions over dy and dy*xhat.
+            double sum_dy = 0.0, sum_dy_xhat = 0.0;
             for (Index s = 0; s < n; ++s) {
               const float* dy = o.grad.data() + (s * c + ch) * hw;
               const float* xv = xi->data.data() + (s * c + ch) * hw;
-              float* dx = xi->grad_buffer().data() + (s * c + ch) * hw;
               for (Index j = 0; j < hw; ++j) {
-                const float xhat = (xv[j] - mu) * invstd;
-                dx[j] += g * invstd * (dy[j] - k1 - xhat * k2);
+                sum_dy += dy[j];
+                sum_dy_xhat += static_cast<double>(dy[j]) * (xv[j] - mu) * invstd;
               }
             }
-          } else {
-            const float scale = g * invstd;
-            for (Index s = 0; s < n; ++s) {
-              const float* dy = o.grad.data() + (s * c + ch) * hw;
-              float* dx = xi->grad_buffer().data() + (s * c + ch) * hw;
-              for (Index j = 0; j < hw; ++j) dx[j] += scale * dy[j];
+            if (dg != nullptr) dg[ch] += static_cast<float>(sum_dy_xhat);
+            if (db != nullptr) db[ch] += static_cast<float>(sum_dy);
+            if (dx_base == nullptr) continue;
+            if (training) {
+              // Full backward through the batch statistics.
+              const float k1 = static_cast<float>(sum_dy / m);
+              const float k2 = static_cast<float>(sum_dy_xhat / m);
+              for (Index s = 0; s < n; ++s) {
+                const float* dy = o.grad.data() + (s * c + ch) * hw;
+                const float* xv = xi->data.data() + (s * c + ch) * hw;
+                float* dx = dx_base + (s * c + ch) * hw;
+                for (Index j = 0; j < hw; ++j) {
+                  const float xhat = (xv[j] - mu) * invstd;
+                  dx[j] += g * invstd * (dy[j] - k1 - xhat * k2);
+                }
+              }
+            } else {
+              const float scale = g * invstd;
+              for (Index s = 0; s < n; ++s) {
+                const float* dy = o.grad.data() + (s * c + ch) * hw;
+                float* dx = dx_base + (s * c + ch) * hw;
+                for (Index j = 0; j < hw; ++j) dx[j] += scale * dy[j];
+              }
             }
           }
-        }
+        });
       });
-  for (Index s = 0; s < n; ++s) {
-    for (Index ch = 0; ch < c; ++ch) {
-      const float mu = (*mean_c)[ch];
-      const float invstd = (*invstd_c)[ch];
-      const float g = gamma.data()[ch];
-      const float bshift = beta.data()[ch];
-      const float* src = x.data().data() + (s * c + ch) * hw;
-      float* dst = y.data().data() + (s * c + ch) * hw;
-      for (Index j = 0; j < hw; ++j) dst[j] = g * (src[j] - mu) * invstd + bshift;
-    }
-  }
+  // Normalization: every (sample, channel) slab is independent.
+  common::parallel_for(0, n * c, std::max<Index>(1, (Index{1} << 14) / std::max<Index>(1, hw)),
+                       [&](Index i0, Index i1) {
+                         for (Index i = i0; i < i1; ++i) {
+                           const Index ch = i % c;
+                           const float mu = (*mean_c)[ch];
+                           const float invstd = (*invstd_c)[ch];
+                           const float g = gamma.data()[ch];
+                           const float bshift = beta.data()[ch];
+                           const float* src = x.data().data() + i * hw;
+                           float* dst = y.data().data() + i * hw;
+                           for (Index j = 0; j < hw; ++j)
+                             dst[j] = g * (src[j] - mu) * invstd + bshift;
+                         }
+                       });
   return y;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace flashgen::tensor {
 
@@ -12,6 +13,8 @@ namespace {
 // Core kernel for the row-major, no-transpose case:
 // C[i,:] += alpha * sum_k A[i,k] * B[k,:]. The j-loop over contiguous C and B
 // rows auto-vectorizes. Cache-blocked over k to keep B panels resident.
+// Note: every A entry is multiplied through, even exact zeros, so NaN/Inf in
+// B propagate exactly as the naive reference (and BLAS) semantics demand.
 void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
              std::int64_t lda, const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
   constexpr std::int64_t kc = 256;
@@ -21,10 +24,29 @@ void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const 
       float* crow = c + i * ldc;
       for (std::int64_t p = k0; p < k1; ++p) {
         const float aip = alpha * a[i * lda + p];
-        if (aip == 0.0f) continue;
         const float* brow = b + p * ldb;
         for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
       }
+    }
+  }
+}
+
+// Row-block grain: aim for >= ~32k multiply-adds per chunk so the chunk-claim
+// overhead stays invisible. Depends only on the problem shape, never on the
+// thread count, so the partition (and the result bits) are pool-size-invariant.
+std::int64_t row_grain(std::int64_t n, std::int64_t k) {
+  const std::int64_t flops_per_row = std::max<std::int64_t>(1, n * k);
+  return std::max<std::int64_t>(1, (std::int64_t{1} << 15) / flops_per_row);
+}
+
+void scale_rows(std::int64_t i0, std::int64_t i1, std::int64_t n, float beta, float* c,
+                std::int64_t ldc) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
     }
   }
 }
@@ -35,21 +57,14 @@ void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int6
            float alpha, const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
            float beta, float* c, std::int64_t ldc) {
   FG_CHECK(m >= 0 && n >= 0 && k >= 0, "negative GEMM dimension");
-  // Scale C by beta first so the kernels can be pure accumulators.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * ldc;
-    if (beta == 0.0f) {
-      std::fill(crow, crow + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-  }
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
-
-  if (!trans_a && !trans_b) {
-    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    // BLAS semantics: A and B are not touched, C = beta * C.
+    common::parallel_for(0, m, row_grain(n, 1),
+                         [&](std::int64_t i0, std::int64_t i1) { scale_rows(i0, i1, n, beta, c, ldc); });
     return;
   }
+
   // Transposed cases: materialize the transposed operand once. The matrices in
   // this codebase are small enough (< a few MB) that an explicit transpose is
   // both simple and fast relative to strided inner loops.
@@ -75,7 +90,14 @@ void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int6
     bb = bt.data();
     bldb = n;
   }
-  gemm_nn(m, n, k, alpha, aa, alda, bb, bldb, c, ldc);
+
+  // Row-block parallel: each worker owns a disjoint band of C rows, scaling
+  // them by beta and then accumulating its slice of op(A)*op(B). No two
+  // chunks touch the same output row, so scheduling order cannot change bits.
+  common::parallel_for(0, m, row_grain(n, k), [&](std::int64_t i0, std::int64_t i1) {
+    scale_rows(i0, i1, n, beta, c, ldc);
+    gemm_nn(i1 - i0, n, k, alpha, aa + i0 * alda, alda, bb, bldb, c + i0 * ldc, ldc);
+  });
 }
 
 }  // namespace flashgen::tensor

@@ -1,9 +1,11 @@
-// Single-threaded SGEMM used by the linear and convolution kernels.
+// SGEMM used by the linear and convolution kernels.
 //
 // C (MxN) = alpha * op(A) * op(B) + beta * C, row-major, BLAS-like but with
 // explicit row-major semantics. Tuned for the small/medium matrices that the
 // im2col convolution path produces; the inner loop is written so the compiler
-// auto-vectorizes it.
+// auto-vectorizes it. Large products are parallelized over row blocks of C
+// through common/parallel.h with a thread-count-invariant static partition,
+// so results are bit-identical for any FLASHGEN_THREADS setting.
 #pragma once
 
 #include <cstdint>

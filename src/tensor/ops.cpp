@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "tensor/gemm.h"
 
 namespace flashgen::tensor {
@@ -15,6 +16,10 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
            op << ": shape mismatch " << a.shape() << " vs " << b.shape());
 }
 
+// Elementwise kernels chunk at a fixed element count, so the partition (and
+// any per-chunk rounding downstream) depends only on the tensor size.
+constexpr std::int64_t kElementwiseGrain = std::int64_t{1} << 14;
+
 // Elementwise binary helper: out = f(a, b); backward multiplies grad_out by
 // the local partials computed from the saved inputs.
 template <typename Fwd, typename BwdA, typename BwdB>
@@ -24,20 +29,29 @@ Tensor binary_op(const char* name, const Tensor& a, const Tensor& b, Fwd fwd, Bw
   auto ai = a.impl();
   auto bi = b.impl();
   Tensor out = make_op_result(name, a.shape(), {a, b}, [ai, bi, dfda, dfdb](const TensorImpl& o) {
-    const std::size_t n = o.data.size();
+    const std::int64_t n = static_cast<std::int64_t>(o.data.size());
     if (ai->requires_grad) {
-      auto& ga = ai->grad_buffer();
-      for (std::size_t i = 0; i < n; ++i) ga[i] += o.grad[i] * dfda(ai->data[i], bi->data[i]);
+      float* ga = ai->grad_buffer().data();
+      common::parallel_for(0, n, kElementwiseGrain, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i)
+          ga[i] += o.grad[i] * dfda(ai->data[i], bi->data[i]);
+      });
     }
     if (bi->requires_grad) {
-      auto& gb = bi->grad_buffer();
-      for (std::size_t i = 0; i < n; ++i) gb[i] += o.grad[i] * dfdb(ai->data[i], bi->data[i]);
+      float* gb = bi->grad_buffer().data();
+      common::parallel_for(0, n, kElementwiseGrain, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i)
+          gb[i] += o.grad[i] * dfdb(ai->data[i], bi->data[i]);
+      });
     }
   });
   auto dst = out.data();
   auto pa = a.data();
   auto pb = b.data();
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = fwd(pa[i], pb[i]);
+  common::parallel_for(0, static_cast<std::int64_t>(dst.size()), kElementwiseGrain,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                         for (std::int64_t i = i0; i < i1; ++i) dst[i] = fwd(pa[i], pb[i]);
+                       });
   return out;
 }
 
@@ -48,13 +62,19 @@ Tensor unary_op(const char* name, const Tensor& a, Fwd fwd, Bwd dfdx) {
   auto out_holder = std::make_shared<std::vector<float>>();
   Tensor out = make_op_result(name, a.shape(), {a}, [ai, out_holder, dfdx](const TensorImpl& o) {
     if (!ai->requires_grad) return;
-    auto& ga = ai->grad_buffer();
-    for (std::size_t i = 0; i < o.data.size(); ++i)
-      ga[i] += o.grad[i] * dfdx(ai->data[i], o.data[i]);
+    float* ga = ai->grad_buffer().data();
+    common::parallel_for(0, static_cast<std::int64_t>(o.data.size()), kElementwiseGrain,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i)
+                             ga[i] += o.grad[i] * dfdx(ai->data[i], o.data[i]);
+                         });
   });
   auto dst = out.data();
   auto pa = a.data();
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = fwd(pa[i]);
+  common::parallel_for(0, static_cast<std::int64_t>(dst.size()), kElementwiseGrain,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                         for (std::int64_t i = i0; i < i1; ++i) dst[i] = fwd(pa[i]);
+                       });
   return out;
 }
 
@@ -141,12 +161,24 @@ Tensor sum(const Tensor& a) {
   auto ai = a.impl();
   Tensor out = make_op_result("sum", Shape{1}, {a}, [ai](const TensorImpl& o) {
     if (!ai->requires_grad) return;
-    auto& ga = ai->grad_buffer();
+    float* ga = ai->grad_buffer().data();
     const float g = o.grad[0];
-    for (float& v : ga) v += g;
+    common::parallel_for(0, static_cast<std::int64_t>(ai->data.size()), kElementwiseGrain,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) ga[i] += g;
+                         });
   });
-  double acc = 0.0;
-  for (float v : a.data()) acc += v;
+  // Deterministic blocked reduction: fixed-size chunk partials in double,
+  // folded in chunk order — bit-identical for any thread count.
+  const float* src = a.data().data();
+  const double acc = common::parallel_reduce(
+      0, static_cast<std::int64_t>(a.data().size()), kElementwiseGrain, 0.0,
+      [&](std::int64_t i0, std::int64_t i1) {
+        double s = 0.0;
+        for (std::int64_t i = i0; i < i1; ++i) s += src[i];
+        return s;
+      },
+      [](double x, double y) { return x + y; });
   out.data()[0] = static_cast<float>(acc);
   return out;
 }
@@ -395,21 +427,32 @@ Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
   Tensor out = make_op_result("bce_with_logits", Shape{1}, {logits, targets},
                               [li, ti, n](const TensorImpl& o) {
                                 if (!li->requires_grad) return;
-                                auto& gl = li->grad_buffer();
+                                float* gl = li->grad_buffer().data();
                                 const float g = o.grad[0] / static_cast<float>(n);
-                                for (Index i = 0; i < n; ++i) {
-                                  const float x = li->data[i];
-                                  const float s = 1.0f / (1.0f + std::exp(-x));
-                                  gl[i] += g * (s - ti->data[i]);
-                                }
+                                common::parallel_for(
+                                    0, n, kElementwiseGrain, [&](Index i0, Index i1) {
+                                      for (Index i = i0; i < i1; ++i) {
+                                        const float x = li->data[i];
+                                        const float s = 1.0f / (1.0f + std::exp(-x));
+                                        gl[i] += g * (s - ti->data[i]);
+                                      }
+                                    });
                               });
-  double acc = 0.0;
-  for (Index i = 0; i < n; ++i) {
-    const double x = logits.data()[i];
-    const double t = targets.data()[i];
-    // max(x,0) - x*t + log(1 + exp(-|x|))
-    acc += std::max(x, 0.0) - x * t + std::log1p(std::exp(-std::fabs(x)));
-  }
+  const float* lp = logits.data().data();
+  const float* tp = targets.data().data();
+  const double acc = common::parallel_reduce(
+      0, n, kElementwiseGrain, 0.0,
+      [&](Index i0, Index i1) {
+        double s = 0.0;
+        for (Index i = i0; i < i1; ++i) {
+          const double x = lp[i];
+          const double t = tp[i];
+          // max(x,0) - x*t + log(1 + exp(-|x|))
+          s += std::max(x, 0.0) - x * t + std::log1p(std::exp(-std::fabs(x)));
+        }
+        return s;
+      },
+      [](double x, double y) { return x + y; });
   out.data()[0] = static_cast<float>(acc / n);
   return out;
 }
@@ -424,22 +467,38 @@ Tensor kl_standard_normal(const Tensor& mu, const Tensor& logvar) {
                               [mi, li, n](const TensorImpl& o) {
                                 const float g = o.grad[0] / static_cast<float>(n);
                                 if (mi->requires_grad) {
-                                  auto& gm = mi->grad_buffer();
-                                  for (std::size_t i = 0; i < gm.size(); ++i)
-                                    gm[i] += g * mi->data[i];
+                                  float* gm = mi->grad_buffer().data();
+                                  common::parallel_for(
+                                      0, static_cast<std::int64_t>(mi->data.size()),
+                                      kElementwiseGrain, [&](std::int64_t i0, std::int64_t i1) {
+                                        for (std::int64_t i = i0; i < i1; ++i)
+                                          gm[i] += g * mi->data[i];
+                                      });
                                 }
                                 if (li->requires_grad) {
-                                  auto& gl = li->grad_buffer();
-                                  for (std::size_t i = 0; i < gl.size(); ++i)
-                                    gl[i] += g * 0.5f * (std::exp(li->data[i]) - 1.0f);
+                                  float* gl = li->grad_buffer().data();
+                                  common::parallel_for(
+                                      0, static_cast<std::int64_t>(li->data.size()),
+                                      kElementwiseGrain, [&](std::int64_t i0, std::int64_t i1) {
+                                        for (std::int64_t i = i0; i < i1; ++i)
+                                          gl[i] += g * 0.5f * (std::exp(li->data[i]) - 1.0f);
+                                      });
                                 }
                               });
-  double acc = 0.0;
-  for (std::size_t i = 0; i < mu.data().size(); ++i) {
-    const double m = mu.data()[i];
-    const double lv = logvar.data()[i];
-    acc += -0.5 * (1.0 + lv - m * m - std::exp(lv));
-  }
+  const float* mp = mu.data().data();
+  const float* lp = logvar.data().data();
+  const double acc = common::parallel_reduce(
+      0, static_cast<std::int64_t>(mu.data().size()), kElementwiseGrain, 0.0,
+      [&](std::int64_t i0, std::int64_t i1) {
+        double s = 0.0;
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const double m = mp[i];
+          const double lv = lp[i];
+          s += -0.5 * (1.0 + lv - m * m - std::exp(lv));
+        }
+        return s;
+      },
+      [](double x, double y) { return x + y; });
   out.data()[0] = static_cast<float>(acc / n);
   return out;
 }

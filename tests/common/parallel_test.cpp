@@ -1,0 +1,158 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.h"
+
+namespace flashgen::common {
+namespace {
+
+// Restores the pool size after each test so suites stay order-independent.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_num_threads(0); }
+};
+
+TEST_F(ParallelTest, PartitionChunkCounts) {
+  EXPECT_EQ(partition_chunks(0, 0, 4), 0);
+  EXPECT_EQ(partition_chunks(5, 5, 1), 0);
+  EXPECT_EQ(partition_chunks(7, 3, 2), 0);  // inverted range is empty
+  EXPECT_EQ(partition_chunks(0, 1, 4), 1);  // range smaller than grain
+  EXPECT_EQ(partition_chunks(0, 8, 4), 2);
+  EXPECT_EQ(partition_chunks(0, 9, 4), 3);  // short tail chunk
+  EXPECT_EQ(partition_chunks(3, 10, 3), 3);
+  EXPECT_THROW(partition_chunks(0, 4, 0), Error);
+  EXPECT_THROW(partition_chunks(0, 4, -1), Error);
+}
+
+TEST_F(ParallelTest, EmptyRangeNeverInvokesBody) {
+  set_num_threads(4);
+  std::atomic<int> calls{0};
+  parallel_for(0, 0, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  parallel_for(10, 3, 8, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    set_num_threads(threads);
+    for (std::int64_t grain : {1, 3, 16, 1000}) {
+      std::vector<std::atomic<int>> hits(97);
+      parallel_for(0, 97, grain, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+      });
+      for (auto& h : hits) EXPECT_EQ(h.load(), 1) << "threads=" << threads << " grain=" << grain;
+    }
+  }
+}
+
+TEST_F(ParallelTest, ChunkLayoutIsThreadCountInvariant) {
+  auto layout = [](int threads) {
+    set_num_threads(threads);
+    std::mutex mu;
+    std::set<std::pair<std::int64_t, std::int64_t>> chunks;
+    parallel_for_chunks(5, 103, 9, [&](std::int64_t chunk, std::int64_t b, std::int64_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.insert({b, e});
+      EXPECT_EQ(b, 5 + chunk * 9);
+    });
+    return chunks;
+  };
+  const auto serial = layout(1);
+  EXPECT_EQ(serial.size(), static_cast<std::size_t>(partition_chunks(5, 103, 9)));
+  EXPECT_EQ(layout(2), serial);
+  EXPECT_EQ(layout(4), serial);
+  EXPECT_EQ(layout(7), serial);
+}
+
+TEST_F(ParallelTest, RangeNotDivisibleByThreadCountStillSumsCorrectly) {
+  set_num_threads(7);
+  std::vector<int> data(101);
+  std::iota(data.begin(), data.end(), 0);
+  std::vector<long> out(101, 0);
+  parallel_for(0, 101, 4, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) out[static_cast<std::size_t>(i)] = 2L * data[static_cast<std::size_t>(i)];
+  });
+  long total = 0;
+  for (long v : out) total += v;
+  EXPECT_EQ(total, 2L * 100 * 101 / 2);
+}
+
+TEST_F(ParallelTest, ReduceIsBitIdenticalAcrossThreadCounts) {
+  // Sum of a sequence whose float rounding is order-sensitive: if the fold
+  // order depended on the pool size, the bits would differ.
+  std::vector<float> values(10007);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    values[i] = (i % 2 ? 1.0f : -1.0f) * (1.0f + static_cast<float>(i) * 1e-3f);
+  auto reduce_with = [&](int threads) {
+    set_num_threads(threads);
+    return parallel_reduce(
+        0, static_cast<std::int64_t>(values.size()), 64, 0.0,
+        [&](std::int64_t b, std::int64_t e) {
+          double s = 0.0;
+          for (std::int64_t i = b; i < e; ++i) s += values[static_cast<std::size_t>(i)];
+          return s;
+        },
+        [](double x, double y) { return x + y; });
+  };
+  const double d1 = reduce_with(1);
+  EXPECT_EQ(d1, reduce_with(2));
+  EXPECT_EQ(d1, reduce_with(4));
+  EXPECT_EQ(d1, reduce_with(7));
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesFromWorker) {
+  set_num_threads(4);
+  EXPECT_THROW(
+      parallel_for(0, 64, 1,
+                   [&](std::int64_t b, std::int64_t) {
+                     if (b == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after an exception.
+  std::atomic<int> calls{0};
+  parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesFromSerialFallback) {
+  set_num_threads(1);
+  EXPECT_THROW(parallel_for(0, 4, 1,
+                            [&](std::int64_t, std::int64_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+}
+
+TEST_F(ParallelTest, NestedParallelForDegradesToSerialWithoutDeadlock) {
+  set_num_threads(4);
+  std::atomic<int> inner_total{0};
+  std::atomic<bool> saw_nested_flag{false};
+  parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+    if (in_parallel_region()) saw_nested_flag = true;
+    // Inner region must run inline on this worker instead of re-entering the
+    // pool (which would deadlock a single job slot).
+    parallel_for(0, 16, 2, [&](std::int64_t b, std::int64_t e) {
+      inner_total += static_cast<int>(e - b);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+  EXPECT_TRUE(saw_nested_flag.load());
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST_F(ParallelTest, SetNumThreadsZeroRestoresDefault) {
+  const int before = num_threads();
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(0);
+  EXPECT_EQ(num_threads(), before);
+}
+
+}  // namespace
+}  // namespace flashgen::common

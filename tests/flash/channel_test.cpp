@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace flashgen::flash {
 namespace {
@@ -101,6 +102,22 @@ TEST_F(ChannelTest, DeterministicGivenSeed) {
   flashgen::Rng a(77), b(77);
   const BlockObservation x = channel_.run_experiment(4000.0, a);
   const BlockObservation y = channel_.run_experiment(4000.0, b);
+  EXPECT_EQ(x.program_levels.raw(), y.program_levels.raw());
+  EXPECT_EQ(x.voltages.raw(), y.voltages.raw());
+}
+
+TEST_F(ChannelTest, ThreadCountInvariantBlockRead) {
+  // The whole block observation is a pure function of (seed, config): the
+  // per-wordline RNG streams make the simulation independent of how rows are
+  // assigned to pool workers.
+  auto read_with = [&](int threads) {
+    flashgen::common::set_num_threads(threads);
+    flashgen::Rng rng(123);
+    return channel_.run_experiment(4000.0, rng, 6.0);
+  };
+  const BlockObservation x = read_with(1);
+  const BlockObservation y = read_with(4);
+  flashgen::common::set_num_threads(0);
   EXPECT_EQ(x.program_levels.raw(), y.program_levels.raw());
   EXPECT_EQ(x.voltages.raw(), y.voltages.raw());
 }

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "tensor/ops.h"
 
 namespace flashgen::models {
@@ -209,6 +212,43 @@ TEST(OnehotLevels, ClampsOutOfRangeInputs) {
 TEST(OnehotLevels, RejectsMultiChannelInput) {
   Tensor bad = Tensor::zeros(Shape{1, 2, 4, 4});
   EXPECT_THROW(onehot_levels(bad), Error);
+}
+
+TEST(Networks, ThreadCountInvariantForwardBackward) {
+  // One full cVAE-GAN step (encoder -> reparameterized latent -> generator ->
+  // discriminator -> backward) must produce bit-identical activations and
+  // parameter gradients regardless of the worker-pool size.
+  auto run_step = [](int threads) {
+    flashgen::common::set_num_threads(threads);
+    flashgen::Rng rng(42);
+    UNetGenerator gen(tiny_config(), rng);
+    ResNetEncoder enc(tiny_config(), rng);
+    PatchDiscriminator dis(tiny_config(), rng);
+    Tensor pl = Tensor::rand_uniform(Shape{2, 1, 16, 16}, rng, -1.0f, 1.0f);
+    Tensor vl = Tensor::rand_uniform(Shape{2, 1, 16, 16}, rng, -1.0f, 1.0f);
+    const auto moments = enc.forward(vl);
+    Tensor z = ResNetEncoder::sample_latent(moments, rng);
+    Tensor fake = gen.forward(pl, z, rng);
+    Tensor d = dis.forward(pl, fake);
+    tensor::sum(d).backward();
+    std::vector<std::vector<float>> bits;
+    bits.emplace_back(fake.data().begin(), fake.data().end());
+    bits.emplace_back(d.data().begin(), d.data().end());
+    for (const auto* net : {static_cast<const nn::Module*>(&gen),
+                            static_cast<const nn::Module*>(&enc),
+                            static_cast<const nn::Module*>(&dis)}) {
+      for (const Tensor& p : net->parameters())
+        bits.emplace_back(p.grad().begin(), p.grad().end());
+    }
+    return bits;
+  };
+  const auto serial = run_step(1);
+  const auto pooled = run_step(4);
+  flashgen::common::set_num_threads(0);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], pooled[i]) << "tensor " << i << " differs between 1 and 4 threads";
+  }
 }
 
 TEST(Networks, ParameterCountsScaleWithWidth) {
