@@ -88,11 +88,16 @@ TrainStats BicycleGanModel::fit(const data::PairedDataset& dataset,
   return stats;
 }
 
-Tensor BicycleGanModel::generate(const Tensor& pl, flashgen::Rng& rng) {
-  root_.set_training(false);
-  tensor::NoGradGuard no_grad;
+void BicycleGanModel::prepare_generation() { root_.set_training(false); }
+
+Tensor BicycleGanModel::sample(const Tensor& pl, flashgen::Rng& rng) {
   const Tensor z = Tensor::randn(tensor::Shape{pl.shape()[0], config_.z_dim}, rng);
   return root_.generator.forward(pl, z, rng);
+}
+
+Tensor BicycleGanModel::sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) {
+  const Tensor z = detail::latent_rows(pl.shape()[0], config_.z_dim, rngs);
+  return root_.generator.forward_rows(pl, z, rngs);
 }
 
 }  // namespace flashgen::models

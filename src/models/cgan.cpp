@@ -63,11 +63,17 @@ TrainStats CganModel::fit(const data::PairedDataset& dataset, const TrainConfig&
   return stats;
 }
 
-Tensor CganModel::generate(const Tensor& pl, flashgen::Rng& rng) {
+void CganModel::prepare_generation() {
   // pix2pix keeps dropout active at test time as the only noise source.
   root_.set_training(true);
-  tensor::NoGradGuard no_grad;
+}
+
+Tensor CganModel::sample(const Tensor& pl, flashgen::Rng& rng) {
   return root_.generator.forward(pl, Tensor(), rng);
+}
+
+Tensor CganModel::sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) {
+  return root_.generator.forward_rows(pl, Tensor(), rngs);
 }
 
 }  // namespace flashgen::models

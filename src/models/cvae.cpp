@@ -47,11 +47,16 @@ TrainStats CvaeModel::fit(const data::PairedDataset& dataset, const TrainConfig&
   return stats;
 }
 
-Tensor CvaeModel::generate(const Tensor& pl, flashgen::Rng& rng) {
-  root_.set_training(false);
-  tensor::NoGradGuard no_grad;
+void CvaeModel::prepare_generation() { root_.set_training(false); }
+
+Tensor CvaeModel::sample(const Tensor& pl, flashgen::Rng& rng) {
   const Tensor z = Tensor::randn(tensor::Shape{pl.shape()[0], config_.z_dim}, rng);
   return root_.generator.forward(pl, z, rng);
+}
+
+Tensor CvaeModel::sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) {
+  const Tensor z = detail::latent_rows(pl.shape()[0], config_.z_dim, rngs);
+  return root_.generator.forward_rows(pl, z, rngs);
 }
 
 }  // namespace flashgen::models

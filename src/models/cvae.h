@@ -14,7 +14,9 @@ class CvaeModel : public GenerativeModel {
   std::string name() const override { return "cVAE"; }
   TrainStats fit(const data::PairedDataset& dataset, const TrainConfig& config,
                  flashgen::Rng& rng) override;
-  Tensor generate(const Tensor& pl, flashgen::Rng& rng) override;
+  void prepare_generation() override;
+  Tensor sample(const Tensor& pl, flashgen::Rng& rng) override;
+  Tensor sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) override;
   nn::Module& root_module() override { return root_; }
 
  private:

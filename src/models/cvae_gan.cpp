@@ -73,15 +73,22 @@ TrainStats CvaeGanModel::fit(const data::PairedDataset& dataset, const TrainConf
   return stats;
 }
 
-Tensor CvaeGanModel::generate(const Tensor& pl, flashgen::Rng& rng) {
+void CvaeGanModel::prepare_generation() {
   // Batch-statistics normalization at generation time (as in pix2pix /
   // BicycleGAN test mode): with the paper's batch size of 2, running stats
   // are too noisy to reproduce the training-time activation distributions.
   root_.set_training(true);
-  tensor::NoGradGuard no_grad;
+}
+
+Tensor CvaeGanModel::sample(const Tensor& pl, flashgen::Rng& rng) {
   const Tensor z =
       Tensor::randn(tensor::Shape{pl.shape()[0], config_.z_dim}, rng);
   return root_.generator.forward(pl, z, rng);
+}
+
+Tensor CvaeGanModel::sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) {
+  const Tensor z = detail::latent_rows(pl.shape()[0], config_.z_dim, rngs);
+  return root_.generator.forward_rows(pl, z, rngs);
 }
 
 }  // namespace flashgen::models

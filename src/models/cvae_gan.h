@@ -21,7 +21,9 @@ class CvaeGanModel : public GenerativeModel {
   std::string name() const override { return "cVAE-GAN"; }
   TrainStats fit(const data::PairedDataset& dataset, const TrainConfig& config,
                  flashgen::Rng& rng) override;
-  Tensor generate(const Tensor& pl, flashgen::Rng& rng) override;
+  void prepare_generation() override;
+  Tensor sample(const Tensor& pl, flashgen::Rng& rng) override;
+  Tensor sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) override;
   nn::Module& root_module() override { return root_; }
 
   const NetworkConfig& network_config() const { return config_; }

@@ -36,9 +36,21 @@ TrainStats GaussianModel::fit(const data::PairedDataset& dataset, const TrainCon
   }
   normalizer_ = data::VoltageNormalizer(dataset.config().norm);
   fitted_ = true;
+  root_.norm.data()[0] = 1.0f;
+  root_.norm.data()[1] = static_cast<float>(normalizer_.config().voltage_lo);
+  root_.norm.data()[2] = static_cast<float>(normalizer_.config().voltage_hi);
   TrainStats stats;
   stats.steps = 1;
   return stats;
+}
+
+void GaussianModel::on_loaded() {
+  fitted_ = root_.norm.data()[0] != 0.0f;
+  if (!fitted_) return;
+  data::NormalizerConfig config;
+  config.voltage_lo = root_.norm.data()[1];
+  config.voltage_hi = root_.norm.data()[2];
+  normalizer_ = data::VoltageNormalizer(config);
 }
 
 double GaussianModel::level_mean(int level) const {
@@ -53,8 +65,11 @@ double GaussianModel::level_stddev(int level) const {
   return root_.stddev.data()[level];
 }
 
-Tensor GaussianModel::generate(const Tensor& pl, flashgen::Rng& rng) {
+void GaussianModel::prepare_generation() {
   FG_CHECK(fitted_, "GaussianModel::generate before fit()");
+}
+
+Tensor GaussianModel::sample(const Tensor& pl, flashgen::Rng& rng) {
   Tensor out = Tensor::zeros(pl.shape());
   auto src = pl.data();
   auto dst = out.data();
@@ -62,6 +77,25 @@ Tensor GaussianModel::generate(const Tensor& pl, flashgen::Rng& rng) {
     const int level = normalizer_.denormalize_level(src[i]);
     const double v = rng.normal(root_.mean.data()[level], root_.stddev.data()[level]);
     dst[i] = normalizer_.normalize_voltage(v);
+  }
+  return out;
+}
+
+Tensor GaussianModel::sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) {
+  const auto n = pl.shape()[0];
+  FG_CHECK(static_cast<tensor::Index>(rngs.size()) == n,
+           "sample_rows: " << rngs.size() << " streams for batch " << pl.shape());
+  const auto row = static_cast<std::size_t>(pl.numel() / n);
+  Tensor out = Tensor::zeros(pl.shape());
+  auto src = pl.data();
+  auto dst = out.data();
+  for (std::size_t s = 0; s < static_cast<std::size_t>(n); ++s) {
+    flashgen::Rng& rng = rngs[s];
+    for (std::size_t i = s * row; i < (s + 1) * row; ++i) {
+      const int level = normalizer_.denormalize_level(src[i]);
+      const double v = rng.normal(root_.mean.data()[level], root_.stddev.data()[level]);
+      dst[i] = normalizer_.normalize_voltage(v);
+    }
   }
   return out;
 }

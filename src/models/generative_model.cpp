@@ -9,12 +9,55 @@
 
 namespace flashgen::models {
 
+using tensor::Index;
+
 void GenerativeModel::save(const std::string& path) {
   nn::save_checkpoint(root_module(), path);
 }
 
 void GenerativeModel::load(const std::string& path) {
   nn::load_checkpoint(root_module(), path);
+  on_loaded();
+}
+
+Tensor GenerativeModel::generate(const Tensor& pl, flashgen::Rng& rng) {
+  prepare_generation();
+  tensor::NoGradGuard no_grad;
+  return sample(pl, rng);
+}
+
+Tensor GenerativeModel::generate_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) {
+  FG_CHECK(pl.shape().rank() >= 1 &&
+               static_cast<Index>(rngs.size()) == pl.shape()[0],
+           "generate_rows: " << rngs.size() << " streams for batch " << pl.shape());
+  prepare_generation();
+  tensor::NoGradGuard no_grad;
+  return sample_rows(pl, rngs);
+}
+
+Tensor GenerativeModel::sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) {
+  const Index n = pl.shape()[0];
+  FG_CHECK(static_cast<Index>(rngs.size()) == n,
+           "sample_rows: " << rngs.size() << " streams for batch " << pl.shape());
+  std::vector<Index> row_dims = pl.shape().dims();
+  row_dims[0] = 1;
+  const tensor::Shape row_shape(row_dims);
+  const Index row = pl.numel() / n;
+  Tensor out;
+  for (Index s = 0; s < n; ++s) {
+    auto src = pl.data().subspan(static_cast<std::size_t>(s * row),
+                                 static_cast<std::size_t>(row));
+    Tensor pr = Tensor::from_data(row_shape, std::vector<float>(src.begin(), src.end()));
+    Tensor y = sample(pr, rngs[static_cast<std::size_t>(s)]);
+    if (!out.defined()) {
+      std::vector<Index> out_dims = y.shape().dims();
+      out_dims[0] = n;
+      out = Tensor::zeros(tensor::Shape(out_dims));
+    }
+    std::copy(y.data().begin(), y.data().end(),
+              out.data().begin() + static_cast<std::size_t>(s) * y.data().size());
+  }
+  return out;
 }
 
 Tensor gan_loss(const Tensor& logits, bool target_real, bool lsgan) {
@@ -24,6 +67,19 @@ Tensor gan_loss(const Tensor& logits, bool target_real, bool lsgan) {
 }
 
 namespace detail {
+
+Tensor latent_rows(Index n, Index z_dim, std::span<flashgen::Rng> rngs) {
+  FG_CHECK(static_cast<Index>(rngs.size()) == n,
+           "latent_rows: " << rngs.size() << " streams for " << n << " rows");
+  Tensor z = Tensor::zeros(tensor::Shape{n, z_dim});
+  auto dst = z.data();
+  for (Index s = 0; s < n; ++s) {
+    for (Index d = 0; d < z_dim; ++d) {
+      dst[s * z_dim + d] = static_cast<float>(rngs[static_cast<std::size_t>(s)].normal(0.0, 1.0));
+    }
+  }
+  return z;
+}
 
 int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& config,
                       flashgen::Rng& rng,

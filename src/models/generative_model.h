@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,13 +51,40 @@ class GenerativeModel {
 
   /// Generates voltages for a batch of program-level arrays (N, 1, S, S).
   /// Stochastic: repeated calls with fresh rng states sample the channel.
-  virtual Tensor generate(const Tensor& pl, flashgen::Rng& rng) = 0;
+  /// Non-virtual: runs prepare_generation() then sample() under NoGradGuard.
+  Tensor generate(const Tensor& pl, flashgen::Rng& rng);
+
+  /// Generation with one RNG stream per row: row i consumes rngs[i] only, so
+  /// its values match generate() on that row alone with the same Rng. Models
+  /// whose generation path normalizes with batch statistics (cVAE-GAN, cGAN)
+  /// additionally need tensor::InferenceModeGuard active for the rows to
+  /// decouple; the serving engine always runs under it.
+  Tensor generate_rows(const Tensor& pl, std::span<flashgen::Rng> rngs);
+
+  /// Puts the module tree into its generation configuration (training/eval
+  /// flags, fitted-state checks). Idempotent; generate()/generate_rows() call
+  /// it every time, the serving engine once before repeated sample calls.
+  virtual void prepare_generation() = 0;
+
+  /// Model-specific sampling. Preconditions: prepare_generation() has run on
+  /// this model and gradient recording is disabled.
+  virtual Tensor sample(const Tensor& pl, flashgen::Rng& rng) = 0;
+
+  /// Row-streamed sampling (same preconditions as sample()). The default
+  /// slices the batch and runs sample() row by row; network models override
+  /// it with a single batched pass that keeps per-row draw sequences intact.
+  virtual Tensor sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs);
 
   /// Serializable root module holding all trainable/buffer state.
   virtual nn::Module& root_module() = 0;
 
   void save(const std::string& path);
   void load(const std::string& path);
+
+ protected:
+  /// Hook invoked by load() after the checkpoint restored the module tree;
+  /// models rebuild derived state (e.g. the Gaussian normalizer) here.
+  virtual void on_loaded() {}
 };
 
 /// GAN objective on PatchGAN logits: BCE-with-logits against an all-real /
@@ -64,6 +92,10 @@ class GenerativeModel {
 Tensor gan_loss(const Tensor& logits, bool target_real, bool lsgan);
 
 namespace detail {
+/// (N, z_dim) latent batch where row i is drawn from rngs[i], matching the
+/// draw order of Tensor::randn on a single-row latent.
+Tensor latent_rows(tensor::Index n, tensor::Index z_dim, std::span<flashgen::Rng> rngs);
+
 /// Shared epoch/batch loop: calls `step(pl, vl, step_index)` for every
 /// shuffled mini-batch over `config.epochs` epochs.
 int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& config,

@@ -139,6 +139,22 @@ UNetGenerator::UNetGenerator(const NetworkConfig& config, flashgen::Rng& rng)
 
 Tensor UNetGenerator::forward(const Tensor& pl, const Tensor& z, flashgen::Rng& rng,
                               const Tensor& cond) const {
+  return forward_impl(pl, z, cond, [&](Tensor&& h) {
+    return tensor::dropout(std::move(h), config_.dropout, training(), rng);
+  });
+}
+
+Tensor UNetGenerator::forward_rows(const Tensor& pl, const Tensor& z,
+                                   std::span<flashgen::Rng> rngs, const Tensor& cond) const {
+  FG_CHECK(static_cast<Index>(rngs.size()) == pl.shape()[0],
+           "forward_rows: " << rngs.size() << " streams for batch " << pl.shape());
+  return forward_impl(pl, z, cond, [&](Tensor&& h) {
+    return tensor::dropout_rows(h, config_.dropout, training(), rngs);
+  });
+}
+
+Tensor UNetGenerator::forward_impl(const Tensor& pl, const Tensor& z, const Tensor& cond,
+                                   const std::function<Tensor(Tensor&&)>& apply_dropout) const {
   FG_CHECK(pl.shape().rank() == 4 && pl.shape()[1] == 1 &&
                pl.shape()[2] == config_.array_size && pl.shape()[3] == config_.array_size,
            "generator expects (N, 1, " << config_.array_size << ", " << config_.array_size
@@ -169,7 +185,7 @@ Tensor UNetGenerator::forward(const Tensor& pl, const Tensor& z, flashgen::Rng& 
     }
     h = down_convs_[i]->forward(in);
     if (down_norms_[i]) h = down_norms_[i]->forward(h);
-    h = tensor::leaky_relu(h, 0.2f);
+    h = tensor::leaky_relu(std::move(h), 0.2f);
     skips.push_back(h);
     spatial /= 2;
   }
@@ -178,16 +194,16 @@ Tensor UNetGenerator::forward(const Tensor& pl, const Tensor& z, flashgen::Rng& 
     h = up_convs_[i]->forward(in);
     if (i < depth_ - 1) {
       h = up_norms_[i]->forward(h);
-      h = tensor::relu(h);
+      h = tensor::relu(std::move(h));
       if (config_.dropout > 0.0f && i < 3) {
-        h = tensor::dropout(h, config_.dropout, training(), rng);
+        h = apply_dropout(std::move(h));
       }
     }
   }
   if (config_.global_skip) {
-    h = tensor::add(h, tensor::affine_scalar(pl, skip_gain_, skip_bias_));
+    h = tensor::add(std::move(h), tensor::affine_scalar(pl, skip_gain_, skip_bias_));
   }
-  return tensor::tanh(h);
+  return tensor::tanh(std::move(h));
 }
 
 // ---- PatchDiscriminator ----------------------------------------------------

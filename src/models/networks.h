@@ -12,7 +12,9 @@
 //     program-level array and the (real or fake) voltage array.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/layers.h"
@@ -95,9 +97,19 @@ class UNetGenerator : public nn::Module {
   Tensor forward(const Tensor& pl, const Tensor& z, flashgen::Rng& rng,
                  const Tensor& cond = Tensor()) const;
 
+  /// forward() with per-row dropout streams: row i of the batch draws its
+  /// dropout masks from rngs[i] only (tensor::dropout_rows), so row values
+  /// match a single-row forward() with the same Rng. Forward-only.
+  Tensor forward_rows(const Tensor& pl, const Tensor& z, std::span<flashgen::Rng> rngs,
+                      const Tensor& cond = Tensor()) const;
+
   const NetworkConfig& config() const { return config_; }
 
  private:
+  /// Shared forward body; `apply_dropout` is invoked on Up activations where
+  /// the pix2pix schedule places dropout.
+  Tensor forward_impl(const Tensor& pl, const Tensor& z, const Tensor& cond,
+                      const std::function<Tensor(Tensor&&)>& apply_dropout) const;
   NetworkConfig config_;
   Index depth_;
   std::vector<Index> down_channels_;  // output channels of each down block

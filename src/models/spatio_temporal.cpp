@@ -99,13 +99,25 @@ TrainStats TemporalCvaeGanModel::fit(const data::PairedDataset& dataset,
   return stats;
 }
 
-Tensor TemporalCvaeGanModel::generate(const Tensor& pl, flashgen::Rng& rng) {
-  return generate_at(pl, generation_pe_, rng);
+void TemporalCvaeGanModel::prepare_generation() {
+  root_.set_training(true);  // batch-statistics normalization, as in cVAE-GAN
+}
+
+Tensor TemporalCvaeGanModel::sample(const Tensor& pl, flashgen::Rng& rng) {
+  const Tensor z = Tensor::randn(tensor::Shape{pl.shape()[0], config_.z_dim}, rng);
+  return root_.generator.forward(pl, z, rng,
+                                 condition_tensor(pl.shape()[0], generation_pe_));
+}
+
+Tensor TemporalCvaeGanModel::sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) {
+  const Tensor z = detail::latent_rows(pl.shape()[0], config_.z_dim, rngs);
+  return root_.generator.forward_rows(pl, z, rngs,
+                                      condition_tensor(pl.shape()[0], generation_pe_));
 }
 
 Tensor TemporalCvaeGanModel::generate_at(const Tensor& pl, double pe_cycles,
                                          flashgen::Rng& rng) {
-  root_.set_training(true);  // batch-statistics normalization, as in cVAE-GAN
+  prepare_generation();
   tensor::NoGradGuard no_grad;
   const Tensor z = Tensor::randn(tensor::Shape{pl.shape()[0], config_.z_dim}, rng);
   return root_.generator.forward(pl, z, rng, condition_tensor(pl.shape()[0], pe_cycles));

@@ -27,9 +27,12 @@ class TemporalCvaeGanModel : public GenerativeModel {
   TrainStats fit(const data::PairedDataset& dataset, const TrainConfig& config,
                  flashgen::Rng& rng) override;
 
-  /// Generates at the PE condition previously set via set_generation_pe
-  /// (defaults to pe_scale / 2). Prefer generate_at for explicit control.
-  Tensor generate(const Tensor& pl, flashgen::Rng& rng) override;
+  /// sample()/sample_rows() generate at the PE condition previously set via
+  /// set_generation_pe (defaults to pe_scale / 2). Prefer generate_at for
+  /// explicit control.
+  void prepare_generation() override;
+  Tensor sample(const Tensor& pl, flashgen::Rng& rng) override;
+  Tensor sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) override;
 
   /// Generates voltage arrays for `pl` as if the block had endured
   /// `pe_cycles` program/erase cycles.

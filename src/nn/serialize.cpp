@@ -1,6 +1,7 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -27,22 +28,38 @@ T read_pod(std::ifstream& in) {
 }  // namespace
 
 void save_checkpoint(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  FG_CHECK(out.good(), "cannot open checkpoint for writing: " << path);
-  out.write(kMagic, sizeof(kMagic));
-  const auto state = module.named_state();
-  write_pod<std::uint64_t>(out, state.size());
-  for (const NamedTensor& nt : state) {
-    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(nt.name.size()));
-    out.write(nt.name.data(), static_cast<std::streamsize>(nt.name.size()));
-    const auto& dims = nt.tensor.shape().dims();
-    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(dims.size()));
-    for (auto d : dims) write_pod<std::uint64_t>(out, static_cast<std::uint64_t>(d));
-    auto data = nt.tensor.data();
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size() * sizeof(float)));
+  // Crash-safe: write to a sibling temp file, then atomically rename over the
+  // destination, so a failed or interrupted save never clobbers an existing
+  // checkpoint. The temp name is deterministic; concurrent saves to the same
+  // path are not supported (last rename wins).
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    FG_CHECK(out.good(), "cannot open checkpoint for writing: " << tmp_path);
+    out.write(kMagic, sizeof(kMagic));
+    const auto state = module.named_state();
+    write_pod<std::uint64_t>(out, state.size());
+    for (const NamedTensor& nt : state) {
+      write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(nt.name.size()));
+      out.write(nt.name.data(), static_cast<std::streamsize>(nt.name.size()));
+      const auto& dims = nt.tensor.shape().dims();
+      write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(dims.size()));
+      for (auto d : dims) write_pod<std::uint64_t>(out, static_cast<std::uint64_t>(d));
+      auto data = nt.tensor.data();
+      out.write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(data.size() * sizeof(float)));
+    }
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      FG_CHECK(false, "checkpoint write failed: " << tmp_path);
+    }
   }
-  FG_CHECK(out.good(), "checkpoint write failed: " << path);
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    FG_CHECK(false, "cannot move checkpoint into place: " << tmp_path << " -> " << path);
+  }
 }
 
 void load_checkpoint(Module& module, const std::string& path) {

@@ -1,0 +1,130 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/error.h"
+
+namespace flashgen::serve {
+
+using tensor::Index;
+
+RequestBatcher::RequestBatcher(InferenceEngine& engine, tensor::Shape row_shape,
+                               BatchPolicy policy, ServeMetrics* metrics)
+    : engine_(engine), row_shape_(std::move(row_shape)), policy_(policy), metrics_(metrics) {
+  FG_CHECK(policy_.max_batch_size > 0, "RequestBatcher: max_batch_size must be positive");
+  executor_ = std::thread([this] { run(); });
+}
+
+RequestBatcher::~RequestBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  executor_.join();
+  // Requests still queued at teardown are abandoned; fail their futures.
+  for (Pending& p : queue_) {
+    p.promise.set_exception(
+        std::make_exception_ptr(Error("RequestBatcher destroyed with request pending")));
+  }
+}
+
+std::future<std::vector<float>> RequestBatcher::submit(std::vector<float> program_levels,
+                                                       std::uint64_t seed, std::uint64_t stream) {
+  FG_CHECK(program_levels.size() == static_cast<std::size_t>(row_shape_.numel()),
+           "RequestBatcher: got " << program_levels.size() << " floats for row shape "
+                                  << row_shape_);
+  Pending pending;
+  pending.program_levels = std::move(program_levels);
+  pending.seed = seed;
+  pending.stream = stream;
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<std::vector<float>> future = pending.promise.get_future();
+  std::size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FG_CHECK(!stop_, "RequestBatcher: submit after shutdown");
+    queue_.push_back(std::move(pending));
+    depth = queue_.size() + in_flight_;
+  }
+  if (metrics_ != nullptr) metrics_->record_enqueue(depth);
+  cv_.notify_one();
+  return future;
+}
+
+void RequestBatcher::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void RequestBatcher::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+
+    // Hold the batch open until it fills or its oldest request has waited
+    // max_wait_micros. Under a steady request stream this closes full
+    // batches; an isolated request pays at most the wait bound.
+    const auto deadline =
+        queue_.front().enqueued + std::chrono::microseconds(policy_.max_wait_micros);
+    while (queue_.size() < policy_.max_batch_size && !stop_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+    if (stop_) return;
+
+    const std::size_t take = std::min(queue_.size(), policy_.max_batch_size);
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    in_flight_ = batch.size();
+
+    lock.unlock();
+    execute_batch(std::move(batch));
+    lock.lock();
+
+    in_flight_ = 0;
+    drained_.notify_all();
+  }
+}
+
+void RequestBatcher::execute_batch(std::vector<Pending> batch) {
+  const auto n = static_cast<Index>(batch.size());
+  const auto row_elems = static_cast<std::size_t>(row_shape_.numel());
+
+  std::vector<Index> dims;
+  dims.push_back(n);
+  for (auto d : row_shape_.dims()) dims.push_back(d);
+
+  try {
+    Tensor pl = Tensor::zeros(tensor::Shape(dims));
+    auto pl_data = pl.data();
+    std::vector<flashgen::Rng> rngs;
+    rngs.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      std::copy(batch[i].program_levels.begin(), batch[i].program_levels.end(),
+                pl_data.begin() + static_cast<std::ptrdiff_t>(i * row_elems));
+      rngs.push_back(flashgen::Rng::from_stream(batch[i].seed, batch[i].stream));
+    }
+
+    std::vector<float> out(batch.size() * row_elems);
+    engine_.generate_into(pl, rngs, out);
+    if (metrics_ != nullptr) metrics_->record_batch(batch.size());
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::vector<float>(
+          out.begin() + static_cast<std::ptrdiff_t>(i * row_elems),
+          out.begin() + static_cast<std::ptrdiff_t>((i + 1) * row_elems)));
+    }
+  } catch (...) {
+    if (metrics_ != nullptr) metrics_->record_error();
+    for (Pending& p : batch) p.promise.set_exception(std::current_exception());
+  }
+}
+
+}  // namespace flashgen::serve

@@ -1,0 +1,84 @@
+// RequestBatcher: coalesces concurrent single-array sampling requests into
+// batched InferenceEngine calls.
+//
+// Requests arrive from any thread via submit(); a single executor thread
+// drains the queue. A batch closes when it reaches max_batch_size, or when
+// max_wait_micros have elapsed since its oldest request was enqueued — so an
+// isolated request never waits longer than max_wait_micros for company.
+//
+// Batching is invisible in the results: request i carries its own RNG stream
+// (Rng::from_stream(seed, stream)) and the engine runs per-sample batch-norm
+// statistics, so the voltages a request receives are bit-identical whether
+// it ran alone or was coalesced into a full batch.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "tensor/shape.h"
+
+namespace flashgen::serve {
+
+struct BatchPolicy {
+  std::size_t max_batch_size = 8;
+  std::uint64_t max_wait_micros = 2000;
+};
+
+class RequestBatcher {
+ public:
+  /// `row_shape` is the shape of one sample without the batch dimension,
+  /// e.g. (1, S, S) for an S x S PL array. `metrics` may be null.
+  RequestBatcher(InferenceEngine& engine, tensor::Shape row_shape, BatchPolicy policy,
+                 ServeMetrics* metrics = nullptr);
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Enqueues one sample (row_shape.numel() floats of normalized program
+  /// levels). The future yields the generated voltages, or rethrows the
+  /// engine's error.
+  std::future<std::vector<float>> submit(std::vector<float> program_levels, std::uint64_t seed,
+                                         std::uint64_t stream);
+
+  const tensor::Shape& row_shape() const { return row_shape_; }
+  const BatchPolicy& policy() const { return policy_; }
+
+  /// Blocks until every request enqueued before the call has been executed.
+  void drain();
+
+ private:
+  struct Pending {
+    std::vector<float> program_levels;
+    std::uint64_t seed;
+    std::uint64_t stream;
+    std::promise<std::vector<float>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void run();
+  void execute_batch(std::vector<Pending> batch);
+
+  InferenceEngine& engine_;
+  tensor::Shape row_shape_;
+  BatchPolicy policy_;
+  ServeMetrics* metrics_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;        // wakes the executor
+  std::condition_variable drained_;   // wakes drain() waiters
+  std::deque<Pending> queue_;
+  std::size_t in_flight_ = 0;  // rows handed to the engine, not yet fulfilled
+  bool stop_ = false;
+  std::thread executor_;
+};
+
+}  // namespace flashgen::serve

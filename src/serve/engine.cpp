@@ -1,0 +1,45 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace flashgen::serve {
+
+InferenceEngine::InferenceEngine(models::GenerativeModel& model) : model_(model) {
+  model_.prepare_generation();
+}
+
+void InferenceEngine::warmup(const Tensor& pl, int rounds) {
+  const auto n = static_cast<std::size_t>(pl.shape()[0]);
+  std::vector<flashgen::Rng> rngs;
+  for (int round = 0; round < rounds; ++round) {
+    rngs.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      rngs.push_back(flashgen::Rng::from_stream(/*base=*/0, /*stream=*/i));
+    }
+    (void)sample_rows(pl, rngs);
+  }
+}
+
+Tensor InferenceEngine::sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) {
+  FG_CHECK(pl.defined() && pl.shape().rank() >= 1 &&
+               static_cast<std::size_t>(pl.shape()[0]) == rngs.size(),
+           "InferenceEngine: " << rngs.size() << " streams for batch " << pl.shape());
+  tensor::InferenceModeGuard inference;
+  Tensor out = model_.sample_rows(pl, rngs);
+  ++stats_.batches;
+  stats_.rows += rngs.size();
+  return out;
+}
+
+void InferenceEngine::generate_into(const Tensor& pl, std::span<flashgen::Rng> rngs,
+                                    std::span<float> out) {
+  Tensor result = sample_rows(pl, rngs);
+  FG_CHECK(result.data().size() == out.size(),
+           "InferenceEngine: output buffer holds " << out.size() << " floats but batch needs "
+                                                   << result.data().size());
+  std::copy(result.data().begin(), result.data().end(), out.begin());
+}
+
+}  // namespace flashgen::serve

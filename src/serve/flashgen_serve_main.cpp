@@ -1,0 +1,81 @@
+// flashgen_serve: batched inference server for trained channel models.
+//
+// Trains (or loads from the checkpoint cache) the requested models under the
+// small experiment configuration, registers them in a ModelRegistry, and
+// serves the length-prefixed binary protocol on a unix socket until stdin
+// closes or a line is entered.
+//
+// Run:  ./flashgen_serve [socket_path] [models_csv] [max_batch] [max_wait_us]
+//   socket_path  default /tmp/flashgen_serve.sock
+//   models_csv   default "Gaussian"; any of cVAE-GAN,Bicycle-GAN,cGAN,cVAE,
+//                Gaussian (case-insensitive, matched without '-')
+//   max_batch    default 8
+//   max_wait_us  default 2000
+//
+// Pair with ./flashgen_loadgen to drive traffic and read back metrics.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/flashgen.h"
+#include "serve/server.h"
+
+using namespace flashgen;
+
+namespace {
+
+std::string canon(std::string s) {
+  std::string out;
+  for (char c : s)
+    if (c != '-') out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+core::ModelKind parse_kind(const std::string& name) {
+  for (core::ModelKind kind :
+       {core::ModelKind::CvaeGan, core::ModelKind::BicycleGan, core::ModelKind::Cgan,
+        core::ModelKind::Cvae, core::ModelKind::Gaussian}) {
+    if (canon(core::to_string(kind)) == canon(name)) return kind;
+  }
+  std::fprintf(stderr, "unknown model: %s\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string socket_path = argc > 1 ? argv[1] : "/tmp/flashgen_serve.sock";
+  const std::string models_csv = argc > 2 ? argv[2] : "Gaussian";
+  serve::BatchPolicy policy;
+  if (argc > 3) policy.max_batch_size = static_cast<std::size_t>(std::atoi(argv[3]));
+  if (argc > 4) policy.max_wait_micros = static_cast<std::uint64_t>(std::atoll(argv[4]));
+
+  core::ExperimentConfig config = core::small_experiment_config();
+  core::Experiment experiment(config);
+  const auto s = static_cast<tensor::Index>(config.network.array_size);
+
+  serve::ModelRegistry registry;
+  std::istringstream split(models_csv);
+  for (std::string token; std::getline(split, token, ',');) {
+    const core::ModelKind kind = parse_kind(token);
+    std::printf("loading %s ...\n", core::to_string(kind).c_str());
+    registry.add(core::to_string(kind), experiment.train_or_load(kind),
+                 tensor::Shape({1, s, s}), policy.max_batch_size);
+  }
+
+  serve::Server server(registry, socket_path, policy);
+  server.start();
+  std::printf("serving %zu model(s) on %s (batch<=%zu, wait<=%lluus); press enter to stop\n",
+              registry.size(), socket_path.c_str(), policy.max_batch_size,
+              static_cast<unsigned long long>(policy.max_wait_micros));
+  std::fflush(stdout);
+
+  std::getchar();  // blocks until a line or EOF
+  server.stop();
+  std::printf("final metrics: %s\n", server.metrics().to_json().c_str());
+  return 0;
+}

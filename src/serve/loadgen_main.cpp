@@ -1,0 +1,81 @@
+// flashgen_loadgen: load generator for flashgen_serve.
+//
+// Opens `connections` client connections, each sending `requests` generate
+// calls back-to-back with random program-level arrays, then prints a JSON
+// summary with client-side latency quantiles and the server's own metrics.
+//
+// Run:  ./flashgen_loadgen [socket_path] [model] [requests] [connections] [side] [seed]
+//   socket_path  default /tmp/flashgen_serve.sock
+//   model        default Gaussian (must match a name the server registered)
+//   requests     default 256 per connection
+//   connections  default 4
+//   side         default 16 (must match the served model's array size)
+//   seed         default 1 (request i on connection c uses stream c*requests+i)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/normalization.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+
+using namespace flashgen;
+
+int main(int argc, char** argv) {
+  const std::string socket_path = argc > 1 ? argv[1] : "/tmp/flashgen_serve.sock";
+  const std::string model = argc > 2 ? argv[2] : "Gaussian";
+  const int requests = argc > 3 ? std::atoi(argv[3]) : 256;
+  const int connections = argc > 4 ? std::atoi(argv[4]) : 4;
+  const auto side = static_cast<std::uint32_t>(argc > 5 ? std::atoi(argv[5]) : 16);
+  const auto seed = static_cast<std::uint64_t>(argc > 6 ? std::atoll(argv[6]) : 1);
+
+  data::VoltageNormalizer normalizer;
+  serve::LatencyHistogram latency;
+  std::mutex latency_mutex;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client(socket_path);
+      Rng rng(seed + static_cast<std::uint64_t>(c) + 1);
+      serve::GenerateRequest request;
+      request.model = model;
+      request.seed = seed;
+      request.side = side;
+      request.program_levels.resize(static_cast<std::size_t>(side) * side);
+      for (int i = 0; i < requests; ++i) {
+        for (float& v : request.program_levels)
+          v = normalizer.normalize_level(static_cast<int>(rng.uniform_int(8)));
+        request.stream = static_cast<std::uint64_t>(c) * static_cast<std::uint64_t>(requests) +
+                         static_cast<std::uint64_t>(i);
+        const auto r0 = std::chrono::steady_clock::now();
+        (void)client.generate(request);
+        const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - r0);
+        std::lock_guard<std::mutex> lock(latency_mutex);
+        latency.record(static_cast<std::uint64_t>(micros.count()));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  serve::Client stats_client(socket_path);
+  const std::string server_stats = stats_client.stats();
+
+  const auto total = static_cast<double>(requests) * connections;
+  std::printf("{\"model\": \"%s\", \"requests\": %d, \"connections\": %d, \"side\": %u,\n",
+              model.c_str(), requests * connections, connections, side);
+  std::printf(" \"elapsed_sec\": %.3f, \"requests_per_sec\": %.1f,\n", elapsed, total / elapsed);
+  std::printf(" \"client_p50_us\": %llu, \"client_p90_us\": %llu, \"client_p99_us\": %llu,\n",
+              static_cast<unsigned long long>(latency.quantile_micros(0.50)),
+              static_cast<unsigned long long>(latency.quantile_micros(0.90)),
+              static_cast<unsigned long long>(latency.quantile_micros(0.99)));
+  std::printf(" \"server\": %s}\n", server_stats.c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace flashgen::serve {
+
+namespace {
+int bucket_for(std::uint64_t micros) {
+  int b = 0;
+  while (b + 1 < LatencyHistogram::kBuckets && (std::uint64_t{1} << (b + 1)) <= micros) ++b;
+  return b;
+}
+}  // namespace
+
+void LatencyHistogram::record(std::uint64_t micros) {
+  ++buckets_[static_cast<std::size_t>(bucket_for(micros))];
+  ++count_;
+  total_micros_ += micros;
+}
+
+std::uint64_t LatencyHistogram::quantile_micros(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based, so q=1 is the max sample's bucket.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen >= rank) return std::uint64_t{1} << (b + 1);
+  }
+  return std::uint64_t{1} << kBuckets;
+}
+
+void ServeMetrics::record_request(std::uint64_t latency_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_;
+  latency_.record(latency_micros);
+}
+
+void ServeMetrics::record_batch(std::size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  batched_rows_ += batch_size;
+  max_batch_ = std::max(max_batch_, batch_size);
+}
+
+void ServeMetrics::record_enqueue(std::size_t queue_depth_after) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_depth_peak_ = std::max(queue_depth_peak_, queue_depth_after);
+}
+
+void ServeMetrics::record_error() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++errors_;
+}
+
+std::string ServeMetrics::to_json(double elapsed_seconds) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{";
+  out << "\"requests\": " << requests_;
+  out << ", \"errors\": " << errors_;
+  out << ", \"batches\": " << batches_;
+  out << ", \"batched_rows\": " << batched_rows_;
+  out << ", \"max_batch_size\": " << max_batch_;
+  out << ", \"queue_depth_peak\": " << queue_depth_peak_;
+  const double mean_us =
+      latency_.count() == 0
+          ? 0.0
+          : static_cast<double>(latency_.total_micros()) / static_cast<double>(latency_.count());
+  out << ", \"latency_mean_us\": " << mean_us;
+  out << ", \"latency_p50_us\": " << latency_.quantile_micros(0.50);
+  out << ", \"latency_p90_us\": " << latency_.quantile_micros(0.90);
+  out << ", \"latency_p99_us\": " << latency_.quantile_micros(0.99);
+  if (elapsed_seconds > 0.0) {
+    out << ", \"requests_per_sec\": " << static_cast<double>(requests_) / elapsed_seconds;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace flashgen::serve

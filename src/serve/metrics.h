@@ -1,0 +1,57 @@
+// Serving metrics: latency histogram plus queue/throughput counters.
+//
+// One ServeMetrics instance is shared by the batcher (queue depth, batch
+// sizes) and the server front-end (request latency). All methods are
+// thread-safe; reads produce a consistent snapshot under the same mutex the
+// writers take, so `to_json()` can be called while traffic is in flight.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace flashgen::serve {
+
+/// Log-spaced latency histogram over [1us, ~17s). Bucket b covers
+/// [2^b, 2^(b+1)) microseconds; the last bucket absorbs everything above.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 25;
+
+  void record(std::uint64_t micros);
+  /// Inverse-CDF lookup: upper edge of the bucket holding quantile q in
+  /// [0, 1]. Returns 0 when empty.
+  std::uint64_t quantile_micros(double q) const;
+  std::uint64_t count() const { return count_; }
+  std::uint64_t total_micros() const { return total_micros_; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t total_micros_ = 0;
+};
+
+class ServeMetrics {
+ public:
+  void record_request(std::uint64_t latency_micros);
+  void record_batch(std::size_t batch_size);
+  void record_enqueue(std::size_t queue_depth_after);
+  void record_error();
+
+  /// JSON object with request/batch counters, latency quantiles, and peak
+  /// queue depth. `elapsed_seconds` > 0 adds a requests-per-second field.
+  std::string to_json(double elapsed_seconds = 0.0) const;
+
+ private:
+  mutable std::mutex mutex_;
+  LatencyHistogram latency_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_rows_ = 0;
+  std::size_t max_batch_ = 0;
+  std::size_t queue_depth_peak_ = 0;
+};
+
+}  // namespace flashgen::serve

@@ -1,0 +1,216 @@
+#include "serve/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace flashgen::serve {
+
+void ByteWriter::put_u8(std::uint8_t v) { buffer_.push_back(v); }
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::put_bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + size);
+}
+
+void ByteWriter::put_string(const std::string& s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  put_bytes(s.data(), s.size());
+}
+
+void ByteWriter::put_floats(const std::vector<float>& v) {
+  put_bytes(v.data(), v.size() * sizeof(float));
+}
+
+std::uint8_t ByteReader::get_u8() {
+  FG_CHECK(pos_ + 1 <= size_, "protocol: truncated payload (u8 at " << pos_ << "/" << size_ << ")");
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::get_u32() {
+  FG_CHECK(pos_ + 4 <= size_, "protocol: truncated payload (u32 at " << pos_ << "/" << size_ << ")");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  FG_CHECK(pos_ + 8 <= size_, "protocol: truncated payload (u64 at " << pos_ << "/" << size_ << ")");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::string ByteReader::get_string() {
+  const auto len = get_u32();
+  FG_CHECK(pos_ + len <= size_,
+           "protocol: truncated payload (string of " << len << " at " << pos_ << "/" << size_ << ")");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+std::vector<float> ByteReader::get_floats(std::size_t count) {
+  const std::size_t bytes = count * sizeof(float);
+  FG_CHECK(pos_ + bytes <= size_,
+           "protocol: truncated payload (" << count << " floats at " << pos_ << "/" << size_ << ")");
+  std::vector<float> v(count);
+  std::memcpy(v.data(), data_ + pos_, bytes);
+  pos_ += bytes;
+  return v;
+}
+
+std::vector<std::uint8_t> encode_generate_request(const GenerateRequest& request) {
+  FG_CHECK(request.program_levels.size() ==
+               static_cast<std::size_t>(request.side) * request.side,
+           "generate request: " << request.program_levels.size() << " levels for side "
+                                << request.side);
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MessageType::kGenerate));
+  w.put_string(request.model);
+  w.put_u64(request.seed);
+  w.put_u64(request.stream);
+  w.put_u32(request.side);
+  w.put_floats(request.program_levels);
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> encode_generate_response(const GenerateResponse& response) {
+  FG_CHECK(response.voltages.size() == static_cast<std::size_t>(response.side) * response.side,
+           "generate response: " << response.voltages.size() << " voltages for side "
+                                 << response.side);
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MessageType::kGenerateOk));
+  w.put_u32(response.side);
+  w.put_floats(response.voltages);
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> encode_stats_request() {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MessageType::kStats));
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> encode_stats_response(const std::string& json) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MessageType::kStatsOk));
+  w.put_string(json);
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> encode_error(const std::string& message) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MessageType::kError));
+  w.put_string(message);
+  return w.bytes();
+}
+
+MessageType peek_type(const std::vector<std::uint8_t>& payload) {
+  FG_CHECK(!payload.empty(), "protocol: empty payload");
+  return static_cast<MessageType>(payload[0]);
+}
+
+GenerateRequest decode_generate_request(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  FG_CHECK(static_cast<MessageType>(r.get_u8()) == MessageType::kGenerate,
+           "protocol: not a generate request");
+  GenerateRequest request;
+  request.model = r.get_string();
+  request.seed = r.get_u64();
+  request.stream = r.get_u64();
+  request.side = r.get_u32();
+  FG_CHECK(request.side > 0 && request.side <= 4096, "generate request: bad side " << request.side);
+  request.program_levels = r.get_floats(static_cast<std::size_t>(request.side) * request.side);
+  return request;
+}
+
+GenerateResponse decode_generate_response(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  FG_CHECK(static_cast<MessageType>(r.get_u8()) == MessageType::kGenerateOk,
+           "protocol: not a generate response");
+  GenerateResponse response;
+  response.side = r.get_u32();
+  FG_CHECK(response.side > 0 && response.side <= 4096,
+           "generate response: bad side " << response.side);
+  response.voltages = r.get_floats(static_cast<std::size_t>(response.side) * response.side);
+  return response;
+}
+
+std::string decode_stats_response(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  FG_CHECK(static_cast<MessageType>(r.get_u8()) == MessageType::kStatsOk,
+           "protocol: not a stats response");
+  return r.get_string();
+}
+
+std::string decode_error(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  FG_CHECK(static_cast<MessageType>(r.get_u8()) == MessageType::kError,
+           "protocol: not an error message");
+  return r.get_string();
+}
+
+namespace {
+void write_all(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0 && errno == EINTR) continue;
+    FG_CHECK(n > 0, "protocol: write failed: " << std::strerror(errno));
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Returns bytes read; short only on EOF.
+std::size_t read_all(int fd, void* data, std::size_t size) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0 && errno == EINTR) continue;
+    FG_CHECK(n >= 0, "protocol: read failed: " << std::strerror(errno));
+    if (n == 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+}  // namespace
+
+void write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  FG_CHECK(payload.size() <= kMaxFrameBytes, "protocol: frame too large: " << payload.size());
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  write_all(fd, header, sizeof(header));
+  write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
+  std::uint8_t header[4];
+  const std::size_t got = read_all(fd, header, sizeof(header));
+  if (got == 0) return false;  // clean EOF between frames
+  FG_CHECK(got == sizeof(header), "protocol: truncated frame header");
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  FG_CHECK(len <= kMaxFrameBytes, "protocol: frame too large: " << len);
+  payload.resize(len);
+  FG_CHECK(read_all(fd, payload.data(), len) == len, "protocol: truncated frame body");
+  return true;
+}
+
+}  // namespace flashgen::serve

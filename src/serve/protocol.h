@@ -1,0 +1,111 @@
+// flashgen-serve wire protocol: length-prefixed binary frames over a local
+// stream socket.
+//
+// Frame layout (all integers little-endian):
+//   u32 payload_len | payload
+// Payload:
+//   u8 type | type-specific body
+//
+// Message bodies:
+//   kGenerate (client -> server):
+//     u32 model_name_len | model_name bytes
+//     u64 seed | u64 stream          -- Rng::from_stream(seed, stream)
+//     u32 side                       -- PL array is side x side
+//     f32 pl[side * side]           -- normalized program levels, row-major
+//   kGenerateOk (server -> client):
+//     u32 side | f32 voltages[side * side]
+//   kStats (client -> server): empty body
+//   kStatsOk (server -> client): u32 json_len | json bytes
+//   kError (server -> client): u32 message_len | message bytes
+//
+// Readers are bounds-checked: a truncated or oversized frame raises
+// FG_CHECK instead of reading out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flashgen::serve {
+
+enum class MessageType : std::uint8_t {
+  kGenerate = 1,
+  kGenerateOk = 2,
+  kStats = 3,
+  kStatsOk = 4,
+  kError = 5,
+};
+
+/// Refuse frames above this size (64 MiB) to bound allocation on bad input.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+struct GenerateRequest {
+  std::string model;
+  std::uint64_t seed = 0;
+  std::uint64_t stream = 0;
+  std::uint32_t side = 0;
+  std::vector<float> program_levels;  // side * side floats
+};
+
+struct GenerateResponse {
+  std::uint32_t side = 0;
+  std::vector<float> voltages;  // side * side floats
+};
+
+/// Append-only little-endian payload builder.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_bytes(const void* data, std::size_t size);
+  void put_string(const std::string& s);     // u32 length + bytes
+  void put_floats(const std::vector<float>& v);  // raw f32s, no length
+
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked little-endian payload reader over a borrowed buffer.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buffer)
+      : ByteReader(buffer.data(), buffer.size()) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::string get_string();                       // u32 length + bytes
+  std::vector<float> get_floats(std::size_t count);  // raw f32s
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---- payload encoding (u8 type + body; no length prefix) ----
+std::vector<std::uint8_t> encode_generate_request(const GenerateRequest& request);
+std::vector<std::uint8_t> encode_generate_response(const GenerateResponse& response);
+std::vector<std::uint8_t> encode_stats_request();
+std::vector<std::uint8_t> encode_stats_response(const std::string& json);
+std::vector<std::uint8_t> encode_error(const std::string& message);
+
+MessageType peek_type(const std::vector<std::uint8_t>& payload);
+GenerateRequest decode_generate_request(const std::vector<std::uint8_t>& payload);
+GenerateResponse decode_generate_response(const std::vector<std::uint8_t>& payload);
+std::string decode_stats_response(const std::vector<std::uint8_t>& payload);
+std::string decode_error(const std::vector<std::uint8_t>& payload);
+
+// ---- framing over a file descriptor (blocking, EINTR-safe) ----
+/// Writes u32 length + payload. FG_CHECKs on I/O error.
+void write_frame(int fd, const std::vector<std::uint8_t>& payload);
+/// Reads one frame into `payload`. Returns false on clean EOF before the
+/// first byte; FG_CHECKs on mid-frame EOF, I/O error, or oversized frame.
+bool read_frame(int fd, std::vector<std::uint8_t>& payload);
+
+}  // namespace flashgen::serve

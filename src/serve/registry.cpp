@@ -1,0 +1,54 @@
+#include "serve/registry.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace flashgen::serve {
+
+using tensor::Index;
+
+void ModelRegistry::add(const std::string& name, std::unique_ptr<models::GenerativeModel> model,
+                        const tensor::Shape& row_shape, std::size_t warmup_batch) {
+  FG_CHECK(!name.empty(), "ModelRegistry: empty model name");
+  FG_CHECK(entries_.count(name) == 0, "ModelRegistry: duplicate model name " << name);
+  FG_CHECK(model != nullptr, "ModelRegistry: null model for " << name);
+
+  Entry entry;
+  entry.model = std::move(model);
+  entry.engine = std::make_unique<InferenceEngine>(*entry.model);
+  entry.row_shape = row_shape;
+
+  if (warmup_batch > 0) {
+    std::vector<Index> dims;
+    dims.push_back(static_cast<Index>(warmup_batch));
+    for (auto d : row_shape.dims()) dims.push_back(d);
+    entry.engine->warmup(Tensor::zeros(tensor::Shape(dims)));
+  }
+
+  entries_.emplace(name, std::move(entry));
+}
+
+void ModelRegistry::load(const std::string& name, core::ModelKind kind,
+                         const models::NetworkConfig& config,
+                         const std::string& checkpoint_path, std::size_t warmup_batch) {
+  auto model = core::make_model(kind, config, /*seed=*/0);
+  model->load(checkpoint_path);
+  const auto s = static_cast<Index>(config.array_size);
+  add(name, std::move(model), tensor::Shape({1, s, s}), warmup_batch);
+}
+
+ModelRegistry::Entry& ModelRegistry::at(const std::string& name) {
+  auto it = entries_.find(name);
+  FG_CHECK(it != entries_.end(), "ModelRegistry: unknown model " << name);
+  return it->second;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace flashgen::serve

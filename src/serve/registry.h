@@ -1,0 +1,52 @@
+// ModelRegistry: named, warmed-up inference engines for the serving runtime.
+//
+// Each entry owns a trained GenerativeModel plus the InferenceEngine wrapping
+// it. Models enter the registry either pre-trained (add) or from a checkpoint
+// on disk (load, via core::make_model + GenerativeModel::load). Registration
+// warms the engine up so the first real request hits a primed workspace pool.
+//
+// Lookup is read-only after startup; registration is not thread-safe with
+// concurrent lookups, so register every model before serving traffic.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "serve/engine.h"
+#include "tensor/shape.h"
+
+namespace flashgen::serve {
+
+class ModelRegistry {
+ public:
+  struct Entry {
+    std::unique_ptr<models::GenerativeModel> model;
+    std::unique_ptr<InferenceEngine> engine;
+    tensor::Shape row_shape;  // one sample without the batch dim, e.g. (1, S, S)
+  };
+
+  /// Registers a trained model under `name` and warms its engine up with a
+  /// `warmup_batch`-row batch (0 skips warmup, e.g. for tests).
+  void add(const std::string& name, std::unique_ptr<models::GenerativeModel> model,
+           const tensor::Shape& row_shape, std::size_t warmup_batch = 8);
+
+  /// Builds an untrained model of `kind`, restores `checkpoint_path` into it,
+  /// and registers it. `config.array_size` fixes the row shape (1, S, S).
+  void load(const std::string& name, core::ModelKind kind,
+            const models::NetworkConfig& config, const std::string& checkpoint_path,
+            std::size_t warmup_batch = 8);
+
+  bool contains(const std::string& name) const { return entries_.count(name) != 0; }
+  /// FG_CHECKs that `name` is registered.
+  Entry& at(const std::string& name);
+  std::vector<std::string> names() const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace flashgen::serve

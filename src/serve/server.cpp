@@ -1,0 +1,173 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+
+namespace flashgen::serve {
+
+namespace {
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  FG_CHECK(path.size() < sizeof(addr.sun_path),
+           "socket path too long (" << path.size() << " bytes): " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+}  // namespace
+
+Server::Server(ModelRegistry& registry, std::string socket_path, BatchPolicy policy)
+    : registry_(registry), socket_path_(std::move(socket_path)), policy_(policy) {
+  for (const std::string& name : registry_.names()) {
+    auto& entry = registry_.at(name);
+    batchers_.emplace(name, std::make_unique<RequestBatcher>(*entry.engine, entry.row_shape,
+                                                             policy_, &metrics_));
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  FG_CHECK(listen_fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  ::unlink(socket_path_.c_str());
+  sockaddr_un addr = make_address(socket_path_);
+  FG_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+           "bind(" << socket_path_ << ") failed: " << std::strerror(errno));
+  FG_CHECK(::listen(listen_fd_, 64) == 0, "listen() failed: " << std::strerror(errno));
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  FG_CHECK(!accept_thread_.joinable(), "Server already started");
+  started_ = std::chrono::steady_clock::now();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) return;
+  if (const int fd = listen_fd_.exchange(-1); fd >= 0) {
+    // Closing the listener unblocks accept().
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    // Wake connection threads parked in read_frame on idle connections:
+    // shutdown() makes their pending reads return EOF. The threads own the
+    // close(); fds are only shut down here while still in conn_fds_.
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    workers.swap(workers_);
+  }
+  for (std::thread& w : workers) w.join();
+  ::unlink(socket_path_.c_str());
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) return;
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    if (stopping_.load()) {
+      // stop() already swapped the worker list; a thread added now would
+      // never be joined.
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void Server::handle_connection(int fd) {
+  std::vector<std::uint8_t> payload;
+  try {
+    while (read_frame(fd, payload)) {
+      try {
+        const MessageType type = peek_type(payload);
+        if (type == MessageType::kGenerate) {
+          const auto t0 = std::chrono::steady_clock::now();
+          GenerateRequest request = decode_generate_request(payload);
+          auto& batcher = [&]() -> RequestBatcher& {
+            auto it = batchers_.find(request.model);
+            FG_CHECK(it != batchers_.end(), "unknown model: " << request.model);
+            return *it->second;
+          }();
+          auto future =
+              batcher.submit(std::move(request.program_levels), request.seed, request.stream);
+          GenerateResponse response;
+          response.side = request.side;
+          response.voltages = future.get();
+          write_frame(fd, encode_generate_response(response));
+          const auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0);
+          metrics_.record_request(static_cast<std::uint64_t>(latency.count()));
+        } else if (type == MessageType::kStats) {
+          const double elapsed =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+          write_frame(fd, encode_stats_response(metrics_.to_json(elapsed)));
+        } else {
+          FG_CHECK(false, "unexpected message type " << static_cast<int>(type));
+        }
+      } catch (const Error& e) {
+        metrics_.record_error();
+        write_frame(fd, encode_error(e.what()));
+      }
+    }
+  } catch (const Error&) {
+    // Malformed frame or write-side failure: drop the connection.
+  }
+  {
+    // Deregister before close so stop() never shuts down a recycled fd.
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+  }
+  ::close(fd);
+}
+
+Client::Client(const std::string& socket_path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  FG_CHECK(fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  sockaddr_un addr = make_address(socket_path);
+  FG_CHECK(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+           "connect(" << socket_path << ") failed: " << std::strerror(errno));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+GenerateResponse Client::generate(const GenerateRequest& request) {
+  write_frame(fd_, encode_generate_request(request));
+  std::vector<std::uint8_t> payload;
+  FG_CHECK(read_frame(fd_, payload), "server closed connection");
+  if (peek_type(payload) == MessageType::kError) {
+    FG_CHECK(false, "server error: " << decode_error(payload));
+  }
+  return decode_generate_response(payload);
+}
+
+std::string Client::stats() {
+  write_frame(fd_, encode_stats_request());
+  std::vector<std::uint8_t> payload;
+  FG_CHECK(read_frame(fd_, payload), "server closed connection");
+  if (peek_type(payload) == MessageType::kError) {
+    FG_CHECK(false, "server error: " << decode_error(payload));
+  }
+  return decode_stats_response(payload);
+}
+
+}  // namespace flashgen::serve

@@ -1,0 +1,85 @@
+// Server: AF_UNIX front-end for the serving runtime.
+//
+// Listens on a filesystem socket, spawns one thread per connection, and
+// routes kGenerate frames into the per-model RequestBatcher (one batcher and
+// executor thread per registered model). Request errors are answered with a
+// kError frame on the same connection; the connection survives.
+//
+// Lifecycle: construct with a registry whose models are all registered, then
+// serve_forever() on the accept thread, or start()/stop() to run it in the
+// background (tests, the demo binary).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+
+namespace flashgen::serve {
+
+class Server {
+ public:
+  /// Binds `socket_path` (unlinking any stale socket file first) and creates
+  /// one RequestBatcher per registry entry. The registry must outlive the
+  /// server and must not change while it runs.
+  Server(ModelRegistry& registry, std::string socket_path, BatchPolicy policy = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Runs the accept loop in a background thread.
+  void start();
+  /// Stops accepting, closes the listener, and joins all threads.
+  void stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+  ServeMetrics& metrics() { return metrics_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  ModelRegistry& registry_;
+  std::string socket_path_;
+  BatchPolicy policy_;
+  ServeMetrics metrics_;
+  std::map<std::string, std::unique_ptr<RequestBatcher>> batchers_;
+
+  std::atomic<int> listen_fd_{-1};  // stop() races with accept_loop()'s reads
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  std::vector<int> conn_fds_;  // open connection sockets; shut down in stop()
+  std::chrono::steady_clock::time_point started_;
+};
+
+/// Blocking client for the flashgen-serve protocol; used by the load
+/// generator and tests. One connection, not thread-safe.
+class Client {
+ public:
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Round-trips one generate request. FG_CHECKs if the server answers with
+  /// a kError frame.
+  GenerateResponse generate(const GenerateRequest& request);
+  /// Fetches the server's metrics JSON.
+  std::string stats();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace flashgen::serve

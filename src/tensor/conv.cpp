@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
 #include "common/parallel.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/workspace.h"
 
 namespace flashgen::tensor {
 
@@ -26,13 +28,18 @@ Index channel_grain(Index work_per_channel) {
 
 void im2col(const float* x, Index c, Index h, Index w, Index kh, Index kw, Index stride,
             Index padding, Index oh, Index ow, float* cols) {
+  im2col(x, c, h, w, kh, kw, stride, padding, oh, ow, cols, oh * ow);
+}
+
+void im2col(const float* x, Index c, Index h, Index w, Index kh, Index kw, Index stride,
+            Index padding, Index oh, Index ow, float* cols, Index cols_stride) {
   // Each channel writes a disjoint band of `cols` rows, so the channel loop
   // parallelizes without any coordination.
   common::parallel_for(0, c, channel_grain(kh * kw * oh * ow), [&](Index c0, Index c1) {
     for (Index ch = c0; ch < c1; ++ch) {
       for (Index ky = 0; ky < kh; ++ky) {
         for (Index kx = 0; kx < kw; ++kx) {
-          float* row = cols + ((ch * kh + ky) * kw + kx) * (oh * ow);
+          float* row = cols + ((ch * kh + ky) * kw + kx) * cols_stride;
           for (Index oy = 0; oy < oh; ++oy) {
             const Index iy = oy * stride + ky - padding;
             if (iy < 0 || iy >= h) {
@@ -53,13 +60,18 @@ void im2col(const float* x, Index c, Index h, Index w, Index kh, Index kw, Index
 
 void col2im(const float* cols, Index c, Index h, Index w, Index kh, Index kw, Index stride,
             Index padding, Index oh, Index ow, float* x) {
+  col2im(cols, c, h, w, kh, kw, stride, padding, oh, ow, x, oh * ow);
+}
+
+void col2im(const float* cols, Index c, Index h, Index w, Index kh, Index kw, Index stride,
+            Index padding, Index oh, Index ow, float* x, Index cols_stride) {
   // Each channel accumulates into a disjoint plane of `x`; parallel over
   // channels, sequential (and therefore order-deterministic) within one.
   common::parallel_for(0, c, channel_grain(kh * kw * oh * ow), [&](Index c0, Index c1) {
     for (Index ch = c0; ch < c1; ++ch) {
       for (Index ky = 0; ky < kh; ++ky) {
         for (Index kx = 0; kx < kw; ++kx) {
-          const float* row = cols + ((ch * kh + ky) * kw + kx) * (oh * ow);
+          const float* row = cols + ((ch * kh + ky) * kw + kx) * cols_stride;
           for (Index oy = 0; oy < oh; ++oy) {
             const Index iy = oy * stride + ky - padding;
             if (iy < 0 || iy >= h) continue;
@@ -153,8 +165,8 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
             geom.n, static_cast<std::size_t>(geom.oc) * ckk2,
             wi->requires_grad ? wi->grad_buffer().data() : nullptr, wi->requires_grad,
             [&](Index s0, Index s1, float* dw) {
-              std::vector<float> cols(static_cast<std::size_t>(ckk2) * osp2);
-              std::vector<float> dcols(static_cast<std::size_t>(ckk2) * osp2);
+              ScratchBuffer cols(static_cast<std::size_t>(ckk2) * osp2);
+              ScratchBuffer dcols(static_cast<std::size_t>(ckk2) * osp2);
               for (Index s = s0; s < s1; ++s) {
                 const float* dy = o.grad.data() + s * geom.oc * osp2;
                 if (dw != nullptr) {
@@ -175,19 +187,48 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
                 }
               }
             });
-      });
-  // Forward: every sample owns a disjoint band of y, so the batch loop is
-  // embarrassingly parallel; each chunk keeps a private im2col scratch.
-  common::parallel_for(0, g.n, 1, [&](Index s0, Index s1) {
-    std::vector<float> cols(static_cast<std::size_t>(ckk) * osp);
-    for (Index s = s0; s < s1; ++s) {
-      detail::im2col(x.data().data() + s * g.c * g.h * g.w, g.c, g.h, g.w, g.kh, g.kw, stride,
-                     padding, g.oh, g.ow, cols.data());
-      sgemm(false, false, g.oc, osp, ckk, 1.0f, w.data().data(), ckk, cols.data(), osp, 0.0f,
-            y.data().data() + s * g.oc * osp, osp);
-    }
-  });
-  if (b.defined()) y = add_bias(y, b);
+      },
+      /*fully_overwritten=*/true);
+  if (inference_mode() && g.n > 1) {
+    // Serving path: one GEMM across the whole batch instead of one per
+    // sample. Sample s occupies columns [s*osp, (s+1)*osp) of a
+    // (CKK, N*osp) matrix, so the GEMM inner loops run over rows N x
+    // longer and the per-call dispatch cost is paid once. Each output
+    // element accumulates over k in the same order as the per-sample GEMM
+    // (gemm_nn's k-blocking is independent of the column count), so the
+    // bits match the training-path forward exactly.
+    const Index bsp = g.n * osp;
+    ScratchBuffer cols(static_cast<std::size_t>(ckk) * bsp);
+    ScratchBuffer out(static_cast<std::size_t>(g.oc) * bsp);
+    common::parallel_for(0, g.n, 1, [&](Index s0, Index s1) {
+      for (Index s = s0; s < s1; ++s)
+        detail::im2col(x.data().data() + s * g.c * g.h * g.w, g.c, g.h, g.w, g.kh, g.kw,
+                       stride, padding, g.oh, g.ow, cols.data() + s * osp, bsp);
+    });
+    sgemm(false, false, g.oc, bsp, ckk, 1.0f, w.data().data(), ckk, cols.data(), bsp, 0.0f,
+          out.data(), bsp);
+    // Scatter (OC, N*osp) back to the sample-major (N, OC, osp) layout.
+    common::parallel_for(0, g.n, 1, [&](Index s0, Index s1) {
+      for (Index s = s0; s < s1; ++s)
+        for (Index o = 0; o < g.oc; ++o)
+          std::memcpy(y.data().data() + (s * g.oc + o) * osp, out.data() + o * bsp + s * osp,
+                      sizeof(float) * osp);
+    });
+  } else {
+    // Training path: every sample owns a disjoint band of y, so the batch
+    // loop is embarrassingly parallel; each chunk keeps a private im2col
+    // scratch.
+    common::parallel_for(0, g.n, 1, [&](Index s0, Index s1) {
+      ScratchBuffer cols(static_cast<std::size_t>(ckk) * osp);
+      for (Index s = s0; s < s1; ++s) {
+        detail::im2col(x.data().data() + s * g.c * g.h * g.w, g.c, g.h, g.w, g.kh, g.kw,
+                       stride, padding, g.oh, g.ow, cols.data());
+        sgemm(false, false, g.oc, osp, ckk, 1.0f, w.data().data(), ckk, cols.data(), osp,
+              0.0f, y.data().data() + s * g.oc * osp, osp);
+      }
+    });
+  }
+  if (b.defined()) y = add_bias(std::move(y), b);
   return y;
 }
 
@@ -219,7 +260,7 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b, Index
             n, static_cast<std::size_t>(c) * ockk2,
             wi->requires_grad ? wi->grad_buffer().data() : nullptr, wi->requires_grad,
             [&](Index s0, Index s1, float* dw) {
-              std::vector<float> dy_cols(static_cast<std::size_t>(ockk2) * isp2);
+              ScratchBuffer dy_cols(static_cast<std::size_t>(ockk2) * isp2);
               for (Index s = s0; s < s1; ++s) {
                 // The adjoint geometry treats the *output* grad as the conv input:
                 // dy_cols (OCKK, isp) = im2col(dY over (OC, OH, OW)).
@@ -238,17 +279,42 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b, Index
               }
             });
       });
-  // Forward: cols (OCKK, isp) = W_mat^T (OCKK, C) * X (C, isp); Y = col2im(cols)
-  common::parallel_for(0, n, 1, [&](Index s0, Index s1) {
-    std::vector<float> cols(static_cast<std::size_t>(ockk) * isp);
-    for (Index s = s0; s < s1; ++s) {
-      sgemm(true, false, ockk, isp, c, 1.0f, w.data().data(), ockk,
-            x.data().data() + s * c * isp, isp, 0.0f, cols.data(), isp);
-      detail::col2im(cols.data(), oc, oh, ow, kh, kw, stride, padding, h, wdt,
-                     y.data().data() + s * oc * oh * ow);
-    }
-  });
-  if (b.defined()) y = add_bias(y, b);
+  // Forward: cols (OCKK, isp) = W_mat^T (OCKK, C) * X (C, isp); Y = col2im(cols).
+  // y is NOT marked fully_overwritten: col2im accumulates into zeroed output.
+  if (inference_mode() && n > 1) {
+    // Serving path: gather the batch into one (C, N*isp) right-hand side so
+    // a single GEMM covers all samples — the transposed weight is packed
+    // once instead of once per sample, and the inner loops run N x longer.
+    // Per-element accumulation order (GEMM k-order, col2im scatter order)
+    // matches the per-sample path, so the bits are identical.
+    const Index bsp = n * isp;
+    ScratchBuffer xb(static_cast<std::size_t>(c) * bsp);
+    ScratchBuffer cols(static_cast<std::size_t>(ockk) * bsp);
+    common::parallel_for(0, n, 1, [&](Index s0, Index s1) {
+      for (Index s = s0; s < s1; ++s)
+        for (Index ch = 0; ch < c; ++ch)
+          std::memcpy(xb.data() + ch * bsp + s * isp, x.data().data() + (s * c + ch) * isp,
+                      sizeof(float) * isp);
+    });
+    sgemm(true, false, ockk, bsp, c, 1.0f, w.data().data(), ockk, xb.data(), bsp, 0.0f,
+          cols.data(), bsp);
+    common::parallel_for(0, n, 1, [&](Index s0, Index s1) {
+      for (Index s = s0; s < s1; ++s)
+        detail::col2im(cols.data() + s * isp, oc, oh, ow, kh, kw, stride, padding, h, wdt,
+                       y.data().data() + s * oc * oh * ow, bsp);
+    });
+  } else {
+    common::parallel_for(0, n, 1, [&](Index s0, Index s1) {
+      ScratchBuffer cols(static_cast<std::size_t>(ockk) * isp);
+      for (Index s = s0; s < s1; ++s) {
+        sgemm(true, false, ockk, isp, c, 1.0f, w.data().data(), ockk,
+              x.data().data() + s * c * isp, isp, 0.0f, cols.data(), isp);
+        detail::col2im(cols.data(), oc, oh, ow, kh, kw, stride, padding, h, wdt,
+                       y.data().data() + s * oc * oh * ow);
+      }
+    });
+  }
+  if (b.defined()) y = add_bias(std::move(y), b);
   return y;
 }
 
@@ -264,9 +330,32 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const Index m = n * hw;  // statistics population per channel
   const Index ch_grain = std::max<Index>(1, (Index{1} << 14) / std::max<Index>(1, m));
 
-  auto mean_c = std::make_shared<std::vector<float>>(c);
-  auto invstd_c = std::make_shared<std::vector<float>>(c);
-  if (training) {
+  // Serving mode: per-sample statistics, keyed by (sample, channel). For one
+  // row these match the n==1 batch statistics bit-for-bit (identical
+  // accumulation order), so a request's values do not depend on which other
+  // requests were coalesced into its batch. Running stats are left untouched.
+  const bool per_sample = training && inference_mode();
+  auto mean_c = std::make_shared<std::vector<float>>(per_sample ? n * c : c);
+  auto invstd_c = std::make_shared<std::vector<float>>(per_sample ? n * c : c);
+  if (per_sample) {
+    FG_CHECK(hw > 1, "batch_norm2d per-sample statistics need more than one value per channel");
+    common::parallel_for(
+        0, n * c, std::max<Index>(1, (Index{1} << 14) / std::max<Index>(1, hw)),
+        [&](Index i0, Index i1) {
+          for (Index i = i0; i < i1; ++i) {
+            const float* src = x.data().data() + i * hw;
+            double sum = 0.0, sumsq = 0.0;
+            for (Index j = 0; j < hw; ++j) {
+              sum += src[j];
+              sumsq += static_cast<double>(src[j]) * src[j];
+            }
+            const double mu = sum / hw;
+            const double var = std::max(0.0, sumsq / hw - mu * mu);
+            (*mean_c)[i] = static_cast<float>(mu);
+            (*invstd_c)[i] = static_cast<float>(1.0 / std::sqrt(var + eps));
+          }
+        });
+  } else if (training) {
     FG_CHECK(m > 1, "batch_norm2d training mode needs more than one value per channel");
     // Channels are independent: each chunk owns a disjoint slice of the
     // per-channel statistics and running buffers. Within a channel the
@@ -352,14 +441,16 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
             }
           }
         });
-      });
+      },
+      /*fully_overwritten=*/true);
   // Normalization: every (sample, channel) slab is independent.
   common::parallel_for(0, n * c, std::max<Index>(1, (Index{1} << 14) / std::max<Index>(1, hw)),
                        [&](Index i0, Index i1) {
                          for (Index i = i0; i < i1; ++i) {
                            const Index ch = i % c;
-                           const float mu = (*mean_c)[ch];
-                           const float invstd = (*invstd_c)[ch];
+                           const Index si = per_sample ? i : ch;
+                           const float mu = (*mean_c)[si];
+                           const float invstd = (*invstd_c)[si];
                            const float g = gamma.data()[ch];
                            const float bshift = beta.data()[ch];
                            const float* src = x.data().data() + i * hw;

@@ -33,10 +33,18 @@ namespace detail {
 /// Unfolds x_sample (C, H, W) into columns (C*KH*KW, OH*OW).
 void im2col(const float* x, Index c, Index h, Index w, Index kh, Index kw, Index stride,
             Index padding, Index oh, Index ow, float* cols);
+/// As above, but each of the C*KH*KW rows is written with row stride
+/// `cols_stride` (>= OH*OW), so one sample's columns can occupy a slice of a
+/// wider matrix that batches several samples side by side.
+void im2col(const float* x, Index c, Index h, Index w, Index kh, Index kw, Index stride,
+            Index padding, Index oh, Index ow, float* cols, Index cols_stride);
 /// Adjoint of im2col: scatter-adds columns back into (C, H, W). `x` must be
 /// zero-initialized by the caller when a pure scatter is wanted.
 void col2im(const float* cols, Index c, Index h, Index w, Index kh, Index kw, Index stride,
             Index padding, Index oh, Index ow, float* x);
+/// As above, reading each columns row with row stride `cols_stride`.
+void col2im(const float* cols, Index c, Index h, Index w, Index kh, Index kw, Index stride,
+            Index padding, Index oh, Index ow, float* x, Index cols_stride);
 }  // namespace detail
 
 }  // namespace flashgen::tensor

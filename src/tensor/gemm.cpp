@@ -1,10 +1,11 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
-#include <vector>
+#include <optional>
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "tensor/workspace.h"
 
 namespace flashgen::tensor {
 
@@ -65,29 +66,32 @@ void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int6
     return;
   }
 
-  // Transposed cases: materialize the transposed operand once. The matrices in
-  // this codebase are small enough (< a few MB) that an explicit transpose is
-  // both simple and fast relative to strided inner loops.
-  std::vector<float> at;
-  std::vector<float> bt;
+  // Transposed cases: materialize the transposed operand once, in pooled
+  // scratch (every cell is written). The matrices in this codebase are small
+  // enough (< a few MB) that an explicit transpose is both simple and fast
+  // relative to strided inner loops.
+  std::optional<ScratchBuffer> at;
+  std::optional<ScratchBuffer> bt;
   const float* aa = a;
   const float* bb = b;
   std::int64_t alda = lda;
   std::int64_t bldb = ldb;
   if (trans_a) {
-    at.resize(static_cast<std::size_t>(m) * k);
+    at.emplace(static_cast<std::size_t>(m) * k);
     // stored A is k x m with row stride lda; we want m x k.
+    float* dst = at->data();
     for (std::int64_t p = 0; p < k; ++p)
-      for (std::int64_t i = 0; i < m; ++i) at[i * k + p] = a[p * lda + i];
-    aa = at.data();
+      for (std::int64_t i = 0; i < m; ++i) dst[i * k + p] = a[p * lda + i];
+    aa = dst;
     alda = k;
   }
   if (trans_b) {
-    bt.resize(static_cast<std::size_t>(k) * n);
+    bt.emplace(static_cast<std::size_t>(k) * n);
     // stored B is n x k with row stride ldb; we want k x n.
+    float* dst = bt->data();
     for (std::int64_t j = 0; j < n; ++j)
-      for (std::int64_t p = 0; p < k; ++p) bt[p * n + j] = b[j * ldb + p];
-    bb = bt.data();
+      for (std::int64_t p = 0; p < k; ++p) dst[p * n + j] = b[j * ldb + p];
+    bb = dst;
     bldb = n;
   }
 

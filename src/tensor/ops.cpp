@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 #include "common/error.h"
 #include "common/parallel.h"
@@ -19,6 +20,25 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
 // Elementwise kernels chunk at a fixed element count, so the partition (and
 // any per-chunk rounding downstream) depends only on the tensor size.
 constexpr std::int64_t kElementwiseGrain = std::int64_t{1} << 14;
+
+// An rvalue handle may be mutated in place only when no other handle, graph
+// node, or gradient pass can observe the old contents. use_count()==1 alone is
+// not enough for lvalues (a named sole owner still reads the result later),
+// which is why only the Tensor&& overloads call this.
+bool can_reuse_in_place(const Tensor& a) {
+  return a.defined() && !grad_enabled() && !a.requires_grad() &&
+         a.impl()->node == nullptr && a.impl().use_count() == 1;
+}
+
+template <typename Fwd>
+Tensor unary_in_place(Tensor&& a, Fwd fwd) {
+  auto dst = a.data();
+  common::parallel_for(0, static_cast<std::int64_t>(dst.size()), kElementwiseGrain,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                         for (std::int64_t i = i0; i < i1; ++i) dst[i] = fwd(dst[i]);
+                       });
+  return std::move(a);
+}
 
 // Elementwise binary helper: out = f(a, b); backward multiplies grad_out by
 // the local partials computed from the saved inputs.
@@ -44,7 +64,7 @@ Tensor binary_op(const char* name, const Tensor& a, const Tensor& b, Fwd fwd, Bw
           gb[i] += o.grad[i] * dfdb(ai->data[i], bi->data[i]);
       });
     }
-  });
+  }, /*fully_overwritten=*/true);
   auto dst = out.data();
   auto pa = a.data();
   auto pb = b.data();
@@ -68,7 +88,7 @@ Tensor unary_op(const char* name, const Tensor& a, Fwd fwd, Bwd dfdx) {
                            for (std::int64_t i = i0; i < i1; ++i)
                              ga[i] += o.grad[i] * dfdx(ai->data[i], o.data[i]);
                          });
-  });
+  }, /*fully_overwritten=*/true);
   auto dst = out.data();
   auto pa = a.data();
   common::parallel_for(0, static_cast<std::int64_t>(dst.size()), kElementwiseGrain,
@@ -167,7 +187,7 @@ Tensor sum(const Tensor& a) {
                          [&](std::int64_t i0, std::int64_t i1) {
                            for (std::int64_t i = i0; i < i1; ++i) ga[i] += g;
                          });
-  });
+  }, /*fully_overwritten=*/true);
   // Deterministic blocked reduction: fixed-size chunk partials in double,
   // folded in chunk order — bit-identical for any thread count.
   const float* src = a.data().data();
@@ -195,7 +215,7 @@ Tensor view(const Tensor& a, const Shape& shape) {
   Tensor out = make_op_result("view", shape, {a}, [ai](const TensorImpl& o) {
     if (!ai->requires_grad) return;
     accumulate_grad(*ai, o.grad);
-  });
+  }, /*fully_overwritten=*/true);
   std::copy(a.data().begin(), a.data().end(), out.data().begin());
   return out;
 }
@@ -223,7 +243,8 @@ Tensor cat_channels(const Tensor& a, const Tensor& b) {
             for (Index i = 0; i < cb * hw; ++i) gb[i] += go[ca * hw + i];
           }
         }
-      });
+      },
+      /*fully_overwritten=*/true);
   for (Index s = 0; s < n; ++s) {
     float* dst = out.data().data() + s * (ca + cb) * hw;
     std::memcpy(dst, a.data().data() + s * ca * hw, sizeof(float) * ca * hw);
@@ -247,7 +268,8 @@ Tensor broadcast_spatial(const Tensor& z, Index h, Index w) {
           for (Index j = 0; j < hw; ++j) acc += go[j];
           gz[i] += static_cast<float>(acc);
         }
-      });
+      },
+      /*fully_overwritten=*/true);
   for (Index i = 0; i < n * c; ++i) {
     float* dst = out.data().data() + i * hw;
     const float v = z.data()[i];
@@ -271,7 +293,8 @@ Tensor global_avg_pool(const Tensor& a) {
           float* dst = ga.data() + i * hw;
           for (Index j = 0; j < hw; ++j) dst[j] += g;
         }
-      });
+      },
+      /*fully_overwritten=*/true);
   for (Index i = 0; i < n * c; ++i) {
     const float* src = a.data().data() + i * hw;
     double acc = 0.0;
@@ -298,7 +321,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       sgemm(true, false, k, n, m, 1.0f, ai->data.data(), k, o.grad.data(), n, 1.0f,
             bi->grad_buffer().data(), n);
     }
-  });
+  }, /*fully_overwritten=*/true);
   sgemm(false, false, m, n, k, 1.0f, a.data().data(), k, b.data().data(), n, 0.0f,
         out.data().data(), n);
   return out;
@@ -325,7 +348,7 @@ Tensor add_bias(const Tensor& x, const Tensor& b) {
           gb[ch] += static_cast<float>(acc);
         }
     }
-  });
+  }, /*fully_overwritten=*/true);
   for (Index s = 0; s < n; ++s)
     for (Index ch = 0; ch < c; ++ch) {
       float* dst = out.data().data() + (s * c + ch) * hw;
@@ -355,10 +378,11 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
                                 sgemm(true, false, out_dim, in, n, 1.0f, o.grad.data(), out_dim,
                                       xi->data.data(), in, 1.0f, wi->grad_buffer().data(), in);
                               }
-                            });
+                            },
+                            /*fully_overwritten=*/true);
   sgemm(false, true, n, out_dim, in, 1.0f, x.data().data(), in, w.data().data(), in, 0.0f,
         y.data().data(), out_dim);
-  if (b.defined()) y = add_bias(y, b);
+  if (b.defined()) y = add_bias(std::move(y), b);
   return y;
 }
 
@@ -387,7 +411,8 @@ Tensor affine_scalar(const Tensor& x, const Tensor& gain, const Tensor& bias) {
                                   for (float gval : o.grad) acc += gval;
                                   bi->grad_buffer()[0] += static_cast<float>(acc);
                                 }
-                              });
+                              },
+                              /*fully_overwritten=*/true);
   const float g = gain.data()[0];
   const float b = bias.data()[0];
   auto dst = out.data();
@@ -407,11 +432,111 @@ Tensor dropout(const Tensor& a, float p, bool training, flashgen::Rng& rng) {
     if (!ai->requires_grad) return;
     auto& ga = ai->grad_buffer();
     for (std::size_t i = 0; i < o.grad.size(); ++i) ga[i] += o.grad[i] * (*mask)[i];
-  });
+  }, /*fully_overwritten=*/true);
   auto dst = out.data();
   auto src = a.data();
   for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i] * (*mask)[i];
   return out;
+}
+
+Tensor dropout_rows(const Tensor& a, float p, bool training,
+                    std::span<flashgen::Rng> rngs) {
+  FG_CHECK(p >= 0.0f && p < 1.0f, "dropout probability must be in [0,1), got " << p);
+  FG_CHECK(a.shape().rank() >= 1, "dropout_rows expects rank >= 1, got " << a.shape());
+  const Index n = a.shape()[0];
+  FG_CHECK(static_cast<Index>(rngs.size()) == n,
+           "dropout_rows: " << rngs.size() << " streams for " << n << " rows");
+  FG_CHECK(!grad_enabled() || !a.requires_grad(),
+           "dropout_rows is forward-only; wrap calls in NoGradGuard");
+  if (!training || p == 0.0f) return view(a, a.shape());
+  const Index row = a.numel() / n;
+  const float scale = 1.0f / (1.0f - p);
+  Tensor out = make_op_result("dropout_rows", a.shape(), {a},
+                              [](const TensorImpl&) {}, /*fully_overwritten=*/true);
+  auto dst = out.data();
+  auto src = a.data();
+  // Row s consumes rngs[s] only; rows parallelize without coupling streams.
+  common::parallel_for(0, n, 1, [&](Index s0, Index s1) {
+    for (Index s = s0; s < s1; ++s) {
+      flashgen::Rng& rng = rngs[static_cast<std::size_t>(s)];
+      for (Index j = s * row; j < (s + 1) * row; ++j) {
+        dst[j] = src[j] * (rng.bernoulli(p) ? 0.0f : scale);
+      }
+    }
+  });
+  return out;
+}
+
+Tensor relu(Tensor&& a) {
+  if (!can_reuse_in_place(a)) return relu(std::as_const(a));
+  return unary_in_place(std::move(a), [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor leaky_relu(Tensor&& a, float negative_slope) {
+  if (!can_reuse_in_place(a)) return leaky_relu(std::as_const(a), negative_slope);
+  return unary_in_place(std::move(a), [negative_slope](float x) {
+    return x > 0.0f ? x : negative_slope * x;
+  });
+}
+
+Tensor tanh(Tensor&& a) {
+  if (!can_reuse_in_place(a)) return tanh(std::as_const(a));
+  return unary_in_place(std::move(a), [](float x) { return std::tanh(x); });
+}
+
+Tensor add(Tensor&& a, const Tensor& b) {
+  if (!can_reuse_in_place(a)) return add(std::as_const(a), b);
+  check_same_shape(a, b, "add");
+  auto dst = a.data();
+  auto pb = b.data();
+  common::parallel_for(0, static_cast<std::int64_t>(dst.size()), kElementwiseGrain,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                         for (std::int64_t i = i0; i < i1; ++i) dst[i] += pb[i];
+                       });
+  return std::move(a);
+}
+
+Tensor add(const Tensor& a, Tensor&& b) {
+  if (!can_reuse_in_place(b)) return add(a, std::as_const(b));
+  check_same_shape(a, b, "add");
+  auto dst = b.data();
+  auto pa = a.data();
+  common::parallel_for(0, static_cast<std::int64_t>(dst.size()), kElementwiseGrain,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                         for (std::int64_t i = i0; i < i1; ++i) dst[i] += pa[i];
+                       });
+  return std::move(b);
+}
+
+Tensor add(Tensor&& a, Tensor&& b) {
+  if (can_reuse_in_place(a)) return add(std::move(a), std::as_const(b));
+  return add(std::as_const(a), std::move(b));
+}
+
+Tensor add_bias(Tensor&& x, const Tensor& b) {
+  if (!can_reuse_in_place(x)) return add_bias(std::as_const(x), b);
+  FG_CHECK(x.shape().rank() == 2 || x.shape().rank() == 4,
+           "add_bias expects (N,C) or (N,C,H,W), got " << x.shape());
+  const Index n = x.shape()[0], c = x.shape()[1];
+  const Index hw = x.shape().rank() == 4 ? x.shape()[2] * x.shape()[3] : 1;
+  FG_CHECK(b.shape().rank() == 1 && b.shape()[0] == c,
+           "add_bias: bias " << b.shape() << " does not match channels of " << x.shape());
+  for (Index s = 0; s < n; ++s)
+    for (Index ch = 0; ch < c; ++ch) {
+      float* dst = x.data().data() + (s * c + ch) * hw;
+      const float bias = b.data()[ch];
+      for (Index j = 0; j < hw; ++j) dst[j] += bias;
+    }
+  return std::move(x);
+}
+
+Tensor dropout(Tensor&& a, float p, bool training, flashgen::Rng& rng) {
+  FG_CHECK(p >= 0.0f && p < 1.0f, "dropout probability must be in [0,1), got " << p);
+  if (!can_reuse_in_place(a)) return dropout(std::as_const(a), p, training, rng);
+  if (!training || p == 0.0f) return std::move(a);
+  const float scale = 1.0f / (1.0f - p);
+  for (float& v : a.data()) v *= rng.bernoulli(p) ? 0.0f : scale;
+  return std::move(a);
 }
 
 Tensor l1_loss(const Tensor& a, const Tensor& b) { return mean(abs(sub(a, b))); }
@@ -437,7 +562,8 @@ Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
                                         gl[i] += g * (s - ti->data[i]);
                                       }
                                     });
-                              });
+                              },
+                              /*fully_overwritten=*/true);
   const float* lp = logits.data().data();
   const float* tp = targets.data().data();
   const double acc = common::parallel_reduce(
@@ -484,7 +610,8 @@ Tensor kl_standard_normal(const Tensor& mu, const Tensor& logvar) {
                                           gl[i] += g * 0.5f * (std::exp(li->data[i]) - 1.0f);
                                       });
                                 }
-                              });
+                              },
+                              /*fully_overwritten=*/true);
   const float* mp = mu.data().data();
   const float* lp = logvar.data().data();
   const double acc = common::parallel_reduce(

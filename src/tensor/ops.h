@@ -5,6 +5,8 @@
 // at the call boundary with FG_CHECK; all ops allocate fresh outputs.
 #pragma once
 
+#include <span>
+
 #include "common/rng.h"
 #include "tensor/tensor.h"
 
@@ -62,6 +64,25 @@ Tensor affine_scalar(const Tensor& x, const Tensor& gain, const Tensor& bias);
 /// Inverted dropout: scales kept activations by 1/(1-p) in training mode,
 /// identity in eval mode.
 Tensor dropout(const Tensor& a, float p, bool training, flashgen::Rng& rng);
+/// Dropout with one RNG stream per row (dim 0): row s draws its mask from
+/// rngs[s] only, so row values do not depend on the other rows in the batch.
+/// Row s is bit-identical to `dropout` on that row alone with the same Rng.
+/// Forward-only: inputs must not require grad while recording is enabled.
+Tensor dropout_rows(const Tensor& a, float p, bool training,
+                    std::span<flashgen::Rng> rngs);
+
+// ---- in-place (forward-only) overloads ------------------------------------------------
+// Rvalue overloads that reuse the argument's buffer when it is safe to do so:
+// gradients disabled, sole owner, no graph node. They produce bit-identical
+// values to the copying overloads and fall back to them otherwise.
+Tensor relu(Tensor&& a);
+Tensor leaky_relu(Tensor&& a, float negative_slope = 0.2f);
+Tensor tanh(Tensor&& a);
+Tensor add(Tensor&& a, const Tensor& b);
+Tensor add(const Tensor& a, Tensor&& b);
+Tensor add(Tensor&& a, Tensor&& b);
+Tensor add_bias(Tensor&& x, const Tensor& b);
+Tensor dropout(Tensor&& a, float p, bool training, flashgen::Rng& rng);
 
 // ---- losses --------------------------------------------------------------------------
 /// Mean absolute error over all elements.

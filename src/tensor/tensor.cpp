@@ -4,11 +4,16 @@
 #include <unordered_set>
 
 #include "common/error.h"
+#include "tensor/workspace.h"
 
 namespace flashgen::tensor {
 
 namespace {
 thread_local bool g_grad_enabled = true;
+}
+
+TensorImpl::~TensorImpl() {
+  if (pooled) detail::release_result_buffer(std::move(data));
 }
 
 std::vector<float>& TensorImpl::grad_buffer() {
@@ -28,7 +33,10 @@ Tensor Tensor::zeros(const Shape& shape, bool requires_grad) {
 Tensor Tensor::full(const Shape& shape, float value, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(static_cast<std::size_t>(shape.numel()), value);
+  impl->data =
+      detail::acquire_result_buffer(static_cast<std::size_t>(shape.numel()),
+                                    /*zero=*/false, &impl->pooled);
+  std::fill(impl->data.begin(), impl->data.end(), value);
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -137,26 +145,41 @@ void Tensor::backward() {
   }
 }
 
-Tensor make_op_result(const char* op_name, const Shape& shape, std::vector<Tensor> parents,
-                      std::function<void(const TensorImpl& out)> backward) {
+namespace detail {
+
+bool should_record(std::initializer_list<Tensor> parents) {
+  if (!grad_enabled()) return false;
+  for (const Tensor& p : parents) {
+    if (p.requires_grad()) return true;
+  }
+  return false;
+}
+
+Tensor make_result_no_grad(const Shape& shape, bool fully_overwritten) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = acquire_result_buffer(static_cast<std::size_t>(shape.numel()),
+                                     /*zero=*/!fully_overwritten, &impl->pooled);
+  return Tensor(std::move(impl));
+}
+
+Tensor make_result_recorded(const char* op_name, const Shape& shape,
+                            std::initializer_list<Tensor> parents,
+                            std::function<void(const TensorImpl& out)> backward) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
   impl->data.assign(static_cast<std::size_t>(shape.numel()), 0.0f);
-  bool needs_grad = false;
-  if (grad_enabled()) {
-    for (const Tensor& p : parents) needs_grad = needs_grad || p.requires_grad();
-  }
-  if (needs_grad) {
-    impl->requires_grad = true;
-    auto node = std::make_shared<Node>();
-    node->op_name = op_name;
-    node->parents.reserve(parents.size());
-    for (const Tensor& p : parents) node->parents.push_back(p.impl());
-    node->backward = std::move(backward);
-    impl->node = std::move(node);
-  }
+  impl->requires_grad = true;
+  auto node = std::make_shared<Node>();
+  node->op_name = op_name;
+  node->parents.reserve(parents.size());
+  for (const Tensor& p : parents) node->parents.push_back(p.impl());
+  node->backward = std::move(backward);
+  impl->node = std::move(node);
   return Tensor(std::move(impl));
 }
+
+}  // namespace detail
 
 void accumulate_grad(TensorImpl& impl, std::span<const float> src) {
   auto& g = impl.grad_buffer();

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -23,10 +25,17 @@ struct Node;
 
 /// Shared storage + autograd metadata behind a Tensor handle.
 struct TensorImpl {
+  TensorImpl() = default;
+  /// Pooled impls return `data` to the destroying thread's WorkspacePool.
+  ~TensorImpl();
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
   std::vector<float> data;
   std::vector<float> grad;  // lazily allocated, same numel as data
   Shape shape;
   bool requires_grad = false;
+  bool pooled = false;  // data came from a WorkspacePool (inference mode)
   std::shared_ptr<Node> node;  // non-null only for op results that need grad
 
   /// Ensures `grad` is allocated (zero-filled) and returns it.
@@ -102,12 +111,36 @@ class Tensor {
   std::shared_ptr<TensorImpl> impl_;
 };
 
+namespace detail {
+/// True when gradients are enabled and some parent requires them.
+bool should_record(std::initializer_list<Tensor> parents);
+/// Result tensor without a graph node. While inference mode is active the
+/// data buffer is pooled, and `fully_overwritten` additionally skips the
+/// zero-fill (only valid when the op writes every output element).
+Tensor make_result_no_grad(const Shape& shape, bool fully_overwritten);
+/// Result tensor wired into the graph (always zero-filled, never pooled).
+Tensor make_result_recorded(const char* op_name, const Shape& shape,
+                            std::initializer_list<Tensor> parents,
+                            std::function<void(const TensorImpl& out)> backward);
+}  // namespace detail
+
 /// Creates the result tensor of an op: allocates data, wires the graph node
 /// if gradients are enabled and any parent requires them. `backward` may be
-/// empty for ops that are constant w.r.t. all parents.
+/// empty for ops that are constant w.r.t. all parents; it is converted to a
+/// std::function only when actually recorded, so forward-only execution pays
+/// no type-erasure cost. Ops that overwrite every output element pass
+/// `fully_overwritten` to let pooled inference-mode buffers skip the
+/// zero-fill.
+template <typename Backward>
 Tensor make_op_result(const char* op_name, const Shape& shape,
-                      std::vector<Tensor> parents,
-                      std::function<void(const TensorImpl& out)> backward);
+                      std::initializer_list<Tensor> parents, Backward&& backward,
+                      bool fully_overwritten = false) {
+  if (!detail::should_record(parents)) {
+    return detail::make_result_no_grad(shape, fully_overwritten);
+  }
+  return detail::make_result_recorded(op_name, shape, parents,
+                                      std::forward<Backward>(backward));
+}
 
 /// Adds `src` into `impl`'s grad buffer (allocating it if necessary).
 void accumulate_grad(TensorImpl& impl, std::span<const float> src);

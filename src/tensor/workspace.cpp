@@ -1,0 +1,78 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+
+namespace flashgen::tensor {
+
+namespace {
+
+// Buffers kept per size class. Forward passes request each shape a handful of
+// times per call, so a small cap bounds memory without forcing reallocation.
+constexpr std::size_t kMaxPerBucket = 16;
+
+thread_local bool g_inference_mode = false;
+
+}  // namespace
+
+WorkspacePool& WorkspacePool::this_thread() {
+  thread_local WorkspacePool pool;
+  return pool;
+}
+
+WorkspacePool::Bucket* WorkspacePool::bucket_for(std::size_t n, bool create) {
+  auto it = std::lower_bound(buckets_.begin(), buckets_.end(), n,
+                             [](const Bucket& b, std::size_t v) { return b.size < v; });
+  if (it != buckets_.end() && it->size == n) return &*it;
+  if (!create) return nullptr;
+  return &*buckets_.insert(it, Bucket{n, {}});
+}
+
+std::vector<float> WorkspacePool::acquire(std::size_t n) {
+  if (Bucket* b = bucket_for(n, /*create=*/false); b != nullptr && !b->free.empty()) {
+    std::vector<float> buf = std::move(b->free.back());
+    b->free.pop_back();
+    ++stats_.reused;
+    return buf;
+  }
+  ++stats_.fresh;
+  return std::vector<float>(n);
+}
+
+void WorkspacePool::release(std::vector<float>&& buf) {
+  if (buf.empty()) return;
+  Bucket* b = bucket_for(buf.size(), /*create=*/true);
+  if (b->free.size() >= kMaxPerBucket) return;  // overflow: let the vector free
+  b->free.push_back(std::move(buf));
+  ++stats_.recycled;
+}
+
+void WorkspacePool::clear() { buckets_.clear(); }
+
+InferenceModeGuard::InferenceModeGuard() : previous_(g_inference_mode) {
+  g_inference_mode = true;
+}
+
+InferenceModeGuard::~InferenceModeGuard() { g_inference_mode = previous_; }
+
+bool inference_mode() { return g_inference_mode; }
+
+namespace detail {
+
+std::vector<float> acquire_result_buffer(std::size_t n, bool zero, bool* pooled) {
+  if (!g_inference_mode) {
+    *pooled = false;
+    return std::vector<float>(n);
+  }
+  *pooled = true;
+  std::vector<float> buf = WorkspacePool::this_thread().acquire(n);
+  if (zero) std::fill(buf.begin(), buf.end(), 0.0f);
+  return buf;
+}
+
+void release_result_buffer(std::vector<float>&& buf) {
+  WorkspacePool::this_thread().release(std::move(buf));
+}
+
+}  // namespace detail
+
+}  // namespace flashgen::tensor

@@ -1,0 +1,107 @@
+// Workspace arenas and the forward-only inference mode used by src/serve/.
+//
+// WorkspacePool is a per-thread free list of float buffers keyed by element
+// count. Conv/gemm scratch (im2col columns, transposed operands) always
+// recycles through it, and while InferenceModeGuard is active op-result and
+// factory tensors do too, so a steady-state forward pass over fixed shapes
+// performs zero heap allocation after warm-up.
+//
+// InferenceModeGuard enables the serving execution mode on this thread:
+//   * gradients are disabled (it owns a NoGradGuard);
+//   * op-result / factory buffers come from the thread's WorkspacePool and
+//     return to it when the tensor dies;
+//   * batch_norm2d in training mode computes *per-sample* statistics and
+//     leaves the running statistics untouched. For a single-row batch this is
+//     bit-identical to the training-path batch statistics (same accumulation
+//     order), which is what makes serve results independent of batching
+//     decisions: row i of a coalesced batch equals the same request run alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace flashgen::tensor {
+
+struct WorkspaceStats {
+  std::uint64_t reused = 0;    // acquisitions served from the free list
+  std::uint64_t fresh = 0;     // acquisitions that had to heap-allocate
+  std::uint64_t recycled = 0;  // buffers returned to the free list
+};
+
+/// Per-thread buffer pool. Not thread-safe by design: every thread (including
+/// the parallel.h workers) recycles through its own instance, so no locks sit
+/// on the allocation path and reuse stays deterministic.
+class WorkspacePool {
+ public:
+  /// The calling thread's pool (created on first use, lives for the thread).
+  static WorkspacePool& this_thread();
+
+  /// A buffer of exactly `n` elements with unspecified contents.
+  std::vector<float> acquire(std::size_t n);
+
+  /// Returns a buffer for later reuse. Buckets are capped; overflow is freed.
+  void release(std::vector<float>&& buf);
+
+  const WorkspaceStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Frees every pooled buffer (stats are kept).
+  void clear();
+
+ private:
+  struct Bucket {
+    std::size_t size = 0;
+    std::vector<std::vector<float>> free;
+  };
+  Bucket* bucket_for(std::size_t n, bool create);
+
+  std::vector<Bucket> buckets_;  // sorted by size; forward passes use few sizes
+  WorkspaceStats stats_;
+};
+
+/// RAII scratch buffer: acquired from the calling thread's pool, returned on
+/// destruction. Contents are unspecified; callers must fully overwrite.
+class ScratchBuffer {
+ public:
+  explicit ScratchBuffer(std::size_t n) : buf_(WorkspacePool::this_thread().acquire(n)) {}
+  ~ScratchBuffer() { WorkspacePool::this_thread().release(std::move(buf_)); }
+  ScratchBuffer(const ScratchBuffer&) = delete;
+  ScratchBuffer& operator=(const ScratchBuffer&) = delete;
+
+  float* data() { return buf_.data(); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<float> buf_;
+};
+
+/// Enables the forward-only inference mode on this thread (see file comment).
+/// Nests: the previous mode is restored on destruction.
+class InferenceModeGuard {
+ public:
+  InferenceModeGuard();
+  ~InferenceModeGuard();
+  InferenceModeGuard(const InferenceModeGuard&) = delete;
+  InferenceModeGuard& operator=(const InferenceModeGuard&) = delete;
+
+ private:
+  NoGradGuard no_grad_;
+  bool previous_;
+};
+
+/// True while an InferenceModeGuard is active on this thread.
+bool inference_mode();
+
+namespace detail {
+/// Op-result / factory allocation: pooled while inference mode is active,
+/// plain vector otherwise. `zero` fills with zeros; callers that provably
+/// overwrite every element pass false and skip the fill on pooled buffers
+/// (fresh vectors are always value-initialized).
+std::vector<float> acquire_result_buffer(std::size_t n, bool zero, bool* pooled);
+/// Returns a pooled op-result buffer to the calling thread's pool.
+void release_result_buffer(std::vector<float>&& buf);
+}  // namespace detail
+
+}  // namespace flashgen::tensor

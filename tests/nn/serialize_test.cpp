@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 
@@ -100,6 +103,35 @@ TEST_F(SerializeTest, RejectsGarbageFile) {
 TEST_F(SerializeTest, MissingFileThrows) {
   SmallNet a(1);
   EXPECT_THROW(load_checkpoint(a, "/nonexistent/ckpt.bin"), Error);
+}
+
+// Saving goes through a temp file + rename, so a save that cannot complete
+// must leave a pre-existing checkpoint untouched.
+TEST_F(SerializeTest, FailedSaveLeavesExistingCheckpointIntact) {
+  SmallNet a(1), b(2), restored(3);
+  save_checkpoint(a, path_);
+
+  // Block the temp file with a directory: the second save cannot open it.
+  const std::string tmp = path_ + ".tmp";
+  ASSERT_EQ(::mkdir(tmp.c_str(), 0755), 0);
+  EXPECT_THROW(save_checkpoint(b, path_), Error);
+  ASSERT_EQ(::rmdir(tmp.c_str()), 0);
+
+  // The original checkpoint still loads and still holds a's weights.
+  load_checkpoint(restored, path_);
+  const auto sa = a.named_state();
+  const auto sr = restored.named_state();
+  ASSERT_EQ(sa.size(), sr.size());
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    for (tensor::Index j = 0; j < sa[i].tensor.numel(); ++j)
+      ASSERT_EQ(sa[i].tensor.data()[j], sr[i].tensor.data()[j]) << sa[i].name;
+}
+
+TEST_F(SerializeTest, SaveCleansUpTempFile) {
+  SmallNet a(1);
+  save_checkpoint(a, path_);
+  std::ifstream tmp(path_ + ".tmp");
+  EXPECT_FALSE(tmp.good());
 }
 
 }  // namespace

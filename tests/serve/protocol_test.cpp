@@ -1,0 +1,128 @@
+// Wire-protocol tests: encode/decode round trips, bounds-checked rejection
+// of malformed payloads, and fd framing over a socketpair.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "serve/protocol.h"
+
+namespace flashgen::serve {
+namespace {
+
+GenerateRequest sample_request() {
+  GenerateRequest request;
+  request.model = "cVAE-GAN";
+  request.seed = 0xDEADBEEFCAFEF00DULL;
+  request.stream = 17;
+  request.side = 4;
+  for (int i = 0; i < 16; ++i) request.program_levels.push_back(0.125f * static_cast<float>(i) - 1.0f);
+  return request;
+}
+
+TEST(ProtocolTest, GenerateRequestRoundTrip) {
+  const GenerateRequest request = sample_request();
+  const auto payload = encode_generate_request(request);
+  EXPECT_EQ(peek_type(payload), MessageType::kGenerate);
+
+  const GenerateRequest decoded = decode_generate_request(payload);
+  EXPECT_EQ(decoded.model, request.model);
+  EXPECT_EQ(decoded.seed, request.seed);
+  EXPECT_EQ(decoded.stream, request.stream);
+  EXPECT_EQ(decoded.side, request.side);
+  EXPECT_EQ(decoded.program_levels, request.program_levels);
+}
+
+TEST(ProtocolTest, GenerateResponseRoundTrip) {
+  GenerateResponse response;
+  response.side = 3;
+  for (int i = 0; i < 9; ++i) response.voltages.push_back(static_cast<float>(i) * 0.1f);
+  const auto payload = encode_generate_response(response);
+  EXPECT_EQ(peek_type(payload), MessageType::kGenerateOk);
+
+  const GenerateResponse decoded = decode_generate_response(payload);
+  EXPECT_EQ(decoded.side, response.side);
+  EXPECT_EQ(decoded.voltages, response.voltages);
+}
+
+TEST(ProtocolTest, StatsAndErrorRoundTrip) {
+  EXPECT_EQ(peek_type(encode_stats_request()), MessageType::kStats);
+  const std::string json = "{\"requests\": 3}";
+  EXPECT_EQ(decode_stats_response(encode_stats_response(json)), json);
+  EXPECT_EQ(decode_error(encode_error("boom")), "boom");
+}
+
+// Every truncation point of a valid payload must be rejected with an error,
+// never an out-of-bounds read.
+TEST(ProtocolTest, TruncatedPayloadsAreRejected) {
+  const auto payload = encode_generate_request(sample_request());
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(payload.begin(),
+                                        payload.begin() + static_cast<std::ptrdiff_t>(cut));
+    if (cut == 0) {
+      EXPECT_THROW((void)peek_type(truncated), Error);
+    } else {
+      EXPECT_THROW((void)decode_generate_request(truncated), Error) << "cut at " << cut;
+    }
+  }
+}
+
+TEST(ProtocolTest, RejectsWrongTypeAndBadSide) {
+  EXPECT_THROW((void)decode_generate_request(encode_stats_request()), Error);
+  EXPECT_THROW((void)decode_generate_response(encode_error("x")), Error);
+
+  // side*side disagreeing with the float payload must not decode.
+  auto payload = encode_generate_request(sample_request());
+  payload[payload.size() - 16 * sizeof(float) - 1] = 0xFF;  // corrupt high byte of side
+  EXPECT_THROW((void)decode_generate_request(payload), Error);
+}
+
+TEST(ProtocolTest, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  const auto payload = encode_generate_request(sample_request());
+  write_frame(fds[0], payload);
+  write_frame(fds[0], encode_stats_request());
+
+  std::vector<std::uint8_t> received;
+  ASSERT_TRUE(read_frame(fds[1], received));
+  EXPECT_EQ(received, payload);
+  ASSERT_TRUE(read_frame(fds[1], received));
+  EXPECT_EQ(peek_type(received), MessageType::kStats);
+
+  // Clean EOF between frames reads as false; EOF mid-frame is an error.
+  ::close(fds[0]);
+  EXPECT_FALSE(read_frame(fds[1], received));
+  ::close(fds[1]);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::uint8_t partial[2] = {9, 9};  // half a length header
+  ASSERT_EQ(::write(fds[0], partial, sizeof(partial)), 2);
+  ::close(fds[0]);
+  EXPECT_THROW((void)read_frame(fds[1], received), Error);
+  ::close(fds[1]);
+}
+
+TEST(ProtocolTest, OversizedFrameIsRejected) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A length header claiming 4 GiB-ish payload must be refused before any
+  // allocation of that size.
+  const std::uint32_t len = kMaxFrameBytes + 1;
+  std::uint8_t header[4];
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  ASSERT_EQ(::write(fds[0], header, 4), 4);
+  std::vector<std::uint8_t> received;
+  EXPECT_THROW((void)read_frame(fds[1], received), Error);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace flashgen::serve

@@ -1,0 +1,161 @@
+// Workspace pool and inference-mode tests: guard nesting, buffer recycling,
+// the in-place rvalue overloads, and per-stream dropout_rows.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "tensor/workspace.h"
+
+namespace flashgen::tensor {
+namespace {
+
+TEST(WorkspaceTest, NoGradGuardNests) {
+  ASSERT_TRUE(grad_enabled());
+  {
+    NoGradGuard outer;
+    EXPECT_FALSE(grad_enabled());
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(grad_enabled());
+    }
+    // Leaving the inner guard must restore the *outer* state, not the
+    // top-level default.
+    EXPECT_FALSE(grad_enabled());
+  }
+  EXPECT_TRUE(grad_enabled());
+}
+
+TEST(WorkspaceTest, InferenceModeGuardNestsAndImpliesNoGrad) {
+  ASSERT_FALSE(inference_mode());
+  {
+    InferenceModeGuard outer;
+    EXPECT_TRUE(inference_mode());
+    EXPECT_FALSE(grad_enabled());
+    {
+      InferenceModeGuard inner;
+      EXPECT_TRUE(inference_mode());
+    }
+    EXPECT_TRUE(inference_mode());
+  }
+  EXPECT_FALSE(inference_mode());
+  EXPECT_TRUE(grad_enabled());
+}
+
+TEST(WorkspaceTest, PoolRecyclesExactSizes) {
+  auto& pool = WorkspacePool::this_thread();
+  pool.clear();
+  pool.reset_stats();
+
+  auto a = pool.acquire(128);
+  EXPECT_EQ(pool.stats().fresh, 1u);
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.stats().recycled, 1u);
+
+  auto b = pool.acquire(128);  // same size: served from the free list
+  EXPECT_EQ(pool.stats().reused, 1u);
+  auto c = pool.acquire(256);  // different size: fresh allocation
+  EXPECT_EQ(pool.stats().fresh, 2u);
+  pool.release(std::move(b));
+  pool.release(std::move(c));
+  pool.clear();
+}
+
+TEST(WorkspaceTest, OpResultsRecycleUnderInferenceMode) {
+  auto& pool = WorkspacePool::this_thread();
+  InferenceModeGuard inference;
+  const Tensor a = Tensor::full(Shape({16, 16}), 0.5f);
+  const Tensor b = Tensor::full(Shape({16, 16}), 0.25f);
+
+  // Warm up the pool, then a steady-state op loop must not heap-allocate.
+  for (int i = 0; i < 2; ++i) (void)relu(matmul(a, b));
+  pool.reset_stats();
+  for (int i = 0; i < 4; ++i) (void)relu(matmul(a, b));
+  EXPECT_EQ(pool.stats().fresh, 0u);
+  EXPECT_GT(pool.stats().reused, 0u);
+}
+
+// The rvalue overloads may only steal the buffer when that is unobservable;
+// with gradients enabled they must fall back to the copying path.
+TEST(WorkspaceTest, InPlaceOpsMatchCopyingOps) {
+  flashgen::Rng rng(3);
+  const Tensor x = Tensor::randn(Shape({2, 3, 4, 4}), rng);
+  const Tensor y = Tensor::randn(Shape({2, 3, 4, 4}), rng);
+
+  const Tensor expected_relu = relu(x);
+  const Tensor expected_tanh = tanh(x);
+  const Tensor expected_add = add(x, y);
+
+  NoGradGuard no_grad;
+  Tensor moved = add(Tensor::from_data(x.shape(), {x.data().begin(), x.data().end()}),
+                     Tensor::zeros(x.shape()));
+  const float* buffer_before = moved.data().data();
+  Tensor r = relu(std::move(moved));
+  // Sole-owner rvalue under no-grad: the buffer is reused, not copied.
+  EXPECT_EQ(r.data().data(), buffer_before);
+  for (std::size_t i = 0; i < r.data().size(); ++i)
+    EXPECT_EQ(r.data()[i], expected_relu.data()[i]);
+
+  Tensor t = tanh(add(x, Tensor::zeros(x.shape())));
+  for (std::size_t i = 0; i < t.data().size(); ++i)
+    EXPECT_EQ(t.data()[i], expected_tanh.data()[i]);
+
+  Tensor s = add(add(x, Tensor::zeros(x.shape())), y);
+  for (std::size_t i = 0; i < s.data().size(); ++i)
+    EXPECT_EQ(s.data()[i], expected_add.data()[i]);
+}
+
+TEST(WorkspaceTest, InPlaceOverloadCopiesWhenGradRecording) {
+  flashgen::Rng rng(4);
+  Tensor x = Tensor::randn(Shape({4, 4}), rng, 1.0f, /*requires_grad=*/true);
+  Tensor h = add(x, x);  // recorded: h participates in the graph
+  const float h00 = h.data()[0];
+  Tensor r = relu(std::move(h));
+  // h's buffer must not have been clobbered: the graph may read it in
+  // backward.
+  EXPECT_EQ(h.data()[0], h00);
+  (void)r;
+}
+
+// dropout_rows row s must replay exactly the mask dropout() would draw for
+// that row alone with the same generator.
+TEST(WorkspaceTest, DropoutRowsMatchesPerRowDropout) {
+  flashgen::Rng rng(5);
+  const Tensor batch = Tensor::randn(Shape({3, 2, 4, 4}), rng);
+  const auto row_elems = static_cast<std::size_t>(batch.numel() / 3);
+
+  NoGradGuard no_grad;
+  std::vector<flashgen::Rng> rngs;
+  for (std::uint64_t s = 0; s < 3; ++s) rngs.push_back(flashgen::Rng::from_stream(21, s));
+  const Tensor together = dropout_rows(batch, 0.5f, /*training=*/true, rngs);
+
+  for (std::size_t s = 0; s < 3; ++s) {
+    const auto src = batch.data().subspan(s * row_elems, row_elems);
+    Tensor row = Tensor::from_data(Shape({1, 2, 4, 4}), {src.begin(), src.end()});
+    flashgen::Rng row_rng = flashgen::Rng::from_stream(21, s);
+    const Tensor alone = dropout(row, 0.5f, /*training=*/true, row_rng);
+    for (std::size_t j = 0; j < row_elems; ++j)
+      ASSERT_EQ(together.data()[s * row_elems + j], alone.data()[j]) << "row " << s;
+  }
+
+  // Eval mode and p == 0 are identity views regardless of the streams.
+  auto rngs_copy = rngs;
+  const Tensor eval = dropout_rows(batch, 0.5f, /*training=*/false, rngs_copy);
+  for (std::size_t i = 0; i < eval.data().size(); ++i)
+    EXPECT_EQ(eval.data()[i], batch.data()[i]);
+}
+
+TEST(WorkspaceTest, DropoutRowsValidatesStreamCount) {
+  flashgen::Rng rng(6);
+  const Tensor batch = Tensor::randn(Shape({3, 4}), rng);
+  std::vector<flashgen::Rng> rngs(2, flashgen::Rng(0));
+  NoGradGuard no_grad;
+  EXPECT_THROW((void)dropout_rows(batch, 0.5f, true, rngs), Error);
+}
+
+}  // namespace
+}  // namespace flashgen::tensor
