@@ -1,0 +1,112 @@
+// Observability smoke bench: runs one tiny cVAE-GAN training epoch, one
+// flash-channel simulation, and one served batch with tracing enabled, then
+// asserts the emitted chrome://tracing JSON is valid, non-empty, and contains
+// spans from every instrumented subsystem (tensor, autograd, model, flash,
+// serve). The serve metrics and process stats JSON must parse too. Exits
+// non-zero on any violation, so CI can run it as `ctest -L trace`.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/trace.h"
+#include "data/dataset.h"
+#include "models/cvae_gan.h"
+#include "serve/batcher.h"
+#include "serve/engine.h"
+#include "serve/metrics.h"
+
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  FG_CHECK(in.good(), "trace_smoke: cannot read " << path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flashgen;
+  try {
+    const std::filesystem::path path =
+        argc > 1 ? std::filesystem::path(argv[1])
+                 : std::filesystem::temp_directory_path() / "flashgen_trace_smoke.json";
+    trace::start(path.string());
+
+    // One training epoch on a tiny dataset: covers flash-channel simulation
+    // (dataset generation), tensor ops, autograd, and the model loop.
+    flashgen::Rng rng(1);
+    data::DatasetConfig dataset_config;
+    dataset_config.array_size = 8;
+    dataset_config.num_arrays = 16;
+    dataset_config.channel.rows = 32;
+    dataset_config.channel.cols = 32;
+    auto dataset = data::PairedDataset::generate(dataset_config, rng);
+
+    models::NetworkConfig network_config;
+    network_config.array_size = 8;
+    network_config.base_channels = 4;
+    network_config.z_dim = 4;
+    models::CvaeGanModel model(network_config, /*seed=*/7);
+    models::TrainConfig train;
+    train.epochs = 1;
+    train.batch_size = 8;
+    train.log_every = 0;
+    flashgen::Rng train_rng(2);
+    const models::TrainStats train_stats = model.fit(dataset, train, train_rng);
+    FG_CHECK(train_stats.steps > 0, "trace_smoke: training ran no steps");
+
+    // One served request through the batcher + engine.
+    serve::InferenceEngine engine(model);
+    serve::BatchPolicy policy;
+    policy.max_batch_size = 4;
+    policy.max_wait_micros = 1000;
+    serve::ServeMetrics metrics;
+    serve::RequestBatcher batcher(engine, tensor::Shape({1, 8, 8}), policy, &metrics);
+    std::vector<float> row(64, 0.5f);
+    const std::vector<float> voltages = batcher.submit(row, /*seed=*/42, /*stream=*/0).get();
+    FG_CHECK(voltages.size() == 64, "trace_smoke: bad response size " << voltages.size());
+
+    // Serve metrics and the embedded process stats must be strictly valid
+    // JSON (the parser rejects any NaN/Inf token).
+    (void)common::json_parse(metrics.to_json(/*elapsed_seconds=*/1.0));
+    (void)common::json_parse(stats::to_json());
+
+    const std::size_t written = trace::stop();
+    FG_CHECK(written > 0, "trace_smoke: trace is empty");
+
+    const common::JsonValue doc = common::json_parse(slurp(path));
+    const auto& events = doc.at("traceEvents").array();
+    std::set<std::string> categories;
+    std::size_t spans = 0;
+    for (const common::JsonValue& e : events) {
+      if (e.has("ph") && e.at("ph").string() == "X") {
+        ++spans;
+        categories.insert(e.at("cat").string());
+      }
+    }
+    for (const char* required : {"tensor", "autograd", "model", "flash", "serve"}) {
+      FG_CHECK(categories.count(required) == 1,
+               "trace_smoke: no span with category '" << required << "' in " << path.string());
+    }
+
+    std::cout << "trace_smoke: OK — " << written << " events (" << spans << " spans, "
+              << categories.size() << " categories) -> " << path.string() << "\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "trace_smoke: FAILED: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,228 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace flashgen::common {
+
+double JsonValue::number() const {
+  FG_CHECK(type_ == Type::kNumber, "json: value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::string() const {
+  FG_CHECK(type_ == Type::kString, "json: value is not a string");
+  return string_;
+}
+
+bool JsonValue::boolean() const {
+  FG_CHECK(type_ == Type::kBool, "json: value is not a bool");
+  return bool_;
+}
+
+const JsonArray& JsonValue::array() const {
+  FG_CHECK(type_ == Type::kArray, "json: value is not an array");
+  return *array_;
+}
+
+const JsonObject& JsonValue::object() const {
+  FG_CHECK(type_ == Type::kObject, "json: value is not an object");
+  return *object_;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonObject& obj = object();
+  auto it = obj.find(key);
+  FG_CHECK(it != obj.end(), "json: missing key \"" << key << "\"");
+  return it->second;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  return type_ == Type::kObject && object_->count(key) > 0;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    FG_CHECK(pos_ == text_.size(), "json: trailing characters at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void fail(const std::string& what) const {
+    FG_CHECK(false, "json: " << what << " at offset " << pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type_ = JsonValue::Type::kString;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't': return parse_literal("true", [](JsonValue& v) { v.type_ = JsonValue::Type::kBool; v.bool_ = true; });
+      case 'f': return parse_literal("false", [](JsonValue& v) { v.type_ = JsonValue::Type::kBool; v.bool_ = false; });
+      case 'n': return parse_literal("null", [](JsonValue& v) { v.type_ = JsonValue::Type::kNull; });
+      default: return parse_number();
+    }
+  }
+
+  template <typename Fill>
+  JsonValue parse_literal(const char* word, Fill fill) {
+    for (const char* p = word; *p != '\0'; ++p) expect(*p);
+    JsonValue v;
+    fill(v);
+    return v;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    v.object_ = std::make_shared<JsonObject>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      (*v.object_)[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    v.array_ = std::make_shared<JsonArray>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array_->push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            // Validated but kept verbatim; the library never emits \u itself
+            // for anything it later needs decoded.
+            for (int i = 0; i < 4; ++i) {
+              if (pos_ >= text_.size() || std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0)
+                fail("bad \\u escape");
+              ++pos_;
+            }
+            out.append(text_, pos_ - 6, 6);
+            break;
+          }
+          default: fail("bad escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) fail("expected digits");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("expected fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (digits() == 0) fail("expected exponent digits");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) fail("non-finite number '" + token + "'");
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    v.number_ = value;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue json_parse(const std::string& text) { return JsonParser(text).parse_document(); }
+
+}  // namespace flashgen::common

@@ -1,0 +1,63 @@
+// Minimal JSON DOM parser — just enough to validate and inspect the JSON the
+// library itself emits (trace files, serve metrics, stats snapshots).
+//
+// Strict on structure (balanced brackets, quoted keys, no trailing commas)
+// and strict on numbers: "NaN"/"Infinity" and friends are parse errors, which
+// is exactly the property the metrics tests pin down. Not a general-purpose
+// parser: no \uXXXX decoding (escapes are validated and kept verbatim), and
+// the whole document is materialized.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace flashgen::common {
+
+class JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  /// FG_CHECKs the type.
+  double number() const;
+  const std::string& string() const;
+  bool boolean() const;
+  const JsonArray& array() const;
+  const JsonObject& object() const;
+
+  /// Object member lookup; FG_CHECKs that this is an object holding `key`.
+  const JsonValue& at(const std::string& key) const;
+  /// True when this is an object with member `key`.
+  bool has(const std::string& key) const;
+
+ private:
+  friend JsonValue json_parse(const std::string&);
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+/// Parses `text` as one JSON document. Throws flashgen::Error (with offset
+/// context) on any syntax error, trailing garbage, or non-finite number.
+JsonValue json_parse(const std::string& text);
+
+}  // namespace flashgen::common

@@ -1,0 +1,248 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace flashgen::trace {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+enum class Phase : std::uint8_t { kSpan, kCounter, kInstant };
+
+struct Event {
+  const char* name;
+  const char* cat;     // null for counters
+  std::uint64_t t0;    // ns; span start / sample time
+  std::uint64_t t1;    // ns; span end (spans only)
+  double value;        // counters only
+  Phase phase;
+};
+
+// Per-thread event sink. The owning thread appends under `mutex`; the flusher
+// drains under the same mutex, so collection can overlap a write_json (events
+// recorded during the drain land in the next session or are dropped at reset).
+// Buffers are owned by the registry and live until reset_for_test(), so a
+// thread exiting mid-session loses nothing.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Event> events;
+  std::size_t dropped = 0;
+  int tid = 0;
+};
+
+// Bounds per-thread memory: 1M events x 48B ~= 48MB worst case per thread.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::string path;       // output path of the active/most recent session
+  std::uint64_t t_base = 0;  // session start; event timestamps are offsets
+  bool atexit_registered = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: threads may record at exit
+  return *r;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer* buf = [] {
+    auto owned = std::make_unique<ThreadBuffer>();
+    ThreadBuffer* raw = owned.get();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    raw->tid = static_cast<int>(reg.buffers.size()) + 1;
+    reg.buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buf;
+}
+
+void append(const Event& e) {
+  ThreadBuffer& buf = thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(e);
+}
+
+void json_escaped(std::FILE* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', out);
+      std::fputc(c, out);
+    } else if (c < 0x20) {
+      std::fprintf(out, "\\u%04x", c);
+    } else {
+      std::fputc(c, out);
+    }
+  }
+}
+
+/// Writes every buffered event as one chrome://tracing JSON object per line.
+/// Returns the number of events written, or 0 with a warning on I/O failure.
+std::size_t write_json(Registry& reg) {
+  std::FILE* out = std::fopen(reg.path.c_str(), "w");
+  if (out == nullptr) {
+    FG_LOG(Warn) << "trace: cannot open " << reg.path << " for writing; trace discarded";
+    return 0;
+  }
+  std::fputs("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n", out);
+  std::fprintf(out, "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+                    "\"args\": {\"name\": \"flashgen\"}}");
+  std::size_t written = 0;
+  std::size_t dropped = 0;
+  std::vector<Event> drained;
+  for (auto& buf : reg.buffers) {
+    {
+      std::lock_guard<std::mutex> lock(buf->mutex);
+      drained.swap(buf->events);
+      dropped += buf->dropped;
+      buf->dropped = 0;
+    }
+    for (const Event& e : drained) {
+      // Offset from session start, in fractional microseconds. Events that
+      // straddled a stop()/start() boundary clamp to 0 instead of wrapping.
+      const double ts =
+          e.t0 >= reg.t_base ? static_cast<double>(e.t0 - reg.t_base) / 1000.0 : 0.0;
+      std::fputs(",\n{\"name\": \"", out);
+      json_escaped(out, e.name);
+      std::fputs("\", ", out);
+      switch (e.phase) {
+        case Phase::kSpan:
+          std::fputs("\"cat\": \"", out);
+          json_escaped(out, e.cat);
+          std::fprintf(out, "\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, ", ts,
+                       static_cast<double>(e.t1 - e.t0) / 1000.0);
+          break;
+        case Phase::kCounter:
+          std::fprintf(out, "\"ph\": \"C\", \"ts\": %.3f, \"args\": {\"value\": %.9g}, ", ts,
+                       e.value);
+          break;
+        case Phase::kInstant:
+          std::fputs("\"cat\": \"", out);
+          json_escaped(out, e.cat);
+          std::fprintf(out, "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, ", ts);
+          break;
+      }
+      std::fprintf(out, "\"pid\": 1, \"tid\": %d}", buf->tid);
+      ++written;
+    }
+    drained.clear();
+  }
+  std::fputs("\n]}\n", out);
+  const bool ok = std::fclose(out) == 0;
+  if (!ok) FG_LOG(Warn) << "trace: write to " << reg.path << " failed";
+  if (dropped > 0) {
+    FG_LOG(Warn) << "trace: dropped " << dropped
+                 << " events (per-thread buffer capacity reached)";
+  }
+  return ok ? written : 0;
+}
+
+void flush_at_exit() {
+  if (g_enabled.load(std::memory_order_relaxed)) stop();
+}
+
+}  // namespace
+
+void record_span(const char* name, const char* cat, std::uint64_t t0_ns, std::uint64_t t1_ns) {
+  append(Event{name, cat, t0_ns, t1_ns, 0.0, Phase::kSpan});
+}
+
+void record_counter(const char* name, double value) {
+  append(Event{name, nullptr, now_ns(), 0, value, Phase::kCounter});
+}
+
+void record_instant(const char* name, const char* cat) {
+  append(Event{name, cat, now_ns(), 0, 0.0, Phase::kInstant});
+}
+
+namespace {
+
+// Reads FLASHGEN_TRACE once at static-init time so binaries trace without any
+// code change; the matching flush runs from atexit.
+struct EnvInit {
+  EnvInit() {
+    if (const char* path = std::getenv("FLASHGEN_TRACE"); path != nullptr && *path != '\0') {
+      start(path);
+    }
+  }
+} env_init;
+
+}  // namespace
+}  // namespace detail
+
+void start(const std::string& path) {
+  FG_CHECK(!path.empty(), "trace: output path must be non-empty");
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  FG_CHECK(!detail::g_enabled.load(std::memory_order_relaxed),
+           "trace: session already active (writing " << reg.path << ")");
+  reg.path = path;
+  reg.t_base = detail::now_ns();
+  if (!reg.atexit_registered) {
+    reg.atexit_registered = true;
+    std::atexit(detail::flush_at_exit);
+  }
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+std::size_t stop() {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (!detail::g_enabled.exchange(false, std::memory_order_relaxed)) return 0;
+  return detail::write_json(reg);
+}
+
+std::string active_path() {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return detail::g_enabled.load(std::memory_order_relaxed) ? reg.path : std::string();
+}
+
+std::size_t event_count() {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t n = 0;
+  for (auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void reset_for_test() {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+  for (auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+}
+
+}  // namespace flashgen::trace

@@ -1,0 +1,98 @@
+// Zero-overhead-when-disabled tracing: RAII scoped spans, counters, and a
+// chrome://tracing-compatible JSON exporter.
+//
+// Tracing is off by default; every instrumentation point costs one relaxed
+// atomic load. It is switched on either by the FLASHGEN_TRACE environment
+// variable (value = output path, flushed at process exit) or programmatically:
+//
+//   trace::start("out.json");
+//   { FG_TRACE_SPAN("gemm", "tensor"); sgemm(...); }
+//   trace::counter("loss.g", 0.31);
+//   trace::stop();  // writes out.json
+//
+// Load the emitted file in chrome://tracing (or https://ui.perfetto.dev).
+//
+// Span/counter names must be string literals (or otherwise outlive the trace
+// session): only the pointer is recorded on the hot path. Events are buffered
+// per thread behind a per-buffer mutex, so recording never serializes threads
+// against each other and never perturbs RNG streams or floating-point math —
+// traced and untraced runs produce bit-identical results.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace flashgen::trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+
+std::uint64_t now_ns();
+void record_span(const char* name, const char* cat, std::uint64_t t0_ns, std::uint64_t t1_ns);
+void record_counter(const char* name, double value);
+void record_instant(const char* name, const char* cat);
+}  // namespace detail
+
+/// True when a trace session is collecting. Instrumentation points branch on
+/// this before touching the clock or any buffer.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+/// Begins collecting; `stop()` (or process exit) writes the JSON to `path`.
+/// Starting while already active is an error (FG_CHECK).
+void start(const std::string& path);
+
+/// Stops collecting and writes the trace to the path given to start().
+/// Returns the number of events written. No-op (returns 0) when inactive.
+std::size_t stop();
+
+/// Path of the active session, or empty string when inactive.
+std::string active_path();
+
+/// Events currently buffered across all threads (test/diagnostic hook).
+std::size_t event_count();
+
+/// Stops without writing and discards all buffered events (test hook).
+void reset_for_test();
+
+/// RAII duration span ("ph":"X"). Records only if tracing was enabled at
+/// construction time; a span that straddles stop() is dropped.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "flashgen") {
+    if (enabled()) {
+      name_ = name;
+      cat_ = cat;
+      t0_ = detail::now_ns();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) detail::record_span(name_, cat_, t0_, detail::now_ns());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::uint64_t t0_ = 0;
+};
+
+/// Counter sample ("ph":"C"): plotted as a stacked time series by the viewer.
+inline void counter(const char* name, double value) {
+  if (enabled()) detail::record_counter(name, value);
+}
+
+/// Instant event ("ph":"i"): a point-in-time marker.
+inline void instant(const char* name, const char* cat = "flashgen") {
+  if (enabled()) detail::record_instant(name, cat);
+}
+
+}  // namespace flashgen::trace
+
+#define FG_TRACE_CONCAT2(a, b) a##b
+#define FG_TRACE_CONCAT(a, b) FG_TRACE_CONCAT2(a, b)
+
+/// Scoped span covering the rest of the enclosing block.
+#define FG_TRACE_SPAN(name, cat) \
+  ::flashgen::trace::Span FG_TRACE_CONCAT(fg_trace_span_, __LINE__)(name, cat)

@@ -15,8 +15,18 @@ Histogram::Histogram(const HistogramConfig& config) : config_(config) {
 
 int Histogram::bin_of(double value) const {
   const double unit = (value - config_.lo) / (config_.hi - config_.lo);
-  const int bin = static_cast<int>(std::floor(unit * config_.bins));
-  return std::clamp(bin, 0, config_.bins - 1);
+  int bin = static_cast<int>(std::floor(unit * config_.bins));
+  bin = std::clamp(bin, 0, config_.bins - 1);
+  // The scaled floor above can be off by one at exact bin edges: the divide
+  // and multiply each round, so e.g. with the default 650-bin config 39 of
+  // the 650 edges land one bin low. Correct against the canonical edge
+  // positions lo + i*width (the same expression bin_center uses) so binning
+  // is exactly lower-edge-inclusive: a sample equal to interior edge i lands
+  // in bin i, and a sample equal to hi lands in the last bin.
+  const double width = (config_.hi - config_.lo) / config_.bins;
+  while (bin + 1 < config_.bins && value >= config_.lo + (bin + 1) * width) ++bin;
+  while (bin > 0 && value < config_.lo + bin * width) --bin;
+  return bin;
 }
 
 void Histogram::add(double value) {

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/stats.h"
+#include "common/trace.h"
 
 namespace flashgen::flash {
 
@@ -40,9 +42,12 @@ BlockObservation FlashChannel::run_experiment(double pe_cycles, flashgen::Rng& r
 BlockObservation FlashChannel::read_programmed(const Grid<std::uint8_t>& program_levels,
                                                double pe_cycles, flashgen::Rng& rng,
                                                double retention_hours) const {
+  FG_TRACE_SPAN("flash.read_programmed", "flash");
   FG_CHECK(!program_levels.empty(), "cannot read an empty block");
   const int rows = program_levels.rows();
   const int cols = program_levels.cols();
+  static stats::Counter& cells_total = stats::counter("flash.cells_simulated");
+  cells_total.add(static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols));
 
   BlockObservation obs;
   obs.program_levels = program_levels;
@@ -64,6 +69,7 @@ BlockObservation FlashChannel::read_programmed(const Grid<std::uint8_t>& program
   // ICI reads the up/down neighbors.
   Grid<std::uint8_t> actual = program_levels;
   if (config_.program_error_rate > 0.0) {
+    FG_TRACE_SPAN("flash.program", "flash");
     common::parallel_for(0, rows, grain, [&](std::int64_t r0, std::int64_t r1) {
       for (std::int64_t r = r0; r < r1; ++r) {
         flashgen::Rng row_rng =
@@ -88,6 +94,7 @@ BlockObservation FlashChannel::read_programmed(const Grid<std::uint8_t>& program
   // Phase 2 — read-back. Each wordline evaluates its ICI shifts (reading
   // neighbor rows of `actual`, which is now immutable) and samples its cell
   // voltages from the row's dedicated stream, writing a disjoint output row.
+  FG_TRACE_SPAN("flash.read", "flash");
   common::parallel_for(0, rows, grain, [&](std::int64_t r0, std::int64_t r1) {
     std::vector<float> ici_row(static_cast<std::size_t>(cols));
     for (std::int64_t r = r0; r < r1; ++r) {

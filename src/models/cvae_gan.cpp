@@ -1,6 +1,7 @@
 #include "models/cvae_gan.h"
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
 
@@ -14,8 +15,9 @@ TrainStats CvaeGanModel::fit(const data::PairedDataset& dataset, const TrainConf
   root_.set_training(true);
   std::vector<Tensor> ge_params = root_.generator.parameters();
   for (const Tensor& p : root_.encoder.parameters()) ge_params.push_back(p);
+  const std::vector<Tensor> d_params = root_.discriminator.parameters();
   nn::Adam opt_ge(ge_params, {.lr = config.lr});
-  nn::Adam opt_d(root_.discriminator.parameters(), {.lr = config.lr});
+  nn::Adam opt_d(d_params, {.lr = config.lr});
 
   TrainStats stats;
   double g_acc = 0.0, d_acc = 0.0;
@@ -27,35 +29,59 @@ TrainStats CvaeGanModel::fit(const data::PairedDataset& dataset, const TrainConf
         opt_ge.set_lr(lr);
         opt_d.set_lr(lr);
         // Posterior latent from the real voltages (VAE branch).
-        const ResNetEncoder::Output dist = root_.encoder.forward(vl);
+        const ResNetEncoder::Output dist = [&] {
+          FG_TRACE_SPAN("cvae_gan.encoder", "model");
+          return root_.encoder.forward(vl);
+        }();
         const Tensor z = ResNetEncoder::sample_latent(dist, rng);
-        const Tensor fake = root_.generator.forward(pl, z, rng);
+        const Tensor fake = [&] {
+          FG_TRACE_SPAN("cvae_gan.generator", "model");
+          return root_.generator.forward(pl, z, rng);
+        }();
 
         // --- discriminator step -------------------------------------------
-        const Tensor d_real = root_.discriminator.forward(pl, vl);
-        const Tensor d_fake = root_.discriminator.forward(pl, fake.detach());
-        Tensor loss_d = tensor::mul_scalar(
-            tensor::add(gan_loss(d_real, true, config.lsgan),
-                        gan_loss(d_fake, false, config.lsgan)),
-            0.5f);
-        opt_d.zero_grad();
-        loss_d.backward();
-        opt_d.step();
+        Tensor loss_d;
+        {
+          FG_TRACE_SPAN("cvae_gan.d_step", "model");
+          const Tensor d_real = root_.discriminator.forward(pl, vl);
+          const Tensor d_fake = root_.discriminator.forward(pl, fake.detach());
+          loss_d = tensor::mul_scalar(
+              tensor::add(gan_loss(d_real, true, config.lsgan),
+                          gan_loss(d_fake, false, config.lsgan)),
+              0.5f);
+          opt_d.zero_grad();
+          loss_d.backward();
+          if (trace::enabled())
+            trace::counter("cvae_gan.grad_norm.d", detail::grad_norm(d_params));
+          opt_d.step();
+        }
 
         // --- generator + encoder step --------------------------------------
-        const Tensor d_fake2 = root_.discriminator.forward(pl, fake);
-        Tensor loss_g = gan_loss(d_fake2, true, config.lsgan);
-        loss_g = tensor::add(loss_g,
-                             tensor::mul_scalar(tensor::l1_loss(fake, vl), config.alpha));
-        loss_g = tensor::add(loss_g, tensor::mul_scalar(
-                                         tensor::kl_standard_normal(dist.mu, dist.logvar),
-                                         config.beta));
-        opt_ge.zero_grad();
-        loss_g.backward();
-        opt_ge.step();
+        Tensor loss_g;
+        {
+          FG_TRACE_SPAN("cvae_gan.g_step", "model");
+          const Tensor d_fake2 = root_.discriminator.forward(pl, fake);
+          const Tensor l1 = tensor::l1_loss(fake, vl);
+          const Tensor kl = tensor::kl_standard_normal(dist.mu, dist.logvar);
+          loss_g = gan_loss(d_fake2, true, config.lsgan);
+          loss_g = tensor::add(loss_g, tensor::mul_scalar(l1, config.alpha));
+          loss_g = tensor::add(loss_g, tensor::mul_scalar(kl, config.beta));
+          opt_ge.zero_grad();
+          loss_g.backward();
+          if (trace::enabled()) {
+            trace::counter("cvae_gan.loss.l1", l1.item());
+            trace::counter("cvae_gan.loss.kl", kl.item());
+            trace::counter("cvae_gan.grad_norm.ge", detail::grad_norm(ge_params));
+          }
+          opt_ge.step();
+        }
 
-        g_acc += loss_g.item();
-        d_acc += loss_d.item();
+        const double gl = loss_g.item();
+        const double dl = loss_d.item();
+        trace::counter("cvae_gan.loss.g", gl);
+        trace::counter("cvae_gan.loss.d", dl);
+        g_acc += gl;
+        d_acc += dl;
         ++acc_n;
         if (config.log_every > 0 && (step + 1) % config.log_every == 0) {
           stats.g_loss_history.push_back(static_cast<float>(g_acc / acc_n));

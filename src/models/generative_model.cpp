@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/stats.h"
+#include "common/trace.h"
 #include "nn/serialize.h"
 #include "tensor/ops.h"
 
@@ -89,11 +91,15 @@ int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& con
   FG_CHECK(dataset.size() >= static_cast<std::size_t>(config.batch_size),
            "dataset smaller than one batch");
   data::BatchSampler sampler(dataset.size(), static_cast<std::size_t>(config.batch_size), rng);
+  static stats::Counter& steps_total = stats::counter("train.steps");
   int step_index = 0;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    FG_TRACE_SPAN("train.epoch", "model");
     for (const auto& indices : sampler.epoch()) {
       auto [pl, vl] = dataset.batch(indices);
+      FG_TRACE_SPAN("train.step", "model");
       step(pl, vl, step_index);
+      steps_total.add();
       ++step_index;
     }
   }
@@ -104,6 +110,14 @@ int total_steps(const data::PairedDataset& dataset, const TrainConfig& config) {
   FG_CHECK(config.batch_size > 0 && config.epochs > 0, "bad train config");
   return config.epochs *
          static_cast<int>(dataset.size() / static_cast<std::size_t>(config.batch_size));
+}
+
+double grad_norm(const std::vector<Tensor>& params) {
+  double sum_sq = 0.0;
+  for (const Tensor& p : params) {
+    for (float g : p.grad()) sum_sq += static_cast<double>(g) * g;
+  }
+  return std::sqrt(sum_sq);
 }
 
 float scheduled_lr(float base_lr, int step, int total_steps) {

@@ -108,6 +108,10 @@ int total_steps(const data::PairedDataset& dataset, const TrainConfig& config);
 /// pix2pix-style schedule: constant for the first half of training, then
 /// linear decay to 10 % of the base rate.
 float scheduled_lr(float base_lr, int step, int total_steps);
+
+/// Global L2 norm of the accumulated gradients of `params` (parameters with
+/// no gradient buffer contribute 0). Used for trace counters only.
+double grad_norm(const std::vector<Tensor>& params);
 }  // namespace detail
 
 }  // namespace flashgen::models

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/stats.h"
+#include "common/trace.h"
 
 namespace flashgen::serve {
 
@@ -14,6 +16,7 @@ RequestBatcher::RequestBatcher(InferenceEngine& engine, tensor::Shape row_shape,
                                BatchPolicy policy, ServeMetrics* metrics)
     : engine_(engine), row_shape_(std::move(row_shape)), policy_(policy), metrics_(metrics) {
   FG_CHECK(policy_.max_batch_size > 0, "RequestBatcher: max_batch_size must be positive");
+  if (metrics_ != nullptr) metrics_->set_batch_capacity(policy_.max_batch_size);
   executor_ = std::thread([this] { run(); });
 }
 
@@ -50,6 +53,8 @@ std::future<std::vector<float>> RequestBatcher::submit(std::vector<float> progra
     depth = queue_.size() + in_flight_;
   }
   if (metrics_ != nullptr) metrics_->record_enqueue(depth);
+  static stats::Gauge& queue_depth = stats::gauge("serve.queue_depth");
+  queue_depth.set(static_cast<double>(depth));
   cv_.notify_one();
   return future;
 }
@@ -94,6 +99,18 @@ void RequestBatcher::run() {
 }
 
 void RequestBatcher::execute_batch(std::vector<Pending> batch) {
+  FG_TRACE_SPAN("serve.batch", "serve");
+  trace::counter("serve.batch_size", static_cast<double>(batch.size()));
+  if (metrics_ != nullptr) {
+    const auto now = std::chrono::steady_clock::now();
+    for (const Pending& p : batch) {
+      metrics_->record_stage(
+          "queue_wait", static_cast<std::uint64_t>(
+                            std::chrono::duration_cast<std::chrono::microseconds>(
+                                now - p.enqueued)
+                                .count()));
+    }
+  }
   const auto n = static_cast<Index>(batch.size());
   const auto row_elems = static_cast<std::size_t>(row_shape_.numel());
 

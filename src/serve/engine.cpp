@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/stats.h"
+#include "common/trace.h"
 
 namespace flashgen::serve {
 
@@ -26,10 +28,13 @@ Tensor InferenceEngine::sample_rows(const Tensor& pl, std::span<flashgen::Rng> r
   FG_CHECK(pl.defined() && pl.shape().rank() >= 1 &&
                static_cast<std::size_t>(pl.shape()[0]) == rngs.size(),
            "InferenceEngine: " << rngs.size() << " streams for batch " << pl.shape());
+  FG_TRACE_SPAN("serve.infer", "serve");
   tensor::InferenceModeGuard inference;
   Tensor out = model_.sample_rows(pl, rngs);
   ++stats_.batches;
   stats_.rows += rngs.size();
+  static stats::Counter& rows_total = stats::counter("serve.rows_inferred");
+  rows_total.add(rngs.size());
   return out;
 }
 

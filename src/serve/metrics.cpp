@@ -1,7 +1,10 @@
 #include "serve/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
+
+#include "common/stats.h"
 
 namespace flashgen::serve {
 
@@ -11,6 +14,13 @@ int bucket_for(std::uint64_t micros) {
   while (b + 1 < LatencyHistogram::kBuckets && (std::uint64_t{1} << (b + 1)) <= micros) ++b;
   return b;
 }
+
+// All derived metrics funnel through these two guards so an empty or
+// single-sample window can never leak NaN/Inf into the JSON (which most
+// parsers reject outright).
+double safe_ratio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
 }  // namespace
 
 void LatencyHistogram::record(std::uint64_t micros) {
@@ -30,6 +40,10 @@ std::uint64_t LatencyHistogram::quantile_micros(double q) const {
     if (seen >= rank) return std::uint64_t{1} << (b + 1);
   }
   return std::uint64_t{1} << kBuckets;
+}
+
+double LatencyHistogram::mean_micros() const {
+  return safe_ratio(static_cast<double>(total_micros_), static_cast<double>(count_));
 }
 
 void ServeMetrics::record_request(std::uint64_t latency_micros) {
@@ -55,6 +69,16 @@ void ServeMetrics::record_error() {
   ++errors_;
 }
 
+void ServeMetrics::record_stage(const std::string& stage, std::uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stages_[stage].record(micros);
+}
+
+void ServeMetrics::set_batch_capacity(std::size_t max_batch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  batch_capacity_ = max_batch;
+}
+
 std::string ServeMetrics::to_json(double elapsed_seconds) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
@@ -64,18 +88,35 @@ std::string ServeMetrics::to_json(double elapsed_seconds) const {
   out << ", \"batches\": " << batches_;
   out << ", \"batched_rows\": " << batched_rows_;
   out << ", \"max_batch_size\": " << max_batch_;
+  out << ", \"batch_capacity\": " << batch_capacity_;
+  const double mean_batch =
+      safe_ratio(static_cast<double>(batched_rows_), static_cast<double>(batches_));
+  out << ", \"batch_mean_size\": " << finite_or_zero(mean_batch);
+  // Occupancy in [0, 1]: how full the average executed batch was.
+  out << ", \"batch_occupancy\": "
+      << finite_or_zero(safe_ratio(mean_batch, static_cast<double>(batch_capacity_)));
   out << ", \"queue_depth_peak\": " << queue_depth_peak_;
-  const double mean_us =
-      latency_.count() == 0
-          ? 0.0
-          : static_cast<double>(latency_.total_micros()) / static_cast<double>(latency_.count());
-  out << ", \"latency_mean_us\": " << mean_us;
+  out << ", \"latency_mean_us\": " << finite_or_zero(latency_.mean_micros());
   out << ", \"latency_p50_us\": " << latency_.quantile_micros(0.50);
   out << ", \"latency_p90_us\": " << latency_.quantile_micros(0.90);
   out << ", \"latency_p99_us\": " << latency_.quantile_micros(0.99);
-  if (elapsed_seconds > 0.0) {
-    out << ", \"requests_per_sec\": " << static_cast<double>(requests_) / elapsed_seconds;
+  if (std::isfinite(elapsed_seconds) && elapsed_seconds > 0.0) {
+    out << ", \"requests_per_sec\": "
+        << finite_or_zero(static_cast<double>(requests_) / elapsed_seconds);
   }
+  out << ", \"stages\": {";
+  bool first = true;
+  for (const auto& [name, hist] : stages_) {
+    out << (first ? "" : ", ") << "\"" << name << "\": {";
+    out << "\"count\": " << hist.count();
+    out << ", \"mean_us\": " << finite_or_zero(hist.mean_micros());
+    out << ", \"p50_us\": " << hist.quantile_micros(0.50);
+    out << ", \"p99_us\": " << hist.quantile_micros(0.99);
+    out << "}";
+    first = false;
+  }
+  out << "}";
+  out << ", \"process\": " << stats::to_json();
   out << "}";
   return out.str();
 }

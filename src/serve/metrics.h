@@ -1,13 +1,16 @@
-// Serving metrics: latency histogram plus queue/throughput counters.
+// Serving metrics: latency histograms plus queue/throughput counters.
 //
 // One ServeMetrics instance is shared by the batcher (queue depth, batch
-// sizes) and the server front-end (request latency). All methods are
-// thread-safe; reads produce a consistent snapshot under the same mutex the
-// writers take, so `to_json()` can be called while traffic is in flight.
+// sizes, per-stage timings) and the server front-end (request latency). All
+// methods are thread-safe; reads produce a consistent snapshot under the same
+// mutex the writers take, so `to_json()` can be called while traffic is in
+// flight — including before the first request, where every emitted number is
+// still finite (no NaN/Inf from empty windows).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 
@@ -23,6 +26,8 @@ class LatencyHistogram {
   /// Inverse-CDF lookup: upper edge of the bucket holding quantile q in
   /// [0, 1]. Returns 0 when empty.
   std::uint64_t quantile_micros(double q) const;
+  /// Arithmetic mean in microseconds; 0 when empty.
+  double mean_micros() const;
   std::uint64_t count() const { return count_; }
   std::uint64_t total_micros() const { return total_micros_; }
 
@@ -38,19 +43,32 @@ class ServeMetrics {
   void record_batch(std::size_t batch_size);
   void record_enqueue(std::size_t queue_depth_after);
   void record_error();
+  /// Latency sample for one named pipeline stage (e.g. "decode",
+  /// "queue_wait", "infer", "write"). Stages appear in the JSON under
+  /// "stages" keyed by name; names should be string literals from a small
+  /// fixed set (each distinct name owns a histogram for the process life).
+  void record_stage(const std::string& stage, std::uint64_t micros);
+  /// Batch-size ceiling used as the occupancy denominator (the batcher's
+  /// max_batch_size). 0 (the default) reports occupancy 0.
+  void set_batch_capacity(std::size_t max_batch);
 
-  /// JSON object with request/batch counters, latency quantiles, and peak
-  /// queue depth. `elapsed_seconds` > 0 adds a requests-per-second field.
+  /// JSON object with request/batch counters, latency quantiles and
+  /// per-stage summaries, batch occupancy, peak queue depth, and a
+  /// "process" sub-object embedding the global stats registry
+  /// (stats::to_json). Every number is finite for every window size,
+  /// including an empty one. `elapsed_seconds` > 0 adds requests-per-second.
   std::string to_json(double elapsed_seconds = 0.0) const;
 
  private:
   mutable std::mutex mutex_;
   LatencyHistogram latency_;
+  std::map<std::string, LatencyHistogram> stages_;
   std::uint64_t requests_ = 0;
   std::uint64_t errors_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_rows_ = 0;
   std::size_t max_batch_ = 0;
+  std::size_t batch_capacity_ = 0;
   std::size_t queue_depth_peak_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "serve/protocol.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -165,10 +166,16 @@ std::string decode_error(const std::vector<std::uint8_t>& payload) {
 }
 
 namespace {
+// Loops until every byte is on the wire: retries syscalls interrupted by
+// signals (EINTR) and resumes after short writes, so a frame can be delivered
+// across any number of partial transfers. MSG_NOSIGNAL turns a write to a
+// peer that already closed into an EPIPE error (surfaced as flashgen::Error)
+// instead of the default SIGPIPE, which would kill the whole server because
+// no handler is installed.
 void write_all(int fd, const void* data, std::size_t size) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (size > 0) {
-    const ssize_t n = ::write(fd, p, size);
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;
     FG_CHECK(n > 0, "protocol: write failed: " << std::strerror(errno));
     p += n;

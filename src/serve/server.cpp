@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/trace.h"
 
 namespace flashgen::serve {
 
@@ -99,22 +100,39 @@ void Server::handle_connection(int fd) {
       try {
         const MessageType type = peek_type(payload);
         if (type == MessageType::kGenerate) {
+          FG_TRACE_SPAN("serve.request", "serve");
+          const auto micros_since = [](std::chrono::steady_clock::time_point since) {
+            return static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - since)
+                    .count());
+          };
           const auto t0 = std::chrono::steady_clock::now();
-          GenerateRequest request = decode_generate_request(payload);
+          GenerateRequest request = [&] {
+            FG_TRACE_SPAN("serve.decode", "serve");
+            return decode_generate_request(payload);
+          }();
           auto& batcher = [&]() -> RequestBatcher& {
             auto it = batchers_.find(request.model);
             FG_CHECK(it != batchers_.end(), "unknown model: " << request.model);
             return *it->second;
           }();
+          metrics_.record_stage("decode", micros_since(t0));
+          const auto t_submit = std::chrono::steady_clock::now();
           auto future =
               batcher.submit(std::move(request.program_levels), request.seed, request.stream);
           GenerateResponse response;
           response.side = request.side;
           response.voltages = future.get();
-          write_frame(fd, encode_generate_response(response));
-          const auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - t0);
-          metrics_.record_request(static_cast<std::uint64_t>(latency.count()));
+          // Queueing delay plus batched inference, as the request saw it.
+          metrics_.record_stage("infer_wait", micros_since(t_submit));
+          const auto t_write = std::chrono::steady_clock::now();
+          {
+            FG_TRACE_SPAN("serve.write", "serve");
+            write_frame(fd, encode_generate_response(response));
+          }
+          metrics_.record_stage("write", micros_since(t_write));
+          metrics_.record_request(micros_since(t0));
         } else if (type == MessageType::kStats) {
           const double elapsed =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();

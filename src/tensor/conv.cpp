@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/workspace.h"
@@ -33,6 +34,7 @@ void im2col(const float* x, Index c, Index h, Index w, Index kh, Index kw, Index
 
 void im2col(const float* x, Index c, Index h, Index w, Index kh, Index kw, Index stride,
             Index padding, Index oh, Index ow, float* cols, Index cols_stride) {
+  FG_TRACE_SPAN("im2col", "tensor");
   // Each channel writes a disjoint band of `cols` rows, so the channel loop
   // parallelizes without any coordination.
   common::parallel_for(0, c, channel_grain(kh * kw * oh * ow), [&](Index c0, Index c1) {
@@ -65,6 +67,7 @@ void col2im(const float* cols, Index c, Index h, Index w, Index kh, Index kw, In
 
 void col2im(const float* cols, Index c, Index h, Index w, Index kh, Index kw, Index stride,
             Index padding, Index oh, Index ow, float* x, Index cols_stride) {
+  FG_TRACE_SPAN("col2im", "tensor");
   // Each channel accumulates into a disjoint plane of `x`; parallel over
   // channels, sequential (and therefore order-deterministic) within one.
   common::parallel_for(0, c, channel_grain(kh * kw * oh * ow), [&](Index c0, Index c1) {
@@ -149,6 +152,7 @@ void batched_backward_with_weight_partials(Index n, std::size_t dw_size, float* 
 
 Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
               Index padding) {
+  FG_TRACE_SPAN("conv2d", "tensor");
   const ConvGeom g = conv_geometry(x, w, stride, padding);
   const Index ckk = g.c * g.kh * g.kw;
   const Index osp = g.oh * g.ow;
@@ -157,6 +161,7 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
   const ConvGeom geom = g;
   Tensor y = make_op_result(
       "conv2d", Shape{g.n, g.oc, g.oh, g.ow}, {x, w}, [xi, wi, geom](const TensorImpl& o) {
+        FG_TRACE_SPAN("conv2d.backward", "tensor");
         const Index ckk2 = geom.c * geom.kh * geom.kw;
         const Index osp2 = geom.oh * geom.ow;
         // Force lazy grad allocation before the parallel region.
@@ -234,6 +239,7 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
 
 Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
                         Index padding) {
+  FG_TRACE_SPAN("conv_transpose2d", "tensor");
   FG_CHECK(x.shape().rank() == 4, "conv_transpose2d: input must be NCHW, got " << x.shape());
   FG_CHECK(w.shape().rank() == 4,
            "conv_transpose2d: weight must be (C, OC, KH, KW), got " << w.shape());
@@ -252,6 +258,7 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b, Index
   Tensor y = make_op_result(
       "conv_transpose2d", Shape{n, oc, oh, ow}, {x, w},
       [xi, wi, n, c, h, wdt, oc, kh, kw, stride, padding, oh, ow](const TensorImpl& o) {
+        FG_TRACE_SPAN("conv_transpose2d.backward", "tensor");
         const Index ockk2 = oc * kh * kw;
         const Index isp2 = h * wdt;
         // Force lazy grad allocation before the parallel region.
@@ -321,6 +328,7 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b, Index
 Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                     Tensor& running_mean, Tensor& running_var, bool training, float momentum,
                     float eps) {
+  FG_TRACE_SPAN("batch_norm2d", "tensor");
   FG_CHECK(x.shape().rank() == 4, "batch_norm2d expects NCHW, got " << x.shape());
   const Index n = x.shape()[0], c = x.shape()[1], hw = x.shape()[2] * x.shape()[3];
   FG_CHECK(gamma.shape() == Shape{c} && beta.shape() == Shape{c},
@@ -396,6 +404,7 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   Tensor y = make_op_result(
       "batch_norm2d", x.shape(), {x, gamma, beta},
       [xi, gi, bi, mean_c, invstd_c, n, c, hw, m, ch_grain, training](const TensorImpl& o) {
+        FG_TRACE_SPAN("batch_norm2d.backward", "tensor");
         // Force lazy grad allocations before the parallel region.
         float* dg = gi->requires_grad ? gi->grad_buffer().data() : nullptr;
         float* db = bi->requires_grad ? bi->grad_buffer().data() : nullptr;

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "tensor/workspace.h"
 
 namespace flashgen::tensor {
@@ -59,6 +60,7 @@ void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int6
            float beta, float* c, std::int64_t ldc) {
   FG_CHECK(m >= 0 && n >= 0 && k >= 0, "negative GEMM dimension");
   if (m == 0 || n == 0) return;
+  FG_TRACE_SPAN("gemm", "tensor");
   if (k == 0 || alpha == 0.0f) {
     // BLAS semantics: A and B are not touched, C = beta * C.
     common::parallel_for(0, m, row_grain(n, 1),

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/error.h"
+#include "common/trace.h"
 #include "tensor/workspace.h"
 
 namespace flashgen::tensor {
@@ -112,6 +113,7 @@ Tensor Tensor::detach() const {
 }
 
 void Tensor::backward() {
+  FG_TRACE_SPAN("backward", "tensor");
   FG_CHECK(defined() && numel() == 1, "backward() requires a scalar loss tensor");
   // Seed d(loss)/d(loss) = 1.
   impl_->grad_buffer()[0] = 1.0f;
@@ -141,6 +143,7 @@ void Tensor::backward() {
     TensorImpl* impl = *it;
     if (!impl->node || !impl->node->backward) continue;
     if (impl->grad.empty()) continue;  // unreachable from the loss seed
+    trace::Span span(impl->node->op_name, "autograd");
     impl->node->backward(*impl);
   }
 }

@@ -1,0 +1,68 @@
+// Strict JSON parser tests: the parser is the oracle the metrics/trace tests
+// lean on, so its rejection behavior (trailing garbage, non-finite numbers,
+// malformed escapes) is pinned down here.
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+
+namespace flashgen::common {
+namespace {
+
+TEST(JsonParseTest, ParsesScalarsArraysAndObjects) {
+  const JsonValue doc = json_parse(
+      R"({"n": -2.5e2, "i": 42, "s": "hi", "t": true, "f": false, "z": null,
+          "a": [1, 2, 3], "o": {"nested": "yes"}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("n").number(), -250.0);
+  EXPECT_DOUBLE_EQ(doc.at("i").number(), 42.0);
+  EXPECT_EQ(doc.at("s").string(), "hi");
+  EXPECT_TRUE(doc.at("t").boolean());
+  EXPECT_FALSE(doc.at("f").boolean());
+  EXPECT_EQ(doc.at("z").type(), JsonValue::Type::kNull);
+  ASSERT_TRUE(doc.at("a").is_array());
+  EXPECT_EQ(doc.at("a").array().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("a").array()[2].number(), 3.0);
+  EXPECT_EQ(doc.at("o").at("nested").string(), "yes");
+  EXPECT_TRUE(doc.has("n"));
+  EXPECT_FALSE(doc.has("missing"));
+}
+
+TEST(JsonParseTest, DecodesSimpleEscapes) {
+  EXPECT_EQ(json_parse(R"("a\nb\t\"c\"\\")").string(), "a\nb\t\"c\"\\");
+}
+
+TEST(JsonParseTest, RejectsNonFiniteNumbers) {
+  EXPECT_THROW(json_parse("NaN"), Error);
+  EXPECT_THROW(json_parse("Infinity"), Error);
+  EXPECT_THROW(json_parse("-Infinity"), Error);
+  EXPECT_THROW(json_parse("[1, NaN]"), Error);
+  EXPECT_THROW(json_parse("{\"x\": Infinity}"), Error);
+  // Overflows double to +inf; must be rejected like a literal Infinity.
+  EXPECT_THROW(json_parse("1e999"), Error);
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  EXPECT_THROW(json_parse(""), Error);
+  EXPECT_THROW(json_parse("{} trailing"), Error);
+  EXPECT_THROW(json_parse("[1, 2,]"), Error);
+  EXPECT_THROW(json_parse("{unquoted: 1}"), Error);
+  EXPECT_THROW(json_parse("\"unterminated"), Error);
+  EXPECT_THROW(json_parse("\"bad \\q escape\""), Error);
+  EXPECT_THROW(json_parse(std::string("\"ctrl \x01 char\"")), Error);
+  EXPECT_THROW(json_parse("{\"a\": }"), Error);
+}
+
+TEST(JsonParseTest, TypeMismatchAccessorsThrow) {
+  const JsonValue doc = json_parse("{\"s\": \"text\"}");
+  EXPECT_THROW((void)doc.at("s").number(), Error);
+  EXPECT_THROW((void)doc.at("s").object(), Error);
+  EXPECT_THROW((void)doc.at("missing"), Error);
+  EXPECT_THROW((void)doc.at("s").at("x"), Error);
+}
+
+}  // namespace
+}  // namespace flashgen::common

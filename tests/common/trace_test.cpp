@@ -1,0 +1,168 @@
+// Trace layer unit tests: disabled-by-default zero recording, session
+// lifecycle, and the chrome://tracing JSON the exporter writes (validated
+// with the strict common::json parser).
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "common/json.h"
+
+namespace flashgen::trace {
+namespace {
+
+std::filesystem::path temp_trace_path(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() { reset_for_test(); }
+  ~TraceTest() override { reset_for_test(); }
+};
+
+TEST_F(TraceTest, DisabledByDefaultRecordsNothing) {
+  EXPECT_FALSE(enabled());
+  { FG_TRACE_SPAN("never.span", "test"); }
+  counter("never.counter", 1.0);
+  instant("never.instant");
+  EXPECT_EQ(event_count(), 0u);
+  EXPECT_EQ(stop(), 0u);
+  EXPECT_EQ(active_path(), "");
+}
+
+TEST_F(TraceTest, SpansCountersAndInstantsRoundTripThroughJson) {
+  const auto path = temp_trace_path("flashgen_trace_roundtrip.json");
+  start(path.string());
+  EXPECT_TRUE(enabled());
+  EXPECT_EQ(active_path(), path.string());
+
+  { FG_TRACE_SPAN("unit.span", "test"); }
+  counter("unit.counter", 2.5);
+  instant("unit.instant", "test");
+  std::thread worker([] { FG_TRACE_SPAN("unit.worker_span", "test"); });
+  worker.join();
+
+  EXPECT_GE(event_count(), 4u);
+  const std::size_t written = stop();
+  EXPECT_GE(written, 4u);
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(event_count(), 0u);  // stop() drains the buffers
+
+  const common::JsonValue doc = common::json_parse(slurp(path));
+  int main_tid = -1;
+  int worker_tid = -1;
+  bool saw_counter = false;
+  bool saw_instant = false;
+  for (const common::JsonValue& e : doc.at("traceEvents").array()) {
+    const std::string& name = e.at("name").string();
+    if (name == "unit.span") {
+      EXPECT_EQ(e.at("ph").string(), "X");
+      EXPECT_EQ(e.at("cat").string(), "test");
+      EXPECT_GE(e.at("ts").number(), 0.0);
+      EXPECT_GE(e.at("dur").number(), 0.0);
+      main_tid = static_cast<int>(e.at("tid").number());
+    } else if (name == "unit.worker_span") {
+      worker_tid = static_cast<int>(e.at("tid").number());
+    } else if (name == "unit.counter") {
+      EXPECT_EQ(e.at("ph").string(), "C");
+      EXPECT_DOUBLE_EQ(e.at("args").at("value").number(), 2.5);
+      saw_counter = true;
+    } else if (name == "unit.instant") {
+      EXPECT_EQ(e.at("ph").string(), "i");
+      saw_instant = true;
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_GT(main_tid, 0);
+  EXPECT_GT(worker_tid, 0);
+  EXPECT_NE(main_tid, worker_tid);  // each thread owns a tid lane
+  std::filesystem::remove(path);
+}
+
+TEST_F(TraceTest, StartRejectsEmptyPathAndDoubleStart) {
+  EXPECT_THROW(start(""), Error);
+  const auto path = temp_trace_path("flashgen_trace_twice.json");
+  start(path.string());
+  EXPECT_THROW(start(path.string()), Error);
+  stop();
+  std::filesystem::remove(path);
+}
+
+TEST_F(TraceTest, SessionsAreIndependent) {
+  const auto first = temp_trace_path("flashgen_trace_first.json");
+  const auto second = temp_trace_path("flashgen_trace_second.json");
+  start(first.string());
+  { FG_TRACE_SPAN("first.only", "test"); }
+  EXPECT_GE(stop(), 1u);
+
+  start(second.string());
+  EXPECT_EQ(stop(), 0u);  // nothing recorded: first session's events are gone
+
+  const common::JsonValue doc = common::json_parse(slurp(second));
+  for (const common::JsonValue& e : doc.at("traceEvents").array()) {
+    EXPECT_NE(e.at("name").string(), "first.only");
+  }
+  std::filesystem::remove(first);
+  std::filesystem::remove(second);
+}
+
+// A span alive across stop() records into the buffer after the session
+// closed; the next session must write it with a clamped timestamp instead of
+// an unsigned-underflow garbage value.
+TEST_F(TraceTest, SpanStraddlingStopClampsInsteadOfWrapping) {
+  const auto first = temp_trace_path("flashgen_trace_straddle_a.json");
+  const auto second = temp_trace_path("flashgen_trace_straddle_b.json");
+  start(first.string());
+  std::optional<Span> straddler;
+  straddler.emplace("straddle.span", "test");
+  stop();
+  straddler.reset();  // destructor records after the session ended
+
+  start(second.string());
+  stop();
+  const common::JsonValue doc = common::json_parse(slurp(second));
+  bool found = false;
+  for (const common::JsonValue& e : doc.at("traceEvents").array()) {
+    if (e.at("name").string() == "straddle.span") {
+      found = true;
+      EXPECT_GE(e.at("ts").number(), 0.0);
+      EXPECT_LT(e.at("ts").number(), 1e12);  // not a wrapped u64
+    }
+  }
+  EXPECT_TRUE(found);
+  std::filesystem::remove(first);
+  std::filesystem::remove(second);
+}
+
+TEST_F(TraceTest, NamesAreJsonEscaped) {
+  const auto path = temp_trace_path("flashgen_trace_escape.json");
+  start(path.string());
+  instant("quote\"back\\slash", "test");
+  EXPECT_EQ(stop(), 1u);
+  const common::JsonValue doc = common::json_parse(slurp(path));
+  bool found = false;
+  for (const common::JsonValue& e : doc.at("traceEvents").array()) {
+    if (e.at("name").string() == "quote\"back\\slash") found = true;
+  }
+  EXPECT_TRUE(found);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace flashgen::trace

@@ -51,6 +51,43 @@ TEST(HistogramTest, InvalidConfigThrows) {
   EXPECT_THROW(Histogram({.lo = 0.0, .hi = 1.0, .bins = 0}), Error);
 }
 
+// Regression: bin_of computed floor((v - lo) / (hi - lo) * bins), whose
+// divide-then-multiply rounding put 39 of the default config's 650 exact
+// interior edges one bin low. Binning must be lower-edge-inclusive against
+// the canonical edge positions lo + i*width (what bin_center reports).
+TEST(HistogramTest, EveryExactBinEdgeLandsLowerEdgeInclusive) {
+  Histogram h;  // default config: 650 bins over [-350, 950)
+  const HistogramConfig& c = h.config();
+  const double width = (c.hi - c.lo) / c.bins;
+  for (int i = 0; i < c.bins; ++i)
+    EXPECT_EQ(h.bin_of(c.lo + i * width), i) << "edge " << i;
+  EXPECT_EQ(h.bin_of(c.hi), c.bins - 1);
+}
+
+TEST(HistogramTest, ExactBinEdgesLandCorrectlyForAwkwardRanges) {
+  const HistogramConfig configs[] = {
+      {.lo = 0.1, .hi = 0.7, .bins = 7},
+      {.lo = -1.0 / 3.0, .hi = 2.0 / 3.0, .bins = 29},
+      {.lo = -350.0, .hi = 950.0, .bins = 1300},
+  };
+  for (const HistogramConfig& c : configs) {
+    Histogram h(c);
+    const double width = (c.hi - c.lo) / c.bins;
+    for (int i = 0; i < c.bins; ++i)
+      EXPECT_EQ(h.bin_of(c.lo + i * width), i)
+          << "edge " << i << " of " << c.bins << " over [" << c.lo << ", " << c.hi << ")";
+    EXPECT_EQ(h.bin_of(c.hi), c.bins - 1);
+  }
+}
+
+TEST(HistogramTest, UpperBoundCountsInLastBin) {
+  Histogram h({.lo = 0.0, .hi = 1.0, .bins = 3});
+  h.add(1.0);
+  h.add(std::nextafter(1.0, 0.0));
+  EXPECT_EQ(h.count(2), 2);
+  EXPECT_EQ(h.total(), 2);
+}
+
 TEST(TvDistance, IdenticalDistributionsScoreZero) {
   Histogram p, q;
   flashgen::Rng rng(2);

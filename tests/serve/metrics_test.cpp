@@ -1,0 +1,104 @@
+// ServeMetrics JSON must stay strictly parseable at every window size —
+// including the empty and single-sample windows where naive mean/ratio code
+// divides by zero and leaks NaN/Inf tokens that JSON parsers reject. The
+// oracle is common::json_parse, which treats any non-finite number as a
+// syntax error, so a successful parse IS the all-numbers-finite assertion.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/json.h"
+#include "serve/metrics.h"
+
+namespace flashgen::serve {
+namespace {
+
+using common::json_parse;
+using common::JsonValue;
+
+void fill(ServeMetrics& m, int samples) {
+  for (int i = 0; i < samples; ++i) {
+    m.record_request(static_cast<std::uint64_t>(100 + i));
+    m.record_stage("decode", static_cast<std::uint64_t>(5 + i));
+    m.record_batch(static_cast<std::size_t>(i + 1));
+    m.record_enqueue(static_cast<std::size_t>(i));
+  }
+}
+
+TEST(ServeMetricsTest, JsonParsesAtWindowSizesZeroOneTwo) {
+  const double elapsed_values[] = {0.0, 1.5, std::numeric_limits<double>::infinity(),
+                                   std::numeric_limits<double>::quiet_NaN()};
+  for (int samples : {0, 1, 2}) {
+    ServeMetrics m;
+    fill(m, samples);
+    for (double elapsed : elapsed_values) {
+      const std::string json = m.to_json(elapsed);
+      const JsonValue doc = json_parse(json);
+      EXPECT_EQ(doc.at("requests").number(), samples) << json;
+      EXPECT_TRUE(doc.at("stages").is_object()) << json;
+      if (samples > 0) {
+        EXPECT_EQ(doc.at("stages").at("decode").at("count").number(), samples);
+      }
+    }
+  }
+}
+
+TEST(ServeMetricsTest, BatchOccupancyUsesConfiguredCapacity) {
+  ServeMetrics m;
+  m.set_batch_capacity(8);
+  m.record_batch(4);
+  m.record_batch(8);
+  const JsonValue doc = json_parse(m.to_json());
+  EXPECT_DOUBLE_EQ(doc.at("batch_mean_size").number(), 6.0);
+  EXPECT_DOUBLE_EQ(doc.at("batch_occupancy").number(), 0.75);
+  EXPECT_EQ(doc.at("batch_capacity").number(), 8.0);
+  EXPECT_EQ(doc.at("max_batch_size").number(), 8.0);
+}
+
+TEST(ServeMetricsTest, OccupancyWithoutCapacityIsZeroNotInf) {
+  ServeMetrics m;
+  m.record_batch(4);
+  const JsonValue doc = json_parse(m.to_json());
+  EXPECT_EQ(doc.at("batch_occupancy").number(), 0.0);
+}
+
+TEST(ServeMetricsTest, StageSummariesReportCountsAndMeans) {
+  ServeMetrics m;
+  m.record_stage("decode", 10);
+  m.record_stage("decode", 30);
+  m.record_stage("write", 7);
+  const JsonValue doc = json_parse(m.to_json());
+  const JsonValue& stages = doc.at("stages");
+  EXPECT_EQ(stages.at("decode").at("count").number(), 2.0);
+  EXPECT_DOUBLE_EQ(stages.at("decode").at("mean_us").number(), 20.0);
+  EXPECT_EQ(stages.at("write").at("count").number(), 1.0);
+  // The "process" sub-object embeds the global stats registry.
+  EXPECT_TRUE(doc.at("process").has("counters"));
+  EXPECT_TRUE(doc.at("process").has("gauges"));
+}
+
+TEST(ServeMetricsTest, RequestsPerSecOnlyWhenElapsedIsPositiveFinite) {
+  ServeMetrics m;
+  m.record_request(10);
+  EXPECT_FALSE(json_parse(m.to_json(0.0)).has("requests_per_sec"));
+  EXPECT_FALSE(json_parse(m.to_json(-1.0)).has("requests_per_sec"));
+  EXPECT_FALSE(
+      json_parse(m.to_json(std::numeric_limits<double>::infinity())).has("requests_per_sec"));
+  EXPECT_FALSE(
+      json_parse(m.to_json(std::numeric_limits<double>::quiet_NaN())).has("requests_per_sec"));
+  EXPECT_DOUBLE_EQ(json_parse(m.to_json(2.0)).at("requests_per_sec").number(), 0.5);
+}
+
+TEST(ServeMetricsTest, LatencyQuantilesCoverRecordedSamples) {
+  ServeMetrics m;
+  m.record_request(100);  // bucket [64, 128)
+  const JsonValue doc = json_parse(m.to_json());
+  EXPECT_DOUBLE_EQ(doc.at("latency_mean_us").number(), 100.0);
+  EXPECT_GE(doc.at("latency_p50_us").number(), 100.0);
+  EXPECT_GE(doc.at("latency_p99_us").number(), doc.at("latency_p50_us").number());
+}
+
+}  // namespace
+}  // namespace flashgen::serve

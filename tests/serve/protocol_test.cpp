@@ -2,11 +2,18 @@
 // of malformed payloads, and fd framing over a socketpair.
 #include <gtest/gtest.h>
 
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.h"
@@ -107,6 +114,110 @@ TEST(ProtocolTest, FrameRoundTripOverSocketpair) {
   ::close(fds[0]);
   EXPECT_THROW((void)read_frame(fds[1], received), Error);
   ::close(fds[1]);
+}
+
+std::atomic<int> g_signals_delivered{0};
+
+// Installs a no-op SIGUSR1 handler WITHOUT SA_RESTART, so an interrupted
+// read()/send() genuinely returns EINTR instead of being restarted by the
+// kernel. Restores the previous disposition on destruction.
+class ScopedSigusr1 {
+ public:
+  ScopedSigusr1() {
+    struct sigaction sa {};
+    sa.sa_handler = [](int) { g_signals_delivered.fetch_add(1, std::memory_order_relaxed); };
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    EXPECT_EQ(::sigaction(SIGUSR1, &sa, &old_), 0);
+  }
+  ~ScopedSigusr1() { ::sigaction(SIGUSR1, &old_, nullptr); }
+
+ private:
+  struct sigaction old_ {};
+};
+
+// Regression: a frame delivered one byte at a time, with signals landing on
+// the reading thread between bytes, must still decode. Exercises both the
+// short-read resumption (every read() returns at most 1 byte) and the EINTR
+// retry in read_all.
+TEST(ProtocolTest, FrameSurvivesOneByteChunksWithInterleavedSignals) {
+  ScopedSigusr1 handler;
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  const auto payload = encode_generate_request(sample_request());
+  std::vector<std::uint8_t> wire;  // length header + payload, as raw bytes
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) wire.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  wire.insert(wire.end(), payload.begin(), payload.end());
+
+  std::vector<std::uint8_t> received;
+  bool got = false;
+  std::thread reader([&] { got = read_frame(fds[1], received); });
+  const pthread_t reader_handle = reader.native_handle();
+
+  // The reader cannot return before the last byte below is written, so it is
+  // alive for every pthread_kill.
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    ::pthread_kill(reader_handle, SIGUSR1);
+    ASSERT_EQ(::write(fds[0], &wire[i], 1), 1);
+    if (i % 16 == 0) std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  reader.join();
+
+  ASSERT_TRUE(got);
+  EXPECT_EQ(received, payload);
+  EXPECT_GT(g_signals_delivered.load(), 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// A frame far larger than the socket send buffer forces write_all through
+// many short writes, with signals interrupting the blocked send() calls.
+TEST(ProtocolTest, LargeFrameWriteSurvivesFullBuffersAndSignals) {
+  ScopedSigusr1 handler;
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int sndbuf = 4096;
+  ASSERT_EQ(::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf)), 0);
+
+  std::vector<std::uint8_t> payload(256 * 1024);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i * 131 + 7);
+
+  std::thread writer([&] { write_frame(fds[0], payload); });
+  const pthread_t writer_handle = writer.native_handle();
+
+  const std::size_t total = 4 + payload.size();
+  std::vector<std::uint8_t> wire(total);
+  std::size_t got = 0;
+  while (got < total) {
+    // Only signal while the writer still has far more to send than the
+    // socket can buffer, so it is guaranteed to be alive inside write_frame.
+    if (got < total / 2) ::pthread_kill(writer_handle, SIGUSR1);
+    const ssize_t n =
+        ::read(fds[1], wire.data() + got, std::min<std::size_t>(1024, total - got));
+    if (n < 0 && errno == EINTR) continue;
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  writer.join();
+
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), wire.begin() + 4));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// Regression: write_frame used plain write(), so the first write after the
+// peer hung up raised SIGPIPE and killed the whole process (no handler is
+// installed). send(..., MSG_NOSIGNAL) must surface EPIPE as an Error instead.
+TEST(ProtocolTest, WriteToClosedPeerThrowsInsteadOfDyingOnSigpipe) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  const std::vector<std::uint8_t> payload(64, 0xAB);
+  EXPECT_THROW(write_frame(fds[0], payload), Error);
+  ::close(fds[0]);
 }
 
 TEST(ProtocolTest, OversizedFrameIsRejected) {
