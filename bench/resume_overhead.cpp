@@ -1,0 +1,185 @@
+// Resume-overhead bench: what periodic training snapshots cost.
+//
+// Three measurements on the tiny 8x8 cVAE-GAN recipe:
+//   1. steps/sec of an uninterrupted fit with snapshots off (baseline) vs
+//      snapshots every 8 steps vs every step (worst case) — the end-to-end
+//      overhead a training run pays for resumability;
+//   2. the latency of a single save_train_state / load_train_state pair and
+//      the artifact size — the unit costs behind (1);
+//   3. the wall-clock of a resumed continuation (kill after the first
+//      snapshot, resume to completion) vs the uninterrupted run, which bounds
+//      the replay cost of the epoch-shuffle + skip-ahead scheme.
+//
+// Writes JSON next to the other bench results.
+//
+// Run:  ./resume_overhead [output.json]
+//   FLASHGEN_BENCH_RESUME_REPS - timed fit repetitions per cell (default 3)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/faultinject.h"
+#include "data/dataset.h"
+#include "models/cvae_gan.h"
+#include "nn/serialize.h"
+
+using namespace flashgen;
+
+namespace {
+
+data::DatasetConfig bench_dataset_config() {
+  data::DatasetConfig config;
+  config.array_size = 8;
+  config.num_arrays = 64;
+  config.channel.rows = 32;
+  config.channel.cols = 32;
+  return config;
+}
+
+models::NetworkConfig bench_network_config() {
+  models::NetworkConfig config;
+  config.array_size = 8;
+  config.base_channels = 4;
+  config.z_dim = 4;
+  return config;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// One full fit (2 epochs x 16 steps) with the given snapshot cadence;
+// returns wall-clock seconds. Every call trains an identical fresh model so
+// the compute across cells is the same work.
+double timed_fit(const data::PairedDataset& dataset, const std::string& snap_path,
+                 int every_steps, bool resume, int* steps_out = nullptr) {
+  models::TrainConfig train;
+  train.epochs = 2;
+  train.batch_size = 4;
+  train.log_every = 0;
+  train.snapshot.path = every_steps > 0 ? snap_path : "";
+  train.snapshot.every_steps = every_steps;
+  train.snapshot.resume = resume;
+
+  models::CvaeGanModel model(bench_network_config(), /*seed=*/7);
+  flashgen::Rng rng(2);
+  const auto t0 = std::chrono::steady_clock::now();
+  const models::TrainStats stats = model.fit(dataset, train, rng);
+  const double elapsed = seconds_since(t0);
+  if (steps_out) *steps_out = stats.steps;
+  return elapsed;
+}
+
+double mean_fit_seconds(const data::PairedDataset& dataset, const std::string& snap_path,
+                        int every_steps, int reps) {
+  double total = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    std::filesystem::remove(snap_path);
+    total += timed_fit(dataset, snap_path, every_steps, /*resume=*/false);
+  }
+  return total / reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "resume_overhead.json";
+  const int reps = [] {
+    const char* env = std::getenv("FLASHGEN_BENCH_RESUME_REPS");
+    return env ? std::atoi(env) : 3;
+  }();
+  const std::string snap_path =
+      (std::filesystem::temp_directory_path() / "flashgen_bench_resume.trainstate").string();
+
+  flashgen::Rng data_rng(1);
+  const data::PairedDataset dataset =
+      data::PairedDataset::generate(bench_dataset_config(), data_rng);
+
+  int total_steps = 0;
+  (void)timed_fit(dataset, "", 0, false, &total_steps);  // warm-up, uncounted
+
+  // (1) end-to-end overhead of periodic snapshots.
+  const double base_s = mean_fit_seconds(dataset, snap_path, /*every_steps=*/0, reps);
+  const double every8_s = mean_fit_seconds(dataset, snap_path, /*every_steps=*/8, reps);
+  const double every1_s = mean_fit_seconds(dataset, snap_path, /*every_steps=*/1, reps);
+
+  // (2) unit costs of one snapshot write/read, measured on the artifact the
+  // every-step run just left behind.
+  models::CvaeGanModel probe(bench_network_config(), /*seed=*/7);
+  const int io_reps = 20;
+  double load_total = 0.0;
+  nn::TrainState state;
+  for (int r = 0; r < io_reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    state = nn::load_train_state(probe.root_module(), snap_path);
+    load_total += seconds_since(t0);
+  }
+  double save_total = 0.0;
+  for (int r = 0; r < io_reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    nn::save_train_state(probe.root_module(), state, snap_path);
+    save_total += seconds_since(t0);
+  }
+  const auto snapshot_bytes = std::filesystem::file_size(snap_path);
+
+  // (3) kill-and-resume: crash after step 16 (the epoch-1 boundary snapshot
+  // with every_steps=8), then resume to completion. The resumed piece redoes
+  // epochs-worth of bookkeeping but only the remaining 16 steps of compute.
+  std::filesystem::remove(snap_path);
+  faultinject::configure("train_kill:@16");
+  double killed_s = 0.0;
+  try {
+    (void)timed_fit(dataset, snap_path, /*every_steps=*/8, /*resume=*/false);
+  } catch (const flashgen::Error&) {
+    // expected: simulated crash
+  }
+  faultinject::clear();
+  const auto t0 = std::chrono::steady_clock::now();
+  int resumed_steps = 0;
+  (void)timed_fit(dataset, snap_path, /*every_steps=*/8, /*resume=*/true, &resumed_steps);
+  killed_s = seconds_since(t0);
+  std::filesystem::remove(snap_path);
+
+  const double per_snapshot_ms = save_total / io_reps * 1e3;
+  std::printf("resume_overhead: %d steps, baseline %.3fs, every8 %.3fs (+%.2f%%), "
+              "every1 %.3fs (+%.2f%%)\n",
+              total_steps, base_s, every8_s, (every8_s / base_s - 1.0) * 100.0, every1_s,
+              (every1_s / base_s - 1.0) * 100.0);
+  std::printf("resume_overhead: snapshot %.3f ms write / %.3f ms load, %zu bytes; "
+              "resumed half-run %.3fs (%d steps)\n",
+              per_snapshot_ms, load_total / io_reps * 1e3,
+              static_cast<std::size_t>(snapshot_bytes), killed_s, resumed_steps);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"resume_overhead\",\n");
+  std::fprintf(out, "  \"model\": \"cVAE-GAN\",\n");
+  std::fprintf(out, "  \"array_side\": 8,\n");
+  std::fprintf(out, "  \"total_steps\": %d,\n", total_steps);
+  std::fprintf(out, "  \"reps\": %d,\n", reps);
+  std::fprintf(out, "  \"baseline_seconds\": %.4f,\n", base_s);
+  std::fprintf(out, "  \"snapshot_every_8_seconds\": %.4f,\n", every8_s);
+  std::fprintf(out, "  \"snapshot_every_8_overhead_percent\": %.2f,\n",
+               (every8_s / base_s - 1.0) * 100.0);
+  std::fprintf(out, "  \"snapshot_every_1_seconds\": %.4f,\n", every1_s);
+  std::fprintf(out, "  \"snapshot_every_1_overhead_percent\": %.2f,\n",
+               (every1_s / base_s - 1.0) * 100.0);
+  std::fprintf(out, "  \"snapshot_write_ms\": %.4f,\n", per_snapshot_ms);
+  std::fprintf(out, "  \"snapshot_load_ms\": %.4f,\n", load_total / io_reps * 1e3);
+  std::fprintf(out, "  \"snapshot_bytes\": %zu,\n", static_cast<std::size_t>(snapshot_bytes));
+  std::fprintf(out, "  \"resume_half_run_seconds\": %.4f,\n", killed_s);
+  std::fprintf(out, "  \"resume_run_total_steps\": %d\n", resumed_steps);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

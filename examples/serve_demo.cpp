@@ -55,22 +55,42 @@ int main() {
   std::vector<std::thread> clients;
   for (std::uint64_t c = 0; c < 4; ++c) {
     clients.emplace_back([&, c] {
-      serve::Client client(socket_path);
+      // One reconnect-and-retry per request so the demo survives injected
+      // connection faults (FLASHGEN_FAULTS=socket_reset:...).
       for (std::uint64_t i = 0; i < 8; ++i) {
         serve::GenerateRequest r = request;
         r.stream = c * 8 + i;
-        const serve::GenerateResponse response = client.generate(r);
-        if (c == 0 && i == 0) {
-          std::printf("first reply: %ux%u voltages, corner value %.4f\n", response.side,
-                      response.side, response.voltages[0]);
+        for (int attempt = 0;; ++attempt) {
+          try {
+            serve::Client client(socket_path);
+            const serve::GenerateResponse response = client.generate(r);
+            if (c == 0 && i == 0) {
+              std::printf("first reply: %ux%u voltages, corner value %.4f\n", response.side,
+                          response.side, response.voltages[0]);
+            }
+            break;
+          } catch (const flashgen::Error& e) {
+            if (attempt >= 16) {
+              std::fprintf(stderr, "client %llu giving up: %s\n",
+                           static_cast<unsigned long long>(c), e.what());
+              break;
+            }
+          }
         }
       }
     });
   }
   for (auto& t : clients) t.join();
 
-  serve::Client stats(socket_path);
-  std::printf("server metrics: %s\n", stats.stats().c_str());
+  for (int attempt = 0;; ++attempt) {
+    try {
+      serve::Client stats(socket_path);
+      std::printf("server metrics: %s\n", stats.stats().c_str());
+      break;
+    } catch (const flashgen::Error&) {
+      if (attempt >= 16) break;
+    }
+  }
   server.stop();
   std::printf("done\n");
   return 0;

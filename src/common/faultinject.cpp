@@ -1,0 +1,142 @@
+#include "common/faultinject.h"
+
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string_view>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace flashgen::faultinject {
+
+namespace {
+
+struct Site {
+  double probability = -1.0;  // used when trigger_at < 0
+  std::int64_t trigger_at = -1;
+  std::uint64_t calls = 0;
+  std::uint64_t fired = 0;
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+// Heterogeneous comparator so should_fire can look points up by const char*
+// without constructing a std::string per call.
+std::map<std::string, Site, std::less<>>& registry() {
+  static std::map<std::string, Site, std::less<>> sites;
+  return sites;
+}
+
+std::uint64_t g_seed = 0;
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// Arms the registry from FLASHGEN_FAULTS at process start, before any thread
+// can reach an injection point.
+struct EnvInit {
+  EnvInit() {
+    const char* spec = std::getenv("FLASHGEN_FAULTS");
+    if (spec == nullptr || spec[0] == '\0') return;
+    std::uint64_t seed = 0;
+    if (const char* s = std::getenv("FLASHGEN_FAULTS_SEED"); s != nullptr)
+      seed = std::strtoull(s, nullptr, 10);
+    configure(spec, seed);
+  }
+} g_env_init;
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+bool should_fire(const char* point) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(std::string_view(point));
+  if (it == registry().end()) return false;
+  Site& site = it->second;
+  const std::uint64_t call = site.calls++;
+  bool fires;
+  if (site.trigger_at >= 0) {
+    fires = call == static_cast<std::uint64_t>(site.trigger_at);
+  } else {
+    // Pure function of (seed, point, call index): the same call sequence
+    // replays the same fault pattern regardless of wall clock or threads.
+    fires = Rng::from_stream(g_seed ^ fnv1a(point), call).uniform() < site.probability;
+  }
+  if (fires) ++site.fired;
+  return fires;
+}
+
+}  // namespace detail
+
+void configure(const std::string& spec, std::uint64_t seed) {
+  std::map<std::string, Site, std::less<>> sites;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.find(':');
+    FG_CHECK(colon != std::string::npos && colon > 0 && colon + 1 < entry.size(),
+             "faultinject: malformed entry '" << entry << "' (want name:prob or name:@k)");
+    const std::string name = entry.substr(0, colon);
+    const std::string value = entry.substr(colon + 1);
+    Site site;
+    std::size_t parsed = 0;
+    try {
+      if (value[0] == '@') {
+        site.trigger_at = std::stoll(value.substr(1), &parsed);
+        ++parsed;  // account for the '@'
+      } else {
+        site.probability = std::stod(value, &parsed);
+      }
+    } catch (const std::exception&) {
+      parsed = 0;
+    }
+    FG_CHECK(parsed == value.size(), "faultinject: unparsable value in '" << entry << "'");
+    if (site.trigger_at < 0) {
+      FG_CHECK(site.probability >= 0.0 && site.probability <= 1.0,
+               "faultinject: probability out of [0, 1] in '" << entry << "'");
+    }
+    sites.emplace(name, site);
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry() = std::move(sites);
+  g_seed = seed;
+  detail::g_enabled.store(!registry().empty(), std::memory_order_relaxed);
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().clear();
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t calls(const std::string& point) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(point);
+  return it == registry().end() ? 0 : it->second.calls;
+}
+
+std::uint64_t fired(const std::string& point) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(point);
+  return it == registry().end() ? 0 : it->second.fired;
+}
+
+}  // namespace flashgen::faultinject

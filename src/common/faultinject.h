@@ -1,0 +1,61 @@
+// Deterministic fault injection for robustness testing.
+//
+// Named injection points are planted at failure-prone seams (checkpoint I/O,
+// socket read/write, loss computation) and stay dormant in production: every
+// point costs one relaxed atomic load when no faults are configured, the same
+// zero-overhead contract as trace.h. Faults are armed either by the
+// FLASHGEN_FAULTS environment variable or programmatically:
+//
+//   FLASHGEN_FAULTS=checkpoint_write:0.1,socket_reset:0.05,train_kill:@7
+//
+//   faultinject::configure("nan_poison:@2", /*seed=*/42);
+//   if (FG_FAULT("nan_poison")) { /* inject the failure */ }
+//
+// Two trigger modes per point:
+//   name:p   - probability p in [0, 1]; whether call i fires is a pure
+//              function of (seed, point name, i) via Rng::from_stream, so a
+//              run with the same per-point call sequence replays the same
+//              fault pattern (counter-seeded determinism).
+//   name:@k  - fires exactly on the k-th evaluation (0-based) of the point;
+//              the mode kill-and-resume tests use to crash at a chosen step.
+//
+// Firing decisions and counters are tracked per point and queryable
+// (calls()/fired()) so tests can assert a scenario actually executed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace flashgen::faultinject {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+
+bool should_fire(const char* point);
+}  // namespace detail
+
+/// True when any injection point is armed. Instrumentation branches on this
+/// before touching the registry.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+/// True when the named point should fail this call. Advances the point's call
+/// counter; unknown points never fire.
+inline bool fire(const char* point) { return enabled() && detail::should_fire(point); }
+
+/// Arms the registry from a spec string ("a:0.5,b:@3"). Replaces any previous
+/// configuration; an empty spec disarms everything. Throws flashgen::Error on
+/// a malformed spec. `seed` feeds the per-point random streams.
+void configure(const std::string& spec, std::uint64_t seed = 0);
+
+/// Disarms all points and discards their counters (test hook).
+void clear();
+
+/// Times the named point has been evaluated / has fired since configure().
+std::uint64_t calls(const std::string& point);
+std::uint64_t fired(const std::string& point);
+
+}  // namespace flashgen::faultinject
+
+/// Injection point: true when the configured fault should fire here.
+#define FG_FAULT(point) (::flashgen::faultinject::fire(point))

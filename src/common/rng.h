@@ -16,8 +16,25 @@ namespace flashgen {
 /// independently-seeded child instead when streams must not overlap).
 class Rng {
  public:
+  /// Full generator state: the four xoshiro words plus the Box–Muller cache.
+  /// Capturing and restoring it resumes the stream at the exact draw position
+  /// (training snapshots persist these to make resumed runs bit-identical).
+  struct State {
+    std::uint64_t s[4] = {};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+
+    bool operator==(const State&) const = default;
+  };
+
   /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Snapshot of the current stream position.
+  State state() const;
+
+  /// Repositions the stream to a previously captured state.
+  void set_state(const State& state);
 
   /// Next raw 64-bit value.
   std::uint64_t next_u64();

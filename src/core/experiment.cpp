@@ -137,6 +137,9 @@ models::TrainConfig Experiment::train_config(ModelKind kind) const {
   train.alpha = config_.alpha;
   train.beta = config_.beta;
   train.lsgan = config_.lsgan;
+  train.sentinel = config_.sentinel;
+  // Snapshot wiring happens in train_or_load: the snapshot path derives from
+  // cache_path, whose fingerprint is built from this config.
   return train;
 }
 
@@ -165,13 +168,25 @@ std::unique_ptr<models::GenerativeModel> Experiment::train_or_load(ModelKind kin
     model->load(path);
     return model;
   }
+  models::TrainConfig train = train_config(kind);
+  if (config_.snapshot_every > 0 && !path.empty()) {
+    std::filesystem::create_directories(std::filesystem::path(path).parent_path());
+    train.snapshot.path = path + ".trainstate";
+    train.snapshot.every_steps = config_.snapshot_every;
+    train.snapshot.resume = config_.resume_training;
+  }
   FG_LOG(Info) << to_string(kind) << ": training (" << config_.epochs << " epochs, batch "
-               << train_config(kind).batch_size << ")";
-  model->fit(*train_, train_config(kind), rng);
+               << train.batch_size << ")";
+  model->fit(*train_, train, rng);
   if (!path.empty()) {
     std::filesystem::create_directories(std::filesystem::path(path).parent_path());
     model->save(path);
     FG_LOG(Info) << to_string(kind) << ": cached checkpoint at " << path;
+    // The finished checkpoint supersedes any in-progress snapshot.
+    if (!train.snapshot.path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(train.snapshot.path, ec);
+    }
   }
   return model;
 }

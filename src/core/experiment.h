@@ -56,6 +56,14 @@ struct ExperimentConfig {
   /// Checkpoint cache directory; empty disables caching. Overridden by the
   /// FLASHGEN_CACHE_DIR environment variable when set.
   std::string cache_dir = "flashgen_cache";
+  /// Resumable-training snapshot period in optimizer steps; 0 disables.
+  /// Snapshots are written next to the cached checkpoint (requires caching)
+  /// and deleted once training completes.
+  int snapshot_every = 0;
+  /// Pick up an interrupted run from its snapshot when one exists.
+  bool resume_training = false;
+  /// Divergence sentinel applied to every network trainer.
+  models::SentinelConfig sentinel;
 };
 
 /// Returns a small configuration (16x16 arrays, reduced channel/dataset

@@ -14,16 +14,22 @@ TrainStats BicycleGanModel::fit(const data::PairedDataset& dataset,
   root_.set_training(true);
   std::vector<Tensor> ge_params = root_.generator.parameters();
   for (const Tensor& p : root_.encoder.parameters()) ge_params.push_back(p);
+  const std::vector<Tensor> d_params = root_.discriminator.parameters();
   nn::Adam opt_ge(ge_params, {.lr = config.lr});
-  nn::Adam opt_d(root_.discriminator.parameters(), {.lr = config.lr});
+  nn::Adam opt_d(d_params, {.lr = config.lr});
+  detail::LoopContext ctx;
+  ctx.root = &root_;
+  ctx.optimizers = {&opt_ge, &opt_d};
 
   TrainStats stats;
   double g_acc = 0.0, d_acc = 0.0;
   int acc_n = 0;
   const int total_steps_planned = detail::total_steps(dataset, config);
   stats.steps = detail::run_training_loop(
-      dataset, config, rng, [&](const Tensor& pl, const Tensor& vl, int step) {
-        const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned);
+      dataset, config, rng,
+      [&](const Tensor& pl, const Tensor& vl, int step) {
+        const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned) *
+                         static_cast<float>(ctx.lr_scale);
         opt_ge.set_lr(lr);
         opt_d.set_lr(lr);
         const tensor::Index n = pl.shape()[0];
@@ -47,8 +53,12 @@ TrainStats BicycleGanModel::fit(const data::PairedDataset& dataset,
                                            gan_loss(d_fake_lr, false, config.lsgan)),
                                0.5f));
         loss_d = tensor::mul_scalar(loss_d, 0.5f);
+        detail::guard_loss("bicycle_gan.loss.d", loss_d.item(), config.sentinel);
         opt_d.zero_grad();
         loss_d.backward();
+        if (detail::want_grad_norm(config.sentinel)) {
+          detail::guard_grad_norm("bicycle_gan.d", detail::grad_norm(d_params), config.sentinel);
+        }
         opt_d.step();
 
         // --- generator + encoder -------------------------------------------
@@ -65,8 +75,13 @@ TrainStats BicycleGanModel::fit(const data::PairedDataset& dataset,
         loss_g = tensor::add(
             loss_g,
             tensor::mul_scalar(tensor::l1_loss(recovered.mu, z_rand), config.latent_weight));
+        detail::guard_loss("bicycle_gan.loss.g", loss_g.item(), config.sentinel);
         opt_ge.zero_grad();
         loss_g.backward();
+        if (detail::want_grad_norm(config.sentinel)) {
+          detail::guard_grad_norm("bicycle_gan.ge", detail::grad_norm(ge_params),
+                                  config.sentinel);
+        }
         opt_ge.step();
 
         g_acc += loss_g.item();
@@ -80,7 +95,8 @@ TrainStats BicycleGanModel::fit(const data::PairedDataset& dataset,
           g_acc = d_acc = 0.0;
           acc_n = 0;
         }
-      });
+      },
+      &ctx);
   if (acc_n > 0) {
     stats.g_loss_history.push_back(static_cast<float>(g_acc / acc_n));
     stats.d_loss_history.push_back(static_cast<float>(d_acc / acc_n));

@@ -15,14 +15,19 @@ TrainStats CvaeModel::fit(const data::PairedDataset& dataset, const TrainConfig&
   std::vector<Tensor> params = root_.generator.parameters();
   for (const Tensor& p : root_.encoder.parameters()) params.push_back(p);
   nn::Adam opt(params, {.lr = config.lr});
+  detail::LoopContext ctx;
+  ctx.root = &root_;
+  ctx.optimizers = {&opt};
 
   TrainStats stats;
   double acc = 0.0;
   int acc_n = 0;
   const int total_steps_planned = detail::total_steps(dataset, config);
   stats.steps = detail::run_training_loop(
-      dataset, config, rng, [&](const Tensor& pl, const Tensor& vl, int step) {
-        const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned);
+      dataset, config, rng,
+      [&](const Tensor& pl, const Tensor& vl, int step) {
+        const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned) *
+                         static_cast<float>(ctx.lr_scale);
         opt.set_lr(lr);
         const ResNetEncoder::Output dist = root_.encoder.forward(vl);
         const Tensor z = ResNetEncoder::sample_latent(dist, rng);
@@ -30,8 +35,12 @@ TrainStats CvaeModel::fit(const data::PairedDataset& dataset, const TrainConfig&
         Tensor loss = tensor::add(
             tensor::mul_scalar(tensor::l1_loss(fake, vl), config.alpha),
             tensor::mul_scalar(tensor::kl_standard_normal(dist.mu, dist.logvar), config.beta));
+        detail::guard_loss("cvae.loss", loss.item(), config.sentinel);
         opt.zero_grad();
         loss.backward();
+        if (detail::want_grad_norm(config.sentinel)) {
+          detail::guard_grad_norm("cvae", detail::grad_norm(params), config.sentinel);
+        }
         opt.step();
 
         acc += loss.item();
@@ -42,7 +51,8 @@ TrainStats CvaeModel::fit(const data::PairedDataset& dataset, const TrainConfig&
           acc = 0.0;
           acc_n = 0;
         }
-      });
+      },
+      &ctx);
   if (acc_n > 0) stats.g_loss_history.push_back(static_cast<float>(acc / acc_n));
   return stats;
 }

@@ -18,14 +18,19 @@ TrainStats CvaeGanModel::fit(const data::PairedDataset& dataset, const TrainConf
   const std::vector<Tensor> d_params = root_.discriminator.parameters();
   nn::Adam opt_ge(ge_params, {.lr = config.lr});
   nn::Adam opt_d(d_params, {.lr = config.lr});
+  detail::LoopContext ctx;
+  ctx.root = &root_;
+  ctx.optimizers = {&opt_ge, &opt_d};
 
   TrainStats stats;
   double g_acc = 0.0, d_acc = 0.0;
   int acc_n = 0;
   const int total_steps_planned = detail::total_steps(dataset, config);
   stats.steps = detail::run_training_loop(
-      dataset, config, rng, [&](const Tensor& pl, const Tensor& vl, int step) {
-        const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned);
+      dataset, config, rng,
+      [&](const Tensor& pl, const Tensor& vl, int step) {
+        const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned) *
+                         static_cast<float>(ctx.lr_scale);
         opt_ge.set_lr(lr);
         opt_d.set_lr(lr);
         // Posterior latent from the real voltages (VAE branch).
@@ -49,10 +54,14 @@ TrainStats CvaeGanModel::fit(const data::PairedDataset& dataset, const TrainConf
               tensor::add(gan_loss(d_real, true, config.lsgan),
                           gan_loss(d_fake, false, config.lsgan)),
               0.5f);
+          detail::guard_loss("cvae_gan.loss.d", loss_d.item(), config.sentinel);
           opt_d.zero_grad();
           loss_d.backward();
-          if (trace::enabled())
-            trace::counter("cvae_gan.grad_norm.d", detail::grad_norm(d_params));
+          if (detail::want_grad_norm(config.sentinel)) {
+            const double norm = detail::grad_norm(d_params);
+            if (trace::enabled()) trace::counter("cvae_gan.grad_norm.d", norm);
+            detail::guard_grad_norm("cvae_gan.d", norm, config.sentinel);
+          }
           opt_d.step();
         }
 
@@ -66,12 +75,17 @@ TrainStats CvaeGanModel::fit(const data::PairedDataset& dataset, const TrainConf
           loss_g = gan_loss(d_fake2, true, config.lsgan);
           loss_g = tensor::add(loss_g, tensor::mul_scalar(l1, config.alpha));
           loss_g = tensor::add(loss_g, tensor::mul_scalar(kl, config.beta));
+          detail::guard_loss("cvae_gan.loss.g", loss_g.item(), config.sentinel);
           opt_ge.zero_grad();
           loss_g.backward();
           if (trace::enabled()) {
             trace::counter("cvae_gan.loss.l1", l1.item());
             trace::counter("cvae_gan.loss.kl", kl.item());
-            trace::counter("cvae_gan.grad_norm.ge", detail::grad_norm(ge_params));
+          }
+          if (detail::want_grad_norm(config.sentinel)) {
+            const double norm = detail::grad_norm(ge_params);
+            if (trace::enabled()) trace::counter("cvae_gan.grad_norm.ge", norm);
+            detail::guard_grad_norm("cvae_gan.ge", norm, config.sentinel);
           }
           opt_ge.step();
         }
@@ -91,7 +105,8 @@ TrainStats CvaeGanModel::fit(const data::PairedDataset& dataset, const TrainConf
           g_acc = d_acc = 0.0;
           acc_n = 0;
         }
-      });
+      },
+      &ctx);
   if (acc_n > 0) {
     stats.g_loss_history.push_back(static_cast<float>(g_acc / acc_n));
     stats.d_loss_history.push_back(static_cast<float>(d_acc / acc_n));

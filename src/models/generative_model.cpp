@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <limits>
+#include <optional>
 
 #include "common/error.h"
+#include "common/faultinject.h"
+#include "common/logging.h"
 #include "common/stats.h"
 #include "common/trace.h"
 #include "nn/serialize.h"
@@ -83,27 +88,170 @@ Tensor latent_rows(Index n, Index z_dim, std::span<flashgen::Rng> rngs) {
   return z;
 }
 
+void guard_loss(const char* what, double value, const SentinelConfig& sentinel) {
+  if (sentinel.policy == SentinelPolicy::kOff) return;
+  if (FG_FAULT("nan_poison")) value = std::numeric_limits<double>::quiet_NaN();
+  if (!std::isfinite(value)) {
+    std::ostringstream os;
+    os << "divergence: " << what << " is " << value;
+    throw DivergenceError(os.str());
+  }
+}
+
+void guard_grad_norm(const char* what, double norm, const SentinelConfig& sentinel) {
+  if (sentinel.policy == SentinelPolicy::kOff || sentinel.grad_norm_limit <= 0.0) return;
+  if (!std::isfinite(norm) || norm > sentinel.grad_norm_limit) {
+    std::ostringstream os;
+    os << "divergence: " << what << " gradient norm " << norm << " exceeds limit "
+       << sentinel.grad_norm_limit;
+    throw DivergenceError(os.str());
+  }
+}
+
+bool want_grad_norm(const SentinelConfig& sentinel) {
+  return trace::enabled() ||
+         (sentinel.policy != SentinelPolicy::kOff && sentinel.grad_norm_limit > 0.0);
+}
+
 int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& config,
                       flashgen::Rng& rng,
-                      const std::function<void(const Tensor&, const Tensor&, int)>& step) {
+                      const std::function<void(const Tensor&, const Tensor&, int)>& step,
+                      LoopContext* ctx) {
   FG_CHECK(config.epochs > 0, "epochs must be positive");
   FG_CHECK(config.batch_size > 0, "batch size must be positive");
   FG_CHECK(dataset.size() >= static_cast<std::size_t>(config.batch_size),
            "dataset smaller than one batch");
   data::BatchSampler sampler(dataset.size(), static_cast<std::size_t>(config.batch_size), rng);
   static stats::Counter& steps_total = stats::counter("train.steps");
-  int step_index = 0;
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    FG_TRACE_SPAN("train.epoch", "model");
-    for (const auto& indices : sampler.epoch()) {
-      auto [pl, vl] = dataset.batch(indices);
-      FG_TRACE_SPAN("train.step", "model");
-      step(pl, vl, step_index);
-      steps_total.add();
-      ++step_index;
-    }
+  static stats::Counter& snapshots_total = stats::counter("train.snapshots");
+  static stats::Counter& snapshot_failures = stats::counter("train.snapshot_failures");
+  static stats::Counter& divergence_events = stats::counter("train.divergence_events");
+  static stats::Counter& rollbacks_total = stats::counter("train.rollbacks");
+
+  const bool snapshots_on =
+      ctx != nullptr && !config.snapshot.path.empty() && config.snapshot.every_steps > 0;
+  if (ctx != nullptr) {
+    FG_CHECK(ctx->root != nullptr, "LoopContext without a root module");
   }
-  return step_index;
+
+  std::int64_t epoch = 0;
+  std::int64_t step_in_epoch = 0;
+  std::int64_t global_step = 0;
+  flashgen::Rng::State epoch_start_state;
+
+  // When set, the next epoch iteration replays its shuffle from the recorded
+  // epoch-start RNG state, skips the steps the snapshot already completed,
+  // and continues with the snapshot-instant RNG state — giving bit-identical
+  // continuation regardless of where inside the epoch the snapshot landed.
+  std::optional<nn::TrainState> pending;
+
+  auto capture = [&]() {
+    nn::TrainState st;
+    st.epoch = epoch;
+    st.step_in_epoch = step_in_epoch;
+    st.global_step = global_step;
+    st.lr_scale = ctx->lr_scale;
+    st.rng_epoch_start = epoch_start_state;
+    st.rng_current = rng.state();
+    st.optimizers.reserve(ctx->optimizers.size());
+    for (const nn::Adam* opt : ctx->optimizers) st.optimizers.push_back(opt->export_state());
+    return st;
+  };
+
+  auto restore = [&]() {
+    nn::TrainState st = nn::load_train_state(*ctx->root, config.snapshot.path);
+    FG_CHECK(st.optimizers.size() == ctx->optimizers.size(),
+             "snapshot has " << st.optimizers.size() << " optimizer states but trainer has "
+                             << ctx->optimizers.size());
+    for (std::size_t i = 0; i < ctx->optimizers.size(); ++i) {
+      ctx->optimizers[i]->import_state(st.optimizers[i]);
+    }
+    epoch = st.epoch;
+    step_in_epoch = st.step_in_epoch;
+    global_step = st.global_step;
+    ctx->lr_scale = st.lr_scale;
+    pending = std::move(st);
+  };
+
+  if (ctx != nullptr && config.snapshot.resume && !config.snapshot.path.empty() &&
+      std::filesystem::exists(config.snapshot.path)) {
+    restore();
+    FG_LOG(Info) << "resuming training from " << config.snapshot.path << " at step "
+                 << global_step << " (epoch " << epoch << ", step " << step_in_epoch << ")";
+  }
+
+  while (epoch < config.epochs) {
+    FG_TRACE_SPAN("train.epoch", "model");
+    if (pending) rng.set_state(pending->rng_epoch_start);
+    epoch_start_state = rng.state();
+    const auto batches = sampler.epoch();
+    std::size_t b = 0;
+    if (pending) {
+      FG_CHECK(static_cast<std::size_t>(step_in_epoch) <= batches.size(),
+               "snapshot claims " << step_in_epoch << " completed steps in an epoch of "
+                                  << batches.size() << " batches");
+      b = static_cast<std::size_t>(step_in_epoch);
+      rng.set_state(pending->rng_current);
+      pending.reset();
+    } else {
+      step_in_epoch = 0;
+    }
+
+    bool rolled_back = false;
+    for (; b < batches.size(); ++b) {
+      if (FG_FAULT("train_kill")) {
+        FG_CHECK(false, "fault injected: train_kill at step " << global_step);
+      }
+      auto [pl, vl] = dataset.batch(batches[b]);
+      FG_TRACE_SPAN("train.step", "model");
+      try {
+        step(pl, vl, static_cast<int>(global_step));
+      } catch (const DivergenceError& err) {
+        divergence_events.add();
+        const bool can_roll_back = config.sentinel.policy == SentinelPolicy::kRollback &&
+                                   snapshots_on && ctx->snapshots_written > 0 &&
+                                   std::filesystem::exists(config.snapshot.path);
+        if (!can_roll_back) {
+          FG_CHECK(false, "training diverged at step " << global_step << " (" << err.what()
+                                                       << "); no snapshot to roll back to"
+                                                       << " — halting");
+        }
+        FG_CHECK(ctx->rollbacks < config.sentinel.max_rollbacks,
+                 "training diverged at step " << global_step << " (" << err.what() << ") after "
+                                              << ctx->rollbacks
+                                              << " rollbacks — giving up");
+        ++ctx->rollbacks;
+        rollbacks_total.add();
+        const std::int64_t diverged_at = global_step;
+        restore();
+        ctx->lr_scale *= config.sentinel.lr_backoff;
+        FG_LOG(Warn) << "training diverged at step " << diverged_at << " (" << err.what()
+                     << "); rolled back to step " << global_step << ", lr scale now "
+                     << ctx->lr_scale;
+        rolled_back = true;
+        break;
+      }
+      steps_total.add();
+      ++global_step;
+      ++step_in_epoch;
+      if (snapshots_on && global_step % config.snapshot.every_steps == 0) {
+        FG_TRACE_SPAN("train.snapshot", "model");
+        try {
+          nn::save_train_state(*ctx->root, capture(), config.snapshot.path);
+          snapshots_total.add();
+          ++ctx->snapshots_written;
+        } catch (const flashgen::Error& err) {
+          // A failed snapshot must not kill a healthy run: the previous
+          // artifact survives (atomic rename), so just count and carry on.
+          snapshot_failures.add();
+          FG_LOG(Warn) << "snapshot write failed at step " << global_step << ": " << err.what();
+        }
+      }
+    }
+    if (rolled_back) continue;
+    ++epoch;
+  }
+  return static_cast<int>(global_step);
 }
 
 int total_steps(const data::PairedDataset& dataset, const TrainConfig& config) {

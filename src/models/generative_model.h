@@ -12,13 +12,39 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "nn/module.h"
+#include "nn/optimizer.h"
 
 namespace flashgen::models {
 
 using nn::Tensor;
+
+/// Periodic resumable-training snapshots (see nn::TrainState). Active when
+/// `path` is non-empty and `every_steps` > 0 and the trainer supplies a
+/// detail::LoopContext.
+struct SnapshotConfig {
+  std::string path;     // snapshot artifact; "" disables snapshotting
+  int every_steps = 0;  // write after every N optimizer steps; 0 disables
+  bool resume = false;  // restore from `path` (when it exists) before training
+};
+
+/// What to do when a training step diverges (NaN/Inf loss, or gradient norm
+/// above `grad_norm_limit`).
+enum class SentinelPolicy {
+  kOff,       // no checks
+  kHalt,      // throw with a diagnostic, leaving the model as-is
+  kRollback,  // reload the last good snapshot and shrink the learning rate
+};
+
+struct SentinelConfig {
+  SentinelPolicy policy = SentinelPolicy::kOff;
+  double grad_norm_limit = 1e6;  // global L2 norm; <= 0 disables the norm check
+  double lr_backoff = 0.5;       // lr multiplier applied on each rollback
+  int max_rollbacks = 3;         // halt after this many rollbacks
+};
 
 /// Training hyper-parameters (paper Remark 2 defaults).
 struct TrainConfig {
@@ -30,6 +56,8 @@ struct TrainConfig {
   float latent_weight = 0.5f;  // Bicycle-GAN latent-recovery L1 weight
   bool lsgan = false;        // least-squares GAN objective instead of BCE
   int log_every = 200;       // steps between progress log lines; 0 disables
+  SnapshotConfig snapshot;
+  SentinelConfig sentinel;
 };
 
 struct TrainStats {
@@ -91,16 +119,63 @@ class GenerativeModel {
 /// all-fake target, or least-squares when `lsgan`.
 Tensor gan_loss(const Tensor& logits, bool target_real, bool lsgan);
 
+/// Thrown by the divergence sentinels (detail::guard_loss / guard_grad_norm)
+/// when a step produced a non-finite loss or an exploding gradient.
+/// run_training_loop turns it into a halt or a snapshot rollback per
+/// SentinelConfig::policy.
+class DivergenceError : public flashgen::Error {
+ public:
+  explicit DivergenceError(const std::string& what) : flashgen::Error(what) {}
+};
+
 namespace detail {
 /// (N, z_dim) latent batch where row i is drawn from rngs[i], matching the
 /// draw order of Tensor::randn on a single-row latent.
 Tensor latent_rows(tensor::Index n, tensor::Index z_dim, std::span<flashgen::Rng> rngs);
 
+/// What a trainer exposes to run_training_loop so it can snapshot, resume,
+/// and roll back. `root` and `optimizers` (in a fixed, trainer-defined order)
+/// must outlive the loop. `lr_scale` starts at 1, is restored from snapshots,
+/// and shrinks on each sentinel rollback — trainers multiply their scheduled
+/// learning rate by it every step.
+struct LoopContext {
+  nn::Module* root = nullptr;
+  std::vector<nn::Adam*> optimizers;
+  double lr_scale = 1.0;
+  int rollbacks = 0;
+  int snapshots_written = 0;
+};
+
+/// Sentinel checks, called by trainer step functions. No-ops when
+/// `sentinel.policy` is kOff; otherwise throw DivergenceError on a
+/// non-finite `value` / a norm above `sentinel.grad_norm_limit`. The
+/// "nan_poison" fault point fires inside guard_loss to exercise the
+/// divergence path on demand.
+void guard_loss(const char* what, double value, const SentinelConfig& sentinel);
+void guard_grad_norm(const char* what, double norm, const SentinelConfig& sentinel);
+
+/// True when either tracing or an active sentinel wants gradient norms, so
+/// trainers can skip the norm reduction otherwise.
+bool want_grad_norm(const SentinelConfig& sentinel);
+
 /// Shared epoch/batch loop: calls `step(pl, vl, step_index)` for every
 /// shuffled mini-batch over `config.epochs` epochs.
+///
+/// With a LoopContext, additionally implements the fault-tolerance contract:
+///  - config.snapshot: periodic nn::TrainState snapshots (atomic writes; a
+///    failed write logs + counts but does not stop training) and, when
+///    `resume` is set and the file exists, bit-identical continuation from
+///    the snapshot — the epoch's shuffle is replayed from the recorded
+///    rng_epoch_start state, completed steps are skipped, and the RNG resumes
+///    from rng_current.
+///  - config.sentinel: DivergenceError from `step` halts with a diagnostic
+///    (kHalt, or no usable snapshot) or rolls back to the last good snapshot
+///    with lr_scale *= lr_backoff (kRollback), up to max_rollbacks times.
+/// Fault points: "train_kill" (simulated crash between steps).
 int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& config,
                       flashgen::Rng& rng,
-                      const std::function<void(const Tensor&, const Tensor&, int)>& step);
+                      const std::function<void(const Tensor&, const Tensor&, int)>& step,
+                      LoopContext* ctx = nullptr);
 
 /// Number of optimizer steps run_training_loop will execute.
 int total_steps(const data::PairedDataset& dataset, const TrainConfig& config);

@@ -45,4 +45,30 @@ void Adam::zero_grad() {
   for (tensor::Tensor& p : params_) p.zero_grad();
 }
 
+AdamState Adam::export_state() const {
+  AdamState state;
+  state.t = t_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+void Adam::import_state(const AdamState& state) {
+  FG_CHECK(state.t >= 0, "Adam state: negative step counter " << state.t);
+  FG_CHECK(state.m.size() == params_.size() && state.v.size() == params_.size(),
+           "Adam state has " << state.m.size() << "/" << state.v.size()
+                             << " moment vectors but optimizer has " << params_.size()
+                             << " parameters");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const auto numel = static_cast<std::size_t>(params_[i].numel());
+    FG_CHECK(state.m[i].size() == numel && state.v[i].size() == numel,
+             "Adam state parameter " << i << " has " << state.m[i].size() << "/"
+                                     << state.v[i].size() << " moments but parameter has "
+                                     << numel << " elements");
+  }
+  t_ = state.t;
+  m_ = state.m;
+  v_ = state.v;
+}
+
 }  // namespace flashgen::nn

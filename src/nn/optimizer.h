@@ -16,6 +16,15 @@ struct AdamConfig {
   float weight_decay = 0.0f;  // decoupled (AdamW-style) when non-zero
 };
 
+/// Serializable Adam moment state: step counter plus first/second moments in
+/// parameter-list order. Exported into training snapshots so a resumed run
+/// continues the bias-corrected updates bit-identically.
+struct AdamState {
+  std::int64_t t = 0;
+  std::vector<std::vector<float>> m;
+  std::vector<std::vector<float>> v;
+};
+
 /// First-order optimizer over an explicit parameter list. Parameters whose
 /// grad buffer is empty at step() time are skipped (treated as zero grad).
 class Adam {
@@ -31,6 +40,13 @@ class Adam {
   const AdamConfig& config() const { return config_; }
   void set_lr(float lr) { config_.lr = lr; }
   std::int64_t step_count() const { return t_; }
+
+  /// Copies out the moment state for snapshotting.
+  AdamState export_state() const;
+
+  /// Restores a previously exported state. Throws flashgen::Error when the
+  /// state does not match this optimizer's parameter list (count or sizes).
+  void import_state(const AdamState& state);
 
  private:
   std::vector<tensor::Tensor> params_;

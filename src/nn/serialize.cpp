@@ -1,53 +1,59 @@
 #include "nn/serialize.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
+#include <utility>
 
 #include "common/error.h"
+#include "common/faultinject.h"
 
 namespace flashgen::nn {
 
 namespace {
-constexpr char kMagic[8] = {'F', 'G', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr char kCheckpointMagic[8] = {'F', 'G', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr char kTrainStateMagic[8] = {'F', 'G', 'T', 'S', 'N', 'A', 'P', '1'};
+
+// Hostile-input ceilings: a corrupt or crafted file can claim arbitrary
+// counts, so every claim is bounded before any allocation happens.
+constexpr std::uint64_t kMaxFileBytes = std::uint64_t{1} << 30;  // 1 GiB
+constexpr std::uint32_t kMaxNameLen = 4096;
+constexpr std::uint32_t kMaxRank = 8;
+constexpr std::uint32_t kMaxOptimizers = 64;
 
 template <typename T>
 void write_pod(std::ofstream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
-template <typename T>
-T read_pod(std::ifstream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  FG_CHECK(in.good(), "checkpoint truncated");
-  return value;
-}
-}  // namespace
+// ---- crash-safe writing ---------------------------------------------------
 
-void save_checkpoint(const Module& module, const std::string& path) {
-  // Crash-safe: write to a sibling temp file, then atomically rename over the
-  // destination, so a failed or interrupted save never clobbers an existing
-  // checkpoint. The temp name is deterministic; concurrent saves to the same
-  // path are not supported (last rename wins).
+// Writes via a sibling temp file, then atomically renames over the
+// destination, so a failed or interrupted save never clobbers an existing
+// artifact. The temp name is deterministic; concurrent saves to the same path
+// are not supported (last rename wins). The "checkpoint_write" fault point
+// simulates a crash mid-write: the partial temp file is left behind (as a
+// real crash would) and the destination survives untouched.
+void atomic_write(const std::string& path,
+                  const std::function<void(std::ofstream&)>& write_body) {
   const std::string tmp_path = path + ".tmp";
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     FG_CHECK(out.good(), "cannot open checkpoint for writing: " << tmp_path);
-    out.write(kMagic, sizeof(kMagic));
-    const auto state = module.named_state();
-    write_pod<std::uint64_t>(out, state.size());
-    for (const NamedTensor& nt : state) {
-      write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(nt.name.size()));
-      out.write(nt.name.data(), static_cast<std::streamsize>(nt.name.size()));
-      const auto& dims = nt.tensor.shape().dims();
-      write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(dims.size()));
-      for (auto d : dims) write_pod<std::uint64_t>(out, static_cast<std::uint64_t>(d));
-      auto data = nt.tensor.data();
-      out.write(reinterpret_cast<const char*>(data.data()),
-                static_cast<std::streamsize>(data.size() * sizeof(float)));
+    write_body(out);
+    if (FG_FAULT("checkpoint_write")) {
+      // Simulated crash mid-write: chop the temp file in half and bail before
+      // the rename, exactly the wreckage a real power cut would leave.
+      out.close();
+      std::error_code ec;
+      const auto written = std::filesystem::file_size(tmp_path, ec);
+      if (!ec) std::filesystem::resize_file(tmp_path, written / 2, ec);
+      FG_CHECK(false, "fault injected: checkpoint_write (" << tmp_path << ")");
     }
     out.flush();
     if (!out.good()) {
@@ -62,43 +68,264 @@ void save_checkpoint(const Module& module, const std::string& path) {
   }
 }
 
-void load_checkpoint(Module& module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  FG_CHECK(in.good(), "cannot open checkpoint for reading: " << path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  FG_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-           "not a flashgen checkpoint: " << path);
-  const auto count = read_pod<std::uint64_t>(in);
+void write_module_entries(std::ofstream& out, const Module& module) {
+  const auto state = module.named_state();
+  write_pod<std::uint64_t>(out, state.size());
+  for (const NamedTensor& nt : state) {
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(nt.name.size()));
+    out.write(nt.name.data(), static_cast<std::streamsize>(nt.name.size()));
+    const auto& dims = nt.tensor.shape().dims();
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(dims.size()));
+    for (auto d : dims) write_pod<std::uint64_t>(out, static_cast<std::uint64_t>(d));
+    auto data = nt.tensor.data();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+}
 
-  std::map<std::string, std::pair<tensor::Shape, std::vector<float>>> entries;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const auto name_len = read_pod<std::uint32_t>(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    const auto rank = read_pod<std::uint32_t>(in);
-    std::vector<tensor::Index> dims(rank);
-    for (auto& d : dims) d = static_cast<tensor::Index>(read_pod<std::uint64_t>(in));
-    tensor::Shape shape(dims);
-    std::vector<float> data(static_cast<std::size_t>(shape.numel()));
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    FG_CHECK(in.good(), "checkpoint truncated while reading " << name);
-    entries.emplace(std::move(name), std::make_pair(std::move(shape), std::move(data)));
+void write_rng_state(std::ofstream& out, const flashgen::Rng::State& state) {
+  for (std::uint64_t word : state.s) write_pod<std::uint64_t>(out, word);
+  write_pod<std::uint8_t>(out, state.has_cached_normal ? 1 : 0);
+  write_pod<double>(out, state.cached_normal);
+}
+
+// ---- bounds-checked reading -----------------------------------------------
+
+// Reads the whole file into memory (bounded by kMaxFileBytes) so every claim
+// inside can be validated against the true byte count before use.
+std::vector<std::uint8_t> read_file_bounded(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  FG_CHECK(in.good(), "cannot open checkpoint for reading: " << path);
+  const std::streamoff size = in.tellg();
+  FG_CHECK(size >= 0, "cannot stat checkpoint: " << path);
+  FG_CHECK(static_cast<std::uint64_t>(size) <= kMaxFileBytes,
+           "checkpoint implausibly large (" << size << " bytes): " << path);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  FG_CHECK(in.good() || size == 0, "checkpoint read failed: " << path);
+  return bytes;
+}
+
+// Little-endian cursor over a loaded file. Every accessor validates the
+// remaining byte count first, so a truncated or lying file raises Error
+// instead of reading out of bounds or allocating from a hostile claim.
+class FileReader {
+ public:
+  FileReader(const std::vector<std::uint8_t>& bytes, const std::string& path)
+      : data_(bytes.data()), size_(bytes.size()), path_(path) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  const std::string& path() const { return path_; }
+
+  void expect_magic(const char (&magic)[8], const char* what) {
+    FG_CHECK(remaining() >= sizeof(magic) && std::memcmp(data_ + pos_, magic, sizeof(magic)) == 0,
+             "not a " << what << ": " << path_);
+    pos_ += sizeof(magic);
   }
 
+  template <typename T>
+  T get_pod(const char* what) {
+    FG_CHECK(remaining() >= sizeof(T),
+             "checkpoint truncated reading " << what << " (" << path_ << ")");
+    T value{};
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string get_name() {
+    const auto len = get_pod<std::uint32_t>("name length");
+    FG_CHECK(len <= kMaxNameLen, "checkpoint name implausibly long (" << len << " bytes): " << path_);
+    FG_CHECK(remaining() >= len, "checkpoint truncated reading name (" << path_ << ")");
+    std::string name(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return name;
+  }
+
+  std::vector<float> get_floats(std::uint64_t count, const char* what) {
+    FG_CHECK(count <= remaining() / sizeof(float),
+             "checkpoint claims " << count << " floats for " << what << " but only "
+                                  << remaining() << " bytes remain (" << path_ << ")");
+    std::vector<float> values(static_cast<std::size_t>(count));
+    std::memcpy(values.data(), data_ + pos_, values.size() * sizeof(float));
+    pos_ += values.size() * sizeof(float);
+    return values;
+  }
+
+  flashgen::Rng::State get_rng_state() {
+    flashgen::Rng::State state;
+    for (std::uint64_t& word : state.s) word = get_pod<std::uint64_t>("rng state");
+    state.has_cached_normal = get_pod<std::uint8_t>("rng cache flag") != 0;
+    state.cached_normal = get_pod<double>("rng cached normal");
+    return state;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  const std::string& path_;
+};
+
+using StagedEntries = std::map<std::string, std::pair<tensor::Shape, std::vector<float>>>;
+
+// Parses the entry block into staging storage, validating every claim against
+// the file size. Nothing in the destination module is touched here.
+StagedEntries stage_module_entries(FileReader& reader) {
+  const auto count = reader.get_pod<std::uint64_t>("entry count");
+  // Minimum encoded entry: empty name (4) + rank 0 (4).
+  FG_CHECK(count <= reader.remaining() / 8,
+           "checkpoint claims " << count << " entries in " << reader.remaining()
+                                << " remaining bytes (" << reader.path() << ")");
+  StagedEntries entries;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = reader.get_name();
+    const auto rank = reader.get_pod<std::uint32_t>("rank");
+    FG_CHECK(rank <= kMaxRank,
+             "checkpoint entry " << name << " has implausible rank " << rank << " ("
+                                 << reader.path() << ")");
+    std::vector<tensor::Index> dims(rank);
+    std::uint64_t numel = 1;
+    for (auto& d : dims) {
+      const auto dim = reader.get_pod<std::uint64_t>("dimension");
+      FG_CHECK(dim > 0 && dim <= kMaxFileBytes, "checkpoint entry " << name
+                                                                    << " has bad dimension "
+                                                                    << dim << " ("
+                                                                    << reader.path() << ")");
+      numel *= dim;
+      FG_CHECK(numel <= kMaxFileBytes,
+               "checkpoint entry " << name << " claims " << numel << "+ elements ("
+                                   << reader.path() << ")");
+      d = static_cast<tensor::Index>(dim);
+    }
+    std::vector<float> data = reader.get_floats(numel, name.c_str());
+    tensor::Shape shape(dims);
+    const bool inserted =
+        entries.emplace(std::move(name), std::make_pair(std::move(shape), std::move(data)))
+            .second;
+    FG_CHECK(inserted, "checkpoint has a duplicate entry (" << reader.path() << ")");
+  }
+  return entries;
+}
+
+// Copies fully validated staged entries into the module. Only reached when
+// every entry parsed cleanly, so the module is never left half-written.
+void apply_module_entries(Module& module, const StagedEntries& entries,
+                          const std::string& path) {
   auto state = module.named_state();
   FG_CHECK(state.size() == entries.size(),
            "checkpoint " << path << " has " << entries.size() << " tensors but module has "
                          << state.size());
   for (NamedTensor& nt : state) {
     auto it = entries.find(nt.name);
-    FG_CHECK(it != entries.end(), "checkpoint missing tensor " << nt.name);
+    FG_CHECK(it != entries.end(), "checkpoint missing tensor " << nt.name << " (" << path << ")");
     FG_CHECK(it->second.first == nt.tensor.shape(),
              "checkpoint shape mismatch for " << nt.name << ": file " << it->second.first
                                               << " vs module " << nt.tensor.shape());
-    std::copy(it->second.second.begin(), it->second.second.end(), nt.tensor.data().begin());
   }
+  for (NamedTensor& nt : state) {
+    const auto& data = entries.at(nt.name).second;
+    std::copy(data.begin(), data.end(), nt.tensor.data().begin());
+  }
+}
+}  // namespace
+
+void save_checkpoint(const Module& module, const std::string& path) {
+  atomic_write(path, [&](std::ofstream& out) {
+    out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+    write_module_entries(out, module);
+  });
+}
+
+void load_checkpoint(Module& module, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file_bounded(path);
+  FileReader reader(bytes, path);
+  reader.expect_magic(kCheckpointMagic, "flashgen checkpoint");
+  const StagedEntries entries = stage_module_entries(reader);
+  FG_CHECK(reader.remaining() == 0,
+           "checkpoint has " << reader.remaining() << " trailing bytes (" << path << ")");
+  apply_module_entries(module, entries, path);
+}
+
+void save_train_state(const Module& module, const TrainState& state, const std::string& path) {
+  FG_CHECK(state.optimizers.size() <= kMaxOptimizers,
+           "train state with " << state.optimizers.size() << " optimizers");
+  atomic_write(path, [&](std::ofstream& out) {
+    out.write(kTrainStateMagic, sizeof(kTrainStateMagic));
+    write_pod<std::uint32_t>(out, kTrainStateVersion);
+    write_pod<std::int64_t>(out, state.epoch);
+    write_pod<std::int64_t>(out, state.step_in_epoch);
+    write_pod<std::int64_t>(out, state.global_step);
+    write_pod<double>(out, state.lr_scale);
+    write_rng_state(out, state.rng_epoch_start);
+    write_rng_state(out, state.rng_current);
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(state.optimizers.size()));
+    for (const AdamState& opt : state.optimizers) {
+      write_pod<std::int64_t>(out, opt.t);
+      write_pod<std::uint64_t>(out, opt.m.size());
+      for (std::size_t i = 0; i < opt.m.size(); ++i) {
+        write_pod<std::uint64_t>(out, opt.m[i].size());
+        out.write(reinterpret_cast<const char*>(opt.m[i].data()),
+                  static_cast<std::streamsize>(opt.m[i].size() * sizeof(float)));
+        out.write(reinterpret_cast<const char*>(opt.v[i].data()),
+                  static_cast<std::streamsize>(opt.v[i].size() * sizeof(float)));
+      }
+    }
+    write_module_entries(out, module);
+  });
+}
+
+TrainState load_train_state(Module& module, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file_bounded(path);
+  FileReader reader(bytes, path);
+  reader.expect_magic(kTrainStateMagic, "flashgen training snapshot");
+  const auto version = reader.get_pod<std::uint32_t>("version");
+  FG_CHECK(version == kTrainStateVersion,
+           "unsupported training snapshot version " << version << " (" << path << ")");
+
+  TrainState state;
+  state.epoch = reader.get_pod<std::int64_t>("epoch");
+  state.step_in_epoch = reader.get_pod<std::int64_t>("step_in_epoch");
+  state.global_step = reader.get_pod<std::int64_t>("global_step");
+  FG_CHECK(state.epoch >= 0 && state.step_in_epoch >= 0 && state.global_step >= 0,
+           "training snapshot has negative counters (" << path << ")");
+  state.lr_scale = reader.get_pod<double>("lr_scale");
+  FG_CHECK(state.lr_scale > 0.0 && state.lr_scale <= 1.0,
+           "training snapshot lr_scale " << state.lr_scale << " out of (0, 1] (" << path << ")");
+  state.rng_epoch_start = reader.get_rng_state();
+  state.rng_current = reader.get_rng_state();
+
+  const auto opt_count = reader.get_pod<std::uint32_t>("optimizer count");
+  FG_CHECK(opt_count <= kMaxOptimizers,
+           "training snapshot claims " << opt_count << " optimizers (" << path << ")");
+  state.optimizers.resize(opt_count);
+  for (AdamState& opt : state.optimizers) {
+    opt.t = reader.get_pod<std::int64_t>("optimizer t");
+    FG_CHECK(opt.t >= 0, "training snapshot has negative optimizer step counter (" << path << ")");
+    const auto param_count = reader.get_pod<std::uint64_t>("optimizer param count");
+    // Minimum encoded parameter: u64 numel with zero elements.
+    FG_CHECK(param_count <= reader.remaining() / 8,
+             "training snapshot claims " << param_count << " optimizer parameters ("
+                                         << path << ")");
+    opt.m.resize(static_cast<std::size_t>(param_count));
+    opt.v.resize(static_cast<std::size_t>(param_count));
+    for (std::size_t i = 0; i < param_count; ++i) {
+      const auto numel = reader.get_pod<std::uint64_t>("moment numel");
+      FG_CHECK(numel <= reader.remaining() / (2 * sizeof(float)),
+               "training snapshot claims " << numel << " moment elements in "
+                                           << reader.remaining() << " remaining bytes ("
+                                           << path << ")");
+      opt.m[i] = reader.get_floats(numel, "adam m");
+      opt.v[i] = reader.get_floats(numel, "adam v");
+    }
+  }
+
+  const StagedEntries entries = stage_module_entries(reader);
+  FG_CHECK(reader.remaining() == 0,
+           "training snapshot has " << reader.remaining() << " trailing bytes (" << path << ")");
+  apply_module_entries(module, entries, path);
+  return state;
 }
 
 }  // namespace flashgen::nn

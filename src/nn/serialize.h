@@ -1,25 +1,73 @@
-// Binary checkpointing of module state (parameters + buffers).
+// Binary checkpointing of module state (parameters + buffers), and versioned
+// resumable-training snapshots.
 //
-// Format (little-endian):
+// Checkpoint format (little-endian):
 //   magic "FGCKPT01" | u64 entry_count |
 //   per entry: u32 name_len | name bytes | u32 rank | u64 dims[rank] |
 //              float32 data[numel]
 // Loading matches entries by name and requires exact shape agreement, so a
 // checkpoint can only be restored into an identically-configured module.
+//
+// TrainState format (little-endian):
+//   magic "FGTSNAP1" | u32 version |
+//   i64 epoch | i64 step_in_epoch | i64 global_step | f64 lr_scale |
+//   RngState rng_epoch_start | RngState rng_current |
+//   u32 optimizer_count |
+//   per optimizer: i64 t | u64 param_count |
+//                  per param: u64 numel | f32 m[numel] | f32 v[numel] |
+//   u64 entry_count | module entries (checkpoint encoding)
+//   where RngState = u64 s[4] | u8 has_cached_normal | f64 cached_normal.
+//
+// Both writers go through a temp-file + atomic-rename path, so an interrupted
+// or fault-injected save never clobbers the previous artifact. Both readers
+// validate every length field against the actual file size *before*
+// allocating or mutating anything: a truncated, bit-flipped, or maliciously
+// oversized file raises flashgen::Error and leaves the module untouched.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "nn/module.h"
+#include "nn/optimizer.h"
 
 namespace flashgen::nn {
 
-/// Writes the module's named state to `path`. Throws on I/O failure.
+/// Writes the module's named state to `path`. Throws on I/O failure; the
+/// previous file at `path` survives any failed attempt.
 void save_checkpoint(const Module& module, const std::string& path);
 
 /// Restores the module's named state from `path`. Every tensor in the module
 /// must be present in the file with a matching shape; extra file entries are
-/// an error. Throws flashgen::Error on any mismatch.
+/// an error. Throws flashgen::Error on any mismatch or corruption, in which
+/// case the module keeps its pre-call state.
 void load_checkpoint(Module& module, const std::string& path);
+
+/// Everything beyond module weights needed to resume a training run at an
+/// exact optimizer step: loop counters, the lr backoff accumulated by
+/// rollbacks, the RNG stream positions (at the epoch's shuffle point and at
+/// the snapshot instant), and full Adam moment state per optimizer.
+struct TrainState {
+  std::int64_t epoch = 0;
+  std::int64_t step_in_epoch = 0;  // optimizer steps completed in `epoch`
+  std::int64_t global_step = 0;
+  double lr_scale = 1.0;  // sentinel-rollback backoff multiplier
+  flashgen::Rng::State rng_epoch_start;  // stream position before the shuffle
+  flashgen::Rng::State rng_current;      // stream position at the snapshot
+  std::vector<AdamState> optimizers;
+};
+
+/// Snapshot file version written by save_train_state.
+inline constexpr std::uint32_t kTrainStateVersion = 1;
+
+/// Atomically writes `state` plus the module's full named state to `path`.
+void save_train_state(const Module& module, const TrainState& state, const std::string& path);
+
+/// Restores the module from the snapshot and returns the training state. The
+/// same corruption guarantees as load_checkpoint apply: on any error the
+/// module keeps its pre-call state.
+TrainState load_train_state(Module& module, const std::string& path);
 
 }  // namespace flashgen::nn

@@ -35,7 +35,8 @@ RequestBatcher::~RequestBatcher() {
 }
 
 std::future<std::vector<float>> RequestBatcher::submit(std::vector<float> program_levels,
-                                                       std::uint64_t seed, std::uint64_t stream) {
+                                                       std::uint64_t seed, std::uint64_t stream,
+                                                       std::uint64_t deadline_micros) {
   FG_CHECK(program_levels.size() == static_cast<std::size_t>(row_shape_.numel()),
            "RequestBatcher: got " << program_levels.size() << " floats for row shape "
                                   << row_shape_);
@@ -44,11 +45,27 @@ std::future<std::vector<float>> RequestBatcher::submit(std::vector<float> progra
   pending.seed = seed;
   pending.stream = stream;
   pending.enqueued = std::chrono::steady_clock::now();
+  pending.deadline = deadline_micros > 0
+                         ? pending.enqueued + std::chrono::microseconds(deadline_micros)
+                         : std::chrono::steady_clock::time_point::max();
   std::future<std::vector<float>> future = pending.promise.get_future();
   std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     FG_CHECK(!stop_, "RequestBatcher: submit after shutdown");
+    if (closed_) {
+      if (metrics_ != nullptr) metrics_->record_shed();
+      throw Overloaded("server is draining; not accepting new requests");
+    }
+    if (policy_.max_queue_depth > 0 && queue_.size() + in_flight_ >= policy_.max_queue_depth) {
+      if (metrics_ != nullptr) metrics_->record_shed();
+      static stats::Counter& shed_total = stats::counter("serve.shed");
+      shed_total.add();
+      std::ostringstream os;
+      os << "admission queue full (" << queue_.size() + in_flight_ << "/"
+         << policy_.max_queue_depth << ")";
+      throw Overloaded(os.str());
+    }
     queue_.push_back(std::move(pending));
     depth = queue_.size() + in_flight_;
   }
@@ -57,6 +74,19 @@ std::future<std::vector<float>> RequestBatcher::submit(std::vector<float> progra
   queue_depth.set(static_cast<double>(depth));
   cv_.notify_one();
   return future;
+}
+
+void RequestBatcher::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestBatcher::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
 }
 
 void RequestBatcher::drain() {
@@ -100,6 +130,27 @@ void RequestBatcher::run() {
 
 void RequestBatcher::execute_batch(std::vector<Pending> batch) {
   FG_TRACE_SPAN("serve.batch", "serve");
+  // Shed requests whose deadline already passed while queued: failing them
+  // now is cheaper than spending a batch slot computing an answer nobody is
+  // waiting for.
+  {
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Pending> live;
+    live.reserve(batch.size());
+    for (Pending& p : batch) {
+      if (now > p.deadline) {
+        if (metrics_ != nullptr) metrics_->record_deadline_exceeded();
+        static stats::Counter& expired_total = stats::counter("serve.deadline_exceeded");
+        expired_total.add();
+        p.promise.set_exception(std::make_exception_ptr(
+            DeadlineExceeded("deadline exceeded while queued")));
+      } else {
+        live.push_back(std::move(p));
+      }
+    }
+    batch = std::move(live);
+    if (batch.empty()) return;
+  }
   trace::counter("serve.batch_size", static_cast<double>(batch.size()));
   if (metrics_ != nullptr) {
     const auto now = std::chrono::steady_clock::now();

@@ -10,6 +10,13 @@
 // (Rng::from_stream(seed, stream)) and the engine runs per-sample batch-norm
 // statistics, so the voltages a request receives are bit-identical whether
 // it ran alone or was coalesced into a full batch.
+//
+// Overload behavior: admission is bounded by max_queue_depth — submit()
+// throws Overloaded (a typed, retryable rejection) instead of queueing
+// without limit. Each request may carry a relative deadline; requests whose
+// deadline passed while queued are failed with DeadlineExceeded rather than
+// occupying batch slots. close() starts a graceful drain: new submissions
+// are rejected as Overloaded while already-admitted work still completes.
 #pragma once
 
 #include <chrono>
@@ -21,15 +28,32 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.h"
 #include "serve/engine.h"
 #include "serve/metrics.h"
 #include "tensor/shape.h"
 
 namespace flashgen::serve {
 
+/// Typed admission rejection: the queue is full or the batcher is draining.
+/// The request was NOT executed; the caller may retry later.
+class Overloaded : public flashgen::Error {
+ public:
+  explicit Overloaded(const std::string& what) : flashgen::Error(what) {}
+};
+
+/// The request's deadline expired before it reached the engine.
+class DeadlineExceeded : public flashgen::Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : flashgen::Error(what) {}
+};
+
 struct BatchPolicy {
   std::size_t max_batch_size = 8;
   std::uint64_t max_wait_micros = 2000;
+  /// Admission bound: pending + in-flight requests beyond this are rejected
+  /// with Overloaded. 0 means unbounded.
+  std::size_t max_queue_depth = 128;
 };
 
 class RequestBatcher {
@@ -45,12 +69,22 @@ class RequestBatcher {
 
   /// Enqueues one sample (row_shape.numel() floats of normalized program
   /// levels). The future yields the generated voltages, or rethrows the
-  /// engine's error.
+  /// engine's error. `deadline_micros` is a relative completion budget from
+  /// now; 0 disables it. Throws Overloaded when the admission queue is full
+  /// or the batcher is closed/draining.
   std::future<std::vector<float>> submit(std::vector<float> program_levels, std::uint64_t seed,
-                                         std::uint64_t stream);
+                                         std::uint64_t stream,
+                                         std::uint64_t deadline_micros = 0);
 
   const tensor::Shape& row_shape() const { return row_shape_; }
   const BatchPolicy& policy() const { return policy_; }
+
+  /// Stops admitting new requests (submit() throws Overloaded) while
+  /// already-queued work continues to execute. Idempotent.
+  void close();
+
+  /// True once close() has been called.
+  bool closed() const;
 
   /// Blocks until every request enqueued before the call has been executed.
   void drain();
@@ -62,6 +96,7 @@ class RequestBatcher {
     std::uint64_t stream;
     std::promise<std::vector<float>> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  // time_point::max() if none
   };
 
   void run();
@@ -72,12 +107,13 @@ class RequestBatcher {
   BatchPolicy policy_;
   ServeMetrics* metrics_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;        // wakes the executor
   std::condition_variable drained_;   // wakes drain() waiters
   std::deque<Pending> queue_;
   std::size_t in_flight_ = 0;  // rows handed to the engine, not yet fulfilled
-  bool stop_ = false;
+  bool stop_ = false;    // executor shutdown (destructor)
+  bool closed_ = false;  // admission closed (graceful drain)
   std::thread executor_;
 };
 

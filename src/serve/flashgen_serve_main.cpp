@@ -3,20 +3,36 @@
 // Trains (or loads from the checkpoint cache) the requested models under the
 // small experiment configuration, registers them in a ModelRegistry, and
 // serves the length-prefixed binary protocol on a unix socket until stdin
-// closes or a line is entered.
+// closes, a line is entered, or SIGTERM/SIGINT arrives. Shutdown is always a
+// graceful drain: the admission queues close (new requests are answered
+// kOverloaded, health probes kDraining), in-flight requests complete and
+// their responses flush, then the final metrics JSON is printed.
 //
-// Run:  ./flashgen_serve [socket_path] [models_csv] [max_batch] [max_wait_us]
+// Run:  ./flashgen_serve [flags] [socket_path] [models_csv] [max_batch] [max_wait_us]
 //   socket_path  default /tmp/flashgen_serve.sock
 //   models_csv   default "Gaussian"; any of cVAE-GAN,Bicycle-GAN,cGAN,cVAE,
 //                Gaussian (case-insensitive, matched without '-')
 //   max_batch    default 8
 //   max_wait_us  default 2000
+// Flags:
+//   --resume            resume interrupted training from its snapshot, and
+//                       write snapshots while training (see --snapshot-every)
+//   --snapshot-every=N  training snapshot period in optimizer steps
+//                       (default 64 when --resume is given, else disabled)
+//   --max-queue=N       admission queue bound per model; beyond it requests
+//                       are rejected with kOverloaded (default 128, 0 = off)
 //
 // Pair with ./flashgen_loadgen to drive traffic and read back metrics.
+#include <poll.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,16 +61,49 @@ core::ModelKind parse_kind(const std::string& name) {
   std::exit(1);
 }
 
+// Self-pipe: the signal handler only writes one byte, the main thread polls
+// the read end alongside stdin, so shutdown logic runs in normal context.
+int g_signal_pipe[2] = {-1, -1};
+volatile std::sig_atomic_t g_signal_seen = 0;
+
+void on_signal(int signum) {
+  g_signal_seen = signum;
+  const char byte = 1;
+  // The return value is irrelevant: if the pipe is full a byte is already
+  // pending and the poll below will wake regardless.
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string socket_path = argc > 1 ? argv[1] : "/tmp/flashgen_serve.sock";
-  const std::string models_csv = argc > 2 ? argv[2] : "Gaussian";
+  bool resume = false;
+  int snapshot_every = -1;  // -1 = unset
+  std::size_t max_queue = 128;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--resume") {
+      resume = true;
+    } else if (arg.rfind("--snapshot-every=", 0) == 0) {
+      snapshot_every = std::atoi(arg.c_str() + std::strlen("--snapshot-every="));
+    } else if (arg.rfind("--max-queue=", 0) == 0) {
+      max_queue = static_cast<std::size_t>(std::atoll(arg.c_str() + std::strlen("--max-queue=")));
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::string socket_path = positional.size() > 0 ? positional[0] : "/tmp/flashgen_serve.sock";
+  const std::string models_csv = positional.size() > 1 ? positional[1] : "Gaussian";
   serve::BatchPolicy policy;
-  if (argc > 3) policy.max_batch_size = static_cast<std::size_t>(std::atoi(argv[3]));
-  if (argc > 4) policy.max_wait_micros = static_cast<std::uint64_t>(std::atoll(argv[4]));
+  if (positional.size() > 2) policy.max_batch_size = static_cast<std::size_t>(std::atoi(positional[2].c_str()));
+  if (positional.size() > 3) policy.max_wait_micros = static_cast<std::uint64_t>(std::atoll(positional[3].c_str()));
+  policy.max_queue_depth = max_queue;
 
   core::ExperimentConfig config = core::small_experiment_config();
+  if (snapshot_every < 0) snapshot_every = resume ? 64 : 0;
+  config.snapshot_every = snapshot_every;
+  config.resume_training = resume;
   core::Experiment experiment(config);
   const auto s = static_cast<tensor::Index>(config.network.array_size);
 
@@ -69,13 +118,42 @@ int main(int argc, char** argv) {
 
   serve::Server server(registry, socket_path, policy);
   server.start();
-  std::printf("serving %zu model(s) on %s (batch<=%zu, wait<=%lluus); press enter to stop\n",
-              registry.size(), socket_path.c_str(), policy.max_batch_size,
-              static_cast<unsigned long long>(policy.max_wait_micros));
+  std::printf(
+      "serving %zu model(s) on %s (batch<=%zu, wait<=%lluus, queue<=%zu); enter or SIGTERM to "
+      "drain\n",
+      registry.size(), socket_path.c_str(), policy.max_batch_size,
+      static_cast<unsigned long long>(policy.max_wait_micros), policy.max_queue_depth);
   std::fflush(stdout);
 
-  std::getchar();  // blocks until a line or EOF
-  server.stop();
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe() failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  // Wait for an operator line on stdin or a termination signal.
+  struct pollfd fds[2];
+  fds[0] = {.fd = STDIN_FILENO, .events = POLLIN, .revents = 0};
+  fds[1] = {.fd = g_signal_pipe[0], .events = POLLIN, .revents = 0};
+  while (true) {
+    const int r = ::poll(fds, 2, -1);
+    if (r < 0 && errno == EINTR) {
+      if (g_signal_seen != 0) break;  // signal landed before the pipe byte
+      continue;
+    }
+    if (r < 0) break;
+    if (fds[0].revents != 0 || fds[1].revents != 0) break;
+  }
+  if (g_signal_seen != 0) {
+    std::printf("received signal %d; draining\n", static_cast<int>(g_signal_seen));
+    std::fflush(stdout);
+  }
+
+  server.drain_and_stop();
   std::printf("final metrics: %s\n", server.metrics().to_json().c_str());
   return 0;
 }

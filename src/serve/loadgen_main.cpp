@@ -4,13 +4,18 @@
 // calls back-to-back with random program-level arrays, then prints a JSON
 // summary with client-side latency quantiles and the server's own metrics.
 //
-// Run:  ./flashgen_loadgen [socket_path] [model] [requests] [connections] [side] [seed]
+// Run:  ./flashgen_loadgen [socket_path] [model] [requests] [connections] [side] [seed] [deadline_us]
 //   socket_path  default /tmp/flashgen_serve.sock
 //   model        default Gaussian (must match a name the server registered)
 //   requests     default 256 per connection
 //   connections  default 4
 //   side         default 16 (must match the served model's array size)
 //   seed         default 1 (request i on connection c uses stream c*requests+i)
+//   deadline_us  default 0 (no per-request deadline)
+//
+// Requests the server rejects with kOverloaded are counted as "shed" rather
+// than aborting the run, so the tool can probe overload behavior directly.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -32,10 +37,12 @@ int main(int argc, char** argv) {
   const int connections = argc > 4 ? std::atoi(argv[4]) : 4;
   const auto side = static_cast<std::uint32_t>(argc > 5 ? std::atoi(argv[5]) : 16);
   const auto seed = static_cast<std::uint64_t>(argc > 6 ? std::atoll(argv[6]) : 1);
+  const auto deadline_us = static_cast<std::uint64_t>(argc > 7 ? std::atoll(argv[7]) : 0);
 
   data::VoltageNormalizer normalizer;
   serve::LatencyHistogram latency;
   std::mutex latency_mutex;
+  std::atomic<std::uint64_t> shed{0};
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -47,6 +54,7 @@ int main(int argc, char** argv) {
       request.model = model;
       request.seed = seed;
       request.side = side;
+      request.deadline_micros = deadline_us;
       request.program_levels.resize(static_cast<std::size_t>(side) * side);
       for (int i = 0; i < requests; ++i) {
         for (float& v : request.program_levels)
@@ -54,7 +62,12 @@ int main(int argc, char** argv) {
         request.stream = static_cast<std::uint64_t>(c) * static_cast<std::uint64_t>(requests) +
                          static_cast<std::uint64_t>(i);
         const auto r0 = std::chrono::steady_clock::now();
-        (void)client.generate(request);
+        try {
+          (void)client.generate(request);
+        } catch (const serve::Overloaded&) {
+          shed.fetch_add(1);
+          continue;
+        }
         const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - r0);
         std::lock_guard<std::mutex> lock(latency_mutex);
@@ -71,6 +84,7 @@ int main(int argc, char** argv) {
   const auto total = static_cast<double>(requests) * connections;
   std::printf("{\"model\": \"%s\", \"requests\": %d, \"connections\": %d, \"side\": %u,\n",
               model.c_str(), requests * connections, connections, side);
+  std::printf(" \"shed\": %llu,\n", static_cast<unsigned long long>(shed.load()));
   std::printf(" \"elapsed_sec\": %.3f, \"requests_per_sec\": %.1f,\n", elapsed, total / elapsed);
   std::printf(" \"client_p50_us\": %llu, \"client_p90_us\": %llu, \"client_p99_us\": %llu,\n",
               static_cast<unsigned long long>(latency.quantile_micros(0.50)),

@@ -69,6 +69,16 @@ void ServeMetrics::record_error() {
   ++errors_;
 }
 
+void ServeMetrics::record_shed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++shed_;
+}
+
+void ServeMetrics::record_deadline_exceeded() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++deadline_exceeded_;
+}
+
 void ServeMetrics::record_stage(const std::string& stage, std::uint64_t micros) {
   std::lock_guard<std::mutex> lock(mutex_);
   stages_[stage].record(micros);
@@ -85,6 +95,8 @@ std::string ServeMetrics::to_json(double elapsed_seconds) const {
   out << "{";
   out << "\"requests\": " << requests_;
   out << ", \"errors\": " << errors_;
+  out << ", \"shed\": " << shed_;
+  out << ", \"deadline_exceeded\": " << deadline_exceeded_;
   out << ", \"batches\": " << batches_;
   out << ", \"batched_rows\": " << batched_rows_;
   out << ", \"max_batch_size\": " << max_batch_;

@@ -43,6 +43,10 @@ class ServeMetrics {
   void record_batch(std::size_t batch_size);
   void record_enqueue(std::size_t queue_depth_after);
   void record_error();
+  /// Request rejected at admission (queue full or draining) with kOverloaded.
+  void record_shed();
+  /// Request failed because its deadline expired before execution.
+  void record_deadline_exceeded();
   /// Latency sample for one named pipeline stage (e.g. "decode",
   /// "queue_wait", "infer", "write"). Stages appear in the JSON under
   /// "stages" keyed by name; names should be string literals from a small
@@ -65,6 +69,8 @@ class ServeMetrics {
   std::map<std::string, LatencyHistogram> stages_;
   std::uint64_t requests_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_rows_ = 0;
   std::size_t max_batch_ = 0;

@@ -3,10 +3,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include "common/error.h"
+#include "common/faultinject.h"
 
 namespace flashgen::serve {
 
@@ -84,6 +86,7 @@ std::vector<std::uint8_t> encode_generate_request(const GenerateRequest& request
   w.put_string(request.model);
   w.put_u64(request.seed);
   w.put_u64(request.stream);
+  w.put_u64(request.deadline_micros);
   w.put_u32(request.side);
   w.put_floats(request.program_levels);
   return w.bytes();
@@ -120,6 +123,26 @@ std::vector<std::uint8_t> encode_error(const std::string& message) {
   return w.bytes();
 }
 
+std::vector<std::uint8_t> encode_overloaded(const std::string& message) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MessageType::kOverloaded));
+  w.put_string(message);
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> encode_health_request() {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MessageType::kHealth));
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> encode_health_response(HealthStatus status) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MessageType::kHealthOk));
+  w.put_u8(static_cast<std::uint8_t>(status));
+  return w.bytes();
+}
+
 MessageType peek_type(const std::vector<std::uint8_t>& payload) {
   FG_CHECK(!payload.empty(), "protocol: empty payload");
   return static_cast<MessageType>(payload[0]);
@@ -133,6 +156,7 @@ GenerateRequest decode_generate_request(const std::vector<std::uint8_t>& payload
   request.model = r.get_string();
   request.seed = r.get_u64();
   request.stream = r.get_u64();
+  request.deadline_micros = r.get_u64();
   request.side = r.get_u32();
   FG_CHECK(request.side > 0 && request.side <= 4096, "generate request: bad side " << request.side);
   request.program_levels = r.get_floats(static_cast<std::size_t>(request.side) * request.side);
@@ -163,6 +187,24 @@ std::string decode_error(const std::vector<std::uint8_t>& payload) {
   FG_CHECK(static_cast<MessageType>(r.get_u8()) == MessageType::kError,
            "protocol: not an error message");
   return r.get_string();
+}
+
+std::string decode_overloaded(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  FG_CHECK(static_cast<MessageType>(r.get_u8()) == MessageType::kOverloaded,
+           "protocol: not an overloaded message");
+  return r.get_string();
+}
+
+HealthStatus decode_health_response(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  FG_CHECK(static_cast<MessageType>(r.get_u8()) == MessageType::kHealthOk,
+           "protocol: not a health response");
+  const auto status = r.get_u8();
+  FG_CHECK(status == static_cast<std::uint8_t>(HealthStatus::kReady) ||
+               status == static_cast<std::uint8_t>(HealthStatus::kDraining),
+           "protocol: bad health status " << static_cast<int>(status));
+  return static_cast<HealthStatus>(status);
 }
 
 namespace {
@@ -199,6 +241,10 @@ std::size_t read_all(int fd, void* data, std::size_t size) {
 }  // namespace
 
 void write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  if (FG_FAULT("socket_reset")) {
+    ::shutdown(fd, SHUT_RDWR);
+    FG_CHECK(false, "fault injected: socket_reset (write_frame)");
+  }
   FG_CHECK(payload.size() <= kMaxFrameBytes, "protocol: frame too large: " << payload.size());
   std::uint8_t header[4];
   const auto len = static_cast<std::uint32_t>(payload.size());
@@ -208,6 +254,10 @@ void write_frame(int fd, const std::vector<std::uint8_t>& payload) {
 }
 
 bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
+  if (FG_FAULT("socket_reset")) {
+    ::shutdown(fd, SHUT_RDWR);
+    FG_CHECK(false, "fault injected: socket_reset (read_frame)");
+  }
   std::uint8_t header[4];
   const std::size_t got = read_all(fd, header, sizeof(header));
   if (got == 0) return false;  // clean EOF between frames
@@ -215,8 +265,23 @@ bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
   FG_CHECK(len <= kMaxFrameBytes, "protocol: frame too large: " << len);
-  payload.resize(len);
-  FG_CHECK(read_all(fd, payload.data(), len) == len, "protocol: truncated frame body");
+  // Grow the buffer in bounded chunks as bytes actually arrive, so a hostile
+  // length prefix followed by a dropped connection costs at most one chunk of
+  // allocation, not the full claimed frame.
+  constexpr std::size_t kChunkBytes = 1u << 20;
+  payload.clear();
+  payload.shrink_to_fit();
+  std::size_t have = 0;
+  while (have < len) {
+    const std::size_t want = std::min<std::size_t>(kChunkBytes, len - have);
+    payload.resize(have + want);
+    const std::size_t n = read_all(fd, payload.data() + have, want);
+    have += n;
+    if (n < want) {
+      payload.resize(have);
+      FG_CHECK(false, "protocol: truncated frame body (" << have << "/" << len << " bytes)");
+    }
+  }
   return true;
 }
 

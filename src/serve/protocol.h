@@ -10,6 +10,7 @@
 //   kGenerate (client -> server):
 //     u32 model_name_len | model_name bytes
 //     u64 seed | u64 stream          -- Rng::from_stream(seed, stream)
+//     u64 deadline_micros            -- relative budget; 0 = no deadline
 //     u32 side                       -- PL array is side x side
 //     f32 pl[side * side]           -- normalized program levels, row-major
 //   kGenerateOk (server -> client):
@@ -17,9 +18,20 @@
 //   kStats (client -> server): empty body
 //   kStatsOk (server -> client): u32 json_len | json bytes
 //   kError (server -> client): u32 message_len | message bytes
+//   kOverloaded (server -> client): u32 message_len | message bytes
+//     -- typed rejection: the admission queue is full or draining; the
+//        request was NOT executed and can be retried elsewhere/later
+//   kHealth (client -> server): empty body
+//   kHealthOk (server -> client): u8 status (HealthStatus)
 //
 // Readers are bounds-checked: a truncated or oversized frame raises
-// FG_CHECK instead of reading out of bounds.
+// FG_CHECK instead of reading out of bounds, and frame bodies are read in
+// bounded chunks so a hostile length prefix cannot force a large allocation
+// up front.
+//
+// Fault points (see common/faultinject.h): "socket_reset" fires at
+// read_frame/write_frame entry and simulates the peer dropping the
+// connection mid-exchange.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +46,15 @@ enum class MessageType : std::uint8_t {
   kStats = 3,
   kStatsOk = 4,
   kError = 5,
+  kOverloaded = 6,
+  kHealth = 7,
+  kHealthOk = 8,
+};
+
+/// Liveness answer to a kHealth probe.
+enum class HealthStatus : std::uint8_t {
+  kReady = 1,     // accepting work
+  kDraining = 2,  // shutting down: finishing in-flight work, rejecting new
 };
 
 /// Refuse frames above this size (64 MiB) to bound allocation on bad input.
@@ -43,6 +64,10 @@ struct GenerateRequest {
   std::string model;
   std::uint64_t seed = 0;
   std::uint64_t stream = 0;
+  /// Relative completion budget in microseconds, measured from server-side
+  /// admission; 0 means no deadline. Expired requests are shed with kError
+  /// ("deadline exceeded") instead of occupying batch slots.
+  std::uint64_t deadline_micros = 0;
   std::uint32_t side = 0;
   std::vector<float> program_levels;  // side * side floats
 };
@@ -94,12 +119,17 @@ std::vector<std::uint8_t> encode_generate_response(const GenerateResponse& respo
 std::vector<std::uint8_t> encode_stats_request();
 std::vector<std::uint8_t> encode_stats_response(const std::string& json);
 std::vector<std::uint8_t> encode_error(const std::string& message);
+std::vector<std::uint8_t> encode_overloaded(const std::string& message);
+std::vector<std::uint8_t> encode_health_request();
+std::vector<std::uint8_t> encode_health_response(HealthStatus status);
 
 MessageType peek_type(const std::vector<std::uint8_t>& payload);
 GenerateRequest decode_generate_request(const std::vector<std::uint8_t>& payload);
 GenerateResponse decode_generate_response(const std::vector<std::uint8_t>& payload);
 std::string decode_stats_response(const std::vector<std::uint8_t>& payload);
 std::string decode_error(const std::vector<std::uint8_t>& payload);
+std::string decode_overloaded(const std::vector<std::uint8_t>& payload);
+HealthStatus decode_health_response(const std::vector<std::uint8_t>& payload);
 
 // ---- framing over a file descriptor (blocking, EINTR-safe) ----
 /// Writes u32 length + payload. FG_CHECKs on I/O error.

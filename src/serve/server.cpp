@@ -51,6 +51,21 @@ void Server::start() {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
+void Server::drain_and_stop() {
+  if (stopping_.load()) return;
+  if (!draining_.exchange(true)) {
+    // Reject new work first (kOverloaded / kDraining), then let everything
+    // already admitted run to completion — including the response writes —
+    // before tearing down the threads.
+    for (auto& [name, batcher] : batchers_) batcher->close();
+    for (auto& [name, batcher] : batchers_) batcher->drain();
+    while (active_requests_.load() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  stop();
+}
+
 void Server::stop() {
   if (stopping_.exchange(true)) return;
   if (const int fd = listen_fd_.exchange(-1); fd >= 0) {
@@ -101,6 +116,13 @@ void Server::handle_connection(int fd) {
         const MessageType type = peek_type(payload);
         if (type == MessageType::kGenerate) {
           FG_TRACE_SPAN("serve.request", "serve");
+          // Drain accounting: drain_and_stop() waits for this to hit zero so
+          // a response already being computed is always delivered.
+          ++active_requests_;
+          struct ActiveGuard {
+            std::atomic<int>& n;
+            ~ActiveGuard() { --n; }
+          } guard{active_requests_};
           const auto micros_since = [](std::chrono::steady_clock::time_point since) {
             return static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::microseconds>(
@@ -119,8 +141,8 @@ void Server::handle_connection(int fd) {
           }();
           metrics_.record_stage("decode", micros_since(t0));
           const auto t_submit = std::chrono::steady_clock::now();
-          auto future =
-              batcher.submit(std::move(request.program_levels), request.seed, request.stream);
+          auto future = batcher.submit(std::move(request.program_levels), request.seed,
+                                       request.stream, request.deadline_micros);
           GenerateResponse response;
           response.side = request.side;
           response.voltages = future.get();
@@ -137,9 +159,14 @@ void Server::handle_connection(int fd) {
           const double elapsed =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
           write_frame(fd, encode_stats_response(metrics_.to_json(elapsed)));
+        } else if (type == MessageType::kHealth) {
+          write_frame(fd, encode_health_response(draining_.load() ? HealthStatus::kDraining
+                                                                  : HealthStatus::kReady));
         } else {
           FG_CHECK(false, "unexpected message type " << static_cast<int>(type));
         }
+      } catch (const Overloaded& e) {
+        write_frame(fd, encode_overloaded(e.what()));
       } catch (const Error& e) {
         metrics_.record_error();
         write_frame(fd, encode_error(e.what()));
@@ -172,10 +199,23 @@ GenerateResponse Client::generate(const GenerateRequest& request) {
   write_frame(fd_, encode_generate_request(request));
   std::vector<std::uint8_t> payload;
   FG_CHECK(read_frame(fd_, payload), "server closed connection");
+  if (peek_type(payload) == MessageType::kOverloaded) {
+    throw Overloaded("server overloaded: " + decode_overloaded(payload));
+  }
   if (peek_type(payload) == MessageType::kError) {
     FG_CHECK(false, "server error: " << decode_error(payload));
   }
   return decode_generate_response(payload);
+}
+
+HealthStatus Client::health() {
+  write_frame(fd_, encode_health_request());
+  std::vector<std::uint8_t> payload;
+  FG_CHECK(read_frame(fd_, payload), "server closed connection");
+  if (peek_type(payload) == MessageType::kError) {
+    FG_CHECK(false, "server error: " << decode_error(payload));
+  }
+  return decode_health_response(payload);
 }
 
 std::string Client::stats() {

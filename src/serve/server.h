@@ -39,6 +39,13 @@ class Server {
   void start();
   /// Stops accepting, closes the listener, and joins all threads.
   void stop();
+  /// Graceful shutdown: closes the listener and every batcher's admission
+  /// queue (new requests are answered kOverloaded), waits for all in-flight
+  /// work to complete, then stop()s. Health probes answer kDraining while the
+  /// drain runs.
+  void drain_and_stop();
+  /// True between drain_and_stop() starting and the server being torn down.
+  bool draining() const { return draining_.load(); }
 
   const std::string& socket_path() const { return socket_path_; }
   ServeMetrics& metrics() { return metrics_; }
@@ -55,10 +62,12 @@ class Server {
 
   std::atomic<int> listen_fd_{-1};  // stop() races with accept_loop()'s reads
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::thread accept_thread_;
   std::mutex workers_mutex_;
   std::vector<std::thread> workers_;
   std::vector<int> conn_fds_;  // open connection sockets; shut down in stop()
+  std::atomic<int> active_requests_{0};  // generate requests between decode and reply
   std::chrono::steady_clock::time_point started_;
 };
 
@@ -72,11 +81,13 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Round-trips one generate request. FG_CHECKs if the server answers with
-  /// a kError frame.
+  /// Round-trips one generate request. Throws Overloaded if the server
+  /// answers kOverloaded; FG_CHECKs if it answers with a kError frame.
   GenerateResponse generate(const GenerateRequest& request);
   /// Fetches the server's metrics JSON.
   std::string stats();
+  /// Liveness probe: kReady while serving, kDraining during shutdown.
+  HealthStatus health();
 
  private:
   int fd_ = -1;

@@ -1,0 +1,249 @@
+// Corrupt-artifact handling: checkpoints and training snapshots must survive
+// truncation, bit flips, and hostile length claims without crashing,
+// over-allocating, or leaving the destination module partially mutated — and
+// an injected mid-write crash must never damage the previous artifact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/faultinject.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace flashgen::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+struct SmallNet : Module {
+  flashgen::Rng rng;
+  Linear fc;
+  BatchNorm2d bn;
+  explicit SmallNet(std::uint64_t seed) : rng(seed), fc(4, 3, rng), bn(2, rng) {
+    register_module("fc", fc);
+    register_module("bn", bn);
+  }
+};
+
+std::vector<float> flat_state(const Module& module) {
+  std::vector<float> out;
+  for (const NamedTensor& nt : module.named_state())
+    out.insert(out.end(), nt.tensor.data().begin(), nt.tensor.data().end());
+  return out;
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// One real optimizer step so the exported Adam moments are non-trivial
+// (parameters without gradients — the batch-norm pair — legitimately stay 0).
+void take_step(SmallNet& net, Adam& opt) {
+  Tensor x = Tensor::from_data(Shape{2, 4},
+                               {0.5f, -1.0f, 2.0f, 0.0f, 1.0f, 1.0f, -0.5f, 0.25f});
+  Tensor loss = tensor::mse_loss(net.fc.forward(x), Tensor::zeros(Shape{2, 3}));
+  opt.zero_grad();
+  loss.backward();
+  opt.step();
+}
+
+class CheckpointCorruptionTest : public ::testing::Test {
+ protected:
+  ~CheckpointCorruptionTest() override {
+    faultinject::clear();
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  // Writes a snapshot of `net` (with one trained optimizer) and returns its
+  // raw bytes for corruption.
+  std::vector<std::uint8_t> saved_snapshot(SmallNet& net) {
+    Adam opt(net.parameters());
+    take_step(net, opt);
+    TrainState state;
+    state.optimizers.push_back(opt.export_state());
+    save_train_state(net, state, path_);
+    return read_bytes(path_);
+  }
+
+  // Unique per test case: ctest runs cases as parallel processes.
+  std::string path_ = ::testing::TempDir() + "/corruption_" +
+                      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+                      ".bin";
+};
+
+TEST_F(CheckpointCorruptionTest, TrainStateRoundTripRestoresEverything) {
+  SmallNet a(1), b(2);
+  Adam opt(a.parameters());
+  take_step(a, opt);
+
+  flashgen::Rng current(5);
+  (void)current.normal();  // populate the Box–Muller cache half of the state
+  flashgen::Rng epoch_start(4);
+  TrainState state;
+  state.epoch = 3;
+  state.step_in_epoch = 1;
+  state.global_step = 13;
+  state.lr_scale = 0.25;
+  state.rng_epoch_start = epoch_start.state();
+  state.rng_current = current.state();
+  state.optimizers.push_back(opt.export_state());
+  save_train_state(a, state, path_);
+
+  const TrainState got = load_train_state(b, path_);
+  EXPECT_EQ(got.epoch, 3);
+  EXPECT_EQ(got.step_in_epoch, 1);
+  EXPECT_EQ(got.global_step, 13);
+  EXPECT_EQ(got.lr_scale, 0.25);
+  EXPECT_TRUE(got.rng_epoch_start == state.rng_epoch_start);
+  EXPECT_TRUE(got.rng_current == state.rng_current);
+  ASSERT_EQ(got.optimizers.size(), 1u);
+  EXPECT_EQ(got.optimizers[0].t, state.optimizers[0].t);
+  EXPECT_EQ(got.optimizers[0].m, state.optimizers[0].m);
+  EXPECT_EQ(got.optimizers[0].v, state.optimizers[0].v);
+  EXPECT_EQ(flat_state(b), flat_state(a));
+
+  // The restored moments import cleanly into an optimizer over the restored
+  // module, which is exactly what resume does.
+  Adam opt_b(b.parameters());
+  opt_b.import_state(got.optimizers[0]);
+  EXPECT_EQ(opt_b.step_count(), opt.step_count());
+}
+
+// Every possible truncation point must be rejected with an Error, and a
+// rejected load must leave the destination module bit-identical.
+TEST_F(CheckpointCorruptionTest, EveryTruncationIsRejectedWithoutMutation) {
+  SmallNet a(1);
+  const std::vector<std::uint8_t> bytes = saved_snapshot(a);
+  ASSERT_GT(bytes.size(), 64u);
+
+  SmallNet victim(9);
+  const std::vector<float> before = flat_state(victim);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    write_bytes(path_, {bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut)});
+    EXPECT_THROW((void)load_train_state(victim, path_), Error) << "cut at " << cut;
+  }
+  EXPECT_EQ(flat_state(victim), before);
+}
+
+// A single flipped byte anywhere in the file must either decode fully (flips
+// inside float payloads are indistinguishable from real data) or throw — and
+// when it throws, the module must be untouched. ASan/UBSan builds double as
+// out-of-bounds and overflow detectors here.
+TEST_F(CheckpointCorruptionTest, BitFlipsNeverCrashAndFailedLoadsNeverMutate) {
+  SmallNet a(1);
+  const std::vector<std::uint8_t> bytes = saved_snapshot(a);
+
+  SmallNet victim(9);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[i] ^= 0xFF;
+    write_bytes(path_, mutated);
+    const std::vector<float> before = flat_state(victim);
+    try {
+      (void)load_train_state(victim, path_);
+    } catch (const Error&) {
+      EXPECT_EQ(flat_state(victim), before) << "partial mutation after flip at byte " << i;
+    }
+  }
+}
+
+// Length fields rewritten to absurd values must be rejected by comparison
+// against the actual file size, before any allocation of the claimed size.
+TEST_F(CheckpointCorruptionTest, HostileLengthClaimsAreRejected) {
+  SmallNet a(1);
+  save_checkpoint(a, path_);
+  const std::vector<std::uint8_t> bytes = read_bytes(path_);
+
+  const auto poke_u32 = [](std::vector<std::uint8_t> b, std::size_t off, std::uint32_t v) {
+    std::memcpy(b.data() + off, &v, sizeof(v));
+    return b;
+  };
+  const auto poke_u64 = [](std::vector<std::uint8_t> b, std::size_t off, std::uint64_t v) {
+    std::memcpy(b.data() + off, &v, sizeof(v));
+    return b;
+  };
+
+  SmallNet victim(9);
+  const std::vector<float> before = flat_state(victim);
+  // Layout: magic[8] | u64 entry_count | u32 name_len | name | u32 rank | dims.
+  std::uint32_t name_len = 0;
+  std::memcpy(&name_len, bytes.data() + 16, sizeof(name_len));
+
+  const std::vector<std::vector<std::uint8_t>> hostile = {
+      poke_u64(bytes, 8, ~std::uint64_t{0}),                  // entry count
+      poke_u32(bytes, 16, 0xFFFFFFFFu),                       // name length
+      poke_u32(bytes, 20 + name_len, 0xFFFFFFFFu),            // rank
+      poke_u64(bytes, 24 + name_len, ~std::uint64_t{0}),      // first dimension
+      poke_u64(bytes, 24 + name_len, 0),                      // zero dimension
+  };
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    write_bytes(path_, hostile[i]);
+    EXPECT_THROW(load_checkpoint(victim, path_), Error) << "hostile claim " << i;
+  }
+  EXPECT_EQ(flat_state(victim), before);
+}
+
+TEST_F(CheckpointCorruptionTest, WrongSnapshotVersionIsRejected) {
+  SmallNet a(1);
+  std::vector<std::uint8_t> bytes = saved_snapshot(a);
+  bytes[8] ^= 0x55;  // u32 version follows the 8-byte magic
+  write_bytes(path_, bytes);
+  SmallNet victim(9);
+  EXPECT_THROW((void)load_train_state(victim, path_), Error);
+}
+
+// The "checkpoint_write" fault simulates a crash mid-save: the temp file is
+// left truncated (as a real power cut would) but the atomic rename never ran,
+// so the previous artifact still loads — and the wreckage itself is rejected.
+TEST_F(CheckpointCorruptionTest, InjectedWriteCrashLeavesPreviousArtifactIntact) {
+  SmallNet a(1), b(2), restored(3);
+  save_checkpoint(a, path_);
+
+  faultinject::configure("checkpoint_write:@0");
+  EXPECT_THROW(save_checkpoint(b, path_), Error);
+  EXPECT_EQ(faultinject::fired("checkpoint_write"), 1u);
+  faultinject::clear();
+
+  EXPECT_TRUE(std::filesystem::exists(path_ + ".tmp"));
+  EXPECT_THROW(load_checkpoint(restored, path_ + ".tmp"), Error);
+  load_checkpoint(restored, path_);
+  EXPECT_EQ(flat_state(restored), flat_state(a));
+}
+
+TEST_F(CheckpointCorruptionTest, InjectedWriteCrashLeavesPreviousSnapshotIntact) {
+  SmallNet a(1), b(2), restored(3);
+  const std::vector<std::uint8_t> good = saved_snapshot(a);
+
+  faultinject::configure("checkpoint_write:@0");
+  Adam opt_b(b.parameters());
+  TrainState state;
+  state.optimizers.push_back(opt_b.export_state());
+  EXPECT_THROW(save_train_state(b, state, path_), Error);
+  faultinject::clear();
+
+  EXPECT_EQ(read_bytes(path_), good);
+  const TrainState got = load_train_state(restored, path_);
+  EXPECT_EQ(flat_state(restored), flat_state(a));
+  ASSERT_EQ(got.optimizers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace flashgen::nn

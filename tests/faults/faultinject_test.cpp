@@ -1,0 +1,108 @@
+// Fault-injection harness semantics: dormant (and counter-free) by default,
+// exact @k triggering, counter-seeded deterministic probability mode, and
+// strict rejection of malformed specs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/faultinject.h"
+
+namespace flashgen::faultinject {
+namespace {
+
+// Every test starts and ends disarmed so cases cannot leak faults into each
+// other (or into the library code the rest of this binary exercises).
+class FaultInjectTest : public ::testing::Test {
+ protected:
+  FaultInjectTest() { clear(); }
+  ~FaultInjectTest() override { clear(); }
+};
+
+TEST_F(FaultInjectTest, DormantByDefault) {
+  EXPECT_FALSE(enabled());
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(FG_FAULT("checkpoint_write"));
+  // fire() short-circuits on the enabled flag, so a dormant point never even
+  // reaches the registry: zero overhead and zero bookkeeping.
+  EXPECT_EQ(calls("checkpoint_write"), 0u);
+  EXPECT_EQ(fired("checkpoint_write"), 0u);
+}
+
+TEST_F(FaultInjectTest, UnknownPointsNeverFire) {
+  configure("armed:1");
+  EXPECT_TRUE(enabled());
+  EXPECT_FALSE(FG_FAULT("other"));
+  EXPECT_EQ(calls("other"), 0u);
+  EXPECT_TRUE(FG_FAULT("armed"));
+  EXPECT_EQ(fired("armed"), 1u);
+}
+
+TEST_F(FaultInjectTest, ExactTriggerFiresOnKthCallOnly) {
+  configure("p:@2");
+  std::vector<bool> fires;
+  for (int i = 0; i < 6; ++i) fires.push_back(FG_FAULT("p"));
+  EXPECT_EQ(fires, (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(calls("p"), 6u);
+  EXPECT_EQ(fired("p"), 1u);
+}
+
+TEST_F(FaultInjectTest, ProbabilityEndpointsAreExact) {
+  configure("never:0,always:1");
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(FG_FAULT("never"));
+    EXPECT_TRUE(FG_FAULT("always"));
+  }
+  EXPECT_EQ(fired("never"), 0u);
+  EXPECT_EQ(fired("always"), 32u);
+}
+
+// The firing decision is a pure function of (seed, point name, call index):
+// re-running the same call sequence replays the same fault schedule, which is
+// what makes probabilistic fault runs reproducible.
+TEST_F(FaultInjectTest, ProbabilityPatternIsAPureFunctionOfSeedAndCallIndex) {
+  const auto pattern = [](std::uint64_t seed) {
+    configure("flaky:0.5", seed);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) fires.push_back(FG_FAULT("flaky"));
+    return fires;
+  };
+  const std::vector<bool> first = pattern(7);
+  const std::uint64_t hits = fired("flaky");
+  EXPECT_GT(hits, 0u);
+  EXPECT_LT(hits, 200u);
+  EXPECT_EQ(pattern(7), first);
+  EXPECT_NE(pattern(8), first);  // 2^-200 odds of a collision
+}
+
+TEST_F(FaultInjectTest, ClearDisarmsAndDiscardsCounters) {
+  configure("p:@0");
+  EXPECT_TRUE(FG_FAULT("p"));
+  clear();
+  EXPECT_FALSE(enabled());
+  EXPECT_FALSE(FG_FAULT("p"));
+  EXPECT_EQ(calls("p"), 0u);
+  EXPECT_EQ(fired("p"), 0u);
+}
+
+TEST_F(FaultInjectTest, ReconfigureReplacesThePreviousSpec) {
+  configure("a:1");
+  configure("b:1");
+  EXPECT_FALSE(FG_FAULT("a"));
+  EXPECT_TRUE(FG_FAULT("b"));
+  configure("");
+  EXPECT_FALSE(enabled());
+}
+
+TEST_F(FaultInjectTest, MalformedSpecsAreRejected) {
+  for (const char* spec : {"x", "x:", ":0.5", "x:abc", "x:0.5garbage", "x:1.5",
+                           "x:-0.1", "x:@", "x:@-1", "x:@3x"}) {
+    EXPECT_THROW(configure(spec), flashgen::Error) << "spec: " << spec;
+  }
+  // A throwing configure() must not have armed anything.
+  EXPECT_FALSE(enabled());
+}
+
+}  // namespace
+}  // namespace flashgen::faultinject

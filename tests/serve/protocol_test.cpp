@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/rng.h"
 #include "serve/protocol.h"
 
 namespace flashgen::serve {
@@ -27,6 +28,7 @@ GenerateRequest sample_request() {
   request.model = "cVAE-GAN";
   request.seed = 0xDEADBEEFCAFEF00DULL;
   request.stream = 17;
+  request.deadline_micros = 123456;
   request.side = 4;
   for (int i = 0; i < 16; ++i) request.program_levels.push_back(0.125f * static_cast<float>(i) - 1.0f);
   return request;
@@ -41,8 +43,24 @@ TEST(ProtocolTest, GenerateRequestRoundTrip) {
   EXPECT_EQ(decoded.model, request.model);
   EXPECT_EQ(decoded.seed, request.seed);
   EXPECT_EQ(decoded.stream, request.stream);
+  EXPECT_EQ(decoded.deadline_micros, request.deadline_micros);
   EXPECT_EQ(decoded.side, request.side);
   EXPECT_EQ(decoded.program_levels, request.program_levels);
+}
+
+TEST(ProtocolTest, HealthAndOverloadedRoundTrip) {
+  EXPECT_EQ(peek_type(encode_health_request()), MessageType::kHealth);
+  EXPECT_EQ(decode_health_response(encode_health_response(HealthStatus::kReady)),
+            HealthStatus::kReady);
+  EXPECT_EQ(decode_health_response(encode_health_response(HealthStatus::kDraining)),
+            HealthStatus::kDraining);
+  EXPECT_EQ(decode_overloaded(encode_overloaded("queue full")), "queue full");
+
+  // A health answer with an out-of-range status byte must be rejected, not
+  // cast blindly into the enum.
+  auto payload = encode_health_response(HealthStatus::kReady);
+  payload.back() = 99;
+  EXPECT_THROW((void)decode_health_response(payload), Error);
 }
 
 TEST(ProtocolTest, GenerateResponseRoundTrip) {
@@ -89,6 +107,56 @@ TEST(ProtocolTest, RejectsWrongTypeAndBadSide) {
   EXPECT_THROW((void)decode_generate_request(payload), Error);
 }
 
+// Length fields inside a payload (as opposed to the frame header) claiming
+// far more bytes than the payload holds must be rejected by the bounds
+// checks, not trusted into an allocation or an out-of-bounds read.
+TEST(ProtocolTest, HostileInnerLengthPrefixesAreRejected) {
+  {
+    ByteWriter w;  // kGenerate whose model-name length claims 4 GiB
+    w.put_u8(static_cast<std::uint8_t>(MessageType::kGenerate));
+    w.put_u32(0xFFFFFFFFu);
+    w.put_bytes("abc", 3);
+    EXPECT_THROW((void)decode_generate_request(w.bytes()), Error);
+  }
+  {
+    ByteWriter w;  // kStatsOk whose JSON length exceeds the body
+    w.put_u8(static_cast<std::uint8_t>(MessageType::kStatsOk));
+    w.put_u32(100);
+    w.put_bytes("{}", 2);
+    EXPECT_THROW((void)decode_stats_response(w.bytes()), Error);
+  }
+  {
+    ByteWriter w;  // kGenerateOk whose side implies more floats than present
+    w.put_u8(static_cast<std::uint8_t>(MessageType::kGenerateOk));
+    w.put_u32(0x10000u);  // side 65536 -> 2^32 floats claimed
+    w.put_floats({1.0f, 2.0f});
+    EXPECT_THROW((void)decode_generate_response(w.bytes()), Error);
+  }
+}
+
+// Fuzz-style property: random byte corruption of a valid request payload must
+// either decode into a self-consistent request or throw Error — never crash,
+// hang, or produce a request whose float count disagrees with its side.
+TEST(ProtocolTest, RandomByteFlipsNeverCrashDecoding) {
+  const auto payload = encode_generate_request(sample_request());
+  flashgen::Rng rng(123);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> mutated = payload;
+    const int flips = 1 + static_cast<int>(rng.uniform_int(3));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t at = rng.uniform_int(mutated.size());
+      mutated[at] ^= static_cast<std::uint8_t>(1 + rng.uniform_int(255));
+    }
+    try {
+      const GenerateRequest decoded = decode_generate_request(mutated);
+      EXPECT_EQ(decoded.program_levels.size(),
+                static_cast<std::size_t>(decoded.side) * decoded.side);
+    } catch (const Error&) {
+      // Rejected corruption is the expected outcome.
+    }
+  }
+}
+
 TEST(ProtocolTest, FrameRoundTripOverSocketpair) {
   int fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
@@ -112,6 +180,24 @@ TEST(ProtocolTest, FrameRoundTripOverSocketpair) {
   const std::uint8_t partial[2] = {9, 9};  // half a length header
   ASSERT_EQ(::write(fds[0], partial, sizeof(partial)), 2);
   ::close(fds[0]);
+  EXPECT_THROW((void)read_frame(fds[1], received), Error);
+  ::close(fds[1]);
+}
+
+// A peer that sends a complete, plausible length header and then disconnects
+// mid-body must produce an Error (mid-frame EOF), not a hang or a partially
+// filled buffer treated as a frame.
+TEST(ProtocolTest, MidFrameDisconnectIsAnError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const auto payload = encode_generate_request(sample_request());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t header[4];
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  ASSERT_EQ(::write(fds[0], header, 4), 4);
+  ASSERT_EQ(::write(fds[0], payload.data(), 10), 10);  // 10 of len bytes
+  ::close(fds[0]);
+  std::vector<std::uint8_t> received;
   EXPECT_THROW((void)read_frame(fds[1], received), Error);
   ::close(fds[1]);
 }
