@@ -11,6 +11,7 @@ int main() {
   const int blocks = 16;
   std::printf("%-28s %10s %10s %10s %12s\n", "gamma (WL / BL)", "707 WL", "707 BL",
               "BL/WL", "L0 err rate");
+  bench::JsonArray rows;
   for (const double scale : {0.0, 0.5, 1.0, 1.5}) {
     for (const double asym : {1.0, 1.76}) {  // 1.76 = default gamma_bl / gamma_wl
       flash::FlashChannelConfig config;
@@ -39,10 +40,24 @@ int main() {
       std::printf("%.4f / %.4f              %9.2f%% %9.2f%% %10.2f %11.2f%%\n",
                   config.ici.gamma_wl, config.ici.gamma_bl, 100.0 * wl, 100.0 * bl,
                   wl > 0 ? bl / wl : 0.0, 100.0 * overall);
+      bench::JsonFields row;
+      row.add("gamma_wl", config.ici.gamma_wl)
+          .add("gamma_bl", config.ici.gamma_bl)
+          .add("type2_707_wl", wl)
+          .add("type2_707_bl", bl)
+          .add("bl_wl_ratio", wl > 0 ? bl / wl : 0.0)
+          .add("level0_error_rate", overall);
+      rows.push(row);
     }
   }
   std::printf("\nExpectation: 707 rates grow with coupling strength; the BL/WL ratio\n");
   std::printf("tracks the gamma asymmetry; with zero coupling the pattern dependence\n");
   std::printf("vanishes (rates equal the pattern-independent baseline).\n");
+
+  bench::JsonFields config_fields;
+  config_fields.add("blocks", blocks).add("pe_cycles", 4000.0);
+  bench::JsonFields metrics;
+  metrics.add_raw("sweep", rows.render());
+  bench::write_bench_report("ablation_ici_strength", config_fields, metrics);
   return 0;
 }

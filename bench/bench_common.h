@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/flashgen.h"
 
 namespace flashgen::bench {
@@ -24,6 +25,20 @@ inline core::ExperimentConfig bench_config() {
   if (const char* env = std::getenv("FLASHGEN_BENCH_EVAL"))
     config.eval_arrays = std::atoi(env);
   return config;
+}
+
+/// The "config" block every repro bench reports (see bench_json.h): the
+/// experiment knobs that determine the numbers.
+inline JsonFields experiment_config_fields(const core::ExperimentConfig& config) {
+  JsonFields fields;
+  fields.add("array_size", config.dataset.array_size)
+      .add("train_arrays", config.dataset.num_arrays)
+      .add("eval_arrays", config.eval_arrays)
+      .add("epochs", config.epochs)
+      .add("batch_size", config.batch_size)
+      .add("lr", static_cast<double>(config.lr))
+      .add("seed", static_cast<std::int64_t>(config.seed));
+  return fields;
 }
 
 inline void print_header(const char* what) {

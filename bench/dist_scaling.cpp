@@ -1,0 +1,160 @@
+// Distributed-training scaling bench: samples/sec of the deterministic
+// data-parallel trainer at worker counts 1, 2, 4 (thread ranks over the
+// in-process socketpair mesh, fixed global batch and shard count, so every
+// cell runs the exact same canonical computation — the checkpoints are
+// bit-identical across the sweep, which the bench verifies as it measures).
+//
+// On a single-CPU host the curve is flat-to-negative (the workers time-share
+// one core and pay the collective overhead); the interesting numbers there
+// are the per-step collective costs, which the dist.* counters capture.
+//
+// Run:  ./dist_scaling
+//   FLASHGEN_BENCH_DIST_EPOCHS - epochs per cell (default 2)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/experiment.h"
+#include "data/dataset.h"
+#include "dist/comm.h"
+#include "dist/trainer.h"
+#include "models/generative_model.h"
+#include "models/networks.h"
+
+using namespace flashgen;
+
+namespace {
+
+constexpr int kGlobalBatch = 8;
+constexpr int kNumShards = 4;
+
+data::DatasetConfig bench_dataset_config() {
+  data::DatasetConfig config;
+  config.array_size = 8;
+  config.num_arrays = 64;
+  config.channel.rows = 32;
+  config.channel.cols = 32;
+  return config;
+}
+
+models::NetworkConfig bench_network_config() {
+  models::NetworkConfig config;
+  config.array_size = 8;
+  config.base_channels = 4;
+  config.z_dim = 4;
+  return config;
+}
+
+struct Cell {
+  int world = 0;
+  int steps = 0;
+  double seconds = 0.0;
+  double samples_per_sec = 0.0;
+  std::uint64_t allreduces = 0;
+  std::uint64_t bytes_sent = 0;
+  std::vector<std::uint8_t> state;  // rank 0's final module state
+};
+
+std::vector<std::uint8_t> state_blob(models::GenerativeModel& model) {
+  std::vector<std::uint8_t> blob;
+  for (const auto& entry : model.root_module().named_state()) {
+    auto values = entry.tensor.data();
+    const std::size_t at = blob.size();
+    blob.resize(at + values.size() * sizeof(float));
+    std::memcpy(blob.data() + at, values.data(), values.size() * sizeof(float));
+  }
+  return blob;
+}
+
+Cell run_cell(int world, const data::PairedDataset& dataset, int epochs) {
+  models::TrainConfig train;
+  train.epochs = epochs;
+  train.batch_size = kGlobalBatch;
+  train.log_every = 0;
+
+  stats::reset_for_test();
+  auto comms = dist::make_local_mesh(world);
+  Cell cell;
+  cell.world = world;
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      auto model = core::make_model(core::ModelKind::CvaeGan, bench_network_config(), 7);
+      dist::DistTrainer trainer(comms[static_cast<std::size_t>(r)],
+                                dist::DistConfig{.num_shards = kNumShards, .seed = 5});
+      flashgen::Rng loop_rng(9);
+      const auto stats = trainer.fit(*model, dataset, train, loop_rng);
+      if (r == 0) {
+        cell.steps = stats.steps;
+        cell.state = state_blob(*model);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  cell.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  cell.samples_per_sec = cell.steps * kGlobalBatch / cell.seconds;
+  cell.allreduces = stats::counter("dist.allreduces").value();
+  cell.bytes_sent = stats::counter("dist.bytes_sent").value();
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  int epochs = 2;
+  if (const char* env = std::getenv("FLASHGEN_BENCH_DIST_EPOCHS")) epochs = std::atoi(env);
+
+  flashgen::Rng data_rng(1);
+  const auto dataset = data::PairedDataset::generate(bench_dataset_config(), data_rng);
+
+  std::printf("dist_scaling: cVAE-GAN, global batch %d, %d shards, %d epochs\n", kGlobalBatch,
+              kNumShards, epochs);
+  std::vector<Cell> cells;
+  for (int world : {1, 2, 4}) {
+    cells.push_back(run_cell(world, dataset, epochs));
+    const Cell& c = cells.back();
+    std::printf("  world %d: %d steps in %.3fs -> %8.1f samples/sec (%llu all-reduces, "
+                "%llu bytes sent)\n",
+                c.world, c.steps, c.seconds, c.samples_per_sec,
+                static_cast<unsigned long long>(c.allreduces),
+                static_cast<unsigned long long>(c.bytes_sent));
+  }
+
+  bool identical = true;
+  for (const Cell& c : cells) identical = identical && c.state == cells.front().state;
+  std::printf("checkpoints bit-identical across world sizes: %s\n", identical ? "yes" : "NO");
+
+  bench::JsonFields config;
+  config.add("model", "cVAE-GAN")
+      .add("array_size", 8)
+      .add("base_channels", 4)
+      .add("global_batch", kGlobalBatch)
+      .add("num_shards", kNumShards)
+      .add("epochs", epochs)
+      .add("arrays", static_cast<int>(dataset.size()))
+      .add("host_cpus", static_cast<int>(std::thread::hardware_concurrency()));
+  bench::JsonFields metrics;
+  bench::JsonArray sweep;
+  for (const Cell& c : cells) {
+    bench::JsonFields cell;
+    cell.add("workers", c.world)
+        .add("steps", c.steps)
+        .add("seconds", c.seconds)
+        .add("samples_per_sec", c.samples_per_sec)
+        .add("allreduces", static_cast<std::int64_t>(c.allreduces))
+        .add("bytes_sent", static_cast<std::int64_t>(c.bytes_sent));
+    sweep.push(cell);
+  }
+  metrics.add_raw("sweep", sweep.render());
+  metrics.add("bit_identical_across_workers", identical);
+  bench::write_bench_report("dist_scaling", config, metrics);
+  return identical ? 0 : 1;
+}

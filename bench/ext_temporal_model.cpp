@@ -43,6 +43,7 @@ int main() {
   }
 
   std::printf("%-10s %22s %24s\n", "eval PE", "fixed cVAE-GAN@4000 TV", "PE-conditioned TV");
+  bench::JsonArray rows;
   for (const double pe : {1000.0, 2000.0, 4000.0, 8000.0, 12000.0}) {
     data::DatasetConfig eval_config = config.dataset;
     eval_config.num_arrays = config.eval_arrays;
@@ -63,11 +64,23 @@ int main() {
       temporal_hists.add_grids(
           pl_grid, measured.tensor_to_voltages(temporal.generate_at(pl, pe, gen_rng)));
     }
-    std::printf("%-10.0f %22.4f %24.4f\n", pe,
-                eval::tv_distance(measured_hists.overall(), fixed_hists.overall()),
-                eval::tv_distance(measured_hists.overall(), temporal_hists.overall()));
+    const double tv_fixed = eval::tv_distance(measured_hists.overall(), fixed_hists.overall());
+    const double tv_temporal =
+        eval::tv_distance(measured_hists.overall(), temporal_hists.overall());
+    std::printf("%-10.0f %22.4f %24.4f\n", pe, tv_fixed, tv_temporal);
+    bench::JsonFields row;
+    row.add("pe_cycles", pe).add("tv_fixed_model", tv_fixed).add("tv_pe_conditioned", tv_temporal);
+    rows.push(row);
   }
   std::printf("\nExpectation: roughly equal at PE 4000; the conditioned model stays\n");
   std::printf("flat across conditions while the fixed model's TV grows off-condition.\n");
+
+  bench::JsonFields config_fields = bench::experiment_config_fields(config);
+  bench::JsonArray conditions;
+  for (const double pe : train_conditions) conditions.push_raw(format("%.0f", pe));
+  config_fields.add_raw("train_pe_conditions", conditions.render());
+  bench::JsonFields metrics;
+  metrics.add_raw("sweep", rows.render());
+  bench::write_bench_report("ext_temporal_model", config_fields, metrics);
   return 0;
 }

@@ -48,5 +48,13 @@ int main() {
               models[0].evaluation.tv_overall);
 
   core::write_pdf_csv(experiment, bench::evaluation_pointers(models), "bench_fig1_pdf.csv");
+
+  bench::JsonFields metrics;
+  metrics.add("tv_overall_cvae_gan", models[0].evaluation.tv_overall);
+  bench::JsonArray thresholds;
+  for (double t : experiment.thresholds()) thresholds.push_raw(format("%.2f", t));
+  metrics.add_raw("thresholds", thresholds.render());
+  bench::write_bench_report("fig1_pdf_overview",
+                            bench::experiment_config_fields(experiment.config()), metrics);
   return 0;
 }

@@ -50,5 +50,20 @@ int main() {
   }
   std::printf("\nReproduction target: generated tail masses within a small factor of\n");
   std::printf("measured for the cVAE-GAN family, larger distortions for cGAN.\n");
+
+  auto leak_json = [&leak](const eval::ConditionalHistograms& hists) {
+    bench::JsonArray out;
+    for (int level = 0; level < flash::kTlcLevels; ++level) {
+      out.push_raw(format("%.6f", leak(hists, level)));
+    }
+    return out.render();
+  };
+  bench::JsonFields metrics;
+  metrics.add_raw("tail_mass_measured", leak_json(experiment.measured_histograms()));
+  for (const auto* m : pointers) {
+    metrics.add_raw("tail_mass_" + m->name, leak_json(m->histograms));
+  }
+  bench::write_bench_report("fig4_pdf_models",
+                            bench::experiment_config_fields(experiment.config()), metrics);
   return 0;
 }

@@ -38,5 +38,18 @@ int main() {
     }
   }
   std::printf("wrote bench_fig5_type1.csv\n");
+
+  // JSON report: the dominant (707) Type I shares per source and direction.
+  const int p707 = eval::pattern_index(7, 7);
+  bench::JsonFields metrics;
+  metrics.add("top_pattern", "707");
+  metrics.add("type1_wl_measured", experiment.measured_ici().wordline.type1(p707));
+  metrics.add("type1_bl_measured", experiment.measured_ici().bitline.type1(p707));
+  for (const auto& m : models) {
+    metrics.add("type1_wl_" + m.evaluation.name, m.evaluation.ici.wordline.type1(p707));
+    metrics.add("type1_bl_" + m.evaluation.name, m.evaluation.ici.bitline.type1(p707));
+  }
+  bench::write_bench_report("fig5_type1_patterns",
+                            bench::experiment_config_fields(experiment.config()), metrics);
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "eval/histogram.h"
+#include "micro_main.h"
 #include "eval/ici_analysis.h"
 #include "eval/thresholds.h"
 #include "flash/channel.h"
@@ -113,4 +114,6 @@ BENCHMARK(BM_IciPatternAnalysis);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return flashgen::bench::run_micro_benchmarks("micro_flash", argc, argv);
+}

@@ -4,6 +4,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "micro_main.h"
 #include "tensor/conv.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
@@ -116,4 +117,6 @@ BENCHMARK(BM_ElementwiseChain);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return flashgen::bench::run_micro_benchmarks("micro_tensor", argc, argv);
+}

@@ -10,7 +10,8 @@
 //      snapshot, resume to completion) vs the uninterrupted run, which bounds
 //      the replay cost of the epoch-shuffle + skip-ahead scheme.
 //
-// Writes JSON next to the other bench results.
+// Writes JSON next to the other bench results via the shared bench report
+// emitter (an optional argv[1] writes an extra copy to that path).
 //
 // Run:  ./resume_overhead [output.json]
 //   FLASHGEN_BENCH_RESUME_REPS - timed fit repetitions per cell (default 3)
@@ -22,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/error.h"
 #include "common/faultinject.h"
 #include "data/dataset.h"
@@ -88,7 +90,6 @@ double mean_fit_seconds(const data::PairedDataset& dataset, const std::string& s
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "resume_overhead.json";
   const int reps = [] {
     const char* env = std::getenv("FLASHGEN_BENCH_RESUME_REPS");
     return env ? std::atoi(env) : 3;
@@ -155,31 +156,24 @@ int main(int argc, char** argv) {
               per_snapshot_ms, load_total / io_reps * 1e3,
               static_cast<std::size_t>(snapshot_bytes), killed_s, resumed_steps);
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-    return 1;
+  bench::JsonFields config;
+  config.add("model", "cVAE-GAN").add("array_side", 8).add("reps", reps);
+  bench::JsonFields metrics;
+  metrics.add("total_steps", total_steps)
+      .add("baseline_seconds", base_s)
+      .add("snapshot_every_8_seconds", every8_s)
+      .add("snapshot_every_8_overhead_percent", (every8_s / base_s - 1.0) * 100.0)
+      .add("snapshot_every_1_seconds", every1_s)
+      .add("snapshot_every_1_overhead_percent", (every1_s / base_s - 1.0) * 100.0)
+      .add("snapshot_write_ms", per_snapshot_ms)
+      .add("snapshot_load_ms", load_total / io_reps * 1e3)
+      .add("snapshot_bytes", static_cast<std::int64_t>(snapshot_bytes))
+      .add("resume_half_run_seconds", killed_s)
+      .add("resume_run_total_steps", resumed_steps);
+  bench::write_bench_report("resume_overhead", config, metrics);
+  if (argc > 1) {
+    bench::write_bench_report_to(argv[1],
+                                 bench::render_bench_report("resume_overhead", config, metrics));
   }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"bench\": \"resume_overhead\",\n");
-  std::fprintf(out, "  \"model\": \"cVAE-GAN\",\n");
-  std::fprintf(out, "  \"array_side\": 8,\n");
-  std::fprintf(out, "  \"total_steps\": %d,\n", total_steps);
-  std::fprintf(out, "  \"reps\": %d,\n", reps);
-  std::fprintf(out, "  \"baseline_seconds\": %.4f,\n", base_s);
-  std::fprintf(out, "  \"snapshot_every_8_seconds\": %.4f,\n", every8_s);
-  std::fprintf(out, "  \"snapshot_every_8_overhead_percent\": %.2f,\n",
-               (every8_s / base_s - 1.0) * 100.0);
-  std::fprintf(out, "  \"snapshot_every_1_seconds\": %.4f,\n", every1_s);
-  std::fprintf(out, "  \"snapshot_every_1_overhead_percent\": %.2f,\n",
-               (every1_s / base_s - 1.0) * 100.0);
-  std::fprintf(out, "  \"snapshot_write_ms\": %.4f,\n", per_snapshot_ms);
-  std::fprintf(out, "  \"snapshot_load_ms\": %.4f,\n", load_total / io_reps * 1e3);
-  std::fprintf(out, "  \"snapshot_bytes\": %zu,\n", static_cast<std::size_t>(snapshot_bytes));
-  std::fprintf(out, "  \"resume_half_run_seconds\": %.4f,\n", killed_s);
-  std::fprintf(out, "  \"resume_run_total_steps\": %d\n", resumed_steps);
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

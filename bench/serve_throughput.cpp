@@ -8,8 +8,10 @@
 // which already runs graph-free with in-place ops) to separate the win from
 // skipping autograd from the win from pooling + batching.
 //
-// Writes a thread-count x batch-size sweep as JSON. The acceptance bar for
-// the serving runtime is >= 2x the training-path samples/sec at batch 8.
+// Writes a thread-count x batch-size sweep as JSON via the shared bench
+// report emitter (bench/results/serve_throughput.json; an optional argv[1]
+// writes an extra copy to that path). The acceptance bar for the serving
+// runtime is >= 2x the training-path samples/sec at batch 8.
 //
 // Run:  ./serve_throughput [output.json]
 //   FLASHGEN_BENCH_SERVE_REPS  - timed repetitions per cell (default 40)
@@ -20,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/parallel.h"
 #include "core/flashgen.h"
 #include "serve/engine.h"
@@ -129,7 +132,6 @@ double engine_samples_per_sec(serve::InferenceEngine& engine, const tensor::Tens
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "serve_throughput.json";
   int base_reps = 40;
   if (const char* env = std::getenv("FLASHGEN_BENCH_SERVE_REPS")) base_reps = std::atoi(env);
 
@@ -140,15 +142,7 @@ int main(int argc, char** argv) {
   auto [rows, vl] = dataset.batch(indices);
   (void)vl;
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(out, "{\n  \"bench\": \"serve_throughput\",\n  \"array_side\": 8,\n");
-  std::fprintf(out, "  \"reps\": %d,\n  \"sweep\": [\n", base_reps);
-
-  bool first = true;
+  bench::JsonArray sweep;
   for (core::ModelKind kind : {core::ModelKind::CvaeGan, core::ModelKind::Gaussian}) {
     auto model = core::make_model(kind, bench_network_config(), /*seed=*/7);
     models::TrainConfig train;
@@ -175,22 +169,28 @@ int main(int argc, char** argv) {
             "serve %9.1f/s  %.2fx\n",
             core::to_string(kind).c_str(), threads, static_cast<long long>(batch),
             training_sps, generate_sps, serve_sps, serve_sps / training_sps);
-        std::fprintf(out,
-                     "%s    {\"model\": \"%s\", \"threads\": %d, \"batch_size\": %lld, "
-                     "\"training_path_samples_per_sec\": %.1f, "
-                     "\"generate_samples_per_sec\": %.1f, "
-                     "\"serve_samples_per_sec\": %.1f, "
-                     "\"speedup_vs_training_path\": %.3f, "
-                     "\"speedup_vs_generate\": %.3f}",
-                     first ? "" : ",\n", core::to_string(kind).c_str(), threads,
-                     static_cast<long long>(batch), training_sps, generate_sps, serve_sps,
-                     serve_sps / training_sps, serve_sps / generate_sps);
-        first = false;
+        bench::JsonFields cell;
+        cell.add("model", core::to_string(kind))
+            .add("threads", threads)
+            .add("batch_size", static_cast<std::int64_t>(batch))
+            .add("training_path_samples_per_sec", training_sps)
+            .add("generate_samples_per_sec", generate_sps)
+            .add("serve_samples_per_sec", serve_sps)
+            .add("speedup_vs_training_path", serve_sps / training_sps)
+            .add("speedup_vs_generate", serve_sps / generate_sps);
+        sweep.push(cell);
       }
     }
   }
-  std::fprintf(out, "\n  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", out_path.c_str());
+
+  bench::JsonFields config;
+  config.add("array_side", 8).add("reps", base_reps);
+  bench::JsonFields metrics;
+  metrics.add_raw("sweep", sweep.render());
+  bench::write_bench_report("serve_throughput", config, metrics);
+  if (argc > 1) {
+    bench::write_bench_report_to(argv[1],
+                                 bench::render_bench_report("serve_throughput", config, metrics));
+  }
   return 0;
 }

@@ -36,5 +36,22 @@ int main() {
   for (const auto& m : models) all_row.push_back(format("%.4f", m.evaluation.tv_overall));
   csv.row(all_row);
   std::printf("wrote bench_table1_tv.csv\n");
+
+  bench::JsonFields metrics;
+  bench::JsonArray rows;
+  for (const auto& m : models) {
+    const auto& eval = m.evaluation;
+    bench::JsonArray levels;
+    for (int level = 0; level < flash::kTlcLevels; ++level) {
+      levels.push_raw(format("%.6f", eval.tv_per_level[level]));
+    }
+    bench::JsonFields row;
+    row.add("model", eval.name).add("tv_overall", eval.tv_overall);
+    row.add_raw("tv_per_level", levels.render());
+    rows.push(row);
+  }
+  metrics.add_raw("models", rows.render());
+  bench::write_bench_report("table1_tv_distance",
+                            bench::experiment_config_fields(experiment.config()), metrics);
   return 0;
 }

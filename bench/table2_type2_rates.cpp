@@ -39,5 +39,29 @@ int main() {
   dump("Measured", experiment.measured_ici());
   for (const auto& m : models) dump(m.evaluation.name, m.evaluation.ici);
   std::printf("wrote bench_table2_type2.csv\n");
+
+  // JSON report: per source, the Type II rates over the paper's pattern list.
+  auto rates_json = [](const eval::IciAnalysis& ici) {
+    bench::JsonArray wl;
+    bench::JsonArray bl;
+    for (const auto& label : core::paper_table2_patterns()) {
+      const int p = core::pattern_from_label(label);
+      wl.push_raw(format("%.6f", ici.wordline.type2(p)));
+      bl.push_raw(format("%.6f", ici.bitline.type2(p)));
+    }
+    bench::JsonFields fields;
+    fields.add_raw("type2_wl", wl.render()).add_raw("type2_bl", bl.render());
+    return fields;
+  };
+  bench::JsonFields metrics;
+  bench::JsonArray patterns;
+  for (const auto& label : core::paper_table2_patterns()) patterns.push(label);
+  metrics.add_raw("patterns", patterns.render());
+  metrics.add_raw("measured", rates_json(experiment.measured_ici()).render());
+  for (const auto& m : models) {
+    metrics.add_raw(m.evaluation.name, rates_json(m.evaluation.ici).render());
+  }
+  bench::write_bench_report("table2_type2_rates",
+                            bench::experiment_config_fields(experiment.config()), metrics);
   return 0;
 }

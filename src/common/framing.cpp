@@ -1,0 +1,115 @@
+#include "common/framing.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/faultinject.h"
+
+namespace flashgen::framing {
+
+bool IoError::timed_out() const {
+  return error_code_ == EAGAIN || error_code_ == EWOULDBLOCK || error_code_ == ETIMEDOUT;
+}
+
+namespace {
+[[noreturn]] void throw_io(const char* op, int err) {
+  std::ostringstream os;
+  os << "protocol: " << op << " failed: " << std::strerror(err);
+  throw IoError(os.str(), err);
+}
+
+// Loops until every byte is on the wire: retries syscalls interrupted by
+// signals (EINTR) and resumes after short writes, so a frame can be delivered
+// across any number of partial transfers. MSG_NOSIGNAL turns a write to a
+// peer that already closed into an EPIPE IoError instead of the default
+// SIGPIPE, which would kill the whole process because no handler is
+// installed.
+void write_all(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw_io("write", n < 0 ? errno : EPIPE);
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Returns bytes read; short only on EOF.
+std::size_t read_all(int fd, void* data, std::size_t size) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) throw_io("read", errno);
+    if (n == 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+}  // namespace
+
+void write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  if (FG_FAULT("socket_reset")) {
+    ::shutdown(fd, SHUT_RDWR);
+    FG_CHECK(false, "fault injected: socket_reset (write_frame)");
+  }
+  FG_CHECK(payload.size() <= kMaxFrameBytes, "protocol: frame too large: " << payload.size());
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  write_all(fd, header, sizeof(header));
+  write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
+  if (FG_FAULT("socket_reset")) {
+    ::shutdown(fd, SHUT_RDWR);
+    FG_CHECK(false, "fault injected: socket_reset (read_frame)");
+  }
+  std::uint8_t header[4];
+  const std::size_t got = read_all(fd, header, sizeof(header));
+  if (got == 0) return false;  // clean EOF between frames
+  FG_CHECK(got == sizeof(header), "protocol: truncated frame header");
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  FG_CHECK(len <= kMaxFrameBytes, "protocol: frame too large: " << len);
+  // Grow the buffer in bounded chunks as bytes actually arrive, so a hostile
+  // length prefix followed by a dropped connection costs at most one chunk of
+  // allocation, not the full claimed frame.
+  constexpr std::size_t kChunkBytes = 1u << 20;
+  payload.clear();
+  payload.shrink_to_fit();
+  std::size_t have = 0;
+  while (have < len) {
+    const std::size_t want = std::min<std::size_t>(kChunkBytes, len - have);
+    payload.resize(have + want);
+    const std::size_t n = read_all(fd, payload.data() + have, want);
+    have += n;
+    if (n < want) {
+      payload.resize(have);
+      FG_CHECK(false, "protocol: truncated frame body (" << have << "/" << len << " bytes)");
+    }
+  }
+  return true;
+}
+
+void set_socket_timeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
+    throw_io("setsockopt(SO_RCVTIMEO)", errno);
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0)
+    throw_io("setsockopt(SO_SNDTIMEO)", errno);
+}
+
+}  // namespace flashgen::framing

@@ -1,0 +1,63 @@
+// Length-prefixed binary framing over a stream socket, shared by the serving
+// protocol (src/serve/protocol.*) and the distributed-training collectives
+// (src/dist/comm.*).
+//
+// Wire layout (little-endian): u32 payload_len | payload bytes.
+//
+// Properties every consumer relies on:
+//  - EINTR-safe blocking loops that resume after short reads/writes.
+//  - MSG_NOSIGNAL sends: a peer that already closed the connection surfaces
+//    as an IoError (EPIPE) instead of a process-killing SIGPIPE.
+//  - One shared frame-size cap (kMaxFrameBytes): a hostile length prefix is
+//    rejected before allocation, and frame bodies are read in bounded chunks
+//    so a claimed-but-never-sent length costs at most one chunk of memory.
+//  - Socket timeouts (SO_RCVTIMEO/SO_SNDTIMEO) surface as IoError with
+//    timed_out() == true, which the dist layer maps to a typed collective
+//    timeout instead of an unbounded hang.
+//
+// Fault points (see common/faultinject.h): "socket_reset" fires at
+// read_frame/write_frame entry and simulates the peer dropping the
+// connection mid-exchange.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace flashgen::framing {
+
+/// Refuse frames above this size (64 MiB) to bound allocation on bad input.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Syscall failure while reading or writing a frame. Carries the errno of
+/// the failed syscall so callers can distinguish a socket timeout
+/// (timed_out()) from a reset/closed peer. Protocol violations (oversized
+/// frame, truncated frame) throw plain flashgen::Error via FG_CHECK.
+class IoError : public flashgen::Error {
+ public:
+  IoError(const std::string& what, int error_code)
+      : flashgen::Error(what), error_code_(error_code) {}
+
+  int error_code() const { return error_code_; }
+  bool timed_out() const;
+
+ private:
+  int error_code_;
+};
+
+/// Writes u32 length + payload. Throws IoError on I/O failure or when the
+/// payload exceeds kMaxFrameBytes.
+void write_frame(int fd, const std::vector<std::uint8_t>& payload);
+
+/// Reads one frame into `payload`. Returns false on clean EOF before the
+/// first byte; throws IoError on mid-frame EOF, I/O error, or an oversized
+/// frame.
+bool read_frame(int fd, std::vector<std::uint8_t>& payload);
+
+/// Sets SO_RCVTIMEO and SO_SNDTIMEO on `fd` so blocked frame reads/writes
+/// fail with a timed_out() IoError after `timeout_ms` instead of hanging
+/// forever. `timeout_ms <= 0` leaves the socket blocking indefinitely.
+void set_socket_timeout(int fd, int timeout_ms);
+
+}  // namespace flashgen::framing

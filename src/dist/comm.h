@@ -1,0 +1,122 @@
+// Socket-based collective communication for data-parallel training.
+//
+// A Comm owns one stream-socket file descriptor per peer rank and provides
+// the collectives the distributed trainer needs: barrier, broadcast,
+// all-gather, ring all-reduce, and the butterfly tree-sum all-reduce whose
+// result is bit-identical across power-of-two world sizes (see
+// DESIGN.md "Distributed training"). All frames go over the shared
+// length-prefixed transport in common/framing.*.
+//
+// Failure semantics: every socket carries SO_RCVTIMEO/SO_SNDTIMEO, so a dead
+// or wedged peer surfaces as a typed CommTimeout after `timeout_ms` instead
+// of an unbounded hang; a reset/closed peer surfaces as CommError. On any
+// failure the Comm shuts down all of its sockets before throwing, so peers
+// blocked on this rank unblock immediately (they observe EOF) rather than
+// waiting out their own timeout.
+//
+// Deadlock freedom with blocking sockets: pairwise exchanges always run
+// lower-rank-sends-first, and ring rounds run parity-ordered (even ranks
+// send then receive, odd ranks receive then send), so no cycle of ranks can
+// be simultaneously blocked on send.
+//
+// Fault points (common/faultinject.h): "dist_send" / "dist_recv" fire at
+// collective send/recv entry and simulate a network partition (all sockets
+// are shut down, CommError is thrown).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace flashgen::dist {
+
+/// A collective failed: peer died, connection reset, injected partition, or
+/// a protocol violation. After a CommError the Comm is unusable (its sockets
+/// have been shut down).
+class CommError : public flashgen::Error {
+ public:
+  explicit CommError(const std::string& what) : flashgen::Error(what) {}
+};
+
+/// A collective exceeded the configured timeout (straggler or silent peer).
+class CommTimeout : public CommError {
+ public:
+  explicit CommTimeout(const std::string& what) : CommError(what) {}
+};
+
+struct CommConfig {
+  /// Per-socket send/receive timeout; <= 0 blocks forever (tests only).
+  int timeout_ms = 30000;
+};
+
+/// Collective communicator over an already-connected full mesh. Move-only;
+/// the destructor closes every peer socket.
+class Comm {
+ public:
+  /// `peer_fds[r]` is a connected stream socket to rank r (the entry at
+  /// `rank` is ignored; use -1). Takes ownership of the descriptors.
+  Comm(int rank, int world, std::vector<int> peer_fds, const CommConfig& config = {});
+  ~Comm();
+  Comm(Comm&& other) noexcept;
+  Comm& operator=(Comm&& other) noexcept;
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  int rank() const { return rank_; }
+  int world() const { return world_; }
+
+  /// Point-to-point frame send/receive ("dist_send"/"dist_recv" fault
+  /// points, dist.bytes_sent/dist.bytes_received counters).
+  void send_to(int peer, const std::vector<std::uint8_t>& payload);
+  void recv_from(int peer, std::vector<std::uint8_t>& payload);
+
+  /// Dissemination barrier: ceil(log2 world) rounds of tiny frames.
+  void barrier();
+
+  /// Copies `data` on `root` to every rank (star topology).
+  void broadcast(std::vector<std::uint8_t>& data, int root);
+
+  /// Ring all-gather of per-rank byte blobs; result[r] is rank r's
+  /// contribution, identical on every rank. Blobs may differ in size.
+  std::vector<std::vector<std::uint8_t>> all_gather(const std::vector<std::uint8_t>& mine);
+
+  /// Ring all-reduce (reduce-scatter + all-gather) elementwise float sum.
+  /// Bandwidth-optimal, but the addition order depends on the world size, so
+  /// results are NOT bit-comparable across different world sizes.
+  void all_reduce_sum(std::vector<float>& data);
+
+  /// Butterfly elementwise float sum over a power-of-two world: log2(world)
+  /// rounds of pairwise exchange-and-add. Every rank ends with identical
+  /// bits, and when each rank's input is a balanced-tree sum over a
+  /// contiguous block of leaves, the result equals the balanced-tree sum
+  /// over all leaves — the keystone of cross-world-size bit-identity (see
+  /// DESIGN.md).
+  void all_reduce_tree_sum(std::vector<float>& data);
+
+ private:
+  int fd_for(int peer) const;
+  void shutdown_all() noexcept;
+  /// Deadlock-free pairwise swap: the lower rank sends first.
+  void exchange(int peer, const std::vector<std::uint8_t>& out,
+                std::vector<std::uint8_t>& in);
+
+  int rank_ = 0;
+  int world_ = 1;
+  std::vector<int> fds_;
+  CommConfig config_;
+};
+
+/// In-process full mesh over socketpair(): comms[r] is rank r's
+/// communicator. Used by thread-based unit tests and as the pre-fork mesh of
+/// the spawn-local launcher (each forked child keeps comms[child_rank] and
+/// drops the rest — descriptors survive fork).
+std::vector<Comm> make_local_mesh(int world, const CommConfig& config = {});
+
+/// TCP loopback rendezvous: rank r listens on base_port + r, connects to
+/// every lower rank (with retry until `timeout_ms`), and accepts from every
+/// higher rank. Returns the connected communicator.
+Comm connect_tcp(int rank, int world, std::uint16_t base_port, const CommConfig& config = {});
+
+}  // namespace flashgen::dist

@@ -1,0 +1,272 @@
+// flashgen_train_dist: deterministic data-parallel training launcher.
+//
+// Three run modes:
+//   * world == 1 (default): trains inline in this process.
+//   * --spawn-local: builds a socketpair mesh, forks `--world` workers on this
+//     machine, and reaps them. The canonical way to run the determinism and
+//     fault-tolerance demos on one host.
+//   * --rank R --port P: joins a TCP loopback rendezvous as rank R (rank r
+//     listens on P + r). Every rank must be launched with the same flags.
+//
+// Every rank generates the dataset and the model in process from --seed, so
+// there is nothing to distribute up front; rank 0 alone writes --out /
+// --snapshot artifacts and prints the JSON summary. Checkpoints are
+// bit-identical across --world values at a fixed --num-shards / --seed.
+//
+// Example (two workers, shards fixed at 4):
+//   flashgen_train_dist --model cvae_gan --world 2 --spawn-local
+//     --num-shards 4 --global-batch 8 --epochs 2 --out model.ckpt
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/faultinject.h"
+#include "common/rng.h"
+#include "core/experiment.h"
+#include "data/dataset.h"
+#include "dist/comm.h"
+#include "dist/trainer.h"
+#include "models/generative_model.h"
+
+namespace {
+
+using namespace flashgen;
+
+struct Options {
+  std::string model = "cvae_gan";
+  int world = 1;
+  int rank = -1;               // set with --port for TCP rendezvous mode
+  int port = 0;
+  bool spawn_local = false;
+  int epochs = 1;
+  int global_batch = 8;
+  int num_shards = 4;
+  std::uint64_t seed = 2023;
+  int arrays = 64;
+  int array_size = 8;
+  int base_channels = 4;
+  float lr = 2e-4f;
+  std::string out;
+  std::string snapshot;
+  int snapshot_every = 0;
+  bool resume = false;
+  int timeout_ms = 30000;
+  std::string faults;
+  int faults_rank = -1;        // < 0: apply --faults on every rank
+};
+
+void usage(std::ostream& os) {
+  os << "usage: flashgen_train_dist [options]\n"
+        "  --model NAME        cvae_gan | cgan | cvae | bicycle_gan (default cvae_gan)\n"
+        "  --world N           world size (power of two, default 1)\n"
+        "  --spawn-local       fork N local workers connected over socketpairs\n"
+        "  --rank R --port P   join a TCP loopback rendezvous as rank R\n"
+        "  --epochs N          training epochs (default 1)\n"
+        "  --global-batch N    global batch size (default 8)\n"
+        "  --num-shards S      microbatches per step; fixes the canonical\n"
+        "                      computation across world sizes (default 4)\n"
+        "  --seed S            base seed (default 2023)\n"
+        "  --arrays N          dataset size (default 64)\n"
+        "  --array-size S      crop size, power of two (default 8)\n"
+        "  --base-channels C   network width (default 4)\n"
+        "  --lr LR             Adam learning rate (default 2e-4)\n"
+        "  --out PATH          rank 0 writes the trained checkpoint here\n"
+        "  --snapshot PATH     rank 0 writes TrainState snapshots here\n"
+        "  --snapshot-every N  snapshot period in optimizer steps (default 0)\n"
+        "  --resume            resume from --snapshot when it exists\n"
+        "  --timeout-ms T      collective timeout (default 30000)\n"
+        "  --faults SPEC       FLASHGEN_FAULTS-style fault spec\n"
+        "  --faults-rank R     apply --faults only on rank R (default: all)\n";
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int i) {
+    FG_CHECK(i + 1 < argc, "missing value for " << argv[i]);
+    return std::string(argv[i + 1]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (arg == "--model") {
+      opt.model = need_value(i++);
+    } else if (arg == "--world") {
+      opt.world = std::stoi(need_value(i++));
+    } else if (arg == "--rank") {
+      opt.rank = std::stoi(need_value(i++));
+    } else if (arg == "--port") {
+      opt.port = std::stoi(need_value(i++));
+    } else if (arg == "--spawn-local") {
+      opt.spawn_local = true;
+    } else if (arg == "--epochs") {
+      opt.epochs = std::stoi(need_value(i++));
+    } else if (arg == "--global-batch") {
+      opt.global_batch = std::stoi(need_value(i++));
+    } else if (arg == "--num-shards") {
+      opt.num_shards = std::stoi(need_value(i++));
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(need_value(i++));
+    } else if (arg == "--arrays") {
+      opt.arrays = std::stoi(need_value(i++));
+    } else if (arg == "--array-size") {
+      opt.array_size = std::stoi(need_value(i++));
+    } else if (arg == "--base-channels") {
+      opt.base_channels = std::stoi(need_value(i++));
+    } else if (arg == "--lr") {
+      opt.lr = std::stof(need_value(i++));
+    } else if (arg == "--out") {
+      opt.out = need_value(i++);
+    } else if (arg == "--snapshot") {
+      opt.snapshot = need_value(i++);
+    } else if (arg == "--snapshot-every") {
+      opt.snapshot_every = std::stoi(need_value(i++));
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--timeout-ms") {
+      opt.timeout_ms = std::stoi(need_value(i++));
+    } else if (arg == "--faults") {
+      opt.faults = need_value(i++);
+    } else if (arg == "--faults-rank") {
+      opt.faults_rank = std::stoi(need_value(i++));
+    } else {
+      usage(std::cerr);
+      FG_CHECK(false, "unknown flag: " << arg);
+    }
+  }
+  return opt;
+}
+
+core::ModelKind model_kind(const std::string& name) {
+  if (name == "cvae_gan") return core::ModelKind::CvaeGan;
+  if (name == "cgan") return core::ModelKind::Cgan;
+  if (name == "cvae") return core::ModelKind::Cvae;
+  if (name == "bicycle_gan") return core::ModelKind::BicycleGan;
+  FG_CHECK(false, "unknown --model '" << name
+                                      << "' (expected cvae_gan | cgan | cvae | bicycle_gan)");
+  return core::ModelKind::CvaeGan;
+}
+
+/// Runs one rank end to end. Seed derivation: `seed` drives the dataset,
+/// seed+1 the model init, seed+2 the epoch shuffle, seed+3 the per-shard
+/// microbatch streams — all replicated identically on every rank.
+int run_rank(dist::Comm comm, const Options& opt) {
+  if (!opt.faults.empty() && (opt.faults_rank < 0 || opt.faults_rank == comm.rank())) {
+    faultinject::configure(opt.faults, opt.seed);
+  }
+
+  data::DatasetConfig dataset_config;
+  dataset_config.array_size = opt.array_size;
+  dataset_config.num_arrays = opt.arrays;
+  dataset_config.channel.rows = 4 * opt.array_size;
+  dataset_config.channel.cols = 4 * opt.array_size;
+  flashgen::Rng data_rng(opt.seed);
+  auto dataset = data::PairedDataset::generate(dataset_config, data_rng);
+
+  models::NetworkConfig network;
+  network.array_size = opt.array_size;
+  network.base_channels = opt.base_channels;
+  auto model = core::make_model(model_kind(opt.model), network, opt.seed + 1);
+
+  models::TrainConfig train;
+  train.epochs = opt.epochs;
+  train.batch_size = opt.global_batch;
+  train.lr = opt.lr;
+  train.log_every = 0;
+  train.snapshot.path = opt.snapshot;
+  train.snapshot.every_steps = opt.snapshot_every;
+  train.snapshot.resume = opt.resume;
+
+  dist::DistConfig dist_config;
+  dist_config.num_shards = opt.num_shards;
+  dist_config.seed = opt.seed + 3;
+
+  const int rank = comm.rank();
+  const int world = comm.world();
+  flashgen::Rng loop_rng(opt.seed + 2);
+  dist::DistTrainer trainer(comm, dist_config);
+  const auto start = std::chrono::steady_clock::now();
+  auto stats = trainer.fit(*model, dataset, train, loop_rng);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  if (rank == 0) {
+    if (!opt.out.empty()) model->save(opt.out);
+    const double samples = static_cast<double>(stats.steps) * opt.global_batch;
+    std::cout << "{\"model\": \"" << opt.model << "\", \"world\": " << world
+              << ", \"num_shards\": " << opt.num_shards << ", \"steps\": " << stats.steps
+              << ", \"global_batch\": " << opt.global_batch << ", \"seconds\": " << seconds
+              << ", \"samples_per_sec\": " << (seconds > 0 ? samples / seconds : 0.0) << "}"
+              << std::endl;
+  }
+  return 0;
+}
+
+int run_spawn_local(const Options& opt) {
+  dist::CommConfig comm_config{.timeout_ms = opt.timeout_ms};
+  auto comms = dist::make_local_mesh(opt.world, comm_config);
+  std::vector<pid_t> pids;
+  for (int r = 0; r < opt.world; ++r) {
+    pid_t pid = fork();
+    FG_CHECK(pid >= 0, "fork failed: " << std::strerror(errno));
+    if (pid == 0) {
+      // Child r: keep its own communicator, close the inherited descriptors
+      // of every other rank so a dead peer surfaces as EOF, not a hang.
+      dist::Comm mine = std::move(comms[static_cast<std::size_t>(r)]);
+      comms.clear();
+      int code = 1;
+      try {
+        code = run_rank(std::move(mine), opt);
+      } catch (const std::exception& e) {
+        std::cerr << "[rank " << r << "] " << e.what() << "\n";
+      }
+      std::_Exit(code);
+    }
+    pids.push_back(pid);
+  }
+  comms.clear();  // parent does not participate
+  int failures = 0;
+  for (std::size_t r = 0; r < pids.size(); ++r) {
+    int status = 0;
+    if (waitpid(pids[r], &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::cerr << "worker rank " << r << " failed\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Options opt = parse_args(argc, argv);
+    FG_CHECK(opt.world >= 1, "--world must be >= 1");
+    if (opt.spawn_local && opt.world > 1) return run_spawn_local(opt);
+    dist::CommConfig comm_config{.timeout_ms = opt.timeout_ms};
+    if (opt.rank >= 0 && opt.world > 1) {
+      FG_CHECK(opt.port > 0, "--rank requires --port");
+      return run_rank(
+          dist::connect_tcp(opt.rank, opt.world, static_cast<std::uint16_t>(opt.port),
+                            comm_config),
+          opt);
+    }
+    FG_CHECK(opt.world == 1,
+             "--world > 1 requires --spawn-local or --rank/--port rendezvous");
+    auto comms = dist::make_local_mesh(1, comm_config);
+    return run_rank(std::move(comms[0]), opt);
+  } catch (const std::exception& e) {
+    std::cerr << "flashgen_train_dist: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,62 @@
+// Deterministic data-parallel training over a Comm.
+//
+// The canonical computation is defined at the microbatch level: one global
+// optimizer step processes `num_shards` (S) microbatches of size
+// batch_size / S, and applies (1/S) * tree_sum(per-shard gradients), where
+// tree_sum is a balanced binary tree over the S shards. Shard q of global
+// step t draws its randomness from Rng::from_stream(seed, t*S + q), and the
+// epoch shuffle comes from the loop Rng that every rank seeds identically —
+// so the computation is a pure function of (seed, config), independent of
+// how the shards are laid out across ranks.
+//
+// With world size W (power of two, dividing S), rank r runs shards
+// [r*S/W, (r+1)*S/W): it tree-sums its contiguous block locally and the
+// butterfly all-reduce composes the per-rank partial trees into exactly the
+// same balanced tree a single rank would build. Result: checkpoints are
+// bit-identical for every W ∈ {1, 2, 4, ...} at fixed (S, seed, config).
+// See DESIGN.md "Distributed training" for the full argument (including why
+// batch-norm forces the microbatch-level definition).
+//
+// Snapshots: rank 0 writes TrainState snapshots (PR 4 format); on resume it
+// broadcasts the artifact to the other ranks, which restore from a
+// rank-local temporary copy. The kRollback sentinel policy is rejected for
+// world > 1 (a rollback on one rank would desynchronize the others);
+// divergence guards run on the *reduced* loss and gradient norm, which are
+// identical on every rank, so a halt is collective.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "dist/comm.h"
+#include "models/generative_model.h"
+
+namespace flashgen::dist {
+
+struct DistConfig {
+  /// Microbatches per global step (S). Power of two, multiple of the world
+  /// size, divides TrainConfig::batch_size. Fixing S while varying the world
+  /// size is what makes runs bit-comparable across worker counts.
+  int num_shards = 1;
+  /// Base seed for the per-shard Rng::from_stream counters.
+  std::uint64_t seed = 0;
+};
+
+class DistTrainer {
+ public:
+  DistTrainer(Comm& comm, const DistConfig& config) : comm_(comm), config_(config) {}
+
+  /// Trains `model` in place via its ShardedStepper. `rng` drives the epoch
+  /// shuffle and must be identically seeded on every rank. Throws
+  /// flashgen::Error on configuration errors and CommError/CommTimeout on
+  /// collective failures.
+  models::TrainStats fit(models::GenerativeModel& model, const data::PairedDataset& dataset,
+                         const models::TrainConfig& train, flashgen::Rng& rng);
+
+ private:
+  Comm& comm_;
+  DistConfig config_;
+};
+
+}  // namespace flashgen::dist

@@ -57,6 +57,47 @@ TrainStats CvaeModel::fit(const data::PairedDataset& dataset, const TrainConfig&
   return stats;
 }
 
+std::unique_ptr<ShardedStepper> CvaeModel::make_sharded_stepper(const TrainConfig& config) {
+  class Stepper : public ShardedStepper {
+   public:
+    Stepper(CvaeModel& m, const TrainConfig& config)
+        : m_(m), alpha_(config.alpha), beta_(config.beta) {
+      m_.root_.set_training(true);
+      params_ = m_.root_.generator.parameters();
+      for (const Tensor& p : m_.root_.encoder.parameters()) params_.push_back(p);
+      opt_ = std::make_unique<nn::Adam>(params_, nn::AdamConfig{.lr = config.lr});
+    }
+
+    int num_phases() const override { return 1; }
+    const std::vector<Tensor>& phase_params(int) const override { return params_; }
+    nn::Adam& phase_optimizer(int) override { return *opt_; }
+    const char* phase_label(int) const override { return "loss"; }
+    void set_lr(float lr) override { opt_->set_lr(lr); }
+
+    void begin_step(int) override {}
+    void end_step() override {}
+
+    double run_phase(int, int, const Tensor& pl, const Tensor& vl,
+                     flashgen::Rng& rng) override {
+      const ResNetEncoder::Output dist = m_.root_.encoder.forward(vl);
+      const Tensor z = ResNetEncoder::sample_latent(dist, rng);
+      const Tensor fake = m_.root_.generator.forward(pl, z, rng);
+      Tensor loss = tensor::add(
+          tensor::mul_scalar(tensor::l1_loss(fake, vl), alpha_),
+          tensor::mul_scalar(tensor::kl_standard_normal(dist.mu, dist.logvar), beta_));
+      loss.backward();
+      return loss.item();
+    }
+
+   private:
+    CvaeModel& m_;
+    float alpha_, beta_;
+    std::vector<Tensor> params_;
+    std::unique_ptr<nn::Adam> opt_;
+  };
+  return std::make_unique<Stepper>(*this, config);
+}
+
 void CvaeModel::prepare_generation() { root_.set_training(false); }
 
 Tensor CvaeModel::sample(const Tensor& pl, flashgen::Rng& rng) {

@@ -18,6 +18,7 @@ class CvaeModel : public GenerativeModel {
   Tensor sample(const Tensor& pl, flashgen::Rng& rng) override;
   Tensor sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) override;
   nn::Module& root_module() override { return root_; }
+  std::unique_ptr<ShardedStepper> make_sharded_stepper(const TrainConfig& config) override;
 
  private:
   struct Root : nn::Module {

@@ -114,6 +114,79 @@ TrainStats CvaeGanModel::fit(const data::PairedDataset& dataset, const TrainConf
   return stats;
 }
 
+std::unique_ptr<ShardedStepper> CvaeGanModel::make_sharded_stepper(const TrainConfig& config) {
+  // Local class: keeps access to CvaeGanModel's private Root while staying
+  // out of the public header.
+  class Stepper : public ShardedStepper {
+   public:
+    Stepper(CvaeGanModel& m, const TrainConfig& config) : m_(m), lsgan_(config.lsgan) {
+      m_.root_.set_training(true);
+      ge_params_ = m_.root_.generator.parameters();
+      for (const Tensor& p : m_.root_.encoder.parameters()) ge_params_.push_back(p);
+      d_params_ = m_.root_.discriminator.parameters();
+      opt_ge_ = std::make_unique<nn::Adam>(ge_params_, nn::AdamConfig{.lr = config.lr});
+      opt_d_ = std::make_unique<nn::Adam>(d_params_, nn::AdamConfig{.lr = config.lr});
+      alpha_ = config.alpha;
+      beta_ = config.beta;
+    }
+
+    int num_phases() const override { return 2; }
+    const std::vector<Tensor>& phase_params(int phase) const override {
+      return phase == 0 ? d_params_ : ge_params_;
+    }
+    nn::Adam& phase_optimizer(int phase) override { return phase == 0 ? *opt_d_ : *opt_ge_; }
+    const char* phase_label(int phase) const override { return phase == 0 ? "d" : "g"; }
+    void set_lr(float lr) override {
+      opt_ge_->set_lr(lr);
+      opt_d_->set_lr(lr);
+    }
+
+    void begin_step(int slots) override { cache_.assign(static_cast<std::size_t>(slots), {}); }
+    void end_step() override { cache_.clear(); }
+
+    double run_phase(int phase, int slot, const Tensor& pl, const Tensor& vl,
+                     flashgen::Rng& rng) override {
+      Cache& c = cache_[static_cast<std::size_t>(slot)];
+      if (phase == 0) {
+        FG_TRACE_SPAN("cvae_gan.d_step", "model");
+        c.pl = pl;
+        c.vl = vl;
+        c.dist = m_.root_.encoder.forward(vl);
+        const Tensor z = ResNetEncoder::sample_latent(c.dist, rng);
+        c.fake = m_.root_.generator.forward(pl, z, rng);
+        const Tensor d_real = m_.root_.discriminator.forward(pl, vl);
+        const Tensor d_fake = m_.root_.discriminator.forward(pl, c.fake.detach());
+        Tensor loss_d = tensor::mul_scalar(tensor::add(gan_loss(d_real, true, lsgan_),
+                                                       gan_loss(d_fake, false, lsgan_)),
+                                           0.5f);
+        loss_d.backward();
+        return loss_d.item();
+      }
+      FG_TRACE_SPAN("cvae_gan.g_step", "model");
+      const Tensor d_fake2 = m_.root_.discriminator.forward(c.pl, c.fake);
+      Tensor loss_g = gan_loss(d_fake2, true, lsgan_);
+      loss_g = tensor::add(loss_g, tensor::mul_scalar(tensor::l1_loss(c.fake, c.vl), alpha_));
+      loss_g = tensor::add(
+          loss_g, tensor::mul_scalar(tensor::kl_standard_normal(c.dist.mu, c.dist.logvar), beta_));
+      loss_g.backward();
+      return loss_g.item();
+    }
+
+   private:
+    struct Cache {
+      Tensor pl, vl, fake;
+      ResNetEncoder::Output dist;
+    };
+    CvaeGanModel& m_;
+    bool lsgan_;
+    float alpha_ = 0.0f, beta_ = 0.0f;
+    std::vector<Tensor> ge_params_, d_params_;
+    std::unique_ptr<nn::Adam> opt_ge_, opt_d_;
+    std::vector<Cache> cache_;
+  };
+  return std::make_unique<Stepper>(*this, config);
+}
+
 void CvaeGanModel::prepare_generation() {
   // Batch-statistics normalization at generation time (as in pix2pix /
   // BicycleGAN test mode): with the paper's batch size of 2, running stats

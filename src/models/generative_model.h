@@ -66,6 +66,48 @@ struct TrainStats {
   std::vector<float> d_loss_history;  // empty for discriminator-free models
 };
 
+/// Phase-structured single-microbatch trainer interface, consumed by the
+/// distributed data-parallel trainer (dist::DistTrainer).
+///
+/// A global optimizer step is decomposed into phases (discriminator then
+/// generator/encoder for the GANs; one phase for the cVAE). For each phase
+/// the caller runs forward+backward on every microbatch shard, reduces the
+/// accumulated gradients across shards and ranks, writes the reduced
+/// gradients back, and only then steps the phase's optimizer — so the
+/// generator phase sees the post-update discriminator exactly like the
+/// single-process trainers do. Tensors a later phase needs from an earlier
+/// one (the generated fake, the encoder posterior, the prior latent) are
+/// cached per shard slot between begin_step() and end_step(); their autograd
+/// graphs stay alive so the later phase can backpropagate through them.
+///
+/// Contract for run_phase: the caller has zeroed the gradients of every
+/// parameter of the model's root module; run_phase leaves the phase's
+/// gradients accumulated on the parameters and returns the scalar loss. A
+/// phase must consume `rng` identically regardless of which rank runs it (in
+/// practice all randomness is drawn in phase 0).
+class ShardedStepper {
+ public:
+  virtual ~ShardedStepper() = default;
+
+  virtual int num_phases() const = 0;
+  /// Parameters whose gradients the caller reduces for `phase`, in a fixed
+  /// order shared by every rank. The reference stays valid until the stepper
+  /// is destroyed.
+  virtual const std::vector<Tensor>& phase_params(int phase) const = 0;
+  virtual nn::Adam& phase_optimizer(int phase) = 0;
+  /// Short diagnostic label for the phase's loss ("d", "g", "loss").
+  virtual const char* phase_label(int phase) const = 0;
+  virtual void set_lr(float lr) = 0;
+
+  /// Prepares per-shard caches for `slots` local shards of the coming step.
+  virtual void begin_step(int slots) = 0;
+  /// Forward+backward for one phase on one local shard (see contract above).
+  virtual double run_phase(int phase, int slot, const Tensor& pl, const Tensor& vl,
+                           flashgen::Rng& rng) = 0;
+  /// Drops the per-shard caches (and their autograd graphs).
+  virtual void end_step() = 0;
+};
+
 class GenerativeModel {
  public:
   virtual ~GenerativeModel() = default;
@@ -105,6 +147,15 @@ class GenerativeModel {
 
   /// Serializable root module holding all trainable/buffer state.
   virtual nn::Module& root_module() = 0;
+
+  /// Phase-structured stepper for the distributed trainer, or nullptr when
+  /// the model has no data-parallel training support (e.g. the Gaussian
+  /// baseline). The stepper borrows this model (and puts it into training
+  /// mode); it must not outlive it.
+  virtual std::unique_ptr<ShardedStepper> make_sharded_stepper(const TrainConfig& config) {
+    (void)config;
+    return nullptr;
+  }
 
   void save(const std::string& path);
   void load(const std::string& path);

@@ -1,14 +1,8 @@
 #include "serve/protocol.h"
 
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <cerrno>
 #include <cstring>
 
 #include "common/error.h"
-#include "common/faultinject.h"
 
 namespace flashgen::serve {
 
@@ -205,84 +199,6 @@ HealthStatus decode_health_response(const std::vector<std::uint8_t>& payload) {
                status == static_cast<std::uint8_t>(HealthStatus::kDraining),
            "protocol: bad health status " << static_cast<int>(status));
   return static_cast<HealthStatus>(status);
-}
-
-namespace {
-// Loops until every byte is on the wire: retries syscalls interrupted by
-// signals (EINTR) and resumes after short writes, so a frame can be delivered
-// across any number of partial transfers. MSG_NOSIGNAL turns a write to a
-// peer that already closed into an EPIPE error (surfaced as flashgen::Error)
-// instead of the default SIGPIPE, which would kill the whole server because
-// no handler is installed.
-void write_all(int fd, const void* data, std::size_t size) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  while (size > 0) {
-    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    FG_CHECK(n > 0, "protocol: write failed: " << std::strerror(errno));
-    p += n;
-    size -= static_cast<std::size_t>(n);
-  }
-}
-
-/// Returns bytes read; short only on EOF.
-std::size_t read_all(int fd, void* data, std::size_t size) {
-  auto* p = static_cast<std::uint8_t*>(data);
-  std::size_t got = 0;
-  while (got < size) {
-    const ssize_t n = ::read(fd, p + got, size - got);
-    if (n < 0 && errno == EINTR) continue;
-    FG_CHECK(n >= 0, "protocol: read failed: " << std::strerror(errno));
-    if (n == 0) break;
-    got += static_cast<std::size_t>(n);
-  }
-  return got;
-}
-}  // namespace
-
-void write_frame(int fd, const std::vector<std::uint8_t>& payload) {
-  if (FG_FAULT("socket_reset")) {
-    ::shutdown(fd, SHUT_RDWR);
-    FG_CHECK(false, "fault injected: socket_reset (write_frame)");
-  }
-  FG_CHECK(payload.size() <= kMaxFrameBytes, "protocol: frame too large: " << payload.size());
-  std::uint8_t header[4];
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
-  write_all(fd, header, sizeof(header));
-  write_all(fd, payload.data(), payload.size());
-}
-
-bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
-  if (FG_FAULT("socket_reset")) {
-    ::shutdown(fd, SHUT_RDWR);
-    FG_CHECK(false, "fault injected: socket_reset (read_frame)");
-  }
-  std::uint8_t header[4];
-  const std::size_t got = read_all(fd, header, sizeof(header));
-  if (got == 0) return false;  // clean EOF between frames
-  FG_CHECK(got == sizeof(header), "protocol: truncated frame header");
-  std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-  FG_CHECK(len <= kMaxFrameBytes, "protocol: frame too large: " << len);
-  // Grow the buffer in bounded chunks as bytes actually arrive, so a hostile
-  // length prefix followed by a dropped connection costs at most one chunk of
-  // allocation, not the full claimed frame.
-  constexpr std::size_t kChunkBytes = 1u << 20;
-  payload.clear();
-  payload.shrink_to_fit();
-  std::size_t have = 0;
-  while (have < len) {
-    const std::size_t want = std::min<std::size_t>(kChunkBytes, len - have);
-    payload.resize(have + want);
-    const std::size_t n = read_all(fd, payload.data() + have, want);
-    have += n;
-    if (n < want) {
-      payload.resize(have);
-      FG_CHECK(false, "protocol: truncated frame body (" << have << "/" << len << " bytes)");
-    }
-  }
-  return true;
 }
 
 }  // namespace flashgen::serve

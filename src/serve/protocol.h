@@ -29,14 +29,17 @@
 // bounded chunks so a hostile length prefix cannot force a large allocation
 // up front.
 //
-// Fault points (see common/faultinject.h): "socket_reset" fires at
-// read_frame/write_frame entry and simulates the peer dropping the
-// connection mid-exchange.
+// Frame transport (length prefix, MSG_NOSIGNAL, chunked reads, the
+// "socket_reset" fault point) lives in common/framing.{h,cpp}, shared with
+// the distributed-training collectives; this header re-exports it under the
+// serve namespace so protocol users have a single include.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/framing.h"
 
 namespace flashgen::serve {
 
@@ -58,7 +61,8 @@ enum class HealthStatus : std::uint8_t {
 };
 
 /// Refuse frames above this size (64 MiB) to bound allocation on bad input.
-inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+/// One shared cap for every frame consumer (serve + dist).
+inline constexpr std::uint32_t kMaxFrameBytes = framing::kMaxFrameBytes;
 
 struct GenerateRequest {
   std::string model;
@@ -132,10 +136,15 @@ std::string decode_overloaded(const std::vector<std::uint8_t>& payload);
 HealthStatus decode_health_response(const std::vector<std::uint8_t>& payload);
 
 // ---- framing over a file descriptor (blocking, EINTR-safe) ----
-/// Writes u32 length + payload. FG_CHECKs on I/O error.
-void write_frame(int fd, const std::vector<std::uint8_t>& payload);
+// Thin forwarders to the shared transport in common/framing.h.
+/// Writes u32 length + payload. Throws on I/O error.
+inline void write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  framing::write_frame(fd, payload);
+}
 /// Reads one frame into `payload`. Returns false on clean EOF before the
-/// first byte; FG_CHECKs on mid-frame EOF, I/O error, or oversized frame.
-bool read_frame(int fd, std::vector<std::uint8_t>& payload);
+/// first byte; throws on mid-frame EOF, I/O error, or oversized frame.
+inline bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
+  return framing::read_frame(fd, payload);
+}
 
 }  // namespace flashgen::serve

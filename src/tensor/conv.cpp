@@ -325,6 +325,30 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b, Index
   return y;
 }
 
+namespace {
+std::vector<BnStatUpdate>*& bn_sink_slot() {
+  thread_local std::vector<BnStatUpdate>* sink = nullptr;
+  return sink;
+}
+}  // namespace
+
+void set_bn_stat_sink(std::vector<BnStatUpdate>* sink) { bn_sink_slot() = sink; }
+
+void apply_bn_stat_update(Tensor& running_mean, Tensor& running_var, float momentum,
+                          const std::vector<float>& mean,
+                          const std::vector<float>& unbiased_var) {
+  FG_CHECK(mean.size() == unbiased_var.size() &&
+               mean.size() == static_cast<std::size_t>(running_mean.shape().numel()) &&
+               mean.size() == static_cast<std::size_t>(running_var.shape().numel()),
+           "bn stat update: channel-count mismatch");
+  float* rm = running_mean.data().data();
+  float* rv = running_var.data().data();
+  for (std::size_t ch = 0; ch < mean.size(); ++ch) {
+    rm[ch] = (1.0f - momentum) * rm[ch] + momentum * mean[ch];
+    rv[ch] = (1.0f - momentum) * rv[ch] + momentum * unbiased_var[ch];
+  }
+}
+
 Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                     Tensor& running_mean, Tensor& running_var, bool training, float momentum,
                     float eps) {
@@ -366,9 +390,12 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   } else if (training) {
     FG_CHECK(m > 1, "batch_norm2d training mode needs more than one value per channel");
     // Channels are independent: each chunk owns a disjoint slice of the
-    // per-channel statistics and running buffers. Within a channel the
-    // accumulation order over (s, j) is the same serial order regardless of
-    // thread count, so the statistics are bit-identical to the serial path.
+    // per-channel statistics. Within a channel the accumulation order over
+    // (s, j) is the same serial order regardless of thread count, so the
+    // statistics are bit-identical to the serial path.
+    BnStatUpdate update;
+    update.mean.resize(c);
+    update.unbiased_var.resize(c);
     common::parallel_for(0, c, ch_grain, [&](Index c0, Index c1) {
       for (Index ch = c0; ch < c1; ++ch) {
         double sum = 0.0, sumsq = 0.0;
@@ -384,13 +411,21 @@ Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         (*mean_c)[ch] = static_cast<float>(mu);
         (*invstd_c)[ch] = static_cast<float>(1.0 / std::sqrt(var + eps));
         // Running stats use the unbiased variance, as in PyTorch.
-        const double unbiased = var * m / (m - 1);
-        running_mean.data()[ch] =
-            (1.0f - momentum) * running_mean.data()[ch] + momentum * static_cast<float>(mu);
-        running_var.data()[ch] =
-            (1.0f - momentum) * running_var.data()[ch] + momentum * static_cast<float>(unbiased);
+        update.mean[ch] = static_cast<float>(mu);
+        update.unbiased_var[ch] = static_cast<float>(var * m / (m - 1));
       }
     });
+    // The buffer update happens outside the parallel region through the one
+    // shared apply function, either immediately or via the deferred sink.
+    update.momentum = momentum;
+    if (bn_sink_slot() != nullptr) {
+      update.running_mean = running_mean;
+      update.running_var = running_var;
+      bn_sink_slot()->push_back(std::move(update));
+    } else {
+      apply_bn_stat_update(running_mean, running_var, momentum, update.mean,
+                           update.unbiased_var);
+    }
   } else {
     for (Index ch = 0; ch < c; ++ch) {
       (*mean_c)[ch] = running_mean.data()[ch];

@@ -5,6 +5,8 @@
 // ConvTranspose2d semantics and weight layout (Cin, Cout, KH, KW).
 #pragma once
 
+#include <vector>
+
 #include "tensor/tensor.h"
 
 namespace flashgen::tensor {
@@ -27,6 +29,37 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b, Index
 Tensor batch_norm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                     Tensor& running_mean, Tensor& running_var, bool training,
                     float momentum = 0.1f, float eps = 1e-5f);
+
+/// One deferred running-statistics update from a training-mode batch_norm2d
+/// call: per-channel batch mean and unbiased variance (already narrowed to
+/// f32, exactly as the live path would apply them) plus handles to the
+/// running-stat buffers they target.
+struct BnStatUpdate {
+  Tensor running_mean;  // shares storage with the layer's buffer
+  Tensor running_var;
+  float momentum = 0.0f;
+  std::vector<float> mean;          // per channel
+  std::vector<float> unbiased_var;  // per channel
+};
+
+/// Applies one running-stat update. Both the live batch_norm2d path and the
+/// deferred replay in dist/trainer.* go through this one function, so the
+/// update arithmetic (and therefore the resulting bits) cannot depend on the
+/// call site.
+void apply_bn_stat_update(Tensor& running_mean, Tensor& running_var, float momentum,
+                          const std::vector<float>& mean,
+                          const std::vector<float>& unbiased_var);
+inline void apply_bn_stat_update(BnStatUpdate& u) {
+  apply_bn_stat_update(u.running_mean, u.running_var, u.momentum, u.mean, u.unbiased_var);
+}
+
+/// Redirects training-mode running-stat updates of the current thread into
+/// `sink` (in forward-call order) instead of applying them immediately;
+/// nullptr restores immediate application. Training-mode normalization uses
+/// batch statistics only, so deferring the buffer update does not change the
+/// op's output or gradients. dist/trainer.* uses this to replay the updates
+/// of all shards in one canonical order on every rank.
+void set_bn_stat_sink(std::vector<BnStatUpdate>* sink);
 
 // Exposed for testing and for the micro-benchmarks.
 namespace detail {

@@ -1,0 +1,203 @@
+// Failure semantics of distributed training: injected collective faults
+// surface as typed, time-bounded errors on every rank (no hangs), a killed
+// worker + snapshot resume continues bit-identically, and a one-sided
+// divergence degrades into a bounded collective failure instead of a
+// deadlock.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/faultinject.h"
+#include "common/rng.h"
+#include "core/experiment.h"
+#include "data/dataset.h"
+#include "dist/comm.h"
+#include "dist/trainer.h"
+#include "models/generative_model.h"
+#include "models/networks.h"
+
+namespace flashgen::dist {
+namespace {
+
+data::DatasetConfig tiny_dataset_config() {
+  data::DatasetConfig config;
+  config.array_size = 8;
+  config.num_arrays = 32;
+  config.channel.rows = 32;
+  config.channel.cols = 32;
+  return config;
+}
+
+models::NetworkConfig tiny_network_config() {
+  models::NetworkConfig config;
+  config.array_size = 8;
+  config.base_channels = 4;
+  config.z_dim = 4;
+  return config;
+}
+
+TEST(DistFaultsTest, CollectiveRecvFaultIsTypedAndBounded) {
+  // A dist_recv fault mid-training must fail the faulted rank with CommError
+  // and unblock the peer (via socket shutdown -> EOF), well before the
+  // 30-second default would even matter. Neither rank may hang.
+  faultinject::configure("dist_recv:@2", 0);
+  flashgen::Rng data_rng(1);
+  const auto dataset = data::PairedDataset::generate(tiny_dataset_config(), data_rng);
+  models::TrainConfig train;
+  train.epochs = 1;
+  train.batch_size = 8;
+  train.log_every = 0;
+  auto comms = make_local_mesh(2, CommConfig{.timeout_ms = 5000});
+  std::vector<int> comm_errors(2, 0);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      auto model = core::make_model(core::ModelKind::Cgan, tiny_network_config(), 7);
+      DistTrainer trainer(comms[static_cast<std::size_t>(r)],
+                          DistConfig{.num_shards = 2, .seed = 5});
+      flashgen::Rng loop_rng(9);
+      try {
+        trainer.fit(*model, dataset, train, loop_rng);
+      } catch (const CommError&) {
+        comm_errors[static_cast<std::size_t>(r)] = 1;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(comm_errors, std::vector<int>({1, 1}));
+  EXPECT_EQ(faultinject::fired("dist_recv"), 1u);
+  EXPECT_LT(elapsed, std::chrono::seconds(20));
+  faultinject::clear();
+}
+
+TEST(DistFaultsTest, StragglerBoundedByTimeout) {
+  // One rank never shows up for the collective; the other must time out with
+  // CommTimeout in about timeout_ms rather than wait forever.
+  auto comms = make_local_mesh(2, CommConfig{.timeout_ms = 300});
+  std::vector<float> data{1.0f};
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(comms[0].all_reduce_tree_sum(data), CommTimeout);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(10));
+}
+
+TEST(DistFaultsTest, OneSidedDivergenceDoesNotDeadlock) {
+  // nan_poison fires guard_loss on whichever rank draws the first call; that
+  // rank halts with DivergenceError while the other is mid-collective. The
+  // survivor must come back with a bounded CommError/CommTimeout (the halting
+  // rank's Comm is destroyed, closing its sockets), never a hang.
+  faultinject::configure("nan_poison:@0", 0);
+  flashgen::Rng data_rng(1);
+  const auto dataset = data::PairedDataset::generate(tiny_dataset_config(), data_rng);
+  models::TrainConfig train;
+  train.epochs = 1;
+  train.batch_size = 8;
+  train.log_every = 0;
+  train.sentinel.policy = models::SentinelPolicy::kHalt;
+  std::vector<int> outcomes(2, 0);  // 1 = divergence halt, 2 = comm failure
+  {
+    auto comms = make_local_mesh(2, CommConfig{.timeout_ms = 2000});
+    std::vector<std::thread> threads;
+    for (int r = 0; r < 2; ++r) {
+      threads.emplace_back([&, r] {
+        auto model = core::make_model(core::ModelKind::Cvae, tiny_network_config(), 7);
+        flashgen::Rng loop_rng(9);
+        try {
+          // Scope the Comm so a throwing rank tears its sockets down
+          // immediately, as a crashing process would.
+          Comm comm = std::move(comms[static_cast<std::size_t>(r)]);
+          DistTrainer trainer(comm, DistConfig{.num_shards = 2, .seed = 5});
+          trainer.fit(*model, dataset, train, loop_rng);
+        } catch (const CommError&) {
+          outcomes[static_cast<std::size_t>(r)] = 2;
+        } catch (const flashgen::Error&) {
+          outcomes[static_cast<std::size_t>(r)] = 1;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  // Exactly one rank halts on the injected divergence; the other fails its
+  // collective.
+  std::vector<int> sorted = outcomes;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, std::vector<int>({1, 2})) << outcomes[0] << "," << outcomes[1];
+  faultinject::clear();
+}
+
+// ---- Launcher end-to-end: kill one worker, resume, compare ----
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+const char* launcher_bin() {
+  if (const char* env = std::getenv("FLASHGEN_TRAIN_DIST_BIN")) return env;
+#ifdef FLASHGEN_TRAIN_DIST_BIN_DEFAULT
+  return FLASHGEN_TRAIN_DIST_BIN_DEFAULT;
+#else
+  return nullptr;
+#endif
+}
+
+int run_launcher(const std::string& args) {
+  std::ostringstream cmd;
+  cmd << "\"" << launcher_bin() << "\" " << args << " > /dev/null 2>&1";
+  return std::system(cmd.str().c_str());
+}
+
+TEST(DistFaultsTest, KillOneWorkerThenResumeIsBitIdentical) {
+  if (launcher_bin() == nullptr) {
+    GTEST_SKIP() << "FLASHGEN_TRAIN_DIST_BIN not set";
+  }
+  const std::string dir = ::testing::TempDir();
+  const std::string common =
+      "--model cvae_gan --world 2 --spawn-local --num-shards 4 --global-batch 8 "
+      "--epochs 2 --arrays 32 --array-size 8 --base-channels 4 --seed 11 ";
+  // Uninterrupted reference run.
+  ASSERT_EQ(run_launcher(common + "--out " + dir + "dfref.ckpt"), 0);
+  // Same run, but rank 1 is killed between steps 5 and 6 (train_kill fault);
+  // rank 0 must fail on the broken collective, bounded by the timeout.
+  std::remove((dir + "dfsnap").c_str());
+  EXPECT_NE(run_launcher(common + "--snapshot " + dir +
+                         "dfsnap --snapshot-every 2 --timeout-ms 5000 "
+                         "--faults train_kill:@5 --faults-rank 1"),
+            0);
+  ASSERT_FALSE(read_file(dir + "dfsnap").empty()) << "no snapshot was written";
+  // Resume from the snapshot and finish; the checkpoint must match the
+  // uninterrupted run bit for bit.
+  ASSERT_EQ(run_launcher(common + "--snapshot " + dir +
+                         "dfsnap --snapshot-every 2 --resume --out " + dir +
+                         "dfres.ckpt"),
+            0);
+  const auto ref = read_file(dir + "dfref.ckpt");
+  ASSERT_FALSE(ref.empty());
+  EXPECT_EQ(read_file(dir + "dfres.ckpt"), ref);
+}
+
+TEST(DistFaultsTest, LauncherRecvFaultExitsNonZeroQuickly) {
+  if (launcher_bin() == nullptr) {
+    GTEST_SKIP() << "FLASHGEN_TRAIN_DIST_BIN not set";
+  }
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_NE(run_launcher("--model cgan --world 2 --spawn-local --num-shards 2 "
+                         "--global-batch 8 --epochs 1 --arrays 16 --array-size 8 "
+                         "--base-channels 4 --seed 11 --timeout-ms 3000 "
+                         "--faults dist_recv:@2 --faults-rank 0"),
+            0);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(30));
+}
+
+}  // namespace
+}  // namespace flashgen::dist

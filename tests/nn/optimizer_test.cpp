@@ -106,5 +106,83 @@ TEST(Adam, TrainsSmallNetworkOnRegression) {
   EXPECT_LT(final_loss, 0.02f);
 }
 
+TEST(Adam, ExportImportRoundTripResumesBitIdentically) {
+  // Two optimizers over identical parameters; after a state hand-off they
+  // must produce bitwise-equal trajectories, including the bias-correction
+  // step counter.
+  auto make_param = [] {
+    return Tensor::from_data(Shape{4}, {1.0f, -2.0f, 0.5f, 3.0f}, true);
+  };
+  auto run_steps = [](Tensor& x, Adam& opt, int steps) {
+    for (int i = 0; i < steps; ++i) {
+      opt.zero_grad();
+      tensor::sum(tensor::mul(x, x)).backward();
+      opt.step();
+    }
+  };
+
+  Tensor a = make_param();
+  Adam source({a}, {.lr = 0.05f});
+  run_steps(a, source, 3);
+
+  Tensor b = make_param();
+  for (std::size_t i = 0; i < 4; ++i) b.data()[i] = a.data()[i];
+  Adam resumed({b}, {.lr = 0.05f});
+  resumed.import_state(source.export_state());
+  EXPECT_EQ(resumed.step_count(), source.step_count());
+
+  run_steps(a, source, 3);
+  run_steps(b, resumed, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+TEST(Adam, ExportedStateMatchesMomentShapes) {
+  Tensor x = Tensor::zeros(Shape{2, 3}, true);
+  Tensor y = Tensor::zeros(Shape{5}, true);
+  Adam opt({x, y});
+  const AdamState state = opt.export_state();
+  ASSERT_EQ(state.m.size(), 2u);
+  ASSERT_EQ(state.v.size(), 2u);
+  EXPECT_EQ(state.m[0].size(), 6u);
+  EXPECT_EQ(state.m[1].size(), 5u);
+  EXPECT_EQ(state.v[0].size(), 6u);
+  EXPECT_EQ(state.v[1].size(), 5u);
+  EXPECT_EQ(state.t, 0);
+}
+
+TEST(Adam, ImportRejectsMismatchedStates) {
+  Tensor x = Tensor::zeros(Shape{4}, true);
+  Adam opt({x});
+  const AdamState good = opt.export_state();
+
+  // Wrong parameter count.
+  AdamState wrong_count = good;
+  wrong_count.m.emplace_back(4, 0.0f);
+  wrong_count.v.emplace_back(4, 0.0f);
+  EXPECT_THROW(opt.import_state(wrong_count), flashgen::Error);
+
+  // First-moment size mismatch.
+  AdamState wrong_m = good;
+  wrong_m.m[0].resize(3);
+  EXPECT_THROW(opt.import_state(wrong_m), flashgen::Error);
+
+  // Second-moment size mismatch.
+  AdamState wrong_v = good;
+  wrong_v.v[0].resize(5);
+  EXPECT_THROW(opt.import_state(wrong_v), flashgen::Error);
+
+  // m/v lists disagreeing with each other must also be rejected.
+  AdamState ragged = good;
+  ragged.v.clear();
+  EXPECT_THROW(opt.import_state(ragged), flashgen::Error);
+
+  // A failed import must leave the optimizer usable.
+  opt.import_state(good);
+  x.grad_mutable();
+  opt.step();
+}
+
 }  // namespace
 }  // namespace flashgen::nn
