@@ -2,6 +2,9 @@
 // batch norm, and the elementwise kernels that dominate training time.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "micro_main.h"
@@ -41,6 +44,39 @@ void BM_Sgemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Sgemm)->ArgsProduct({{64, 128, 256}, {1, 2, 4}})
     ->ArgNames({"n", "threads"});
+
+// Head-to-head backend comparison on the im2col serve shape class
+// (oc x n*osp by ckk — the GEMM the conv forward spends its time in) plus a
+// square case, single-threaded so the ratio is a pure kernel comparison.
+// backend: 0 = reference, 1 = avx2 (skipped when not registered).
+void BM_SgemmBackend(benchmark::State& state) {
+  const bool want_avx2 = state.range(0) != 0;
+  const std::int64_t m = state.range(1), n = state.range(2), k = state.range(3);
+  const std::string backend = want_avx2 ? "avx2" : "reference";
+  const auto names = tensor::gemm_backend_names();
+  if (std::find(names.begin(), names.end(), backend) == names.end()) {
+    state.SkipWithError("backend not registered on this host");
+    return;
+  }
+  const std::string previous = tensor::gemm_backend_name();
+  tensor::set_gemm_backend(backend);
+  ThreadsGuard threads(state, 1);
+  flashgen::Rng rng(1);
+  std::vector<float> a(m * k), b(k * n), c(m * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    tensor::sgemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+  state.SetLabel(backend);
+  tensor::set_gemm_backend(previous);
+}
+BENCHMARK(BM_SgemmBackend)
+    ->ArgsProduct({{0, 1}, {32}, {512}, {256}})   // im2col serve class
+    ->ArgsProduct({{0, 1}, {256}, {256}, {256}})  // square
+    ->ArgNames({"avx2", "m", "n", "k"});
 
 void BM_Conv2dForward(benchmark::State& state) {
   const tensor::Index size = state.range(0);

@@ -11,7 +11,9 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/logging.h"
 #include "common/trace.h"
+#include "tensor/gemm_backend.h"
 
 namespace flashgen::serve {
 
@@ -47,6 +49,9 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   FG_CHECK(!accept_thread_.joinable(), "Server already started");
+  // Resolve (and announce) the GEMM backend before the first request, so a
+  // bad FLASHGEN_GEMM_BACKEND fails loudly at startup rather than mid-batch.
+  FG_LOG(Info) << "serving with GEMM backend \"" << tensor::gemm_backend_name() << "\"";
   started_ = std::chrono::steady_clock::now();
   accept_thread_ = std::thread([this] { accept_loop(); });
 }

@@ -166,59 +166,78 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
         const Index osp2 = geom.oh * geom.ow;
         // Force lazy grad allocation before the parallel region.
         float* dx_base = xi->requires_grad ? xi->grad_buffer().data() : nullptr;
-        batched_backward_with_weight_partials(
-            geom.n, static_cast<std::size_t>(geom.oc) * ckk2,
-            wi->requires_grad ? wi->grad_buffer().data() : nullptr, wi->requires_grad,
-            [&](Index s0, Index s1, float* dw) {
-              ScratchBuffer cols(static_cast<std::size_t>(ckk2) * osp2);
-              ScratchBuffer dcols(static_cast<std::size_t>(ckk2) * osp2);
-              for (Index s = s0; s < s1; ++s) {
-                const float* dy = o.grad.data() + s * geom.oc * osp2;
-                if (dw != nullptr) {
+        if (dx_base != nullptr) {
+          // dcols[s] (CKK, osp) = W^T (CKK, OC) * dY[s] (OC, osp) — one
+          // strided-batched GEMM for the whole batch — then a parallel
+          // col2im scatters each sample's dcols into its (disjoint) dX
+          // plane. Per-item GEMM shape matches the old per-sample call, so
+          // dX bits are unchanged.
+          ScratchBuffer dcols(static_cast<std::size_t>(geom.n) * ckk2 * osp2);
+          GemmDesc d;
+          d.trans_a = true;
+          d.m = ckk2;
+          d.n = osp2;
+          d.k = geom.oc;
+          d.lda = ckk2;
+          d.ldb = osp2;
+          d.ldc = osp2;
+          d.batch_count = geom.n;
+          d.stride_b = geom.oc * osp2;
+          d.stride_c = ckk2 * osp2;
+          sgemm_strided_batched(d, wi->data.data(), o.grad.data(), dcols.data());
+          common::parallel_for(0, geom.n, 1, [&](Index s0, Index s1) {
+            for (Index s = s0; s < s1; ++s)
+              detail::col2im(dcols.data() + s * ckk2 * osp2, geom.c, geom.h, geom.w, geom.kh,
+                             geom.kw, geom.stride, geom.padding, geom.oh, geom.ow,
+                             dx_base + s * geom.c * geom.h * geom.w);
+          });
+        }
+        if (wi->requires_grad) {
+          batched_backward_with_weight_partials(
+              geom.n, static_cast<std::size_t>(geom.oc) * ckk2, wi->grad_buffer().data(),
+              true, [&](Index s0, Index s1, float* dw) {
+                ScratchBuffer cols(static_cast<std::size_t>(ckk2) * osp2);
+                for (Index s = s0; s < s1; ++s) {
                   // dW (OC, CKK) += dY (OC, osp) * cols^T (osp, CKK)
+                  const float* dy = o.grad.data() + s * geom.oc * osp2;
                   detail::im2col(xi->data.data() + s * geom.c * geom.h * geom.w, geom.c,
                                  geom.h, geom.w, geom.kh, geom.kw, geom.stride, geom.padding,
                                  geom.oh, geom.ow, cols.data());
                   sgemm(false, true, geom.oc, ckk2, osp2, 1.0f, dy, osp2, cols.data(), osp2,
                         1.0f, dw, ckk2);
                 }
-                if (dx_base != nullptr) {
-                  // dcols (CKK, osp) = W^T (CKK, OC) * dY (OC, osp); dX += col2im(dcols)
-                  sgemm(true, false, ckk2, osp2, geom.oc, 1.0f, wi->data.data(), ckk2, dy,
-                        osp2, 0.0f, dcols.data(), osp2);
-                  detail::col2im(dcols.data(), geom.c, geom.h, geom.w, geom.kh, geom.kw,
-                                 geom.stride, geom.padding, geom.oh, geom.ow,
-                                 dx_base + s * geom.c * geom.h * geom.w);
-                }
-              }
-            });
+              });
+        }
       },
       /*fully_overwritten=*/true);
   if (inference_mode() && g.n > 1) {
-    // Serving path: one GEMM across the whole batch instead of one per
-    // sample. Sample s occupies columns [s*osp, (s+1)*osp) of a
-    // (CKK, N*osp) matrix, so the GEMM inner loops run over rows N x
-    // longer and the per-call dispatch cost is paid once. Each output
-    // element accumulates over k in the same order as the per-sample GEMM
-    // (gemm_nn's k-blocking is independent of the column count), so the
-    // bits match the training-path forward exactly.
+    // Serving path: strided im2col lays sample s into columns
+    // [s*osp, (s+1)*osp) of one (CKK, N*osp) matrix, and a single
+    // strided-batched GEMM (shared weight, stride_a = 0) writes every
+    // sample's output plane directly into y — the packing cost is paid once
+    // per batch and the old (OC, N*osp) -> (N, OC, osp) scatter copy is
+    // gone. The per-item shape (OC, osp, CKK) is exactly the training-path
+    // per-sample GEMM, so the bits match the training forward for every
+    // backend, and a coalesced request matches the same request served
+    // alone.
     const Index bsp = g.n * osp;
     ScratchBuffer cols(static_cast<std::size_t>(ckk) * bsp);
-    ScratchBuffer out(static_cast<std::size_t>(g.oc) * bsp);
     common::parallel_for(0, g.n, 1, [&](Index s0, Index s1) {
       for (Index s = s0; s < s1; ++s)
         detail::im2col(x.data().data() + s * g.c * g.h * g.w, g.c, g.h, g.w, g.kh, g.kw,
                        stride, padding, g.oh, g.ow, cols.data() + s * osp, bsp);
     });
-    sgemm(false, false, g.oc, bsp, ckk, 1.0f, w.data().data(), ckk, cols.data(), bsp, 0.0f,
-          out.data(), bsp);
-    // Scatter (OC, N*osp) back to the sample-major (N, OC, osp) layout.
-    common::parallel_for(0, g.n, 1, [&](Index s0, Index s1) {
-      for (Index s = s0; s < s1; ++s)
-        for (Index o = 0; o < g.oc; ++o)
-          std::memcpy(y.data().data() + (s * g.oc + o) * osp, out.data() + o * bsp + s * osp,
-                      sizeof(float) * osp);
-    });
+    GemmDesc d;
+    d.m = g.oc;
+    d.n = osp;
+    d.k = ckk;
+    d.lda = ckk;
+    d.ldb = bsp;
+    d.ldc = osp;
+    d.batch_count = g.n;
+    d.stride_b = osp;
+    d.stride_c = g.oc * osp;
+    sgemm_strided_batched(d, w.data().data(), cols.data(), y.data().data());
   } else {
     // Training path: every sample owns a disjoint band of y, so the batch
     // loop is embarrassingly parallel; each chunk keeps a private im2col
@@ -263,52 +282,72 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b, Index
         const Index isp2 = h * wdt;
         // Force lazy grad allocation before the parallel region.
         float* dx_base = xi->requires_grad ? xi->grad_buffer().data() : nullptr;
-        batched_backward_with_weight_partials(
-            n, static_cast<std::size_t>(c) * ockk2,
-            wi->requires_grad ? wi->grad_buffer().data() : nullptr, wi->requires_grad,
-            [&](Index s0, Index s1, float* dw) {
-              ScratchBuffer dy_cols(static_cast<std::size_t>(ockk2) * isp2);
-              for (Index s = s0; s < s1; ++s) {
-                // The adjoint geometry treats the *output* grad as the conv input:
-                // dy_cols (OCKK, isp) = im2col(dY over (OC, OH, OW)).
-                detail::im2col(o.grad.data() + s * oc * oh * ow, oc, oh, ow, kh, kw, stride,
-                               padding, h, wdt, dy_cols.data());
-                if (dx_base != nullptr) {
-                  // dX (C, isp) = W_mat (C, OCKK) * dy_cols
-                  sgemm(false, false, c, isp2, ockk2, 1.0f, wi->data.data(), ockk2,
-                        dy_cols.data(), isp2, 1.0f, dx_base + s * c * isp2, isp2);
-                }
-                if (dw != nullptr) {
+        const bool want_dw = wi->requires_grad;
+        if (dx_base == nullptr && !want_dw) return;
+        // The adjoint geometry treats the *output* grad as the conv input:
+        // dy_cols[s] (OCKK, isp) = im2col(dY[s] over (OC, OH, OW)). Both
+        // gradient products consume it, so it is materialized once for the
+        // whole batch (disjoint per-sample writes).
+        ScratchBuffer dy_cols(static_cast<std::size_t>(n) * ockk2 * isp2);
+        common::parallel_for(0, n, 1, [&](Index s0, Index s1) {
+          for (Index s = s0; s < s1; ++s)
+            detail::im2col(o.grad.data() + s * oc * oh * ow, oc, oh, ow, kh, kw, stride,
+                           padding, h, wdt, dy_cols.data() + s * ockk2 * isp2);
+        });
+        if (dx_base != nullptr) {
+          // dX[s] (C, isp) += W_mat (C, OCKK) * dy_cols[s], one batched call
+          // (shared weight, beta = 1 accumulates into the live gradient).
+          GemmDesc d;
+          d.m = c;
+          d.n = isp2;
+          d.k = ockk2;
+          d.beta = 1.0f;
+          d.lda = ockk2;
+          d.ldb = isp2;
+          d.ldc = isp2;
+          d.batch_count = n;
+          d.stride_b = ockk2 * isp2;
+          d.stride_c = c * isp2;
+          sgemm_strided_batched(d, wi->data.data(), dy_cols.data(), dx_base);
+        }
+        if (want_dw) {
+          batched_backward_with_weight_partials(
+              n, static_cast<std::size_t>(c) * ockk2, wi->grad_buffer().data(), true,
+              [&](Index s0, Index s1, float* dw) {
+                for (Index s = s0; s < s1; ++s) {
                   // dW (C, OCKK) += X (C, isp) * dy_cols^T
                   sgemm(false, true, c, ockk2, isp2, 1.0f, xi->data.data() + s * c * isp2,
-                        isp2, dy_cols.data(), isp2, 1.0f, dw, ockk2);
+                        isp2, dy_cols.data() + s * ockk2 * isp2, isp2, 1.0f, dw, ockk2);
                 }
-              }
-            });
+              });
+        }
       });
   // Forward: cols (OCKK, isp) = W_mat^T (OCKK, C) * X (C, isp); Y = col2im(cols).
   // y is NOT marked fully_overwritten: col2im accumulates into zeroed output.
   if (inference_mode() && n > 1) {
-    // Serving path: gather the batch into one (C, N*isp) right-hand side so
-    // a single GEMM covers all samples — the transposed weight is packed
-    // once instead of once per sample, and the inner loops run N x longer.
-    // Per-element accumulation order (GEMM k-order, col2im scatter order)
-    // matches the per-sample path, so the bits are identical.
-    const Index bsp = n * isp;
-    ScratchBuffer xb(static_cast<std::size_t>(c) * bsp);
-    ScratchBuffer cols(static_cast<std::size_t>(ockk) * bsp);
+    // Serving path: one strided-batched GEMM reads every sample's input
+    // in place (shared transposed weight, stride_a = 0), so the old
+    // (N, C, isp) -> (C, N*isp) gather copy is gone; the transposed weight
+    // is still materialized/packed once per batch, not once per sample.
+    // The per-item shape matches the per-sample path exactly, so the bits
+    // are identical whether a request is served alone or coalesced.
+    ScratchBuffer cols(static_cast<std::size_t>(n) * ockk * isp);
+    GemmDesc d;
+    d.trans_a = true;
+    d.m = ockk;
+    d.n = isp;
+    d.k = c;
+    d.lda = ockk;
+    d.ldb = isp;
+    d.ldc = isp;
+    d.batch_count = n;
+    d.stride_b = c * isp;
+    d.stride_c = ockk * isp;
+    sgemm_strided_batched(d, w.data().data(), x.data().data(), cols.data());
     common::parallel_for(0, n, 1, [&](Index s0, Index s1) {
       for (Index s = s0; s < s1; ++s)
-        for (Index ch = 0; ch < c; ++ch)
-          std::memcpy(xb.data() + ch * bsp + s * isp, x.data().data() + (s * c + ch) * isp,
-                      sizeof(float) * isp);
-    });
-    sgemm(true, false, ockk, bsp, c, 1.0f, w.data().data(), ockk, xb.data(), bsp, 0.0f,
-          cols.data(), bsp);
-    common::parallel_for(0, n, 1, [&](Index s0, Index s1) {
-      for (Index s = s0; s < s1; ++s)
-        detail::col2im(cols.data() + s * isp, oc, oh, ow, kh, kw, stride, padding, h, wdt,
-                       y.data().data() + s * oc * oh * ow, bsp);
+        detail::col2im(cols.data() + s * ockk * isp, oc, oh, ow, kh, kw, stride, padding, h,
+                       wdt, y.data().data() + s * oc * oh * ow);
     });
   } else {
     common::parallel_for(0, n, 1, [&](Index s0, Index s1) {

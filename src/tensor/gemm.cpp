@@ -1,109 +1,59 @@
+// GEMM dispatcher: validates the call, handles the degenerate edges centrally
+// (so every backend sees the same narrowed contract), and forwards to the
+// selected backend. See gemm_backend.h for the backend API and contract.
 #include "tensor/gemm.h"
 
 #include <algorithm>
-#include <optional>
 
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/trace.h"
-#include "tensor/workspace.h"
+#include "tensor/gemm_backend.h"
+#include "tensor/gemm_util.h"
 
 namespace flashgen::tensor {
 
-namespace {
-
-// Core kernel for the row-major, no-transpose case:
-// C[i,:] += alpha * sum_k A[i,k] * B[k,:]. The j-loop over contiguous C and B
-// rows auto-vectorizes. Cache-blocked over k to keep B panels resident.
-// Note: every A entry is multiplied through, even exact zeros, so NaN/Inf in
-// B propagate exactly as the naive reference (and BLAS) semantics demand.
-void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
-             std::int64_t lda, const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
-  constexpr std::int64_t kc = 256;
-  for (std::int64_t k0 = 0; k0 < k; k0 += kc) {
-    const std::int64_t k1 = std::min(k, k0 + kc);
-    for (std::int64_t i = 0; i < m; ++i) {
-      float* crow = c + i * ldc;
-      for (std::int64_t p = k0; p < k1; ++p) {
-        const float aip = alpha * a[i * lda + p];
-        const float* brow = b + p * ldb;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
-      }
-    }
+void sgemm_strided_batched(const GemmDesc& desc, const float* a, const float* b, float* c) {
+  FG_CHECK(desc.m >= 0 && desc.n >= 0 && desc.k >= 0, "negative GEMM dimension");
+  FG_CHECK(desc.batch_count >= 0, "negative GEMM batch count");
+  if (desc.m == 0 || desc.n == 0 || desc.batch_count == 0) return;
+  FG_TRACE_SPAN("gemm", "tensor");
+  if (desc.k == 0 || desc.alpha == 0.0f) {
+    // BLAS semantics: A and B are not touched, C = beta * C. Handled here so
+    // backends never see k == 0 (their packed panels would be empty).
+    const std::int64_t m = desc.m, n = desc.n;
+    common::parallel_for(0, desc.batch_count * m, detail::row_grain(n, 1),
+                         [&](std::int64_t r0, std::int64_t r1) {
+                           std::int64_t r = r0;
+                           while (r < r1) {
+                             const std::int64_t s = r / m;
+                             const std::int64_t i = r % m;
+                             const std::int64_t rows = std::min(r1 - r, m - i);
+                             detail::scale_rows(0, rows, n, desc.beta,
+                                                c + s * desc.stride_c + i * desc.ldc, desc.ldc);
+                             r += rows;
+                           }
+                         });
+    return;
   }
+  current_gemm_backend().run(desc, a, b, c);
 }
-
-// Row-block grain: aim for >= ~32k multiply-adds per chunk so the chunk-claim
-// overhead stays invisible. Depends only on the problem shape, never on the
-// thread count, so the partition (and the result bits) are pool-size-invariant.
-std::int64_t row_grain(std::int64_t n, std::int64_t k) {
-  const std::int64_t flops_per_row = std::max<std::int64_t>(1, n * k);
-  return std::max<std::int64_t>(1, (std::int64_t{1} << 15) / flops_per_row);
-}
-
-void scale_rows(std::int64_t i0, std::int64_t i1, std::int64_t n, float beta, float* c,
-                std::int64_t ldc) {
-  for (std::int64_t i = i0; i < i1; ++i) {
-    float* crow = c + i * ldc;
-    if (beta == 0.0f) {
-      std::fill(crow, crow + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-  }
-}
-
-}  // namespace
 
 void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
            float alpha, const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
            float beta, float* c, std::int64_t ldc) {
-  FG_CHECK(m >= 0 && n >= 0 && k >= 0, "negative GEMM dimension");
-  if (m == 0 || n == 0) return;
-  FG_TRACE_SPAN("gemm", "tensor");
-  if (k == 0 || alpha == 0.0f) {
-    // BLAS semantics: A and B are not touched, C = beta * C.
-    common::parallel_for(0, m, row_grain(n, 1),
-                         [&](std::int64_t i0, std::int64_t i1) { scale_rows(i0, i1, n, beta, c, ldc); });
-    return;
-  }
-
-  // Transposed cases: materialize the transposed operand once, in pooled
-  // scratch (every cell is written). The matrices in this codebase are small
-  // enough (< a few MB) that an explicit transpose is both simple and fast
-  // relative to strided inner loops.
-  std::optional<ScratchBuffer> at;
-  std::optional<ScratchBuffer> bt;
-  const float* aa = a;
-  const float* bb = b;
-  std::int64_t alda = lda;
-  std::int64_t bldb = ldb;
-  if (trans_a) {
-    at.emplace(static_cast<std::size_t>(m) * k);
-    // stored A is k x m with row stride lda; we want m x k.
-    float* dst = at->data();
-    for (std::int64_t p = 0; p < k; ++p)
-      for (std::int64_t i = 0; i < m; ++i) dst[i * k + p] = a[p * lda + i];
-    aa = dst;
-    alda = k;
-  }
-  if (trans_b) {
-    bt.emplace(static_cast<std::size_t>(k) * n);
-    // stored B is n x k with row stride ldb; we want k x n.
-    float* dst = bt->data();
-    for (std::int64_t j = 0; j < n; ++j)
-      for (std::int64_t p = 0; p < k; ++p) dst[p * n + j] = b[j * ldb + p];
-    bb = dst;
-    bldb = n;
-  }
-
-  // Row-block parallel: each worker owns a disjoint band of C rows, scaling
-  // them by beta and then accumulating its slice of op(A)*op(B). No two
-  // chunks touch the same output row, so scheduling order cannot change bits.
-  common::parallel_for(0, m, row_grain(n, k), [&](std::int64_t i0, std::int64_t i1) {
-    scale_rows(i0, i1, n, beta, c, ldc);
-    gemm_nn(i1 - i0, n, k, alpha, aa + i0 * alda, alda, bb, bldb, c + i0 * ldc, ldc);
-  });
+  GemmDesc desc;
+  desc.trans_a = trans_a;
+  desc.trans_b = trans_b;
+  desc.m = m;
+  desc.n = n;
+  desc.k = k;
+  desc.alpha = alpha;
+  desc.beta = beta;
+  desc.lda = lda;
+  desc.ldb = ldb;
+  desc.ldc = ldc;
+  sgemm_strided_batched(desc, a, b, c);
 }
 
 }  // namespace flashgen::tensor

@@ -1,14 +1,17 @@
 // SGEMM used by the linear and convolution kernels.
 //
 // C (MxN) = alpha * op(A) * op(B) + beta * C, row-major, BLAS-like but with
-// explicit row-major semantics. Tuned for the small/medium matrices that the
-// im2col convolution path produces; the inner loop is written so the compiler
-// auto-vectorizes it. Large products are parallelized over row blocks of C
-// through common/parallel.h with a thread-count-invariant static partition,
-// so results are bit-identical for any FLASHGEN_THREADS setting.
+// explicit row-major semantics. The actual kernel comes from the selected
+// GEMM backend (see gemm_backend.h): the portable "reference" loop nest or
+// the packed, register-tiled "avx2" backend. Every backend parallelizes with
+// a thread-count-invariant static partition through common/parallel.h, so
+// results are bit-identical for any FLASHGEN_THREADS setting, and a strided
+// batch is bit-identical to the equivalent loop of single calls.
 #pragma once
 
 #include <cstdint>
+
+#include "tensor/gemm_backend.h"
 
 namespace flashgen::tensor {
 
@@ -17,5 +20,12 @@ namespace flashgen::tensor {
 void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
            float alpha, const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
            float beta, float* c, std::int64_t ldc);
+
+/// Strided-batched row-major SGEMM: one descriptor, batch_count independent
+/// products (see GemmDesc). Degenerate edges (m/n/batch == 0 no-op; k == 0 or
+/// alpha == 0 scale C by beta without touching A/B) are handled here, before
+/// the backend is invoked. This is the single entry every backend sits
+/// behind; the serve-path convolutions issue one batched call per layer.
+void sgemm_strided_batched(const GemmDesc& desc, const float* a, const float* b, float* c);
 
 }  // namespace flashgen::tensor

@@ -1,0 +1,367 @@
+#include "tensor/gemm_autotune.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/error.h"
+#include "common/faultinject.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace flashgen::tensor {
+
+namespace {
+
+// A tune cache is a few dozen 8-byte entries; anything near this bound is
+// hostile and rejected before allocation.
+constexpr std::uint64_t kMaxTuneCacheBytes = std::uint64_t{1} << 20;
+constexpr std::size_t kTuneCacheHeaderBytes = 8 + 4 + 4 + 8;
+constexpr std::size_t kTuneCacheEntryBytes = 8;
+
+std::uint8_t log2_bucket(std::int64_t x) {
+  std::uint8_t b = 0;
+  std::int64_t v = 1;
+  while (v < x && b < 62) {
+    v <<= 1;
+    ++b;
+  }
+  return b;
+}
+
+// Ties the cache to the exact kernel menu (and therefore the host ISA): a
+// cache tuned against a different menu is rejected on load.
+std::uint32_t menu_tag() {
+  int count = 0;
+  const detail::MicroKernel* menu = detail::packed_kernel_menu(&count);
+  std::uint32_t h = 2166136261u;  // FNV-1a
+  const auto mix = [&h](std::uint32_t v) {
+    h ^= v;
+    h *= 16777619u;
+  };
+  for (int i = 0; i < count; ++i) {
+    mix(static_cast<std::uint32_t>(menu[i].mr));
+    mix(static_cast<std::uint32_t>(menu[i].nr));
+    mix(static_cast<std::uint32_t>(menu[i].isa));
+  }
+  return h;
+}
+
+int menu_index_of(std::uint8_t isa, std::uint8_t mr, std::uint8_t nr) {
+  int count = 0;
+  const detail::MicroKernel* menu = detail::packed_kernel_menu(&count);
+  for (int i = 0; i < count; ++i) {
+    if (static_cast<std::uint8_t>(menu[i].isa) == isa && menu[i].mr == mr && menu[i].nr == nr)
+      return i;
+  }
+  return -1;
+}
+
+template <typename T>
+T read_pod(const std::vector<std::uint8_t>& bytes, std::size_t off) {
+  T v;
+  std::memcpy(&v, bytes.data() + off, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+GemmSizeClass gemm_size_class(const GemmDesc& desc) {
+  GemmSizeClass c;
+  c.trans_a = desc.trans_a;
+  c.trans_b = desc.trans_b;
+  c.m_bucket = log2_bucket(desc.m);
+  c.n_bucket = log2_bucket(desc.n);
+  c.k_bucket = log2_bucket(desc.k);
+  return c;
+}
+
+struct GemmTuner::Impl {
+  mutable std::mutex mu;
+  std::map<GemmSizeClass, int> table;
+  bool autotune = false;
+  bool pending_cache_load = false;
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  MeasureHook hook;
+  std::string cache_path;
+};
+
+GemmTuner::GemmTuner() : impl_(new Impl) {
+  if (const char* env = std::getenv("FLASHGEN_GEMM_TUNE")) {
+    const std::string v = env;
+    impl_->autotune = v == "1" || v == "on" || v == "true";
+  }
+  if (const char* env = std::getenv("FLASHGEN_GEMM_TUNE_CACHE")) {
+    impl_->cache_path = env;
+    impl_->pending_cache_load = !impl_->cache_path.empty();
+  }
+}
+
+GemmTuner& GemmTuner::instance() {
+  static GemmTuner* tuner = new GemmTuner;  // leaked: usable during shutdown
+  return *tuner;
+}
+
+void GemmTuner::set_autotune(bool enabled) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->autotune = enabled;
+}
+
+bool GemmTuner::autotune() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->autotune;
+}
+
+void GemmTuner::set_seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->seed = seed;
+}
+
+void GemmTuner::set_measure_hook(MeasureHook hook) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->hook = std::move(hook);
+}
+
+void GemmTuner::set_cache_path(const std::string& path) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->cache_path = path;
+  impl_->pending_cache_load = false;
+}
+
+void GemmTuner::clear() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->table.clear();
+}
+
+std::vector<std::pair<GemmSizeClass, int>> GemmTuner::entries() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return {impl_->table.begin(), impl_->table.end()};
+}
+
+int GemmTuner::kernel_for(const GemmDesc& desc) {
+  Impl& im = *impl_;
+  const GemmSizeClass key = gemm_size_class(desc);
+  std::string save_to;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    if (im.pending_cache_load) {
+      // Lazy one-time load of the FLASHGEN_GEMM_TUNE_CACHE file. A missing
+      // file is normal (first run pre-warming it); a corrupt one is rejected
+      // by load() and only costs a warning — defaults still work.
+      im.pending_cache_load = false;
+      const std::string path = im.cache_path;
+      if (std::filesystem::exists(path)) {
+        try {
+          load_locked(path, im);
+        } catch (const Error& e) {
+          FG_LOG(Warn) << "ignoring gemm tune cache " << path << ": " << e.what();
+        }
+      }
+    }
+    auto it = im.table.find(key);
+    if (it != im.table.end()) return it->second;
+    if (!im.autotune) return 0;
+  }
+  // Measure outside the lock: the sweep runs real GEMMs through the worker
+  // pool, and a pool worker mid-GEMM blocking on our mutex while we wait for
+  // the pool would deadlock.
+  const int best = measure_best(desc);
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    inserted = im.table.emplace(key, best).second;
+    if (inserted) save_to = im.cache_path;
+  }
+  if (!save_to.empty()) {
+    try {
+      save(save_to);
+    } catch (const Error& e) {
+      FG_LOG(Warn) << "cannot persist gemm tune cache to " << save_to << ": " << e.what();
+    }
+  }
+  return best;
+}
+
+int GemmTuner::measure_best(const GemmDesc& desc) const {
+  int count = 0;
+  const detail::MicroKernel* menu = detail::packed_kernel_menu(&count);
+  FG_CHECK(count > 0, "gemm autotune: no packed kernels available on this host");
+
+  // Per-item shape with tight strides: the class winner must not depend on
+  // how the triggering call happened to be strided or batched.
+  GemmDesc md;
+  md.trans_a = desc.trans_a;
+  md.trans_b = desc.trans_b;
+  md.m = desc.m;
+  md.n = desc.n;
+  md.k = desc.k;
+  md.alpha = 1.0f;
+  md.beta = 0.0f;
+  md.lda = md.trans_a ? md.m : md.k;
+  md.ldb = md.trans_b ? md.k : md.n;
+  md.ldc = md.n;
+
+  MeasureHook hook;
+  std::uint64_t seed = 0;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    hook = impl_->hook;
+    seed = impl_->seed;
+  }
+
+  std::vector<float> a(static_cast<std::size_t>(md.m) * md.k);
+  std::vector<float> b(static_cast<std::size_t>(md.k) * md.n);
+  std::vector<float> c(static_cast<std::size_t>(md.m) * md.n);
+  if (!hook) {
+    flashgen::Rng rng(seed);
+    for (auto& v : a) v = static_cast<float>(rng.normal());
+    for (auto& v : b) v = static_cast<float>(rng.normal());
+  }
+
+  const std::int64_t flops = 2 * md.m * md.n * md.k;
+  const int reps = static_cast<int>(
+      std::min<std::int64_t>(256, std::max<std::int64_t>(1, (std::int64_t{1} << 24) / flops)));
+
+  int best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < count; ++i) {
+    double cost;
+    if (hook) {
+      cost = hook(menu[i], md);
+    } else {
+      cost = std::numeric_limits<double>::infinity();
+      detail::packed_gemm_with_kernel(menu[i], md, a.data(), b.data(), c.data());  // warm-up
+      for (int trial = 0; trial < 3; ++trial) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < reps; ++r)
+          detail::packed_gemm_with_kernel(menu[i], md, a.data(), b.data(), c.data());
+        const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+        cost = std::min(cost, dt.count() / reps);
+      }
+    }
+    if (cost < best_cost) {  // strict: ties break toward the lower menu index
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void GemmTuner::save(const std::string& path) const {
+  std::vector<std::pair<GemmSizeClass, int>> snapshot = entries();
+  int count = 0;
+  const detail::MicroKernel* menu = detail::packed_kernel_menu(&count);
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    FG_CHECK(out.good(), "cannot open gemm tune cache for writing: " << tmp_path);
+    out.write(kGemmTuneCacheMagic, sizeof(kGemmTuneCacheMagic));
+    const std::uint32_t version = kGemmTuneCacheVersion;
+    const std::uint32_t tag = menu_tag();
+    const std::uint64_t n = snapshot.size();
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&tag), sizeof(tag));
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    for (const auto& [cls, index] : snapshot) {
+      FG_CHECK(index >= 0 && index < count, "gemm tune table references kernel " << index
+                                                                                << " outside the menu");
+      const std::uint8_t entry[kTuneCacheEntryBytes] = {
+          static_cast<std::uint8_t>(cls.trans_a ? 1 : 0),
+          static_cast<std::uint8_t>(cls.trans_b ? 1 : 0),
+          cls.m_bucket,
+          cls.n_bucket,
+          cls.k_bucket,
+          static_cast<std::uint8_t>(menu[index].isa),
+          static_cast<std::uint8_t>(menu[index].mr),
+          static_cast<std::uint8_t>(menu[index].nr),
+      };
+      out.write(reinterpret_cast<const char*>(entry), sizeof(entry));
+    }
+    if (FG_FAULT("gemm_tune_write")) {
+      // Simulated crash mid-write: chop the temp file in half and bail before
+      // the rename, exactly the wreckage a real power cut would leave.
+      out.close();
+      std::error_code ec;
+      const auto written = std::filesystem::file_size(tmp_path, ec);
+      if (!ec) std::filesystem::resize_file(tmp_path, written / 2, ec);
+      FG_CHECK(false, "fault injected: gemm_tune_write (" << tmp_path << ")");
+    }
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      FG_CHECK(false, "gemm tune cache write failed: " << tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    FG_CHECK(false, "cannot move gemm tune cache into place: " << tmp_path << " -> " << path);
+  }
+}
+
+void GemmTuner::load(const std::string& path) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  load_locked(path, *impl_);
+}
+
+void GemmTuner::load_locked(const std::string& path, Impl& im) {
+  // Read the whole (bounded) file so every claim can be validated against the
+  // true byte count before anything is allocated or mutated.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  FG_CHECK(in.good(), "cannot open gemm tune cache: " << path);
+  const std::streamoff size = in.tellg();
+  FG_CHECK(size >= 0, "cannot stat gemm tune cache: " << path);
+  FG_CHECK(static_cast<std::uint64_t>(size) <= kMaxTuneCacheBytes,
+           "gemm tune cache implausibly large (" << size << " bytes): " << path);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  FG_CHECK(in.good() || size == 0, "gemm tune cache read failed: " << path);
+
+  FG_CHECK(bytes.size() >= kTuneCacheHeaderBytes,
+           "gemm tune cache truncated (" << bytes.size() << " bytes): " << path);
+  FG_CHECK(std::memcmp(bytes.data(), kGemmTuneCacheMagic, sizeof(kGemmTuneCacheMagic)) == 0,
+           "not a gemm tune cache (bad magic): " << path);
+  const auto version = read_pod<std::uint32_t>(bytes, 8);
+  FG_CHECK(version == kGemmTuneCacheVersion,
+           "unsupported gemm tune cache version " << version << ": " << path);
+  const auto tag = read_pod<std::uint32_t>(bytes, 12);
+  FG_CHECK(tag == menu_tag(),
+           "gemm tune cache was tuned against a different kernel menu: " << path);
+  const auto entry_count = read_pod<std::uint64_t>(bytes, 16);
+  // Exact-size check: catches hostile counts before allocation AND trailing
+  // garbage after the last entry.
+  FG_CHECK(entry_count <= (kMaxTuneCacheBytes - kTuneCacheHeaderBytes) / kTuneCacheEntryBytes &&
+               bytes.size() == kTuneCacheHeaderBytes + entry_count * kTuneCacheEntryBytes,
+           "gemm tune cache length claim inconsistent with file size: " << path);
+
+  std::map<GemmSizeClass, int> table;
+  for (std::uint64_t e = 0; e < entry_count; ++e) {
+    const std::uint8_t* p = bytes.data() + kTuneCacheHeaderBytes + e * kTuneCacheEntryBytes;
+    FG_CHECK(p[0] <= 1 && p[1] <= 1, "gemm tune cache entry " << e << " has bad flags: " << path);
+    FG_CHECK(p[2] <= 48 && p[3] <= 48 && p[4] <= 48,
+             "gemm tune cache entry " << e << " has out-of-range size buckets: " << path);
+    GemmSizeClass cls;
+    cls.trans_a = p[0] != 0;
+    cls.trans_b = p[1] != 0;
+    cls.m_bucket = p[2];
+    cls.n_bucket = p[3];
+    cls.k_bucket = p[4];
+    const int index = menu_index_of(p[5], p[6], p[7]);
+    FG_CHECK(index >= 0, "gemm tune cache entry " << e << " names kernel " << int{p[6]} << "x"
+                                                  << int{p[7]} << " not in this host's menu: "
+                                                  << path);
+    FG_CHECK(table.emplace(cls, index).second,
+             "gemm tune cache has duplicate size-class entries: " << path);
+  }
+  im.table.swap(table);  // commit only after full validation
+}
+
+}  // namespace flashgen::tensor

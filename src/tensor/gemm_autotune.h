@@ -1,0 +1,126 @@
+// One-time GEMM autotuner for the packed backend, with a versioned on-disk
+// winner cache.
+//
+// GEMMs are grouped into (trans_a, trans_b, ceil-log2(m/n/k)) size classes.
+// The first packed-path GEMM of a class (with autotuning enabled) times every
+// microkernel in the menu on synthetic operands of that exact shape and
+// records the winner; subsequent calls in the class pay one map lookup. With
+// autotuning disabled (the default — tests and production stay timing-free),
+// every class uses menu index 0, the widest-ISA heuristic default.
+//
+// Tuning can never change results: every kernel in the menu accumulates each
+// C element as one full-k FMA chain, so all candidates are bit-identical (see
+// gemm_packed.h). The sweep is purely a throughput decision.
+//
+// Cache file "FGGTUNE1" (little-endian, fixed 8-byte entries):
+//   magic[8] | u32 version | u32 menu_tag | u64 entry_count |
+//   per entry: u8 trans_a | u8 trans_b | u8 m_bucket | u8 n_bucket |
+//              u8 k_bucket | u8 isa | u8 mr | u8 nr
+// menu_tag hashes the host's kernel menu, so a cache tuned on different
+// hardware (or an older kernel menu) is rejected instead of silently
+// misapplied. load() validates every claim against the true byte count
+// before touching the table — truncated, bit-flipped, or hostile-length
+// files raise flashgen::Error and leave the previous table intact, the same
+// hardening contract as nn/serialize.h. save() goes through temp-file +
+// atomic-rename with the "gemm_tune_write" fault point.
+//
+// Environment: FLASHGEN_GEMM_TUNE=1 enables autotuning;
+// FLASHGEN_GEMM_TUNE_CACHE=<path> loads that cache at first use (a corrupt or
+// missing file just logs and falls back to untuned defaults) and re-saves it
+// after every newly tuned class, so one warm run pre-tunes later processes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "tensor/gemm_backend.h"
+#include "tensor/gemm_packed.h"
+
+namespace flashgen::tensor {
+
+/// Size-class key: transpose flags plus ceil-log2 buckets of m/n/k (bucket b
+/// covers (2^(b-1), 2^b], so 1 -> 0, 2 -> 1, 3..4 -> 2, ...).
+struct GemmSizeClass {
+  bool trans_a = false;
+  bool trans_b = false;
+  std::uint8_t m_bucket = 0;
+  std::uint8_t n_bucket = 0;
+  std::uint8_t k_bucket = 0;
+
+  friend bool operator==(const GemmSizeClass& a, const GemmSizeClass& b) {
+    return a.trans_a == b.trans_a && a.trans_b == b.trans_b && a.m_bucket == b.m_bucket &&
+           a.n_bucket == b.n_bucket && a.k_bucket == b.k_bucket;
+  }
+  friend bool operator<(const GemmSizeClass& a, const GemmSizeClass& b) {
+    const auto key = [](const GemmSizeClass& s) {
+      return std::make_tuple(s.trans_a, s.trans_b, s.m_bucket, s.n_bucket, s.k_bucket);
+    };
+    return key(a) < key(b);
+  }
+};
+
+/// The size class `desc` falls into (per-item dimensions; batching never
+/// changes the class, which keeps batched and looped calls on the same tile).
+GemmSizeClass gemm_size_class(const GemmDesc& desc);
+
+inline constexpr char kGemmTuneCacheMagic[8] = {'F', 'G', 'G', 'T', 'U', 'N', 'E', '1'};
+inline constexpr std::uint32_t kGemmTuneCacheVersion = 1;
+
+/// Process-wide tuner. Thread-safe; measurement runs outside the table lock
+/// so pool workers mid-GEMM can never deadlock against a tuning thread.
+class GemmTuner {
+ public:
+  static GemmTuner& instance();
+
+  /// Menu index to use for `desc`: the cached winner for its size class, else
+  /// (autotune on) sweep-and-record, else index 0.
+  int kernel_for(const GemmDesc& desc);
+
+  /// Enables/disables the first-use sweep. Cached winners are still honored
+  /// when disabled.
+  void set_autotune(bool enabled);
+  bool autotune() const;
+
+  /// Seed for the synthetic operand fill used during measurement.
+  void set_seed(std::uint64_t seed);
+
+  /// Replaces wall-clock measurement: hook(kernel, per-item desc) -> cost,
+  /// lower wins (ties break toward the lower menu index). The determinism
+  /// seam for tests; pass nullptr to restore real timing.
+  using MeasureHook = std::function<double(const detail::MicroKernel&, const GemmDesc&)>;
+  void set_measure_hook(MeasureHook hook);
+
+  /// Writes the table to `path` (temp file + atomic rename; the
+  /// "gemm_tune_write" fault point simulates a mid-write crash). Throws on
+  /// I/O failure; a previous file at `path` survives any failed attempt.
+  void save(const std::string& path) const;
+
+  /// Replaces the table with the file's contents. Throws flashgen::Error on
+  /// any corruption or menu mismatch, in which case the previous table is
+  /// kept untouched.
+  void load(const std::string& path);
+
+  /// Forgets every tuned entry (test hook). Does not touch the enable flag,
+  /// seed, hook, or cache path.
+  void clear();
+
+  /// Tuned (class, menu index) pairs, sorted by class.
+  std::vector<std::pair<GemmSizeClass, int>> entries() const;
+
+  /// Overrides the FLASHGEN_GEMM_TUNE_CACHE auto-save path ("" disables).
+  void set_cache_path(const std::string& path);
+
+ private:
+  GemmTuner();
+  int measure_best(const GemmDesc& desc) const;
+
+  struct Impl;
+  static void load_locked(const std::string& path, Impl& im);
+  Impl* impl_;  // leaked singleton state: process-lifetime, never destroyed
+};
+
+}  // namespace flashgen::tensor

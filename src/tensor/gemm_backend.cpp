@@ -1,0 +1,112 @@
+// Backend registry and process-wide selection for the GEMM dispatcher.
+//
+// Built-ins register lazily on first use: "reference" always, "avx2" when the
+// host CPU qualifies. Selection resolves once from FLASHGEN_GEMM_BACKEND (or
+// the fastest registered backend) and is then a single atomic load per GEMM.
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "tensor/gemm_backend.h"
+#include "tensor/gemm_packed.h"
+
+namespace flashgen::tensor {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<GemmBackend>> backends;
+  std::atomic<const GemmBackend*> current{nullptr};
+
+  Registry() {
+    backends.push_back(make_reference_gemm_backend());
+    if (auto packed = make_packed_gemm_backend()) backends.push_back(std::move(packed));
+  }
+
+  GemmBackend* find_locked(const std::string& name) {
+    for (auto& b : backends)
+      if (name == b->name()) return b.get();
+    return nullptr;
+  }
+
+  const GemmBackend* resolve() {
+    const GemmBackend* cur = current.load(std::memory_order_acquire);
+    if (cur) return cur;
+    std::lock_guard<std::mutex> lk(mu);
+    cur = current.load(std::memory_order_relaxed);
+    if (cur) return cur;
+    const char* env = std::getenv("FLASHGEN_GEMM_BACKEND");
+    GemmBackend* chosen;
+    if (env && *env) {
+      chosen = find_locked(env);
+      FG_CHECK(chosen != nullptr,
+               "FLASHGEN_GEMM_BACKEND names unknown backend \"" << env << "\"");
+    } else {
+      // Default: the last registered built-in, i.e. "avx2" when the host can
+      // run it, else "reference".
+      chosen = backends.back().get();
+    }
+    current.store(chosen, std::memory_order_release);
+    return chosen;
+  }
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: backends usable during shutdown
+  return *r;
+}
+
+}  // namespace
+
+void register_gemm_backend(std::unique_ptr<GemmBackend> backend) {
+  FG_CHECK(backend != nullptr, "cannot register a null GEMM backend");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  const std::string name = backend->name();
+  for (auto& b : r.backends) {
+    if (name == b->name()) {
+      // Replace in place. The old backend is intentionally leaked: a GEMM on
+      // another thread may still be running through it.
+      if (r.current.load(std::memory_order_relaxed) == b.get())
+        r.current.store(backend.get(), std::memory_order_release);
+      b.release();
+      b = std::move(backend);
+      return;
+    }
+  }
+  r.backends.push_back(std::move(backend));
+}
+
+std::vector<std::string> gemm_backend_names() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.backends.size());
+  for (auto& b : r.backends) names.emplace_back(b->name());
+  return names;
+}
+
+void set_gemm_backend(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  GemmBackend* b = r.find_locked(name);
+  if (b == nullptr) {
+    std::ostringstream os;
+    os << "unknown GEMM backend \"" << name << "\" (registered:";
+    for (auto& rb : r.backends) os << " " << rb->name();
+    os << ")";
+    throw Error(os.str());
+  }
+  r.current.store(b, std::memory_order_release);
+}
+
+const GemmBackend& current_gemm_backend() { return *registry().resolve(); }
+
+std::string gemm_backend_name() { return current_gemm_backend().name(); }
+
+}  // namespace flashgen::tensor

@@ -1,0 +1,59 @@
+// 512-bit FMA microkernels for the packed GEMM backend. Same contract as the
+// AVX2 table (one FMA chain per C element, strict k order), so every kernel
+// here produces bit-identical results to the 256-bit ones — AVX-512 is purely
+// a throughput upgrade, selected at runtime when the host supports it.
+#include "tensor/gemm_packed.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+
+namespace flashgen::tensor::detail {
+namespace {
+
+template <int MR, int NV>
+void kernel(std::int64_t k, const float* pa, const float* pb, float* acc) {
+  constexpr int NR = NV * 16;
+  __m512 c[MR][NV];
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) c[r][v] = _mm512_setzero_ps();
+  for (std::int64_t p = 0; p < k; ++p) {
+    __m512 b[NV];
+    for (int v = 0; v < NV; ++v) b[v] = _mm512_loadu_ps(pb + p * NR + v * 16);
+    for (int r = 0; r < MR; ++r) {
+      const __m512 a = _mm512_set1_ps(pa[p * MR + r]);
+      for (int v = 0; v < NV; ++v) c[r][v] = _mm512_fmadd_ps(a, b[v], c[r][v]);
+    }
+  }
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) _mm512_storeu_ps(acc + r * NR + v * 16, c[r][v]);
+}
+
+// 32 zmm registers; MR * NV accumulators + NV B vectors + 1 broadcast <= 31.
+constexpr MicroKernel kTable[] = {
+    {14, 32, KernelIsa::kAvx512, &kernel<14, 2>},  // 28 accumulators — default
+    {8, 48, KernelIsa::kAvx512, &kernel<8, 3>},    // wider B strips
+    {6, 64, KernelIsa::kAvx512, &kernel<6, 4>},    // very wide C rows
+    {16, 16, KernelIsa::kAvx512, &kernel<16, 1>},  // tall tiles, narrow n
+    {28, 16, KernelIsa::kAvx512, &kernel<28, 1>},  // max rows per B load
+    {4, 32, KernelIsa::kAvx512, &kernel<4, 2>},    // small-m edge friendliness
+};
+
+}  // namespace
+
+const MicroKernel* avx512_kernel_table(int* count) {
+  *count = static_cast<int>(sizeof(kTable) / sizeof(kTable[0]));
+  return kTable;
+}
+
+}  // namespace flashgen::tensor::detail
+
+#else
+
+namespace flashgen::tensor::detail {
+const MicroKernel* avx512_kernel_table(int* count) {
+  *count = 0;
+  return nullptr;
+}
+}  // namespace flashgen::tensor::detail
+
+#endif

@@ -1,0 +1,107 @@
+// The "reference" GEMM backend: the original row-blocked loop nest, kept as
+// the portable baseline and the conformance oracle's production twin. The
+// batched entry flattens (item, row) into one thread-count-invariant row
+// partition, so a batched call is bit-identical to the equivalent loop of
+// single calls: every C row is scaled and accumulated by exactly one chunk,
+// with a per-row accumulation order that depends only on (n, k).
+#include <memory>
+#include <optional>
+
+#include "common/parallel.h"
+#include "tensor/gemm_backend.h"
+#include "tensor/gemm_util.h"
+#include "tensor/workspace.h"
+
+namespace flashgen::tensor {
+
+namespace detail {
+
+void reference_gemm(const GemmDesc& desc, const float* a, const float* b, float* c) {
+  const std::int64_t m = desc.m, n = desc.n, k = desc.k;
+  const std::int64_t batch = desc.batch_count;
+  // Distinct operand views: a stride of 0 shares one matrix across the batch,
+  // so a transposed operand is materialized once, not once per item.
+  const std::int64_t a_views = desc.stride_a == 0 ? 1 : batch;
+  const std::int64_t b_views = desc.stride_b == 0 ? 1 : batch;
+
+  // Transposed cases: materialize the transposed operand once, in pooled
+  // scratch (every cell is written). The matrices in this codebase are small
+  // enough (< a few MB) that an explicit transpose is both simple and fast
+  // relative to strided inner loops.
+  std::optional<ScratchBuffer> at;
+  std::optional<ScratchBuffer> bt;
+  const float* aa = a;
+  const float* bb = b;
+  std::int64_t alda = desc.lda;
+  std::int64_t bldb = desc.ldb;
+  std::int64_t astride = desc.stride_a;
+  std::int64_t bstride = desc.stride_b;
+  if (desc.trans_a) {
+    at.emplace(static_cast<std::size_t>(a_views) * m * k);
+    float* dst = at->data();
+    for (std::int64_t s = 0; s < a_views; ++s) {
+      // stored A is k x m with row stride lda; we want m x k.
+      const float* src = a + s * desc.stride_a;
+      float* out = dst + s * m * k;
+      for (std::int64_t p = 0; p < k; ++p)
+        for (std::int64_t i = 0; i < m; ++i) out[i * k + p] = src[p * desc.lda + i];
+    }
+    aa = dst;
+    alda = k;
+    astride = a_views == 1 ? 0 : m * k;
+  }
+  if (desc.trans_b) {
+    bt.emplace(static_cast<std::size_t>(b_views) * k * n);
+    float* dst = bt->data();
+    for (std::int64_t s = 0; s < b_views; ++s) {
+      // stored B is n x k with row stride ldb; we want k x n.
+      const float* src = b + s * desc.stride_b;
+      float* out = dst + s * k * n;
+      for (std::int64_t j = 0; j < n; ++j)
+        for (std::int64_t p = 0; p < k; ++p) out[p * n + j] = src[j * desc.ldb + p];
+    }
+    bb = dst;
+    bldb = n;
+    bstride = b_views == 1 ? 0 : k * n;
+  }
+
+  // Row-block parallel over the flattened (item, row) range: each worker owns
+  // disjoint C rows, scaling them by beta and then accumulating its slice of
+  // op(A)*op(B). No two chunks touch the same output row, and each row's
+  // accumulation order is the same whether it was reached through a batched
+  // call or a single one, so scheduling order cannot change bits.
+  common::parallel_for(0, batch * m, detail::row_grain(n, k), [&](std::int64_t r0,
+                                                                  std::int64_t r1) {
+    std::int64_t r = r0;
+    while (r < r1) {
+      const std::int64_t s = r / m;
+      const std::int64_t i = r % m;
+      const std::int64_t rows = std::min(r1 - r, m - i);
+      float* cb = c + s * desc.stride_c + i * desc.ldc;
+      detail::scale_rows(0, rows, n, desc.beta, cb, desc.ldc);
+      detail::gemm_nn(rows, n, k, desc.alpha, aa + s * astride + i * alda, alda,
+                      bb + s * bstride, bldb, cb, desc.ldc);
+      r += rows;
+    }
+  });
+}
+
+}  // namespace detail
+
+namespace {
+
+class ReferenceGemmBackend final : public GemmBackend {
+ public:
+  const char* name() const override { return "reference"; }
+  void run(const GemmDesc& desc, const float* a, const float* b, float* c) const override {
+    detail::reference_gemm(desc, a, b, c);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<GemmBackend> make_reference_gemm_backend() {
+  return std::make_unique<ReferenceGemmBackend>();
+}
+
+}  // namespace flashgen::tensor

@@ -1,0 +1,58 @@
+// Internal helpers shared by the GEMM dispatcher and backends. Not part of
+// the public surface; include gemm.h / gemm_backend.h instead.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tensor/gemm_backend.h"
+
+namespace flashgen::tensor::detail {
+
+// Core kernel for the row-major, no-transpose case:
+// C[i,:] += alpha * sum_k A[i,k] * B[k,:]. The j-loop over contiguous C and B
+// rows auto-vectorizes. Cache-blocked over k to keep B panels resident.
+// Note: every A entry is multiplied through, even exact zeros, so NaN/Inf in
+// B propagate exactly as the naive reference (and BLAS) semantics demand.
+inline void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                    const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                    float* c, std::int64_t ldc) {
+  constexpr std::int64_t kc = 256;
+  for (std::int64_t k0 = 0; k0 < k; k0 += kc) {
+    const std::int64_t k1 = std::min(k, k0 + kc);
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      for (std::int64_t p = k0; p < k1; ++p) {
+        const float aip = alpha * a[i * lda + p];
+        const float* brow = b + p * ldb;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  }
+}
+
+// Row-block grain: aim for >= ~32k multiply-adds per chunk so the chunk-claim
+// overhead stays invisible. Depends only on the problem shape, never on the
+// thread count, so the partition (and the result bits) are pool-size-invariant.
+inline std::int64_t row_grain(std::int64_t n, std::int64_t k) {
+  const std::int64_t flops_per_row = std::max<std::int64_t>(1, n * k);
+  return std::max<std::int64_t>(1, (std::int64_t{1} << 15) / flops_per_row);
+}
+
+inline void scale_rows(std::int64_t i0, std::int64_t i1, std::int64_t n, float beta, float* c,
+                       std::int64_t ldc) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+}
+
+// The reference computation for a full descriptor (also the packed backend's
+// small-problem path, so tiny GEMMs skip the packing overhead).
+void reference_gemm(const GemmDesc& desc, const float* a, const float* b, float* c);
+
+}  // namespace flashgen::tensor::detail

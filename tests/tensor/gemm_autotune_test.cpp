@@ -1,0 +1,258 @@
+// GEMM autotuner: deterministic tuning through the measure-hook seam,
+// save/load round-trips of the versioned winner cache, and corrupt-cache
+// handling — truncations, bit flips, and hostile length claims must all be
+// rejected without crashing, over-allocating, or disturbing the live table,
+// and an injected mid-write crash must leave a previous cache file intact
+// (the same hardening contract as the checkpoint format).
+#include "tensor/gemm_autotune.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/faultinject.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_packed.h"
+
+namespace flashgen::tensor {
+namespace {
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+GemmDesc desc_for(std::int64_t m, std::int64_t n, std::int64_t k) {
+  GemmDesc d;
+  d.m = m;
+  d.n = n;
+  d.k = k;
+  d.lda = k;
+  d.ldb = n;
+  d.ldc = n;
+  return d;
+}
+
+class GemmAutotuneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    int count = 0;
+    detail::packed_kernel_menu(&count);
+    if (count == 0) GTEST_SKIP() << "host lacks AVX2+FMA; no kernels to tune";
+    menu_size_ = count;
+    auto& tuner = GemmTuner::instance();
+    tuner.clear();
+    tuner.set_cache_path("");
+    tuner.set_autotune(true);
+    // Deterministic "measurement": cost is a pure function of the kernel
+    // shape and the probed size class, so tuning never touches a clock.
+    tuner.set_measure_hook([](const detail::MicroKernel& kernel, const GemmDesc& d) {
+      return static_cast<double>((kernel.mr * 31 + kernel.nr) ^ (d.m + d.n + d.k));
+    });
+  }
+  void TearDown() override {
+    if (menu_size_ == 0) return;
+    auto& tuner = GemmTuner::instance();
+    tuner.set_measure_hook(nullptr);
+    tuner.set_autotune(false);
+    tuner.set_cache_path("");
+    tuner.clear();
+    faultinject::clear();
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  // Tunes a fixed set of size classes and returns the table snapshot.
+  std::vector<std::pair<GemmSizeClass, int>> tune_some() {
+    auto& tuner = GemmTuner::instance();
+    tuner.kernel_for(desc_for(32, 512, 256));  // the im2col serve class
+    tuner.kernel_for(desc_for(64, 64, 64));
+    tuner.kernel_for(desc_for(130, 48, 96));
+    GemmDesc t = desc_for(48, 72, 24);
+    t.trans_a = true;
+    t.lda = t.m;
+    tuner.kernel_for(t);
+    return tuner.entries();
+  }
+
+  int menu_size_ = 0;
+  // Process-unique path: the backend matrix runs a second copy of this
+  // binary concurrently under `ctest -j`, and a shared file would race.
+  std::string path_ = ::testing::TempDir() + "gemm_tune_test." +
+                      std::to_string(::getpid()) + ".bin";
+};
+
+TEST_F(GemmAutotuneTest, TuningIsDeterministicGivenFixedCosts) {
+  auto& tuner = GemmTuner::instance();
+  const auto first = tune_some();
+  ASSERT_EQ(first.size(), 4u);
+  for (const auto& [cls, index] : first) {
+    EXPECT_GE(index, 0);
+    EXPECT_LT(index, menu_size_);
+  }
+  tuner.clear();
+  const auto second = tune_some();
+  EXPECT_EQ(first, second);
+  // A repeat lookup is served from the table (same winner, no re-sweep).
+  EXPECT_EQ(tuner.kernel_for(desc_for(64, 64, 64)),
+            tuner.kernel_for(desc_for(64, 64, 64)));
+}
+
+TEST_F(GemmAutotuneTest, SameSizeClassSharesOneEntry) {
+  auto& tuner = GemmTuner::instance();
+  // 33..64 all land in the same ceil-log2 bucket.
+  EXPECT_EQ(gemm_size_class(desc_for(33, 40, 50)), gemm_size_class(desc_for(64, 64, 64)));
+  tuner.kernel_for(desc_for(33, 40, 50));
+  tuner.kernel_for(desc_for(64, 64, 64));
+  EXPECT_EQ(tuner.entries().size(), 1u);
+}
+
+TEST_F(GemmAutotuneTest, AutotuneOffUsesDefaultKernel) {
+  auto& tuner = GemmTuner::instance();
+  tuner.set_autotune(false);
+  EXPECT_EQ(tuner.kernel_for(desc_for(40, 80, 60)), 0);
+  EXPECT_TRUE(tuner.entries().empty()) << "disabled autotune must not record entries";
+}
+
+TEST_F(GemmAutotuneTest, SaveLoadRoundTripsExactly) {
+  auto& tuner = GemmTuner::instance();
+  const auto tuned = tune_some();
+  tuner.save(path_);
+  tuner.clear();
+  ASSERT_TRUE(tuner.entries().empty());
+  tuner.load(path_);
+  EXPECT_EQ(tuner.entries(), tuned);
+  // Loaded winners are honored even with autotuning off.
+  tuner.set_autotune(false);
+  const GemmSizeClass probe_class = gemm_size_class(desc_for(32, 512, 256));
+  for (const auto& entry : tuned) {
+    if (entry.first == probe_class) {
+      EXPECT_EQ(tuner.kernel_for(desc_for(32, 512, 256)), entry.second);
+    }
+  }
+}
+
+TEST_F(GemmAutotuneTest, EveryTruncationIsRejectedWithoutDisturbingTheTable) {
+  auto& tuner = GemmTuner::instance();
+  const auto tuned = tune_some();
+  tuner.save(path_);
+  const std::vector<std::uint8_t> good = read_bytes(path_);
+  ASSERT_GT(good.size(), 0u);
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    write_bytes(path_, {good.begin(), good.begin() + len});
+    EXPECT_THROW(tuner.load(path_), flashgen::Error) << "truncation to " << len << " accepted";
+    EXPECT_EQ(tuner.entries(), tuned) << "table disturbed by rejected load (len " << len << ")";
+  }
+}
+
+TEST_F(GemmAutotuneTest, EveryByteFlipIsRejectedOrEquivalent) {
+  auto& tuner = GemmTuner::instance();
+  tune_some();
+  tuner.save(path_);
+  const std::vector<std::uint8_t> good = read_bytes(path_);
+  tuner.load(path_);
+  const auto baseline = tuner.entries();
+  int rejected = 0;
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::vector<std::uint8_t> bad = good;
+    bad[i] ^= 0xFF;
+    write_bytes(path_, bad);
+    try {
+      tuner.load(path_);
+      // A flip that survives validation must still yield a sane table: every
+      // index within the menu, same entry count (entries are fixed-width).
+      const auto loaded = tuner.entries();
+      EXPECT_EQ(loaded.size(), baseline.size());
+      for (const auto& [cls, index] : loaded) {
+        EXPECT_GE(index, 0);
+        EXPECT_LT(index, menu_size_);
+      }
+      write_bytes(path_, good);
+      tuner.load(path_);
+    } catch (const flashgen::Error&) {
+      ++rejected;
+      EXPECT_EQ(tuner.entries(), baseline) << "table disturbed by rejected flip at " << i;
+    }
+  }
+  // The magic, version, menu tag, and entry kernel ids all participate in
+  // validation, so a healthy majority of flips must be caught outright.
+  EXPECT_GT(rejected, static_cast<int>(good.size()) / 2);
+}
+
+TEST_F(GemmAutotuneTest, HostileLengthClaimsAreRejectedBeforeAllocation) {
+  auto& tuner = GemmTuner::instance();
+  tune_some();
+  tuner.save(path_);
+  std::vector<std::uint8_t> bad = read_bytes(path_);
+  // entry_count lives at offset 16 (u64 little-endian): claim ~2^60 entries.
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(bad.data() + 16, &huge, sizeof(huge));
+  write_bytes(path_, bad);
+  EXPECT_THROW(tuner.load(path_), flashgen::Error);
+  // An oversized file body is rejected up front too.
+  std::vector<std::uint8_t> fat = read_bytes(path_);
+  fat.resize((1u << 20) + 64, 0);
+  write_bytes(path_, fat);
+  EXPECT_THROW(tuner.load(path_), flashgen::Error);
+}
+
+TEST_F(GemmAutotuneTest, WrongMagicAndVersionAreRejected) {
+  auto& tuner = GemmTuner::instance();
+  tune_some();
+  tuner.save(path_);
+  std::vector<std::uint8_t> bad = read_bytes(path_);
+  bad[0] = 'X';
+  write_bytes(path_, bad);
+  EXPECT_THROW(tuner.load(path_), flashgen::Error);
+  bad = read_bytes(path_);
+  bad[8] = 0xEE;  // version field
+  write_bytes(path_, bad);
+  EXPECT_THROW(tuner.load(path_), flashgen::Error);
+}
+
+TEST_F(GemmAutotuneTest, InjectedWriteCrashLeavesPreviousCacheIntact) {
+  auto& tuner = GemmTuner::instance();
+  tune_some();
+  tuner.save(path_);
+  const std::vector<std::uint8_t> good = read_bytes(path_);
+
+  tuner.kernel_for(desc_for(300, 200, 100));  // grow the table, then crash the save
+  faultinject::configure("gemm_tune_write:@0");
+  EXPECT_THROW(tuner.save(path_), flashgen::Error);
+  EXPECT_EQ(faultinject::fired("gemm_tune_write"), 1u);
+  faultinject::clear();
+
+  // The crash hit the temp file; the previous cache must be byte-identical
+  // and still loadable.
+  EXPECT_EQ(read_bytes(path_), good);
+  tuner.load(path_);
+}
+
+TEST_F(GemmAutotuneTest, CachePathAutoSavesNewWinners) {
+  auto& tuner = GemmTuner::instance();
+  tuner.set_cache_path(path_);
+  tuner.kernel_for(desc_for(64, 64, 64));
+  ASSERT_TRUE(std::filesystem::exists(path_)) << "tuned winner was not auto-persisted";
+  const auto tuned = tuner.entries();
+  tuner.set_cache_path("");
+  tuner.clear();
+  tuner.load(path_);
+  EXPECT_EQ(tuner.entries(), tuned);
+}
+
+}  // namespace
+}  // namespace flashgen::tensor

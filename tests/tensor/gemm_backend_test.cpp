@@ -1,0 +1,359 @@
+// Cross-backend GEMM conformance and bit-identity suite.
+//
+// Every registered backend runs the same parameterized fixture: a randomized
+// property sweep against a naive triple-loop oracle over all transpose
+// combinations, degenerate and tiny dimensions, non-contiguous leading
+// strides, and the alpha/beta edge semantics (including beta == 0 over
+// NaN-poisoned C). On top of conformance, each backend must be bit-identical
+// across thread counts, across batched-vs-looped calls, and from run to run —
+// the contract in gemm_backend.h. Backends are NOT required to agree with
+// each other bitwise, and nothing here compares reference to avx2 beyond the
+// shared oracle tolerance.
+#include "tensor/gemm_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_packed.h"
+
+namespace flashgen::tensor {
+namespace {
+
+// Naive oracle for one item of a strided-batched descriptor, accumulated in
+// double: the conformance target every backend is held to within tolerance.
+void oracle_item(const GemmDesc& d, const float* a, const float* b, const float* c_in,
+                 float* c_out) {
+  for (std::int64_t i = 0; i < d.m; ++i)
+    for (std::int64_t j = 0; j < d.n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < d.k; ++p) {
+        const float av = d.trans_a ? a[p * d.lda + i] : a[i * d.lda + p];
+        const float bv = d.trans_b ? b[j * d.ldb + p] : b[p * d.ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      const double prior = d.beta == 0.0f ? 0.0 : static_cast<double>(d.beta) * c_in[i * d.ldc + j];
+      c_out[i * d.ldc + j] = static_cast<float>(d.alpha * acc + prior);
+    }
+}
+
+std::vector<float> oracle(const GemmDesc& d, const std::vector<float>& a,
+                          const std::vector<float>& b, const std::vector<float>& c) {
+  std::vector<float> out = c;
+  if (d.m == 0 || d.n == 0) return out;
+  for (std::int64_t s = 0; s < d.batch_count; ++s) {
+    if (d.k == 0 || d.alpha == 0.0f) {
+      for (std::int64_t i = 0; i < d.m; ++i)
+        for (std::int64_t j = 0; j < d.n; ++j) {
+          const std::int64_t idx = s * d.stride_c + i * d.ldc + j;
+          out[idx] = d.beta == 0.0f ? 0.0f : d.beta * c[idx];
+        }
+      continue;
+    }
+    oracle_item(d, a.data() + s * d.stride_a, b.data() + s * d.stride_b,
+                c.data() + s * d.stride_c, out.data() + s * d.stride_c);
+  }
+  return out;
+}
+
+// Buffer sizes implied by a descriptor (tight beyond the leading strides).
+std::size_t a_size(const GemmDesc& d) {
+  const std::int64_t rows = d.trans_a ? d.k : d.m;
+  const std::int64_t views = d.stride_a == 0 ? 1 : d.batch_count;
+  return static_cast<std::size_t>(std::max<std::int64_t>(1, (views - 1) * d.stride_a + rows * d.lda));
+}
+std::size_t b_size(const GemmDesc& d) {
+  const std::int64_t rows = d.trans_b ? d.n : d.k;
+  const std::int64_t views = d.stride_b == 0 ? 1 : d.batch_count;
+  return static_cast<std::size_t>(std::max<std::int64_t>(1, (views - 1) * d.stride_b + rows * d.ldb));
+}
+std::size_t c_size(const GemmDesc& d) {
+  return static_cast<std::size_t>(
+      std::max<std::int64_t>(1, (d.batch_count - 1) * d.stride_c + d.m * d.ldc));
+}
+
+void fill_normal(std::vector<float>& v, flashgen::Rng& rng) {
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+}
+
+class GemmBackendConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    previous_ = gemm_backend_name();
+    set_gemm_backend(GetParam());
+  }
+  void TearDown() override {
+    set_gemm_backend(previous_);
+    common::set_num_threads(0);
+  }
+  std::string previous_;
+};
+
+TEST_P(GemmBackendConformance, ReportsItsOwnName) {
+  EXPECT_EQ(gemm_backend_name(), GetParam());
+}
+
+// Randomized property sweep: every transpose combination x a shape grid that
+// includes 0, 1, odd primes, and beyond-one-tile sizes x padded leading
+// strides x the alpha/beta edge grid, all checked against the double oracle.
+// The padding cells carry sentinels that must come back untouched.
+TEST_P(GemmBackendConformance, MatchesOracleAcrossShapesStridesAndScalars) {
+  flashgen::Rng rng(417);
+  const struct {
+    int m, n, k;
+  } shapes[] = {{1, 1, 1}, {3, 1, 5}, {1, 9, 4},  {5, 7, 3},   {23, 31, 17},
+                {8, 64, 2}, {64, 40, 33}, {16, 129, 65}, {33, 257, 48}, {0, 5, 3},
+                {5, 0, 3},  {5, 7, 0}};
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      for (const auto& sh : shapes) {
+        for (int pad : {0, 5}) {
+          GemmDesc d;
+          d.trans_a = ta;
+          d.trans_b = tb;
+          d.m = sh.m;
+          d.n = sh.n;
+          d.k = sh.k;
+          d.lda = (ta ? std::max(sh.m, 1) : std::max(sh.k, 1)) + pad;
+          d.ldb = (tb ? std::max(sh.k, 1) : std::max(sh.n, 1)) + pad;
+          d.ldc = std::max(sh.n, 1) + pad;
+          std::vector<float> a(a_size(d)), b(b_size(d)), c0(c_size(d));
+          fill_normal(a, rng);
+          fill_normal(b, rng);
+          fill_normal(c0, rng);
+          for (float alpha : {1.0f, 0.5f, 0.0f}) {
+            for (float beta : {0.0f, 1.0f, -2.0f}) {
+              d.alpha = alpha;
+              d.beta = beta;
+              const std::vector<float> expected = oracle(d, a, b, c0);
+              std::vector<float> c = c0;
+              sgemm_strided_batched(d, a.data(), b.data(), c.data());
+              for (std::int64_t i = 0; i < d.m; ++i) {
+                for (std::int64_t j = 0; j < d.ldc; ++j) {
+                  const std::size_t idx = static_cast<std::size_t>(i * d.ldc + j);
+                  if (j < d.n) {
+                    EXPECT_NEAR(c[idx], expected[idx],
+                                1e-3f * (1.0f + std::fabs(expected[idx])))
+                        << "ta=" << ta << " tb=" << tb << " m=" << sh.m << " n=" << sh.n
+                        << " k=" << sh.k << " pad=" << pad << " alpha=" << alpha
+                        << " beta=" << beta << " at (" << i << "," << j << ")";
+                  } else {
+                    EXPECT_EQ(c[idx], c0[idx]) << "padding clobbered at (" << i << "," << j
+                                               << ") pad=" << pad << " n=" << sh.n;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// beta == 0 must overwrite C without reading it: a C poisoned with NaN (and
+// signaling garbage) must come back finite whenever the product is finite.
+TEST_P(GemmBackendConformance, BetaZeroNeverReadsPoisonedC) {
+  flashgen::Rng rng(91);
+  for (const auto& [m, n, k] : {std::tuple<int, int, int>{7, 9, 11},
+                                std::tuple<int, int, int>{31, 64, 33},
+                                std::tuple<int, int, int>{1, 17, 5}}) {
+    GemmDesc d;
+    d.m = m;
+    d.n = n;
+    d.k = k;
+    d.lda = k;
+    d.ldb = n;
+    d.ldc = n;
+    d.beta = 0.0f;
+    std::vector<float> a(a_size(d)), b(b_size(d));
+    std::vector<float> c(c_size(d), std::numeric_limits<float>::quiet_NaN());
+    fill_normal(a, rng);
+    fill_normal(b, rng);
+    sgemm_strided_batched(d, a.data(), b.data(), c.data());
+    for (std::size_t i = 0; i < c.size(); ++i)
+      EXPECT_TRUE(std::isfinite(c[i])) << "NaN leaked from poisoned C at " << i
+                                       << " (m=" << m << " n=" << n << " k=" << k << ")";
+  }
+}
+
+// 0 * NaN in A/B must still propagate (reference semantics): backends may not
+// skip multiplies on exact zeros.
+TEST_P(GemmBackendConformance, ZeroTimesNanInOperandsPropagates) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  // Large enough that the packed backend takes its packed path (not the
+  // small-problem fallback): m*n*k >= 2^14 with n, k over the minimums.
+  const int m = 8, n = 64, k = 64;
+  std::vector<float> a(static_cast<std::size_t>(m) * k, 0.0f);
+  std::vector<float> b(static_cast<std::size_t>(k) * n, 1.0f);
+  b[5] = nan;
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  sgemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c.data(), n);
+  EXPECT_TRUE(std::isnan(c[5])) << "0 * NaN was skipped in column 5";
+  EXPECT_EQ(c[4], 0.0f);
+}
+
+// Thread-count invariance: the exact same bits at every pool size, on shapes
+// straddling the packed backend's fallback threshold.
+TEST_P(GemmBackendConformance, BitIdenticalAcrossThreadCounts) {
+  flashgen::Rng rng(5150);
+  for (const auto& [m, n, k] : {std::tuple<int, int, int>{5, 9, 7},      // tiny: fallback
+                                std::tuple<int, int, int>{48, 96, 80},   // packed path
+                                std::tuple<int, int, int>{130, 70, 19}}) {
+    GemmDesc d;
+    d.m = m;
+    d.n = n;
+    d.k = k;
+    d.alpha = 1.0f;
+    d.beta = 0.5f;
+    d.lda = k;
+    d.ldb = n;
+    d.ldc = n;
+    std::vector<float> a(a_size(d)), b(b_size(d)), c0(c_size(d));
+    fill_normal(a, rng);
+    fill_normal(b, rng);
+    fill_normal(c0, rng);
+    std::vector<float> c1;
+    for (int threads : {1, 4}) {
+      common::set_num_threads(threads);
+      std::vector<float> c = c0;
+      sgemm_strided_batched(d, a.data(), b.data(), c.data());
+      if (threads == 1) {
+        c1 = c;
+      } else {
+        EXPECT_EQ(c, c1) << "threads=" << threads << " changed bits at m=" << m << " n=" << n
+                         << " k=" << k;
+      }
+    }
+    common::set_num_threads(0);
+  }
+}
+
+// Batched-vs-looped bit identity: one strided-batched call (including a
+// shared, stride-0 A and non-tight output strides) must equal running each
+// item alone — the property the serve-path batch coalescing leans on.
+TEST_P(GemmBackendConformance, BatchedCallMatchesLoopedCallsBitwise) {
+  flashgen::Rng rng(77);
+  for (const bool shared_a : {true, false}) {
+    GemmDesc d;
+    d.m = 24;
+    d.n = 56;
+    d.k = 40;
+    d.alpha = 1.0f;
+    d.beta = 0.0f;
+    d.lda = d.k;
+    d.ldb = d.n + 3;
+    d.ldc = d.n + 1;
+    d.batch_count = 4;
+    d.stride_a = shared_a ? 0 : d.m * d.lda;
+    d.stride_b = d.k * d.ldb;
+    d.stride_c = d.m * d.ldc;
+    std::vector<float> a(a_size(d)), b(b_size(d)), c0(c_size(d));
+    fill_normal(a, rng);
+    fill_normal(b, rng);
+    fill_normal(c0, rng);
+
+    std::vector<float> batched = c0;
+    sgemm_strided_batched(d, a.data(), b.data(), batched.data());
+
+    std::vector<float> looped = c0;
+    GemmDesc single = d;
+    single.batch_count = 1;
+    single.stride_a = single.stride_b = single.stride_c = 0;
+    for (std::int64_t s = 0; s < d.batch_count; ++s)
+      sgemm_strided_batched(single, a.data() + s * d.stride_a, b.data() + s * d.stride_b,
+                            looped.data() + s * d.stride_c);
+    EXPECT_EQ(batched, looped) << "shared_a=" << shared_a;
+  }
+}
+
+// Run-to-run determinism: two identical calls, identical bits.
+TEST_P(GemmBackendConformance, RunToRunDeterministic) {
+  flashgen::Rng rng(13);
+  GemmDesc d;
+  d.m = 40;
+  d.n = 72;
+  d.k = 96;
+  d.alpha = 0.75f;
+  d.beta = 1.0f;
+  d.lda = d.k;
+  d.ldb = d.n;
+  d.ldc = d.n;
+  std::vector<float> a(a_size(d)), b(b_size(d)), c0(c_size(d));
+  fill_normal(a, rng);
+  fill_normal(b, rng);
+  fill_normal(c0, rng);
+  std::vector<float> r1 = c0, r2 = c0;
+  sgemm_strided_batched(d, a.data(), b.data(), r1.data());
+  sgemm_strided_batched(d, a.data(), b.data(), r2.data());
+  EXPECT_EQ(r1, r2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegisteredBackends, GemmBackendConformance,
+                         ::testing::ValuesIn(gemm_backend_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(GemmBackendRegistry, ReferenceIsAlwaysRegistered) {
+  const auto names = gemm_backend_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "reference"), names.end());
+}
+
+TEST(GemmBackendRegistry, UnknownNameThrowsAndKeepsSelection) {
+  const std::string before = gemm_backend_name();
+  EXPECT_THROW(set_gemm_backend("no-such-backend"), flashgen::Error);
+  EXPECT_EQ(gemm_backend_name(), before);
+}
+
+// Every kernel in the packed menu must produce the same bits: each C element
+// is one full-k FMA chain regardless of tile shape or vector width, which is
+// the invariant that makes autotuning (and the AVX-512 menu) bit-safe.
+TEST(GemmPackedKernels, AllMenuKernelsBitIdentical) {
+  int count = 0;
+  detail::packed_kernel_menu(&count);
+  if (count == 0) GTEST_SKIP() << "host lacks AVX2+FMA; packed backend not registered";
+
+  const std::string before = gemm_backend_name();
+  set_gemm_backend("avx2");
+  flashgen::Rng rng(2718);
+  GemmDesc d;
+  d.m = 37;
+  d.n = 83;
+  d.k = 51;
+  d.alpha = 1.25f;
+  d.beta = 0.5f;
+  d.lda = d.k;
+  d.ldb = d.n;
+  d.ldc = d.n;
+  ASSERT_FALSE(detail::packed_gemm_uses_fallback(d));
+  std::vector<float> a(a_size(d)), b(b_size(d)), c0(c_size(d));
+  fill_normal(a, rng);
+  fill_normal(b, rng);
+  fill_normal(c0, rng);
+
+  std::vector<float> first;
+  for (int index = 0; index < count; ++index) {
+    detail::set_forced_packed_kernel(index);
+    std::vector<float> c = c0;
+    sgemm_strided_batched(d, a.data(), b.data(), c.data());
+    if (index == 0) {
+      first = c;
+    } else {
+      EXPECT_EQ(c, first) << "kernel " << index << " diverged from kernel 0";
+    }
+  }
+  detail::set_forced_packed_kernel(-1);
+  set_gemm_backend(before);
+}
+
+}  // namespace
+}  // namespace flashgen::tensor
