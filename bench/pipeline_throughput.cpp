@@ -1,0 +1,200 @@
+// Streaming-pipeline throughput sweep: steady-state samples/sec of
+// PrefetchSource consumption at worker counts {0, 1, 2, 4} x queue depths
+// {2, 8}, against the eager baseline (materialize a PairedDataset up front,
+// then iterate it through EagerSource). Every prefetch cell consumes the
+// bit-identical sample sequence — the sweep verifies that as it measures —
+// so the curve isolates pure pipeline overhead/overlap.
+//
+// Per cell the pipeline.* stats deltas are reported: produced/consumed
+// samples, producer busy time, and consumer stall time (the fraction of the
+// measure window the consumer spent waiting on the queue — the overlap
+// headroom still unclaimed).
+//
+// On a single-CPU host the curve is flat (producers and consumer time-share
+// one core, so adding workers cannot add simulation throughput); the
+// interesting numbers there are the stall/busy fractions, which show the
+// pipeline machinery itself costs almost nothing. `host_cpus` in the report
+// says which regime a committed baseline was measured in.
+//
+// Run:  ./pipeline_throughput [--smoke]
+//   FLASHGEN_BENCH_PIPELINE_BATCHES - measured batches per cell (default 64)
+//   --smoke: tiny sweep, used by the ctest registration.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/dataset.h"
+#include "pipeline/prefetch.h"
+#include "pipeline/sample_source.h"
+
+using namespace flashgen;
+
+namespace {
+
+constexpr int kBatch = 16;
+
+pipeline::StreamConfig bench_stream_config(int arrays) {
+  pipeline::StreamConfig stream;
+  stream.dataset.array_size = 16;
+  stream.dataset.num_arrays = arrays;
+  stream.dataset.channel.rows = 16;
+  stream.dataset.channel.cols = 16;
+  stream.seed = 17;
+  return stream;
+}
+
+struct Cell {
+  std::string kind;           // "eager" or "prefetch"
+  int workers = -1;           // -1 for eager
+  int queue_depth = 0;
+  double seconds = 0.0;
+  double samples_per_sec = 0.0;
+  double stall_fraction = 0.0;
+  double producer_busy_fraction = 0.0;
+  std::uint64_t produced = 0;
+  std::uint64_t consumed = 0;
+  float checksum = 0.0f;  // consumed-sequence fingerprint (cheap bit check)
+};
+
+float consume_batches(pipeline::SampleSource& source, std::int64_t batches) {
+  float checksum = 0.0f;
+  for (std::int64_t b = 0; b < batches; ++b) {
+    auto [pl, vl] = source.next_batch();
+    checksum += pl.data()[0] + vl.data()[static_cast<std::size_t>(vl.numel()) - 1];
+  }
+  return checksum;
+}
+
+Cell run_prefetch_cell(int workers, int queue_depth, int warmup, int batches) {
+  stats::reset_for_test();
+  const auto stream = bench_stream_config((warmup + batches) * kBatch);
+  pipeline::PrefetchSource source(
+      stream, kBatch, pipeline::PrefetchConfig{.workers = workers, .queue_depth = queue_depth});
+  flashgen::Rng rng(3);
+  source.begin_epoch(0, rng);
+  (void)consume_batches(source, warmup);
+
+  const std::uint64_t stall0 = stats::counter("pipeline.consumer_stall_micros").value();
+  const std::uint64_t busy0 = stats::counter("pipeline.producer_busy_micros").value();
+  const std::uint64_t produced0 = stats::counter("pipeline.produced_samples").value();
+  const std::uint64_t consumed0 = stats::counter("pipeline.consumed_samples").value();
+  const auto t0 = std::chrono::steady_clock::now();
+  const float checksum = consume_batches(source, batches);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  Cell cell;
+  cell.kind = "prefetch";
+  cell.workers = workers;
+  cell.queue_depth = queue_depth;
+  cell.seconds = seconds;
+  cell.samples_per_sec = batches * kBatch / seconds;
+  cell.stall_fraction =
+      (stats::counter("pipeline.consumer_stall_micros").value() - stall0) / 1e6 / seconds;
+  const double busy_micros =
+      static_cast<double>(stats::counter("pipeline.producer_busy_micros").value() - busy0);
+  cell.producer_busy_fraction =
+      workers > 0 ? busy_micros / 1e6 / seconds / workers : 0.0;
+  cell.produced = stats::counter("pipeline.produced_samples").value() - produced0;
+  cell.consumed = stats::counter("pipeline.consumed_samples").value() - consumed0;
+  cell.checksum = checksum;
+  return cell;
+}
+
+Cell run_eager_cell(int warmup, int batches) {
+  // The eager baseline pays dataset materialization up front (timed: that is
+  // exactly what streaming removes), then iterates the in-memory arrays.
+  const auto stream = bench_stream_config((warmup + batches) * kBatch);
+  const auto t0 = std::chrono::steady_clock::now();
+  flashgen::Rng data_rng(1);
+  const auto dataset = data::PairedDataset::generate(stream.dataset, data_rng);
+  pipeline::EagerSource source(dataset, kBatch);
+  flashgen::Rng rng(3);
+  source.begin_epoch(0, rng);
+  (void)consume_batches(source, warmup);
+  const float checksum = consume_batches(source, batches);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  Cell cell;
+  cell.kind = "eager";
+  cell.seconds = seconds;
+  cell.samples_per_sec = (warmup + batches) * kBatch / seconds;
+  cell.checksum = checksum;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  int batches = smoke ? 8 : 64;
+  if (const char* env = std::getenv("FLASHGEN_BENCH_PIPELINE_BATCHES"))
+    batches = std::atoi(env);
+  const int warmup = smoke ? 2 : 8;
+  const std::vector<int> worker_sweep = smoke ? std::vector<int>{0, 2} : std::vector<int>{0, 1, 2, 4};
+  const std::vector<int> depth_sweep = smoke ? std::vector<int>{2} : std::vector<int>{2, 8};
+
+  std::printf("pipeline_throughput: 16x16 samples, batch %d, %d measured batches\n", kBatch,
+              batches);
+  std::vector<Cell> cells;
+  cells.push_back(run_eager_cell(warmup, batches));
+  std::printf("  eager baseline (incl. dataset generation): %8.1f samples/sec\n",
+              cells.back().samples_per_sec);
+
+  for (int workers : worker_sweep) {
+    for (int depth : depth_sweep) {
+      if (workers == 0 && depth != depth_sweep.front()) continue;  // depth is moot inline
+      cells.push_back(run_prefetch_cell(workers, depth, warmup, batches));
+      const Cell& c = cells.back();
+      std::printf("  workers %d depth %d: %8.1f samples/sec (stall %4.1f%%, producer busy "
+                  "%4.1f%%)\n",
+                  c.workers, c.queue_depth, c.samples_per_sec, 100.0 * c.stall_fraction,
+                  100.0 * c.producer_busy_fraction);
+    }
+  }
+
+  // Every prefetch cell must have consumed the identical sequence.
+  bool identical = true;
+  for (const Cell& c : cells) {
+    if (c.kind == "prefetch") identical = identical && c.checksum == cells.back().checksum;
+  }
+  std::printf("prefetch cells consumed identical sequences: %s\n", identical ? "yes" : "NO");
+
+  bench::JsonFields config;
+  config.add("array_size", 16)
+      .add("batch", kBatch)
+      .add("warmup_batches", warmup)
+      .add("measured_batches", batches)
+      .add("smoke", smoke)
+      .add("host_cpus", static_cast<int>(std::thread::hardware_concurrency()));
+  bench::JsonFields metrics;
+  bench::JsonArray sweep;
+  for (const Cell& c : cells) {
+    bench::JsonFields cell;
+    cell.add("kind", c.kind)
+        .add("workers", c.workers)
+        .add("queue_depth", c.queue_depth)
+        .add("seconds", c.seconds)
+        .add("samples_per_sec", c.samples_per_sec)
+        .add("stall_fraction", c.stall_fraction)
+        .add("producer_busy_fraction", c.producer_busy_fraction)
+        .add("produced_samples", static_cast<std::int64_t>(c.produced))
+        .add("consumed_samples", static_cast<std::int64_t>(c.consumed));
+    sweep.push(cell);
+  }
+  metrics.add_raw("sweep", sweep.render());
+  metrics.add("sequences_identical_across_cells", identical);
+  if (!smoke) bench::write_bench_report("pipeline_throughput", config, metrics);
+  return identical ? 0 : 1;
+}

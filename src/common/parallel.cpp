@@ -182,6 +182,10 @@ void set_num_threads(int n) { Pool::instance().set_threads(n); }
 
 bool in_parallel_region() { return tls_in_parallel; }
 
+SerialRegionGuard::SerialRegionGuard() : saved_(tls_in_parallel) { tls_in_parallel = true; }
+
+SerialRegionGuard::~SerialRegionGuard() { tls_in_parallel = saved_; }
+
 std::int64_t partition_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain) {
   FG_CHECK(grain > 0, "parallel: grain must be positive, got " << grain);
   if (end <= begin) return 0;

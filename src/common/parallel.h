@@ -35,6 +35,23 @@ void set_num_threads(int n);
 /// parallel regions degrade to serial execution instead of deadlocking.
 bool in_parallel_region();
 
+/// RAII guard that makes parallel regions entered by the *calling thread*
+/// degrade to serial execution, exactly as if the caller were already inside
+/// a parallel_for body. Long-lived background threads (pipeline producers)
+/// hold one so their work never contends with the main thread's compute
+/// regions for the shared pool's single job slot. Results are unaffected:
+/// the partitioning contract makes serial and pooled execution bit-identical.
+class SerialRegionGuard {
+ public:
+  SerialRegionGuard();
+  ~SerialRegionGuard();
+  SerialRegionGuard(const SerialRegionGuard&) = delete;
+  SerialRegionGuard& operator=(const SerialRegionGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
 /// Number of chunks `[begin, end)` is split into at the given grain. This is
 /// the thread-count-independent partition used by parallel_for and
 /// parallel_reduce: chunk i covers [begin + i*grain, min(end, begin+(i+1)*grain)).

@@ -10,6 +10,7 @@
 #include "models/cvae.h"
 #include "models/cvae_gan.h"
 #include "models/gaussian_model.h"
+#include "pipeline/prefetch.h"
 
 namespace flashgen::core {
 
@@ -95,6 +96,11 @@ std::string config_fingerprint(const ExperimentConfig& config, ModelKind kind,
      << n.base_channels << ',' << n.z_dim << ',' << n.dropout << '|' << train.epochs << ','
      << train.batch_size << ',' << train.lr << ',' << train.alpha << ',' << train.beta << ','
      << train.latent_weight << ',' << train.lsgan << '|' << config.seed;
+  // Streamed training draws a different (counter-derived) sample sequence
+  // than the materialized train split, so it caches under a distinct key.
+  // Worker count and queue depth are deliberately absent: they never change
+  // the trained bits.
+  if (config.prefetch_workers >= 0) os << "|stream";
   return os.str();
 }
 
@@ -177,7 +183,22 @@ std::unique_ptr<models::GenerativeModel> Experiment::train_or_load(ModelKind kin
   }
   FG_LOG(Info) << to_string(kind) << ": training (" << config_.epochs << " epochs, batch "
                << train.batch_size << ")";
-  model->fit(*train_, train, rng);
+  if (config_.prefetch_workers >= 0) {
+    pipeline::StreamConfig stream;
+    stream.dataset = config_.dataset;
+    // One streamed sample is one simulated block: shrink the block to the
+    // crop so producers don't simulate cells the sample never sees.
+    stream.dataset.channel.rows = config_.dataset.array_size;
+    stream.dataset.channel.cols = config_.dataset.array_size;
+    stream.seed = config_.seed;
+    pipeline::PrefetchConfig prefetch;
+    prefetch.workers = config_.prefetch_workers;
+    prefetch.queue_depth = config_.prefetch_queue_depth;
+    pipeline::PrefetchSource source(stream, train.batch_size, prefetch);
+    model->fit_stream(source, train, rng);
+  } else {
+    model->fit(*train_, train, rng);
+  }
   if (!path.empty()) {
     std::filesystem::create_directories(std::filesystem::path(path).parent_path());
     model->save(path);

@@ -64,6 +64,15 @@ struct ExperimentConfig {
   bool resume_training = false;
   /// Divergence sentinel applied to every network trainer.
   models::SentinelConfig sentinel;
+  /// Streamed training: when >= 0, network models train from a
+  /// pipeline::PrefetchSource that simulates sample blocks on demand
+  /// (0 = inline on the consumer thread) instead of the materialized train
+  /// split. The streamed sequence is a pure function of `seed`; worker count
+  /// and queue depth never change the trained bits, so they are excluded
+  /// from the checkpoint fingerprint.
+  int prefetch_workers = -1;
+  /// Bounded-queue capacity (in sample blocks) for streamed training.
+  int prefetch_queue_depth = 4;
 };
 
 /// Returns a small configuration (16x16 arrays, reduced channel/dataset

@@ -6,6 +6,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <sstream>
@@ -335,16 +337,49 @@ Comm connect_tcp(int rank, int world, std::uint16_t base_port, const CommConfig&
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(config.timeout_ms > 0 ? config.timeout_ms
                                                                         : 30000);
+  // Transient connect failures happen whenever workers start out of order:
+  // the listener's bind/listen simply has not run yet. Those are retried
+  // with bounded exponential backoff (1ms doubling to a 250ms cap) until
+  // the rendezvous deadline. Anything else — EADDRNOTAVAIL, EACCES, bad
+  // address family, fd exhaustion surfacing as ECONNREFUSED never does —
+  // is a configuration error that retrying cannot fix, so it fails fast.
+  const auto transient_connect_errno = [](int err) {
+    switch (err) {
+      case ECONNREFUSED:
+      case ECONNRESET:
+      case ECONNABORTED:
+      case ETIMEDOUT:
+      case EINTR:
+      case EAGAIN:
+      case ENETUNREACH:
+      case EHOSTUNREACH:
+        return true;
+      default:
+        return false;
+    }
+  };
   // Dial every lower rank, retrying until its listener is up.
   for (int p = rank - 1; p >= 0; --p) {
     int fd = -1;
+    std::chrono::milliseconds backoff(1);
     for (;;) {
       fd = ::socket(AF_INET, SOCK_STREAM, 0);
       FG_CHECK(fd >= 0, "dist: socket failed: " << std::strerror(errno));
       sockaddr_in addr = make_addr(p);
       if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) break;
+      const int err = errno;
       ::close(fd);
       fd = -1;
+      if (!transient_connect_errno(err)) {
+        if (listen_fd >= 0) ::close(listen_fd);
+        for (int f : fds) {
+          if (f >= 0) ::close(f);
+        }
+        std::ostringstream os;
+        os << "dist: rendezvous connect to rank " << p << " (port " << base_port + p
+           << ") failed: " << std::strerror(err);
+        throw CommError(os.str());
+      }
       if (std::chrono::steady_clock::now() >= deadline) {
         if (listen_fd >= 0) ::close(listen_fd);
         for (int f : fds) {
@@ -352,10 +387,11 @@ Comm connect_tcp(int rank, int world, std::uint16_t base_port, const CommConfig&
         }
         std::ostringstream os;
         os << "dist: rendezvous with rank " << p << " timed out (port " << base_port + p
-           << ")";
+           << ", last error: " << std::strerror(err) << ")";
         throw CommTimeout(os.str());
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, std::chrono::milliseconds(250));
     }
     // Identify ourselves so the listener can slot this connection by rank.
     framing::write_frame(fd, {static_cast<std::uint8_t>(rank)});

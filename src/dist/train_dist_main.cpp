@@ -35,6 +35,7 @@
 #include "dist/comm.h"
 #include "dist/trainer.h"
 #include "models/generative_model.h"
+#include "pipeline/prefetch.h"
 
 namespace {
 
@@ -61,6 +62,8 @@ struct Options {
   int timeout_ms = 30000;
   std::string faults;
   int faults_rank = -1;        // < 0: apply --faults on every rank
+  int prefetch_workers = -1;   // < 0: materialized dataset; >= 0: streamed source
+  int queue_depth = 4;
 };
 
 void usage(std::ostream& os) {
@@ -84,7 +87,12 @@ void usage(std::ostream& os) {
         "  --resume            resume from --snapshot when it exists\n"
         "  --timeout-ms T      collective timeout (default 30000)\n"
         "  --faults SPEC       FLASHGEN_FAULTS-style fault spec\n"
-        "  --faults-rank R     apply --faults only on rank R (default: all)\n";
+        "  --faults-rank R     apply --faults only on rank R (default: all)\n"
+        "  --prefetch-workers N  stream samples from the simulator instead of\n"
+        "                      materializing the dataset: N background producer\n"
+        "                      threads per rank (0 generates inline; default\n"
+        "                      off — the eager dataset path)\n"
+        "  --queue-depth D     bounded prefetch queue depth (default 4)\n";
 }
 
 Options parse_args(int argc, char** argv) {
@@ -138,6 +146,10 @@ Options parse_args(int argc, char** argv) {
       opt.faults = need_value(i++);
     } else if (arg == "--faults-rank") {
       opt.faults_rank = std::stoi(need_value(i++));
+    } else if (arg == "--prefetch-workers") {
+      opt.prefetch_workers = std::stoi(need_value(i++));
+    } else if (arg == "--queue-depth") {
+      opt.queue_depth = std::stoi(need_value(i++));
     } else {
       usage(std::cerr);
       FG_CHECK(false, "unknown flag: " << arg);
@@ -164,13 +176,18 @@ int run_rank(dist::Comm comm, const Options& opt) {
     faultinject::configure(opt.faults, opt.seed);
   }
 
+  const bool streamed = opt.prefetch_workers >= 0;
   data::DatasetConfig dataset_config;
   dataset_config.array_size = opt.array_size;
   dataset_config.num_arrays = opt.arrays;
-  dataset_config.channel.rows = 4 * opt.array_size;
-  dataset_config.channel.cols = 4 * opt.array_size;
-  flashgen::Rng data_rng(opt.seed);
-  auto dataset = data::PairedDataset::generate(dataset_config, data_rng);
+  if (streamed) {
+    // One experiment per sample: size the simulated block to the crop.
+    dataset_config.channel.rows = opt.array_size;
+    dataset_config.channel.cols = opt.array_size;
+  } else {
+    dataset_config.channel.rows = 4 * opt.array_size;
+    dataset_config.channel.cols = 4 * opt.array_size;
+  }
 
   models::NetworkConfig network;
   network.array_size = opt.array_size;
@@ -195,7 +212,25 @@ int run_rank(dist::Comm comm, const Options& opt) {
   flashgen::Rng loop_rng(opt.seed + 2);
   dist::DistTrainer trainer(comm, dist_config);
   const auto start = std::chrono::steady_clock::now();
-  auto stats = trainer.fit(*model, dataset, train, loop_rng);
+  models::TrainStats stats;
+  if (streamed) {
+    FG_CHECK(opt.global_batch % world == 0,
+             "--global-batch must be divisible by --world for streaming");
+    pipeline::StreamConfig stream;
+    stream.dataset = dataset_config;
+    stream.seed = opt.seed;  // same slot the eager dataset generation uses
+    pipeline::PrefetchConfig prefetch;
+    prefetch.workers = opt.prefetch_workers;
+    prefetch.queue_depth = opt.queue_depth;
+    const tensor::Index local_rows = opt.global_batch / world;
+    pipeline::PrefetchSource source(stream, opt.global_batch, prefetch,
+                                    rank * local_rows, local_rows);
+    stats = trainer.fit(*model, source, train, loop_rng);
+  } else {
+    flashgen::Rng data_rng(opt.seed);
+    auto dataset = data::PairedDataset::generate(dataset_config, data_rng);
+    stats = trainer.fit(*model, dataset, train, loop_rng);
+  }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 

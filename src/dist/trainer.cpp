@@ -128,6 +128,18 @@ void write_file_bytes(const std::string& path, const std::vector<std::uint8_t>& 
 models::TrainStats DistTrainer::fit(models::GenerativeModel& model,
                                     const data::PairedDataset& dataset,
                                     const models::TrainConfig& train, flashgen::Rng& rng) {
+  const int world = comm_.world();
+  FG_CHECK(world >= 1 && train.batch_size % world == 0,
+           "dist: global batch " << train.batch_size << " not divisible by world " << world);
+  const Index local_rows = train.batch_size / world;
+  pipeline::EagerSource source(dataset, train.batch_size, comm_.rank() * local_rows,
+                               local_rows);
+  return fit(model, source, train, rng);
+}
+
+models::TrainStats DistTrainer::fit(models::GenerativeModel& model,
+                                    pipeline::SampleSource& source,
+                                    const models::TrainConfig& train, flashgen::Rng& rng) {
   namespace detail = models::detail;
   const int world = comm_.world();
   const int rank = comm_.rank();
@@ -141,6 +153,14 @@ models::TrainStats DistTrainer::fit(models::GenerativeModel& model,
   FG_CHECK(train.batch_size % shards == 0,
            "dist: global batch " << train.batch_size << " not divisible by " << shards
                                  << " shards");
+  FG_CHECK(source.global_batch() == train.batch_size,
+           "dist: source serves global batches of " << source.global_batch()
+                                                    << " but the global batch is "
+                                                    << train.batch_size);
+  FG_CHECK(source.batch_rows() == train.batch_size / world,
+           "dist: source serves " << source.batch_rows() << " rows per batch, expected "
+                                  << train.batch_size / world << " (batch "
+                                  << train.batch_size << " over world " << world << ")");
   FG_CHECK(world == 1 || train.sentinel.policy != models::SentinelPolicy::kRollback,
            "dist: the kRollback sentinel policy is unsupported for world > 1 "
            "(a rollback on one rank would desynchronize the others); use kHalt");
@@ -187,7 +207,7 @@ models::TrainStats DistTrainer::fit(models::GenerativeModel& model,
 
   const int local_shards = shards / world;
   const Index shard_batch = train.batch_size / shards;
-  const int total_steps_planned = detail::total_steps(dataset, train);
+  const int total_steps_planned = detail::total_steps(source, train);
   static stats::Counter& dist_steps = stats::counter("dist.steps");
 
   models::TrainStats stats;
@@ -206,11 +226,13 @@ models::TrainStats DistTrainer::fit(models::GenerativeModel& model,
     std::vector<Tensor> shard_pl, shard_vl;
     shard_rngs.reserve(static_cast<std::size_t>(local_shards));
     for (int s = 0; s < local_shards; ++s) {
+      // Shard RNG streams are indexed by the *global* shard id q, while the
+      // batch tensors are this rank's slice and are indexed locally.
       const auto q = static_cast<std::uint64_t>(shard0 + s);
       shard_rngs.push_back(flashgen::Rng::from_stream(
           config_.seed, static_cast<std::uint64_t>(step) * static_cast<std::uint64_t>(shards) + q));
-      shard_pl.push_back(slice_rows(pl, (shard0 + s) * shard_batch, shard_batch));
-      shard_vl.push_back(slice_rows(vl, (shard0 + s) * shard_batch, shard_batch));
+      shard_pl.push_back(slice_rows(pl, s * shard_batch, shard_batch));
+      shard_vl.push_back(slice_rows(vl, s * shard_batch, shard_batch));
     }
 
     double phase_loss[2] = {0.0, 0.0};
@@ -333,7 +355,7 @@ models::TrainStats DistTrainer::fit(models::GenerativeModel& model,
     }
   };
 
-  stats.steps = detail::run_training_loop(dataset, local, rng, step_fn, &ctx);
+  stats.steps = detail::run_training_loop(source, local, rng, step_fn, &ctx);
   if (acc_n > 0) {
     stats.g_loss_history.push_back(static_cast<float>(g_acc / acc_n));
     if (phases > 1) stats.d_loss_history.push_back(static_cast<float>(d_acc / acc_n));

@@ -31,6 +31,7 @@
 #include "data/dataset.h"
 #include "dist/comm.h"
 #include "models/generative_model.h"
+#include "pipeline/sample_source.h"
 
 namespace flashgen::dist {
 
@@ -50,8 +51,19 @@ class DistTrainer {
   /// Trains `model` in place via its ShardedStepper. `rng` drives the epoch
   /// shuffle and must be identically seeded on every rank. Throws
   /// flashgen::Error on configuration errors and CommError/CommTimeout on
-  /// collective failures.
+  /// collective failures. Wraps `dataset` in a per-rank slice of a
+  /// pipeline::EagerSource — each rank materializes only its own rows of
+  /// every global batch — and delegates to the source overload below.
   models::TrainStats fit(models::GenerativeModel& model, const data::PairedDataset& dataset,
+                         const models::TrainConfig& train, flashgen::Rng& rng);
+
+  /// Source-based training. `source` must be this rank's slice of the global
+  /// batch stream: global_batch() == train.batch_size, batch_rows() ==
+  /// train.batch_size / world, covering rows [rank * batch_rows,
+  /// (rank+1) * batch_rows) of every batch (pipeline sources take the slice
+  /// as (row_offset, rows) constructor arguments). Any rng the source
+  /// consumes in begin_epoch must be consumed identically on every rank.
+  models::TrainStats fit(models::GenerativeModel& model, pipeline::SampleSource& source,
                          const models::TrainConfig& train, flashgen::Rng& rng);
 
  private:

@@ -11,6 +11,12 @@ BicycleGanModel::BicycleGanModel(const NetworkConfig& config, std::uint64_t seed
 
 TrainStats BicycleGanModel::fit(const data::PairedDataset& dataset,
                                 const TrainConfig& config, flashgen::Rng& rng) {
+  pipeline::EagerSource source(dataset, config.batch_size);
+  return fit_stream(source, config, rng);
+}
+
+TrainStats BicycleGanModel::fit_stream(pipeline::SampleSource& source,
+                                       const TrainConfig& config, flashgen::Rng& rng) {
   root_.set_training(true);
   std::vector<Tensor> ge_params = root_.generator.parameters();
   for (const Tensor& p : root_.encoder.parameters()) ge_params.push_back(p);
@@ -24,9 +30,9 @@ TrainStats BicycleGanModel::fit(const data::PairedDataset& dataset,
   TrainStats stats;
   double g_acc = 0.0, d_acc = 0.0;
   int acc_n = 0;
-  const int total_steps_planned = detail::total_steps(dataset, config);
+  const int total_steps_planned = detail::total_steps(source, config);
   stats.steps = detail::run_training_loop(
-      dataset, config, rng,
+      source, config, rng,
       [&](const Tensor& pl, const Tensor& vl, int step) {
         const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned) *
                          static_cast<float>(ctx.lr_scale);

@@ -11,6 +11,12 @@ CganModel::CganModel(const NetworkConfig& config, std::uint64_t seed)
 
 TrainStats CganModel::fit(const data::PairedDataset& dataset, const TrainConfig& config,
                           flashgen::Rng& rng) {
+  pipeline::EagerSource source(dataset, config.batch_size);
+  return fit_stream(source, config, rng);
+}
+
+TrainStats CganModel::fit_stream(pipeline::SampleSource& source, const TrainConfig& config,
+                                 flashgen::Rng& rng) {
   root_.set_training(true);
   const std::vector<Tensor> g_params = root_.generator.parameters();
   const std::vector<Tensor> d_params = root_.discriminator.parameters();
@@ -23,9 +29,9 @@ TrainStats CganModel::fit(const data::PairedDataset& dataset, const TrainConfig&
   TrainStats stats;
   double g_acc = 0.0, d_acc = 0.0;
   int acc_n = 0;
-  const int total_steps_planned = detail::total_steps(dataset, config);
+  const int total_steps_planned = detail::total_steps(source, config);
   stats.steps = detail::run_training_loop(
-      dataset, config, rng,
+      source, config, rng,
       [&](const Tensor& pl, const Tensor& vl, int step) {
         const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned) *
                          static_cast<float>(ctx.lr_scale);

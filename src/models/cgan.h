@@ -13,6 +13,8 @@ class CganModel : public GenerativeModel {
   CganModel(const NetworkConfig& config, std::uint64_t seed);
 
   std::string name() const override { return "cGAN"; }
+  TrainStats fit_stream(pipeline::SampleSource& source, const TrainConfig& config,
+                        flashgen::Rng& rng) override;
   TrainStats fit(const data::PairedDataset& dataset, const TrainConfig& config,
                  flashgen::Rng& rng) override;
   void prepare_generation() override;

@@ -11,6 +11,12 @@ CvaeModel::CvaeModel(const NetworkConfig& config, std::uint64_t seed)
 
 TrainStats CvaeModel::fit(const data::PairedDataset& dataset, const TrainConfig& config,
                           flashgen::Rng& rng) {
+  pipeline::EagerSource source(dataset, config.batch_size);
+  return fit_stream(source, config, rng);
+}
+
+TrainStats CvaeModel::fit_stream(pipeline::SampleSource& source, const TrainConfig& config,
+                                 flashgen::Rng& rng) {
   root_.set_training(true);
   std::vector<Tensor> params = root_.generator.parameters();
   for (const Tensor& p : root_.encoder.parameters()) params.push_back(p);
@@ -22,9 +28,9 @@ TrainStats CvaeModel::fit(const data::PairedDataset& dataset, const TrainConfig&
   TrainStats stats;
   double acc = 0.0;
   int acc_n = 0;
-  const int total_steps_planned = detail::total_steps(dataset, config);
+  const int total_steps_planned = detail::total_steps(source, config);
   stats.steps = detail::run_training_loop(
-      dataset, config, rng,
+      source, config, rng,
       [&](const Tensor& pl, const Tensor& vl, int step) {
         const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned) *
                          static_cast<float>(ctx.lr_scale);

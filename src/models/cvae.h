@@ -12,6 +12,8 @@ class CvaeModel : public GenerativeModel {
   CvaeModel(const NetworkConfig& config, std::uint64_t seed);
 
   std::string name() const override { return "cVAE"; }
+  TrainStats fit_stream(pipeline::SampleSource& source, const TrainConfig& config,
+                        flashgen::Rng& rng) override;
   TrainStats fit(const data::PairedDataset& dataset, const TrainConfig& config,
                  flashgen::Rng& rng) override;
   void prepare_generation() override;

@@ -21,6 +21,8 @@ class CvaeGanModel : public GenerativeModel {
   std::string name() const override { return "cVAE-GAN"; }
   TrainStats fit(const data::PairedDataset& dataset, const TrainConfig& config,
                  flashgen::Rng& rng) override;
+  TrainStats fit_stream(pipeline::SampleSource& source, const TrainConfig& config,
+                        flashgen::Rng& rng) override;
   void prepare_generation() override;
   Tensor sample(const Tensor& pl, flashgen::Rng& rng) override;
   Tensor sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) override;

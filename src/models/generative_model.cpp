@@ -117,11 +117,22 @@ int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& con
                       flashgen::Rng& rng,
                       const std::function<void(const Tensor&, const Tensor&, int)>& step,
                       LoopContext* ctx) {
+  pipeline::EagerSource source(dataset, config.batch_size);
+  return run_training_loop(source, config, rng, step, ctx);
+}
+
+int run_training_loop(pipeline::SampleSource& source, const TrainConfig& config,
+                      flashgen::Rng& rng,
+                      const std::function<void(const Tensor&, const Tensor&, int)>& step,
+                      LoopContext* ctx) {
   FG_CHECK(config.epochs > 0, "epochs must be positive");
   FG_CHECK(config.batch_size > 0, "batch size must be positive");
-  FG_CHECK(dataset.size() >= static_cast<std::size_t>(config.batch_size),
-           "dataset smaller than one batch");
-  data::BatchSampler sampler(dataset.size(), static_cast<std::size_t>(config.batch_size), rng);
+  FG_CHECK(source.global_batch() == config.batch_size,
+           "source serves global batches of " << source.global_batch()
+                                              << " but config.batch_size is "
+                                              << config.batch_size);
+  const std::int64_t batches_per_epoch = source.batches_per_epoch();
+  FG_CHECK(batches_per_epoch > 0, "source yields no full batches per epoch");
   static stats::Counter& steps_total = stats::counter("train.steps");
   static stats::Counter& snapshots_total = stats::counter("train.snapshots");
   static stats::Counter& snapshot_failures = stats::counter("train.snapshot_failures");
@@ -151,6 +162,8 @@ int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& con
     st.step_in_epoch = step_in_epoch;
     st.global_step = global_step;
     st.lr_scale = ctx->lr_scale;
+    st.sample_cursor = source.cursor();
+    st.has_sample_cursor = true;
     st.rng_epoch_start = epoch_start_state;
     st.rng_current = rng.state();
     st.optimizers.reserve(ctx->optimizers.size());
@@ -184,13 +197,20 @@ int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& con
     FG_TRACE_SPAN("train.epoch", "model");
     if (pending) rng.set_state(pending->rng_epoch_start);
     epoch_start_state = rng.state();
-    const auto batches = sampler.epoch();
-    std::size_t b = 0;
+    source.begin_epoch(epoch, rng);
+    std::int64_t b = 0;
     if (pending) {
-      FG_CHECK(static_cast<std::size_t>(step_in_epoch) <= batches.size(),
+      FG_CHECK(step_in_epoch <= batches_per_epoch,
                "snapshot claims " << step_in_epoch << " completed steps in an epoch of "
-                                  << batches.size() << " batches");
-      b = static_cast<std::size_t>(step_in_epoch);
+                                  << batches_per_epoch << " batches");
+      b = step_in_epoch;
+      source.skip_batches(b);
+      if (pending->has_sample_cursor) {
+        FG_CHECK(pending->sample_cursor == source.cursor(),
+                 "snapshot was taken at sample cursor " << pending->sample_cursor
+                                                        << " but the source rewound to "
+                                                        << source.cursor());
+      }
       rng.set_state(pending->rng_current);
       pending.reset();
     } else {
@@ -198,11 +218,11 @@ int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& con
     }
 
     bool rolled_back = false;
-    for (; b < batches.size(); ++b) {
+    for (; b < batches_per_epoch; ++b) {
       if (FG_FAULT("train_kill")) {
         FG_CHECK(false, "fault injected: train_kill at step " << global_step);
       }
-      auto [pl, vl] = dataset.batch(batches[b]);
+      auto [pl, vl] = source.next_batch();
       FG_TRACE_SPAN("train.step", "model");
       try {
         step(pl, vl, static_cast<int>(global_step));
@@ -258,6 +278,11 @@ int total_steps(const data::PairedDataset& dataset, const TrainConfig& config) {
   FG_CHECK(config.batch_size > 0 && config.epochs > 0, "bad train config");
   return config.epochs *
          static_cast<int>(dataset.size() / static_cast<std::size_t>(config.batch_size));
+}
+
+int total_steps(const pipeline::SampleSource& source, const TrainConfig& config) {
+  FG_CHECK(config.epochs > 0, "bad train config");
+  return config.epochs * static_cast<int>(source.batches_per_epoch());
 }
 
 double grad_norm(const std::vector<Tensor>& params) {

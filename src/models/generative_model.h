@@ -17,6 +17,7 @@
 #include "data/dataset.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
+#include "pipeline/sample_source.h"
 
 namespace flashgen::models {
 
@@ -119,6 +120,21 @@ class GenerativeModel {
   virtual TrainStats fit(const data::PairedDataset& dataset, const TrainConfig& config,
                          flashgen::Rng& rng) = 0;
 
+  /// Trains from a SampleSource instead of an in-memory dataset. The network
+  /// trainers implement fit() as an EagerSource wrapper around this, so
+  /// fit_stream(EagerSource(dataset, batch)) is bit-identical to
+  /// fit(dataset). Models without a streaming path (the Gaussian baseline,
+  /// the spatio-temporal trainer, which conditions on per-array PE cycles)
+  /// reject the call.
+  virtual TrainStats fit_stream(pipeline::SampleSource& source, const TrainConfig& config,
+                                flashgen::Rng& rng) {
+    (void)source;
+    (void)config;
+    (void)rng;
+    FG_CHECK(false, name() << " does not support streamed training");
+    return {};
+  }
+
   /// Generates voltages for a batch of program-level arrays (N, 1, S, S).
   /// Stochastic: repeated calls with fresh rng states sample the channel.
   /// Non-virtual: runs prepare_generation() then sample() under NoGradGuard.
@@ -210,25 +226,34 @@ void guard_grad_norm(const char* what, double norm, const SentinelConfig& sentin
 bool want_grad_norm(const SentinelConfig& sentinel);
 
 /// Shared epoch/batch loop: calls `step(pl, vl, step_index)` for every
-/// shuffled mini-batch over `config.epochs` epochs.
+/// mini-batch the source serves over `config.epochs` epochs.
 ///
 /// With a LoopContext, additionally implements the fault-tolerance contract:
 ///  - config.snapshot: periodic nn::TrainState snapshots (atomic writes; a
 ///    failed write logs + counts but does not stop training) and, when
 ///    `resume` is set and the file exists, bit-identical continuation from
 ///    the snapshot — the epoch's shuffle is replayed from the recorded
-///    rng_epoch_start state, completed steps are skipped, and the RNG resumes
-///    from rng_current.
+///    rng_epoch_start state, the source rewinds to the recorded sample
+///    cursor (completed steps are skipped without regenerating them), and
+///    the RNG resumes from rng_current.
 ///  - config.sentinel: DivergenceError from `step` halts with a diagnostic
 ///    (kHalt, or no usable snapshot) or rolls back to the last good snapshot
 ///    with lr_scale *= lr_backoff (kRollback), up to max_rollbacks times.
 /// Fault points: "train_kill" (simulated crash between steps).
+int run_training_loop(pipeline::SampleSource& source, const TrainConfig& config,
+                      flashgen::Rng& rng,
+                      const std::function<void(const Tensor&, const Tensor&, int)>& step,
+                      LoopContext* ctx = nullptr);
+
+/// Dataset convenience overload: wraps `dataset` in a pipeline::EagerSource
+/// (bit-identical to the historic BatchSampler loop) and runs the loop above.
 int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& config,
                       flashgen::Rng& rng,
                       const std::function<void(const Tensor&, const Tensor&, int)>& step,
                       LoopContext* ctx = nullptr);
 
 /// Number of optimizer steps run_training_loop will execute.
+int total_steps(const pipeline::SampleSource& source, const TrainConfig& config);
 int total_steps(const data::PairedDataset& dataset, const TrainConfig& config);
 
 /// pix2pix-style schedule: constant for the first half of training, then

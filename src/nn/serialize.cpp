@@ -258,6 +258,7 @@ void save_train_state(const Module& module, const TrainState& state, const std::
     write_pod<std::int64_t>(out, state.step_in_epoch);
     write_pod<std::int64_t>(out, state.global_step);
     write_pod<double>(out, state.lr_scale);
+    write_pod<std::uint64_t>(out, state.sample_cursor);
     write_rng_state(out, state.rng_epoch_start);
     write_rng_state(out, state.rng_current);
     write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(state.optimizers.size()));
@@ -281,7 +282,7 @@ TrainState load_train_state(Module& module, const std::string& path) {
   FileReader reader(bytes, path);
   reader.expect_magic(kTrainStateMagic, "flashgen training snapshot");
   const auto version = reader.get_pod<std::uint32_t>("version");
-  FG_CHECK(version == kTrainStateVersion,
+  FG_CHECK(version == 1 || version == kTrainStateVersion,
            "unsupported training snapshot version " << version << " (" << path << ")");
 
   TrainState state;
@@ -293,6 +294,10 @@ TrainState load_train_state(Module& module, const std::string& path) {
   state.lr_scale = reader.get_pod<double>("lr_scale");
   FG_CHECK(state.lr_scale > 0.0 && state.lr_scale <= 1.0,
            "training snapshot lr_scale " << state.lr_scale << " out of (0, 1] (" << path << ")");
+  if (version >= 2) {
+    state.sample_cursor = reader.get_pod<std::uint64_t>("sample_cursor");
+    state.has_sample_cursor = true;
+  }
   state.rng_epoch_start = reader.get_rng_state();
   state.rng_current = reader.get_rng_state();
 

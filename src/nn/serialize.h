@@ -11,6 +11,7 @@
 // TrainState format (little-endian):
 //   magic "FGTSNAP1" | u32 version |
 //   i64 epoch | i64 step_in_epoch | i64 global_step | f64 lr_scale |
+//   u64 sample_cursor (version >= 2) |
 //   RngState rng_epoch_start | RngState rng_current |
 //   u32 optimizer_count |
 //   per optimizer: i64 t | u64 param_count |
@@ -54,13 +55,20 @@ struct TrainState {
   std::int64_t step_in_epoch = 0;  // optimizer steps completed in `epoch`
   std::int64_t global_step = 0;
   double lr_scale = 1.0;  // sentinel-rollback backoff multiplier
+  /// Global samples consumed from the SampleSource at the snapshot instant
+  /// (pipeline::SampleSource::cursor()). A resumed run validates that its
+  /// rewound source agrees. `has_sample_cursor` is false for version-1
+  /// snapshots, which predate the pipeline; it is not serialized itself.
+  std::uint64_t sample_cursor = 0;
+  bool has_sample_cursor = false;
   flashgen::Rng::State rng_epoch_start;  // stream position before the shuffle
   flashgen::Rng::State rng_current;      // stream position at the snapshot
   std::vector<AdamState> optimizers;
 };
 
-/// Snapshot file version written by save_train_state.
-inline constexpr std::uint32_t kTrainStateVersion = 1;
+/// Snapshot file version written by save_train_state. Version 2 added the
+/// sample cursor; version-1 snapshots still load (without one).
+inline constexpr std::uint32_t kTrainStateVersion = 2;
 
 /// Atomically writes `state` plus the module's full named state to `path`.
 void save_train_state(const Module& module, const TrainState& state, const std::string& path);

@@ -1,0 +1,82 @@
+// Bounded multi-producer multi-consumer queue: the backpressure channel
+// between pipeline producer threads and the training consumer.
+//
+// Semantics:
+//  - push() blocks while the queue is full (backpressure caps how far
+//    producers can run ahead) and returns false — dropping the item — once
+//    the queue has been closed.
+//  - pop() blocks while the queue is empty and keeps delivering items that
+//    were pushed before close(); it returns nullopt only when the queue is
+//    closed *and* drained, so no accepted item is ever lost.
+//  - close() is idempotent and wakes every blocked producer and consumer.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/error.h"
+
+namespace flashgen::pipeline {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    FG_CHECK(capacity_ > 0, "queue capacity must be positive");
+  }
+
+  /// Blocks until there is room or the queue is closed. Returns whether the
+  /// item was accepted.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Instantaneous occupancy (for the queue-depth gauge; racy by nature).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace flashgen::pipeline

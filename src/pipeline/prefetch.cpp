@@ -1,0 +1,231 @@
+#include "pipeline/prefetch.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.h"
+#include "common/faultinject.h"
+#include "common/parallel.h"
+#include "common/stats.h"
+#include "common/trace.h"
+
+namespace flashgen::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t micros_since(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start).count());
+}
+
+stats::Counter& produced_samples() {
+  static stats::Counter& c = stats::counter("pipeline.produced_samples");
+  return c;
+}
+stats::Counter& consumed_samples() {
+  static stats::Counter& c = stats::counter("pipeline.consumed_samples");
+  return c;
+}
+stats::Counter& producer_busy_micros() {
+  static stats::Counter& c = stats::counter("pipeline.producer_busy_micros");
+  return c;
+}
+stats::Counter& consumer_stall_micros() {
+  static stats::Counter& c = stats::counter("pipeline.consumer_stall_micros");
+  return c;
+}
+stats::Gauge& queue_depth_gauge() {
+  static stats::Gauge& g = stats::gauge("pipeline.queue_depth");
+  return g;
+}
+
+}  // namespace
+
+PrefetchSource::PrefetchSource(const StreamConfig& stream, Index global_batch,
+                               const PrefetchConfig& prefetch)
+    : PrefetchSource(stream, global_batch, prefetch, 0, global_batch) {}
+
+PrefetchSource::PrefetchSource(const StreamConfig& stream, Index global_batch,
+                               const PrefetchConfig& prefetch, Index row_offset, Index rows)
+    : stream_(stream),
+      prefetch_(prefetch),
+      batch_(global_batch),
+      row_offset_(row_offset),
+      rows_(rows),
+      normalizer_(stream.dataset.norm),
+      channel_(stream.dataset.channel) {
+  const data::DatasetConfig& d = stream_.dataset;
+  FG_CHECK(batch_ > 0, "batch size must be positive");
+  FG_CHECK(d.array_size > 0, "array_size must be positive");
+  FG_CHECK(d.num_arrays >= batch_,
+           "stream epoch of " << d.num_arrays << " samples smaller than one batch");
+  FG_CHECK(d.channel.rows >= d.array_size && d.channel.cols >= d.array_size,
+           "block (" << d.channel.rows << "x" << d.channel.cols
+                     << ") smaller than crop size " << d.array_size);
+  FG_CHECK(rows_ > 0 && row_offset_ >= 0 && row_offset_ + rows_ <= batch_,
+           "batch slice [" << row_offset_ << ", " << row_offset_ + rows_
+                           << ") outside batch of " << batch_);
+  FG_CHECK(prefetch_.workers >= 0, "workers must be non-negative");
+  FG_CHECK(prefetch_.workers == 0 || prefetch_.queue_depth > 0,
+           "queue depth must be positive");
+  batches_per_epoch_ = static_cast<std::int64_t>(d.num_arrays / batch_);
+}
+
+PrefetchSource::~PrefetchSource() { stop_workers(); }
+
+void PrefetchSource::begin_epoch(std::int64_t epoch, flashgen::Rng& rng) {
+  (void)rng;  // streamed samples are keyed by position, not by the loop RNG
+  FG_CHECK(epoch >= 0, "epoch must be non-negative");
+  seek(epoch * batches_per_epoch_);
+}
+
+void PrefetchSource::skip_batches(std::int64_t n) {
+  FG_CHECK(n >= 0, "cannot skip a negative batch count");
+  if (n > 0) seek(consumed_batches_ + n);
+}
+
+std::uint64_t PrefetchSource::cursor() const {
+  return static_cast<std::uint64_t>(consumed_batches_) * static_cast<std::uint64_t>(batch_);
+}
+
+void PrefetchSource::seek(std::int64_t batch_index) {
+  FG_CHECK(batch_index >= 0, "cannot seek before the start of the stream");
+  if (batch_index == consumed_batches_) return;  // sequential epochs keep producers warm
+  stop_workers();
+  consumed_batches_ = batch_index;
+}
+
+PrefetchSource::Block PrefetchSource::generate_block(std::int64_t index) const {
+  FG_TRACE_SPAN("pipeline.produce_block", "pipeline");
+  const auto start = Clock::now();
+  if (FG_FAULT("pipeline_produce")) {
+    FG_CHECK(false, "fault injected: pipeline_produce at block " << index);
+  }
+  const data::DatasetConfig& d = stream_.dataset;
+  const int s = d.array_size;
+  Block block;
+  block.index = index;
+  block.pl.resize(static_cast<std::size_t>(rows_) * s * s);
+  block.vl.resize(static_cast<std::size_t>(rows_) * s * s);
+  for (Index u = 0; u < rows_; ++u) {
+    const std::uint64_t g = static_cast<std::uint64_t>(index) *
+                                static_cast<std::uint64_t>(batch_) +
+                            static_cast<std::uint64_t>(row_offset_ + u);
+    flashgen::Rng sample_rng = flashgen::Rng::from_stream(stream_.seed, g);
+    const flash::BlockObservation obs =
+        channel_.run_experiment(d.pe_cycles, sample_rng, d.retention_hours);
+    float* pdst = block.pl.data() + static_cast<std::size_t>(u) * s * s;
+    float* vdst = block.vl.data() + static_cast<std::size_t>(u) * s * s;
+    // Top-left crop only; normalize_voltage applies the same sensing-window
+    // clamp the dataset generator applies before cropping.
+    for (int r = 0; r < s; ++r) {
+      for (int c = 0; c < s; ++c) {
+        pdst[r * s + c] = normalizer_.normalize_level(obs.program_levels(r, c));
+        vdst[r * s + c] = normalizer_.normalize_voltage(obs.voltages(r, c));
+      }
+    }
+  }
+  produced_samples().add(static_cast<std::uint64_t>(rows_));
+  producer_busy_micros().add(micros_since(start));
+  return block;
+}
+
+void PrefetchSource::worker_loop() {
+  // Producers simulate serially so they never contend with the consumer's
+  // compute regions for the shared pool (results are thread-count invariant).
+  common::SerialRegionGuard serial;
+  for (;;) {
+    const std::int64_t index = next_to_produce_.fetch_add(1, std::memory_order_relaxed);
+    Block block;
+    try {
+      block = generate_block(index);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      queue_->close();
+      return;
+    }
+    if (!queue_->push(std::move(block))) return;  // closed: shutting down or seeking
+  }
+}
+
+void PrefetchSource::ensure_workers() {
+  if (!threads_.empty()) return;
+  queue_ = std::make_unique<BoundedQueue<Block>>(
+      static_cast<std::size_t>(prefetch_.queue_depth));
+  next_to_produce_.store(consumed_batches_, std::memory_order_relaxed);
+  threads_.reserve(static_cast<std::size_t>(prefetch_.workers));
+  for (int w = 0; w < prefetch_.workers; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void PrefetchSource::stop_workers() {
+  if (queue_) queue_->close();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  queue_.reset();
+  stash_.clear();
+  // A recorded failure dies with the generation attempt it belonged to: the
+  // seek that triggered this stop will regenerate from fresh state.
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  error_ = nullptr;
+}
+
+PrefetchSource::Block PrefetchSource::await_block(std::int64_t index) {
+  if (auto it = stash_.find(index); it != stash_.end()) {
+    Block block = std::move(it->second);
+    stash_.erase(it);
+    return block;
+  }
+  const auto stall_start = Clock::now();
+  for (;;) {
+    if (FG_FAULT("pipeline_handoff")) {
+      stop_workers();
+      FG_CHECK(false, "fault injected: pipeline_handoff at batch " << index);
+    }
+    std::optional<Block> got = queue_->pop();
+    if (!got) {
+      std::exception_ptr error;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        error = error_;
+      }
+      stop_workers();
+      if (error) std::rethrow_exception(error);
+      FG_CHECK(false, "pipeline: producers exited without serving batch " << index);
+    }
+    if (got->index == index) {
+      consumer_stall_micros().add(micros_since(stall_start));
+      return std::move(*got);
+    }
+    // Later block arrived first: park it. Earlier indices are stale blocks
+    // from before a seek; drop them.
+    if (got->index > index) stash_.emplace(got->index, std::move(*got));
+  }
+}
+
+std::pair<tensor::Tensor, tensor::Tensor> PrefetchSource::next_batch() {
+  FG_TRACE_SPAN("pipeline.next_batch", "pipeline");
+  const std::int64_t index = consumed_batches_;
+  Block block;
+  if (prefetch_.workers == 0) {
+    block = generate_block(index);
+  } else {
+    ensure_workers();
+    block = await_block(index);
+    queue_depth_gauge().set(static_cast<double>(queue_->size()));
+  }
+  ++consumed_batches_;
+  consumed_samples().add(static_cast<std::uint64_t>(rows_));
+  const Index s = stream_.dataset.array_size;
+  const tensor::Shape shape{rows_, 1, s, s};
+  return {tensor::Tensor::from_data(shape, std::move(block.pl)),
+          tensor::Tensor::from_data(shape, std::move(block.vl))};
+}
+
+}  // namespace flashgen::pipeline

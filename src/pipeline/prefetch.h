@@ -1,0 +1,126 @@
+// PrefetchSource: streaming (PL, VL) samples straight from the channel
+// simulator, optionally overlapped with training by background producers.
+//
+// Sample identity. Global sample g is a pure function of (stream seed, g):
+// a fresh Rng::from_stream(seed, g) drives one channel experiment whose
+// top-left array_size x array_size crop is normalized into the sample. No
+// state flows between samples, so any subset can be (re)generated in any
+// order on any thread and the consumed sequence is bit-identical to
+// generating everything inline on the consumer thread (workers = 0).
+//
+// Batching. Batch t of the stream covers global samples
+// [t * global_batch, (t+1) * global_batch); a dist slice narrows that to
+// rows [row_offset, row_offset + rows). An "epoch" is purely a position:
+// epoch e starts at batch e * batches_per_epoch, and consecutive epochs
+// continue the stream — streamed training never reuses a sample.
+//
+// Prefetching. N producer threads claim batch indices from a shared atomic
+// counter, simulate their blocks serially (common::SerialRegionGuard keeps
+// them out of the shared compute pool), and push them into a BoundedQueue of
+// `queue_depth` blocks — the backpressure bound on how far production runs
+// ahead. The consumer re-sequences out-of-order arrivals through a local
+// stash keyed by batch index, so worker count, queue depth, and arrival
+// order are all invisible in the consumed sequence. Seeks (epoch replay,
+// snapshot resume, sentinel rollback) stop the producers, discard stale
+// blocks (recognized by index), and restart production at the new cursor.
+//
+// A producer failure is captured, the queue is closed, and the error is
+// rethrown from next_batch() on the consumer thread. Fault points:
+// "pipeline_produce" (block production) and "pipeline_handoff" (queue
+// handoff at the consumer).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/normalization.h"
+#include "flash/channel.h"
+#include "pipeline/bounded_queue.h"
+#include "pipeline/sample_source.h"
+
+namespace flashgen::pipeline {
+
+/// What to stream: the dataset-shaped generation parameters plus the stream
+/// seed. `dataset.num_arrays` sets the synthetic epoch length (samples per
+/// epoch); the stream itself is unbounded. For throughput, size the simulated
+/// block to the crop (channel.rows == channel.cols == array_size): only the
+/// top-left crop of each experiment enters the stream.
+struct StreamConfig {
+  data::DatasetConfig dataset;
+  std::uint64_t seed = 0;
+};
+
+struct PrefetchConfig {
+  /// Background producer threads. 0 generates inline on the consumer thread —
+  /// the bit-identity baseline every worker count must match.
+  int workers = 0;
+  /// Maximum produced-but-unconsumed blocks (backpressure bound). Ignored
+  /// when workers == 0.
+  int queue_depth = 4;
+};
+
+class PrefetchSource final : public SampleSource {
+ public:
+  PrefetchSource(const StreamConfig& stream, Index global_batch,
+                 const PrefetchConfig& prefetch);
+  /// Dist slice: serves rows [row_offset, row_offset + rows) of every global
+  /// batch; sample indices and cursor() stay global.
+  PrefetchSource(const StreamConfig& stream, Index global_batch,
+                 const PrefetchConfig& prefetch, Index row_offset, Index rows);
+  ~PrefetchSource() override;
+
+  PrefetchSource(const PrefetchSource&) = delete;
+  PrefetchSource& operator=(const PrefetchSource&) = delete;
+
+  Index global_batch() const override { return batch_; }
+  Index batch_rows() const override { return rows_; }
+  std::int64_t batches_per_epoch() const override { return batches_per_epoch_; }
+  int array_size() const override { return stream_.dataset.array_size; }
+  void begin_epoch(std::int64_t epoch, flashgen::Rng& rng) override;
+  void skip_batches(std::int64_t n) override;
+  std::pair<tensor::Tensor, tensor::Tensor> next_batch() override;
+  std::uint64_t cursor() const override;
+
+ private:
+  /// One produced batch slice, identified by its global batch index.
+  struct Block {
+    std::int64_t index = -1;
+    std::vector<float> pl;  // rows * S * S, normalized
+    std::vector<float> vl;
+  };
+
+  Block generate_block(std::int64_t index) const;
+  Block await_block(std::int64_t index);
+  void ensure_workers();
+  void stop_workers();
+  void seek(std::int64_t batch_index);
+  void worker_loop();
+
+  StreamConfig stream_;
+  PrefetchConfig prefetch_;
+  Index batch_;
+  Index row_offset_;
+  Index rows_;
+  std::int64_t batches_per_epoch_;
+  data::VoltageNormalizer normalizer_;
+  flash::FlashChannel channel_;
+
+  // Consumer-side state (touched only from the consuming thread).
+  std::int64_t consumed_batches_ = 0;  // absolute position in the stream
+  std::map<std::int64_t, Block> stash_;  // out-of-order arrivals awaiting their turn
+
+  // Producer machinery, alive between ensure_workers() and stop_workers().
+  std::unique_ptr<BoundedQueue<Block>> queue_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::int64_t> next_to_produce_{0};
+  std::mutex error_mutex_;
+  std::exception_ptr error_;  // first producer failure, guarded by error_mutex_
+};
+
+}  // namespace flashgen::pipeline

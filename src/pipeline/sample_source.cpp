@@ -1,0 +1,63 @@
+#include "pipeline/sample_source.h"
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+
+#include "common/error.h"
+
+namespace flashgen::pipeline {
+
+EagerSource::EagerSource(const data::PairedDataset& dataset, Index batch_size)
+    : EagerSource(dataset, batch_size, 0, batch_size) {}
+
+EagerSource::EagerSource(const data::PairedDataset& dataset, Index batch_size,
+                         Index row_offset, Index rows)
+    : dataset_(&dataset), batch_(batch_size), row_offset_(row_offset), rows_(rows) {
+  FG_CHECK(batch_ > 0, "batch size must be positive");
+  FG_CHECK(dataset_->size() >= static_cast<std::size_t>(batch_),
+           "dataset smaller than one batch");
+  FG_CHECK(rows_ > 0 && row_offset_ >= 0 && row_offset_ + rows_ <= batch_,
+           "batch slice [" << row_offset_ << ", " << row_offset_ + rows_
+                           << ") outside batch of " << batch_);
+  batches_per_epoch_ =
+      static_cast<std::int64_t>(dataset_->size() / static_cast<std::size_t>(batch_));
+}
+
+void EagerSource::begin_epoch(std::int64_t epoch, flashgen::Rng& rng) {
+  FG_CHECK(epoch >= 0, "epoch must be non-negative");
+  order_.resize(dataset_->size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  // Fisher–Yates, draw-for-draw identical to data::BatchSampler::epoch().
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_int(i);
+    std::swap(order_[i - 1], order_[j]);
+  }
+  epoch_ = epoch;
+  served_ = 0;
+}
+
+void EagerSource::skip_batches(std::int64_t n) {
+  FG_CHECK(n >= 0 && served_ + n <= batches_per_epoch_,
+           "cannot skip " << n << " batches at position " << served_ << " of an epoch of "
+                          << batches_per_epoch_);
+  served_ += n;
+}
+
+std::pair<tensor::Tensor, tensor::Tensor> EagerSource::next_batch() {
+  FG_CHECK(served_ < batches_per_epoch_,
+           "epoch exhausted after " << served_ << " batches");
+  FG_CHECK(!order_.empty(), "next_batch before begin_epoch");
+  const std::span<const std::size_t> indices(
+      order_.data() + static_cast<std::size_t>(served_ * batch_ + row_offset_),
+      static_cast<std::size_t>(rows_));
+  ++served_;
+  return dataset_->batch(indices);
+}
+
+std::uint64_t EagerSource::cursor() const {
+  return static_cast<std::uint64_t>(epoch_ * batches_per_epoch_ + served_) *
+         static_cast<std::uint64_t>(batch_);
+}
+
+}  // namespace flashgen::pipeline

@@ -1,0 +1,109 @@
+// SampleSource: the training loop's data boundary.
+//
+// run_training_loop (and the dist trainer on top of it) consume normalized
+// (PL, VL) mini-batches through this interface instead of touching
+// data::PairedDataset directly. Two implementations exist:
+//
+//  - EagerSource wraps an in-memory PairedDataset and reproduces the historic
+//    BatchSampler behavior bit-for-bit (same Fisher–Yates shuffle consuming
+//    the caller's Rng, same drop-last batching).
+//  - PrefetchSource (prefetch.h) streams samples straight from the channel
+//    simulator, optionally overlapped with training by background producer
+//    threads.
+//
+// Positioning contract shared by both: an epoch is a *position* in a single
+// global sample sequence. begin_epoch(e) rewinds or fast-forwards to the
+// start of epoch e; skip_batches(n) then jumps over the first n batches of
+// that epoch without materializing them. cursor() reports the global number
+// of samples consumed so far — a pure function of (epoch, batch index,
+// global batch size), independent of rank slicing or worker count — and is
+// persisted in TrainState snapshots so a resumed run can verify it rewound
+// the stream to the exact sample the snapshot was taken at.
+//
+// Dist slicing: a rank constructs its source with (row_offset, rows) so
+// next_batch() returns only its rows of each global batch. The slice is
+// bit-identical to slicing the full batch after the fact, and cursor() still
+// counts *global* samples so snapshots agree across world sizes.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace flashgen::pipeline {
+
+using tensor::Index;
+
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+
+  /// Samples per global batch (across all ranks).
+  virtual Index global_batch() const = 0;
+
+  /// Rows in each tensor served by next_batch() (== global_batch() unless
+  /// the source is a dist slice).
+  virtual Index batch_rows() const = 0;
+
+  /// Full batches per epoch (short trailing batches are dropped).
+  virtual std::int64_t batches_per_epoch() const = 0;
+
+  /// Side length of the served (rows, 1, S, S) crops.
+  virtual int array_size() const = 0;
+
+  /// Positions the source at the start of epoch `epoch`. Replayable: calling
+  /// it again with an earlier epoch rewinds. EagerSource consumes `rng` for
+  /// the epoch shuffle exactly like data::BatchSampler did; streaming
+  /// sources leave it untouched (their samples are keyed by position alone).
+  virtual void begin_epoch(std::int64_t epoch, flashgen::Rng& rng) = 0;
+
+  /// Skips the first `n` batches of the just-begun epoch without generating
+  /// them (snapshot-resume replay).
+  virtual void skip_batches(std::int64_t n) = 0;
+
+  /// Next (PL, VL) batch: normalized NCHW tensors of shape (rows, 1, S, S).
+  virtual std::pair<tensor::Tensor, tensor::Tensor> next_batch() = 0;
+
+  /// Global samples consumed since the start of training:
+  /// (epoch * batches_per_epoch + batches served this epoch) * global_batch.
+  virtual std::uint64_t cursor() const = 0;
+};
+
+/// Current behavior: shuffled mini-batches over an in-memory PairedDataset.
+/// The shuffle consumes the loop Rng identically to data::BatchSampler, so a
+/// trainer driven through an EagerSource is bit-identical to the pre-pipeline
+/// code path.
+class EagerSource final : public SampleSource {
+ public:
+  EagerSource(const data::PairedDataset& dataset, Index batch_size);
+  /// Dist slice: serves rows [row_offset, row_offset + rows) of every global
+  /// batch. The shuffle still covers the full dataset (every rank replays it
+  /// identically), only next_batch() is narrowed.
+  EagerSource(const data::PairedDataset& dataset, Index batch_size, Index row_offset,
+              Index rows);
+
+  Index global_batch() const override { return batch_; }
+  Index batch_rows() const override { return rows_; }
+  std::int64_t batches_per_epoch() const override { return batches_per_epoch_; }
+  int array_size() const override { return dataset_->array_size(); }
+  void begin_epoch(std::int64_t epoch, flashgen::Rng& rng) override;
+  void skip_batches(std::int64_t n) override;
+  std::pair<tensor::Tensor, tensor::Tensor> next_batch() override;
+  std::uint64_t cursor() const override;
+
+ private:
+  const data::PairedDataset* dataset_;
+  Index batch_;
+  Index row_offset_;
+  Index rows_;
+  std::int64_t batches_per_epoch_;
+  std::int64_t epoch_ = 0;
+  std::int64_t served_ = 0;            // batches served in the current epoch
+  std::vector<std::size_t> order_;     // current epoch's shuffled sample order
+};
+
+}  // namespace flashgen::pipeline

@@ -123,29 +123,26 @@ ConvGeom conv_geometry(const Tensor& x, const Tensor& w, Index stride, Index pad
   return g;
 }
 
-// Deterministic shared-gradient accumulation for the batch dimension: every
-// chunk of samples produces its own zero-initialized partial of the weight
-// gradient, and the partials are folded into the real buffer serially in
-// chunk-index order. The chunk layout depends only on (n, grain), so the fold
-// order — and the float rounding — is identical for any thread count.
-template <typename ChunkFn>
-void batched_backward_with_weight_partials(Index n, std::size_t dw_size, float* dw_out,
-                                           bool want_dw, const ChunkFn& chunk_fn) {
-  const Index grain = 1;
-  const Index chunks = common::partition_chunks(0, n, grain);
-  std::vector<std::vector<float>> partials(static_cast<std::size_t>(want_dw ? chunks : 0));
-  common::parallel_for_chunks(0, n, grain, [&](Index chunk, Index s0, Index s1) {
-    float* dw = nullptr;
-    if (want_dw) {
-      auto& p = partials[static_cast<std::size_t>(chunk)];
-      p.assign(dw_size, 0.0f);
-      dw = p.data();
-    }
-    chunk_fn(s0, s1, dw);
-  });
-  if (!want_dw) return;
-  for (const auto& p : partials)
+// Deterministic shared-gradient accumulation for the batch dimension: one
+// strided-batched GEMM writes a zero-initialized per-sample partial of the
+// weight gradient for every sample (beta = 1, so the backend *accumulates*
+// into the zeroed partial with the same per-item shape the old per-sample
+// sgemm loop used), and the partials are folded into the real buffer serially
+// in sample order. The fold order — and the float rounding — is therefore
+// identical for any thread count, and identical to the historical looped
+// path by the backend contract (batched == loop of single calls, per item).
+void fold_weight_partials(const GemmDesc& per_sample, const float* a, const float* b,
+                          Index n, std::size_t dw_size, float* dw_out) {
+  std::vector<float> partials(static_cast<std::size_t>(n) * dw_size, 0.0f);
+  GemmDesc d = per_sample;
+  d.beta = 1.0f;
+  d.batch_count = n;
+  d.stride_c = static_cast<std::int64_t>(dw_size);
+  sgemm_strided_batched(d, a, b, partials.data());
+  for (Index s = 0; s < n; ++s) {
+    const float* p = partials.data() + static_cast<std::size_t>(s) * dw_size;
     for (std::size_t i = 0; i < dw_size; ++i) dw_out[i] += p[i];
+  }
 }
 
 }  // namespace
@@ -193,20 +190,29 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, Index stride,
           });
         }
         if (wi->requires_grad) {
-          batched_backward_with_weight_partials(
-              geom.n, static_cast<std::size_t>(geom.oc) * ckk2, wi->grad_buffer().data(),
-              true, [&](Index s0, Index s1, float* dw) {
-                ScratchBuffer cols(static_cast<std::size_t>(ckk2) * osp2);
-                for (Index s = s0; s < s1; ++s) {
-                  // dW (OC, CKK) += dY (OC, osp) * cols^T (osp, CKK)
-                  const float* dy = o.grad.data() + s * geom.oc * osp2;
-                  detail::im2col(xi->data.data() + s * geom.c * geom.h * geom.w, geom.c,
-                                 geom.h, geom.w, geom.kh, geom.kw, geom.stride, geom.padding,
-                                 geom.oh, geom.ow, cols.data());
-                  sgemm(false, true, geom.oc, ckk2, osp2, 1.0f, dy, osp2, cols.data(), osp2,
-                        1.0f, dw, ckk2);
-                }
-              });
+          // dW[s] (OC, CKK) = dY[s] (OC, osp) * cols[s]^T (osp, CKK). The
+          // im2col for every sample is materialized once (disjoint bands),
+          // then fold_weight_partials issues the whole batch as one GEMM.
+          ScratchBuffer cols(static_cast<std::size_t>(geom.n) * ckk2 * osp2);
+          common::parallel_for(0, geom.n, 1, [&](Index s0, Index s1) {
+            for (Index s = s0; s < s1; ++s)
+              detail::im2col(xi->data.data() + s * geom.c * geom.h * geom.w, geom.c, geom.h,
+                             geom.w, geom.kh, geom.kw, geom.stride, geom.padding, geom.oh,
+                             geom.ow, cols.data() + s * ckk2 * osp2);
+          });
+          GemmDesc d;
+          d.trans_b = true;
+          d.m = geom.oc;
+          d.n = ckk2;
+          d.k = osp2;
+          d.lda = osp2;
+          d.ldb = osp2;
+          d.ldc = ckk2;
+          d.stride_a = geom.oc * osp2;
+          d.stride_b = ckk2 * osp2;
+          fold_weight_partials(d, o.grad.data(), cols.data(), geom.n,
+                               static_cast<std::size_t>(geom.oc) * ckk2,
+                               wi->grad_buffer().data());
         }
       },
       /*fully_overwritten=*/true);
@@ -311,15 +317,20 @@ Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b, Index
           sgemm_strided_batched(d, wi->data.data(), dy_cols.data(), dx_base);
         }
         if (want_dw) {
-          batched_backward_with_weight_partials(
-              n, static_cast<std::size_t>(c) * ockk2, wi->grad_buffer().data(), true,
-              [&](Index s0, Index s1, float* dw) {
-                for (Index s = s0; s < s1; ++s) {
-                  // dW (C, OCKK) += X (C, isp) * dy_cols^T
-                  sgemm(false, true, c, ockk2, isp2, 1.0f, xi->data.data() + s * c * isp2,
-                        isp2, dy_cols.data() + s * ockk2 * isp2, isp2, 1.0f, dw, ockk2);
-                }
-              });
+          // dW[s] (C, OCKK) = X[s] (C, isp) * dy_cols[s]^T, one batched call
+          // over the already-materialized dy_cols.
+          GemmDesc d;
+          d.trans_b = true;
+          d.m = c;
+          d.n = ockk2;
+          d.k = isp2;
+          d.lda = isp2;
+          d.ldb = isp2;
+          d.ldc = ockk2;
+          d.stride_a = c * isp2;
+          d.stride_b = ockk2 * isp2;
+          fold_weight_partials(d, xi->data.data(), dy_cols.data(), n,
+                               static_cast<std::size_t>(c) * ockk2, wi->grad_buffer().data());
         }
       });
   // Forward: cols (OCKK, isp) = W_mat^T (OCKK, C) * X (C, isp); Y = col2im(cols).

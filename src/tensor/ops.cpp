@@ -369,19 +369,49 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
   auto wi = w.impl();
   Tensor y = make_op_result("linear", Shape{n, out_dim}, {x, w},
                             [xi, wi, n, in, out_dim](const TensorImpl& o) {
-                              // y = x * w^T ; dx = dy * w ; dw = dy^T * x
+                              // y = x * w^T ; dx = dy * w ; dw = dy^T * x.
+                              // Issued through the strided-batched descriptor
+                              // entry (batch_count = 1): identical per-item
+                              // shape, so the bits match the legacy sgemm
+                              // wrapper on every backend.
                               if (xi->requires_grad) {
-                                sgemm(false, false, n, in, out_dim, 1.0f, o.grad.data(), out_dim,
-                                      wi->data.data(), in, 1.0f, xi->grad_buffer().data(), in);
+                                GemmDesc d;
+                                d.m = n;
+                                d.n = in;
+                                d.k = out_dim;
+                                d.beta = 1.0f;
+                                d.lda = out_dim;
+                                d.ldb = in;
+                                d.ldc = in;
+                                sgemm_strided_batched(d, o.grad.data(), wi->data.data(),
+                                                      xi->grad_buffer().data());
                               }
                               if (wi->requires_grad) {
-                                sgemm(true, false, out_dim, in, n, 1.0f, o.grad.data(), out_dim,
-                                      xi->data.data(), in, 1.0f, wi->grad_buffer().data(), in);
+                                GemmDesc d;
+                                d.trans_a = true;
+                                d.m = out_dim;
+                                d.n = in;
+                                d.k = n;
+                                d.beta = 1.0f;
+                                d.lda = out_dim;
+                                d.ldb = in;
+                                d.ldc = in;
+                                sgemm_strided_batched(d, o.grad.data(), xi->data.data(),
+                                                      wi->grad_buffer().data());
                               }
                             },
                             /*fully_overwritten=*/true);
-  sgemm(false, true, n, out_dim, in, 1.0f, x.data().data(), in, w.data().data(), in, 0.0f,
-        y.data().data(), out_dim);
+  {
+    GemmDesc d;
+    d.trans_b = true;
+    d.m = n;
+    d.n = out_dim;
+    d.k = in;
+    d.lda = in;
+    d.ldb = in;
+    d.ldc = out_dim;
+    sgemm_strided_batched(d, x.data().data(), w.data().data(), y.data().data());
+  }
   if (b.defined()) y = add_bias(std::move(y), b);
   return y;
 }

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -252,6 +253,56 @@ TEST(CommTest, TcpRendezvousConnectsAndReduces) {
     return;
   }
   GTEST_SKIP() << "no free loopback port triplet found";
+}
+
+TEST(CommTest, TcpRendezvousToleratesOutOfOrderStarts) {
+  // The dialing rank comes up well before any listener exists: every early
+  // connect is refused and must be retried with backoff, not surfaced.
+  for (std::uint16_t base_port : {38611, 38651, 38691}) {
+    std::vector<int> sums(2, 0);
+    std::atomic<bool> failed{false};
+    std::thread dialer([&] {
+      try {
+        Comm comm = connect_tcp(1, 2, base_port, CommConfig{.timeout_ms = 10000});
+        std::vector<float> data{2.0f};
+        comm.all_reduce_tree_sum(data);
+        sums[1] = static_cast<int>(data[0]);
+      } catch (const CommError&) {
+        failed.store(true);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    std::thread listener([&] {
+      try {
+        Comm comm = connect_tcp(0, 2, base_port, CommConfig{.timeout_ms = 10000});
+        std::vector<float> data{1.0f};
+        comm.all_reduce_tree_sum(data);
+        sums[0] = static_cast<int>(data[0]);
+      } catch (const CommError&) {
+        failed.store(true);
+      }
+    });
+    dialer.join();
+    listener.join();
+    if (failed.load()) continue;  // port collision; try the next base port
+    EXPECT_EQ(sums[0], 3);
+    EXPECT_EQ(sums[1], 3);
+    return;
+  }
+  GTEST_SKIP() << "no free loopback port triplet found";
+}
+
+TEST(CommTest, TcpRendezvousConnectTimeoutReportsLastError) {
+  // Rank 1 dials a rank-0 listener that never binds: refused connects are
+  // retried until the deadline, then surface as CommTimeout naming the errno.
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    connect_tcp(1, 2, 39771, CommConfig{.timeout_ms = 300});
+    FAIL() << "rendezvous unexpectedly succeeded";
+  } catch (const CommTimeout& e) {
+    EXPECT_NE(std::string(e.what()).find("last error"), std::string::npos) << e.what();
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(10));
 }
 
 TEST(CommTest, TcpRendezvousTimesOutOnMissingRank) {

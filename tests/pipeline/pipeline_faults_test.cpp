@@ -1,0 +1,166 @@
+// Pipeline failure handling: producer death and queue-handoff faults must
+// surface as errors on the consumer thread (never hangs, never silent
+// truncation), and a streamed training run killed mid-flight must resume
+// bit-identically — even at a different worker count.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/faultinject.h"
+#include "common/parallel.h"
+#include "models/cvae_gan.h"
+#include "models/generative_model.h"
+#include "pipeline/prefetch.h"
+
+namespace flashgen::pipeline {
+namespace {
+
+StreamConfig tiny_stream_config() {
+  StreamConfig stream;
+  stream.dataset.array_size = 8;
+  stream.dataset.num_arrays = 32;
+  stream.dataset.channel.rows = 8;
+  stream.dataset.channel.cols = 8;
+  stream.seed = 17;
+  return stream;
+}
+
+models::NetworkConfig tiny_network_config() {
+  models::NetworkConfig config;
+  config.array_size = 8;
+  config.base_channels = 4;
+  config.z_dim = 4;
+  return config;
+}
+
+class PipelineFaultsTest : public ::testing::Test {
+ protected:
+  ~PipelineFaultsTest() override {
+    faultinject::clear();
+    common::set_num_threads(0);
+  }
+};
+
+TEST_F(PipelineFaultsTest, ProducerDeathSurfacesOnTheConsumer) {
+  faultinject::configure("pipeline_produce:@2");
+  PrefetchSource source(tiny_stream_config(), 8,
+                        PrefetchConfig{.workers = 2, .queue_depth = 2});
+  flashgen::Rng rng(3);
+  source.begin_epoch(0, rng);
+  EXPECT_THROW(
+      {
+        for (int b = 0; b < 4; ++b) (void)source.next_batch();
+      },
+      Error);
+  EXPECT_EQ(faultinject::fired("pipeline_produce"), 1u);
+}
+
+TEST_F(PipelineFaultsTest, InlineProduceFaultThrowsDirectly) {
+  faultinject::configure("pipeline_produce:@0");
+  PrefetchSource source(tiny_stream_config(), 8, PrefetchConfig{.workers = 0});
+  flashgen::Rng rng(3);
+  source.begin_epoch(0, rng);
+  EXPECT_THROW((void)source.next_batch(), Error);
+}
+
+TEST_F(PipelineFaultsTest, HandoffFaultSurfacesOnTheConsumer) {
+  faultinject::configure("pipeline_handoff:@1");
+  PrefetchSource source(tiny_stream_config(), 8,
+                        PrefetchConfig{.workers = 2, .queue_depth = 2});
+  flashgen::Rng rng(3);
+  source.begin_epoch(0, rng);
+  EXPECT_THROW(
+      {
+        for (int b = 0; b < 4; ++b) (void)source.next_batch();
+      },
+      Error);
+}
+
+TEST_F(PipelineFaultsTest, SourceRecoversAfterFaultsAreCleared) {
+  faultinject::configure("pipeline_produce:@0");
+  {
+    PrefetchSource source(tiny_stream_config(), 8,
+                          PrefetchConfig{.workers = 2, .queue_depth = 2});
+    flashgen::Rng rng(3);
+    source.begin_epoch(0, rng);
+    EXPECT_THROW(
+        {
+          for (int b = 0; b < 4; ++b) (void)source.next_batch();
+        },
+        Error);
+  }
+  faultinject::clear();
+  PrefetchSource source(tiny_stream_config(), 8,
+                        PrefetchConfig{.workers = 2, .queue_depth = 2});
+  flashgen::Rng rng(3);
+  source.begin_epoch(0, rng);
+  for (int b = 0; b < 4; ++b) (void)source.next_batch();
+  EXPECT_EQ(source.cursor(), 32u);
+}
+
+// Streamed kill-and-resume: the TrainState sample cursor plus the stream's
+// counter-derived sample identity make the resumed run land exactly where the
+// killed one left off — worker count may even change across the restart.
+TEST_F(PipelineFaultsTest, StreamedKillAndResumeIsBitIdentical) {
+  const auto stream = tiny_stream_config();
+  const std::string snap =
+      (std::filesystem::temp_directory_path() / "flashgen_pipeline_resume.trainstate")
+          .string();
+  std::filesystem::remove(snap);
+
+  models::TrainConfig train;
+  train.epochs = 2;  // 4 batches per epoch => 8 steps
+  train.batch_size = 8;
+  train.log_every = 0;
+  train.snapshot.path = snap;
+  train.snapshot.every_steps = 3;
+
+  auto blob = [](models::GenerativeModel& model) {
+    std::vector<float> values;
+    for (const auto& entry : model.root_module().named_state())
+      values.insert(values.end(), entry.tensor.data().begin(), entry.tensor.data().end());
+    return values;
+  };
+
+  models::CvaeGanModel ref(tiny_network_config(), /*seed=*/7);
+  {
+    PrefetchSource source(stream, 8, PrefetchConfig{.workers = 2, .queue_depth = 2});
+    flashgen::Rng rng(2);
+    const auto stats = ref.fit_stream(source, train, rng);
+    ASSERT_EQ(stats.steps, 8);
+  }
+  const auto want = blob(ref);
+
+  // Kill at step 5 (mid-epoch 1, resumes from the step-3 snapshot).
+  std::filesystem::remove(snap);
+  faultinject::configure("train_kill:@5");
+  models::CvaeGanModel dying(tiny_network_config(), /*seed=*/7);
+  {
+    PrefetchSource source(stream, 8, PrefetchConfig{.workers = 2, .queue_depth = 2});
+    flashgen::Rng rng(2);
+    EXPECT_THROW((void)dying.fit_stream(source, train, rng), Error);
+  }
+  faultinject::clear();
+  ASSERT_TRUE(std::filesystem::exists(snap));
+
+  // Resume with different init, RNG, and worker count: everything that
+  // matters must come from the snapshot and the stream position.
+  auto resume_train = train;
+  resume_train.snapshot.resume = true;
+  models::CvaeGanModel resumed(tiny_network_config(), /*seed=*/1234);
+  {
+    PrefetchSource source(stream, 8, PrefetchConfig{.workers = 4, .queue_depth = 8});
+    flashgen::Rng rng(99);
+    const auto stats = resumed.fit_stream(source, resume_train, rng);
+    EXPECT_EQ(stats.steps, 8);
+  }
+  EXPECT_EQ(blob(resumed), want);
+  std::filesystem::remove(snap);
+  std::filesystem::remove(snap + ".tmp");
+}
+
+}  // namespace
+}  // namespace flashgen::pipeline
