@@ -1,5 +1,6 @@
 #include "common/framing.h"
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -99,6 +100,89 @@ bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
     }
   }
   return true;
+}
+
+std::vector<std::uint8_t> encode_frame(const std::vector<std::uint8_t>& payload) {
+  FG_CHECK(payload.size() <= kMaxFrameBytes, "protocol: frame too large: " << payload.size());
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+void FrameDecoder::feed(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + size);
+  // Validate the length prefix as soon as it is complete, not when the frame
+  // is: a hostile prefix must be rejected before its claimed body accrues.
+  if (buffered() >= 4) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+      len |= static_cast<std::uint32_t>(buffer_[consumed_ + static_cast<std::size_t>(i)])
+             << (8 * i);
+    FG_CHECK(len <= kMaxFrameBytes, "protocol: frame too large: " << len);
+  }
+}
+
+bool FrameDecoder::next(std::vector<std::uint8_t>& payload) {
+  if (buffered() < 4) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(buffer_[consumed_ + static_cast<std::size_t>(i)]) << (8 * i);
+  FG_CHECK(len <= kMaxFrameBytes, "protocol: frame too large: " << len);
+  if (buffered() < 4 + static_cast<std::size_t>(len)) {
+    // feed() validated the *next* prefix only; with several frames buffered a
+    // later hostile prefix is caught here once it reaches the front.
+    return false;
+  }
+  const auto body = buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4);
+  payload.assign(body, body + static_cast<std::ptrdiff_t>(len));
+  consumed_ += 4 + static_cast<std::size_t>(len);
+  // Reclaim consumed bytes once they dominate the buffer, amortizing the
+  // memmove to O(1) per byte.
+  if (consumed_ > 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return true;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_io("fcntl(F_GETFL)", errno);
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) throw_io("fcntl(F_SETFL)", errno);
+}
+
+ReadStatus read_some(int fd, FrameDecoder& decoder) {
+  // Bounded per call so one firehose connection cannot monopolize the event
+  // loop; level-triggered epoll re-reports the rest immediately.
+  constexpr std::size_t kMaxPerCall = 256u << 10;
+  std::uint8_t chunk[16384];
+  std::size_t total = 0;
+  while (total < kMaxPerCall) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return total > 0 ? ReadStatus::kOk : ReadStatus::kWouldBlock;
+    if (n < 0) throw_io("read", errno);
+    if (n == 0) return total > 0 ? ReadStatus::kOk : ReadStatus::kEof;
+    decoder.feed(chunk, static_cast<std::size_t>(n));
+    total += static_cast<std::size_t>(n);
+    if (static_cast<std::size_t>(n) < sizeof(chunk)) break;  // drained for now
+  }
+  return ReadStatus::kOk;
+}
+
+std::size_t write_some(int fd, const std::uint8_t* data, std::size_t size) {
+  while (true) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return 0;
+    if (n < 0) throw_io("write", errno);
+    return static_cast<std::size_t>(n);
+  }
 }
 
 void set_socket_timeout(int fd, int timeout_ms) {

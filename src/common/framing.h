@@ -50,6 +50,56 @@ class IoError : public flashgen::Error {
 /// payload exceeds kMaxFrameBytes.
 void write_frame(int fd, const std::vector<std::uint8_t>& payload);
 
+/// Renders u32 length + payload into one contiguous buffer, for callers that
+/// queue frames into a connection's write buffer instead of writing them to
+/// the socket directly (the epoll serve front-end, the open-loop loadgen).
+std::vector<std::uint8_t> encode_frame(const std::vector<std::uint8_t>& payload);
+
+/// Incremental frame parser for non-blocking sockets. Bytes arrive in
+/// arbitrary fragments via feed(); next() extracts complete frames in order.
+/// The same protections as read_frame apply: a length prefix above
+/// kMaxFrameBytes throws before its body is buffered, so a hostile peer
+/// cannot force a large allocation.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the wire. Throws flashgen::Error as soon as a
+  /// buffered length prefix exceeds kMaxFrameBytes.
+  void feed(const void* data, std::size_t size);
+
+  /// Moves the next complete frame's payload into `payload` and returns
+  /// true, or returns false when no full frame is buffered yet.
+  bool next(std::vector<std::uint8_t>& payload);
+
+  /// Bytes buffered but not yet returned by next(). Zero exactly on a frame
+  /// boundary — a peer that hung up mid-frame left buffered() > 0.
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // bytes of buffer_ already handed out
+};
+
+/// Outcome of one non-blocking read pass (read_some).
+enum class ReadStatus {
+  kOk,          // at least one byte was fed into the decoder
+  kWouldBlock,  // the socket has no bytes right now (EAGAIN)
+  kEof,         // the peer closed its write side
+};
+
+/// Marks `fd` non-blocking (O_NONBLOCK). Throws IoError on failure.
+void set_nonblocking(int fd);
+
+/// Reads whatever is available on non-blocking `fd` (up to an internal
+/// bound per call, so one chatty connection cannot starve an event loop) and
+/// feeds it into `decoder`. Throws IoError on a socket error and
+/// flashgen::Error on an oversized frame.
+ReadStatus read_some(int fd, FrameDecoder& decoder);
+
+/// Writes at most `size` bytes to non-blocking `fd`, returning how many were
+/// accepted (0 when the send buffer is full). Retries EINTR, uses
+/// MSG_NOSIGNAL, throws IoError on failure.
+std::size_t write_some(int fd, const std::uint8_t* data, std::size_t size);
+
 /// Reads one frame into `payload`. Returns false on clean EOF before the
 /// first byte; throws IoError on mid-frame EOF, I/O error, or an oversized
 /// frame.

@@ -27,16 +27,31 @@ RequestBatcher::~RequestBatcher() {
   }
   cv_.notify_all();
   executor_.join();
-  // Requests still queued at teardown are abandoned; fail their futures.
+  // Requests still queued at teardown are abandoned; fail their completions.
   for (Pending& p : queue_) {
-    p.promise.set_exception(
-        std::make_exception_ptr(Error("RequestBatcher destroyed with request pending")));
+    p.done({}, std::make_exception_ptr(Error("RequestBatcher destroyed with request pending")));
   }
 }
 
 std::future<std::vector<float>> RequestBatcher::submit(std::vector<float> program_levels,
                                                        std::uint64_t seed, std::uint64_t stream,
                                                        std::uint64_t deadline_micros) {
+  auto promise = std::make_shared<std::promise<std::vector<float>>>();
+  std::future<std::vector<float>> future = promise->get_future();
+  submit_async(std::move(program_levels), seed, stream, deadline_micros,
+               [promise](std::vector<float>&& voltages, std::exception_ptr error) {
+                 if (error) {
+                   promise->set_exception(std::move(error));
+                 } else {
+                   promise->set_value(std::move(voltages));
+                 }
+               });
+  return future;
+}
+
+void RequestBatcher::submit_async(std::vector<float> program_levels, std::uint64_t seed,
+                                  std::uint64_t stream, std::uint64_t deadline_micros,
+                                  Completion done) {
   FG_CHECK(program_levels.size() == static_cast<std::size_t>(row_shape_.numel()),
            "RequestBatcher: got " << program_levels.size() << " floats for row shape "
                                   << row_shape_);
@@ -44,11 +59,11 @@ std::future<std::vector<float>> RequestBatcher::submit(std::vector<float> progra
   pending.program_levels = std::move(program_levels);
   pending.seed = seed;
   pending.stream = stream;
+  pending.done = std::move(done);
   pending.enqueued = std::chrono::steady_clock::now();
   pending.deadline = deadline_micros > 0
                          ? pending.enqueued + std::chrono::microseconds(deadline_micros)
                          : std::chrono::steady_clock::time_point::max();
-  std::future<std::vector<float>> future = pending.promise.get_future();
   std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -73,7 +88,11 @@ std::future<std::vector<float>> RequestBatcher::submit(std::vector<float> progra
   static stats::Gauge& queue_depth = stats::gauge("serve.queue_depth");
   queue_depth.set(static_cast<double>(depth));
   cv_.notify_one();
-  return future;
+}
+
+std::size_t RequestBatcher::outstanding() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + in_flight_;
 }
 
 void RequestBatcher::close() {
@@ -142,8 +161,7 @@ void RequestBatcher::execute_batch(std::vector<Pending> batch) {
         if (metrics_ != nullptr) metrics_->record_deadline_exceeded();
         static stats::Counter& expired_total = stats::counter("serve.deadline_exceeded");
         expired_total.add();
-        p.promise.set_exception(std::make_exception_ptr(
-            DeadlineExceeded("deadline exceeded while queued")));
+        p.done({}, std::make_exception_ptr(DeadlineExceeded("deadline exceeded while queued")));
       } else {
         live.push_back(std::move(p));
       }
@@ -185,13 +203,14 @@ void RequestBatcher::execute_batch(std::vector<Pending> batch) {
     if (metrics_ != nullptr) metrics_->record_batch(batch.size());
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(std::vector<float>(
-          out.begin() + static_cast<std::ptrdiff_t>(i * row_elems),
-          out.begin() + static_cast<std::ptrdiff_t>((i + 1) * row_elems)));
+      batch[i].done(std::vector<float>(
+                        out.begin() + static_cast<std::ptrdiff_t>(i * row_elems),
+                        out.begin() + static_cast<std::ptrdiff_t>((i + 1) * row_elems)),
+                    nullptr);
     }
   } catch (...) {
     if (metrics_ != nullptr) metrics_->record_error();
-    for (Pending& p : batch) p.promise.set_exception(std::current_exception());
+    for (Pending& p : batch) p.done({}, std::current_exception());
   }
 }
 

@@ -23,6 +23,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -67,6 +68,12 @@ class RequestBatcher {
   RequestBatcher(const RequestBatcher&) = delete;
   RequestBatcher& operator=(const RequestBatcher&) = delete;
 
+  /// Completion callback for submit_async: exactly one of `voltages` (moved
+  /// in) or `error` is set. Invoked on the executor thread — keep it cheap
+  /// and non-blocking (the epoll front-end encodes the response frame and
+  /// hands it to the event loop).
+  using Completion = std::function<void(std::vector<float>&& voltages, std::exception_ptr error)>;
+
   /// Enqueues one sample (row_shape.numel() floats of normalized program
   /// levels). The future yields the generated voltages, or rethrows the
   /// engine's error. `deadline_micros` is a relative completion budget from
@@ -75,6 +82,16 @@ class RequestBatcher {
   std::future<std::vector<float>> submit(std::vector<float> program_levels, std::uint64_t seed,
                                          std::uint64_t stream,
                                          std::uint64_t deadline_micros = 0);
+
+  /// Callback flavor of submit() for event-loop callers that must not block
+  /// on a future. Admission errors (Overloaded) still throw synchronously on
+  /// the calling thread; execution errors arrive through the completion.
+  void submit_async(std::vector<float> program_levels, std::uint64_t seed, std::uint64_t stream,
+                    std::uint64_t deadline_micros, Completion done);
+
+  /// Queued + in-flight requests right now; the replica dispatcher's
+  /// least-loaded signal.
+  std::size_t outstanding() const;
 
   const tensor::Shape& row_shape() const { return row_shape_; }
   const BatchPolicy& policy() const { return policy_; }
@@ -94,7 +111,7 @@ class RequestBatcher {
     std::vector<float> program_levels;
     std::uint64_t seed;
     std::uint64_t stream;
-    std::promise<std::vector<float>> promise;
+    Completion done;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;  // time_point::max() if none
   };

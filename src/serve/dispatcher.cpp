@@ -1,0 +1,74 @@
+#include "serve/dispatcher.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+
+namespace flashgen::serve {
+
+ReplicaDispatcher::ReplicaDispatcher(std::vector<InferenceEngine*> engines,
+                                     tensor::Shape row_shape, BatchPolicy policy,
+                                     ServeMetrics* metrics)
+    : row_shape_(std::move(row_shape)) {
+  FG_CHECK(!engines.empty(), "ReplicaDispatcher: need at least one engine");
+  batchers_.reserve(engines.size());
+  for (InferenceEngine* engine : engines) {
+    FG_CHECK(engine != nullptr, "ReplicaDispatcher: null engine");
+    batchers_.push_back(
+        std::make_unique<RequestBatcher>(*engine, row_shape_, policy, metrics));
+  }
+}
+
+void ReplicaDispatcher::submit_async(std::vector<float> program_levels, std::uint64_t seed,
+                                     std::uint64_t stream, std::uint64_t deadline_micros,
+                                     RequestBatcher::Completion done) {
+  // Least-loaded pick. The loads are sampled racily (executors drain them
+  // concurrently), which only skews balance, never correctness: any replica
+  // produces bit-identical results, and the admission bound is enforced
+  // authoritatively inside the chosen batcher's submit.
+  std::size_t best = 0;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < batchers_.size(); ++i) {
+    const std::size_t load = batchers_[i]->outstanding();
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  batchers_[best]->submit_async(std::move(program_levels), seed, stream, deadline_micros,
+                                std::move(done));
+}
+
+std::future<std::vector<float>> ReplicaDispatcher::submit(std::vector<float> program_levels,
+                                                          std::uint64_t seed,
+                                                          std::uint64_t stream,
+                                                          std::uint64_t deadline_micros) {
+  auto promise = std::make_shared<std::promise<std::vector<float>>>();
+  std::future<std::vector<float>> future = promise->get_future();
+  submit_async(std::move(program_levels), seed, stream, deadline_micros,
+               [promise](std::vector<float>&& voltages, std::exception_ptr error) {
+                 if (error) {
+                   promise->set_exception(std::move(error));
+                 } else {
+                   promise->set_value(std::move(voltages));
+                 }
+               });
+  return future;
+}
+
+void ReplicaDispatcher::close() {
+  for (auto& b : batchers_) b->close();
+}
+
+void ReplicaDispatcher::drain() {
+  for (auto& b : batchers_) b->drain();
+}
+
+std::size_t ReplicaDispatcher::outstanding() const {
+  std::size_t total = 0;
+  for (const auto& b : batchers_) total += b->outstanding();
+  return total;
+}
+
+}  // namespace flashgen::serve

@@ -1,0 +1,66 @@
+// ReplicaDispatcher: least-loaded request routing over N replica engines.
+//
+// Each replica (an InferenceEngine over its own copy of the model weights)
+// gets its own RequestBatcher and executor thread; the dispatcher routes each
+// request to the replica with the fewest outstanding requests (queued +
+// in-flight), breaking ties toward the lowest index. Because every request
+// carries its own RNG stream and the engine runs per-sample batch norm, the
+// routing decision is invisible in the results: any replica returns the same
+// bits for the same (seed, stream, PL array).
+//
+// Admission control and deadline shedding compose per replica: a request is
+// rejected as Overloaded only when its chosen (least-loaded) replica is at
+// its queue bound — i.e. when every replica is full — so the fleet-wide
+// admission capacity is replicas x max_queue_depth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "tensor/shape.h"
+
+namespace flashgen::serve {
+
+class ReplicaDispatcher {
+ public:
+  /// One batcher per engine; `engines` must outlive the dispatcher and each
+  /// engine must be exclusive to it (one executor thread apiece). `metrics`
+  /// may be null.
+  ReplicaDispatcher(std::vector<InferenceEngine*> engines, tensor::Shape row_shape,
+                    BatchPolicy policy, ServeMetrics* metrics = nullptr);
+
+  ReplicaDispatcher(const ReplicaDispatcher&) = delete;
+  ReplicaDispatcher& operator=(const ReplicaDispatcher&) = delete;
+
+  /// Least-loaded submit; see RequestBatcher::submit_async for semantics.
+  /// Throws Overloaded when the least-loaded replica is at its admission
+  /// bound (i.e. the whole fleet is full) or the dispatcher is closed.
+  void submit_async(std::vector<float> program_levels, std::uint64_t seed, std::uint64_t stream,
+                    std::uint64_t deadline_micros, RequestBatcher::Completion done);
+
+  /// Future flavor for blocking callers (tests).
+  std::future<std::vector<float>> submit(std::vector<float> program_levels, std::uint64_t seed,
+                                         std::uint64_t stream, std::uint64_t deadline_micros = 0);
+
+  /// Stops admitting on every replica (graceful drain); idempotent.
+  void close();
+  /// Blocks until every admitted request on every replica has executed.
+  void drain();
+
+  std::size_t replicas() const { return batchers_.size(); }
+  /// Fleet-wide queued + in-flight requests (a load probe, racy by nature).
+  std::size_t outstanding() const;
+  const tensor::Shape& row_shape() const { return row_shape_; }
+  /// Per-replica executed-batch counters, for balance checks in tests.
+  const RequestBatcher& batcher(std::size_t replica) const { return *batchers_[replica]; }
+
+ private:
+  tensor::Shape row_shape_;
+  std::vector<std::unique_ptr<RequestBatcher>> batchers_;
+};
+
+}  // namespace flashgen::serve

@@ -2,24 +2,33 @@
 //
 // Trains (or loads from the checkpoint cache) the requested models under the
 // small experiment configuration, registers them in a ModelRegistry, and
-// serves the length-prefixed binary protocol on a unix socket until stdin
-// closes, a line is entered, or SIGTERM/SIGINT arrives. Shutdown is always a
-// graceful drain: the admission queues close (new requests are answered
-// kOverloaded, health probes kDraining), in-flight requests complete and
-// their responses flush, then the final metrics JSON is printed.
+// serves the length-prefixed binary protocol — on a unix socket or TCP —
+// until stdin closes, a line is entered, or SIGTERM/SIGINT arrives. Shutdown
+// is always a graceful drain: the admission queues close (new requests are
+// answered kOverloaded, health probes kDraining), in-flight requests complete
+// and their responses flush, then the final metrics JSON is printed.
 //
-// Run:  ./flashgen_serve [flags] [socket_path] [models_csv] [max_batch] [max_wait_us]
-//   socket_path  default /tmp/flashgen_serve.sock
+// Run:  ./flashgen_serve [flags] [endpoint] [models_csv] [max_batch] [max_wait_us]
+//   endpoint     default /tmp/flashgen_serve.sock; accepts "unix:/path", a
+//                bare path, or "tcp:host:port" ("tcp:127.0.0.1:0" picks a
+//                free port and prints it)
 //   models_csv   default "Gaussian"; any of cVAE-GAN,Bicycle-GAN,cGAN,cVAE,
 //                Gaussian (case-insensitive, matched without '-')
 //   max_batch    default 8
 //   max_wait_us  default 2000
 // Flags:
+//   --tcp               shorthand for the endpoint "tcp:127.0.0.1:7070"
+//                       (overridden by an explicit endpoint positional)
+//   --replicas=N        replica engines per model behind the least-loaded
+//                       dispatcher, each with its own batcher + executor
+//                       thread (default 1); responses are bit-identical for
+//                       any replica count
+//   --backlog=N         listen() backlog (default SOMAXCONN)
 //   --resume            resume interrupted training from its snapshot, and
 //                       write snapshots while training (see --snapshot-every)
 //   --snapshot-every=N  training snapshot period in optimizer steps
 //                       (default 64 when --resume is given, else disabled)
-//   --max-queue=N       admission queue bound per model; beyond it requests
+//   --max-queue=N       admission queue bound per replica; beyond it requests
 //                       are rejected with kOverloaded (default 128, 0 = off)
 //
 // Pair with ./flashgen_loadgen to drive traffic and read back metrics.
@@ -78,13 +87,22 @@ void on_signal(int signum) {
 
 int main(int argc, char** argv) {
   bool resume = false;
+  bool tcp = false;
   int snapshot_every = -1;  // -1 = unset
+  int replicas = 1;
+  int backlog = -1;  // -1 = SOMAXCONN
   std::size_t max_queue = 128;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--tcp") {
+      tcp = true;
+    } else if (arg.rfind("--replicas=", 0) == 0) {
+      replicas = std::max(1, std::atoi(arg.c_str() + std::strlen("--replicas=")));
+    } else if (arg.rfind("--backlog=", 0) == 0) {
+      backlog = std::atoi(arg.c_str() + std::strlen("--backlog="));
     } else if (arg.rfind("--snapshot-every=", 0) == 0) {
       snapshot_every = std::atoi(arg.c_str() + std::strlen("--snapshot-every="));
     } else if (arg.rfind("--max-queue=", 0) == 0) {
@@ -93,7 +111,9 @@ int main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
-  const std::string socket_path = positional.size() > 0 ? positional[0] : "/tmp/flashgen_serve.sock";
+  const std::string endpoint_spec = positional.size() > 0 ? positional[0]
+                                    : tcp                 ? "tcp:127.0.0.1:7070"
+                                                          : "/tmp/flashgen_serve.sock";
   const std::string models_csv = positional.size() > 1 ? positional[1] : "Gaussian";
   serve::BatchPolicy policy;
   if (positional.size() > 2) policy.max_batch_size = static_cast<std::size_t>(std::atoi(positional[2].c_str()));
@@ -114,14 +134,24 @@ int main(int argc, char** argv) {
     std::printf("loading %s ...\n", core::to_string(kind).c_str());
     registry.add(core::to_string(kind), experiment.train_or_load(kind),
                  tensor::Shape({1, s, s}), policy.max_batch_size);
+    // train_or_load is deterministic, so every replica carries identical
+    // weights; each gets its own engine + executor thread.
+    for (int r = 1; r < replicas; ++r) {
+      registry.add_replica(core::to_string(kind), experiment.train_or_load(kind),
+                           policy.max_batch_size);
+    }
   }
 
-  serve::Server server(registry, socket_path, policy);
+  serve::ServerOptions options;
+  options.endpoint = endpoint_spec;
+  options.backlog = backlog;
+  options.policy = policy;
+  serve::Server server(registry, options);
   server.start();
   std::printf(
-      "serving %zu model(s) on %s (batch<=%zu, wait<=%lluus, queue<=%zu); enter or SIGTERM to "
-      "drain\n",
-      registry.size(), socket_path.c_str(), policy.max_batch_size,
+      "serving %zu model(s) x%d replica(s) on %s (batch<=%zu, wait<=%lluus, queue<=%zu); enter or "
+      "SIGTERM to drain\n",
+      registry.size(), replicas, server.endpoint().c_str(), policy.max_batch_size,
       static_cast<unsigned long long>(policy.max_wait_micros), policy.max_queue_depth);
   std::fflush(stdout);
 

@@ -1,0 +1,201 @@
+#include "serve/loadgen.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <deque>
+
+#include "common/error.h"
+#include "common/framing.h"
+#include "common/rng.h"
+#include "data/normalization.h"
+#include "serve/endpoint.h"
+#include "serve/protocol.h"
+
+namespace flashgen::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct ClientConn {
+  int fd = -1;
+  framing::FrameDecoder decoder;
+  std::vector<std::uint8_t> outbuf;
+  std::size_t out_off = 0;
+  bool want_write = false;
+  std::deque<Clock::time_point> pending;  // scheduled time, request order
+};
+
+}  // namespace
+
+std::uint64_t exact_quantile_us(std::vector<std::uint64_t>& sample, double q) {
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  const double rank = q * static_cast<double>(sample.size());
+  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+  if (index > 0) --index;  // nearest-rank, 1-based -> 0-based
+  index = std::min(index, sample.size() - 1);
+  return sample[index];
+}
+
+OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
+  FG_CHECK(options.connections > 0, "open loop: need at least one connection");
+  FG_CHECK(options.total_requests > 0, "open loop: need at least one request");
+  FG_CHECK(options.target_rps > 0.0, "open loop: target_rps must be positive");
+
+  const Endpoint endpoint = parse_endpoint(options.endpoint);
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  FG_CHECK(epoll_fd >= 0, "epoll_create1() failed: " << std::strerror(errno));
+
+  std::vector<ClientConn> conns(static_cast<std::size_t>(options.connections));
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    conns[i].fd = connect_endpoint(endpoint);
+    framing::set_nonblocking(conns[i].fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = i;
+    FG_CHECK(::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, conns[i].fd, &ev) == 0,
+             "epoll_ctl(add) failed: " << std::strerror(errno));
+  }
+
+  const auto update_write_interest = [&](std::size_t i) {
+    ClientConn& conn = conns[i];
+    const bool want = conn.out_off < conn.outbuf.size();
+    if (want == conn.want_write) return;
+    conn.want_write = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.u64 = i;
+    FG_CHECK(::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev) == 0,
+             "epoll_ctl(mod) failed: " << std::strerror(errno));
+  };
+
+  const auto flush = [&](std::size_t i) {
+    ClientConn& conn = conns[i];
+    if (conn.out_off < conn.outbuf.size()) {
+      conn.out_off += framing::write_some(conn.fd, conn.outbuf.data() + conn.out_off,
+                                          conn.outbuf.size() - conn.out_off);
+    }
+    if (conn.out_off == conn.outbuf.size()) {
+      conn.outbuf.clear();
+      conn.out_off = 0;
+    }
+    update_write_interest(i);
+  };
+
+  data::VoltageNormalizer normalizer;
+  GenerateRequest request;
+  request.model = options.model;
+  request.seed = options.seed;
+  request.side = options.side;
+  request.deadline_micros = options.deadline_micros;
+  request.program_levels.resize(static_cast<std::size_t>(options.side) * options.side);
+
+  OpenLoopResult result;
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(static_cast<std::size_t>(options.total_requests));
+  const std::uint64_t total = static_cast<std::uint64_t>(options.total_requests);
+  const double micros_per_request = 1e6 / options.target_rps;
+  const auto t0 = Clock::now();
+  std::uint64_t completed = 0;
+
+  const auto scheduled_at = [&](std::uint64_t i) {
+    return t0 + std::chrono::microseconds(
+                    static_cast<std::int64_t>(static_cast<double>(i) * micros_per_request));
+  };
+
+  const auto consume_frames = [&](std::size_t i) {
+    ClientConn& conn = conns[i];
+    std::vector<std::uint8_t> payload;
+    while (conn.decoder.next(payload)) {
+      FG_CHECK(!conn.pending.empty(), "open loop: unsolicited response frame");
+      const Clock::time_point t_sched = conn.pending.front();
+      conn.pending.pop_front();
+      ++completed;
+      const MessageType type = peek_type(payload);
+      if (type == MessageType::kGenerateOk) {
+        ++result.ok;
+        result.checksum ^= fnv1a(payload);
+        const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - t_sched);
+        latencies.push_back(static_cast<std::uint64_t>(std::max<std::int64_t>(0, micros.count())));
+      } else if (type == MessageType::kOverloaded) {
+        ++result.shed;
+      } else {
+        ++result.errors;
+      }
+    }
+  };
+
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (completed < total) {
+    // Inject every request whose scheduled time has arrived — on schedule
+    // even when the server is slow; that is the open-loop contract.
+    const auto now = Clock::now();
+    while (result.sent < total && scheduled_at(result.sent) <= now) {
+      const std::uint64_t index = result.sent;
+      Rng rng(options.seed + index + 1);
+      for (float& v : request.program_levels) {
+        v = normalizer.normalize_level(static_cast<int>(rng.uniform_int(8)));
+      }
+      request.stream = index;
+      const std::size_t c = static_cast<std::size_t>(index % conns.size());
+      const std::vector<std::uint8_t> frame = framing::encode_frame(encode_generate_request(request));
+      conns[c].outbuf.insert(conns[c].outbuf.end(), frame.begin(), frame.end());
+      conns[c].pending.push_back(scheduled_at(index));
+      ++result.sent;
+      flush(c);
+    }
+
+    int timeout_ms = 1000;  // all sent: wait for responses in bounded steps
+    if (result.sent < total) {
+      const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+          scheduled_at(result.sent) - Clock::now());
+      timeout_ms = static_cast<int>(std::clamp<std::int64_t>(wait.count(), 0, 1000));
+    }
+    const int n = ::epoll_wait(epoll_fd, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      FG_CHECK(errno == EINTR, "epoll_wait failed: " << std::strerror(errno));
+      continue;
+    }
+    for (int e = 0; e < n; ++e) {
+      const std::size_t i = static_cast<std::size_t>(events[e].data.u64);
+      if ((events[e].events & EPOLLOUT) != 0) flush(i);
+      if ((events[e].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+        const framing::ReadStatus status = framing::read_some(conns[i].fd, conns[i].decoder);
+        consume_frames(i);
+        FG_CHECK(status != framing::ReadStatus::kEof || completed >= total,
+                 "open loop: server closed connection mid-run");
+      }
+    }
+  }
+
+  result.elapsed_sec = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.achieved_rps = static_cast<double>(completed) / result.elapsed_sec;
+  result.p50_us = exact_quantile_us(latencies, 0.50);
+  result.p90_us = exact_quantile_us(latencies, 0.90);
+  result.p99_us = exact_quantile_us(latencies, 0.99);
+  result.p999_us = exact_quantile_us(latencies, 0.999);
+  result.max_us = latencies.empty() ? 0 : latencies.back();
+
+  for (ClientConn& conn : conns) ::close(conn.fd);
+  ::close(epoll_fd);
+  return result;
+}
+
+}  // namespace flashgen::serve

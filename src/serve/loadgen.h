@@ -1,0 +1,65 @@
+// Open-loop load generation for flashgen_serve.
+//
+// The closed-loop mode (flashgen_loadgen's default) sends the next request
+// only after the previous response arrives, so a slow server throttles its
+// own load and the measured latency hides queueing — the classic coordinated
+// omission trap. The open-loop engine here instead injects requests on a
+// fixed wall-clock schedule (target_rps), spread round-robin over N
+// connections with pipelining, regardless of how fast responses return.
+// Latency is measured from each request's *scheduled* injection time to its
+// response, so server-side queue buildup shows up in the tail instead of
+// silently stretching the run.
+//
+// One epoll thread multiplexes every connection (the same non-blocking
+// framing machinery the server uses), which keeps 1k+ concurrent
+// connections cheap on the client side. Request content is a pure function
+// of (seed, request index), and the response checksum XORs order-independent
+// per-response hashes, so two runs at the same seeds — over any transport,
+// replica count, or completion order — must report the same checksum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flashgen::serve {
+
+struct OpenLoopOptions {
+  std::string endpoint;             // endpoint spec, see endpoint.h
+  std::string model = "Gaussian";
+  std::uint32_t side = 16;          // PL array is side x side
+  std::uint64_t seed = 1;           // request i uses stream i
+  std::uint64_t deadline_micros = 0;
+  int connections = 64;
+  double target_rps = 1000.0;       // injection rate across all connections
+  int total_requests = 4096;        // run length
+};
+
+struct OpenLoopResult {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;    // kOverloaded responses
+  std::uint64_t errors = 0;  // kError responses
+  double elapsed_sec = 0.0;
+  double achieved_rps = 0.0;  // completions / elapsed
+  // Exact client-side quantiles (sorted sample, not histogram buckets),
+  // measured from scheduled injection to response, successes only.
+  std::uint64_t p50_us = 0;
+  std::uint64_t p90_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
+  std::uint64_t max_us = 0;
+  // XOR of per-response FNV-1a hashes: order-independent, so equal seeds must
+  // give equal checksums across transports, replica counts, and schedules.
+  std::uint64_t checksum = 0;
+};
+
+/// Runs one open-loop measurement against a serving endpoint. Blocks until
+/// every injected request has been answered. Throws flashgen::Error if a
+/// connection fails mid-run (the measurement would be meaningless).
+OpenLoopResult run_open_loop(const OpenLoopOptions& options);
+
+/// Nearest-rank quantile over an unsorted latency sample (sorts in place).
+std::uint64_t exact_quantile_us(std::vector<std::uint64_t>& sample, double q);
+
+}  // namespace flashgen::serve

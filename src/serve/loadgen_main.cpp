@@ -1,17 +1,27 @@
 // flashgen_loadgen: load generator for flashgen_serve.
 //
-// Opens `connections` client connections, each sending `requests` generate
-// calls back-to-back with random program-level arrays, then prints a JSON
-// summary with client-side latency quantiles and the server's own metrics.
+// Two modes:
+//   closed loop (default) — `connections` threads, each with one blocking
+//     client sending `requests` generate calls back-to-back. Simple, but a
+//     slow server throttles its own load and queueing hides in the walltime.
+//   open loop (--open)    — requests are injected on a fixed schedule
+//     (--rps), spread round-robin over `connections` pipelined non-blocking
+//     connections driven by one epoll thread; `requests` is then the total.
+//     Latency is measured from each request's scheduled injection time, so
+//     queue buildup shows up in p99/p999 instead of being coordinated away.
 //
-// Run:  ./flashgen_loadgen [socket_path] [model] [requests] [connections] [side] [seed] [deadline_us]
-//   socket_path  default /tmp/flashgen_serve.sock
+// Run:  ./flashgen_loadgen [flags] [endpoint] [model] [requests] [connections] [side] [seed] [deadline_us]
+//   endpoint     default /tmp/flashgen_serve.sock; accepts "unix:/path",
+//                a bare path, or "tcp:host:port"
 //   model        default Gaussian (must match a name the server registered)
-//   requests     default 256 per connection
-//   connections  default 4
+//   requests     default 256 per connection (closed) / 4096 total (open)
+//   connections  default 4 (closed) / 64 (open)
 //   side         default 16 (must match the served model's array size)
-//   seed         default 1 (request i on connection c uses stream c*requests+i)
+//   seed         default 1
 //   deadline_us  default 0 (no per-request deadline)
+// Flags:
+//   --open     open-loop mode (see above)
+//   --rps=N    open-loop injection rate across all connections, default 1000
 //
 // Requests the server rejects with kOverloaded are counted as "shed" rather
 // than aborting the run, so the tool can probe overload behavior directly.
@@ -19,25 +29,80 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "data/normalization.h"
+#include "serve/loadgen.h"
 #include "serve/metrics.h"
 #include "serve/server.h"
 
 using namespace flashgen;
 
 int main(int argc, char** argv) {
-  const std::string socket_path = argc > 1 ? argv[1] : "/tmp/flashgen_serve.sock";
-  const std::string model = argc > 2 ? argv[2] : "Gaussian";
-  const int requests = argc > 3 ? std::atoi(argv[3]) : 256;
-  const int connections = argc > 4 ? std::atoi(argv[4]) : 4;
-  const auto side = static_cast<std::uint32_t>(argc > 5 ? std::atoi(argv[5]) : 16);
-  const auto seed = static_cast<std::uint64_t>(argc > 6 ? std::atoll(argv[6]) : 1);
-  const auto deadline_us = static_cast<std::uint64_t>(argc > 7 ? std::atoll(argv[7]) : 0);
+  bool open_loop = false;
+  double rps = 1000.0;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--open") {
+      open_loop = true;
+    } else if (arg.rfind("--rps=", 0) == 0) {
+      rps = std::atof(arg.c_str() + std::strlen("--rps="));
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::string endpoint = positional.size() > 0 ? positional[0] : "/tmp/flashgen_serve.sock";
+  const std::string model = positional.size() > 1 ? positional[1] : "Gaussian";
+  const int requests =
+      positional.size() > 2 ? std::atoi(positional[2].c_str()) : (open_loop ? 4096 : 256);
+  const int connections =
+      positional.size() > 3 ? std::atoi(positional[3].c_str()) : (open_loop ? 64 : 4);
+  const auto side =
+      static_cast<std::uint32_t>(positional.size() > 4 ? std::atoi(positional[4].c_str()) : 16);
+  const auto seed =
+      static_cast<std::uint64_t>(positional.size() > 5 ? std::atoll(positional[5].c_str()) : 1);
+  const auto deadline_us =
+      static_cast<std::uint64_t>(positional.size() > 6 ? std::atoll(positional[6].c_str()) : 0);
+
+  if (open_loop) {
+    serve::OpenLoopOptions options;
+    options.endpoint = endpoint;
+    options.model = model;
+    options.side = side;
+    options.seed = seed;
+    options.deadline_micros = deadline_us;
+    options.connections = connections;
+    options.target_rps = rps;
+    options.total_requests = requests;
+    const serve::OpenLoopResult result = serve::run_open_loop(options);
+
+    serve::Client stats_client(endpoint);
+    const std::string server_stats = stats_client.stats();
+    std::printf("{\"mode\": \"open\", \"model\": \"%s\", \"requests\": %llu, \"connections\": %d,\n",
+                model.c_str(), static_cast<unsigned long long>(result.sent), connections);
+    std::printf(" \"target_rps\": %.1f, \"achieved_rps\": %.1f, \"elapsed_sec\": %.3f,\n", rps,
+                result.achieved_rps, result.elapsed_sec);
+    std::printf(" \"ok\": %llu, \"shed\": %llu, \"errors\": %llu, \"checksum\": %llu,\n",
+                static_cast<unsigned long long>(result.ok),
+                static_cast<unsigned long long>(result.shed),
+                static_cast<unsigned long long>(result.errors),
+                static_cast<unsigned long long>(result.checksum));
+    std::printf(
+        " \"client_p50_us\": %llu, \"client_p90_us\": %llu, \"client_p99_us\": %llu, "
+        "\"client_p999_us\": %llu, \"client_max_us\": %llu,\n",
+        static_cast<unsigned long long>(result.p50_us),
+        static_cast<unsigned long long>(result.p90_us),
+        static_cast<unsigned long long>(result.p99_us),
+        static_cast<unsigned long long>(result.p999_us),
+        static_cast<unsigned long long>(result.max_us));
+    std::printf(" \"server\": %s}\n", server_stats.c_str());
+    return 0;
+  }
 
   data::VoltageNormalizer normalizer;
   serve::LatencyHistogram latency;
@@ -48,7 +113,7 @@ int main(int argc, char** argv) {
   std::vector<std::thread> threads;
   for (int c = 0; c < connections; ++c) {
     threads.emplace_back([&, c] {
-      serve::Client client(socket_path);
+      serve::Client client(endpoint);
       Rng rng(seed + static_cast<std::uint64_t>(c) + 1);
       serve::GenerateRequest request;
       request.model = model;
@@ -78,18 +143,19 @@ int main(int argc, char** argv) {
   for (std::thread& t : threads) t.join();
   const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
-  serve::Client stats_client(socket_path);
+  serve::Client stats_client(endpoint);
   const std::string server_stats = stats_client.stats();
 
   const auto total = static_cast<double>(requests) * connections;
-  std::printf("{\"model\": \"%s\", \"requests\": %d, \"connections\": %d, \"side\": %u,\n",
+  std::printf("{\"mode\": \"closed\", \"model\": \"%s\", \"requests\": %d, \"connections\": %d, \"side\": %u,\n",
               model.c_str(), requests * connections, connections, side);
   std::printf(" \"shed\": %llu,\n", static_cast<unsigned long long>(shed.load()));
   std::printf(" \"elapsed_sec\": %.3f, \"requests_per_sec\": %.1f,\n", elapsed, total / elapsed);
-  std::printf(" \"client_p50_us\": %llu, \"client_p90_us\": %llu, \"client_p99_us\": %llu,\n",
+  std::printf(" \"client_p50_us\": %llu, \"client_p90_us\": %llu, \"client_p99_us\": %llu, \"client_p999_us\": %llu,\n",
               static_cast<unsigned long long>(latency.quantile_micros(0.50)),
               static_cast<unsigned long long>(latency.quantile_micros(0.90)),
-              static_cast<unsigned long long>(latency.quantile_micros(0.99)));
+              static_cast<unsigned long long>(latency.quantile_micros(0.99)),
+              static_cast<unsigned long long>(latency.quantile_micros(0.999)));
   std::printf(" \"server\": %s}\n", server_stats.c_str());
   return 0;
 }

@@ -23,8 +23,10 @@ class LatencyHistogram {
   static constexpr int kBuckets = 25;
 
   void record(std::uint64_t micros);
-  /// Inverse-CDF lookup: upper edge of the bucket holding quantile q in
-  /// [0, 1]. Returns 0 when empty.
+  /// Inverse-CDF lookup: midpoint of the bucket holding quantile q in
+  /// [0, 1], so a constant stream reports its own value (to bucket
+  /// resolution) instead of up to 2x high at the bucket's upper edge.
+  /// Returns 0 when empty.
   std::uint64_t quantile_micros(double q) const;
   /// Arithmetic mean in microseconds; 0 when empty.
   double mean_micros() const;
@@ -47,6 +49,9 @@ class ServeMetrics {
   void record_shed();
   /// Request failed because its deadline expired before execution.
   void record_deadline_exceeded();
+  /// accept() failed with a transient errno (ECONNABORTED, EMFILE, ...); the
+  /// listener kept running. Reported as "accept_errors".
+  void record_accept_error();
   /// Latency sample for one named pipeline stage (e.g. "decode",
   /// "queue_wait", "infer", "write"). Stages appear in the JSON under
   /// "stages" keyed by name; names should be string literals from a small
@@ -71,6 +76,7 @@ class ServeMetrics {
   std::uint64_t errors_ = 0;
   std::uint64_t shed_ = 0;
   std::uint64_t deadline_exceeded_ = 0;
+  std::uint64_t accept_errors_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_rows_ = 0;
   std::size_t max_batch_ = 0;

@@ -1,5 +1,10 @@
-// flashgen-serve wire protocol: length-prefixed binary frames over a local
-// stream socket.
+// flashgen-serve wire protocol: length-prefixed binary frames over a stream
+// socket (unix or TCP — the frame layout is transport-agnostic).
+//
+// Requests may be pipelined: a client can write any number of frames before
+// reading, and the server answers each connection's frames strictly in
+// arrival order. Nothing in the payload identifies the request; ordering IS
+// the correlation mechanism, so both sides must preserve it.
 //
 // Frame layout (all integers little-endian):
 //   u32 payload_len | payload
@@ -32,7 +37,10 @@
 // Frame transport (length prefix, MSG_NOSIGNAL, chunked reads, the
 // "socket_reset" fault point) lives in common/framing.{h,cpp}, shared with
 // the distributed-training collectives; this header re-exports it under the
-// serve namespace so protocol users have a single include.
+// serve namespace so protocol users have a single include. Non-blocking
+// peers (the epoll server, the open-loop loadgen) reassemble frames from
+// partial reads with framing::FrameDecoder instead of the blocking
+// read_frame/write_frame pair.
 #pragma once
 
 #include <cstdint>

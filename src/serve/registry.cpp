@@ -8,6 +8,24 @@ namespace flashgen::serve {
 
 using tensor::Index;
 
+namespace {
+void warmup_engine(InferenceEngine& engine, const tensor::Shape& row_shape,
+                   std::size_t warmup_batch) {
+  if (warmup_batch == 0) return;
+  std::vector<Index> dims;
+  dims.push_back(static_cast<Index>(warmup_batch));
+  for (auto d : row_shape.dims()) dims.push_back(d);
+  engine.warmup(Tensor::zeros(tensor::Shape(dims)));
+}
+}  // namespace
+
+std::vector<InferenceEngine*> ModelRegistry::Entry::engines() {
+  std::vector<InferenceEngine*> out;
+  out.reserve(replicas.size());
+  for (Replica& r : replicas) out.push_back(r.engine.get());
+  return out;
+}
+
 void ModelRegistry::add(const std::string& name, std::unique_ptr<models::GenerativeModel> model,
                         const tensor::Shape& row_shape, std::size_t warmup_batch) {
   FG_CHECK(!name.empty(), "ModelRegistry: empty model name");
@@ -15,27 +33,43 @@ void ModelRegistry::add(const std::string& name, std::unique_ptr<models::Generat
   FG_CHECK(model != nullptr, "ModelRegistry: null model for " << name);
 
   Entry entry;
-  entry.model = std::move(model);
-  entry.engine = std::make_unique<InferenceEngine>(*entry.model);
+  Replica replica;
+  replica.model = std::move(model);
+  replica.engine = std::make_unique<InferenceEngine>(*replica.model);
   entry.row_shape = row_shape;
-
-  if (warmup_batch > 0) {
-    std::vector<Index> dims;
-    dims.push_back(static_cast<Index>(warmup_batch));
-    for (auto d : row_shape.dims()) dims.push_back(d);
-    entry.engine->warmup(Tensor::zeros(tensor::Shape(dims)));
-  }
+  warmup_engine(*replica.engine, row_shape, warmup_batch);
+  entry.replicas.push_back(std::move(replica));
 
   entries_.emplace(name, std::move(entry));
 }
 
+void ModelRegistry::add_replica(const std::string& name,
+                                std::unique_ptr<models::GenerativeModel> model,
+                                std::size_t warmup_batch) {
+  FG_CHECK(model != nullptr, "ModelRegistry: null replica for " << name);
+  Entry& entry = at(name);
+  Replica replica;
+  replica.model = std::move(model);
+  replica.engine = std::make_unique<InferenceEngine>(*replica.model);
+  warmup_engine(*replica.engine, entry.row_shape, warmup_batch);
+  entry.replicas.push_back(std::move(replica));
+}
+
 void ModelRegistry::load(const std::string& name, core::ModelKind kind,
                          const models::NetworkConfig& config,
-                         const std::string& checkpoint_path, std::size_t warmup_batch) {
-  auto model = core::make_model(kind, config, /*seed=*/0);
-  model->load(checkpoint_path);
+                         const std::string& checkpoint_path, std::size_t warmup_batch,
+                         std::size_t replicas) {
+  FG_CHECK(replicas >= 1, "ModelRegistry: need at least one replica for " << name);
   const auto s = static_cast<Index>(config.array_size);
-  add(name, std::move(model), tensor::Shape({1, s, s}), warmup_batch);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    auto model = core::make_model(kind, config, /*seed=*/0);
+    model->load(checkpoint_path);
+    if (r == 0) {
+      add(name, std::move(model), tensor::Shape({1, s, s}), warmup_batch);
+    } else {
+      add_replica(name, std::move(model), warmup_batch);
+    }
+  }
 }
 
 ModelRegistry::Entry& ModelRegistry::at(const std::string& name) {

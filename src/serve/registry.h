@@ -1,9 +1,14 @@
 // ModelRegistry: named, warmed-up inference engines for the serving runtime.
 //
-// Each entry owns a trained GenerativeModel plus the InferenceEngine wrapping
-// it. Models enter the registry either pre-trained (add) or from a checkpoint
-// on disk (load, via core::make_model + GenerativeModel::load). Registration
-// warms the engine up so the first real request hits a primed workspace pool.
+// Each entry owns one or more replicas: a trained GenerativeModel plus the
+// InferenceEngine wrapping it. Replicas of one entry are separate model
+// instances with identical weights (trained deterministically from the same
+// seed, or restored from the same checkpoint); the replica dispatcher runs
+// one executor thread per replica, so replicas must not share mutable state.
+// Models enter the registry either pre-trained (add / add_replica) or from a
+// checkpoint on disk (load, via core::make_model + GenerativeModel::load).
+// Registration warms each engine up so the first real request hits a primed
+// workspace pool.
 //
 // Lookup is read-only after startup; registration is not thread-safe with
 // concurrent lookups, so register every model before serving traffic.
@@ -22,22 +27,40 @@ namespace flashgen::serve {
 
 class ModelRegistry {
  public:
-  struct Entry {
+  struct Replica {
     std::unique_ptr<models::GenerativeModel> model;
     std::unique_ptr<InferenceEngine> engine;
-    tensor::Shape row_shape;  // one sample without the batch dim, e.g. (1, S, S)
   };
 
-  /// Registers a trained model under `name` and warms its engine up with a
-  /// `warmup_batch`-row batch (0 skips warmup, e.g. for tests).
+  struct Entry {
+    std::vector<Replica> replicas;  // at least one
+    tensor::Shape row_shape;  // one sample without the batch dim, e.g. (1, S, S)
+
+    /// First replica's engine/model — the single-replica common case.
+    InferenceEngine& engine() { return *replicas.front().engine; }
+    models::GenerativeModel& model() { return *replicas.front().model; }
+    /// Every replica's engine, for the dispatcher.
+    std::vector<InferenceEngine*> engines();
+  };
+
+  /// Registers a trained model under `name` as the entry's first replica and
+  /// warms its engine up with a `warmup_batch`-row batch (0 skips warmup,
+  /// e.g. for tests).
   void add(const std::string& name, std::unique_ptr<models::GenerativeModel> model,
            const tensor::Shape& row_shape, std::size_t warmup_batch = 8);
 
+  /// Appends another replica to an existing entry. `model` must hold weights
+  /// identical to the entry's first replica (same training seed or same
+  /// checkpoint) — responses are bit-identical across replicas only then.
+  void add_replica(const std::string& name, std::unique_ptr<models::GenerativeModel> model,
+                   std::size_t warmup_batch = 8);
+
   /// Builds an untrained model of `kind`, restores `checkpoint_path` into it,
   /// and registers it. `config.array_size` fixes the row shape (1, S, S).
+  /// `replicas` > 1 loads that many independent instances of the checkpoint.
   void load(const std::string& name, core::ModelKind kind,
             const models::NetworkConfig& config, const std::string& checkpoint_path,
-            std::size_t warmup_batch = 8);
+            std::size_t warmup_batch = 8, std::size_t replicas = 1);
 
   bool contains(const std::string& name) const { return entries_.count(name) != 0; }
   /// FG_CHECKs that `name` is registered.

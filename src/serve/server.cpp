@@ -1,7 +1,8 @@
 #include "serve/server.h"
 
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -11,49 +12,93 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/faultinject.h"
 #include "common/logging.h"
+#include "common/stats.h"
 #include "common/trace.h"
 #include "tensor/gemm_backend.h"
 
 namespace flashgen::serve {
 
 namespace {
-sockaddr_un make_address(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  FG_CHECK(path.size() < sizeof(addr.sun_path),
-           "socket path too long (" << path.size() << " bytes): " << path);
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  return addr;
+
+// epoll user-data ids for the two non-connection fds; connection ids start
+// above them.
+constexpr std::uint64_t kListenerId = 0;
+constexpr std::uint64_t kWakeId = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+
+std::uint64_t micros_since(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - since)
+                                        .count());
 }
+
 }  // namespace
 
-Server::Server(ModelRegistry& registry, std::string socket_path, BatchPolicy policy)
-    : registry_(registry), socket_path_(std::move(socket_path)), policy_(policy) {
+Server::Server(ModelRegistry& registry, ServerOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  endpoint_ = parse_endpoint(options_.endpoint);
   for (const std::string& name : registry_.names()) {
     auto& entry = registry_.at(name);
-    batchers_.emplace(name, std::make_unique<RequestBatcher>(*entry.engine, entry.row_shape,
-                                                             policy_, &metrics_));
+    dispatchers_.emplace(name, std::make_unique<ReplicaDispatcher>(
+                                   entry.engines(), entry.row_shape, options_.policy, &metrics_));
   }
 
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  FG_CHECK(listen_fd_ >= 0, "socket() failed: " << std::strerror(errno));
-  ::unlink(socket_path_.c_str());
-  sockaddr_un addr = make_address(socket_path_);
-  FG_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
-           "bind(" << socket_path_ << ") failed: " << std::strerror(errno));
-  FG_CHECK(::listen(listen_fd_, 64) == 0, "listen() failed: " << std::strerror(errno));
+  const int backlog = options_.backlog >= 0 ? options_.backlog : SOMAXCONN;
+  listen_fd_ = listen_endpoint(endpoint_, backlog);
+  framing::set_nonblocking(listen_fd_);
+  if (endpoint_.kind == Endpoint::Kind::kTcp && endpoint_.port == 0) {
+    endpoint_.port = bound_port(listen_fd_);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  FG_CHECK(epoll_fd_ >= 0, "epoll_create1() failed: " << std::strerror(errno));
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  FG_CHECK(wake_fd_ >= 0, "eventfd() failed: " << std::strerror(errno));
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  FG_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0,
+           "epoll_ctl(listener) failed: " << std::strerror(errno));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeId;
+  FG_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
+           "epoll_ctl(eventfd) failed: " << std::strerror(errno));
 }
+
+Server::Server(ModelRegistry& registry, std::string socket_path, BatchPolicy policy)
+    : Server(registry, [&] {
+        ServerOptions options;
+        options.endpoint = std::move(socket_path);
+        options.policy = policy;
+        return options;
+      }()) {}
 
 Server::~Server() { stop(); }
 
+std::string Server::endpoint() const {
+  Endpoint connectable = endpoint_;
+  if (connectable.kind == Endpoint::Kind::kTcp && connectable.host.empty()) {
+    connectable.host = "127.0.0.1";
+  }
+  return to_string(connectable);
+}
+
+std::uint16_t Server::port() const {
+  FG_CHECK(endpoint_.kind == Endpoint::Kind::kTcp, "port(): not a TCP server");
+  return endpoint_.port;
+}
+
 void Server::start() {
-  FG_CHECK(!accept_thread_.joinable(), "Server already started");
+  FG_CHECK(!loop_thread_.joinable(), "Server already started");
   // Resolve (and announce) the GEMM backend before the first request, so a
   // bad FLASHGEN_GEMM_BACKEND fails loudly at startup rather than mid-batch.
-  FG_LOG(Info) << "serving with GEMM backend \"" << tensor::gemm_backend_name() << "\"";
+  FG_LOG(Info) << "serving on " << endpoint() << " with GEMM backend \""
+               << tensor::gemm_backend_name() << "\"";
   started_ = std::chrono::steady_clock::now();
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  loop_thread_ = std::thread([this] { run_loop(); });
 }
 
 void Server::drain_and_stop() {
@@ -61,9 +106,9 @@ void Server::drain_and_stop() {
   if (!draining_.exchange(true)) {
     // Reject new work first (kOverloaded / kDraining), then let everything
     // already admitted run to completion — including the response writes —
-    // before tearing down the threads.
-    for (auto& [name, batcher] : batchers_) batcher->close();
-    for (auto& [name, batcher] : batchers_) batcher->drain();
+    // before tearing down the loop.
+    for (auto& [name, dispatcher] : dispatchers_) dispatcher->close();
+    for (auto& [name, dispatcher] : dispatchers_) dispatcher->drain();
     while (active_requests_.load() > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
@@ -73,127 +118,350 @@ void Server::drain_and_stop() {
 
 void Server::stop() {
   if (stopping_.exchange(true)) return;
-  if (const int fd = listen_fd_.exchange(-1); fd >= 0) {
-    // Closing the listener unblocks accept().
-    ::shutdown(fd, SHUT_RDWR);
-    ::close(fd);
+  wake_loop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop has exited; tear down its fds from this thread, race-free.
+  for (auto& [id, conn] : conns_) ::close(conn->fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
-  {
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    // Wake connection threads parked in read_frame on idle connections:
-    // shutdown() makes their pending reads return EOF. The threads own the
-    // close(); fds are only shut down here while still in conn_fds_.
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-    workers.swap(workers_);
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
   }
-  for (std::thread& w : workers) w.join();
-  ::unlink(socket_path_.c_str());
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (endpoint_.kind == Endpoint::Kind::kUnix) ::unlink(endpoint_.path.c_str());
 }
 
-void Server::accept_loop() {
+void Server::wake_loop() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  // A full eventfd counter already guarantees a wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::run_loop() {
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
   while (!stopping_.load()) {
-    const int lfd = listen_fd_.load();
-    if (lfd < 0) return;
-    const int fd = ::accept(lfd, nullptr, nullptr);
-    if (fd < 0) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
       if (errno == EINTR) continue;
-      return;  // listener closed by stop()
-    }
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    if (stopping_.load()) {
-      // stop() already swapped the worker list; a thread added now would
-      // never be joined.
-      ::close(fd);
+      FG_LOG(Error) << "epoll_wait failed: " << std::strerror(errno);
       return;
     }
-    conn_fds_.push_back(fd);
-    workers_.emplace_back([this, fd] { handle_connection(fd); });
-  }
-}
-
-void Server::handle_connection(int fd) {
-  std::vector<std::uint8_t> payload;
-  try {
-    while (read_frame(fd, payload)) {
-      try {
-        const MessageType type = peek_type(payload);
-        if (type == MessageType::kGenerate) {
-          FG_TRACE_SPAN("serve.request", "serve");
-          // Drain accounting: drain_and_stop() waits for this to hit zero so
-          // a response already being computed is always delivered.
-          ++active_requests_;
-          struct ActiveGuard {
-            std::atomic<int>& n;
-            ~ActiveGuard() { --n; }
-          } guard{active_requests_};
-          const auto micros_since = [](std::chrono::steady_clock::time_point since) {
-            return static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::microseconds>(
-                    std::chrono::steady_clock::now() - since)
-                    .count());
-          };
-          const auto t0 = std::chrono::steady_clock::now();
-          GenerateRequest request = [&] {
-            FG_TRACE_SPAN("serve.decode", "serve");
-            return decode_generate_request(payload);
-          }();
-          auto& batcher = [&]() -> RequestBatcher& {
-            auto it = batchers_.find(request.model);
-            FG_CHECK(it != batchers_.end(), "unknown model: " << request.model);
-            return *it->second;
-          }();
-          metrics_.record_stage("decode", micros_since(t0));
-          const auto t_submit = std::chrono::steady_clock::now();
-          auto future = batcher.submit(std::move(request.program_levels), request.seed,
-                                       request.stream, request.deadline_micros);
-          GenerateResponse response;
-          response.side = request.side;
-          response.voltages = future.get();
-          // Queueing delay plus batched inference, as the request saw it.
-          metrics_.record_stage("infer_wait", micros_since(t_submit));
-          const auto t_write = std::chrono::steady_clock::now();
-          {
-            FG_TRACE_SPAN("serve.write", "serve");
-            write_frame(fd, encode_generate_response(response));
-          }
-          metrics_.record_stage("write", micros_since(t_write));
-          metrics_.record_request(micros_since(t0));
-        } else if (type == MessageType::kStats) {
-          const double elapsed =
-              std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
-          write_frame(fd, encode_stats_response(metrics_.to_json(elapsed)));
-        } else if (type == MessageType::kHealth) {
-          write_frame(fd, encode_health_response(draining_.load() ? HealthStatus::kDraining
-                                                                  : HealthStatus::kReady));
-        } else {
-          FG_CHECK(false, "unexpected message type " << static_cast<int>(type));
+    for (int i = 0; i < n && !stopping_.load(); ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      if (id == kWakeId) {
+        std::uint64_t counter = 0;
+        while (::read(wake_fd_, &counter, sizeof(counter)) > 0) {
         }
-      } catch (const Overloaded& e) {
-        write_frame(fd, encode_overloaded(e.what()));
-      } catch (const Error& e) {
-        metrics_.record_error();
-        write_frame(fd, encode_error(e.what()));
+        drain_completions();
+      } else if (id == kListenerId) {
+        on_listener_ready();
+      } else {
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;  // closed earlier this pass
+        Conn& conn = *it->second;
+        try {
+          if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+            // Peer vanished; pipelined responses can no longer be delivered.
+            close_conn(id);
+            continue;
+          }
+          if ((events[i].events & EPOLLOUT) != 0) on_conn_writable(conn);
+          if (conns_.count(id) == 0) continue;  // writable handler closed it
+          if ((events[i].events & (EPOLLIN | EPOLLRDHUP)) != 0 && !conn.peer_eof) {
+            on_conn_readable(conn);
+          }
+        } catch (const Error&) {
+          // Malformed framing or a dead socket: drop only this connection.
+          close_conn(id);
+        }
       }
     }
-  } catch (const Error&) {
-    // Malformed frame or write-side failure: drop the connection.
+    // Completions may land while handling other events; opportunistically
+    // drain so responses never wait for the next epoll tick.
+    drain_completions();
   }
-  {
-    // Deregister before close so stop() never shuts down a recycled fd.
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
-  }
-  ::close(fd);
 }
 
-Client::Client(const std::string& socket_path) {
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  FG_CHECK(fd_ >= 0, "socket() failed: " << std::strerror(errno));
-  sockaddr_un addr = make_address(socket_path);
-  FG_CHECK(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
-           "connect(" << socket_path << ") failed: " << std::strerror(errno));
+void Server::on_listener_ready() {
+  while (!stopping_.load()) {
+    int fd = -1;
+    int err = 0;
+    // Fault seams: simulate accept() failing without a real client in the
+    // picture (tests inject errno sequences through these).
+    if (FG_FAULT("serve_accept_transient")) {
+      err = ECONNABORTED;
+    } else if (FG_FAULT("serve_accept_exhausted")) {
+      err = EMFILE;
+    } else {
+      fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) err = errno;
+    }
+    if (fd >= 0) {
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conn->id = next_conn_id_++;
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLRDHUP;
+      ev.data.u64 = conn->id;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        FG_LOG(Error) << "epoll_ctl(add conn) failed: " << std::strerror(errno);
+        ::close(fd);
+        continue;
+      }
+      static stats::Counter& accepted = stats::counter("serve.connections_accepted");
+      accepted.add();
+      conns_.emplace(conn->id, std::move(conn));
+      continue;
+    }
+    if (err == EAGAIN || err == EWOULDBLOCK) return;  // backlog drained
+    if (err == EINTR) continue;
+    // Any other failure is transient from the listener's point of view —
+    // ECONNABORTED (peer reset while queued), EMFILE/ENFILE (fd exhaustion),
+    // ENOBUFS/ENOMEM, EPROTO. Exiting here would silently stop the server
+    // from ever accepting again while existing connections keep it looking
+    // alive; count the error and keep accepting.
+    metrics_.record_accept_error();
+    static stats::Counter& accept_errors = stats::counter("serve.accept_errors");
+    accept_errors.add();
+    if (err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM) {
+      // Out of fds: pause briefly so the retry isn't a hot spin; connections
+      // close and free fds while we wait. Level-triggered epoll re-reports
+      // the pending backlog immediately after.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return;
+    }
+  }
+}
+
+void Server::on_conn_readable(Conn& conn) {
+  const framing::ReadStatus status = framing::read_some(conn.fd, conn.decoder);
+  std::vector<std::uint8_t> payload;
+  bool closed = false;
+  while (conn.decoder.next(payload)) {
+    dispatch_frame(conn, std::move(payload));
+    if (conns_.count(conn.id) == 0) return;  // dispatch closed it
+  }
+  if (status == framing::ReadStatus::kEof) {
+    // Clean EOF on a frame boundary: finish flushing pipelined responses,
+    // then close. Mid-frame EOF is a protocol violation; drop immediately.
+    FG_CHECK(conn.decoder.buffered() == 0, "protocol: truncated frame at EOF");
+    conn.peer_eof = true;
+    if (conn.slots.empty() && conn.outbuf.empty()) {
+      close_conn(conn.id);
+      closed = true;
+    } else {
+      update_epoll(conn);  // stop watching EPOLLIN; EOF would spin the loop
+    }
+  }
+  if (!closed && conns_.count(conn.id) != 0) flush_conn(conn);
+}
+
+void Server::dispatch_frame(Conn& conn, std::vector<std::uint8_t> payload) {
+  FG_TRACE_SPAN("serve.request", "serve");
+  const std::uint64_t seq = conn.next_seq++;
+  conn.slots.emplace_back();
+  conn.slots.back().t0 = std::chrono::steady_clock::now();
+
+  // Helper: resolve the slot we just created (dispatch never re-enters).
+  const auto slot_ready = [&](std::vector<std::uint8_t> response_payload,
+                              bool counts_as_active) {
+    Slot& slot = conn.slots[static_cast<std::size_t>(seq - conn.head_seq)];
+    slot.frame = framing::encode_frame(response_payload);
+    slot.ready = true;
+    slot.counts_as_active = counts_as_active;
+  };
+
+  try {
+    const MessageType type = peek_type(payload);
+    if (type == MessageType::kGenerate) {
+      const auto t0 = conn.slots.back().t0;
+      GenerateRequest request = [&] {
+        FG_TRACE_SPAN("serve.decode", "serve");
+        return decode_generate_request(payload);
+      }();
+      auto& dispatcher = [&]() -> ReplicaDispatcher& {
+        auto it = dispatchers_.find(request.model);
+        FG_CHECK(it != dispatchers_.end(), "unknown model: " << request.model);
+        return *it->second;
+      }();
+      metrics_.record_stage("decode", micros_since(t0));
+      // Mark the slot active *before* submit: the completion can fire on the
+      // executor thread immediately.
+      {
+        Slot& slot = conn.slots[static_cast<std::size_t>(seq - conn.head_seq)];
+        slot.counts_as_active = true;
+      }
+      ++active_requests_;
+      const std::uint32_t side = request.side;
+      const std::uint64_t conn_id = conn.id;
+      const auto t_submit = std::chrono::steady_clock::now();
+      try {
+        dispatcher.submit_async(
+            std::move(request.program_levels), request.seed, request.stream,
+            request.deadline_micros,
+            [this, conn_id, seq, side, t_submit](std::vector<float>&& voltages,
+                                                 std::exception_ptr error) {
+              // Executor thread: encode here (parallel with the loop), then
+              // hand the payload over through the completion queue.
+              std::vector<std::uint8_t> response_payload;
+              if (!error) {
+                GenerateResponse response;
+                response.side = side;
+                response.voltages = std::move(voltages);
+                response_payload = encode_generate_response(response);
+              } else {
+                try {
+                  std::rethrow_exception(error);
+                } catch (const Overloaded& e) {
+                  metrics_.record_shed();
+                  response_payload = encode_overloaded(e.what());
+                } catch (const Error& e) {
+                  metrics_.record_error();
+                  response_payload = encode_error(e.what());
+                } catch (const std::exception& e) {
+                  metrics_.record_error();
+                  response_payload = encode_error(e.what());
+                }
+              }
+              {
+                std::lock_guard<std::mutex> lock(completions_mutex_);
+                completions_.push_back(CompletionMsg{conn_id, seq, std::move(response_payload),
+                                                     micros_since(t_submit)});
+              }
+              wake_loop();
+            });
+      } catch (...) {
+        // Admission rejected synchronously: the completion will never fire,
+        // so the active count unwinds here and the catch below answers.
+        --active_requests_;
+        Slot& slot = conn.slots[static_cast<std::size_t>(seq - conn.head_seq)];
+        slot.counts_as_active = false;
+        throw;
+      }
+    } else if (type == MessageType::kStats) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+      slot_ready(encode_stats_response(metrics_.to_json(elapsed)), /*counts_as_active=*/false);
+    } else if (type == MessageType::kHealth) {
+      slot_ready(encode_health_response(draining_.load() ? HealthStatus::kDraining
+                                                         : HealthStatus::kReady),
+                 /*counts_as_active=*/false);
+    } else {
+      FG_CHECK(false, "unexpected message type " << static_cast<int>(type));
+    }
+  } catch (const Overloaded& e) {
+    slot_ready(encode_overloaded(e.what()), /*counts_as_active=*/false);
+  } catch (const Error& e) {
+    metrics_.record_error();
+    slot_ready(encode_error(e.what()), /*counts_as_active=*/false);
+  }
+}
+
+void Server::drain_completions() {
+  std::deque<CompletionMsg> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (CompletionMsg& msg : batch) {
+    auto it = conns_.find(msg.conn_id);
+    if (it == conns_.end()) continue;  // connection died; slot already settled
+    finish_slot(*it->second, msg.seq, std::move(msg.payload), msg.infer_wait_micros);
+  }
+}
+
+void Server::finish_slot(Conn& conn, std::uint64_t seq, std::vector<std::uint8_t> payload,
+                         std::uint64_t infer_wait_micros) {
+  const std::size_t index = static_cast<std::size_t>(seq - conn.head_seq);
+  FG_CHECK(index < conn.slots.size(), "serve: completion for unknown slot " << seq);
+  Slot& slot = conn.slots[index];
+  slot.frame = framing::encode_frame(payload);
+  slot.ready = true;
+  // Queueing delay plus batched inference, as the request saw it.
+  metrics_.record_stage("infer_wait", infer_wait_micros);
+  metrics_.record_request(micros_since(slot.t0));
+  flush_conn(conn);
+}
+
+void Server::flush_conn(Conn& conn) {
+  // Move every leading ready slot into the write buffer (request order), then
+  // push as much as the socket accepts; EPOLLOUT finishes the rest.
+  int appended_active = 0;
+  while (!conn.slots.empty() && conn.slots.front().ready) {
+    Slot& slot = conn.slots.front();
+    conn.outbuf.insert(conn.outbuf.end(), slot.frame.begin(), slot.frame.end());
+    if (slot.counts_as_active) ++appended_active;
+    conn.slots.pop_front();
+    ++conn.head_seq;
+  }
+  conn.active_unflushed += appended_active;
+
+  if (conn.out_off < conn.outbuf.size()) {
+    const auto t_write = std::chrono::steady_clock::now();
+    const std::size_t n = framing::write_some(conn.fd, conn.outbuf.data() + conn.out_off,
+                                              conn.outbuf.size() - conn.out_off);
+    conn.out_off += n;
+    if (n > 0) metrics_.record_stage("write", micros_since(t_write));
+  }
+  if (conn.out_off == conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    if (conn.active_unflushed > 0) {
+      active_requests_ -= conn.active_unflushed;
+      conn.active_unflushed = 0;
+    }
+    if (conn.peer_eof && conn.slots.empty()) {
+      close_conn(conn.id);
+      return;
+    }
+  }
+  update_epoll(conn);
+}
+
+void Server::on_conn_writable(Conn& conn) { flush_conn(conn); }
+
+void Server::update_epoll(Conn& conn) {
+  std::uint32_t events = 0;
+  if (!conn.peer_eof) events |= EPOLLIN | EPOLLRDHUP;
+  const bool want_write = conn.out_off < conn.outbuf.size();
+  if (want_write) events |= EPOLLOUT;
+  if (want_write == conn.want_write && !conn.peer_eof) return;  // no change
+  conn.want_write = want_write;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = conn.id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) != 0) {
+    FG_LOG(Error) << "epoll_ctl(mod conn) failed: " << std::strerror(errno);
+  }
+}
+
+void Server::close_conn(std::uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  // Settle drain accounting for everything this connection still owed:
+  // responses sitting in the write buffer and requests still in flight.
+  int active = conn.active_unflushed;
+  for (const Slot& slot : conn.slots) {
+    if (slot.counts_as_active) ++active;
+  }
+  if (active > 0) active_requests_ -= active;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  conns_.erase(it);
+}
+
+Client::Client(const std::string& endpoint_spec) {
+  fd_ = connect_endpoint(parse_endpoint(endpoint_spec));
 }
 
 Client::~Client() {

@@ -1,81 +1,176 @@
-// Server: AF_UNIX front-end for the serving runtime.
+// Server: epoll-multiplexed front-end for the serving runtime.
 //
-// Listens on a filesystem socket, spawns one thread per connection, and
-// routes kGenerate frames into the per-model RequestBatcher (one batcher and
-// executor thread per registered model). Request errors are answered with a
-// kError frame on the same connection; the connection survives.
+// One event-loop thread multiplexes every connection (thousands of TCP or
+// AF_UNIX sockets) with non-blocking I/O: per-connection read buffers
+// reassemble length-prefixed frames across arbitrary partial transfers
+// (framing::FrameDecoder), write buffers absorb partial sends and flush on
+// EPOLLOUT, and requests pipeline — a connection may have any number of
+// requests in flight; responses return in request order. kGenerate frames
+// route through a per-model ReplicaDispatcher (least-loaded over N replica
+// engines, each with its own batcher + executor thread, extending the
+// bounded-admission and deadline-shedding behavior); completions re-enter
+// the loop through a queue + eventfd wakeup. Request errors are answered
+// with a kError frame on the same connection; the connection survives.
+// Malformed framing drops only the offending connection.
+//
+// The accept path is storm-proof: transient accept() failures (ECONNABORTED,
+// EMFILE, ENFILE, ...) are counted in serve.accept_errors and retried — with
+// a short pause on fd exhaustion — instead of silently ending accepts while
+// existing connections keep the server looking alive. The listen backlog
+// defaults to SOMAXCONN and is configurable (ServerOptions::backlog).
 //
 // Lifecycle: construct with a registry whose models are all registered, then
-// serve_forever() on the accept thread, or start()/stop() to run it in the
-// background (tests, the demo binary).
+// start()/stop(), or drain_and_stop() for a graceful drain. Responses are
+// bit-identical across transports and replica counts: a request's result is
+// a pure function of (checkpoint, PL array, seed, stream).
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "common/framing.h"
 #include "serve/batcher.h"
+#include "serve/dispatcher.h"
+#include "serve/endpoint.h"
 #include "serve/metrics.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
 
 namespace flashgen::serve {
 
+struct ServerOptions {
+  /// Transport endpoint spec (see endpoint.h): "unix:/path", a bare path, or
+  /// "tcp:host:port" ("tcp:127.0.0.1:0" picks a free port; read it back via
+  /// endpoint()).
+  std::string endpoint = "/tmp/flashgen_serve.sock";
+  /// listen() backlog; -1 means SOMAXCONN. Bursts beyond the backlog are
+  /// dropped by the kernel before accept ever sees them, so leave this at
+  /// SOMAXCONN unless testing backlog behavior.
+  int backlog = -1;
+  BatchPolicy policy;
+};
+
 class Server {
  public:
-  /// Binds `socket_path` (unlinking any stale socket file first) and creates
-  /// one RequestBatcher per registry entry. The registry must outlive the
-  /// server and must not change while it runs.
+  /// Binds the endpoint and creates one ReplicaDispatcher per registry
+  /// entry (one batcher + executor thread per replica). The registry must
+  /// outlive the server and must not change while it runs.
+  Server(ModelRegistry& registry, ServerOptions options);
+  /// Back-compat convenience: unix socket at `socket_path`.
   Server(ModelRegistry& registry, std::string socket_path, BatchPolicy policy = {});
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Runs the accept loop in a background thread.
+  /// Runs the event loop in a background thread.
   void start();
-  /// Stops accepting, closes the listener, and joins all threads.
+  /// Stops the loop, closes every connection and the listener, joins threads.
   void stop();
-  /// Graceful shutdown: closes the listener and every batcher's admission
-  /// queue (new requests are answered kOverloaded), waits for all in-flight
-  /// work to complete, then stop()s. Health probes answer kDraining while the
-  /// drain runs.
+  /// Graceful shutdown: closes every dispatcher's admission queue (new
+  /// requests are answered kOverloaded, health probes kDraining), waits for
+  /// in-flight work to complete and its responses to flush, then stop()s.
   void drain_and_stop();
   /// True between drain_and_stop() starting and the server being torn down.
   bool draining() const { return draining_.load(); }
 
-  const std::string& socket_path() const { return socket_path_; }
+  /// Canonical connectable endpoint spec; for "tcp:host:0" the bound port is
+  /// substituted in.
+  std::string endpoint() const;
+  /// The bound TCP port (tcp transport only).
+  std::uint16_t port() const;
+  /// The unix socket path (unix transport only; back-compat accessor).
+  const std::string& socket_path() const { return endpoint_.path; }
+
   ServeMetrics& metrics() { return metrics_; }
 
  private:
-  void accept_loop();
-  void handle_connection(int fd);
+  // One pipelined response slot. Slots are created in request arrival order
+  // and flushed strictly in that order once ready, so pipelined responses
+  // can never overtake each other.
+  struct Slot {
+    bool ready = false;
+    bool counts_as_active = false;  // a generate admitted into a dispatcher
+    std::vector<std::uint8_t> frame;  // length-prefixed, ready to write
+    std::chrono::steady_clock::time_point t0;  // request decode start
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    framing::FrameDecoder decoder;
+    std::deque<Slot> slots;
+    std::uint64_t head_seq = 0;  // sequence number of slots.front()
+    std::uint64_t next_seq = 0;  // sequence number the next request gets
+    std::vector<std::uint8_t> outbuf;
+    std::size_t out_off = 0;
+    bool want_write = false;  // EPOLLOUT armed
+    bool peer_eof = false;    // read side closed; flush, then close
+    int active_unflushed = 0;  // admitted generates encoded but not yet sent
+  };
+
+  struct CompletionMsg {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> payload;  // response payload (not yet framed)
+    std::uint64_t infer_wait_micros = 0;
+  };
+
+  void run_loop();
+  void on_listener_ready();
+  void on_conn_readable(Conn& conn);
+  void on_conn_writable(Conn& conn);
+  void dispatch_frame(Conn& conn, std::vector<std::uint8_t> payload);
+  void finish_slot(Conn& conn, std::uint64_t seq, std::vector<std::uint8_t> payload,
+                   std::uint64_t infer_wait_micros);
+  void flush_conn(Conn& conn);
+  void drain_completions();
+  void close_conn(std::uint64_t conn_id);
+  void update_epoll(Conn& conn);
+  void wake_loop();
 
   ModelRegistry& registry_;
-  std::string socket_path_;
-  BatchPolicy policy_;
+  ServerOptions options_;
+  Endpoint endpoint_;
   ServeMetrics metrics_;
-  std::map<std::string, std::unique_ptr<RequestBatcher>> batchers_;
 
-  std::atomic<int> listen_fd_{-1};  // stop() races with accept_loop()'s reads
+  // Completions cross from executor threads into the loop through here.
+  // Declared before dispatchers_: batcher destructors fail still-queued
+  // requests through their completions, which push here.
+  std::mutex completions_mutex_;
+  std::deque<CompletionMsg> completions_;
+
+  std::map<std::string, std::unique_ptr<ReplicaDispatcher>> dispatchers_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completions pending or stop requested
+  int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
-  std::thread accept_thread_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
-  std::vector<int> conn_fds_;  // open connection sockets; shut down in stop()
-  std::atomic<int> active_requests_{0};  // generate requests between decode and reply
+  std::atomic<int> active_requests_{0};  // admitted generates awaiting flush
+  std::thread loop_thread_;
+  std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
   std::chrono::steady_clock::time_point started_;
 };
 
 /// Blocking client for the flashgen-serve protocol; used by the load
-/// generator and tests. One connection, not thread-safe.
+/// generator and tests. One connection, not thread-safe. Accepts the same
+/// endpoint specs as the server ("unix:/path", bare path, "tcp:host:port").
 class Client {
  public:
-  explicit Client(const std::string& socket_path);
+  explicit Client(const std::string& endpoint_spec);
   ~Client();
 
   Client(const Client&) = delete;

@@ -1,0 +1,217 @@
+// Incremental framing must be byte-fragmentation-proof: the epoll serve
+// front-end and the open-loop loadgen reassemble frames from whatever the
+// kernel hands them, so every split of the byte stream — including one byte
+// at a time across the length prefix itself — must decode to the same
+// frames. The oracle is the blocking read_frame/write_frame pair, which the
+// serve and dist protocols have trusted since their first commit.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/framing.h"
+
+namespace flashgen::framing {
+namespace {
+
+std::vector<std::uint8_t> payload_of(std::initializer_list<int> bytes) {
+  std::vector<std::uint8_t> out;
+  for (int b : bytes) out.push_back(static_cast<std::uint8_t>(b));
+  return out;
+}
+
+TEST(FrameDecoderTest, OneByteAtATimeDecodesEveryFrame) {
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      payload_of({1, 2, 3}), payload_of({}), payload_of({0xff}),
+      std::vector<std::uint8_t>(1000, 0x42)};
+  std::vector<std::uint8_t> wire;
+  for (const auto& f : frames) {
+    const std::vector<std::uint8_t> encoded = encode_frame(f);
+    wire.insert(wire.end(), encoded.begin(), encoded.end());
+  }
+
+  FrameDecoder decoder;
+  std::vector<std::vector<std::uint8_t>> decoded;
+  std::vector<std::uint8_t> payload;
+  for (std::uint8_t byte : wire) {
+    decoder.feed(&byte, 1);
+    while (decoder.next(payload)) decoded.push_back(payload);
+  }
+  EXPECT_EQ(decoded, frames);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, EverySplitPointOfTwoFramesDecodesIdentically) {
+  const std::vector<std::uint8_t> a = payload_of({10, 20, 30, 40, 50});
+  const std::vector<std::uint8_t> b = payload_of({7});
+  std::vector<std::uint8_t> wire = encode_frame(a);
+  const std::vector<std::uint8_t> eb = encode_frame(b);
+  wire.insert(wire.end(), eb.begin(), eb.end());
+
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    FrameDecoder decoder;
+    decoder.feed(wire.data(), split);
+    std::vector<std::vector<std::uint8_t>> decoded;
+    std::vector<std::uint8_t> payload;
+    while (decoder.next(payload)) decoded.push_back(payload);
+    decoder.feed(wire.data() + split, wire.size() - split);
+    while (decoder.next(payload)) decoded.push_back(payload);
+    ASSERT_EQ(decoded.size(), 2u) << "split at " << split;
+    EXPECT_EQ(decoded[0], a) << "split at " << split;
+    EXPECT_EQ(decoded[1], b) << "split at " << split;
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+TEST(FrameDecoderTest, BufferedTracksMidFrameBytes) {
+  FrameDecoder decoder;
+  EXPECT_EQ(decoder.buffered(), 0u);
+  const std::vector<std::uint8_t> wire = encode_frame(payload_of({1, 2, 3, 4}));
+  decoder.feed(wire.data(), 6);  // length prefix + 2 payload bytes
+  EXPECT_EQ(decoder.buffered(), 6u);
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(decoder.next(payload));
+  decoder.feed(wire.data() + 6, wire.size() - 6);
+  EXPECT_TRUE(decoder.next(payload));
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, HostileLengthPrefixThrowsBeforeBuffering) {
+  // 0xffffffff = 4 GiB claimed: must throw as soon as the prefix is
+  // complete, not after a giant allocation or 4 GiB of fed bytes.
+  FrameDecoder decoder;
+  const std::uint8_t prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  decoder.feed(prefix, 3);  // incomplete prefix: not yet judgeable
+  EXPECT_THROW(decoder.feed(prefix + 3, 1), flashgen::Error);
+}
+
+TEST(FrameDecoderTest, CompactionPreservesStreamPosition) {
+  // Push enough small frames through one decoder to trigger internal buffer
+  // compaction several times; every frame must still come out intact.
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> payload;
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<std::uint8_t> body(16, static_cast<std::uint8_t>(i & 0xff));
+    const std::vector<std::uint8_t> wire = encode_frame(body);
+    decoder.feed(wire.data(), wire.size());
+    ASSERT_TRUE(decoder.next(payload)) << i;
+    ASSERT_EQ(payload, body) << i;
+  }
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+// ---- non-blocking socketpair round-trips ----
+
+class NonblockingPairTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+    set_nonblocking(fds_[0]);
+    set_nonblocking(fds_[1]);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(NonblockingPairTest, ReadSomeReportsWouldBlockOnEmptySocket) {
+  FrameDecoder decoder;
+  EXPECT_EQ(read_some(fds_[0], decoder), ReadStatus::kWouldBlock);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST_F(NonblockingPairTest, OneBytePartialTransfersRoundTrip) {
+  // Write a frame one byte at a time with raw send(); the reader must
+  // reassemble it across as many read_some passes as the kernel needs.
+  const std::vector<std::uint8_t> body = payload_of({9, 8, 7, 6, 5});
+  const std::vector<std::uint8_t> wire = encode_frame(body);
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> payload;
+  for (std::uint8_t byte : wire) {
+    ASSERT_EQ(::send(fds_[0], &byte, 1, 0), 1);
+    (void)read_some(fds_[1], decoder);
+  }
+  ASSERT_TRUE(decoder.next(payload));
+  EXPECT_EQ(payload, body);
+}
+
+TEST_F(NonblockingPairTest, WriteSomeToleratesAFullSendBuffer) {
+  // Shrink the send buffer, then pump a frame much larger than it through
+  // write_some/read_some: write_some must return short counts (possibly 0)
+  // instead of blocking or failing, and the bytes must arrive intact.
+  const int small = 4096;
+  (void)::setsockopt(fds_[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  (void)::setsockopt(fds_[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+
+  std::vector<std::uint8_t> body(1 << 20);
+  for (std::size_t i = 0; i < body.size(); ++i) body[i] = static_cast<std::uint8_t>(i * 31u);
+  const std::vector<std::uint8_t> wire = encode_frame(body);
+
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> received;
+  std::size_t off = 0;
+  bool saw_partial = false;
+  while (received.empty()) {
+    if (off < wire.size()) {
+      const std::size_t n = write_some(fds_[0], wire.data() + off, wire.size() - off);
+      if (n < wire.size() - off) saw_partial = true;
+      off += n;
+    }
+    (void)read_some(fds_[1], decoder);
+    std::vector<std::uint8_t> payload;
+    if (decoder.next(payload)) received = std::move(payload);
+  }
+  EXPECT_TRUE(saw_partial);  // the test exercised nothing otherwise
+  EXPECT_EQ(received, body);
+}
+
+TEST_F(NonblockingPairTest, ReadSomeReportsEofAfterPeerClose) {
+  const std::vector<std::uint8_t> wire = encode_frame(payload_of({1, 2}));
+  ASSERT_EQ(::send(fds_[0], wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  ::close(fds_[0]);
+  fds_[0] = -1;
+
+  FrameDecoder decoder;
+  // The buffered frame is still delivered; EOF surfaces once drained.
+  ReadStatus status = read_some(fds_[1], decoder);
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(decoder.next(payload));
+  EXPECT_EQ(payload, payload_of({1, 2}));
+  while (status != ReadStatus::kEof) status = read_some(fds_[1], decoder);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST_F(NonblockingPairTest, InterleavedPipelinedFramesKeepOrder) {
+  // Many frames written back-to-back (a pipelining client) come out in
+  // order, regardless of how read_some chunks them.
+  std::vector<std::uint8_t> wire;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::uint8_t> body(64 + (i % 17), static_cast<std::uint8_t>(i));
+    const std::vector<std::uint8_t> f = encode_frame(body);
+    wire.insert(wire.end(), f.begin(), f.end());
+  }
+  std::size_t off = 0;
+  FrameDecoder decoder;
+  int seen = 0;
+  std::vector<std::uint8_t> payload;
+  while (seen < 100) {
+    if (off < wire.size()) off += write_some(fds_[0], wire.data() + off, wire.size() - off);
+    (void)read_some(fds_[1], decoder);
+    while (decoder.next(payload)) {
+      ASSERT_EQ(payload.size(), 64u + (static_cast<std::size_t>(seen) % 17));
+      ASSERT_EQ(payload[0], static_cast<std::uint8_t>(seen));
+      ++seen;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flashgen::framing

@@ -160,7 +160,7 @@ TEST_F(EngineTest, RegistryLoadsCheckpointBitIdentical) {
 
     InferenceEngine original(*model);
     Tensor expected = original.sample_rows(pl, rngs);
-    Tensor restored = registry.at("m").engine->sample_rows(pl, rngs_copy);
+    Tensor restored = registry.at("m").engine().sample_rows(pl, rngs_copy);
 
     ASSERT_EQ(expected.shape(), restored.shape()) << core::to_string(kind);
     for (std::size_t i = 0; i < expected.data().size(); ++i)

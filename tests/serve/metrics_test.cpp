@@ -91,13 +91,78 @@ TEST(ServeMetricsTest, RequestsPerSecOnlyWhenElapsedIsPositiveFinite) {
   EXPECT_DOUBLE_EQ(json_parse(m.to_json(2.0)).at("requests_per_sec").number(), 0.5);
 }
 
-TEST(ServeMetricsTest, LatencyQuantilesCoverRecordedSamples) {
+TEST(ServeMetricsTest, LatencyQuantilesReportBucketMidpoints) {
   ServeMetrics m;
-  m.record_request(100);  // bucket [64, 128)
+  m.record_request(100);  // bucket [64, 128), midpoint 96
   const JsonValue doc = json_parse(m.to_json());
   EXPECT_DOUBLE_EQ(doc.at("latency_mean_us").number(), 100.0);
-  EXPECT_GE(doc.at("latency_p50_us").number(), 100.0);
+  EXPECT_GE(doc.at("latency_p50_us").number(), 64.0);
+  EXPECT_LT(doc.at("latency_p50_us").number(), 128.0);
+  EXPECT_DOUBLE_EQ(doc.at("latency_p50_us").number(), 96.0);
   EXPECT_GE(doc.at("latency_p99_us").number(), doc.at("latency_p50_us").number());
+  // p999 is part of the stable JSON schema, for latency and for every stage.
+  EXPECT_TRUE(doc.has("latency_p999_us"));
+  m.record_stage("decode", 10);
+  const JsonValue doc2 = json_parse(m.to_json());
+  EXPECT_TRUE(doc2.at("stages").at("decode").has("p999_us"));
+}
+
+TEST(LatencyHistogramTest, ConstantStreamReportsItself) {
+  // Regression: the upper-edge estimate reported p50 = 2us for a stream of
+  // 1us samples (up to 2x overstatement). The midpoint of [1, 2) is 1.
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(1);
+  EXPECT_EQ(h.quantile_micros(0.50), 1u);
+  EXPECT_EQ(h.quantile_micros(0.99), 1u);
+  EXPECT_EQ(h.quantile_micros(0.999), 1u);
+  EXPECT_EQ(h.quantile_micros(1.0), 1u);
+}
+
+TEST(LatencyHistogramTest, QuantilesStayWithinTheSampleBucket) {
+  // Every quantile of a constant stream must land inside the bucket holding
+  // the value — the midpoint can under- or over-shoot the sample by at most
+  // half the bucket width, never a full 2x.
+  for (std::uint64_t micros : {1u, 3u, 100u, 5000u, 1000000u}) {
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i) h.record(micros);
+    const std::uint64_t q = h.quantile_micros(0.5);
+    // Find the bucket bounds [2^b, 2^(b+1)) containing the sample.
+    std::uint64_t lo = 1;
+    while (lo * 2 <= micros) lo *= 2;
+    EXPECT_GE(q, lo) << micros;
+    EXPECT_LT(q, lo * 2) << micros;
+    EXPECT_LE(q, micros + lo / 2) << micros;  // midpoint error bound
+  }
+}
+
+TEST(LatencyHistogramTest, P999IsolatesTheTailThatP99Misses) {
+  // 1% of samples are 100x slower. p99's rank lands exactly on the last fast
+  // sample; p999 must land in the slow bucket.
+  LatencyHistogram h;
+  for (int i = 0; i < 990; ++i) h.record(1);
+  for (int i = 0; i < 10; ++i) h.record(10000);  // bucket [8192, 16384)
+  EXPECT_EQ(h.quantile_micros(0.50), 1u);
+  EXPECT_EQ(h.quantile_micros(0.99), 1u);
+  EXPECT_EQ(h.quantile_micros(0.999), 12288u);  // midpoint of [8192, 16384)
+  EXPECT_EQ(h.quantile_micros(1.0), 12288u);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotoneInQ) {
+  LatencyHistogram h;
+  for (std::uint64_t v : {1u, 2u, 4u, 8u, 50u, 100u, 900u, 7000u, 100000u}) h.record(v);
+  std::uint64_t prev = 0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t v = h.quantile_micros(q);
+    EXPECT_GE(v, prev) << q;
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile_micros(0.5), 0u);
+  EXPECT_EQ(h.quantile_micros(0.999), 0u);
+  EXPECT_EQ(h.mean_micros(), 0.0);
 }
 
 }  // namespace
