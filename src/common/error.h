@@ -12,9 +12,19 @@
 namespace flashgen {
 
 /// Exception type thrown by all flashgen components.
+///
+/// Carries its own deep-copied message instead of relying on the
+/// std::runtime_error storage: libstdc++ copies of runtime_error share one
+/// refcounted COW buffer, so when an Error crosses a promise/future boundary
+/// the rethrown copy's what() aliases the original — which another thread
+/// (e.g. the replica supervisor failing orphaned work) may be releasing.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what) : std::runtime_error(what), msg_(what) {}
+  const char* what() const noexcept override { return msg_.c_str(); }
+
+ private:
+  std::string msg_;
 };
 
 namespace detail {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/faultinject.h"
 #include "common/stats.h"
 #include "common/trace.h"
 
@@ -21,30 +22,84 @@ RequestBatcher::RequestBatcher(InferenceEngine& engine, tensor::Shape row_shape,
 }
 
 RequestBatcher::~RequestBatcher() {
+  // Requests still queued (or held by a wedged executor) at teardown are
+  // abandoned; abort_with fails their completions.
+  abort_with("RequestBatcher destroyed with request pending");
+}
+
+void RequestBatcher::abort_with(const std::string& reason) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (joined_) return;  // already torn down (abort_with then destructor)
+    joined_ = true;
     stop_ = true;
+    closed_ = true;
   }
   cv_.notify_all();
   executor_.join();
-  // Requests still queued at teardown are abandoned; fail their completions.
-  for (Pending& p : queue_) {
-    p.done({}, std::make_exception_ptr(Error("RequestBatcher destroyed with request pending")));
+
+  std::deque<Pending> queued;
+  std::vector<Pending> wedged;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queued.swap(queue_);
+    wedged.swap(wedged_batch_);
+    in_flight_ = 0;
+    in_flight_oldest_ = std::chrono::steady_clock::time_point::max();
   }
+  const auto error = std::make_exception_ptr(Error(reason));
+  for (Pending& p : wedged) p.done({}, error);
+  for (Pending& p : queued) p.done({}, error);
+  drained_.notify_all();
 }
 
-std::future<std::vector<float>> RequestBatcher::submit(std::vector<float> program_levels,
-                                                       std::uint64_t seed, std::uint64_t stream,
-                                                       std::uint64_t deadline_micros) {
-  auto promise = std::make_shared<std::promise<std::vector<float>>>();
-  std::future<std::vector<float>> future = promise->get_future();
+ResponseFuture::Outcome ResponseFuture::classify(std::vector<float>&& voltages,
+                                                 std::exception_ptr error) {
+  Outcome out;
+  if (!error) {
+    out.voltages = std::move(voltages);
+    return out;
+  }
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const Overloaded& e) {
+    out.kind = FailKind::kOverloaded;
+    out.message = e.what();
+  } catch (const DeadlineExceeded& e) {
+    out.kind = FailKind::kDeadline;
+    out.message = e.what();
+  } catch (const std::exception& e) {
+    out.kind = FailKind::kError;
+    out.message = e.what();
+  } catch (...) {
+    out.kind = FailKind::kError;
+    out.message = "unknown serve error";
+  }
+  return out;
+}
+
+std::vector<float> ResponseFuture::get() {
+  Outcome out = inner_.get();
+  switch (out.kind) {
+    case FailKind::kNone:
+      return std::move(out.voltages);
+    case FailKind::kOverloaded:
+      throw Overloaded(out.message);
+    case FailKind::kDeadline:
+      throw DeadlineExceeded(out.message);
+    case FailKind::kError:
+      break;
+  }
+  throw Error(out.message);
+}
+
+ResponseFuture RequestBatcher::submit(std::vector<float> program_levels, std::uint64_t seed,
+                                      std::uint64_t stream, std::uint64_t deadline_micros) {
+  auto promise = std::make_shared<std::promise<ResponseFuture::Outcome>>();
+  ResponseFuture future(promise->get_future());
   submit_async(std::move(program_levels), seed, stream, deadline_micros,
                [promise](std::vector<float>&& voltages, std::exception_ptr error) {
-                 if (error) {
-                   promise->set_exception(std::move(error));
-                 } else {
-                   promise->set_value(std::move(voltages));
-                 }
+                 promise->set_value(ResponseFuture::classify(std::move(voltages), std::move(error)));
                });
   return future;
 }
@@ -95,6 +150,17 @@ std::size_t RequestBatcher::outstanding() const {
   return queue_.size() + in_flight_;
 }
 
+std::uint64_t RequestBatcher::oldest_outstanding_micros() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto oldest = in_flight_oldest_;
+  if (!queue_.empty()) oldest = std::min(oldest, queue_.front().enqueued);
+  if (oldest == std::chrono::steady_clock::time_point::max()) return 0;
+  const auto now = std::chrono::steady_clock::now();
+  if (now <= oldest) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - oldest).count());
+}
+
 void RequestBatcher::close() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -137,12 +203,26 @@ void RequestBatcher::run() {
       queue_.pop_front();
     }
     in_flight_ = batch.size();
+    in_flight_oldest_ = batch.front().enqueued;  // FIFO: front is oldest
 
     lock.unlock();
+    if (FG_FAULT("serve_replica_wedge")) {
+      // Simulated wedge: the executor stops making progress while its batch
+      // stays in flight, exactly like an engine stuck in a kernel. The
+      // in-flight accounting is left standing so oldest_outstanding_micros()
+      // keeps aging; abort_with() (the supervisor's quarantine path) is the
+      // only way out, and it fails this batch after joining us.
+      wedged_.store(true);
+      lock.lock();
+      wedged_batch_ = std::move(batch);
+      cv_.wait(lock, [this] { return stop_; });
+      return;
+    }
     execute_batch(std::move(batch));
     lock.lock();
 
     in_flight_ = 0;
+    in_flight_oldest_ = std::chrono::steady_clock::time_point::max();
     drained_.notify_all();
   }
 }
@@ -188,6 +268,9 @@ void RequestBatcher::execute_batch(std::vector<Pending> batch) {
   for (auto d : row_shape_.dims()) dims.push_back(d);
 
   try {
+    if (FG_FAULT("serve_replica_error")) {
+      throw Error("injected replica execution fault (serve_replica_error)");
+    }
     Tensor pl = Tensor::zeros(tensor::Shape(dims));
     auto pl_data = pl.data();
     std::vector<flashgen::Rng> rngs;
@@ -200,6 +283,7 @@ void RequestBatcher::execute_batch(std::vector<Pending> batch) {
 
     std::vector<float> out(batch.size() * row_elems);
     engine_.generate_into(pl, rngs, out);
+    consecutive_errors_.store(0);
     if (metrics_ != nullptr) metrics_->record_batch(batch.size());
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -209,6 +293,7 @@ void RequestBatcher::execute_batch(std::vector<Pending> batch) {
                     nullptr);
     }
   } catch (...) {
+    consecutive_errors_.fetch_add(1);
     if (metrics_ != nullptr) metrics_->record_error();
     for (Pending& p : batch) p.done({}, std::current_exception());
   }

@@ -19,6 +19,7 @@
 // are rejected as Overloaded while already-admitted work still completes.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -26,6 +27,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -47,6 +49,42 @@ class Overloaded : public flashgen::Error {
 class DeadlineExceeded : public flashgen::Error {
  public:
   explicit DeadlineExceeded(const std::string& what) : flashgen::Error(what) {}
+};
+
+/// Future-like handle returned by the convenience submit() wrappers.
+///
+/// Failures travel through the underlying promise as plain values (an error
+/// kind plus a deep-copied message) and are rethrown as freshly-constructed
+/// typed exceptions on the calling thread. Shipping a std::exception_ptr
+/// through the shared state would hand the caller the *same* exception
+/// object the executor/supervisor thread later releases — libstdc++'s
+/// rethrow_exception shares one refcounted object, and that refcount lives
+/// in the uninstrumented runtime, so ThreadSanitizer reports every what()
+/// read as racing the fleet-side release.
+class ResponseFuture {
+ public:
+  /// Blocks for the response. On failure rethrows the typed error
+  /// (Overloaded, DeadlineExceeded, or Error) with the original message.
+  std::vector<float> get();
+
+ private:
+  friend class RequestBatcher;
+  friend class ReplicaDispatcher;
+
+  enum class FailKind { kNone, kError, kOverloaded, kDeadline };
+  struct Outcome {
+    std::vector<float> voltages;
+    FailKind kind = FailKind::kNone;
+    std::string message;
+  };
+
+  /// Folds a completion's (voltages, error) pair into a value, classifying
+  /// the error on the completing thread so no exception object outlives it.
+  static Outcome classify(std::vector<float>&& voltages, std::exception_ptr error);
+
+  explicit ResponseFuture(std::future<Outcome> inner) : inner_(std::move(inner)) {}
+
+  std::future<Outcome> inner_;
 };
 
 struct BatchPolicy {
@@ -79,9 +117,8 @@ class RequestBatcher {
   /// engine's error. `deadline_micros` is a relative completion budget from
   /// now; 0 disables it. Throws Overloaded when the admission queue is full
   /// or the batcher is closed/draining.
-  std::future<std::vector<float>> submit(std::vector<float> program_levels, std::uint64_t seed,
-                                         std::uint64_t stream,
-                                         std::uint64_t deadline_micros = 0);
+  ResponseFuture submit(std::vector<float> program_levels, std::uint64_t seed,
+                        std::uint64_t stream, std::uint64_t deadline_micros = 0);
 
   /// Callback flavor of submit() for event-loop callers that must not block
   /// on a future. Admission errors (Overloaded) still throw synchronously on
@@ -92,6 +129,21 @@ class RequestBatcher {
   /// Queued + in-flight requests right now; the replica dispatcher's
   /// least-loaded signal.
   std::size_t outstanding() const;
+
+  /// Age of the oldest request this batcher owns (queued or in flight), in
+  /// microseconds; 0 when idle. The supervisor's wedge-detection signal: a
+  /// healthy replica keeps this bounded by queue wait + one batch execution,
+  /// so a large value means the executor has stopped making progress.
+  std::uint64_t oldest_outstanding_micros() const;
+
+  /// Batches that failed back-to-back without an intervening success. The
+  /// supervisor's erroring-replica signal; reset to 0 by any successful
+  /// batch.
+  std::uint32_t consecutive_errors() const { return consecutive_errors_.load(); }
+
+  /// True once the executor has parked on the serve_replica_wedge fault seam
+  /// (test/chaos probe).
+  bool wedged() const { return wedged_.load(); }
 
   const tensor::Shape& row_shape() const { return row_shape_; }
   const BatchPolicy& policy() const { return policy_; }
@@ -105,6 +157,13 @@ class RequestBatcher {
 
   /// Blocks until every request enqueued before the call has been executed.
   void drain();
+
+  /// Supervisor teardown: stops the executor (waking it even when parked on
+  /// the wedge seam), joins it, and fails every queued or wedged-in-flight
+  /// request with a typed Error carrying `reason`. After this the batcher is
+  /// inert; the destructor becomes a no-op. Must not be called from the
+  /// executor thread.
+  void abort_with(const std::string& reason);
 
  private:
   struct Pending {
@@ -129,8 +188,19 @@ class RequestBatcher {
   std::condition_variable drained_;   // wakes drain() waiters
   std::deque<Pending> queue_;
   std::size_t in_flight_ = 0;  // rows handed to the engine, not yet fulfilled
-  bool stop_ = false;    // executor shutdown (destructor)
+  /// Enqueue time of the oldest in-flight request; max() when nothing is in
+  /// flight. Feeds oldest_outstanding_micros() while the executor is out of
+  /// the lock (possibly wedged) executing a batch.
+  std::chrono::steady_clock::time_point in_flight_oldest_ =
+      std::chrono::steady_clock::time_point::max();
+  /// Batch held by an executor parked on the wedge seam; abort_with() fails
+  /// these after joining the executor.
+  std::vector<Pending> wedged_batch_;
+  bool stop_ = false;    // executor shutdown (destructor / abort_with)
   bool closed_ = false;  // admission closed (graceful drain)
+  bool joined_ = false;  // executor already joined by abort_with
+  std::atomic<std::uint32_t> consecutive_errors_{0};
+  std::atomic<bool> wedged_{false};
   std::thread executor_;
 };
 

@@ -30,6 +30,19 @@
 //                       (default 64 when --resume is given, else disabled)
 //   --max-queue=N       admission queue bound per replica; beyond it requests
 //                       are rejected with kOverloaded (default 128, 0 = off)
+//   --tenant-rate=R     per-tenant token-bucket admission rate, requests/sec;
+//                       over-rate tenants are shed with kRateLimited carrying
+//                       retry_after_micros (default 0 = unlimited)
+//   --tenant-burst=B    token-bucket capacity per tenant (default: max(R, 1))
+//   --idle-timeout-ms=N evict connections with no protocol progress for N ms
+//                       (slow-loris defense; default 0 = off)
+//   --wedge-timeout-ms=N supervisor quarantines + restarts a replica whose
+//                       oldest request is older than N ms (default 2000,
+//                       0 = off)
+//   --max-pipelined=N   in-flight pipelined requests allowed per connection
+//                       (default 4096)
+//   --max-conn-bytes=N  buffered bytes allowed per connection, either
+//                       direction (default 2x max frame size)
 //
 // Pair with ./flashgen_loadgen to drive traffic and read back metrics.
 #include <poll.h>
@@ -92,6 +105,12 @@ int main(int argc, char** argv) {
   int replicas = 1;
   int backlog = -1;  // -1 = SOMAXCONN
   std::size_t max_queue = 128;
+  double tenant_rate = 0.0;
+  double tenant_burst = 0.0;
+  std::uint64_t idle_timeout_ms = 0;
+  std::uint64_t wedge_timeout_ms = 2000;
+  std::size_t max_pipelined = 4096;
+  std::size_t max_conn_bytes = 0;  // 0 = keep ServerOptions default
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,6 +126,22 @@ int main(int argc, char** argv) {
       snapshot_every = std::atoi(arg.c_str() + std::strlen("--snapshot-every="));
     } else if (arg.rfind("--max-queue=", 0) == 0) {
       max_queue = static_cast<std::size_t>(std::atoll(arg.c_str() + std::strlen("--max-queue=")));
+    } else if (arg.rfind("--tenant-rate=", 0) == 0) {
+      tenant_rate = std::atof(arg.c_str() + std::strlen("--tenant-rate="));
+    } else if (arg.rfind("--tenant-burst=", 0) == 0) {
+      tenant_burst = std::atof(arg.c_str() + std::strlen("--tenant-burst="));
+    } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
+      idle_timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(arg.c_str() + std::strlen("--idle-timeout-ms=")));
+    } else if (arg.rfind("--wedge-timeout-ms=", 0) == 0) {
+      wedge_timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(arg.c_str() + std::strlen("--wedge-timeout-ms=")));
+    } else if (arg.rfind("--max-pipelined=", 0) == 0) {
+      max_pipelined =
+          static_cast<std::size_t>(std::atoll(arg.c_str() + std::strlen("--max-pipelined=")));
+    } else if (arg.rfind("--max-conn-bytes=", 0) == 0) {
+      max_conn_bytes =
+          static_cast<std::size_t>(std::atoll(arg.c_str() + std::strlen("--max-conn-bytes=")));
     } else {
       positional.push_back(arg);
     }
@@ -146,6 +181,12 @@ int main(int argc, char** argv) {
   options.endpoint = endpoint_spec;
   options.backlog = backlog;
   options.policy = policy;
+  options.tenant.rate_per_sec = tenant_rate;
+  options.tenant.burst = tenant_burst;
+  options.idle_timeout_micros = idle_timeout_ms * 1000;
+  options.supervisor.wedge_timeout_micros = wedge_timeout_ms * 1000;
+  options.max_pipelined_requests = max_pipelined;
+  if (max_conn_bytes > 0) options.max_conn_buffered_bytes = max_conn_bytes;
   serve::Server server(registry, options);
   server.start();
   std::printf(

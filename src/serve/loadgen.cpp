@@ -103,6 +103,7 @@ OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
   request.seed = options.seed;
   request.side = options.side;
   request.deadline_micros = options.deadline_micros;
+  request.tenant_id = options.tenant_id;
   request.program_levels.resize(static_cast<std::size_t>(options.side) * options.side);
 
   OpenLoopResult result;
@@ -135,6 +136,11 @@ OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
         latencies.push_back(static_cast<std::uint64_t>(std::max<std::int64_t>(0, micros.count())));
       } else if (type == MessageType::kOverloaded) {
         ++result.shed;
+      } else if (type == MessageType::kRateLimited) {
+        // Typed per-tenant shed. Deliberately NOT retried here: open-loop
+        // latency stays coordinated-omission-free only if the injection
+        // schedule ignores server pushback.
+        ++result.rate_limited;
       } else {
         ++result.errors;
       }

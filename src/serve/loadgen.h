@@ -30,6 +30,11 @@ struct OpenLoopOptions {
   std::uint32_t side = 16;          // PL array is side x side
   std::uint64_t seed = 1;           // request i uses stream i
   std::uint64_t deadline_micros = 0;
+  /// Tenant id stamped on every request (protocol v2). Open-loop mode NEVER
+  /// retries typed sheds: a retry would re-couple injection to server state,
+  /// reintroducing the coordinated omission the open loop exists to avoid.
+  /// Sheds are counted (shed / rate_limited) and the schedule marches on.
+  std::uint32_t tenant_id = 0;
   int connections = 64;
   double target_rps = 1000.0;       // injection rate across all connections
   int total_requests = 4096;        // run length
@@ -38,8 +43,9 @@ struct OpenLoopOptions {
 struct OpenLoopResult {
   std::uint64_t sent = 0;
   std::uint64_t ok = 0;
-  std::uint64_t shed = 0;    // kOverloaded responses
-  std::uint64_t errors = 0;  // kError responses
+  std::uint64_t shed = 0;          // kOverloaded responses
+  std::uint64_t rate_limited = 0;  // kRateLimited responses (typed, counted, never retried)
+  std::uint64_t errors = 0;        // kError responses
   double elapsed_sec = 0.0;
   double achieved_rps = 0.0;  // completions / elapsed
   // Exact client-side quantiles (sorted sample, not histogram buckets),

@@ -20,11 +20,23 @@
 //   seed         default 1
 //   deadline_us  default 0 (no per-request deadline)
 // Flags:
-//   --open     open-loop mode (see above)
-//   --rps=N    open-loop injection rate across all connections, default 1000
+//   --open             open-loop mode (see above)
+//   --rps=N            open-loop injection rate across all connections,
+//                      default 1000
+//   --tenant=N         tenant id stamped on every request (protocol v2),
+//                      default 0
+//   --retries=N        closed loop only: total attempts per request with
+//                      capped exponential backoff + jitter on kOverloaded /
+//                      kRateLimited (default 1 = no retry). Deliberately
+//                      unavailable in open-loop mode: retrying would
+//                      re-couple injection to server state and reintroduce
+//                      coordinated omission.
+//   --retry-base-us=N  first backoff ceiling, default 1000
+//   --retry-max-us=N   backoff cap, default 250000
 //
-// Requests the server rejects with kOverloaded are counted as "shed" rather
-// than aborting the run, so the tool can probe overload behavior directly.
+// Requests the server rejects with kOverloaded / kRateLimited are counted as
+// "shed" / "rate_limited" rather than aborting the run, so the tool can probe
+// overload and admission behavior directly.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -45,6 +57,10 @@ using namespace flashgen;
 int main(int argc, char** argv) {
   bool open_loop = false;
   double rps = 1000.0;
+  std::uint32_t tenant = 0;
+  int retries = 1;
+  std::uint64_t retry_base_us = 1000;
+  std::uint64_t retry_max_us = 250000;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -52,6 +68,16 @@ int main(int argc, char** argv) {
       open_loop = true;
     } else if (arg.rfind("--rps=", 0) == 0) {
       rps = std::atof(arg.c_str() + std::strlen("--rps="));
+    } else if (arg.rfind("--tenant=", 0) == 0) {
+      tenant = static_cast<std::uint32_t>(std::atoll(arg.c_str() + std::strlen("--tenant=")));
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      retries = std::atoi(arg.c_str() + std::strlen("--retries="));
+    } else if (arg.rfind("--retry-base-us=", 0) == 0) {
+      retry_base_us =
+          static_cast<std::uint64_t>(std::atoll(arg.c_str() + std::strlen("--retry-base-us=")));
+    } else if (arg.rfind("--retry-max-us=", 0) == 0) {
+      retry_max_us =
+          static_cast<std::uint64_t>(std::atoll(arg.c_str() + std::strlen("--retry-max-us=")));
     } else {
       positional.push_back(arg);
     }
@@ -76,6 +102,7 @@ int main(int argc, char** argv) {
     options.side = side;
     options.seed = seed;
     options.deadline_micros = deadline_us;
+    options.tenant_id = tenant;
     options.connections = connections;
     options.target_rps = rps;
     options.total_requests = requests;
@@ -87,11 +114,13 @@ int main(int argc, char** argv) {
                 model.c_str(), static_cast<unsigned long long>(result.sent), connections);
     std::printf(" \"target_rps\": %.1f, \"achieved_rps\": %.1f, \"elapsed_sec\": %.3f,\n", rps,
                 result.achieved_rps, result.elapsed_sec);
-    std::printf(" \"ok\": %llu, \"shed\": %llu, \"errors\": %llu, \"checksum\": %llu,\n",
-                static_cast<unsigned long long>(result.ok),
-                static_cast<unsigned long long>(result.shed),
-                static_cast<unsigned long long>(result.errors),
-                static_cast<unsigned long long>(result.checksum));
+    std::printf(
+        " \"ok\": %llu, \"shed\": %llu, \"rate_limited\": %llu, \"errors\": %llu, "
+        "\"checksum\": %llu,\n",
+        static_cast<unsigned long long>(result.ok), static_cast<unsigned long long>(result.shed),
+        static_cast<unsigned long long>(result.rate_limited),
+        static_cast<unsigned long long>(result.errors),
+        static_cast<unsigned long long>(result.checksum));
     std::printf(
         " \"client_p50_us\": %llu, \"client_p90_us\": %llu, \"client_p99_us\": %llu, "
         "\"client_p999_us\": %llu, \"client_max_us\": %llu,\n",
@@ -108,6 +137,7 @@ int main(int argc, char** argv) {
   serve::LatencyHistogram latency;
   std::mutex latency_mutex;
   std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> rate_limited{0};
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -115,8 +145,14 @@ int main(int argc, char** argv) {
     threads.emplace_back([&, c] {
       serve::Client client(endpoint);
       Rng rng(seed + static_cast<std::uint64_t>(c) + 1);
+      serve::RetryPolicy retry;
+      retry.max_attempts = retries;
+      retry.base_backoff_micros = retry_base_us;
+      retry.max_backoff_micros = retry_max_us;
+      retry.seed = seed + static_cast<std::uint64_t>(c) + 1;  // desynchronize threads
       serve::GenerateRequest request;
       request.model = model;
+      request.tenant_id = tenant;
       request.seed = seed;
       request.side = side;
       request.deadline_micros = deadline_us;
@@ -128,7 +164,10 @@ int main(int argc, char** argv) {
                          static_cast<std::uint64_t>(i);
         const auto r0 = std::chrono::steady_clock::now();
         try {
-          (void)client.generate(request);
+          (void)client.generate_with_retry(request, retry);
+        } catch (const serve::RateLimited&) {
+          rate_limited.fetch_add(1);
+          continue;
         } catch (const serve::Overloaded&) {
           shed.fetch_add(1);
           continue;
@@ -149,7 +188,9 @@ int main(int argc, char** argv) {
   const auto total = static_cast<double>(requests) * connections;
   std::printf("{\"mode\": \"closed\", \"model\": \"%s\", \"requests\": %d, \"connections\": %d, \"side\": %u,\n",
               model.c_str(), requests * connections, connections, side);
-  std::printf(" \"shed\": %llu,\n", static_cast<unsigned long long>(shed.load()));
+  std::printf(" \"shed\": %llu, \"rate_limited\": %llu,\n",
+              static_cast<unsigned long long>(shed.load()),
+              static_cast<unsigned long long>(rate_limited.load()));
   std::printf(" \"elapsed_sec\": %.3f, \"requests_per_sec\": %.1f,\n", elapsed, total / elapsed);
   std::printf(" \"client_p50_us\": %llu, \"client_p90_us\": %llu, \"client_p99_us\": %llu, \"client_p999_us\": %llu,\n",
               static_cast<unsigned long long>(latency.quantile_micros(0.50)),

@@ -90,6 +90,26 @@ void ServeMetrics::record_accept_error() {
   ++accept_errors_;
 }
 
+void ServeMetrics::record_rate_limited() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rate_limited_;
+}
+
+void ServeMetrics::record_conn_evicted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++conn_evicted_;
+}
+
+void ServeMetrics::record_replica_quarantine() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++replica_quarantines_;
+}
+
+void ServeMetrics::record_replica_restart() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++replica_restarts_;
+}
+
 void ServeMetrics::record_stage(const std::string& stage, std::uint64_t micros) {
   std::lock_guard<std::mutex> lock(mutex_);
   stages_[stage].record(micros);
@@ -109,6 +129,10 @@ std::string ServeMetrics::to_json(double elapsed_seconds) const {
   out << ", \"shed\": " << shed_;
   out << ", \"deadline_exceeded\": " << deadline_exceeded_;
   out << ", \"accept_errors\": " << accept_errors_;
+  out << ", \"rate_limited\": " << rate_limited_;
+  out << ", \"conn_evicted\": " << conn_evicted_;
+  out << ", \"replica_quarantines\": " << replica_quarantines_;
+  out << ", \"replica_restarts\": " << replica_restarts_;
   out << ", \"batches\": " << batches_;
   out << ", \"batched_rows\": " << batched_rows_;
   out << ", \"max_batch_size\": " << max_batch_;

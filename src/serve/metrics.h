@@ -52,6 +52,15 @@ class ServeMetrics {
   /// accept() failed with a transient errno (ECONNABORTED, EMFILE, ...); the
   /// listener kept running. Reported as "accept_errors".
   void record_accept_error();
+  /// Request rejected by per-tenant token-bucket admission with kRateLimited.
+  void record_rate_limited();
+  /// Connection force-closed by hygiene (idle timeout, pipeline cap, or
+  /// buffered-bytes cap). Reported as "conn_evicted".
+  void record_conn_evicted();
+  /// Supervisor quarantined a wedged/erroring replica.
+  void record_replica_quarantine();
+  /// Supervisor restarted a quarantined replica (fresh engine + batcher).
+  void record_replica_restart();
   /// Latency sample for one named pipeline stage (e.g. "decode",
   /// "queue_wait", "infer", "write"). Stages appear in the JSON under
   /// "stages" keyed by name; names should be string literals from a small
@@ -77,6 +86,10 @@ class ServeMetrics {
   std::uint64_t shed_ = 0;
   std::uint64_t deadline_exceeded_ = 0;
   std::uint64_t accept_errors_ = 0;
+  std::uint64_t rate_limited_ = 0;
+  std::uint64_t conn_evicted_ = 0;
+  std::uint64_t replica_quarantines_ = 0;
+  std::uint64_t replica_restarts_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_rows_ = 0;
   std::size_t max_batch_ = 0;

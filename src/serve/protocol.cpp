@@ -70,19 +70,35 @@ std::vector<float> ByteReader::get_floats(std::size_t count) {
   return v;
 }
 
-std::vector<std::uint8_t> encode_generate_request(const GenerateRequest& request) {
+namespace {
+// Everything after the version-dependent header is layout-identical in v1
+// and v2 frames.
+void put_generate_body(ByteWriter& w, const GenerateRequest& request) {
   FG_CHECK(request.program_levels.size() ==
                static_cast<std::size_t>(request.side) * request.side,
            "generate request: " << request.program_levels.size() << " levels for side "
                                 << request.side);
-  ByteWriter w;
-  w.put_u8(static_cast<std::uint8_t>(MessageType::kGenerate));
   w.put_string(request.model);
   w.put_u64(request.seed);
   w.put_u64(request.stream);
   w.put_u64(request.deadline_micros);
   w.put_u32(request.side);
   w.put_floats(request.program_levels);
+}
+}  // namespace
+
+std::vector<std::uint8_t> encode_generate_request(const GenerateRequest& request) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MessageType::kGenerateV2));
+  w.put_u32(request.tenant_id);
+  put_generate_body(w, request);
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> encode_generate_request_v1(const GenerateRequest& request) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MessageType::kGenerate));
+  put_generate_body(w, request);
   return w.bytes();
 }
 
@@ -124,6 +140,15 @@ std::vector<std::uint8_t> encode_overloaded(const std::string& message) {
   return w.bytes();
 }
 
+std::vector<std::uint8_t> encode_rate_limited(std::uint64_t retry_after_micros,
+                                              const std::string& message) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MessageType::kRateLimited));
+  w.put_u64(retry_after_micros);
+  w.put_string(message);
+  return w.bytes();
+}
+
 std::vector<std::uint8_t> encode_health_request() {
   ByteWriter w;
   w.put_u8(static_cast<std::uint8_t>(MessageType::kHealth));
@@ -144,9 +169,11 @@ MessageType peek_type(const std::vector<std::uint8_t>& payload) {
 
 GenerateRequest decode_generate_request(const std::vector<std::uint8_t>& payload) {
   ByteReader r(payload);
-  FG_CHECK(static_cast<MessageType>(r.get_u8()) == MessageType::kGenerate,
+  const auto type = static_cast<MessageType>(r.get_u8());
+  FG_CHECK(type == MessageType::kGenerate || type == MessageType::kGenerateV2,
            "protocol: not a generate request");
   GenerateRequest request;
+  if (type == MessageType::kGenerateV2) request.tenant_id = r.get_u32();
   request.model = r.get_string();
   request.seed = r.get_u64();
   request.stream = r.get_u64();
@@ -190,13 +217,24 @@ std::string decode_overloaded(const std::vector<std::uint8_t>& payload) {
   return r.get_string();
 }
 
+RateLimitedInfo decode_rate_limited(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  FG_CHECK(static_cast<MessageType>(r.get_u8()) == MessageType::kRateLimited,
+           "protocol: not a rate-limited message");
+  RateLimitedInfo info;
+  info.retry_after_micros = r.get_u64();
+  info.message = r.get_string();
+  return info;
+}
+
 HealthStatus decode_health_response(const std::vector<std::uint8_t>& payload) {
   ByteReader r(payload);
   FG_CHECK(static_cast<MessageType>(r.get_u8()) == MessageType::kHealthOk,
            "protocol: not a health response");
   const auto status = r.get_u8();
   FG_CHECK(status == static_cast<std::uint8_t>(HealthStatus::kReady) ||
-               status == static_cast<std::uint8_t>(HealthStatus::kDraining),
+               status == static_cast<std::uint8_t>(HealthStatus::kDraining) ||
+               status == static_cast<std::uint8_t>(HealthStatus::kDegraded),
            "protocol: bad health status " << static_cast<int>(status));
   return static_cast<HealthStatus>(status);
 }

@@ -12,12 +12,20 @@
 //   u8 type | type-specific body
 //
 // Message bodies:
-//   kGenerate (client -> server):
+//   kGenerate (client -> server, protocol v1):
 //     u32 model_name_len | model_name bytes
 //     u64 seed | u64 stream          -- Rng::from_stream(seed, stream)
 //     u64 deadline_micros            -- relative budget; 0 = no deadline
 //     u32 side                       -- PL array is side x side
 //     f32 pl[side * side]           -- normalized program levels, row-major
+//   kGenerateV2 (client -> server, protocol v2):
+//     u32 tenant_id                  -- token-bucket admission key; 0 = the
+//                                       anonymous/default tenant
+//     ...then the v1 body verbatim (model, seed, stream, deadline, side, pl)
+//     -- v2 is a pure header extension: servers decode both types (v1 frames
+//        map to tenant 0), so v1 clients interoperate unchanged against a v2
+//        server. encode_generate_request emits v2; _v1 is kept for legacy
+//        peers and interop tests.
 //   kGenerateOk (server -> client):
 //     u32 side | f32 voltages[side * side]
 //   kStats (client -> server): empty body
@@ -26,6 +34,11 @@
 //   kOverloaded (server -> client): u32 message_len | message bytes
 //     -- typed rejection: the admission queue is full or draining; the
 //        request was NOT executed and can be retried elsewhere/later
+//   kRateLimited (server -> client):
+//     u64 retry_after_micros | u32 message_len | message bytes
+//     -- typed per-tenant rejection: the tenant's token bucket is empty. The
+//        request was NOT executed; retrying before retry_after_micros will
+//        be shed again.
 //   kHealth (client -> server): empty body
 //   kHealthOk (server -> client): u8 status (HealthStatus)
 //
@@ -52,7 +65,7 @@
 namespace flashgen::serve {
 
 enum class MessageType : std::uint8_t {
-  kGenerate = 1,
+  kGenerate = 1,  // protocol v1 request (no tenant header)
   kGenerateOk = 2,
   kStats = 3,
   kStatsOk = 4,
@@ -60,12 +73,28 @@ enum class MessageType : std::uint8_t {
   kOverloaded = 6,
   kHealth = 7,
   kHealthOk = 8,
+  kGenerateV2 = 9,    // protocol v2 request: u32 tenant_id prepended
+  kRateLimited = 10,  // typed per-tenant shed with retry_after_micros
 };
 
 /// Liveness answer to a kHealth probe.
 enum class HealthStatus : std::uint8_t {
-  kReady = 1,     // accepting work
+  kReady = 1,     // accepting work, full fleet healthy
   kDraining = 2,  // shutting down: finishing in-flight work, rejecting new
+  kDegraded = 3,  // serving, but one or more replicas are quarantined
+};
+
+/// Typed per-tenant admission rejection: the tenant's token bucket was empty.
+/// Carries the server's hint for when a retry can be admitted.
+class RateLimited : public flashgen::Error {
+ public:
+  RateLimited(const std::string& what, std::uint64_t retry_after_micros)
+      : flashgen::Error(what), retry_after_micros_(retry_after_micros) {}
+
+  std::uint64_t retry_after_micros() const { return retry_after_micros_; }
+
+ private:
+  std::uint64_t retry_after_micros_;
 };
 
 /// Refuse frames above this size (64 MiB) to bound allocation on bad input.
@@ -74,6 +103,9 @@ inline constexpr std::uint32_t kMaxFrameBytes = framing::kMaxFrameBytes;
 
 struct GenerateRequest {
   std::string model;
+  /// Admission key for per-tenant token buckets (protocol v2 header field);
+  /// v1 frames decode as tenant 0. Invisible in the generated bits.
+  std::uint32_t tenant_id = 0;
   std::uint64_t seed = 0;
   std::uint64_t stream = 0;
   /// Relative completion budget in microseconds, measured from server-side
@@ -126,21 +158,36 @@ class ByteReader {
 };
 
 // ---- payload encoding (u8 type + body; no length prefix) ----
+/// Emits a protocol v2 (kGenerateV2) request carrying request.tenant_id.
 std::vector<std::uint8_t> encode_generate_request(const GenerateRequest& request);
+/// Emits a protocol v1 (kGenerate) request; the tenant id cannot ride in a
+/// v1 frame and is dropped (the server maps v1 to tenant 0). Kept for
+/// legacy peers and the v1-interop tests.
+std::vector<std::uint8_t> encode_generate_request_v1(const GenerateRequest& request);
 std::vector<std::uint8_t> encode_generate_response(const GenerateResponse& response);
 std::vector<std::uint8_t> encode_stats_request();
 std::vector<std::uint8_t> encode_stats_response(const std::string& json);
 std::vector<std::uint8_t> encode_error(const std::string& message);
 std::vector<std::uint8_t> encode_overloaded(const std::string& message);
+std::vector<std::uint8_t> encode_rate_limited(std::uint64_t retry_after_micros,
+                                              const std::string& message);
 std::vector<std::uint8_t> encode_health_request();
 std::vector<std::uint8_t> encode_health_response(HealthStatus status);
 
+struct RateLimitedInfo {
+  std::uint64_t retry_after_micros = 0;
+  std::string message;
+};
+
 MessageType peek_type(const std::vector<std::uint8_t>& payload);
+/// Decodes either generation (kGenerate -> tenant 0, kGenerateV2 -> carried
+/// tenant id); the rest of the body is layout-identical.
 GenerateRequest decode_generate_request(const std::vector<std::uint8_t>& payload);
 GenerateResponse decode_generate_response(const std::vector<std::uint8_t>& payload);
 std::string decode_stats_response(const std::vector<std::uint8_t>& payload);
 std::string decode_error(const std::vector<std::uint8_t>& payload);
 std::string decode_overloaded(const std::vector<std::uint8_t>& payload);
+RateLimitedInfo decode_rate_limited(const std::vector<std::uint8_t>& payload);
 HealthStatus decode_health_response(const std::vector<std::uint8_t>& payload);
 
 // ---- framing over a file descriptor (blocking, EINTR-safe) ----

@@ -72,6 +72,16 @@ void ModelRegistry::load(const std::string& name, core::ModelKind kind,
   }
 }
 
+InferenceEngine& ModelRegistry::rebuild_replica(const std::string& name, std::size_t replica) {
+  Entry& entry = at(name);
+  FG_CHECK(replica < entry.replicas.size(),
+           "ModelRegistry: rebuild of replica " << replica << " but " << name << " has "
+                                                << entry.replicas.size());
+  Replica& r = entry.replicas[replica];
+  r.engine = std::make_unique<InferenceEngine>(*r.model);
+  return *r.engine;
+}
+
 ModelRegistry::Entry& ModelRegistry::at(const std::string& name) {
   auto it = entries_.find(name);
   FG_CHECK(it != entries_.end(), "ModelRegistry: unknown model " << name);

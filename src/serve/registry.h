@@ -62,6 +62,15 @@ class ModelRegistry {
             const models::NetworkConfig& config, const std::string& checkpoint_path,
             std::size_t warmup_batch = 8, std::size_t replicas = 1);
 
+  /// Replaces replica `replica`'s engine with a fresh InferenceEngine over
+  /// the same model weights — the supervisor's restart path for a quarantined
+  /// replica. Only safe once the old engine is no longer referenced (the
+  /// replica's executor thread has been joined). Skips warmup: a restart
+  /// should come back fast, and the workspace pool re-primes on first use.
+  /// The replicas vector is never resized, so other replicas' engine
+  /// pointers stay valid.
+  InferenceEngine& rebuild_replica(const std::string& name, std::size_t replica);
+
   bool contains(const std::string& name) const { return entries_.count(name) != 0; }
   /// FG_CHECKs that `name` is registered.
   Entry& at(const std::string& name);

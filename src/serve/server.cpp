@@ -9,11 +9,13 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <sstream>
 #include <utility>
 
 #include "common/error.h"
 #include "common/faultinject.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "common/trace.h"
 #include "tensor/gemm_backend.h"
@@ -37,12 +39,22 @@ std::uint64_t micros_since(std::chrono::steady_clock::time_point since) {
 }  // namespace
 
 Server::Server(ModelRegistry& registry, ServerOptions options)
-    : registry_(registry), options_(std::move(options)) {
+    : registry_(registry), options_(std::move(options)), governor_(options_.tenant) {
   endpoint_ = parse_endpoint(options_.endpoint);
   for (const std::string& name : registry_.names()) {
-    auto& entry = registry_.at(name);
-    dispatchers_.emplace(name, std::make_unique<ReplicaDispatcher>(
-                                   entry.engines(), entry.row_shape, options_.policy, &metrics_));
+    // Supervised dispatchers: the ReplicaSupervisor can rebuild a wedged
+    // replica's engine through the registry.
+    dispatchers_.emplace(name,
+                         std::make_unique<ReplicaDispatcher>(registry_, name, options_.policy,
+                                                             options_.supervisor, &metrics_));
+  }
+  if (options_.idle_timeout_micros > 0) {
+    wheel_.resize(kWheelSlots);
+    // Half-wheel resolution: an idle conn is caught within ~2 ticks of its
+    // deadline, and the loop never wakes more than ~kWheelSlots/2 times per
+    // timeout period. Floor of 1ms keeps tiny timeouts from hot-spinning.
+    wheel_tick_ = std::chrono::microseconds(
+        std::max<std::uint64_t>(options_.idle_timeout_micros / (kWheelSlots / 2), 1000));
   }
 
   const int backlog = options_.backlog >= 0 ? options_.backlog : SOMAXCONN;
@@ -76,7 +88,21 @@ Server::Server(ModelRegistry& registry, std::string socket_path, BatchPolicy pol
         return options;
       }()) {}
 
-Server::~Server() { stop(); }
+Server::~Server() {
+  stop();
+  // Join every executor + supervisor thread (failing still-queued work
+  // through completion callbacks, which may push + wake_loop) while the
+  // completion queue and wake fd are still alive, THEN tear the fds down.
+  dispatchers_.clear();
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+}
 
 std::string Server::endpoint() const {
   Endpoint connectable = endpoint_;
@@ -127,14 +153,10 @@ void Server::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (wake_fd_ >= 0) {
-    ::close(wake_fd_);
-    wake_fd_ = -1;
-  }
-  if (epoll_fd_ >= 0) {
-    ::close(epoll_fd_);
-    epoll_fd_ = -1;
-  }
+  // wake_fd_ / epoll_fd_ stay open until the destructor: executor threads may
+  // still be finishing admitted work whose completion callbacks write the
+  // eventfd, and closing it here would race them (fd-reuse hazard). The loop
+  // has exited, so the writes just accumulate in the eventfd counter.
   if (endpoint_.kind == Endpoint::Kind::kUnix) ::unlink(endpoint_.path.c_str());
 }
 
@@ -148,8 +170,16 @@ void Server::wake_loop() {
 void Server::run_loop() {
   constexpr int kMaxEvents = 256;
   epoll_event events[kMaxEvents];
+  wheel_last_tick_ = std::chrono::steady_clock::now();
   while (!stopping_.load()) {
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    int timeout_ms = -1;
+    if (options_.idle_timeout_micros > 0) {
+      // Wake for the next wheel tick even with no fd activity.
+      const auto until_tick = std::chrono::duration_cast<std::chrono::milliseconds>(
+          wheel_last_tick_ + wheel_tick_ - std::chrono::steady_clock::now());
+      timeout_ms = static_cast<int>(std::clamp<long long>(until_tick.count(), 0, 60'000));
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       FG_LOG(Error) << "epoll_wait failed: " << std::strerror(errno);
@@ -188,7 +218,60 @@ void Server::run_loop() {
     // Completions may land while handling other events; opportunistically
     // drain so responses never wait for the next epoll tick.
     drain_completions();
+    if (options_.idle_timeout_micros > 0) tick_idle_wheel();
   }
+}
+
+void Server::tick_idle_wheel() {
+  const auto now = std::chrono::steady_clock::now();
+  while (now - wheel_last_tick_ >= wheel_tick_) {
+    wheel_last_tick_ += wheel_tick_;
+    wheel_pos_ = (wheel_pos_ + 1) % kWheelSlots;
+    std::vector<std::uint64_t> due;
+    due.swap(wheel_[wheel_pos_]);
+    for (const std::uint64_t id : due) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // closed since scheduling; stale entry
+      Conn& conn = *it->second;
+      const auto deadline =
+          conn.last_activity + std::chrono::microseconds(options_.idle_timeout_micros);
+      // A connection that is owed a response (requests pending or bytes
+      // unflushed) is waiting on US, not idling; re-bucket it instead.
+      const bool owes_nothing = conn.slots.empty() && conn.out_off == conn.outbuf.size();
+      if (deadline <= now && owes_nothing) {
+        evict_conn(conn, "idle timeout", /*send_error=*/false);
+      } else {
+        schedule_idle_check(id, std::max(deadline, now + wheel_tick_), now);
+      }
+    }
+  }
+}
+
+void Server::schedule_idle_check(std::uint64_t conn_id,
+                                 std::chrono::steady_clock::time_point deadline,
+                                 std::chrono::steady_clock::time_point now) {
+  const auto delta = std::chrono::duration_cast<std::chrono::microseconds>(deadline - now);
+  std::uint64_t ticks = delta.count() <= 0 ? 1 : static_cast<std::uint64_t>(delta / wheel_tick_) + 1;
+  // Deadlines past one revolution park at the farthest slot and re-bucket
+  // when the wheel sweeps by (lazy cascading).
+  ticks = std::clamp<std::uint64_t>(ticks, 1, kWheelSlots - 1);
+  wheel_[(wheel_pos_ + ticks) % kWheelSlots].push_back(conn_id);
+}
+
+void Server::evict_conn(Conn& conn, const std::string& reason, bool send_error) {
+  metrics_.record_conn_evicted();
+  static stats::Counter& evicted = stats::counter("serve.conn_evicted");
+  evicted.add();
+  if (send_error) {
+    // Best-effort typed goodbye so a well-behaved client learns why; a full
+    // socket buffer or dead peer just drops it.
+    try {
+      const auto frame = framing::encode_frame(encode_error(reason));
+      (void)framing::write_some(conn.fd, frame.data(), frame.size());
+    } catch (...) {
+    }
+  }
+  close_conn(conn.id);
 }
 
 void Server::on_listener_ready() {
@@ -219,7 +302,14 @@ void Server::on_listener_ready() {
       }
       static stats::Counter& accepted = stats::counter("serve.connections_accepted");
       accepted.add();
-      conns_.emplace(conn->id, std::move(conn));
+      const std::uint64_t conn_id = conn->id;
+      conn->last_activity = std::chrono::steady_clock::now();
+      if (options_.idle_timeout_micros > 0) {
+        schedule_idle_check(
+            conn_id, conn->last_activity + std::chrono::microseconds(options_.idle_timeout_micros),
+            conn->last_activity);
+      }
+      conns_.emplace(conn_id, std::move(conn));
       continue;
     }
     if (err == EAGAIN || err == EWOULDBLOCK) return;  // backlog drained
@@ -250,6 +340,17 @@ void Server::on_conn_readable(Conn& conn) {
     dispatch_frame(conn, std::move(payload));
     if (conns_.count(conn.id) == 0) return;  // dispatch closed it
   }
+  // Buffered-bytes cap: what remains in the decoder is a partial frame the
+  // peer is dribbling in — exactly the slow-loris resource a hostile length
+  // prefix pins.
+  if (options_.max_conn_buffered_bytes > 0 &&
+      conn.decoder.buffered() > options_.max_conn_buffered_bytes) {
+    std::ostringstream os;
+    os << "connection buffered " << conn.decoder.buffered() << " bytes (cap "
+       << options_.max_conn_buffered_bytes << ")";
+    evict_conn(conn, os.str(), /*send_error=*/true);
+    return;
+  }
   if (status == framing::ReadStatus::kEof) {
     // Clean EOF on a frame boundary: finish flushing pipelined responses,
     // then close. Mid-frame EOF is a protocol violation; drop immediately.
@@ -267,9 +368,21 @@ void Server::on_conn_readable(Conn& conn) {
 
 void Server::dispatch_frame(Conn& conn, std::vector<std::uint8_t> payload) {
   FG_TRACE_SPAN("serve.request", "serve");
+  // Pipeline cap: a client may pipeline freely up to the bound; the frame
+  // that would exceed it forfeits the connection (typed kError + close) so
+  // one peer cannot pin unbounded response slots.
+  if (options_.max_pipelined_requests > 0 &&
+      conn.slots.size() >= options_.max_pipelined_requests) {
+    std::ostringstream os;
+    os << "pipelined request cap exceeded (" << conn.slots.size() << "/"
+       << options_.max_pipelined_requests << ")";
+    evict_conn(conn, os.str(), /*send_error=*/true);
+    return;
+  }
   const std::uint64_t seq = conn.next_seq++;
   conn.slots.emplace_back();
   conn.slots.back().t0 = std::chrono::steady_clock::now();
+  conn.last_activity = conn.slots.back().t0;  // a complete frame is progress
 
   // Helper: resolve the slot we just created (dispatch never re-enters).
   const auto slot_ready = [&](std::vector<std::uint8_t> response_payload,
@@ -282,7 +395,7 @@ void Server::dispatch_frame(Conn& conn, std::vector<std::uint8_t> payload) {
 
   try {
     const MessageType type = peek_type(payload);
-    if (type == MessageType::kGenerate) {
+    if (type == MessageType::kGenerate || type == MessageType::kGenerateV2) {
       const auto t0 = conn.slots.back().t0;
       GenerateRequest request = [&] {
         FG_TRACE_SPAN("serve.decode", "serve");
@@ -294,6 +407,22 @@ void Server::dispatch_frame(Conn& conn, std::vector<std::uint8_t> payload) {
         return *it->second;
       }();
       metrics_.record_stage("decode", micros_since(t0));
+      // Per-tenant token-bucket admission, ahead of the fleet queues: an
+      // over-rate tenant drains only its own bucket and gets a typed
+      // kRateLimited with a retry hint; everyone else's admission capacity
+      // is untouched. Disabled (default) this is a strict no-op.
+      const TenantGovernor::Decision admission = governor_.admit(request.tenant_id);
+      if (!admission.admitted) {
+        metrics_.record_rate_limited();
+        static stats::Counter& rate_limited_total = stats::counter("serve.rate_limited");
+        rate_limited_total.add();
+        std::ostringstream os;
+        os << "tenant " << request.tenant_id << " over admission rate; retry after "
+           << admission.retry_after_micros << "us";
+        slot_ready(encode_rate_limited(admission.retry_after_micros, os.str()),
+                   /*counts_as_active=*/false);
+        return;
+      }
       // Mark the slot active *before* submit: the completion can fire on the
       // executor thread immediately.
       {
@@ -352,9 +481,18 @@ void Server::dispatch_frame(Conn& conn, std::vector<std::uint8_t> payload) {
           std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
       slot_ready(encode_stats_response(metrics_.to_json(elapsed)), /*counts_as_active=*/false);
     } else if (type == MessageType::kHealth) {
-      slot_ready(encode_health_response(draining_.load() ? HealthStatus::kDraining
-                                                         : HealthStatus::kReady),
-                 /*counts_as_active=*/false);
+      HealthStatus status = HealthStatus::kReady;
+      if (draining_.load()) {
+        status = HealthStatus::kDraining;
+      } else {
+        for (const auto& [name, dispatcher] : dispatchers_) {
+          if (dispatcher->quarantined_replicas() > 0) {
+            status = HealthStatus::kDegraded;  // serving, but under capacity
+            break;
+          }
+        }
+      }
+      slot_ready(encode_health_response(status), /*counts_as_active=*/false);
     } else {
       FG_CHECK(false, "unexpected message type " << static_cast<int>(type));
     }
@@ -410,7 +548,21 @@ void Server::flush_conn(Conn& conn) {
     const std::size_t n = framing::write_some(conn.fd, conn.outbuf.data() + conn.out_off,
                                               conn.outbuf.size() - conn.out_off);
     conn.out_off += n;
-    if (n > 0) metrics_.record_stage("write", micros_since(t_write));
+    if (n > 0) {
+      metrics_.record_stage("write", micros_since(t_write));
+      conn.last_activity = std::chrono::steady_clock::now();  // write progress
+    }
+  }
+  // Buffered-bytes cap on the outbound side: a peer that stops reading while
+  // responses pile up gets evicted instead of pinning the buffer. No typed
+  // goodbye — its socket buffer is what's full.
+  if (options_.max_conn_buffered_bytes > 0 &&
+      conn.outbuf.size() - conn.out_off > options_.max_conn_buffered_bytes) {
+    std::ostringstream os;
+    os << "connection has " << conn.outbuf.size() - conn.out_off
+       << " unread response bytes (cap " << options_.max_conn_buffered_bytes << ")";
+    evict_conn(conn, os.str(), /*send_error=*/false);
+    return;
   }
   if (conn.out_off == conn.outbuf.size()) {
     conn.outbuf.clear();
@@ -475,10 +627,43 @@ GenerateResponse Client::generate(const GenerateRequest& request) {
   if (peek_type(payload) == MessageType::kOverloaded) {
     throw Overloaded("server overloaded: " + decode_overloaded(payload));
   }
+  if (peek_type(payload) == MessageType::kRateLimited) {
+    const RateLimitedInfo info = decode_rate_limited(payload);
+    throw RateLimited("rate limited: " + info.message, info.retry_after_micros);
+  }
   if (peek_type(payload) == MessageType::kError) {
     FG_CHECK(false, "server error: " << decode_error(payload));
   }
   return decode_generate_response(payload);
+}
+
+GenerateResponse Client::generate_with_retry(const GenerateRequest& request,
+                                             const RetryPolicy& policy) {
+  for (int attempt = 0;; ++attempt) {
+    std::uint64_t server_hint_micros = 0;
+    try {
+      return generate(request);
+    } catch (const RateLimited& e) {
+      if (attempt + 1 >= policy.max_attempts) throw;
+      server_hint_micros = e.retry_after_micros();
+    } catch (const Overloaded&) {
+      if (attempt + 1 >= policy.max_attempts) throw;
+    }
+    // Capped exponential backoff with deterministic jitter in
+    // [backoff/2, backoff]: same seed replays the same schedule, different
+    // seeds desynchronize a retry storm. The server's retry_after hint is a
+    // floor — sleeping less would just be shed again.
+    const int shift = std::min(attempt, 20);
+    const std::uint64_t ceiling = std::min(policy.max_backoff_micros,
+                                           policy.base_backoff_micros << shift);
+    std::uint64_t wait = ceiling;
+    if (ceiling > 0) {
+      Rng rng(policy.seed ^ (static_cast<std::uint64_t>(attempt) + 1));
+      wait = ceiling / 2 + rng.uniform_int(ceiling / 2 + 1);
+    }
+    wait = std::max(wait, server_hint_micros);
+    if (wait > 0) std::this_thread::sleep_for(std::chrono::microseconds(wait));
+  }
 }
 
 HealthStatus Client::health() {

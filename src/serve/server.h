@@ -46,6 +46,7 @@
 #include "serve/metrics.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
+#include "serve/tenant.h"
 
 namespace flashgen::serve {
 
@@ -59,6 +60,36 @@ struct ServerOptions {
   /// SOMAXCONN unless testing backlog behavior.
   int backlog = -1;
   BatchPolicy policy;
+  /// ReplicaSupervisor knobs: wedge quarantine + restart (see dispatcher.h).
+  SupervisorPolicy supervisor;
+  /// Per-tenant token-bucket admission; rate 0 (default) = unlimited, a
+  /// strict no-op on the request path.
+  TenantPolicy tenant;
+  /// Connection hygiene: evict connections that made no protocol progress
+  /// (no complete inbound frame, no outbound write progress) for this long.
+  /// Defeats slow-loris clients that drip bytes to look alive. 0 (default)
+  /// disables. Connections with a response still owed are never idle-evicted.
+  std::uint64_t idle_timeout_micros = 0;
+  /// Cap on bytes buffered per connection — a partial inbound frame, or
+  /// unflushed outbound responses the peer refuses to read. A connection
+  /// over the cap is evicted with a typed kError + close. The default
+  /// comfortably fits any legal frame (kMaxFrameBytes) on either side.
+  std::size_t max_conn_buffered_bytes = 2 * static_cast<std::size_t>(kMaxFrameBytes);
+  /// Cap on in-flight pipelined requests per connection; the frame that
+  /// would exceed it evicts the connection (typed kError + close).
+  std::size_t max_pipelined_requests = 4096;
+};
+
+/// Capped exponential backoff with deterministic jitter for Client retries
+/// on typed sheds (kOverloaded / kRateLimited).
+struct RetryPolicy {
+  /// Total attempts including the first; <= 1 disables retry.
+  int max_attempts = 5;
+  std::uint64_t base_backoff_micros = 1'000;
+  std::uint64_t max_backoff_micros = 250'000;
+  /// Jitter stream seed; same seed => same backoff schedule (deterministic
+  /// tests), different seeds desynchronize clients (no retry stampede).
+  std::uint64_t seed = 0;
 };
 
 class Server {
@@ -118,6 +149,10 @@ class Server {
     bool want_write = false;  // EPOLLOUT armed
     bool peer_eof = false;    // read side closed; flush, then close
     int active_unflushed = 0;  // admitted generates encoded but not yet sent
+    /// Last protocol progress (complete frame in, write progress out, or
+    /// accept); the idle-timeout signal. Raw inbound bytes do NOT count —
+    /// that would let a slow-loris client stay alive by dripping bytes.
+    std::chrono::steady_clock::time_point last_activity{};
   };
 
   struct CompletionMsg {
@@ -139,11 +174,31 @@ class Server {
   void close_conn(std::uint64_t conn_id);
   void update_epoll(Conn& conn);
   void wake_loop();
+  /// Hygiene close: counts serve.conn_evicted, optionally best-effort writes
+  /// a framed kError(reason) first, then close_conn.
+  void evict_conn(Conn& conn, const std::string& reason, bool send_error);
+  /// Advances the idle wheel to `now`, evicting connections whose idle
+  /// deadline passed and lazily re-bucketing the rest.
+  void tick_idle_wheel();
+  void schedule_idle_check(std::uint64_t conn_id,
+                           std::chrono::steady_clock::time_point deadline,
+                           std::chrono::steady_clock::time_point now);
 
   ModelRegistry& registry_;
   ServerOptions options_;
   Endpoint endpoint_;
   ServeMetrics metrics_;
+  TenantGovernor governor_;
+
+  // Hashed idle-timeout timer wheel (loop thread only). Each slot holds conn
+  // ids due for an idle check when the wheel sweeps past; entries are lazy —
+  // a closed conn is skipped, a conn active since scheduling is re-bucketed
+  // at its new deadline instead of evicted.
+  static constexpr std::size_t kWheelSlots = 64;
+  std::vector<std::vector<std::uint64_t>> wheel_;
+  std::size_t wheel_pos_ = 0;
+  std::chrono::microseconds wheel_tick_{0};
+  std::chrono::steady_clock::time_point wheel_last_tick_{};
 
   // Completions cross from executor threads into the loop through here.
   // Declared before dispatchers_: batcher destructors fail still-queued
@@ -177,11 +232,20 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   /// Round-trips one generate request. Throws Overloaded if the server
-  /// answers kOverloaded; FG_CHECKs if it answers with a kError frame.
+  /// answers kOverloaded, RateLimited if it answers kRateLimited; FG_CHECKs
+  /// if it answers with a kError frame.
   GenerateResponse generate(const GenerateRequest& request);
+  /// generate() with capped exponential backoff + jitter on the typed sheds
+  /// (Overloaded / RateLimited): sleeps max(jittered backoff, the server's
+  /// retry_after hint) between attempts, rethrows the last shed once
+  /// max_attempts is exhausted. Other errors are not retried.
+  GenerateResponse generate_with_retry(const GenerateRequest& request,
+                                       const RetryPolicy& policy);
   /// Fetches the server's metrics JSON.
   std::string stats();
-  /// Liveness probe: kReady while serving, kDraining during shutdown.
+  /// Liveness probe: kReady while serving with a fully-healthy fleet,
+  /// kDegraded with one or more replicas quarantined, kDraining during
+  /// shutdown.
   HealthStatus health();
 
  private:

@@ -1,0 +1,62 @@
+#include "serve/tenant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flashgen::serve {
+
+namespace {
+/// Bound on distinct tenants tracked at once. A hostile client spraying
+/// random tenant ids must not grow the table without limit; past the bound
+/// an arbitrary bucket is recycled. Evicting a bucket forgives at most
+/// `burst` requests for one tenant — an acceptable trade against unbounded
+/// memory, and unreachable for any realistic tenant population.
+constexpr std::size_t kMaxTrackedTenants = 65536;
+}  // namespace
+
+TenantGovernor::TenantGovernor(TenantPolicy policy) : policy_(policy) {
+  FG_CHECK(std::isfinite(policy_.rate_per_sec) && policy_.rate_per_sec >= 0.0,
+           "TenantGovernor: bad rate " << policy_.rate_per_sec);
+  burst_ = policy_.burst > 0.0 ? policy_.burst : std::max(policy_.rate_per_sec, 1.0);
+}
+
+TenantGovernor::Decision TenantGovernor::admit(std::uint32_t tenant_id,
+                                               std::chrono::steady_clock::time_point now) {
+  Decision decision;
+  if (!enabled()) return decision;  // unlimited: strict no-op, no lock
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(tenant_id);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= kMaxTrackedTenants) buckets_.erase(buckets_.begin());
+    Bucket fresh;
+    fresh.tokens = burst_;  // new tenants start with a full bucket
+    fresh.last = now;
+    it = buckets_.emplace(tenant_id, fresh).first;
+  }
+  Bucket& bucket = it->second;
+
+  const double dt = std::max(
+      0.0, std::chrono::duration_cast<std::chrono::duration<double>>(now - bucket.last).count());
+  bucket.tokens = std::min(burst_, bucket.tokens + dt * policy_.rate_per_sec);
+  bucket.last = now;
+
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return decision;
+  }
+  decision.admitted = false;
+  const double deficit_seconds = (1.0 - bucket.tokens) / policy_.rate_per_sec;
+  decision.retry_after_micros =
+      static_cast<std::uint64_t>(std::ceil(deficit_seconds * 1e6));
+  return decision;
+}
+
+std::size_t TenantGovernor::tracked_tenants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.size();
+}
+
+}  // namespace flashgen::serve

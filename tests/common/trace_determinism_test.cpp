@@ -148,7 +148,7 @@ TEST_F(TraceDeterminismTest, TracedServeBatchIsBitIdenticalAcrossThreadCounts) {
     policy.max_wait_micros = 200000;  // ample: all 4 requests land in one batch
     serve::ServeMetrics metrics;
     serve::RequestBatcher batcher(engine, Shape({1, 8, 8}), policy, &metrics);
-    std::vector<std::future<std::vector<float>>> futures;
+    std::vector<flashgen::serve::ResponseFuture> futures;
     for (std::size_t i = 0; i < rows.size(); ++i)
       futures.push_back(batcher.submit(rows[i], /*seed=*/42, /*stream=*/i));
     std::vector<std::vector<float>> out;

@@ -90,7 +90,7 @@ TEST_F(BatcherTest, CoalescedBatchOfEightMatchesRequestAlone) {
   RequestBatcher batcher(*engine_, Shape({1, 8, 8}), policy, &metrics);
 
   const auto batches_before = engine_->stats().batches;
-  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<ResponseFuture> futures;
   for (std::size_t i = 0; i < 8; ++i)
     futures.push_back(batcher.submit(rows_[i], kSeed, /*stream=*/i));
   for (std::size_t i = 0; i < 8; ++i) {
@@ -157,7 +157,7 @@ TEST_F(BatcherTest, RecordsQueueAndBatchMetrics) {
   ServeMetrics metrics;
   {
     RequestBatcher batcher(*engine_, Shape({1, 8, 8}), policy, &metrics);
-    std::vector<std::future<std::vector<float>>> futures;
+    std::vector<ResponseFuture> futures;
     for (std::size_t i = 0; i < 4; ++i)
       futures.push_back(batcher.submit(rows_[i], kSeed, i));
     for (auto& f : futures) (void)f.get();

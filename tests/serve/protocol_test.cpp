@@ -26,6 +26,7 @@ namespace {
 GenerateRequest sample_request() {
   GenerateRequest request;
   request.model = "cVAE-GAN";
+  request.tenant_id = 42;
   request.seed = 0xDEADBEEFCAFEF00DULL;
   request.stream = 17;
   request.deadline_micros = 123456;
@@ -36,16 +37,50 @@ GenerateRequest sample_request() {
 
 TEST(ProtocolTest, GenerateRequestRoundTrip) {
   const GenerateRequest request = sample_request();
+  // The default encoder emits protocol v2 (tenant header included).
   const auto payload = encode_generate_request(request);
+  EXPECT_EQ(peek_type(payload), MessageType::kGenerateV2);
+
+  const GenerateRequest decoded = decode_generate_request(payload);
+  EXPECT_EQ(decoded.model, request.model);
+  EXPECT_EQ(decoded.tenant_id, request.tenant_id);
+  EXPECT_EQ(decoded.seed, request.seed);
+  EXPECT_EQ(decoded.stream, request.stream);
+  EXPECT_EQ(decoded.deadline_micros, request.deadline_micros);
+  EXPECT_EQ(decoded.side, request.side);
+  EXPECT_EQ(decoded.program_levels, request.program_levels);
+}
+
+// A v1 frame carries no tenant header; servers must decode it as tenant 0
+// with the rest of the body intact (back-compat with pre-v2 clients).
+TEST(ProtocolTest, GenerateRequestV1RoundTripMapsToTenantZero) {
+  const GenerateRequest request = sample_request();
+  const auto payload = encode_generate_request_v1(request);
   EXPECT_EQ(peek_type(payload), MessageType::kGenerate);
 
   const GenerateRequest decoded = decode_generate_request(payload);
+  EXPECT_EQ(decoded.tenant_id, 0u);  // tenant cannot ride in a v1 frame
   EXPECT_EQ(decoded.model, request.model);
   EXPECT_EQ(decoded.seed, request.seed);
   EXPECT_EQ(decoded.stream, request.stream);
   EXPECT_EQ(decoded.deadline_micros, request.deadline_micros);
   EXPECT_EQ(decoded.side, request.side);
   EXPECT_EQ(decoded.program_levels, request.program_levels);
+
+  // Apart from the type byte and tenant header, v1 and v2 bodies are
+  // layout-identical.
+  const auto v2 = encode_generate_request(request);
+  ASSERT_EQ(v2.size(), payload.size() + 4);
+  EXPECT_TRUE(std::equal(payload.begin() + 1, payload.end(), v2.begin() + 5));
+}
+
+TEST(ProtocolTest, RateLimitedRoundTrip) {
+  const auto payload = encode_rate_limited(123456, "tenant 7 over admission rate");
+  EXPECT_EQ(peek_type(payload), MessageType::kRateLimited);
+  const RateLimitedInfo info = decode_rate_limited(payload);
+  EXPECT_EQ(info.retry_after_micros, 123456u);
+  EXPECT_EQ(info.message, "tenant 7 over admission rate");
+  EXPECT_THROW((void)decode_rate_limited(encode_error("x")), Error);
 }
 
 TEST(ProtocolTest, HealthAndOverloadedRoundTrip) {
@@ -54,6 +89,8 @@ TEST(ProtocolTest, HealthAndOverloadedRoundTrip) {
             HealthStatus::kReady);
   EXPECT_EQ(decode_health_response(encode_health_response(HealthStatus::kDraining)),
             HealthStatus::kDraining);
+  EXPECT_EQ(decode_health_response(encode_health_response(HealthStatus::kDegraded)),
+            HealthStatus::kDegraded);
   EXPECT_EQ(decode_overloaded(encode_overloaded("queue full")), "queue full");
 
   // A health answer with an out-of-range status byte must be rejected, not

@@ -337,7 +337,7 @@ TEST_F(ServerTcpTest, ReplicaDispatcherBalancesAndDrains) {
   const std::vector<std::size_t> indices = {0};
     auto [pl, vl] = dataset_->batch(indices);
   const std::vector<float> row(pl.data().begin(), pl.data().end());
-  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<ResponseFuture> futures;
   for (std::uint64_t stream = 0; stream < 24; ++stream) {
     futures.push_back(dispatcher.submit(row, /*seed=*/11, stream));
   }
