@@ -63,6 +63,47 @@ void BM_HardRead(benchmark::State& state) {
 }
 BENCHMARK(BM_HardRead);
 
+// Isolates hard-read level detection (no error counting) to measure the
+// branch-free detect_level: level = #thresholds exceeded, a fixed-trip
+// comparison sum the compiler vectorizes. BM_DetectBlockBranchy re-creates
+// the early-exit linear scan it replaced as the in-tree baseline; the ratio
+// of the two is the block-read speedup.
+void BM_DetectBlock(benchmark::State& state) {
+  flash::FlashChannelConfig config;
+  flash::FlashChannel channel(config);
+  flashgen::Rng rng(3);
+  const auto obs = channel.run_experiment(4000.0, rng);
+  const auto thresholds = flash::midpoint_thresholds(channel.voltage_model(), 4000.0);
+  for (auto _ : state) {
+    auto detected = flash::detect_block(obs.voltages, thresholds);
+    benchmark::DoNotOptimize(detected.raw().data());
+  }
+  state.SetItemsProcessed(state.iterations() * obs.voltages.rows() * obs.voltages.cols());
+}
+BENCHMARK(BM_DetectBlock);
+
+void BM_DetectBlockBranchy(benchmark::State& state) {
+  flash::FlashChannelConfig config;
+  flash::FlashChannel channel(config);
+  flashgen::Rng rng(3);
+  const auto obs = channel.run_experiment(4000.0, rng);
+  const auto thresholds = flash::midpoint_thresholds(channel.voltage_model(), 4000.0);
+  const auto detect_branchy = [](double voltage, const flash::Thresholds& t) {
+    int level = 0;
+    while (level < flash::kTlcLevels - 1 && voltage > t[static_cast<std::size_t>(level)]) ++level;
+    return level;
+  };
+  for (auto _ : state) {
+    flash::Grid<std::uint8_t> detected(obs.voltages.rows(), obs.voltages.cols());
+    for (int r = 0; r < obs.voltages.rows(); ++r)
+      for (int c = 0; c < obs.voltages.cols(); ++c)
+        detected(r, c) = static_cast<std::uint8_t>(detect_branchy(obs.voltages(r, c), thresholds));
+    benchmark::DoNotOptimize(detected.raw().data());
+  }
+  state.SetItemsProcessed(state.iterations() * obs.voltages.rows() * obs.voltages.cols());
+}
+BENCHMARK(BM_DetectBlockBranchy);
+
 void BM_HistogramAccumulation(benchmark::State& state) {
   flash::FlashChannelConfig config;
   flash::FlashChannel channel(config);

@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include "models/cvae.h"
 #include "models/cvae_gan.h"
 #include "models/gaussian_model.h"
+#include "models/spatio_temporal.h"
 #include "pipeline/prefetch.h"
 
 namespace flashgen::core {
@@ -21,6 +23,7 @@ std::string to_string(ModelKind kind) {
     case ModelKind::Cgan: return "cGAN";
     case ModelKind::Cvae: return "cVAE";
     case ModelKind::Gaussian: return "Gaussian";
+    case ModelKind::Temporal: return "Temporal";
   }
   FG_CHECK(false, "unknown ModelKind");
   return {};
@@ -35,6 +38,12 @@ std::unique_ptr<models::GenerativeModel> make_model(ModelKind kind,
     case ModelKind::Cgan: return std::make_unique<models::CganModel>(config, seed);
     case ModelKind::Cvae: return std::make_unique<models::CvaeModel>(config, seed);
     case ModelKind::Gaussian: return std::make_unique<models::GaussianModel>();
+    case ModelKind::Temporal:
+      // The condition scales in `config` bound the (PE, retention) range the
+      // normalized conditioning inputs cover; the model forces
+      // condition_dims = 2 itself.
+      return std::make_unique<models::TemporalCvaeGanModel>(config, config.pe_scale,
+                                                            config.retention_scale, seed);
   }
   FG_CHECK(false, "unknown ModelKind");
   return nullptr;
@@ -62,6 +71,15 @@ ExperimentConfig small_experiment_config() {
   // distribution (the paper's 250k steps achieve this with a weaker pull).
   config.beta = 1.0f;
   config.histogram.bins = 325;  // 4-step bins keep small-sample PDFs smooth
+  return config;
+}
+
+ExperimentConfig small_temporal_experiment_config() {
+  ExperimentConfig config = small_experiment_config();
+  for (double pe : {1000.0, 4000.0, 8000.0})
+    for (double retention : {0.0, 500.0}) config.train_conditions.push_back({pe, retention});
+  config.dataset.num_arrays = std::max<int>(
+      1, config.dataset.num_arrays / static_cast<int>(config.train_conditions.size()));
   return config;
 }
 
@@ -101,6 +119,12 @@ std::string config_fingerprint(const ExperimentConfig& config, ModelKind kind,
   // Worker count and queue depth are deliberately absent: they never change
   // the trained bits.
   if (config.prefetch_workers >= 0) os << "|stream";
+  // Multi-condition training draws a different train split (and conditioning
+  // inputs), so each schedule caches under its own key.
+  for (const auto& cond : config.train_conditions)
+    os << "|c" << cond.pe_cycles << '/' << cond.retention_hours;
+  if (kind == ModelKind::Temporal)
+    os << "|scale" << config.network.pe_scale << '/' << config.network.retention_scale;
   return os.str();
 }
 
@@ -122,7 +146,14 @@ Experiment::Experiment(const ExperimentConfig& config)
   FG_LOG(Info) << "characterizing channel: " << config_.dataset.num_arrays << " train + "
                << config_.eval_arrays << " eval arrays of " << config_.dataset.array_size
                << "x" << config_.dataset.array_size << " at PE " << config_.dataset.pe_cycles;
-  train_ = data::PairedDataset::generate(config_.dataset, train_rng);
+  if (config_.train_conditions.empty()) {
+    train_ = data::PairedDataset::generate(config_.dataset, train_rng);
+  } else {
+    FG_LOG(Info) << "multi-condition train split: " << config_.train_conditions.size()
+                 << " (PE, retention) conditions";
+    train_ = data::PairedDataset::generate_multi(config_.dataset, config_.train_conditions,
+                                                 train_rng);
+  }
   data::DatasetConfig eval_config = config_.dataset;
   eval_config.num_arrays = config_.eval_arrays;
   eval_ = data::PairedDataset::generate(eval_config, eval_rng);
@@ -191,6 +222,7 @@ std::unique_ptr<models::GenerativeModel> Experiment::train_or_load(ModelKind kin
     stream.dataset.channel.rows = config_.dataset.array_size;
     stream.dataset.channel.cols = config_.dataset.array_size;
     stream.seed = config_.seed;
+    stream.conditions = config_.train_conditions;
     pipeline::PrefetchConfig prefetch;
     prefetch.workers = config_.prefetch_workers;
     prefetch.queue_depth = config_.prefetch_queue_depth;
@@ -215,6 +247,12 @@ std::unique_ptr<models::GenerativeModel> Experiment::train_or_load(ModelKind kin
 ModelEvaluation Experiment::evaluate(models::GenerativeModel& model) {
   ModelEvaluation result(config_.histogram);
   result.name = model.name();
+  // Condition-aware models are scored at the eval split's characterization
+  // condition (the eval set is always single-condition).
+  if (auto* temporal = dynamic_cast<models::TemporalCvaeGanModel*>(&model)) {
+    temporal->set_generation_condition(
+        {config_.dataset.pe_cycles, config_.dataset.retention_hours});
+  }
 
   flashgen::Rng rng(config_.seed ^ 0xE7A1u);
   const auto& pls = eval_->program_levels();

@@ -27,8 +27,9 @@
 
 namespace flashgen::core {
 
-/// The models compared in the paper's evaluation.
-enum class ModelKind { CvaeGan, BicycleGan, Cgan, Cvae, Gaussian };
+/// The models compared in the paper's evaluation, plus Temporal: the
+/// spatio-temporal cVAE-GAN conditioned on (PE cycles, retention hours).
+enum class ModelKind { CvaeGan, BicycleGan, Cgan, Cvae, Gaussian, Temporal };
 
 std::string to_string(ModelKind kind);
 
@@ -73,12 +74,28 @@ struct ExperimentConfig {
   int prefetch_workers = -1;
   /// Bounded-queue capacity (in sample blocks) for streamed training.
   int prefetch_queue_depth = 4;
+  /// Spatio-temporal condition schedule. Empty trains at the dataset's single
+  /// (pe_cycles, retention_hours) condition. Non-empty, the train split holds
+  /// dataset.num_arrays crops per condition (streamed training round-robins
+  /// sample g at conditions[g % n]); the eval split and measured statistics
+  /// stay at the dataset's single condition. Only condition-aware kinds
+  /// (ModelKind::Temporal) use the per-array conditions during fit.
+  std::vector<data::Condition> train_conditions;
 };
 
 /// Returns a small configuration (16x16 arrays, reduced channel/dataset
 /// sizes) that trains all five models in minutes on one CPU core while
 /// preserving the paper's qualitative results. Used by benches and examples.
 ExperimentConfig small_experiment_config();
+
+/// small_experiment_config() extended with the canonical 3x2 (PE, retention)
+/// training grid for ModelKind::Temporal: PE {1000, 4000, 8000} x retention
+/// {0, 500} hours. The per-condition array count is scaled down so the total
+/// sample count — and so training time — matches the single-condition
+/// config. Sharing this one recipe across binaries (serve CLI, threshold
+/// CLI, benches, tests) keeps the checkpoint-cache fingerprint identical, so
+/// the model trains once.
+ExperimentConfig small_temporal_experiment_config();
 
 /// One model's scorecard against the measured channel.
 struct ModelEvaluation {

@@ -15,15 +15,28 @@ PairedDataset PairedDataset::generate_multi(const DatasetConfig& config,
                                             const std::vector<double>& pe_conditions,
                                             flashgen::Rng& rng) {
   FG_CHECK(!pe_conditions.empty(), "generate_multi needs at least one PE condition");
+  std::vector<Condition> conditions;
+  conditions.reserve(pe_conditions.size());
+  for (double pe : pe_conditions)
+    conditions.push_back({.pe_cycles = pe, .retention_hours = config.retention_hours});
+  return generate_multi(config, conditions, rng);
+}
+
+PairedDataset PairedDataset::generate_multi(const DatasetConfig& config,
+                                            std::span<const Condition> conditions,
+                                            flashgen::Rng& rng) {
+  FG_CHECK(!conditions.empty(), "generate_multi needs at least one condition");
   PairedDataset combined(config, VoltageNormalizer(config.norm));
-  for (double pe : pe_conditions) {
+  for (const Condition& condition : conditions) {
     DatasetConfig condition_config = config;
-    condition_config.pe_cycles = pe;
+    condition_config.pe_cycles = condition.pe_cycles;
+    condition_config.retention_hours = condition.retention_hours;
     PairedDataset part = generate(condition_config, rng);
     for (std::size_t i = 0; i < part.size(); ++i) {
       combined.program_levels_.push_back(std::move(part.program_levels_[i]));
       combined.voltages_.push_back(std::move(part.voltages_[i]));
-      combined.pe_of_array_.push_back(pe);
+      combined.pe_of_array_.push_back(condition.pe_cycles);
+      combined.retention_of_array_.push_back(condition.retention_hours);
     }
   }
   return combined;
@@ -65,6 +78,7 @@ PairedDataset PairedDataset::generate(const DatasetConfig& config, flashgen::Rng
                                                  bc * config.array_size, config.array_size,
                                                  config.array_size));
         ds.pe_of_array_.push_back(config.pe_cycles);
+        ds.retention_of_array_.push_back(config.retention_hours);
         ++produced;
       }
     }
@@ -108,6 +122,18 @@ Tensor PairedDataset::batch_pe(std::span<const std::size_t> indices, double pe_s
         static_cast<float>(std::min(1.0, pe_of_array_[indices[b]] / pe_scale));
   }
   return pe;
+}
+
+Tensor PairedDataset::batch_condition(std::span<const std::size_t> indices) const {
+  FG_CHECK(!indices.empty(), "empty batch");
+  Tensor cond = Tensor::zeros(Shape{static_cast<tensor::Index>(indices.size()), 2});
+  auto data = cond.data();
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    FG_CHECK(indices[b] < size(), "batch index " << indices[b] << " out of range");
+    data[2 * b] = static_cast<float>(pe_of_array_[indices[b]]);
+    data[2 * b + 1] = static_cast<float>(retention_of_array_[indices[b]]);
+  }
+  return cond;
 }
 
 Tensor PairedDataset::levels_to_tensor(const flash::Grid<std::uint8_t>& levels) const {

@@ -17,6 +17,15 @@
 
 namespace flashgen::data {
 
+/// One spatio-temporal channel condition: how worn the block is and how long
+/// it has retained data since programming. This is the pair the conditional
+/// models learn P(VL | PL, condition) over and the threshold optimizer
+/// queries at.
+struct Condition {
+  double pe_cycles = 0.0;
+  double retention_hours = 0.0;
+};
+
 struct DatasetConfig {
   int array_size = 16;        // crop side length (paper uses 64)
   int num_arrays = 1024;      // number of crops to generate
@@ -38,9 +47,17 @@ class PairedDataset {
   static PairedDataset generate(const DatasetConfig& config, flashgen::Rng& rng);
 
   /// Generates `config.num_arrays` crops *per condition*, characterized at
-  /// each of the given PE cycle counts (config.pe_cycles is ignored).
+  /// each of the given PE cycle counts with the config's retention_hours
+  /// (config.pe_cycles is ignored).
   static PairedDataset generate_multi(const DatasetConfig& config,
                                       const std::vector<double>& pe_conditions,
+                                      flashgen::Rng& rng);
+
+  /// Generates `config.num_arrays` crops *per condition*, characterized at
+  /// each (pe_cycles, retention_hours) pair (config.pe_cycles and
+  /// config.retention_hours are ignored).
+  static PairedDataset generate_multi(const DatasetConfig& config,
+                                      std::span<const Condition> conditions,
                                       flashgen::Rng& rng);
 
   std::size_t size() const { return program_levels_.size(); }
@@ -56,12 +73,21 @@ class PairedDataset {
   /// PE condition of each array (cycles).
   const std::vector<double>& pe_of_array() const { return pe_of_array_; }
 
+  /// Retention condition of each array (hours since programming).
+  const std::vector<double>& retention_of_array() const { return retention_of_array_; }
+
   /// Builds a normalized NCHW batch (PL, VL), each (|indices|, 1, S, S).
   std::pair<tensor::Tensor, tensor::Tensor> batch(std::span<const std::size_t> indices) const;
 
   /// PE conditions of a batch, normalized to [0, 1] by `pe_scale` (cycles at
   /// which the conditioning input saturates); shape (|indices|, 1).
   tensor::Tensor batch_pe(std::span<const std::size_t> indices, double pe_scale) const;
+
+  /// Raw (pe_cycles, retention_hours) conditions of a batch, shape
+  /// (|indices|, 2) in physical units. Normalization to network inputs is the
+  /// model's job (models::normalize_conditions), so the data layer stays
+  /// scale-agnostic.
+  tensor::Tensor batch_condition(std::span<const std::size_t> indices) const;
 
   /// Normalizes a single PL grid into a (1, 1, S, S) tensor.
   tensor::Tensor levels_to_tensor(const flash::Grid<std::uint8_t>& levels) const;
@@ -79,6 +105,7 @@ class PairedDataset {
   std::vector<flash::Grid<std::uint8_t>> program_levels_;
   std::vector<flash::Grid<float>> voltages_;
   std::vector<double> pe_of_array_;
+  std::vector<double> retention_of_array_;
 };
 
 /// Epoch iteration over shuffled mini-batch index sets.

@@ -214,7 +214,7 @@ models::TrainStats DistTrainer::fit(models::GenerativeModel& model,
   double g_acc = 0.0, d_acc = 0.0;
   int acc_n = 0;
 
-  auto step_fn = [&](const Tensor& pl, const Tensor& vl, int step) {
+  auto step_fn = [&](const Tensor& pl, const Tensor& vl, const Tensor& cond, int step) {
     FG_TRACE_SPAN("dist.step", "dist");
     const float lr = detail::scheduled_lr(train.lr, step, total_steps_planned) *
                      static_cast<float>(ctx.lr_scale);
@@ -223,7 +223,7 @@ models::TrainStats DistTrainer::fit(models::GenerativeModel& model,
     const int shard0 = rank * local_shards;
     stepper->begin_step(local_shards);
     std::vector<flashgen::Rng> shard_rngs;
-    std::vector<Tensor> shard_pl, shard_vl;
+    std::vector<Tensor> shard_pl, shard_vl, shard_cond;
     shard_rngs.reserve(static_cast<std::size_t>(local_shards));
     for (int s = 0; s < local_shards; ++s) {
       // Shard RNG streams are indexed by the *global* shard id q, while the
@@ -233,6 +233,8 @@ models::TrainStats DistTrainer::fit(models::GenerativeModel& model,
           config_.seed, static_cast<std::uint64_t>(step) * static_cast<std::uint64_t>(shards) + q));
       shard_pl.push_back(slice_rows(pl, s * shard_batch, shard_batch));
       shard_vl.push_back(slice_rows(vl, s * shard_batch, shard_batch));
+      shard_cond.push_back(cond.defined() ? slice_rows(cond, s * shard_batch, shard_batch)
+                                          : Tensor());
     }
 
     double phase_loss[2] = {0.0, 0.0};
@@ -251,6 +253,7 @@ models::TrainStats DistTrainer::fit(models::GenerativeModel& model,
         try {
           loss = stepper->run_phase(ph, s, shard_pl[static_cast<std::size_t>(s)],
                                     shard_vl[static_cast<std::size_t>(s)],
+                                    shard_cond[static_cast<std::size_t>(s)],
                                     shard_rngs[static_cast<std::size_t>(s)]);
         } catch (...) {
           tensor::set_bn_stat_sink(nullptr);

@@ -23,8 +23,15 @@ void validate_thresholds(const Thresholds& thresholds) {
 }
 
 int detect_level(double voltage, const Thresholds& thresholds) {
+  // The detected level is the number of thresholds the voltage exceeds.
+  // Summing all 7 comparisons is branch-free (the compiler unrolls and
+  // vectorizes the fixed-trip loop), unlike the early-exit scan it replaces,
+  // whose branch predictor stalls on the data-dependent exit point; see
+  // bench/micro_flash.cpp (BM_DetectBlock) for the measured speedup.
   int level = 0;
-  while (level < kTlcLevels - 1 && voltage > thresholds[level]) ++level;
+  for (std::size_t k = 0; k < thresholds.size(); ++k) {
+    level += voltage > thresholds[k] ? 1 : 0;
+  }
   return level;
 }
 

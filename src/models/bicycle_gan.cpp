@@ -33,26 +33,27 @@ TrainStats BicycleGanModel::fit_stream(pipeline::SampleSource& source,
   const int total_steps_planned = detail::total_steps(source, config);
   stats.steps = detail::run_training_loop(
       source, config, rng,
-      [&](const Tensor& pl, const Tensor& vl, int step) {
+      [&](const Tensor& pl, const Tensor& vl, const Tensor& raw_cond, int step) {
         const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned) *
                          static_cast<float>(ctx.lr_scale);
         opt_ge.set_lr(lr);
         opt_d.set_lr(lr);
         const tensor::Index n = pl.shape()[0];
+        const Tensor cond = normalize_conditions(raw_cond, config_);
 
         // cVAE-GAN branch: posterior latent reconstructs the observed VL.
         const ResNetEncoder::Output dist = root_.encoder.forward(vl);
         const Tensor z_enc = ResNetEncoder::sample_latent(dist, rng);
-        const Tensor fake_vae = root_.generator.forward(pl, z_enc, rng);
+        const Tensor fake_vae = root_.generator.forward(pl, z_enc, rng, cond);
 
         // cLR-GAN branch: prior latent, recovered from the generated VL.
         const Tensor z_rand = Tensor::randn(tensor::Shape{n, config_.z_dim}, rng);
-        const Tensor fake_lr = root_.generator.forward(pl, z_rand, rng);
+        const Tensor fake_lr = root_.generator.forward(pl, z_rand, rng, cond);
 
         // --- discriminator: real vs both fakes -----------------------------
-        const Tensor d_real = root_.discriminator.forward(pl, vl);
-        const Tensor d_fake_vae = root_.discriminator.forward(pl, fake_vae.detach());
-        const Tensor d_fake_lr = root_.discriminator.forward(pl, fake_lr.detach());
+        const Tensor d_real = root_.discriminator.forward(pl, vl, cond);
+        const Tensor d_fake_vae = root_.discriminator.forward(pl, fake_vae.detach(), cond);
+        const Tensor d_fake_lr = root_.discriminator.forward(pl, fake_lr.detach(), cond);
         Tensor loss_d = tensor::add(
             gan_loss(d_real, true, config.lsgan),
             tensor::mul_scalar(tensor::add(gan_loss(d_fake_vae, false, config.lsgan),
@@ -68,9 +69,10 @@ TrainStats BicycleGanModel::fit_stream(pipeline::SampleSource& source,
         opt_d.step();
 
         // --- generator + encoder -------------------------------------------
-        Tensor loss_g = gan_loss(root_.discriminator.forward(pl, fake_vae), true, config.lsgan);
+        Tensor loss_g =
+            gan_loss(root_.discriminator.forward(pl, fake_vae, cond), true, config.lsgan);
         loss_g = tensor::add(
-            loss_g, gan_loss(root_.discriminator.forward(pl, fake_lr), true, config.lsgan));
+            loss_g, gan_loss(root_.discriminator.forward(pl, fake_lr, cond), true, config.lsgan));
         loss_g = tensor::add(loss_g,
                              tensor::mul_scalar(tensor::l1_loss(fake_vae, vl), config.alpha));
         loss_g = tensor::add(loss_g, tensor::mul_scalar(
@@ -143,19 +145,21 @@ std::unique_ptr<ShardedStepper> BicycleGanModel::make_sharded_stepper(const Trai
     void end_step() override { cache_.clear(); }
 
     double run_phase(int phase, int slot, const Tensor& pl, const Tensor& vl,
-                     flashgen::Rng& rng) override {
+                     const Tensor& raw_cond, flashgen::Rng& rng) override {
       Cache& c = cache_[static_cast<std::size_t>(slot)];
       if (phase == 0) {
         c.pl = pl;
         c.vl = vl;
+        c.cond = normalize_conditions(raw_cond, m_.config_);
         c.dist = m_.root_.encoder.forward(vl);
         const Tensor z_enc = ResNetEncoder::sample_latent(c.dist, rng);
-        c.fake_vae = m_.root_.generator.forward(pl, z_enc, rng);
+        c.fake_vae = m_.root_.generator.forward(pl, z_enc, rng, c.cond);
         c.z_rand = Tensor::randn(tensor::Shape{pl.shape()[0], z_dim_}, rng);
-        c.fake_lr = m_.root_.generator.forward(pl, c.z_rand, rng);
-        const Tensor d_real = m_.root_.discriminator.forward(pl, vl);
-        const Tensor d_fake_vae = m_.root_.discriminator.forward(pl, c.fake_vae.detach());
-        const Tensor d_fake_lr = m_.root_.discriminator.forward(pl, c.fake_lr.detach());
+        c.fake_lr = m_.root_.generator.forward(pl, c.z_rand, rng, c.cond);
+        const Tensor d_real = m_.root_.discriminator.forward(pl, vl, c.cond);
+        const Tensor d_fake_vae =
+            m_.root_.discriminator.forward(pl, c.fake_vae.detach(), c.cond);
+        const Tensor d_fake_lr = m_.root_.discriminator.forward(pl, c.fake_lr.detach(), c.cond);
         Tensor loss_d = tensor::add(
             gan_loss(d_real, true, lsgan_),
             tensor::mul_scalar(tensor::add(gan_loss(d_fake_vae, false, lsgan_),
@@ -166,9 +170,10 @@ std::unique_ptr<ShardedStepper> BicycleGanModel::make_sharded_stepper(const Trai
         return loss_d.item();
       }
       Tensor loss_g =
-          gan_loss(m_.root_.discriminator.forward(c.pl, c.fake_vae), true, lsgan_);
+          gan_loss(m_.root_.discriminator.forward(c.pl, c.fake_vae, c.cond), true, lsgan_);
       loss_g = tensor::add(
-          loss_g, gan_loss(m_.root_.discriminator.forward(c.pl, c.fake_lr), true, lsgan_));
+          loss_g,
+          gan_loss(m_.root_.discriminator.forward(c.pl, c.fake_lr, c.cond), true, lsgan_));
       loss_g = tensor::add(loss_g,
                            tensor::mul_scalar(tensor::l1_loss(c.fake_vae, c.vl), alpha_));
       loss_g = tensor::add(loss_g, tensor::mul_scalar(
@@ -183,7 +188,7 @@ std::unique_ptr<ShardedStepper> BicycleGanModel::make_sharded_stepper(const Trai
 
    private:
     struct Cache {
-      Tensor pl, vl, fake_vae, fake_lr, z_rand;
+      Tensor pl, vl, cond, fake_vae, fake_lr, z_rand;
       ResNetEncoder::Output dist;
     };
     BicycleGanModel& m_;

@@ -32,15 +32,16 @@ TrainStats CganModel::fit_stream(pipeline::SampleSource& source, const TrainConf
   const int total_steps_planned = detail::total_steps(source, config);
   stats.steps = detail::run_training_loop(
       source, config, rng,
-      [&](const Tensor& pl, const Tensor& vl, int step) {
+      [&](const Tensor& pl, const Tensor& vl, const Tensor& raw_cond, int step) {
         const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned) *
                          static_cast<float>(ctx.lr_scale);
         opt_g.set_lr(lr);
         opt_d.set_lr(lr);
-        const Tensor fake = root_.generator.forward(pl, Tensor(), rng);
+        const Tensor cond = normalize_conditions(raw_cond, config_);
+        const Tensor fake = root_.generator.forward(pl, Tensor(), rng, cond);
 
-        const Tensor d_real = root_.discriminator.forward(pl, vl);
-        const Tensor d_fake = root_.discriminator.forward(pl, fake.detach());
+        const Tensor d_real = root_.discriminator.forward(pl, vl, cond);
+        const Tensor d_fake = root_.discriminator.forward(pl, fake.detach(), cond);
         Tensor loss_d = tensor::mul_scalar(
             tensor::add(gan_loss(d_real, true, config.lsgan),
                         gan_loss(d_fake, false, config.lsgan)),
@@ -53,7 +54,7 @@ TrainStats CganModel::fit_stream(pipeline::SampleSource& source, const TrainConf
         }
         opt_d.step();
 
-        const Tensor d_fake2 = root_.discriminator.forward(pl, fake);
+        const Tensor d_fake2 = root_.discriminator.forward(pl, fake, cond);
         Tensor loss_g = tensor::add(
             gan_loss(d_fake2, true, config.lsgan),
             tensor::mul_scalar(tensor::l1_loss(fake, vl), config.alpha));
@@ -112,21 +113,22 @@ std::unique_ptr<ShardedStepper> CganModel::make_sharded_stepper(const TrainConfi
     void end_step() override { cache_.clear(); }
 
     double run_phase(int phase, int slot, const Tensor& pl, const Tensor& vl,
-                     flashgen::Rng& rng) override {
+                     const Tensor& raw_cond, flashgen::Rng& rng) override {
       Cache& c = cache_[static_cast<std::size_t>(slot)];
       if (phase == 0) {
         c.pl = pl;
         c.vl = vl;
-        c.fake = m_.root_.generator.forward(pl, Tensor(), rng);
-        const Tensor d_real = m_.root_.discriminator.forward(pl, vl);
-        const Tensor d_fake = m_.root_.discriminator.forward(pl, c.fake.detach());
+        c.cond = normalize_conditions(raw_cond, m_.config_);
+        c.fake = m_.root_.generator.forward(pl, Tensor(), rng, c.cond);
+        const Tensor d_real = m_.root_.discriminator.forward(pl, vl, c.cond);
+        const Tensor d_fake = m_.root_.discriminator.forward(pl, c.fake.detach(), c.cond);
         Tensor loss_d = tensor::mul_scalar(tensor::add(gan_loss(d_real, true, lsgan_),
                                                        gan_loss(d_fake, false, lsgan_)),
                                            0.5f);
         loss_d.backward();
         return loss_d.item();
       }
-      const Tensor d_fake2 = m_.root_.discriminator.forward(c.pl, c.fake);
+      const Tensor d_fake2 = m_.root_.discriminator.forward(c.pl, c.fake, c.cond);
       Tensor loss_g =
           tensor::add(gan_loss(d_fake2, true, lsgan_),
                       tensor::mul_scalar(tensor::l1_loss(c.fake, c.vl), alpha_));
@@ -136,7 +138,7 @@ std::unique_ptr<ShardedStepper> CganModel::make_sharded_stepper(const TrainConfi
 
    private:
     struct Cache {
-      Tensor pl, vl, fake;
+      Tensor pl, vl, cond, fake;
     };
     CganModel& m_;
     bool lsgan_;

@@ -31,13 +31,14 @@ TrainStats CvaeModel::fit_stream(pipeline::SampleSource& source, const TrainConf
   const int total_steps_planned = detail::total_steps(source, config);
   stats.steps = detail::run_training_loop(
       source, config, rng,
-      [&](const Tensor& pl, const Tensor& vl, int step) {
+      [&](const Tensor& pl, const Tensor& vl, const Tensor& raw_cond, int step) {
         const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned) *
                          static_cast<float>(ctx.lr_scale);
         opt.set_lr(lr);
+        const Tensor cond = normalize_conditions(raw_cond, config_);
         const ResNetEncoder::Output dist = root_.encoder.forward(vl);
         const Tensor z = ResNetEncoder::sample_latent(dist, rng);
-        const Tensor fake = root_.generator.forward(pl, z, rng);
+        const Tensor fake = root_.generator.forward(pl, z, rng, cond);
         Tensor loss = tensor::add(
             tensor::mul_scalar(tensor::l1_loss(fake, vl), config.alpha),
             tensor::mul_scalar(tensor::kl_standard_normal(dist.mu, dist.logvar), config.beta));
@@ -83,11 +84,12 @@ std::unique_ptr<ShardedStepper> CvaeModel::make_sharded_stepper(const TrainConfi
     void begin_step(int) override {}
     void end_step() override {}
 
-    double run_phase(int, int, const Tensor& pl, const Tensor& vl,
+    double run_phase(int, int, const Tensor& pl, const Tensor& vl, const Tensor& raw_cond,
                      flashgen::Rng& rng) override {
+      const Tensor cond = normalize_conditions(raw_cond, m_.config_);
       const ResNetEncoder::Output dist = m_.root_.encoder.forward(vl);
       const Tensor z = ResNetEncoder::sample_latent(dist, rng);
-      const Tensor fake = m_.root_.generator.forward(pl, z, rng);
+      const Tensor fake = m_.root_.generator.forward(pl, z, rng, cond);
       Tensor loss = tensor::add(
           tensor::mul_scalar(tensor::l1_loss(fake, vl), alpha_),
           tensor::mul_scalar(tensor::kl_standard_normal(dist.mu, dist.logvar), beta_));

@@ -34,11 +34,12 @@ TrainStats CvaeGanModel::fit_stream(pipeline::SampleSource& source, const TrainC
   const int total_steps_planned = detail::total_steps(source, config);
   stats.steps = detail::run_training_loop(
       source, config, rng,
-      [&](const Tensor& pl, const Tensor& vl, int step) {
+      [&](const Tensor& pl, const Tensor& vl, const Tensor& raw_cond, int step) {
         const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned) *
                          static_cast<float>(ctx.lr_scale);
         opt_ge.set_lr(lr);
         opt_d.set_lr(lr);
+        const Tensor cond = normalize_conditions(raw_cond, config_);
         // Posterior latent from the real voltages (VAE branch).
         const ResNetEncoder::Output dist = [&] {
           FG_TRACE_SPAN("cvae_gan.encoder", "model");
@@ -47,15 +48,15 @@ TrainStats CvaeGanModel::fit_stream(pipeline::SampleSource& source, const TrainC
         const Tensor z = ResNetEncoder::sample_latent(dist, rng);
         const Tensor fake = [&] {
           FG_TRACE_SPAN("cvae_gan.generator", "model");
-          return root_.generator.forward(pl, z, rng);
+          return root_.generator.forward(pl, z, rng, cond);
         }();
 
         // --- discriminator step -------------------------------------------
         Tensor loss_d;
         {
           FG_TRACE_SPAN("cvae_gan.d_step", "model");
-          const Tensor d_real = root_.discriminator.forward(pl, vl);
-          const Tensor d_fake = root_.discriminator.forward(pl, fake.detach());
+          const Tensor d_real = root_.discriminator.forward(pl, vl, cond);
+          const Tensor d_fake = root_.discriminator.forward(pl, fake.detach(), cond);
           loss_d = tensor::mul_scalar(
               tensor::add(gan_loss(d_real, true, config.lsgan),
                           gan_loss(d_fake, false, config.lsgan)),
@@ -75,7 +76,7 @@ TrainStats CvaeGanModel::fit_stream(pipeline::SampleSource& source, const TrainC
         Tensor loss_g;
         {
           FG_TRACE_SPAN("cvae_gan.g_step", "model");
-          const Tensor d_fake2 = root_.discriminator.forward(pl, fake);
+          const Tensor d_fake2 = root_.discriminator.forward(pl, fake, cond);
           const Tensor l1 = tensor::l1_loss(fake, vl);
           const Tensor kl = tensor::kl_standard_normal(dist.mu, dist.logvar);
           loss_g = gan_loss(d_fake2, true, config.lsgan);
@@ -151,17 +152,18 @@ std::unique_ptr<ShardedStepper> CvaeGanModel::make_sharded_stepper(const TrainCo
     void end_step() override { cache_.clear(); }
 
     double run_phase(int phase, int slot, const Tensor& pl, const Tensor& vl,
-                     flashgen::Rng& rng) override {
+                     const Tensor& raw_cond, flashgen::Rng& rng) override {
       Cache& c = cache_[static_cast<std::size_t>(slot)];
       if (phase == 0) {
         FG_TRACE_SPAN("cvae_gan.d_step", "model");
         c.pl = pl;
         c.vl = vl;
+        c.cond = normalize_conditions(raw_cond, m_.config_);
         c.dist = m_.root_.encoder.forward(vl);
         const Tensor z = ResNetEncoder::sample_latent(c.dist, rng);
-        c.fake = m_.root_.generator.forward(pl, z, rng);
-        const Tensor d_real = m_.root_.discriminator.forward(pl, vl);
-        const Tensor d_fake = m_.root_.discriminator.forward(pl, c.fake.detach());
+        c.fake = m_.root_.generator.forward(pl, z, rng, c.cond);
+        const Tensor d_real = m_.root_.discriminator.forward(pl, vl, c.cond);
+        const Tensor d_fake = m_.root_.discriminator.forward(pl, c.fake.detach(), c.cond);
         Tensor loss_d = tensor::mul_scalar(tensor::add(gan_loss(d_real, true, lsgan_),
                                                        gan_loss(d_fake, false, lsgan_)),
                                            0.5f);
@@ -169,7 +171,7 @@ std::unique_ptr<ShardedStepper> CvaeGanModel::make_sharded_stepper(const TrainCo
         return loss_d.item();
       }
       FG_TRACE_SPAN("cvae_gan.g_step", "model");
-      const Tensor d_fake2 = m_.root_.discriminator.forward(c.pl, c.fake);
+      const Tensor d_fake2 = m_.root_.discriminator.forward(c.pl, c.fake, c.cond);
       Tensor loss_g = gan_loss(d_fake2, true, lsgan_);
       loss_g = tensor::add(loss_g, tensor::mul_scalar(tensor::l1_loss(c.fake, c.vl), alpha_));
       loss_g = tensor::add(
@@ -180,7 +182,7 @@ std::unique_ptr<ShardedStepper> CvaeGanModel::make_sharded_stepper(const TrainCo
 
    private:
     struct Cache {
-      Tensor pl, vl, fake;
+      Tensor pl, vl, cond, fake;
       ResNetEncoder::Output dist;
     };
     CvaeGanModel& m_;

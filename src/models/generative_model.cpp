@@ -19,10 +19,11 @@ namespace flashgen::models {
 using tensor::Index;
 
 void GenerativeModel::save(const std::string& path) {
-  nn::save_checkpoint(root_module(), path);
+  nn::save_checkpoint(root_module(), path, checkpoint_meta());
 }
 
 void GenerativeModel::load(const std::string& path) {
+  validate_checkpoint_meta(nn::read_checkpoint_meta(path), path);
   nn::load_checkpoint(root_module(), path);
   on_loaded();
 }
@@ -114,17 +115,13 @@ bool want_grad_norm(const SentinelConfig& sentinel) {
 }
 
 int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& config,
-                      flashgen::Rng& rng,
-                      const std::function<void(const Tensor&, const Tensor&, int)>& step,
-                      LoopContext* ctx) {
+                      flashgen::Rng& rng, const StepFn& step, LoopContext* ctx) {
   pipeline::EagerSource source(dataset, config.batch_size);
   return run_training_loop(source, config, rng, step, ctx);
 }
 
 int run_training_loop(pipeline::SampleSource& source, const TrainConfig& config,
-                      flashgen::Rng& rng,
-                      const std::function<void(const Tensor&, const Tensor&, int)>& step,
-                      LoopContext* ctx) {
+                      flashgen::Rng& rng, const StepFn& step, LoopContext* ctx) {
   FG_CHECK(config.epochs > 0, "epochs must be positive");
   FG_CHECK(config.batch_size > 0, "batch size must be positive");
   FG_CHECK(source.global_batch() == config.batch_size,
@@ -222,10 +219,10 @@ int run_training_loop(pipeline::SampleSource& source, const TrainConfig& config,
       if (FG_FAULT("train_kill")) {
         FG_CHECK(false, "fault injected: train_kill at step " << global_step);
       }
-      auto [pl, vl] = source.next_batch();
+      pipeline::SampleSource::Batch batch = source.next_batch_cond();
       FG_TRACE_SPAN("train.step", "model");
       try {
-        step(pl, vl, static_cast<int>(global_step));
+        step(batch.pl, batch.vl, batch.cond, static_cast<int>(global_step));
       } catch (const DivergenceError& err) {
         divergence_events.add();
         const bool can_roll_back = config.sentinel.policy == SentinelPolicy::kRollback &&

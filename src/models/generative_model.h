@@ -17,6 +17,7 @@
 #include "data/dataset.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
+#include "nn/serialize.h"
 #include "pipeline/sample_source.h"
 
 namespace flashgen::models {
@@ -103,8 +104,11 @@ class ShardedStepper {
   /// Prepares per-shard caches for `slots` local shards of the coming step.
   virtual void begin_step(int slots) = 0;
   /// Forward+backward for one phase on one local shard (see contract above).
+  /// `cond` carries the shard's raw (PE, retention) rows from the sample
+  /// source, or stays undefined for unconditioned training; the stepper
+  /// normalizes it against its model's condition scales.
   virtual double run_phase(int phase, int slot, const Tensor& pl, const Tensor& vl,
-                           flashgen::Rng& rng) = 0;
+                           const Tensor& cond, flashgen::Rng& rng) = 0;
   /// Drops the per-shard caches (and their autograd graphs).
   virtual void end_step() = 0;
 };
@@ -123,8 +127,7 @@ class GenerativeModel {
   /// Trains from a SampleSource instead of an in-memory dataset. The network
   /// trainers implement fit() as an EagerSource wrapper around this, so
   /// fit_stream(EagerSource(dataset, batch)) is bit-identical to
-  /// fit(dataset). Models without a streaming path (the Gaussian baseline,
-  /// the spatio-temporal trainer, which conditions on per-array PE cycles)
+  /// fit(dataset). Models without a streaming path (the Gaussian baseline)
   /// reject the call.
   virtual TrainStats fit_stream(pipeline::SampleSource& source, const TrainConfig& config,
                                 flashgen::Rng& rng) {
@@ -161,6 +164,28 @@ class GenerativeModel {
   /// it with a single batched pass that keeps per-row draw sequences intact.
   virtual Tensor sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs);
 
+  /// True when the model learned P(VL | PL, condition) and accepts explicit
+  /// per-row (PE, retention) conditions at generation time.
+  virtual bool condition_aware() const { return false; }
+
+  /// Condition substituted for rows submitted without one when a serving
+  /// batch mixes conditioned and unconditioned requests (condition-aware
+  /// models only).
+  virtual data::Condition default_condition() const { return {}; }
+
+  /// Row-streamed sampling at explicit per-row conditions: row i is
+  /// generated as if its block sat at conditions[i], drawing only from
+  /// rngs[i] (same preconditions as sample_rows()). Only condition-aware
+  /// models implement it.
+  virtual Tensor sample_rows_at(const Tensor& pl, std::span<const data::Condition> conditions,
+                                std::span<flashgen::Rng> rngs) {
+    (void)pl;
+    (void)conditions;
+    (void)rngs;
+    FG_CHECK(false, name() << " does not support conditioned sampling");
+    return {};
+  }
+
   /// Serializable root module holding all trainable/buffer state.
   virtual nn::Module& root_module() = 0;
 
@@ -180,6 +205,20 @@ class GenerativeModel {
   /// Hook invoked by load() after the checkpoint restored the module tree;
   /// models rebuild derived state (e.g. the Gaussian normalizer) here.
   virtual void on_loaded() {}
+
+  /// Metadata save() writes alongside the module entries. An empty map keeps
+  /// the legacy FGCKPT01 layout byte-for-byte; a non-empty map saves the
+  /// FGCKPT02 layout carrying the pairs (see nn/serialize.h).
+  virtual nn::CheckpointMeta checkpoint_meta() const { return {}; }
+
+  /// Hook invoked by load() with the checkpoint's metadata (empty for legacy
+  /// FGCKPT01 files) before any weight is applied. Conditioned models reject
+  /// incompatible formats here with a typed nn::CheckpointVersionError.
+  virtual void validate_checkpoint_meta(const nn::CheckpointMeta& meta,
+                                        const std::string& path) {
+    (void)meta;
+    (void)path;
+  }
 };
 
 /// GAN objective on PatchGAN logits: BCE-with-logits against an all-real /
@@ -225,8 +264,10 @@ void guard_grad_norm(const char* what, double norm, const SentinelConfig& sentin
 /// trainers can skip the norm reduction otherwise.
 bool want_grad_norm(const SentinelConfig& sentinel);
 
-/// Shared epoch/batch loop: calls `step(pl, vl, step_index)` for every
-/// mini-batch the source serves over `config.epochs` epochs.
+/// Shared epoch/batch loop: calls `step(pl, vl, cond, step_index)` for every
+/// mini-batch the source serves over `config.epochs` epochs. `cond` is the
+/// batch's raw (PE, retention) tensor from SampleSource::next_batch_cond(),
+/// or undefined for unconditioned sources.
 ///
 /// With a LoopContext, additionally implements the fault-tolerance contract:
 ///  - config.snapshot: periodic nn::TrainState snapshots (atomic writes; a
@@ -240,17 +281,14 @@ bool want_grad_norm(const SentinelConfig& sentinel);
 ///    (kHalt, or no usable snapshot) or rolls back to the last good snapshot
 ///    with lr_scale *= lr_backoff (kRollback), up to max_rollbacks times.
 /// Fault points: "train_kill" (simulated crash between steps).
+using StepFn = std::function<void(const Tensor& pl, const Tensor& vl, const Tensor& cond, int)>;
 int run_training_loop(pipeline::SampleSource& source, const TrainConfig& config,
-                      flashgen::Rng& rng,
-                      const std::function<void(const Tensor&, const Tensor&, int)>& step,
-                      LoopContext* ctx = nullptr);
+                      flashgen::Rng& rng, const StepFn& step, LoopContext* ctx = nullptr);
 
 /// Dataset convenience overload: wraps `dataset` in a pipeline::EagerSource
 /// (bit-identical to the historic BatchSampler loop) and runs the loop above.
 int run_training_loop(const data::PairedDataset& dataset, const TrainConfig& config,
-                      flashgen::Rng& rng,
-                      const std::function<void(const Tensor&, const Tensor&, int)>& step,
-                      LoopContext* ctx = nullptr);
+                      flashgen::Rng& rng, const StepFn& step, LoopContext* ctx = nullptr);
 
 /// Number of optimizer steps run_training_loop will execute.
 int total_steps(const pipeline::SampleSource& source, const TrainConfig& config);

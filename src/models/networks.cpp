@@ -23,6 +23,36 @@ Index unet_depth(const NetworkConfig& config) {
   return depth;
 }
 
+Tensor normalize_conditions(const Tensor& raw, const NetworkConfig& config) {
+  if (config.condition_dims == 0) return Tensor();
+  FG_CHECK(config.condition_dims <= 2,
+           "condition_dims " << config.condition_dims << " not supported (max 2)");
+  FG_CHECK(raw.defined(), "conditioned network (condition_dims = "
+                              << config.condition_dims
+                              << ") needs a (N, 2) condition tensor, got none");
+  FG_CHECK(raw.shape().rank() == 2 && raw.shape()[1] == 2,
+           "condition tensor must be (N, 2) raw (PE, retention), got " << raw.shape());
+  FG_CHECK(config.pe_scale > 0.0, "pe_scale must be positive");
+  FG_CHECK(config.retention_scale > 0.0, "retention_scale must be positive");
+  const Index n = raw.shape()[0];
+  Tensor out = Tensor::zeros(Shape{n, config.condition_dims});
+  auto src = raw.data();
+  auto dst = out.data();
+  for (Index i = 0; i < n; ++i) {
+    const double pe = static_cast<double>(src[2 * i]);
+    const double retention = static_cast<double>(src[2 * i + 1]);
+    FG_CHECK(pe >= 0.0 && retention >= 0.0,
+             "conditions must be non-negative, got PE " << pe << " retention " << retention);
+    dst[i * config.condition_dims] =
+        static_cast<float>(std::min(1.0, pe / config.pe_scale));
+    if (config.condition_dims == 2) {
+      dst[i * config.condition_dims + 1] =
+          static_cast<float>(std::min(1.0, retention / config.retention_scale));
+    }
+  }
+  return out;
+}
+
 Tensor onehot_levels(const Tensor& pl) {
   FG_CHECK(pl.shape().rank() == 4 && pl.shape()[1] == 1,
            "onehot_levels expects (N, 1, H, W), got " << pl.shape());

@@ -45,11 +45,26 @@ struct NetworkConfig {
   /// the spatio-temporal extension, Section V of the paper). Conditions are
   /// injected like the latent code: replicated spatially and concatenated
   /// into every Down layer of the generator and into the discriminator input.
+  /// 1 conditions on PE alone; 2 on (PE, retention_hours).
   Index condition_dims = 0;
+  /// Physical scales mapping raw conditions to the network's [0, 1] inputs
+  /// (condition_dims > 0 only): the PE cycle count and retention-hour values
+  /// at which the conditioning inputs saturate at 1.0. Pick >= the largest
+  /// condition trained on.
+  double pe_scale = 10000.0;
+  double retention_scale = 1000.0;
 };
 
 /// Validates the config and returns the U-Net depth log2(array_size).
 Index unet_depth(const NetworkConfig& config);
+
+/// Maps a raw (N, 2) (pe_cycles, retention_hours) tensor to the network's
+/// conditioning input: undefined when condition_dims == 0, the clamped
+/// pe / pe_scale column (N, 1) when condition_dims == 1, and the clamped
+/// (pe / pe_scale, retention / retention_scale) pair (N, 2) when
+/// condition_dims == 2. A conditioned config rejects an undefined `raw`
+/// (the sample source must carry conditions).
+Tensor normalize_conditions(const Tensor& raw, const NetworkConfig& config);
 
 /// Expands a normalized scalar PL plane (N, 1, H, W) into 8 one-hot planes
 /// (N, 8, H, W). Constant w.r.t. the graph (program levels are inputs).

@@ -1,102 +1,203 @@
 #include "models/spatio_temporal.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
 
 namespace flashgen::models {
+namespace {
+// Checkpoint metadata keys stamping the conditioning contract. Version 2 is
+// the (PE, retention) pair scheme; version 1 (PE only) was never written with
+// metadata, so legacy files surface as an empty map.
+constexpr const char* kMetaCondVersion = "cond_version";
+constexpr const char* kMetaPeScale = "pe_scale";
+constexpr const char* kMetaRetentionScale = "retention_scale";
+constexpr double kCondVersion = 2.0;
+constexpr double kDefaultRetentionScale = 1000.0;
+}  // namespace
 
 TemporalCvaeGanModel::TemporalCvaeGanModel(const NetworkConfig& config, double pe_scale,
                                            std::uint64_t seed)
-    : config_(with_condition(config)),
-      pe_scale_(pe_scale),
-      generation_pe_(pe_scale / 2.0),
+    : TemporalCvaeGanModel(config, pe_scale, kDefaultRetentionScale, seed) {}
+
+TemporalCvaeGanModel::TemporalCvaeGanModel(const NetworkConfig& config, double pe_scale,
+                                           double retention_scale, std::uint64_t seed)
+    : config_(with_condition(config, pe_scale, retention_scale)),
+      generation_condition_{.pe_cycles = pe_scale / 2.0, .retention_hours = 0.0},
       root_(config_, seed) {
-  FG_CHECK(pe_scale_ > 0.0, "pe_scale must be positive");
+  FG_CHECK(pe_scale > 0.0, "pe_scale must be positive");
+  FG_CHECK(retention_scale > 0.0, "retention_scale must be positive");
 }
 
-Tensor TemporalCvaeGanModel::condition_tensor(tensor::Index batch, double pe_cycles) const {
-  FG_CHECK(pe_cycles >= 0.0, "PE cycles must be non-negative");
-  const float normalized = static_cast<float>(std::min(1.0, pe_cycles / pe_scale_));
-  return Tensor::full(tensor::Shape{batch, 1}, normalized);
+Tensor TemporalCvaeGanModel::condition_tensor(tensor::Index batch,
+                                              const data::Condition& condition) const {
+  Tensor raw = Tensor::zeros(tensor::Shape{batch, 2});
+  auto data = raw.data();
+  for (tensor::Index b = 0; b < batch; ++b) {
+    data[2 * b] = static_cast<float>(condition.pe_cycles);
+    data[2 * b + 1] = static_cast<float>(condition.retention_hours);
+  }
+  return normalize_conditions(raw, config_);
 }
 
 TrainStats TemporalCvaeGanModel::fit(const data::PairedDataset& dataset,
                                      const TrainConfig& config, flashgen::Rng& rng) {
+  pipeline::EagerSource source(dataset, config.batch_size);
+  return fit_stream(source, config, rng);
+}
+
+TrainStats TemporalCvaeGanModel::fit_stream(pipeline::SampleSource& source,
+                                            const TrainConfig& config, flashgen::Rng& rng) {
   root_.set_training(true);
   std::vector<Tensor> ge_params = root_.generator.parameters();
   for (const Tensor& p : root_.encoder.parameters()) ge_params.push_back(p);
+  const std::vector<Tensor> d_params = root_.discriminator.parameters();
   nn::Adam opt_ge(ge_params, {.lr = config.lr});
-  nn::Adam opt_d(root_.discriminator.parameters(), {.lr = config.lr});
-
-  // The shared training loop shuffles indices internally; to recover each
-  // batch's PE conditions we re-derive them from the dataset via a custom
-  // loop mirroring detail::run_training_loop.
-  FG_CHECK(dataset.size() >= static_cast<std::size_t>(config.batch_size),
-           "dataset smaller than one batch");
-  data::BatchSampler sampler(dataset.size(), static_cast<std::size_t>(config.batch_size), rng);
-  const int total = detail::total_steps(dataset, config);
+  nn::Adam opt_d(d_params, {.lr = config.lr});
+  detail::LoopContext ctx;
+  ctx.root = &root_;
+  ctx.optimizers = {&opt_ge, &opt_d};
 
   TrainStats stats;
   double g_acc = 0.0, d_acc = 0.0;
   int acc_n = 0;
-  int step = 0;
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    for (const auto& indices : sampler.epoch()) {
-      const float lr = detail::scheduled_lr(config.lr, step, total);
-      opt_ge.set_lr(lr);
-      opt_d.set_lr(lr);
+  const int total_steps_planned = detail::total_steps(source, config);
+  stats.steps = detail::run_training_loop(
+      source, config, rng,
+      [&](const Tensor& pl, const Tensor& vl, const Tensor& raw_cond, int step) {
+        FG_CHECK(raw_cond.defined(),
+                 name() << " needs a condition-carrying sample source (per-array PE and "
+                           "retention); this source served none");
+        const float lr = detail::scheduled_lr(config.lr, step, total_steps_planned) *
+                         static_cast<float>(ctx.lr_scale);
+        opt_ge.set_lr(lr);
+        opt_d.set_lr(lr);
+        const Tensor cond = normalize_conditions(raw_cond, config_);
 
-      auto [pl, vl] = dataset.batch(indices);
-      const Tensor cond = dataset.batch_pe(indices, pe_scale_);
+        const ResNetEncoder::Output dist = root_.encoder.forward(vl);
+        const Tensor z = ResNetEncoder::sample_latent(dist, rng);
+        const Tensor fake = root_.generator.forward(pl, z, rng, cond);
 
-      const ResNetEncoder::Output dist = root_.encoder.forward(vl);
-      const Tensor z = ResNetEncoder::sample_latent(dist, rng);
-      const Tensor fake = root_.generator.forward(pl, z, rng, cond);
+        const Tensor d_real = root_.discriminator.forward(pl, vl, cond);
+        const Tensor d_fake = root_.discriminator.forward(pl, fake.detach(), cond);
+        Tensor loss_d = tensor::mul_scalar(
+            tensor::add(gan_loss(d_real, true, config.lsgan),
+                        gan_loss(d_fake, false, config.lsgan)),
+            0.5f);
+        detail::guard_loss("temporal.loss.d", loss_d.item(), config.sentinel);
+        opt_d.zero_grad();
+        loss_d.backward();
+        if (detail::want_grad_norm(config.sentinel)) {
+          detail::guard_grad_norm("temporal.d", detail::grad_norm(d_params), config.sentinel);
+        }
+        opt_d.step();
 
-      const Tensor d_real = root_.discriminator.forward(pl, vl, cond);
-      const Tensor d_fake = root_.discriminator.forward(pl, fake.detach(), cond);
-      Tensor loss_d = tensor::mul_scalar(
-          tensor::add(gan_loss(d_real, true, config.lsgan),
-                      gan_loss(d_fake, false, config.lsgan)),
-          0.5f);
-      opt_d.zero_grad();
-      loss_d.backward();
-      opt_d.step();
+        const Tensor d_fake2 = root_.discriminator.forward(pl, fake, cond);
+        Tensor loss_g = gan_loss(d_fake2, true, config.lsgan);
+        loss_g =
+            tensor::add(loss_g, tensor::mul_scalar(tensor::l1_loss(fake, vl), config.alpha));
+        loss_g = tensor::add(
+            loss_g,
+            tensor::mul_scalar(tensor::kl_standard_normal(dist.mu, dist.logvar), config.beta));
+        detail::guard_loss("temporal.loss.g", loss_g.item(), config.sentinel);
+        opt_ge.zero_grad();
+        loss_g.backward();
+        if (detail::want_grad_norm(config.sentinel)) {
+          detail::guard_grad_norm("temporal.ge", detail::grad_norm(ge_params), config.sentinel);
+        }
+        opt_ge.step();
 
-      const Tensor d_fake2 = root_.discriminator.forward(pl, fake, cond);
-      Tensor loss_g = gan_loss(d_fake2, true, config.lsgan);
-      loss_g =
-          tensor::add(loss_g, tensor::mul_scalar(tensor::l1_loss(fake, vl), config.alpha));
-      loss_g = tensor::add(
-          loss_g,
-          tensor::mul_scalar(tensor::kl_standard_normal(dist.mu, dist.logvar), config.beta));
-      opt_ge.zero_grad();
-      loss_g.backward();
-      opt_ge.step();
-
-      g_acc += loss_g.item();
-      d_acc += loss_d.item();
-      ++acc_n;
-      ++step;
-      if (config.log_every > 0 && step % config.log_every == 0) {
-        stats.g_loss_history.push_back(static_cast<float>(g_acc / acc_n));
-        stats.d_loss_history.push_back(static_cast<float>(d_acc / acc_n));
-        FG_LOG(Info) << name() << " step " << step << " G " << g_acc / acc_n << " D "
-                     << d_acc / acc_n;
-        g_acc = d_acc = 0.0;
-        acc_n = 0;
-      }
-    }
-  }
+        g_acc += loss_g.item();
+        d_acc += loss_d.item();
+        ++acc_n;
+        if (config.log_every > 0 && (step + 1) % config.log_every == 0) {
+          stats.g_loss_history.push_back(static_cast<float>(g_acc / acc_n));
+          stats.d_loss_history.push_back(static_cast<float>(d_acc / acc_n));
+          FG_LOG(Info) << name() << " step " << step + 1 << " G " << g_acc / acc_n << " D "
+                       << d_acc / acc_n;
+          g_acc = d_acc = 0.0;
+          acc_n = 0;
+        }
+      },
+      &ctx);
   if (acc_n > 0) {
     stats.g_loss_history.push_back(static_cast<float>(g_acc / acc_n));
     stats.d_loss_history.push_back(static_cast<float>(d_acc / acc_n));
   }
-  stats.steps = step;
   return stats;
+}
+
+std::unique_ptr<ShardedStepper> TemporalCvaeGanModel::make_sharded_stepper(
+    const TrainConfig& config) {
+  class Stepper : public ShardedStepper {
+   public:
+    Stepper(TemporalCvaeGanModel& m, const TrainConfig& config) : m_(m), lsgan_(config.lsgan) {
+      m_.root_.set_training(true);
+      ge_params_ = m_.root_.generator.parameters();
+      for (const Tensor& p : m_.root_.encoder.parameters()) ge_params_.push_back(p);
+      d_params_ = m_.root_.discriminator.parameters();
+      opt_ge_ = std::make_unique<nn::Adam>(ge_params_, nn::AdamConfig{.lr = config.lr});
+      opt_d_ = std::make_unique<nn::Adam>(d_params_, nn::AdamConfig{.lr = config.lr});
+      alpha_ = config.alpha;
+      beta_ = config.beta;
+    }
+
+    int num_phases() const override { return 2; }
+    const std::vector<Tensor>& phase_params(int phase) const override {
+      return phase == 0 ? d_params_ : ge_params_;
+    }
+    nn::Adam& phase_optimizer(int phase) override { return phase == 0 ? *opt_d_ : *opt_ge_; }
+    const char* phase_label(int phase) const override { return phase == 0 ? "d" : "g"; }
+    void set_lr(float lr) override {
+      opt_ge_->set_lr(lr);
+      opt_d_->set_lr(lr);
+    }
+
+    void begin_step(int slots) override { cache_.assign(static_cast<std::size_t>(slots), {}); }
+    void end_step() override { cache_.clear(); }
+
+    double run_phase(int phase, int slot, const Tensor& pl, const Tensor& vl,
+                     const Tensor& raw_cond, flashgen::Rng& rng) override {
+      Cache& c = cache_[static_cast<std::size_t>(slot)];
+      if (phase == 0) {
+        FG_CHECK(raw_cond.defined(),
+                 m_.name() << " needs condition rows from the distributed sample source");
+        c.pl = pl;
+        c.vl = vl;
+        c.cond = normalize_conditions(raw_cond, m_.config_);
+        c.dist = m_.root_.encoder.forward(vl);
+        const Tensor z = ResNetEncoder::sample_latent(c.dist, rng);
+        c.fake = m_.root_.generator.forward(pl, z, rng, c.cond);
+        const Tensor d_real = m_.root_.discriminator.forward(pl, vl, c.cond);
+        const Tensor d_fake = m_.root_.discriminator.forward(pl, c.fake.detach(), c.cond);
+        Tensor loss_d = tensor::mul_scalar(tensor::add(gan_loss(d_real, true, lsgan_),
+                                                       gan_loss(d_fake, false, lsgan_)),
+                                           0.5f);
+        loss_d.backward();
+        return loss_d.item();
+      }
+      const Tensor d_fake2 = m_.root_.discriminator.forward(c.pl, c.fake, c.cond);
+      Tensor loss_g = gan_loss(d_fake2, true, lsgan_);
+      loss_g = tensor::add(loss_g, tensor::mul_scalar(tensor::l1_loss(c.fake, c.vl), alpha_));
+      loss_g = tensor::add(
+          loss_g, tensor::mul_scalar(tensor::kl_standard_normal(c.dist.mu, c.dist.logvar), beta_));
+      loss_g.backward();
+      return loss_g.item();
+    }
+
+   private:
+    struct Cache {
+      Tensor pl, vl, cond, fake;
+      ResNetEncoder::Output dist;
+    };
+    TemporalCvaeGanModel& m_;
+    bool lsgan_;
+    float alpha_ = 0.0f, beta_ = 0.0f;
+    std::vector<Tensor> ge_params_, d_params_;
+    std::unique_ptr<nn::Adam> opt_ge_, opt_d_;
+    std::vector<Cache> cache_;
+  };
+  return std::make_unique<Stepper>(*this, config);
 }
 
 void TemporalCvaeGanModel::prepare_generation() {
@@ -106,21 +207,80 @@ void TemporalCvaeGanModel::prepare_generation() {
 Tensor TemporalCvaeGanModel::sample(const Tensor& pl, flashgen::Rng& rng) {
   const Tensor z = Tensor::randn(tensor::Shape{pl.shape()[0], config_.z_dim}, rng);
   return root_.generator.forward(pl, z, rng,
-                                 condition_tensor(pl.shape()[0], generation_pe_));
+                                 condition_tensor(pl.shape()[0], generation_condition_));
 }
 
 Tensor TemporalCvaeGanModel::sample_rows(const Tensor& pl, std::span<flashgen::Rng> rngs) {
   const Tensor z = detail::latent_rows(pl.shape()[0], config_.z_dim, rngs);
   return root_.generator.forward_rows(pl, z, rngs,
-                                      condition_tensor(pl.shape()[0], generation_pe_));
+                                      condition_tensor(pl.shape()[0], generation_condition_));
+}
+
+Tensor TemporalCvaeGanModel::sample_rows_at(const Tensor& pl,
+                                            std::span<const data::Condition> conditions,
+                                            std::span<flashgen::Rng> rngs) {
+  const tensor::Index n = pl.shape()[0];
+  FG_CHECK(static_cast<tensor::Index>(conditions.size()) == n,
+           "sample_rows_at: " << conditions.size() << " conditions for " << n << " rows");
+  Tensor raw = Tensor::zeros(tensor::Shape{n, 2});
+  auto data = raw.data();
+  for (tensor::Index b = 0; b < n; ++b) {
+    data[2 * b] = static_cast<float>(conditions[static_cast<std::size_t>(b)].pe_cycles);
+    data[2 * b + 1] =
+        static_cast<float>(conditions[static_cast<std::size_t>(b)].retention_hours);
+  }
+  const Tensor cond = normalize_conditions(raw, config_);
+  const Tensor z = detail::latent_rows(n, config_.z_dim, rngs);
+  return root_.generator.forward_rows(pl, z, rngs, cond);
 }
 
 Tensor TemporalCvaeGanModel::generate_at(const Tensor& pl, double pe_cycles,
                                          flashgen::Rng& rng) {
+  return generate_at(pl, pe_cycles, 0.0, rng);
+}
+
+Tensor TemporalCvaeGanModel::generate_at(const Tensor& pl, double pe_cycles,
+                                         double retention_hours, flashgen::Rng& rng) {
   prepare_generation();
   tensor::NoGradGuard no_grad;
   const Tensor z = Tensor::randn(tensor::Shape{pl.shape()[0], config_.z_dim}, rng);
-  return root_.generator.forward(pl, z, rng, condition_tensor(pl.shape()[0], pe_cycles));
+  return root_.generator.forward(
+      pl, z, rng,
+      condition_tensor(pl.shape()[0],
+                       {.pe_cycles = pe_cycles, .retention_hours = retention_hours}));
+}
+
+nn::CheckpointMeta TemporalCvaeGanModel::checkpoint_meta() const {
+  return {{kMetaCondVersion, kCondVersion},
+          {kMetaPeScale, config_.pe_scale},
+          {kMetaRetentionScale, config_.retention_scale}};
+}
+
+void TemporalCvaeGanModel::validate_checkpoint_meta(const nn::CheckpointMeta& meta,
+                                                    const std::string& path) {
+  const auto version = meta.find(kMetaCondVersion);
+  if (version == meta.end()) {
+    throw nn::CheckpointVersionError(
+        "checkpoint " + path +
+        " predates (PE, retention) conditioning (cond_version 2); retrain or keep "
+        "loading it with the PE-only model generation that wrote it");
+  }
+  if (version->second != kCondVersion) {
+    throw nn::CheckpointVersionError("checkpoint " + path + " has cond_version " +
+                                     std::to_string(version->second) + " but this model needs " +
+                                     std::to_string(kCondVersion));
+  }
+  for (const char* key : {kMetaPeScale, kMetaRetentionScale}) {
+    const auto it = meta.find(key);
+    const double want = key == kMetaPeScale ? config_.pe_scale : config_.retention_scale;
+    if (it == meta.end() || it->second != want) {
+      throw nn::CheckpointVersionError(
+          "checkpoint " + path + " was trained with " + key + " " +
+          (it == meta.end() ? std::string("<missing>") : std::to_string(it->second)) +
+          " but this model uses " + std::to_string(want) +
+          "; conditions would be normalized differently");
+    }
+  }
 }
 
 }  // namespace flashgen::models

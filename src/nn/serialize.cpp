@@ -17,6 +17,7 @@ namespace flashgen::nn {
 
 namespace {
 constexpr char kCheckpointMagic[8] = {'F', 'G', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr char kCheckpointMagicV2[8] = {'F', 'G', 'C', 'K', 'P', 'T', '0', '2'};
 constexpr char kTrainStateMagic[8] = {'F', 'G', 'T', 'S', 'N', 'A', 'P', '1'};
 
 // Hostile-input ceilings: a corrupt or crafted file can claim arbitrary
@@ -25,6 +26,7 @@ constexpr std::uint64_t kMaxFileBytes = std::uint64_t{1} << 30;  // 1 GiB
 constexpr std::uint32_t kMaxNameLen = 4096;
 constexpr std::uint32_t kMaxRank = 8;
 constexpr std::uint32_t kMaxOptimizers = 64;
+constexpr std::uint32_t kMaxMetaEntries = 1024;
 
 template <typename T>
 void write_pod(std::ofstream& out, const T& value) {
@@ -124,6 +126,16 @@ class FileReader {
     pos_ += sizeof(magic);
   }
 
+  // Consumes `magic` if the cursor sits on it; otherwise leaves the cursor
+  // untouched and returns false. Used to dispatch on checkpoint version.
+  bool try_magic(const char (&magic)[8]) {
+    if (remaining() < sizeof(magic) || std::memcmp(data_ + pos_, magic, sizeof(magic)) != 0) {
+      return false;
+    }
+    pos_ += sizeof(magic);
+    return true;
+  }
+
   template <typename T>
   T get_pod(const char* what) {
     FG_CHECK(remaining() >= sizeof(T),
@@ -169,6 +181,24 @@ class FileReader {
 };
 
 using StagedEntries = std::map<std::string, std::pair<tensor::Shape, std::vector<float>>>;
+
+// Consumes the checkpoint header: either the bare v1 magic or the v2 magic
+// plus its metadata table. Returns the (possibly empty) metadata.
+CheckpointMeta read_checkpoint_header(FileReader& reader) {
+  if (reader.try_magic(kCheckpointMagic)) return {};
+  reader.expect_magic(kCheckpointMagicV2, "flashgen checkpoint");
+  const auto count = reader.get_pod<std::uint32_t>("metadata count");
+  FG_CHECK(count <= kMaxMetaEntries,
+           "checkpoint claims " << count << " metadata entries (" << reader.path() << ")");
+  CheckpointMeta meta;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = reader.get_name();
+    const double value = reader.get_pod<double>("metadata value");
+    const bool inserted = meta.emplace(std::move(name), value).second;
+    FG_CHECK(inserted, "checkpoint has a duplicate metadata entry (" << reader.path() << ")");
+  }
+  return meta;
+}
 
 // Parses the entry block into staging storage, validating every claim against
 // the file size. Nothing in the destination module is touched here.
@@ -232,16 +262,38 @@ void apply_module_entries(Module& module, const StagedEntries& entries,
 }  // namespace
 
 void save_checkpoint(const Module& module, const std::string& path) {
+  save_checkpoint(module, path, CheckpointMeta{});
+}
+
+void save_checkpoint(const Module& module, const std::string& path, const CheckpointMeta& meta) {
+  FG_CHECK(meta.size() <= kMaxMetaEntries,
+           "checkpoint with " << meta.size() << " metadata entries");
   atomic_write(path, [&](std::ofstream& out) {
-    out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+    if (meta.empty()) {
+      out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+    } else {
+      out.write(kCheckpointMagicV2, sizeof(kCheckpointMagicV2));
+      write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(meta.size()));
+      for (const auto& [name, value] : meta) {
+        write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(name.size()));
+        out.write(name.data(), static_cast<std::streamsize>(name.size()));
+        write_pod<double>(out, value);
+      }
+    }
     write_module_entries(out, module);
   });
+}
+
+CheckpointMeta read_checkpoint_meta(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file_bounded(path);
+  FileReader reader(bytes, path);
+  return read_checkpoint_header(reader);
 }
 
 void load_checkpoint(Module& module, const std::string& path) {
   const std::vector<std::uint8_t> bytes = read_file_bounded(path);
   FileReader reader(bytes, path);
-  reader.expect_magic(kCheckpointMagic, "flashgen checkpoint");
+  read_checkpoint_header(reader);
   const StagedEntries entries = stage_module_entries(reader);
   FG_CHECK(reader.remaining() == 0,
            "checkpoint has " << reader.remaining() << " trailing bytes (" << path << ")");

@@ -1,12 +1,21 @@
 // Binary checkpointing of module state (parameters + buffers), and versioned
 // resumable-training snapshots.
 //
-// Checkpoint format (little-endian):
+// Checkpoint format v1 (little-endian):
 //   magic "FGCKPT01" | u64 entry_count |
 //   per entry: u32 name_len | name bytes | u32 rank | u64 dims[rank] |
 //              float32 data[numel]
 // Loading matches entries by name and requires exact shape agreement, so a
 // checkpoint can only be restored into an identically-configured module.
+//
+// Checkpoint format v2 (little-endian) prepends a scalar metadata table so a
+// model can stamp its conditioning contract into the artifact:
+//   magic "FGCKPT02" | u32 meta_count |
+//   per meta: u32 name_len | name bytes | f64 value |
+//   u64 entry_count | module entries (v1 encoding)
+// A v2 file with zero metadata is never written: save_checkpoint emits the
+// byte-identical v1 encoding when the metadata map is empty, so unconditioned
+// models keep producing bit-stable artifacts across this format bump.
 //
 // TrainState format (little-endian):
 //   magic "FGTSNAP1" | u32 version |
@@ -27,23 +36,48 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "common/rng.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
 
 namespace flashgen::nn {
 
+/// Named scalar metadata carried by v2 checkpoints (e.g. conditioning scheme
+/// version and normalization scales). Ordered so the on-disk encoding is
+/// deterministic.
+using CheckpointMeta = std::map<std::string, double>;
+
+/// Raised when a checkpoint parses cleanly but declares a conditioning or
+/// format generation the loading model refuses to accept (e.g. a PE-only v1
+/// artifact offered to a (PE, retention)-conditioned model).
+class CheckpointVersionError : public flashgen::Error {
+ public:
+  using flashgen::Error::Error;
+};
+
 /// Writes the module's named state to `path`. Throws on I/O failure; the
 /// previous file at `path` survives any failed attempt.
 void save_checkpoint(const Module& module, const std::string& path);
 
-/// Restores the module's named state from `path`. Every tensor in the module
-/// must be present in the file with a matching shape; extra file entries are
-/// an error. Throws flashgen::Error on any mismatch or corruption, in which
-/// case the module keeps its pre-call state.
+/// As above, stamping `meta` into a v2 header. An empty map writes the exact
+/// v1 byte stream, so callers can pass their metadata unconditionally.
+void save_checkpoint(const Module& module, const std::string& path, const CheckpointMeta& meta);
+
+/// Reads just the metadata table of the checkpoint at `path` without touching
+/// any module. v1 files return an empty map. Throws flashgen::Error on
+/// corruption or if the file is not a checkpoint at all.
+CheckpointMeta read_checkpoint_meta(const std::string& path);
+
+/// Restores the module's named state from `path` (v1 or v2; any v2 metadata
+/// is skipped — use read_checkpoint_meta to inspect it). Every tensor in the
+/// module must be present in the file with a matching shape; extra file
+/// entries are an error. Throws flashgen::Error on any mismatch or
+/// corruption, in which case the module keeps its pre-call state.
 void load_checkpoint(Module& module, const std::string& path);
 
 /// Everything beyond module weights needed to resume a training run at an

@@ -109,13 +109,25 @@ PrefetchSource::Block PrefetchSource::generate_block(std::int64_t index) const {
   block.index = index;
   block.pl.resize(static_cast<std::size_t>(rows_) * s * s);
   block.vl.resize(static_cast<std::size_t>(rows_) * s * s);
+  if (!stream_.conditions.empty()) block.cond.resize(static_cast<std::size_t>(rows_) * 2);
   for (Index u = 0; u < rows_; ++u) {
     const std::uint64_t g = static_cast<std::uint64_t>(index) *
                                 static_cast<std::uint64_t>(batch_) +
                             static_cast<std::uint64_t>(row_offset_ + u);
     flashgen::Rng sample_rng = flashgen::Rng::from_stream(stream_.seed, g);
+    // Round-robin over the condition schedule keyed by the global sample
+    // index: the same sample sees the same condition on any worker or rank.
+    data::Condition condition{.pe_cycles = d.pe_cycles,
+                              .retention_hours = d.retention_hours};
+    if (!stream_.conditions.empty()) {
+      condition = stream_.conditions[g % stream_.conditions.size()];
+      block.cond[static_cast<std::size_t>(u) * 2] =
+          static_cast<float>(condition.pe_cycles);
+      block.cond[static_cast<std::size_t>(u) * 2 + 1] =
+          static_cast<float>(condition.retention_hours);
+    }
     const flash::BlockObservation obs =
-        channel_.run_experiment(d.pe_cycles, sample_rng, d.retention_hours);
+        channel_.run_experiment(condition.pe_cycles, sample_rng, condition.retention_hours);
     float* pdst = block.pl.data() + static_cast<std::size_t>(u) * s * s;
     float* vdst = block.vl.data() + static_cast<std::size_t>(u) * s * s;
     // Top-left crop only; normalize_voltage applies the same sensing-window
@@ -209,7 +221,7 @@ PrefetchSource::Block PrefetchSource::await_block(std::int64_t index) {
   }
 }
 
-std::pair<tensor::Tensor, tensor::Tensor> PrefetchSource::next_batch() {
+PrefetchSource::Block PrefetchSource::take_block() {
   FG_TRACE_SPAN("pipeline.next_batch", "pipeline");
   const std::int64_t index = consumed_batches_;
   Block block;
@@ -222,10 +234,26 @@ std::pair<tensor::Tensor, tensor::Tensor> PrefetchSource::next_batch() {
   }
   ++consumed_batches_;
   consumed_samples().add(static_cast<std::uint64_t>(rows_));
+  return block;
+}
+
+std::pair<tensor::Tensor, tensor::Tensor> PrefetchSource::next_batch() {
+  Block block = take_block();
   const Index s = stream_.dataset.array_size;
   const tensor::Shape shape{rows_, 1, s, s};
   return {tensor::Tensor::from_data(shape, std::move(block.pl)),
           tensor::Tensor::from_data(shape, std::move(block.vl))};
+}
+
+SampleSource::Batch PrefetchSource::next_batch_cond() {
+  Block block = take_block();
+  const Index s = stream_.dataset.array_size;
+  const tensor::Shape shape{rows_, 1, s, s};
+  tensor::Tensor cond;
+  if (!block.cond.empty())
+    cond = tensor::Tensor::from_data(tensor::Shape{rows_, 2}, std::move(block.cond));
+  return {tensor::Tensor::from_data(shape, std::move(block.pl)),
+          tensor::Tensor::from_data(shape, std::move(block.vl)), std::move(cond)};
 }
 
 }  // namespace flashgen::pipeline

@@ -54,6 +54,14 @@ namespace flashgen::pipeline {
 struct StreamConfig {
   data::DatasetConfig dataset;
   std::uint64_t seed = 0;
+  /// Spatio-temporal condition schedule. Empty streams every sample at the
+  /// dataset's (pe_cycles, retention_hours) and serves batches without a
+  /// cond tensor — bit-identical to the pre-conditioning stream. Non-empty,
+  /// global sample g is simulated at conditions[g % conditions.size()] (a
+  /// pure function of g, so the round-robin interleaving survives worker
+  /// count, dist slicing, and seeks) and next_batch_cond() carries the raw
+  /// per-row pairs.
+  std::vector<data::Condition> conditions;
 };
 
 struct PrefetchConfig {
@@ -85,6 +93,9 @@ class PrefetchSource final : public SampleSource {
   void begin_epoch(std::int64_t epoch, flashgen::Rng& rng) override;
   void skip_batches(std::int64_t n) override;
   std::pair<tensor::Tensor, tensor::Tensor> next_batch() override;
+  /// With a condition schedule, additionally carries the raw per-row
+  /// (PE, retention) pairs; without one, cond stays undefined.
+  Batch next_batch_cond() override;
   std::uint64_t cursor() const override;
 
  private:
@@ -93,7 +104,10 @@ class PrefetchSource final : public SampleSource {
     std::int64_t index = -1;
     std::vector<float> pl;  // rows * S * S, normalized
     std::vector<float> vl;
+    std::vector<float> cond;  // rows * 2 raw (PE, retention); empty without a schedule
   };
+
+  Block take_block();
 
   Block generate_block(std::int64_t index) const;
   Block await_block(std::int64_t index);

@@ -44,7 +44,7 @@ void EagerSource::skip_batches(std::int64_t n) {
   served_ += n;
 }
 
-std::pair<tensor::Tensor, tensor::Tensor> EagerSource::next_batch() {
+std::span<const std::size_t> EagerSource::next_indices() {
   FG_CHECK(served_ < batches_per_epoch_,
            "epoch exhausted after " << served_ << " batches");
   FG_CHECK(!order_.empty(), "next_batch before begin_epoch");
@@ -52,7 +52,17 @@ std::pair<tensor::Tensor, tensor::Tensor> EagerSource::next_batch() {
       order_.data() + static_cast<std::size_t>(served_ * batch_ + row_offset_),
       static_cast<std::size_t>(rows_));
   ++served_;
-  return dataset_->batch(indices);
+  return indices;
+}
+
+std::pair<tensor::Tensor, tensor::Tensor> EagerSource::next_batch() {
+  return dataset_->batch(next_indices());
+}
+
+SampleSource::Batch EagerSource::next_batch_cond() {
+  const std::span<const std::size_t> indices = next_indices();
+  auto [pl, vl] = dataset_->batch(indices);
+  return {std::move(pl), std::move(vl), dataset_->batch_condition(indices)};
 }
 
 std::uint64_t EagerSource::cursor() const {

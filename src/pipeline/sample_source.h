@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -41,6 +42,16 @@ using tensor::Index;
 class SampleSource {
  public:
   virtual ~SampleSource() = default;
+
+  /// One served mini-batch. `cond` carries the raw per-row
+  /// (pe_cycles, retention_hours) conditions as a (rows, 2) tensor in
+  /// physical units, or stays undefined when the source has no
+  /// spatio-temporal conditions (single-condition training).
+  struct Batch {
+    tensor::Tensor pl;
+    tensor::Tensor vl;
+    tensor::Tensor cond;
+  };
 
   /// Samples per global batch (across all ranks).
   virtual Index global_batch() const = 0;
@@ -68,6 +79,16 @@ class SampleSource {
   /// Next (PL, VL) batch: normalized NCHW tensors of shape (rows, 1, S, S).
   virtual std::pair<tensor::Tensor, tensor::Tensor> next_batch() = 0;
 
+  /// Next batch including the per-row conditions. The default wraps
+  /// next_batch() with an undefined cond tensor; condition-carrying sources
+  /// (EagerSource over a multi-condition dataset, PrefetchSource with a
+  /// condition schedule) override it. The training loop consumes batches
+  /// exclusively through this method.
+  virtual Batch next_batch_cond() {
+    auto [pl, vl] = next_batch();
+    return {std::move(pl), std::move(vl), tensor::Tensor()};
+  }
+
   /// Global samples consumed since the start of training:
   /// (epoch * batches_per_epoch + batches served this epoch) * global_batch.
   virtual std::uint64_t cursor() const = 0;
@@ -93,9 +114,13 @@ class EagerSource final : public SampleSource {
   void begin_epoch(std::int64_t epoch, flashgen::Rng& rng) override;
   void skip_batches(std::int64_t n) override;
   std::pair<tensor::Tensor, tensor::Tensor> next_batch() override;
+  /// Serves the dataset's raw (PE, retention) pairs alongside (PL, VL).
+  Batch next_batch_cond() override;
   std::uint64_t cursor() const override;
 
  private:
+  std::span<const std::size_t> next_indices();
+
   const data::PairedDataset* dataset_;
   Index batch_;
   Index row_offset_;

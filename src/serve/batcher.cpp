@@ -104,16 +104,39 @@ ResponseFuture RequestBatcher::submit(std::vector<float> program_levels, std::ui
   return future;
 }
 
+ResponseFuture RequestBatcher::submit(std::vector<float> program_levels, std::uint64_t seed,
+                                      std::uint64_t stream, std::uint64_t deadline_micros,
+                                      const data::Condition& condition) {
+  auto promise = std::make_shared<std::promise<ResponseFuture::Outcome>>();
+  ResponseFuture future(promise->get_future());
+  submit_async(std::move(program_levels), seed, stream, deadline_micros, condition,
+               [promise](std::vector<float>&& voltages, std::exception_ptr error) {
+                 promise->set_value(ResponseFuture::classify(std::move(voltages), std::move(error)));
+               });
+  return future;
+}
+
 void RequestBatcher::submit_async(std::vector<float> program_levels, std::uint64_t seed,
                                   std::uint64_t stream, std::uint64_t deadline_micros,
                                   Completion done) {
+  submit_async(std::move(program_levels), seed, stream, deadline_micros, std::nullopt,
+               std::move(done));
+}
+
+void RequestBatcher::submit_async(std::vector<float> program_levels, std::uint64_t seed,
+                                  std::uint64_t stream, std::uint64_t deadline_micros,
+                                  std::optional<data::Condition> condition, Completion done) {
   FG_CHECK(program_levels.size() == static_cast<std::size_t>(row_shape_.numel()),
            "RequestBatcher: got " << program_levels.size() << " floats for row shape "
                                   << row_shape_);
+  FG_CHECK(!condition.has_value() || engine_.model().condition_aware(),
+           "RequestBatcher: model " << engine_.model().name()
+                                    << " does not accept generation conditions");
   Pending pending;
   pending.program_levels = std::move(program_levels);
   pending.seed = seed;
   pending.stream = stream;
+  pending.condition = condition;
   pending.done = std::move(done);
   pending.enqueued = std::chrono::steady_clock::now();
   pending.deadline = deadline_micros > 0
@@ -275,14 +298,27 @@ void RequestBatcher::execute_batch(std::vector<Pending> batch) {
     auto pl_data = pl.data();
     std::vector<flashgen::Rng> rngs;
     rngs.reserve(batch.size());
+    bool conditioned = false;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       std::copy(batch[i].program_levels.begin(), batch[i].program_levels.end(),
                 pl_data.begin() + static_cast<std::ptrdiff_t>(i * row_elems));
       rngs.push_back(flashgen::Rng::from_stream(batch[i].seed, batch[i].stream));
+      conditioned = conditioned || batch[i].condition.has_value();
     }
 
     std::vector<float> out(batch.size() * row_elems);
-    engine_.generate_into(pl, rngs, out);
+    if (conditioned) {
+      // Mixed batches run every row through the conditioned path;
+      // unconditioned neighbors get the model's default condition, which is
+      // exactly what sample_rows() would have used — bit-identical either way.
+      std::vector<data::Condition> conditions;
+      conditions.reserve(batch.size());
+      const data::Condition fallback = engine_.model().default_condition();
+      for (const Pending& p : batch) conditions.push_back(p.condition.value_or(fallback));
+      engine_.generate_into_at(pl, conditions, rngs, out);
+    } else {
+      engine_.generate_into(pl, rngs, out);
+    }
     consecutive_errors_.store(0);
     if (metrics_ != nullptr) metrics_->record_batch(batch.size());
 

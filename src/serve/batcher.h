@@ -27,6 +27,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -120,11 +121,23 @@ class RequestBatcher {
   ResponseFuture submit(std::vector<float> program_levels, std::uint64_t seed,
                         std::uint64_t stream, std::uint64_t deadline_micros = 0);
 
+  /// Conditioned submit: the sample is generated at `condition` (raw
+  /// physical (PE, retention) units). Requires a condition-aware engine
+  /// model; throws flashgen::Error synchronously otherwise. A batch may mix
+  /// conditioned and unconditioned requests — unconditioned rows run at the
+  /// model's default condition, bit-identical to the unconditioned path.
+  ResponseFuture submit(std::vector<float> program_levels, std::uint64_t seed,
+                        std::uint64_t stream, std::uint64_t deadline_micros,
+                        const data::Condition& condition);
+
   /// Callback flavor of submit() for event-loop callers that must not block
   /// on a future. Admission errors (Overloaded) still throw synchronously on
   /// the calling thread; execution errors arrive through the completion.
   void submit_async(std::vector<float> program_levels, std::uint64_t seed, std::uint64_t stream,
                     std::uint64_t deadline_micros, Completion done);
+  void submit_async(std::vector<float> program_levels, std::uint64_t seed, std::uint64_t stream,
+                    std::uint64_t deadline_micros, std::optional<data::Condition> condition,
+                    Completion done);
 
   /// Queued + in-flight requests right now; the replica dispatcher's
   /// least-loaded signal.
@@ -170,6 +183,7 @@ class RequestBatcher {
     std::vector<float> program_levels;
     std::uint64_t seed;
     std::uint64_t stream;
+    std::optional<data::Condition> condition;  // generation wear state, if any
     Completion done;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;  // time_point::max() if none

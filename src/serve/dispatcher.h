@@ -94,9 +94,18 @@ class ReplicaDispatcher {
   void submit_async(std::vector<float> program_levels, std::uint64_t seed, std::uint64_t stream,
                     std::uint64_t deadline_micros, RequestBatcher::Completion done);
 
+  /// Conditioned least-loaded submit (see RequestBatcher's conditioned
+  /// submit_async): the sample is generated at `condition` when set.
+  void submit_async(std::vector<float> program_levels, std::uint64_t seed, std::uint64_t stream,
+                    std::uint64_t deadline_micros, std::optional<data::Condition> condition,
+                    RequestBatcher::Completion done);
+
   /// Future flavor for blocking callers (tests).
   ResponseFuture submit(std::vector<float> program_levels, std::uint64_t seed,
                         std::uint64_t stream, std::uint64_t deadline_micros = 0);
+  ResponseFuture submit(std::vector<float> program_levels, std::uint64_t seed,
+                        std::uint64_t stream, std::uint64_t deadline_micros,
+                        const data::Condition& condition);
 
   /// Stops admitting on every replica (graceful drain); idempotent. The
   /// supervisor keeps quarantining wedged replicas during the drain (so

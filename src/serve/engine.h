@@ -54,6 +54,15 @@ class InferenceEngine {
   /// the executing thread regardless of where `out` is consumed.
   void generate_into(const Tensor& pl, std::span<flashgen::Rng> rngs, std::span<float> out);
 
+  /// Conditioned flavors: row i is generated at conditions[i] (raw physical
+  /// units; the model normalizes). Requires model().condition_aware(). The
+  /// determinism contract extends per row: a row at condition c matches the
+  /// same request run alone at c, regardless of its batch neighbors.
+  Tensor sample_rows_at(const Tensor& pl, std::span<const data::Condition> conditions,
+                        std::span<flashgen::Rng> rngs);
+  void generate_into_at(const Tensor& pl, std::span<const data::Condition> conditions,
+                        std::span<flashgen::Rng> rngs, std::span<float> out);
+
   const EngineStats& stats() const { return stats_; }
   models::GenerativeModel& model() { return model_; }
 

@@ -13,7 +13,10 @@
 //                bare path, or "tcp:host:port" ("tcp:127.0.0.1:0" picks a
 //                free port and prints it)
 //   models_csv   default "Gaussian"; any of cVAE-GAN,Bicycle-GAN,cGAN,cVAE,
-//                Gaussian (case-insensitive, matched without '-')
+//                Gaussian,Temporal (case-insensitive, matched without '-').
+//                Temporal is the (PE, retention)-conditioned model: it trains
+//                on a small multi-condition grid and additionally answers
+//                kThresholdQuery (wear-aware read-threshold optimization)
 //   max_batch    default 8
 //   max_wait_us  default 2000
 // Flags:
@@ -76,7 +79,7 @@ std::string canon(std::string s) {
 core::ModelKind parse_kind(const std::string& name) {
   for (core::ModelKind kind :
        {core::ModelKind::CvaeGan, core::ModelKind::BicycleGan, core::ModelKind::Cgan,
-        core::ModelKind::Cvae, core::ModelKind::Gaussian}) {
+        core::ModelKind::Cvae, core::ModelKind::Gaussian, core::ModelKind::Temporal}) {
     if (canon(core::to_string(kind)) == canon(name)) return kind;
   }
   std::fprintf(stderr, "unknown model: %s\n", name.c_str());
@@ -155,7 +158,18 @@ int main(int argc, char** argv) {
   if (positional.size() > 3) policy.max_wait_micros = static_cast<std::uint64_t>(std::atoll(positional[3].c_str()));
   policy.max_queue_depth = max_queue;
 
-  core::ExperimentConfig config = core::small_experiment_config();
+  // The temporal model needs a multi-condition train split to learn its
+  // (PE, retention) conditioning; the canonical grid keeps its checkpoint
+  // shared with the threshold CLI and benches.
+  bool wants_temporal = false;
+  {
+    std::istringstream scan(models_csv);
+    for (std::string token; std::getline(scan, token, ',');) {
+      wants_temporal |= parse_kind(token) == core::ModelKind::Temporal;
+    }
+  }
+  core::ExperimentConfig config =
+      wants_temporal ? core::small_temporal_experiment_config() : core::small_experiment_config();
   if (snapshot_every < 0) snapshot_every = resume ? 64 : 0;
   config.snapshot_every = snapshot_every;
   config.resume_training = resume;

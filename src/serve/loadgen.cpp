@@ -106,6 +106,12 @@ OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
   request.tenant_id = options.tenant_id;
   request.program_levels.resize(static_cast<std::size_t>(options.side) * options.side);
 
+  ThresholdQuery threshold_query;
+  threshold_query.model = options.model;
+  threshold_query.tenant_id = options.tenant_id;
+  threshold_query.pe_cycles = options.threshold_pe;
+  threshold_query.retention_hours = options.threshold_retention;
+
   OpenLoopResult result;
   std::vector<std::uint64_t> latencies;
   latencies.reserve(static_cast<std::size_t>(options.total_requests));
@@ -134,6 +140,17 @@ OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
         const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
             Clock::now() - t_sched);
         latencies.push_back(static_cast<std::uint64_t>(std::max<std::int64_t>(0, micros.count())));
+      } else if (type == MessageType::kThresholdOk) {
+        // Mixed-workload recalibration reply. Counted separately and kept out
+        // of the generate latency quantiles (a threshold query costs whole
+        // sampling waves; folding it in would poison the generate tail). The
+        // trailing from_cache byte is zeroed before hashing so cache-cold and
+        // cache-warm runs — whose reports are bit-identical by construction —
+        // also produce equal checksums.
+        ++result.threshold_ok;
+        std::vector<std::uint8_t> canonical = payload;
+        if (!canonical.empty()) canonical.back() = 0;
+        result.checksum ^= fnv1a(canonical);
       } else if (type == MessageType::kOverloaded) {
         ++result.shed;
       } else if (type == MessageType::kRateLimited) {
@@ -155,13 +172,22 @@ OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
     const auto now = Clock::now();
     while (result.sent < total && scheduled_at(result.sent) <= now) {
       const std::uint64_t index = result.sent;
-      Rng rng(options.seed + index + 1);
-      for (float& v : request.program_levels) {
-        v = normalizer.normalize_level(static_cast<int>(rng.uniform_int(8)));
+      const bool is_threshold =
+          options.threshold_every > 0 &&
+          index % static_cast<std::uint64_t>(options.threshold_every) == 0;
+      std::vector<std::uint8_t> body;
+      if (is_threshold) {
+        body = encode_threshold_query(threshold_query);
+      } else {
+        Rng rng(options.seed + index + 1);
+        for (float& v : request.program_levels) {
+          v = normalizer.normalize_level(static_cast<int>(rng.uniform_int(8)));
+        }
+        request.stream = index;
+        body = encode_generate_request(request);
       }
-      request.stream = index;
       const std::size_t c = static_cast<std::size_t>(index % conns.size());
-      const std::vector<std::uint8_t> frame = framing::encode_frame(encode_generate_request(request));
+      const std::vector<std::uint8_t> frame = framing::encode_frame(body);
       conns[c].outbuf.insert(conns[c].outbuf.end(), frame.begin(), frame.end());
       conns[c].pending.push_back(scheduled_at(index));
       ++result.sent;

@@ -38,11 +38,21 @@ struct OpenLoopOptions {
   int connections = 64;
   double target_rps = 1000.0;       // injection rate across all connections
   int total_requests = 4096;        // run length
+  /// Mixed workload: every Nth scheduled request (indices 0, N, 2N, ...) is
+  /// a kThresholdQuery at (threshold_pe, threshold_retention) instead of a
+  /// generate — the controller-like pattern of bulk reads with occasional
+  /// wear-state recalibration. 0 (default) = pure generate. The server
+  /// answers the first query cold (sampling waves through the fleet) and
+  /// subsequent ones from its threshold cache; both land in threshold_ok.
+  int threshold_every = 0;
+  double threshold_pe = 4000.0;
+  double threshold_retention = 0.0;
 };
 
 struct OpenLoopResult {
   std::uint64_t sent = 0;
-  std::uint64_t ok = 0;
+  std::uint64_t ok = 0;            // kGenerateOk responses
+  std::uint64_t threshold_ok = 0;  // kThresholdOk responses (mixed workload)
   std::uint64_t shed = 0;          // kOverloaded responses
   std::uint64_t rate_limited = 0;  // kRateLimited responses (typed, counted, never retried)
   std::uint64_t errors = 0;        // kError responses
@@ -57,6 +67,8 @@ struct OpenLoopResult {
   std::uint64_t max_us = 0;
   // XOR of per-response FNV-1a hashes: order-independent, so equal seeds must
   // give equal checksums across transports, replica counts, and schedules.
+  // kThresholdOk payloads are hashed with the from_cache byte zeroed — the
+  // report bits are cache-invariant by construction, the flag is not.
   std::uint64_t checksum = 0;
 };
 

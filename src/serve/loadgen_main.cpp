@@ -33,6 +33,14 @@
 //                      coordinated omission.
 //   --retry-base-us=N  first backoff ceiling, default 1000
 //   --retry-max-us=N   backoff cap, default 250000
+//   --threshold-every=N  open loop only: mixed workload — every Nth scheduled
+//                      request becomes a kThresholdQuery (wear-aware read
+//                      thresholds) instead of a generate; counted separately
+//                      as threshold_ok and kept out of the generate latency
+//                      quantiles (default 0 = pure generate). Needs a
+//                      condition-aware model (Temporal)
+//   --threshold-pe=X   queried PE cycles, default 4000
+//   --threshold-retention=X  queried retention hours, default 0
 //
 // Requests the server rejects with kOverloaded / kRateLimited are counted as
 // "shed" / "rate_limited" rather than aborting the run, so the tool can probe
@@ -61,6 +69,9 @@ int main(int argc, char** argv) {
   int retries = 1;
   std::uint64_t retry_base_us = 1000;
   std::uint64_t retry_max_us = 250000;
+  int threshold_every = 0;
+  double threshold_pe = 4000.0;
+  double threshold_retention = 0.0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,6 +89,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--retry-max-us=", 0) == 0) {
       retry_max_us =
           static_cast<std::uint64_t>(std::atoll(arg.c_str() + std::strlen("--retry-max-us=")));
+    } else if (arg.rfind("--threshold-every=", 0) == 0) {
+      threshold_every = std::atoi(arg.c_str() + std::strlen("--threshold-every="));
+    } else if (arg.rfind("--threshold-pe=", 0) == 0) {
+      threshold_pe = std::atof(arg.c_str() + std::strlen("--threshold-pe="));
+    } else if (arg.rfind("--threshold-retention=", 0) == 0) {
+      threshold_retention = std::atof(arg.c_str() + std::strlen("--threshold-retention="));
     } else {
       positional.push_back(arg);
     }
@@ -106,6 +123,9 @@ int main(int argc, char** argv) {
     options.connections = connections;
     options.target_rps = rps;
     options.total_requests = requests;
+    options.threshold_every = threshold_every;
+    options.threshold_pe = threshold_pe;
+    options.threshold_retention = threshold_retention;
     const serve::OpenLoopResult result = serve::run_open_loop(options);
 
     serve::Client stats_client(endpoint);
@@ -115,9 +135,11 @@ int main(int argc, char** argv) {
     std::printf(" \"target_rps\": %.1f, \"achieved_rps\": %.1f, \"elapsed_sec\": %.3f,\n", rps,
                 result.achieved_rps, result.elapsed_sec);
     std::printf(
-        " \"ok\": %llu, \"shed\": %llu, \"rate_limited\": %llu, \"errors\": %llu, "
-        "\"checksum\": %llu,\n",
-        static_cast<unsigned long long>(result.ok), static_cast<unsigned long long>(result.shed),
+        " \"ok\": %llu, \"threshold_ok\": %llu, \"shed\": %llu, \"rate_limited\": %llu, "
+        "\"errors\": %llu, \"checksum\": %llu,\n",
+        static_cast<unsigned long long>(result.ok),
+        static_cast<unsigned long long>(result.threshold_ok),
+        static_cast<unsigned long long>(result.shed),
         static_cast<unsigned long long>(result.rate_limited),
         static_cast<unsigned long long>(result.errors),
         static_cast<unsigned long long>(result.checksum));

@@ -1,5 +1,6 @@
 #include "serve/protocol.h"
 
+#include <bit>
 #include <cstring>
 
 #include "common/error.h"
@@ -20,6 +21,8 @@ void ByteWriter::put_bytes(const void* data, std::size_t size) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   buffer_.insert(buffer_.end(), p, p + size);
 }
+
+void ByteWriter::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
 
 void ByteWriter::put_string(const std::string& s) {
   put_u32(static_cast<std::uint32_t>(s.size()));
@@ -50,6 +53,8 @@ std::uint64_t ByteReader::get_u64() {
   pos_ += 8;
   return v;
 }
+
+double ByteReader::get_f64() { return std::bit_cast<double>(get_u64()); }
 
 std::string ByteReader::get_string() {
   const auto len = get_u32();
@@ -162,6 +167,28 @@ std::vector<std::uint8_t> encode_health_response(HealthStatus status) {
   return w.bytes();
 }
 
+std::vector<std::uint8_t> encode_threshold_query(const ThresholdQuery& query) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MessageType::kThresholdQuery));
+  w.put_u32(query.tenant_id);
+  w.put_string(query.model);
+  w.put_f64(query.pe_cycles);
+  w.put_f64(query.retention_hours);
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> encode_threshold_response(const ThresholdResponse& response) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MessageType::kThresholdOk));
+  for (double t : response.thresholds) w.put_f64(t);
+  for (double ber : response.page_ber) w.put_f64(ber);
+  w.put_f64(response.level_error_rate);
+  w.put_f64(response.mutual_information_bits);
+  w.put_u64(response.sample_cells);
+  w.put_u8(response.from_cache ? 1 : 0);
+  return w.bytes();
+}
+
 MessageType peek_type(const std::vector<std::uint8_t>& payload) {
   FG_CHECK(!payload.empty(), "protocol: empty payload");
   return static_cast<MessageType>(payload[0]);
@@ -237,6 +264,34 @@ HealthStatus decode_health_response(const std::vector<std::uint8_t>& payload) {
                status == static_cast<std::uint8_t>(HealthStatus::kDegraded),
            "protocol: bad health status " << static_cast<int>(status));
   return static_cast<HealthStatus>(status);
+}
+
+ThresholdQuery decode_threshold_query(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  FG_CHECK(static_cast<MessageType>(r.get_u8()) == MessageType::kThresholdQuery,
+           "protocol: not a threshold query");
+  ThresholdQuery query;
+  query.tenant_id = r.get_u32();
+  query.model = r.get_string();
+  query.pe_cycles = r.get_f64();
+  query.retention_hours = r.get_f64();
+  return query;
+}
+
+ThresholdResponse decode_threshold_response(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  FG_CHECK(static_cast<MessageType>(r.get_u8()) == MessageType::kThresholdOk,
+           "protocol: not a threshold response");
+  ThresholdResponse response;
+  for (double& t : response.thresholds) t = r.get_f64();
+  for (double& ber : response.page_ber) ber = r.get_f64();
+  response.level_error_rate = r.get_f64();
+  response.mutual_information_bits = r.get_f64();
+  response.sample_cells = r.get_u64();
+  const auto from_cache = r.get_u8();
+  FG_CHECK(from_cache <= 1, "threshold response: bad from_cache " << static_cast<int>(from_cache));
+  response.from_cache = from_cache == 1;
+  return response;
 }
 
 }  // namespace flashgen::serve

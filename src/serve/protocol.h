@@ -41,6 +41,21 @@
 //        be shed again.
 //   kHealth (client -> server): empty body
 //   kHealthOk (server -> client): u8 status (HealthStatus)
+//   kThresholdQuery (client -> server, protocol v2 framing):
+//     u32 tenant_id                  -- same admission semantics as
+//                                       kGenerateV2 (token buckets, queue
+//                                       bounds -> kRateLimited/kOverloaded)
+//     u32 model_name_len | model_name bytes
+//     f64 pe_cycles | f64 retention_hours  -- raw wear condition (f64 = IEEE
+//                                       bits via u64, little-endian)
+//   kThresholdOk (server -> client):
+//     f64 thresholds[7]              -- strictly increasing read points
+//     f64 page_ber[3]                -- est. raw BER per Gray page (L/M/U)
+//     f64 level_error_rate | f64 mutual_information_bits
+//     u64 sample_cells | u8 from_cache
+//     -- the reply is a pure function of (checkpoint, condition, server
+//        optimizer config): from_cache only reports whether the LRU served
+//        it, every other bit is identical cold or warm
 //
 // Readers are bounds-checked: a truncated or oversized frame raises
 // FG_CHECK instead of reading out of bounds, and frame bodies are read in
@@ -56,6 +71,7 @@
 // read_frame/write_frame pair.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -75,6 +91,8 @@ enum class MessageType : std::uint8_t {
   kHealthOk = 8,
   kGenerateV2 = 9,    // protocol v2 request: u32 tenant_id prepended
   kRateLimited = 10,  // typed per-tenant shed with retry_after_micros
+  kThresholdQuery = 11,  // read-threshold optimization at a wear condition
+  kThresholdOk = 12,
 };
 
 /// Liveness answer to a kHealth probe.
@@ -121,6 +139,27 @@ struct GenerateResponse {
   std::vector<float> voltages;  // side * side floats
 };
 
+/// Read-threshold optimization request: "where should the read points sit
+/// for a block in this wear state?". The condition rides in raw physical
+/// units; quantization to cache buckets is the server's policy.
+struct ThresholdQuery {
+  std::string model;
+  std::uint32_t tenant_id = 0;
+  double pe_cycles = 0.0;
+  double retention_hours = 0.0;
+};
+
+/// Wire mirror of thresholds::ThresholdReport (kept dependency-free so the
+/// protocol layer stays self-contained).
+struct ThresholdResponse {
+  std::array<double, 7> thresholds{};
+  std::array<double, 3> page_ber{};  // Lower/Middle/Upper Gray pages
+  double level_error_rate = 0.0;
+  double mutual_information_bits = 0.0;
+  std::uint64_t sample_cells = 0;
+  bool from_cache = false;
+};
+
 /// Append-only little-endian payload builder.
 class ByteWriter {
  public:
@@ -128,6 +167,7 @@ class ByteWriter {
   void put_u32(std::uint32_t v);
   void put_u64(std::uint64_t v);
   void put_bytes(const void* data, std::size_t size);
+  void put_f64(double v);  // IEEE-754 bits as a little-endian u64
   void put_string(const std::string& s);     // u32 length + bytes
   void put_floats(const std::vector<float>& v);  // raw f32s, no length
 
@@ -147,6 +187,7 @@ class ByteReader {
   std::uint8_t get_u8();
   std::uint32_t get_u32();
   std::uint64_t get_u64();
+  double get_f64();                               // IEEE-754 bits from a u64
   std::string get_string();                       // u32 length + bytes
   std::vector<float> get_floats(std::size_t count);  // raw f32s
   std::size_t remaining() const { return size_ - pos_; }
@@ -173,6 +214,8 @@ std::vector<std::uint8_t> encode_rate_limited(std::uint64_t retry_after_micros,
                                               const std::string& message);
 std::vector<std::uint8_t> encode_health_request();
 std::vector<std::uint8_t> encode_health_response(HealthStatus status);
+std::vector<std::uint8_t> encode_threshold_query(const ThresholdQuery& query);
+std::vector<std::uint8_t> encode_threshold_response(const ThresholdResponse& response);
 
 struct RateLimitedInfo {
   std::uint64_t retry_after_micros = 0;
@@ -189,6 +232,8 @@ std::string decode_error(const std::vector<std::uint8_t>& payload);
 std::string decode_overloaded(const std::vector<std::uint8_t>& payload);
 RateLimitedInfo decode_rate_limited(const std::vector<std::uint8_t>& payload);
 HealthStatus decode_health_response(const std::vector<std::uint8_t>& payload);
+ThresholdQuery decode_threshold_query(const std::vector<std::uint8_t>& payload);
+ThresholdResponse decode_threshold_response(const std::vector<std::uint8_t>& payload);
 
 // ---- framing over a file descriptor (blocking, EINTR-safe) ----
 // Thin forwarders to the shared transport in common/framing.h.

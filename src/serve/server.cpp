@@ -48,6 +48,17 @@ Server::Server(ModelRegistry& registry, ServerOptions options)
                          std::make_unique<ReplicaDispatcher>(registry_, name, options_.policy,
                                                              options_.supervisor, &metrics_));
   }
+  for (const std::string& name : registry_.names()) {
+    // Threshold optimization needs a model that accepts a (PE, retention)
+    // condition; unconditioned models answer kThresholdQuery with a typed
+    // kError in dispatch_frame instead.
+    if (!registry_.at(name).model().condition_aware()) continue;
+    ThresholdServiceOptions threshold = options_.threshold;
+    const tensor::Shape& row_shape = dispatchers_.at(name)->row_shape();
+    threshold.optimizer.side = static_cast<int>(row_shape[row_shape.rank() - 1]);
+    threshold_services_.emplace(
+        name, std::make_unique<ThresholdService>(*dispatchers_.at(name), threshold));
+  }
   if (options_.idle_timeout_micros > 0) {
     wheel_.resize(kWheelSlots);
     // Half-wheel resolution: an idle conn is caught within ~2 ticks of its
@@ -90,9 +101,11 @@ Server::Server(ModelRegistry& registry, std::string socket_path, BatchPolicy pol
 
 Server::~Server() {
   stop();
-  // Join every executor + supervisor thread (failing still-queued work
-  // through completion callbacks, which may push + wake_loop) while the
+  // Join every worker / executor / supervisor thread (failing still-queued
+  // work through completion callbacks, which may push + wake_loop) while the
   // completion queue and wake fd are still alive, THEN tear the fds down.
+  // Threshold services go first: their workers sample through dispatchers.
+  threshold_services_.clear();
   dispatchers_.clear();
   if (wake_fd_ >= 0) {
     ::close(wake_fd_);
@@ -132,7 +145,10 @@ void Server::drain_and_stop() {
   if (!draining_.exchange(true)) {
     // Reject new work first (kOverloaded / kDraining), then let everything
     // already admitted run to completion — including the response writes —
-    // before tearing down the loop.
+    // before tearing down the loop. Threshold services drain before their
+    // dispatchers close: an in-flight query still needs the fleet to sample.
+    for (auto& [name, service] : threshold_services_) service->close();
+    for (auto& [name, service] : threshold_services_) service->drain();
     for (auto& [name, dispatcher] : dispatchers_) dispatcher->close();
     for (auto& [name, dispatcher] : dispatchers_) dispatcher->drain();
     while (active_requests_.load() > 0) {
@@ -476,6 +492,84 @@ void Server::dispatch_frame(Conn& conn, std::vector<std::uint8_t> payload) {
         slot.counts_as_active = false;
         throw;
       }
+    } else if (type == MessageType::kThresholdQuery) {
+      const auto t0 = conn.slots.back().t0;
+      const ThresholdQuery query = [&] {
+        FG_TRACE_SPAN("serve.decode", "serve");
+        return decode_threshold_query(payload);
+      }();
+      auto& service = [&]() -> ThresholdService& {
+        auto it = threshold_services_.find(query.model);
+        if (it == threshold_services_.end()) {
+          FG_CHECK(dispatchers_.find(query.model) != dispatchers_.end(),
+                   "unknown model: " << query.model);
+          FG_CHECK(false, "model " << query.model
+                                   << " is not condition-aware; threshold queries need a "
+                                      "(PE, retention)-conditioned model");
+        }
+        return *it->second;
+      }();
+      metrics_.record_stage("decode", micros_since(t0));
+      // Threshold queries share the generate path's admission layers: the
+      // per-tenant token bucket here, then the service's own bounded queue
+      // (Overloaded), then the fleet queues its sampling rides on.
+      const TenantGovernor::Decision admission = governor_.admit(query.tenant_id);
+      if (!admission.admitted) {
+        metrics_.record_rate_limited();
+        static stats::Counter& rate_limited_total = stats::counter("serve.rate_limited");
+        rate_limited_total.add();
+        std::ostringstream os;
+        os << "tenant " << query.tenant_id << " over admission rate; retry after "
+           << admission.retry_after_micros << "us";
+        slot_ready(encode_rate_limited(admission.retry_after_micros, os.str()),
+                   /*counts_as_active=*/false);
+        return;
+      }
+      static stats::Counter& threshold_queries_total = stats::counter("serve.threshold_queries");
+      threshold_queries_total.add();
+      {
+        Slot& slot = conn.slots[static_cast<std::size_t>(seq - conn.head_seq)];
+        slot.counts_as_active = true;
+      }
+      ++active_requests_;
+      const std::uint64_t conn_id = conn.id;
+      const auto t_submit = std::chrono::steady_clock::now();
+      try {
+        service.submit_async(
+            {query.pe_cycles, query.retention_hours},
+            [this, conn_id, seq, t_submit](thresholds::ThresholdReport report,
+                                           std::exception_ptr error) {
+              // Service worker thread: encode here, hand over via the queue.
+              std::vector<std::uint8_t> response_payload;
+              if (!error) {
+                response_payload = encode_threshold_response(to_response(report));
+              } else {
+                try {
+                  std::rethrow_exception(error);
+                } catch (const Overloaded& e) {
+                  metrics_.record_shed();
+                  response_payload = encode_overloaded(e.what());
+                } catch (const Error& e) {
+                  metrics_.record_error();
+                  response_payload = encode_error(e.what());
+                } catch (const std::exception& e) {
+                  metrics_.record_error();
+                  response_payload = encode_error(e.what());
+                }
+              }
+              {
+                std::lock_guard<std::mutex> lock(completions_mutex_);
+                completions_.push_back(CompletionMsg{conn_id, seq, std::move(response_payload),
+                                                     micros_since(t_submit)});
+              }
+              wake_loop();
+            });
+      } catch (...) {
+        --active_requests_;
+        Slot& slot = conn.slots[static_cast<std::size_t>(seq - conn.head_seq)];
+        slot.counts_as_active = false;
+        throw;
+      }
     } else if (type == MessageType::kStats) {
       const double elapsed =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
@@ -635,6 +729,23 @@ GenerateResponse Client::generate(const GenerateRequest& request) {
     FG_CHECK(false, "server error: " << decode_error(payload));
   }
   return decode_generate_response(payload);
+}
+
+ThresholdResponse Client::threshold_query(const ThresholdQuery& query) {
+  write_frame(fd_, encode_threshold_query(query));
+  std::vector<std::uint8_t> payload;
+  FG_CHECK(read_frame(fd_, payload), "server closed connection");
+  if (peek_type(payload) == MessageType::kOverloaded) {
+    throw Overloaded("server overloaded: " + decode_overloaded(payload));
+  }
+  if (peek_type(payload) == MessageType::kRateLimited) {
+    const RateLimitedInfo info = decode_rate_limited(payload);
+    throw RateLimited("rate limited: " + info.message, info.retry_after_micros);
+  }
+  if (peek_type(payload) == MessageType::kError) {
+    FG_CHECK(false, "server error: " << decode_error(payload));
+  }
+  return decode_threshold_response(payload);
 }
 
 GenerateResponse Client::generate_with_retry(const GenerateRequest& request,

@@ -47,6 +47,7 @@
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/tenant.h"
+#include "serve/threshold_service.h"
 
 namespace flashgen::serve {
 
@@ -78,6 +79,11 @@ struct ServerOptions {
   /// Cap on in-flight pipelined requests per connection; the frame that
   /// would exceed it evicts the connection (typed kError + close).
   std::size_t max_pipelined_requests = 4096;
+  /// Read-threshold optimization knobs. One ThresholdService is created per
+  /// condition-aware registry model; the optimizer's `side` is overridden
+  /// with the model's row side. Queries against condition-unaware models are
+  /// answered with a typed kError.
+  ThresholdServiceOptions threshold;
 };
 
 /// Capped exponential backoff with deterministic jitter for Client retries
@@ -207,6 +213,9 @@ class Server {
   std::deque<CompletionMsg> completions_;
 
   std::map<std::string, std::unique_ptr<ReplicaDispatcher>> dispatchers_;
+  // Declared after dispatchers_ (so destroyed first): services sample
+  // through their model's dispatcher. Only condition-aware models get one.
+  std::map<std::string, std::unique_ptr<ThresholdService>> threshold_services_;
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd: completions pending or stop requested
@@ -241,6 +250,9 @@ class Client {
   /// max_attempts is exhausted. Other errors are not retried.
   GenerateResponse generate_with_retry(const GenerateRequest& request,
                                        const RetryPolicy& policy);
+  /// Round-trips one read-threshold optimization query. Same typed errors
+  /// as generate() (Overloaded / RateLimited / FG_CHECK on kError).
+  ThresholdResponse threshold_query(const ThresholdQuery& query);
   /// Fetches the server's metrics JSON.
   std::string stats();
   /// Liveness probe: kReady while serving with a fully-healthy fleet,

@@ -69,6 +69,62 @@ TEST(Thresholds, RejectsBadSmoothingWindow) {
   EXPECT_THROW(thresholds_from_histograms(hists, 0), flashgen::Error);
 }
 
+TEST(Thresholds, EmptyHistogramsFallBackToMonotoneLattice) {
+  // Nothing accumulated at all: every PDF is flat zero, every mode collapses
+  // to bin 0, and the midpoint fallback plus the monotonicity repair must
+  // still hand back strictly increasing thresholds (one bin apart).
+  ConditionalHistograms hists;
+  const flash::Thresholds t = thresholds_from_histograms(hists);
+  const HistogramConfig config = hists.overall().config();
+  const double bin_width = (config.hi - config.lo) / config.bins;
+  for (int k = 0; k + 1 < static_cast<int>(t.size()); ++k) {
+    EXPECT_LT(t[k], t[k + 1]);
+    EXPECT_NEAR(t[k + 1] - t[k], bin_width, 1e-9);
+  }
+}
+
+TEST(Thresholds, SingleBinHistogramStaysMonotone) {
+  // One bin can never separate two levels: every mode is bin 0, the midpoint
+  // fallback lands on the same center, and the repair must step each
+  // threshold up by a full (huge) bin width without going non-monotone.
+  HistogramConfig config;
+  config.lo = 0.0;
+  config.hi = 800.0;
+  config.bins = 1;
+  ConditionalHistograms hists(config);
+  flashgen::Rng rng(21);
+  for (int level = 0; level < flash::kTlcLevels; ++level)
+    for (int i = 0; i < 100; ++i) hists.add(level, rng.normal(level * 100.0, 10.0));
+  const flash::Thresholds t = thresholds_from_histograms(hists);
+  for (int k = 0; k + 1 < static_cast<int>(t.size()); ++k) EXPECT_LT(t[k], t[k + 1]);
+}
+
+TEST(Thresholds, IdenticalAdjacentModesUseMidpointFallback) {
+  // Levels 2 and 3 peak in the same bin, so there is no between-mode region
+  // to search for a crossing; the midpoint fallback (same center) plus the
+  // monotone repair must keep the full ladder strictly increasing.
+  ConditionalHistograms hists;
+  flashgen::Rng rng(22);
+  for (int i = 0; i < 5000; ++i) {
+    for (int level = 0; level < flash::kTlcLevels; ++level) {
+      const double mean = (level == 3 ? 2 : level) * 100.0;  // 3 sits on 2
+      hists.add(level, rng.normal(mean, 15.0));
+    }
+  }
+  const flash::Thresholds t = thresholds_from_histograms(hists);
+  for (int k = 0; k + 1 < static_cast<int>(t.size()); ++k) EXPECT_LT(t[k], t[k + 1]);
+}
+
+TEST(Thresholds, OversizedSmoothingWindowStaysMonotone) {
+  // A smoothing window wider than the histogram itself degenerates every PDF
+  // toward its global average; the clamped moving average must not read out
+  // of range and the result must stay strictly increasing.
+  const auto hists = gaussian_levels(100.0, 20.0, 2000);
+  const int window = hists.overall().bins() * 4;
+  const flash::Thresholds t = thresholds_from_histograms(hists, window);
+  for (int k = 0; k + 1 < static_cast<int>(t.size()); ++k) EXPECT_LT(t[k], t[k + 1]);
+}
+
 TEST(Thresholds, MatchesChannelGeometryEndToEnd) {
   // Thresholds derived from simulated data should classify the bulk of each
   // level correctly.

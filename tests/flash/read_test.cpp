@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 #include "common/error.h"
+#include "common/rng.h"
 
 namespace flashgen::flash {
 namespace {
@@ -34,6 +38,45 @@ TEST(Read, ValidateRejectsNonMonotonic) {
   Thresholds t = simple_thresholds();
   t[3] = t[2];
   EXPECT_THROW(validate_thresholds(t), Error);
+}
+
+TEST(Read, ValidateErrorNamesOffendingIndexAndValues) {
+  // Regression: the diagnostic must pinpoint the first violated pair — the
+  // offending index and both values — so a bad calibration is debuggable
+  // from the message alone.
+  Thresholds t = simple_thresholds();
+  t[4] = 125.5;  // t[3]=350 >= t[4]=125.5
+  try {
+    validate_thresholds(t);
+    FAIL() << "expected validate_thresholds to throw";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("t[3]"), std::string::npos) << message;
+    EXPECT_NE(message.find("t[4]"), std::string::npos) << message;
+    EXPECT_NE(message.find("350"), std::string::npos) << message;
+    EXPECT_NE(message.find("125.5"), std::string::npos) << message;
+  }
+}
+
+TEST(Read, DetectLevelMatchesLinearScanReference) {
+  // The branch-free comparison sum must agree everywhere with the early-exit
+  // linear scan it replaced — including exactly *at* each threshold, where
+  // the strict '>' keeps the cell in the lower level.
+  const Thresholds t = simple_thresholds();
+  const auto reference = [&](double voltage) {
+    int level = 0;
+    while (level < kTlcLevels - 1 && voltage > t[static_cast<std::size_t>(level)]) ++level;
+    return level;
+  };
+  for (double boundary : t) {
+    EXPECT_EQ(detect_level(boundary, t), reference(boundary));
+    EXPECT_EQ(detect_level(std::nextafter(boundary, 1e9), t), reference(std::nextafter(boundary, 1e9)));
+  }
+  flashgen::Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double voltage = rng.normal(300.0, 400.0);
+    EXPECT_EQ(detect_level(voltage, t), reference(voltage)) << "voltage " << voltage;
+  }
 }
 
 TEST(Read, DetectBlockMatchesCellwise) {

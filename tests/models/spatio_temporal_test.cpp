@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "nn/serialize.h"
 #include "tensor/ops.h"
 
 namespace flashgen::models {
@@ -170,6 +171,34 @@ TEST(TemporalModel, CheckpointRoundTrip) {
   Tensor out_b = b.generate_at(pl, 2000.0, g2);
   for (tensor::Index i = 0; i < out_a.numel(); ++i)
     EXPECT_FLOAT_EQ(out_a.data()[i], out_b.data()[i]);
+  std::remove(path.c_str());
+}
+
+TEST(TemporalModel, RejectsLegacyPeOnlyCheckpoint) {
+  // A v1 checkpoint (no metadata section — what the PE-only model generation
+  // wrote) must be refused with the typed CheckpointVersionError, not loaded
+  // into a model that would silently mis-normalize its conditions.
+  TemporalCvaeGanModel writer(tiny_network_config(), 8000.0, 7);
+  const std::string path = ::testing::TempDir() + "/temporal_v1.ckpt";
+  nn::save_checkpoint(writer.root_module(), path);  // v1: weights only, no meta
+  TemporalCvaeGanModel reader(tiny_network_config(), 8000.0, 7);
+  EXPECT_THROW(reader.load(path), nn::CheckpointVersionError);
+  std::remove(path.c_str());
+}
+
+TEST(TemporalModel, RejectsCheckpointWithMismatchedScales) {
+  // Same conditioning version, different normalization scales: the stored
+  // weights would interpret every (PE, retention) input differently, so the
+  // load must fail with the same typed error.
+  TemporalCvaeGanModel writer(tiny_network_config(), 8000.0, 500.0, 7);
+  const std::string path = ::testing::TempDir() + "/temporal_scales.ckpt";
+  writer.save(path);
+  TemporalCvaeGanModel wrong_pe(tiny_network_config(), 16000.0, 500.0, 7);
+  EXPECT_THROW(wrong_pe.load(path), nn::CheckpointVersionError);
+  TemporalCvaeGanModel wrong_retention(tiny_network_config(), 8000.0, 1000.0, 7);
+  EXPECT_THROW(wrong_retention.load(path), nn::CheckpointVersionError);
+  TemporalCvaeGanModel matching(tiny_network_config(), 8000.0, 500.0, 99);
+  EXPECT_NO_THROW(matching.load(path));
   std::remove(path.c_str());
 }
 

@@ -112,6 +112,69 @@ TEST(ProtocolTest, GenerateResponseRoundTrip) {
   EXPECT_EQ(decoded.voltages, response.voltages);
 }
 
+TEST(ProtocolTest, ThresholdQueryRoundTrip) {
+  ThresholdQuery query;
+  query.model = "Temporal";
+  query.tenant_id = 9;
+  query.pe_cycles = 4321.5;
+  query.retention_hours = 0.1;  // not exactly representable: must survive bit-exactly
+  const auto payload = encode_threshold_query(query);
+  EXPECT_EQ(peek_type(payload), MessageType::kThresholdQuery);
+
+  const ThresholdQuery decoded = decode_threshold_query(payload);
+  EXPECT_EQ(decoded.model, query.model);
+  EXPECT_EQ(decoded.tenant_id, query.tenant_id);
+  EXPECT_EQ(decoded.pe_cycles, query.pe_cycles);
+  EXPECT_EQ(decoded.retention_hours, query.retention_hours);
+}
+
+TEST(ProtocolTest, ThresholdResponseRoundTrip) {
+  ThresholdResponse response;
+  for (int k = 0; k < 7; ++k) response.thresholds[static_cast<std::size_t>(k)] = 100.0 * k + 0.25;
+  response.page_ber = {1e-3, 2e-4, 3.5e-5};
+  response.level_error_rate = 4.2e-3;
+  response.mutual_information_bits = 2.987654321;
+  response.sample_cells = 1ull << 40;
+  response.from_cache = true;
+  const auto payload = encode_threshold_response(response);
+  EXPECT_EQ(peek_type(payload), MessageType::kThresholdOk);
+
+  const ThresholdResponse decoded = decode_threshold_response(payload);
+  EXPECT_EQ(decoded.thresholds, response.thresholds);
+  EXPECT_EQ(decoded.page_ber, response.page_ber);
+  EXPECT_EQ(decoded.level_error_rate, response.level_error_rate);
+  EXPECT_EQ(decoded.mutual_information_bits, response.mutual_information_bits);
+  EXPECT_EQ(decoded.sample_cells, response.sample_cells);
+  EXPECT_TRUE(decoded.from_cache);
+
+  // The from_cache byte is the last payload byte (the loadgen checksum
+  // canonicalization relies on this); values beyond 0/1 must be rejected.
+  auto corrupted = payload;
+  EXPECT_EQ(corrupted.back(), 1);
+  corrupted.back() = 2;
+  EXPECT_THROW((void)decode_threshold_response(corrupted), Error);
+}
+
+TEST(ProtocolTest, TruncatedThresholdPayloadsAreRejected) {
+  ThresholdQuery query;
+  query.model = "Temporal";
+  const auto q = encode_threshold_query(query);
+  for (std::size_t cut = 1; cut < q.size(); ++cut) {
+    const std::vector<std::uint8_t> truncated(q.begin(),
+                                              q.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)decode_threshold_query(truncated), Error) << "cut at " << cut;
+  }
+  const auto r = encode_threshold_response(ThresholdResponse{});
+  for (std::size_t cut = 1; cut < r.size(); ++cut) {
+    const std::vector<std::uint8_t> truncated(r.begin(),
+                                              r.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)decode_threshold_response(truncated), Error) << "cut at " << cut;
+  }
+  // And type confusion in both directions.
+  EXPECT_THROW((void)decode_threshold_query(r), Error);
+  EXPECT_THROW((void)decode_threshold_response(q), Error);
+}
+
 TEST(ProtocolTest, StatsAndErrorRoundTrip) {
   EXPECT_EQ(peek_type(encode_stats_request()), MessageType::kStats);
   const std::string json = "{\"requests\": 3}";
